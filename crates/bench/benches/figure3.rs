@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure-3 pipeline: trace + taint of the
+//! printf-enabled and printf-disabled programs.
+
+use bomblab_bombs::figure3::figure3_source;
+use bomblab_isa::image::layout;
+use bomblab_rt::link_program;
+use bomblab_taint::{TaintEngine, TaintPolicy};
+use bomblab_vm::{Machine, MachineConfig, ROOT_PID};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn figure3_pipeline(with_print: bool) -> usize {
+    let src = figure3_source(with_print);
+    let image = link_program(&src).expect("builds");
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg("7")
+    };
+    let mut machine = Machine::load(&image, None, config).expect("loads");
+    machine.run();
+    let trace = machine.take_trace();
+    let mut engine = TaintEngine::new(TaintPolicy::argv_direct_only());
+    engine.taint_memory(ROOT_PID, &[(layout::ARGV_BASE + 16 + 5, 1)]);
+    engine.run(&trace).tainted_step_count
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.bench_function("without_printf", |b| {
+        b.iter(|| figure3_pipeline(false))
+    });
+    group.bench_function("with_printf", |b| b.iter(|| figure3_pipeline(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

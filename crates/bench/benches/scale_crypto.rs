@@ -1,0 +1,107 @@
+//! §IV.C.2 scalability: crypto functions defeat the solver. Measures the
+//! cost of extracting and attempting to solve SHA-1 preimage constraints
+//! as the (symbolic) message length grows.
+
+use bomblab_isa::image::layout;
+use bomblab_rt::link_program;
+use bomblab_solver::{Solver, SolverBudget};
+use bomblab_symex::{MemoryModel, PropagationPolicy, SymExec};
+use bomblab_vm::{Machine, MachineConfig, ROOT_PID};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a program hashing `len` bytes of argv and branch-free comparing
+/// the *whole* digest against a fixed target (one final conditional), so
+/// the flip query demands a full SHA-1 preimage; returns the query's node
+/// count and the solver verdict.
+fn sha1_pipeline(len: usize) -> (usize, &'static str) {
+    let target = bomblab_rt::reference::sha1(b"the-target-msg");
+    let bytes: Vec<String> = target.iter().map(|b| format!("{b:#04x}")).collect();
+    let src = format!(
+        r#"
+        .extern sha1, bomb_boom
+        .data
+    out:    .space 20
+    target: .byte {target}
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        li a1, {len}
+        li a2, out
+        call sha1
+        # mismatch accumulator: s1 = OR of byte differences
+        li s1, 0
+        li s0, 0
+    acc:
+        li t0, 20
+        bge s0, t0, check
+        li t1, out
+        add t1, t1, s0
+        lbu t1, [t1]
+        li t2, target
+        add t2, t2, s0
+        lbu t2, [t2]
+        xor t3, t1, t2
+        or s1, s1, t3
+        addi s0, s0, 1
+        jmp acc
+    check:
+        bne s1, zero, no     # flip = full 20-byte preimage
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#,
+        target = bytes.join(", ")
+    );
+    let image = link_program(&src).expect("builds");
+    let arg = vec![b'A'; len];
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg(arg)
+    };
+    let mut machine = Machine::load(&image, None, config).expect("loads");
+    let snapshot = machine.process_memory(ROOT_PID).expect("root").clone();
+    machine.run();
+    let trace = machine.take_trace();
+
+    let mut sx = SymExec::new(MemoryModel::Concretize, PropagationPolicy::full());
+    sx.set_initial_memory(ROOT_PID, snapshot);
+    sx.symbolize_bytes(ROOT_PID, layout::ARGV_BASE + 16 + 5, len as u64, "arg1");
+    let sym = sx.run(&trace);
+    let last = sym.path.len() - 1;
+    let query = sym.flip_query(last);
+    let nodes: usize = query.iter().map(|t| t.size()).sum();
+    // A small conflict budget keeps the bench quick; the verdict is the
+    // same at any practical budget (full preimages are out of reach).
+    let solver = Solver::new().with_budget(SolverBudget {
+        max_conflicts: 50,
+        max_formula_nodes: 1_000_000,
+    });
+    let verdict = match solver.check(&query) {
+        bomblab_solver::SolveOutcome::Sat(_) => "sat",
+        bomblab_solver::SolveOutcome::Unsat => "unsat",
+        bomblab_solver::SolveOutcome::Unknown(_) => "budget-exhausted",
+    };
+    (nodes, verdict)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("sha1 preimage sweep (message bytes -> formula nodes, verdict):");
+    for len in [1usize, 4, 8] {
+        let (nodes, verdict) = sha1_pipeline(len);
+        println!("  len={len}: nodes={nodes} verdict={verdict}");
+    }
+    let mut group = c.benchmark_group("scale_crypto");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    for len in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| sha1_pipeline(len))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

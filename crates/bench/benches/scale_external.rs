@@ -1,0 +1,60 @@
+//! §IV.C.1 scalability: how the tainted-instruction count and the symbolic
+//! path grow with the number of external (`printf`) calls.
+
+use bomblab_bombs::figure3::external_calls_source;
+use bomblab_isa::image::layout;
+use bomblab_rt::link_program;
+use bomblab_symex::{MemoryModel, PropagationPolicy, SymExec};
+use bomblab_taint::{TaintEngine, TaintPolicy};
+use bomblab_vm::{Machine, MachineConfig, ROOT_PID};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct PipelineOut {
+    tainted: usize,
+    path_len: usize,
+}
+
+fn pipeline(k: usize) -> PipelineOut {
+    let src = external_calls_source(k);
+    let image = link_program(&src).expect("builds");
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg("7")
+    };
+    let mut machine = Machine::load(&image, None, config).expect("loads");
+    let snapshot = machine.process_memory(ROOT_PID).expect("root").clone();
+    machine.run();
+    let trace = machine.take_trace();
+
+    let mut taint = TaintEngine::new(TaintPolicy::argv_direct_only());
+    taint.taint_memory(ROOT_PID, &[(layout::ARGV_BASE + 16 + 5, 1)]);
+    let report = taint.run(&trace);
+
+    let mut sx = SymExec::new(MemoryModel::Concretize, PropagationPolicy::full());
+    sx.set_initial_memory(ROOT_PID, snapshot);
+    sx.symbolize_bytes(ROOT_PID, layout::ARGV_BASE + 16 + 5, 1, "arg1");
+    let sym = sx.run(&trace);
+    PipelineOut {
+        tainted: report.tainted_step_count,
+        path_len: sym.path.len(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the sweep once, so the series shape is visible in bench logs.
+    println!("external-call sweep (k printf calls -> tainted insns, path length):");
+    for k in [0usize, 1, 2, 4, 8] {
+        let out = pipeline(k);
+        println!("  k={k}: tainted={} path={}", out.tainted, out.path_len);
+    }
+    let mut group = c.benchmark_group("scale_external");
+    for k in [0usize, 1, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| pipeline(k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Solver microbenchmarks: bit-blasting and CDCL on representative
+//! constraint shapes.
+
+use bomblab_solver::expr::{BvOp, CmpOp, Term};
+use bomblab_solver::{SolveOutcome, Solver};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn crackme_query(width: u8) -> Term {
+    // (x ^ K1) * 3 + K2 == K3
+    let x = Term::var("x", width);
+    let e = Term::bin(
+        BvOp::Add,
+        &Term::bin(
+            BvOp::Mul,
+            &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, width)),
+            &Term::bv(3, width),
+        ),
+        &Term::bv(0x11, width),
+    );
+    Term::cmp(CmpOp::Eq, &e, &Term::bv(0x42, width))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for width in [8u8, 32, 64] {
+        group.bench_function(format!("crackme_{width}bit"), |b| {
+            b.iter(|| {
+                let q = crackme_query(width);
+                matches!(Solver::new().check(&[q]), SolveOutcome::Sat(_))
+            })
+        });
+    }
+    group.bench_function("div_rem_16bit", |b| {
+        b.iter(|| {
+            let x = Term::var("x", 16);
+            let c1 = Term::cmp(
+                CmpOp::Eq,
+                &Term::bin(BvOp::UDiv, &x, &Term::bv(7, 16)),
+                &Term::bv(35, 16),
+            );
+            let c2 = Term::cmp(
+                CmpOp::Eq,
+                &Term::bin(BvOp::URem, &x, &Term::bv(7, 16)),
+                &Term::bv(3, 16),
+            );
+            matches!(Solver::new().check(&[c1, c2]), SolveOutcome::Sat(_))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Section V.C negative-bomb probe: a bomb guarded
+//! by the unsatisfiable `pow(x, 2) == -1`. A sound tool reports it
+//! unreachable; the paper observes that Angr (without loaded libraries)
+//! aggressively assigns a return value to `pow` and claims the bomb
+//! triggerable.
+
+use bomblab_bombs::negative_pow;
+use bomblab_concolic::{ground_truth, Engine, Outcome, ToolProfile};
+
+fn main() {
+    let case = negative_pow();
+    let ground = ground_truth(&case.subject, &case.trigger);
+    println!("Negative bomb: pow(x, 2) == -1 (unsatisfiable)\n");
+    println!("| tool | outcome | claims reachable? |");
+    println!("|---|---|---|");
+    for profile in ToolProfile::paper_lineup() {
+        let name = profile.name.clone();
+        let attempt = Engine::new(profile).explore(&case.subject, &ground);
+        let claims = attempt.evidence.sat_queries > 0 && attempt.outcome != Outcome::Solved;
+        println!("| {} | {} | {} |", name, attempt.outcome, claims);
+    }
+    println!("\n(The paper reports the false positive for Angr's unloaded-library mode.)");
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's Table II: 22 logic bombs × 4 tool profiles.
+
+use bomblab_bombs::all_cases;
+use bomblab_concolic::{run_study, ToolProfile};
+
+fn main() {
+    let cases = all_cases();
+    let profiles = ToolProfile::paper_lineup();
+    eprintln!(
+        "running {} bombs x {} profiles ...",
+        cases.len(),
+        profiles.len()
+    );
+    let start = std::time::Instant::now();
+    let report = run_study(&cases, &profiles);
+    eprintln!("done in {:.1?}", start.elapsed());
+    println!("{}", report.to_markdown());
+    let counts = report.solved_counts();
+    println!(
+        "\nSolved: BAP={} Triton={} Angr={} Angr-NoLib={} (paper: 2 / 1 / 3 / 4; Angr union {})",
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        report
+            .rows
+            .iter()
+            .filter(|r| r.cells[2..4]
+                .iter()
+                .any(|c| c.outcome == bomblab_concolic::Outcome::Solved))
+            .count()
+    );
+}

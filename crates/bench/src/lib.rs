@@ -1,0 +1,48 @@
+//! # bomblab-bench — experiment harness
+//!
+//! Regenerates every table and figure of the DSN'17 paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — challenge → error-stage mapping |
+//! | `table2` | Table II — 22 bombs × 4 tool profiles |
+//! | `figure3` | Figure 3 — `printf` instruction inflation |
+//! | `dataset_stats` | §V.A binary-size statistics |
+//! | `negative_bomb` | §V.C false-positive probe |
+//!
+//! Criterion benches (`cargo bench`) cover the scalability claims of
+//! §IV.C: constraint growth with external calls (`scale_external`) and
+//! solver hardness of crypto functions (`scale_crypto`), plus solver and
+//! VM microbenchmarks.
+
+use bomblab_concolic::{Outcome, StudyReport};
+use std::collections::BTreeMap;
+
+/// Derives the Table-I view (challenge category → set of error stages
+/// observed across tools) from a Table-II study report.
+pub fn table1_from_report(report: &StudyReport) -> BTreeMap<String, Vec<&'static str>> {
+    let mut map: BTreeMap<String, std::collections::BTreeSet<&'static str>> = BTreeMap::new();
+    for row in &report.rows {
+        let entry = map.entry(row.category.clone()).or_default();
+        for cell in &row.cells {
+            match cell.outcome {
+                Outcome::Es0 => {
+                    entry.insert("Es0");
+                }
+                Outcome::Es1 => {
+                    entry.insert("Es1");
+                }
+                Outcome::Es2 | Outcome::Partial => {
+                    entry.insert("Es2");
+                }
+                Outcome::Es3 => {
+                    entry.insert("Es3");
+                }
+                Outcome::Solved | Outcome::Abnormal => {}
+            }
+        }
+    }
+    map.into_iter()
+        .map(|(k, v)| (k, v.into_iter().collect()))
+        .collect()
+}

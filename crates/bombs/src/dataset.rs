@@ -1,0 +1,996 @@
+//! The 22-bomb dataset: one program per Table-II row of the DSN'17 paper.
+//!
+//! Every bomb prints `BOOM` and exits 42 (via the runtime's `bomb_boom`)
+//! exactly when its challenge is solved. Each [`StudyCase`] carries the
+//! bomb's known trigger input (ground truth for the study's failure
+//! diagnosis) and the paper's expected Table-II row (the agreement
+//! oracle). Seeds never detonate; triggers always do — both facts are
+//! enforced by this crate's test suite.
+
+use bomblab_concolic::{Outcome, StudyCase, Subject, WorldInput};
+use bomblab_rt::{link_program_dynamic, reference};
+
+/// Builds a dynamically linked subject from bomb assembly.
+fn subject(name: &str, src: &str, seed: WorldInput) -> Subject {
+    let (image, lib) = link_program_dynamic(src)
+        .unwrap_or_else(|e| panic!("bomb `{name}` failed to build: {e}"));
+    Subject {
+        name: name.to_string(),
+        image,
+        lib: Some(lib),
+        seed,
+    }
+}
+
+fn case(
+    name: &str,
+    category: &str,
+    description: &str,
+    src: &str,
+    seed: WorldInput,
+    trigger: WorldInput,
+    expected: [Outcome; 4],
+) -> StudyCase {
+    StudyCase {
+        subject: subject(name, src, seed),
+        category: category.to_string(),
+        description: description.to_string(),
+        trigger,
+        paper_expected: Some(expected),
+    }
+}
+
+use Outcome::{Abnormal as E, Es0, Es1, Es2, Es3, Partial as P, Solved as OK};
+
+/// Row 1: the bomb only detonates at a magic `time()` value.
+pub fn decl_time() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .global _start
+    _start:
+        li sv, 6             # time
+        sys
+        li t0, 1234567891
+        bne a0, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "decl_time",
+        "Symbolic Variable Declaration",
+        "Employ time info in conditions for triggering a bomb",
+        src,
+        WorldInput::with_arg("7"),
+        WorldInput {
+            epoch: 1_234_567_891,
+            ..WorldInput::with_arg("7")
+        },
+        [Es0, Es0, Es0, Es0],
+    )
+}
+
+/// Row 2: the bomb checks the content served by the (simulated) web.
+pub fn decl_web() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .data
+    url: .asciz "http://bvm/flag"
+    buf: .space 64
+        .text
+        .global _start
+    _start:
+        li a0, url
+        li a1, buf
+        li a2, 64
+        li sv, 13            # net_get
+        sys
+        li t0, buf
+        lwu t1, [t0]
+        li t2, 0x45444F43    # "CODE" little-endian
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "decl_web",
+        "Symbolic Variable Declaration",
+        "Employ web contents in conditions for triggering a bomb",
+        src,
+        WorldInput::with_arg("7"),
+        WorldInput {
+            net: b"CODE-RED\n".to_vec(),
+            ..WorldInput::with_arg("7")
+        },
+        [Es0, Es0, E, E],
+    )
+}
+
+/// Row 3: the bomb conditions on a syscall return value (`getuid`).
+pub fn decl_syscall() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .global _start
+    _start:
+        li sv, 16            # getuid
+        sys
+        li t0, 991
+        remu t1, a0, t0
+        li t0, 17
+        bne t1, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "decl_syscall",
+        "Symbolic Variable Declaration",
+        "Employ the return values of system calls in conditions",
+        src,
+        WorldInput::with_arg("7"),
+        WorldInput {
+            uid: 1008, // 1008 % 991 == 17
+            ..WorldInput::with_arg("7")
+        },
+        [Es0, Es0, P, P],
+    )
+}
+
+/// Row 4: the bomb conditions on `strlen(argv[1])`.
+pub fn decl_argv_len() -> StudyCase {
+    let src = r#"
+        .extern strlen, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call strlen
+        li t0, 3
+        bne a0, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "decl_argv_len",
+        "Symbolic Variable Declaration",
+        "Employ the length of argv[1] in conditions",
+        src,
+        WorldInput::with_arg("AAAAAAAA"),
+        WorldInput::with_arg("AAA"),
+        [Es2, Es0, OK, OK],
+    )
+}
+
+/// Row 5: the symbolic value round-trips through push/pop.
+pub fn covert_stack() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        push a0
+        li a0, 0
+        pop t0
+        li t1, 9
+        bne t0, t1, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "covert_stack",
+        "Covert Symbolic Propagation",
+        "Push symbolic values into the stack and pop out",
+        src,
+        WorldInput::with_arg("5"),
+        WorldInput::with_arg("9"),
+        [Es1, OK, OK, OK],
+    )
+}
+
+/// Row 6: the symbolic value round-trips through a file.
+pub fn covert_file() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .data
+    path: .asciz "covert"
+    buf:  .space 8
+        .text
+        .global _start
+    _start:
+        ld s0, [a1+8]
+        li a0, path
+        li a1, 1
+        li sv, 3             # open write
+        sys
+        mov s1, a0
+        mov a0, s1
+        mov a1, s0
+        li a2, 1
+        li sv, 1             # write the argv byte
+        sys
+        mov a0, s1
+        li sv, 4             # close
+        sys
+        li a0, path
+        li a1, 0
+        li sv, 3             # open read
+        sys
+        mov s1, a0
+        mov a0, s1
+        li a1, buf
+        li a2, 1
+        li sv, 2             # read it back
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        addi t1, t1, 1
+        li t2, 'Z'
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "covert_file",
+        "Covert Symbolic Propagation",
+        "Save symbolic values to a file and then read back",
+        src,
+        WorldInput::with_arg("A"),
+        WorldInput::with_arg("Y"),
+        [Es2, Es2, E, Es2],
+    )
+}
+
+/// Row 7: the symbolic value round-trips through kernel state (`lseek`).
+pub fn covert_syscall() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    path: .asciz "scratch"
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+        li a0, path
+        li a1, 2
+        li sv, 3             # open rdwr (creates)
+        sys
+        mov s1, a0
+        mov a0, s1
+        mov a1, s0
+        li a2, 0
+        li sv, 15            # lseek(fd, x, SET): x enters the kernel
+        sys
+        mov a0, s1
+        li a1, 0
+        li a2, 1
+        li sv, 15            # lseek(fd, 0, CUR): x comes back out
+        sys
+        li t0, 4242
+        bne a0, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "covert_syscall",
+        "Covert Symbolic Propagation",
+        "Save symbolic values via system call and then read back",
+        src,
+        WorldInput::with_arg("1111"),
+        WorldInput::with_arg("4242"),
+        [Es2, Es2, P, P],
+    )
+}
+
+/// Row 8: the bomb is reached through a division trap.
+pub fn covert_exception() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+        li a0, handler
+        li sv, 14            # set_trap_handler
+        sys
+        addi t0, s0, -77
+        li t1, 1000
+        divs t2, t1, t0      # traps iff atoi(argv[1]) == 77
+        li a0, 0
+        li sv, 0
+        sys
+    handler:
+        call bomb_boom
+    "#;
+    case(
+        "covert_exception",
+        "Covert Symbolic Propagation",
+        "Change symbolic values in an exception (division trap)",
+        src,
+        WorldInput::with_arg("55"),
+        WorldInput::with_arg("77"),
+        [OK, Es1, E, Es2],
+    )
+}
+
+/// Row 9: the symbolic value is transformed on a file-operation error path.
+pub fn covert_file_error() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .data
+    primary: .asciz "primary"
+    backup:  .asciz "backup"
+    buf:     .space 8
+        .text
+        .global _start
+    _start:
+        ld s2, [a1+8]
+        li a0, primary
+        li a1, 0
+        li sv, 3             # open("primary") fails: error path below
+        sys
+        li t0, -1
+        bne a0, t0, no
+        # error path: stash the argv byte in a backup file
+        li a0, backup
+        li a1, 1
+        li sv, 3
+        sys
+        mov s1, a0
+        mov a0, s1
+        mov a1, s2
+        li a2, 1
+        li sv, 1
+        sys
+        mov a0, s1
+        li sv, 4
+        sys
+        li a0, backup
+        li a1, 0
+        li sv, 3
+        sys
+        mov s1, a0
+        mov a0, s1
+        li a1, buf
+        li a2, 1
+        li sv, 2
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        addi t1, t1, 4
+        li t2, 'w'
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "covert_file_error",
+        "Covert Symbolic Propagation",
+        "Change symbolic values in a file operation exception",
+        src,
+        WorldInput::with_arg("A"),
+        WorldInput::with_arg("s"),
+        [Es2, Es2, Es2, Es2],
+    )
+}
+
+/// Row 10: the symbolic value is transformed in a second thread.
+pub fn parallel_thread() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    cell: .quad 0
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov a1, a0
+        li a0, worker
+        li sv, 11            # thread_spawn(worker, x)
+        sys
+        li sv, 12            # thread_join
+        sys
+        li t0, cell
+        ld t1, [t0]
+        li t2, 99
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    worker:
+        addi a0, a0, 58
+        li t0, cell
+        sd [t0], a0
+        li a0, 0
+        ret
+    "#;
+    case(
+        "parallel_thread",
+        "Parallel Program",
+        "Change symbolic values in multi-threads via thread_spawn",
+        src,
+        WorldInput::with_arg("55"),
+        WorldInput::with_arg("41"),
+        [OK, Es2, Es2, Es2],
+    )
+}
+
+/// Row 11: the symbolic value is transformed in a forked child and sent
+/// back through a pipe.
+pub fn parallel_fork() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    fds: .space 16
+    buf: .space 8
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+        li a0, fds
+        li sv, 10            # pipe
+        sys
+        li sv, 8             # fork
+        sys
+        beq a0, zero, child
+        li a0, fds
+        ld a0, [a0]
+        li a1, buf
+        li a2, 1
+        li sv, 2             # read the transformed byte
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        li t2, 100
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    child:
+        muli t0, s0, 3
+        addi t0, t0, 7       # y = 3x + 7
+        li t1, buf
+        sb [t1], t0
+        li a0, fds
+        ld a0, [a0+8]
+        li a1, buf
+        li a2, 1
+        li sv, 1             # send y
+        sys
+        li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "parallel_fork",
+        "Parallel Program",
+        "Change symbolic values in multi-processes via fork/pipe",
+        src,
+        WorldInput::with_arg("10"),
+        WorldInput::with_arg("31"),
+        [Es2, Es2, Es2, OK],
+    )
+}
+
+/// Row 12: one-level symbolic array index.
+pub fn array_l1() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    table: .byte 10, 20, 30, 40, 50, 60, 70, 80
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        li t0, table
+        add t0, t0, a0
+        lbu t1, [t0]
+        li t2, 70
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "array_l1",
+        "Symbolic Array",
+        "Employ symbolic values as offsets for a level-one array",
+        src,
+        WorldInput::with_arg("2"),
+        WorldInput::with_arg("6"),
+        [Es3, Es3, OK, OK],
+    )
+}
+
+/// Row 13: two-level symbolic array index.
+pub fn array_l2() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    idx:   .byte 3, 0, 1, 2, 7, 6, 5, 4
+    table: .byte 10, 20, 30, 40, 50, 60, 70, 80
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        li t0, idx
+        add t0, t0, a0
+        lbu t1, [t0]         # level 1
+        li t0, table
+        add t0, t0, t1
+        lbu t2, [t0]         # level 2
+        li t3, 80
+        bne t2, t3, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "array_l2",
+        "Symbolic Array",
+        "Employ symbolic values as offsets for a level-two array",
+        src,
+        WorldInput::with_arg("1"),
+        WorldInput::with_arg("4"),
+        [Es3, Es3, Es3, Es3],
+    )
+}
+
+/// Row 14: the symbolic value names the file to open.
+pub fn ctx_filename() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]        # path = argv[1]
+        li a1, 0
+        li sv, 3             # open(argv[1], RDONLY)
+        sys
+        li t0, -1
+        beq a0, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    let files = vec![("key".to_string(), b"v".to_vec())];
+    case(
+        "ctx_filename",
+        "Contextual Symbolic Value",
+        "Employ symbolic values as the name of a file",
+        src,
+        WorldInput {
+            files: files.clone(),
+            ..WorldInput::with_arg("AAA")
+        },
+        WorldInput {
+            files,
+            ..WorldInput::with_arg("key")
+        },
+        [Es2, Es3, Es2, Es2],
+    )
+}
+
+/// Row 15: the symbolic value selects the syscall number.
+pub fn ctx_syscallnum() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 1
+        addi sv, a0, 6       # even -> time(6), odd -> getpid(7)
+        sys
+        li t0, 1
+        bne a0, t0, no       # getpid() == 1 detonates
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    case(
+        "ctx_syscallnum",
+        "Contextual Symbolic Value",
+        "Employ symbolic values as the number of a system call",
+        src,
+        WorldInput::with_arg("2"),
+        WorldInput::with_arg("1"),
+        [Es2, Es3, Es2, Es2],
+    )
+}
+
+/// Row 16: the symbolic value offsets an indirect jump.
+pub fn jump_direct() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        shli a0, a0, 3       # 8-byte slots
+        li t0, base
+        add t0, t0, a0
+        jr t0
+    base:
+        jmp ok
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+        jmp boom             # slot 6
+        nop
+        nop
+        nop
+        jmp ok
+        nop
+        nop
+        nop
+    ok:
+        li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#;
+    case(
+        "jump_direct",
+        "Symbolic Jump",
+        "Employ symbolic values as unconditional jump addresses",
+        src,
+        WorldInput::with_arg("0"),
+        WorldInput::with_arg("6"),
+        [Es3, Es3, Es2, Es2],
+    )
+}
+
+/// Row 17: the symbolic value indexes a table of jump targets.
+pub fn jump_table() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+        .align 8
+    targets: .quad ok, ok, ok, boom, ok, ok, ok, ok
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        shli a0, a0, 3
+        li t0, targets
+        add t0, t0, a0
+        ld t1, [t0]          # load the target address (level 1)
+        jr t1                # jump through it
+    ok:
+        li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#;
+    case(
+        "jump_table",
+        "Symbolic Jump",
+        "Employ symbolic values as offsets to an address array",
+        src,
+        WorldInput::with_arg("0"),
+        WorldInput::with_arg("3"),
+        [Es3, Es3, Es3, Es3],
+    )
+}
+
+/// Row 18: IEEE-754 absorption — `1024 + x == 1024 && x > 0`.
+pub fn float_cmp() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        cvt.si2d f0, a0
+        fli f1, 1000000000000000000.0
+        fdiv.d f0, f0, f1    # x = n / 1e18
+        fli f2, 1024.0
+        fadd.d f3, f2, f0
+        fbeq f3, f2, check2  # 1024 + x == 1024
+        jmp no
+    check2:
+        fli f4, 0.0
+        fblt f4, f0, boom    # x > 0
+    no: li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#;
+    case(
+        "float_cmp",
+        "Floating-point Number",
+        "Employ floating-point numbers in symbolic conditions",
+        src,
+        WorldInput::with_arg("0"),
+        WorldInput::with_arg("1"),
+        [Es1, Es1, E, Es3],
+    )
+}
+
+/// Row 19: the condition goes through the external `sin`.
+pub fn ext_sin() -> StudyCase {
+    let src = r#"
+        .extern atoi, sin, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        cvt.si2d f0, a0
+        call sin
+        fli f1, -0.9999
+        fblt f0, f1, boom    # sin(x) < -0.9999
+        li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#;
+    case(
+        "ext_sin",
+        "External Function Call",
+        "Employ symbolic values as the parameter of sin",
+        src,
+        WorldInput::with_arg("1"),
+        WorldInput::with_arg("11"), // sin(11) ~ -0.99999
+        [Es1, Es1, E, Es2],
+    )
+}
+
+/// Row 20: the condition goes through `srand`/`rand`.
+pub fn ext_srand() -> StudyCase {
+    // Precompute the magic low bits the trigger seed produces after eight
+    // draws from the runtime's LCG.
+    let mut lcg = reference::Lcg::seed(123_456);
+    let mut last = 0;
+    for _ in 0..8 {
+        last = lcg.next();
+    }
+    let magic = last & 0xfffff;
+    let src = format!(
+        r#"
+        .extern atoi, srand, rand, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        call srand
+        li s0, 8
+    draw:
+        call rand
+        addi s0, s0, -1
+        bne s0, zero, draw
+        li t0, 0xfffff
+        and a0, a0, t0
+        li t0, {magic}
+        bne a0, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#
+    );
+    case(
+        "ext_srand",
+        "External Function Call",
+        "Employ symbolic values as the parameter of srand",
+        &src,
+        WorldInput::with_arg("000001"),
+        WorldInput::with_arg("123456"),
+        [Es2, E, E, Es2],
+    )
+}
+
+/// Row 21: SHA-1 preimage.
+pub fn crypto_sha1() -> StudyCase {
+    let digest = reference::sha1(b"S3cr3t42");
+    let bytes: Vec<String> = digest.iter().map(|b| format!("{b:#04x}")).collect();
+    let src = format!(
+        r#"
+        .extern sha1, bomb_boom
+        .data
+    target: .byte {target}
+    out:    .space 20
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        li a1, 8
+        li a2, out
+        call sha1
+        li s0, 0
+    cmp:
+        li t0, 20
+        bge s0, t0, boom     # all 20 bytes matched
+        li t1, out
+        add t1, t1, s0
+        lbu t1, [t1]
+        li t2, target
+        add t2, t2, s0
+        lbu t2, [t2]
+        bne t1, t2, no
+        addi s0, s0, 1
+        jmp cmp
+    no: li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#,
+        target = bytes.join(", ")
+    );
+    case(
+        "crypto_sha1",
+        "Crypto Function",
+        "Infer the plain text from an SHA1 result",
+        &src,
+        WorldInput::with_arg("AAAAAAAA"),
+        WorldInput::with_arg("S3cr3t42"),
+        [E, E, E, Es2],
+    )
+}
+
+/// Row 22: AES-128 key recovery.
+pub fn crypto_aes() -> StudyCase {
+    let key = *b"KEY-4242-BVM-42!";
+    let pt = *b"bomblab-plain-16";
+    let ct = reference::aes128_encrypt(&key, &pt);
+    let pt_bytes: Vec<String> = pt.iter().map(|b| format!("{b:#04x}")).collect();
+    let ct_bytes: Vec<String> = ct.iter().map(|b| format!("{b:#04x}")).collect();
+    let src = format!(
+        r#"
+        .extern aes128_encrypt, bomb_boom
+        .data
+    pt:     .byte {pt}
+    target: .byte {ct}
+    out:    .space 16
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]        # key = argv[1] (16 bytes)
+        li a1, pt
+        li a2, out
+        call aes128_encrypt
+        li s0, 0
+    cmp:
+        li t0, 16
+        bge s0, t0, boom
+        li t1, out
+        add t1, t1, s0
+        lbu t1, [t1]
+        li t2, target
+        add t2, t2, s0
+        lbu t2, [t2]
+        bne t1, t2, no
+        addi s0, s0, 1
+        jmp cmp
+    no: li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#,
+        pt = pt_bytes.join(", "),
+        ct = ct_bytes.join(", ")
+    );
+    case(
+        "crypto_aes",
+        "Crypto Function",
+        "Infer the key from an AES encryption result",
+        &src,
+        WorldInput::with_arg("AAAAAAAAAAAAAAAA"),
+        WorldInput::with_arg(&key[..]),
+        [Es2, Es2, Es2, Es2],
+    )
+}
+
+/// The negative bomb of Section V.C: guarded by `pow(x, 2) == -1`, which
+/// is unsatisfiable — a tool that claims it reachable is wrong.
+pub fn negative_pow() -> StudyCase {
+    let src = r#"
+        .extern pow_int, bomb_boom
+        .global _start
+    _start:
+        ld t0, [a1+8]
+        lbu t1, [t0]
+        cvt.si2d f0, t1
+        li a0, 2
+        call pow_int         # f0 = x^2
+        fli f1, -1.0
+        fbeq f0, f1, boom    # never true over the reals
+        li a0, 0
+        li sv, 0
+        sys
+    boom:
+        call bomb_boom
+    "#;
+    StudyCase {
+        subject: subject("negative_pow", src, WorldInput::with_arg("5")),
+        category: "Probe".to_string(),
+        description: "Negative bomb guarded by pow(x, 2) == -1 (unsatisfiable)".to_string(),
+        trigger: WorldInput::with_arg("5"), // there is no trigger; seed stands in
+        paper_expected: None,
+    }
+}
+
+/// All 22 Table-II bombs, in paper row order.
+pub fn all_cases() -> Vec<StudyCase> {
+    vec![
+        decl_time(),
+        decl_web(),
+        decl_syscall(),
+        decl_argv_len(),
+        covert_stack(),
+        covert_file(),
+        covert_syscall(),
+        covert_exception(),
+        covert_file_error(),
+        parallel_thread(),
+        parallel_fork(),
+        array_l1(),
+        array_l2(),
+        ctx_filename(),
+        ctx_syscallnum(),
+        jump_direct(),
+        jump_table(),
+        float_cmp(),
+        ext_sin(),
+        ext_srand(),
+        crypto_sha1(),
+        crypto_aes(),
+    ]
+}

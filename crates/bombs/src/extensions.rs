@@ -1,0 +1,249 @@
+//! Extension bombs beyond the paper's Table II.
+//!
+//! The paper closes its challenge list with: *"we do not intend to propose
+//! a complete list of all challenges. Loop is an exception which we
+//! haven't discussed... Users may extend the list with new challenges
+//! following our approach."* This module does exactly that: three
+//! additional bombs in the paper's style, usable with the same engine and
+//! study harness.
+
+use bomblab_concolic::{StudyCase, Subject, WorldInput};
+use bomblab_rt::link_program_dynamic;
+
+fn subject(name: &str, src: &str, seed: WorldInput) -> Subject {
+    let (image, lib) = link_program_dynamic(src)
+        .unwrap_or_else(|e| panic!("extension bomb `{name}` failed to build: {e}"));
+    Subject {
+        name: name.to_string(),
+        image,
+        lib: Some(lib),
+        seed,
+    }
+}
+
+/// The loop challenge the paper explicitly defers: the bomb requires an
+/// input-dependent iteration *count*, so each candidate count is a
+/// distinct path — the classic loop path-explosion shape.
+pub fn loop_count() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        li t0, 0             # counter
+        li t1, 0             # accumulator
+    loop:
+        bge t0, a0, done     # iterate atoi(argv[1]) times
+        addi t1, t1, 3
+        addi t0, t0, 1
+        jmp loop
+    done:
+        li t2, 51            # 17 iterations * 3
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    StudyCase {
+        subject: subject("ext_loop_count", src, WorldInput::with_arg("03")),
+        category: "Extension: Loop".to_string(),
+        description: "Bomb requires an input-dependent loop iteration count".to_string(),
+        trigger: WorldInput::with_arg("17"),
+        paper_expected: None,
+    }
+}
+
+/// Stdin as the symbolic source — a declaration challenge the paper's
+/// dataset leaves out (its tools only symbolize argv).
+pub fn stdin_guard() -> StudyCase {
+    let src = r#"
+        .extern bomb_boom
+        .data
+    buf: .space 8
+        .text
+        .global _start
+    _start:
+        li a0, 0
+        li a1, buf
+        li a2, 2
+        li sv, 2             # read(stdin, buf, 2)
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        lbu t2, [t0+1]
+        shli t2, t2, 8
+        or t1, t1, t2
+        li t0, 0x4B4F        # "OK"
+        bne t1, t0, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    "#;
+    let seed = WorldInput {
+        stdin: b"??".to_vec(),
+        ..WorldInput::with_arg("x")
+    };
+    let trigger = WorldInput {
+        stdin: b"OK".to_vec(),
+        ..WorldInput::with_arg("x")
+    };
+    StudyCase {
+        subject: subject("ext_stdin_guard", src, seed),
+        category: "Extension: Stdin".to_string(),
+        description: "Bomb conditions on bytes read from standard input".to_string(),
+        trigger,
+        paper_expected: None,
+    }
+}
+
+/// A double covert hop: the value crosses a thread *and then* a file —
+/// composing two Table-II challenges, as real malware would.
+pub fn chained_covert() -> StudyCase {
+    let src = r#"
+        .extern atoi, bomb_boom
+        .data
+    path: .asciz "relay"
+    buf:  .space 8
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov a1, a0
+        li a0, worker
+        li sv, 11            # thread_spawn(worker, x): hop 1
+        sys
+        li sv, 12            # join
+        sys
+        li a0, path
+        li a1, 0
+        li sv, 3             # open("relay")
+        sys
+        mov s1, a0
+        mov a0, s1
+        li a1, buf
+        li a2, 1
+        li sv, 2             # read the relayed byte: hop 2
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        li t2, 77
+        bne t1, t2, no
+        call bomb_boom
+    no: li a0, 0
+        li sv, 0
+        sys
+    worker:
+        addi s2, a0, 7       # transform in the thread
+        li a0, path
+        li a1, 1
+        li sv, 3             # open("relay", write)
+        sys
+        mov s3, a0
+        li t0, buf
+        sb [t0], s2
+        mov a0, s3
+        li a1, buf
+        li a2, 1
+        li sv, 1             # write transformed byte
+        sys
+        mov a0, s3
+        li sv, 4
+        sys
+        li a0, 0
+        ret
+    "#;
+    StudyCase {
+        subject: subject("ext_chained_covert", src, WorldInput::with_arg("10")),
+        category: "Extension: Chained Covert".to_string(),
+        description: "Symbolic value crosses a thread and then a file".to_string(),
+        trigger: WorldInput::with_arg("70"),
+        paper_expected: None,
+    }
+}
+
+/// All extension bombs.
+pub fn extension_cases() -> Vec<StudyCase> {
+    vec![loop_count(), stdin_guard(), chained_covert()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bomblab_concolic::{ground_truth, Engine, Outcome, ToolProfile};
+
+    const BUDGET: u64 = 2_000_000;
+
+    #[test]
+    fn extension_seeds_and_triggers_behave() {
+        for case in extension_cases() {
+            assert!(
+                !case.subject.detonates(&case.subject.seed, BUDGET),
+                "{}: seed must not detonate",
+                case.subject.name
+            );
+            assert!(
+                case.subject.detonates(&case.trigger, BUDGET),
+                "{}: trigger must detonate",
+                case.subject.name
+            );
+        }
+    }
+
+    #[test]
+    fn omniscient_engine_solves_the_loop_bomb() {
+        let case = loop_count();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        let attempt = Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground);
+        assert_eq!(
+            attempt.outcome,
+            Outcome::Solved,
+            "generational search unrolls the loop one flip at a time"
+        );
+    }
+
+    #[test]
+    fn omniscient_engine_solves_the_stdin_bomb() {
+        let case = stdin_guard();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        let attempt = Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground);
+        assert_eq!(attempt.outcome, Outcome::Solved);
+        assert_eq!(attempt.solved_input.unwrap().stdin, b"OK");
+    }
+
+    #[test]
+    fn paper_tools_fail_the_stdin_bomb_at_declaration() {
+        let case = stdin_guard();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        let attempt = Engine::new(ToolProfile::bap()).explore(&case.subject, &ground);
+        assert_ne!(attempt.outcome, Outcome::Solved);
+    }
+
+    #[test]
+    fn omniscient_engine_solves_the_chained_covert_bomb() {
+        let case = chained_covert();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        let attempt = Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground);
+        assert_eq!(attempt.outcome, Outcome::Solved);
+        let arg = attempt.solved_input.unwrap().argv1;
+        assert!(arg.starts_with(b"70"), "x + 7 == 77 wants 70, got {arg:?}");
+    }
+
+    #[test]
+    fn paper_tools_fail_the_chained_covert_bomb() {
+        let case = chained_covert();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        for profile in ToolProfile::paper_lineup() {
+            let attempt = Engine::new(profile.clone()).explore(&case.subject, &ground);
+            assert_eq!(
+                attempt.outcome,
+                Outcome::Es2,
+                "{} must lose the chained flow",
+                profile.name
+            );
+        }
+    }
+}

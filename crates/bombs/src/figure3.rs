@@ -1,0 +1,82 @@
+//! The Figure-3 program: constraint inflation from external calls.
+//!
+//! The paper initializes `argv[1] = 7` and compares the number of
+//! instructions that propagate symbolic values with the `printf` line
+//! commented out (5 in the paper) versus enabled (66). The shape — a
+//! single library call multiplying the tainted-instruction count — is what
+//! the reproduction checks.
+
+/// Source of the Figure-3 program.
+///
+/// With `with_print == false`, only the `atoi`/compare chain touches the
+/// symbolic value; with `true`, a `printf("%d")` call drags the formatted
+/// printer's loops and branches into the tainted slice.
+pub fn figure3_source(with_print: bool) -> String {
+    let print_part = if with_print {
+        r#"
+        mov s0, a0
+        li a0, fmt
+        mov a1, s0
+        call printf
+        mov a0, s0
+        "#
+    } else {
+        ""
+    };
+    format!(
+        r#"
+        .extern atoi, printf, bomb_boom
+        .data
+    fmt: .asciz "input=%d\n"
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+{print_part}
+        li t0, 0x32
+        blt a0, t0, small
+        call bomb_boom
+    small:
+        li a0, 0
+        li sv, 0
+        sys
+    "#
+    )
+}
+
+/// A parameterized variant with `k` consecutive `printf` calls, used by
+/// the external-call scalability sweep (bench `scale_external`).
+pub fn external_calls_source(k: usize) -> String {
+    let mut prints = String::new();
+    for _ in 0..k {
+        prints.push_str(
+            r#"
+        li a0, fmt
+        mov a1, s0
+        call printf
+        "#,
+        );
+    }
+    format!(
+        r#"
+        .extern atoi, printf, bomb_boom
+        .data
+    fmt: .asciz "v=%d\n"
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+{prints}
+        li t0, 0x32
+        blt s0, t0, small
+        call bomb_boom
+    small:
+        li a0, 0
+        li sv, 0
+        sys
+    "#
+    )
+}

@@ -1,0 +1,58 @@
+//! # bomblab-bombs — the logic-bomb dataset
+//!
+//! The 22 challenge programs of the DSN'17 paper's Table II, plus the
+//! negative bomb from Section V.C and the Figure-3 instruction-inflation
+//! program. Every bomb is a dynamically linked BVM executable whose bomb
+//! path prints `BOOM` and exits 42.
+//!
+//! ```
+//! use bomblab_bombs::dataset;
+//!
+//! let cases = dataset::all_cases();
+//! assert_eq!(cases.len(), 22);
+//! // Every case knows its trigger; the seed never detonates.
+//! let first = &cases[0];
+//! assert!(first.subject.detonates(&first.trigger, 2_000_000));
+//! assert!(!first.subject.detonates(&first.subject.seed, 2_000_000));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod extensions;
+pub mod figure3;
+
+pub use dataset::{all_cases, negative_pow};
+pub use extensions::extension_cases;
+
+/// Dataset statistics for the paper's Section V.A size claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Number of bombs.
+    pub count: usize,
+    /// Smallest executable (loadable bytes, program + shared library).
+    pub min_bytes: usize,
+    /// Largest executable.
+    pub max_bytes: usize,
+    /// Median executable size.
+    pub median_bytes: usize,
+}
+
+/// Computes size statistics over the dataset (paper Section V.A reports
+/// 10–25 KB with a 14 KB median for its gcc-built x86_64 binaries).
+pub fn dataset_stats() -> DatasetStats {
+    let mut sizes: Vec<usize> = all_cases()
+        .iter()
+        .map(|c| {
+            c.subject.image.loadable_size()
+                + c.subject.lib.as_ref().map_or(0, |l| l.loadable_size())
+        })
+        .collect();
+    sizes.sort_unstable();
+    DatasetStats {
+        count: sizes.len(),
+        min_bytes: sizes[0],
+        max_bytes: *sizes.last().expect("non-empty dataset"),
+        median_bytes: sizes[sizes.len() / 2],
+    }
+}

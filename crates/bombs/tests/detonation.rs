@@ -1,0 +1,65 @@
+//! Dataset sanity: seeds never detonate, triggers always do.
+
+use bomblab_bombs::{all_cases, dataset_stats, negative_pow};
+
+const BUDGET: u64 = 2_000_000;
+
+#[test]
+fn every_trigger_detonates_and_every_seed_does_not() {
+    for case in all_cases() {
+        assert!(
+            !case.subject.detonates(&case.subject.seed, BUDGET),
+            "{}: seed must not detonate",
+            case.subject.name
+        );
+        assert!(
+            case.subject.detonates(&case.trigger, BUDGET),
+            "{}: trigger must detonate",
+            case.subject.name
+        );
+    }
+}
+
+#[test]
+fn dataset_has_22_bombs_covering_all_categories() {
+    let cases = all_cases();
+    assert_eq!(cases.len(), 22);
+    let categories: std::collections::BTreeSet<&str> =
+        cases.iter().map(|c| c.category.as_str()).collect();
+    assert_eq!(
+        categories.len(),
+        9,
+        "nine challenge categories expected, got {categories:?}"
+    );
+    // Every case carries a paper oracle row.
+    assert!(cases.iter().all(|c| c.paper_expected.is_some()));
+}
+
+#[test]
+fn negative_bomb_never_detonates() {
+    let case = negative_pow();
+    assert!(!case.subject.detonates(&case.subject.seed, BUDGET));
+    // A few probing inputs, for good measure.
+    for arg in ["0", "1", "9", "Z", "\u{7f}"] {
+        let input = bomblab_concolic::WorldInput::with_arg(arg);
+        assert!(
+            !case.subject.detonates(&input, BUDGET),
+            "negative bomb detonated on {arg:?}"
+        );
+    }
+}
+
+#[test]
+fn dataset_sizes_have_the_papers_shape() {
+    let stats = dataset_stats();
+    assert_eq!(stats.count, 22);
+    // Tight range, kilobyte scale — the BVM analogue of 10-25 KB.
+    assert!(stats.min_bytes > 1000, "min {}", stats.min_bytes);
+    assert!(
+        stats.max_bytes < 6 * stats.min_bytes,
+        "range should be tight: {}..{}",
+        stats.min_bytes,
+        stats.max_bytes
+    );
+    assert!(stats.median_bytes >= stats.min_bytes && stats.median_bytes <= stats.max_bytes);
+}

@@ -1,0 +1,820 @@
+//! The concolic engine: the paper's Figure-1 loop, parameterized by a
+//! [`ToolProfile`], plus the failure diagnosis that produces Table II's
+//! outcome labels.
+
+use crate::outcome::Outcome;
+use crate::profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
+use crate::world::WorldInput;
+use bomblab_ir::lift;
+use bomblab_isa::image::{layout, Image};
+use bomblab_solver::expr::{CmpOp, Term};
+use bomblab_solver::{SolveOutcome, Solver, UnknownReason};
+use bomblab_symex::{SymExec, SymbolizeEnv};
+use bomblab_taint::{TaintEngine, TaintPolicy};
+use bomblab_vm::{Machine, RunStatus, Trace, BOOM_EXIT_CODE, ROOT_PID};
+use std::collections::{HashSet, VecDeque};
+
+/// A program under test.
+#[derive(Debug, Clone)]
+pub struct Subject {
+    /// Display name.
+    pub name: String,
+    /// The executable image.
+    pub image: Image,
+    /// Shared library for dynamically linked subjects.
+    pub lib: Option<Image>,
+    /// The seed input (must not detonate).
+    pub seed: WorldInput,
+}
+
+impl Subject {
+    /// Address of `argv[1]`'s string bytes in the loader layout.
+    pub fn argv1_addr(&self) -> u64 {
+        // Two pointers, then "bomb\0".
+        layout::ARGV_BASE + 16 + 5
+    }
+
+    /// Runs the subject once and reports whether it detonates.
+    pub fn detonates(&self, input: &WorldInput, step_budget: u64) -> bool {
+        let config = input.to_config(false, step_budget);
+        let Ok(mut machine) = Machine::load(&self.image, self.lib.as_ref(), config) else {
+            return false;
+        };
+        machine.run().status.exit_code() == Some(BOOM_EXIT_CODE)
+    }
+}
+
+/// What the engine observed while exploring (the raw material of the
+/// outcome label).
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    /// The VM step budget was exhausted.
+    pub vm_budget: bool,
+    /// The tool aborted (unsupported syscall, emulator crash).
+    pub abnormal: bool,
+    /// A solver query blew its budget or the formula-size cap.
+    pub solver_budget: bool,
+    /// A tainted instruction could not be lifted.
+    pub lift_failure: bool,
+    /// A query contained floating-point constraints the solver rejects.
+    pub float_unsupported: bool,
+    /// The profile's taint saw at least one symbolic branch.
+    pub saw_tainted_branches: bool,
+    /// The profile's taint recorded dropped flows.
+    pub taint_losses: bool,
+    /// Symbolic syscall arguments / numbers were observed (contextual).
+    pub ctx_events: bool,
+    /// Symbolic executor concretized loads / exceeded indirection.
+    pub concretization: bool,
+    /// Highest pinned-jump target depth observed, if any.
+    pub pinned_jump_lvl: Option<u32>,
+    /// Symbolic flows dropped by the symbolic executor's policy.
+    pub dropped_sym_flows: bool,
+    /// A satisfiable flip depended on simulated syscall returns.
+    pub sim_query_sysret: bool,
+    /// A satisfiable flip depended on unconstrained library summaries.
+    pub sim_query_libret: bool,
+    /// Total solver queries issued.
+    pub queries: u32,
+    /// Satisfiable queries.
+    pub sat_queries: u32,
+    /// Concrete rounds executed.
+    pub rounds: u32,
+}
+
+/// Result of one engine run against a subject.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The study label.
+    pub outcome: Outcome,
+    /// The detonating input, when solved.
+    pub solved_input: Option<WorldInput>,
+    /// Collected evidence (for reports and tests).
+    pub evidence: Evidence,
+}
+
+/// Ground-truth facts about a bomb, derived from its known trigger input.
+/// Used only to *attribute* failures (the paper's root-cause analysis);
+/// success always comes from actually detonating the bomb.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// The solution path crosses a hardware trap.
+    pub trap_edge: bool,
+    /// The trigger requires controlling `time`.
+    pub needs_time: bool,
+    /// The trigger requires controlling the network response.
+    pub needs_net: bool,
+    /// The trigger requires controlling `getuid`.
+    pub needs_uid: bool,
+    /// The flow passes through files (or kernel file positions).
+    pub covert_files: bool,
+    /// The flow passes through pipes.
+    pub covert_pipes: bool,
+    /// The flow passes through spawned threads.
+    pub covert_threads: bool,
+    /// The flow passes through forked processes.
+    pub covert_forks: bool,
+    /// Maximum symbolic-load indirection depth on the solution path.
+    pub max_indirection: u32,
+    /// Depth of the symbolic jump target, if the path takes one.
+    pub sym_jump_lvl: Option<u32>,
+    /// The path constraints involve floating point.
+    pub has_float: bool,
+    /// Symbolic values act as syscall arguments/numbers (contextual).
+    pub ctx: bool,
+    /// Tainted flow passes through shared-library code.
+    pub through_lib: bool,
+}
+
+/// Computes ground truth by running the trigger input omnisciently.
+pub fn ground_truth(subject: &Subject, trigger: &WorldInput) -> GroundTruth {
+    let mut gt = GroundTruth {
+        needs_time: trigger.epoch != subject.seed.epoch,
+        needs_net: trigger.net != subject.seed.net,
+        needs_uid: trigger.uid != subject.seed.uid,
+        ..GroundTruth::default()
+    };
+    let config = trigger.to_config(true, 4_000_000);
+    let Ok(mut machine) = Machine::load(&subject.image, subject.lib.as_ref(), config) else {
+        return gt;
+    };
+    let snapshot = machine
+        .process_memory(ROOT_PID)
+        .expect("root exists")
+        .clone();
+    machine.run();
+    let trace = machine.take_trace();
+    gt.trap_edge = trace.iter().any(|s| s.trap.is_some());
+
+    let lib_ranges = subject
+        .lib
+        .as_ref()
+        .map(|l| {
+            vec![
+                (l.text_base, l.text.len() as u64),
+                (l.data_base, l.data.len() as u64),
+            ]
+        })
+        .unwrap_or_default();
+
+    // Omniscient taint over the solution trace.
+    let omni = TaintPolicy::omniscient();
+    let run_taint = |policy: TaintPolicy| {
+        let mut engine = TaintEngine::new(policy);
+        engine.taint_memory(
+            ROOT_PID,
+            &[(subject.argv1_addr(), trigger.argv1.len() as u64)],
+        );
+        engine.run(&trace)
+    };
+    let full = run_taint(omni);
+    gt.ctx = !full.tainted_sys_args.is_empty() || !full.tainted_sys_nums.is_empty();
+    gt.through_lib = full.tainted_steps.iter().any(|&i| {
+        let pc = trace.steps[i].pc;
+        lib_ranges
+            .iter()
+            .any(|&(base, len)| pc >= base && pc < base + len)
+    });
+
+    // Ablations: a propagation path is load-bearing when disabling it
+    // loses at least one tainted branch (argv-parsing branches survive any
+    // ablation, so compare counts, not emptiness).
+    let branch_count = |policy: TaintPolicy| run_taint(policy).tainted_branches.len();
+    let full_count = full.tainted_branches.len();
+    if full_count > 0 {
+        gt.covert_files = branch_count(TaintPolicy {
+            through_files: false,
+            ..omni
+        }) < full_count;
+        gt.covert_pipes = branch_count(TaintPolicy {
+            through_pipes: false,
+            ..omni
+        }) < full_count;
+        gt.covert_threads = branch_count(TaintPolicy {
+            across_threads: false,
+            ..omni
+        }) < full_count;
+        gt.covert_forks = branch_count(TaintPolicy {
+            across_processes: false,
+            ..omni
+        }) < full_count;
+    }
+
+    // Omniscient symbolic replay for indirection depth, jumps, floats.
+    let mut sx = SymExec::new(
+        bomblab_symex::MemoryModel::SymbolicMap {
+            max_indirection: 16,
+            region: 256,
+        },
+        bomblab_symex::PropagationPolicy::full(),
+    )
+    .with_env(SymbolizeEnv {
+        time: true,
+        net: true,
+        stdin: true,
+        unconstrained_sys_returns: false,
+    });
+    sx.set_initial_memory(ROOT_PID, snapshot);
+    sx.symbolize_bytes(
+        ROOT_PID,
+        subject.argv1_addr(),
+        trigger.argv1.len() as u64,
+        "arg1",
+    );
+    let sym = sx.run(&trace);
+    gt.max_indirection = sym.events.max_load_level;
+    gt.sym_jump_lvl = sym.events.pinned_jumps.iter().map(|&(_, l)| l).max();
+    gt.has_float = sym.has_float();
+    gt
+}
+
+/// The concolic engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    profile: ToolProfile,
+}
+
+impl Engine {
+    /// Creates an engine with the given tool profile.
+    pub fn new(profile: ToolProfile) -> Engine {
+        Engine { profile }
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &ToolProfile {
+        &self.profile
+    }
+
+    /// Explores a subject: the concrete/symbolic loop of the paper's
+    /// Figure 1, ending in detonation or an evidence-based failure label.
+    pub fn explore(&self, subject: &Subject, ground: &GroundTruth) -> Attempt {
+        let mut evidence = Evidence::default();
+        let mut solved: Option<WorldInput> = None;
+
+        let lib_ranges: Vec<(u64, u64)> = subject
+            .lib
+            .as_ref()
+            .map(|l| {
+                vec![
+                    (l.text_base, l.text.len() as u64),
+                    (l.data_base, l.data.len() as u64),
+                ]
+            })
+            .unwrap_or_default();
+
+        let mut queue: VecDeque<WorldInput> = VecDeque::new();
+        queue.push_back(subject.seed.clone());
+        let mut seen_inputs: HashSet<WorldInput> = HashSet::new();
+        seen_inputs.insert(subject.seed.clone());
+        // A flip is identified by its *path context*: the hash of the
+        // (pc, direction) sequence of all earlier symbolic branches, plus
+        // the branch's own pc and the flipped direction. Identical keys
+        // mean identical queries, so each is solved at most once; the same
+        // branch under a longer prefix (e.g. the final compare of a
+        // multi-digit atoi) is a fresh key and gets its own query.
+        let mut visited_flips: HashSet<(u64, u64, bool)> = HashSet::new();
+
+        'rounds: while let Some(input) = queue.pop_front() {
+            if evidence.rounds >= self.profile.max_rounds {
+                break;
+            }
+            evidence.rounds += 1;
+
+            // 1. Concrete execution with tracing.
+            let config = input.to_config(true, self.profile.step_budget);
+            let Ok(mut machine) = Machine::load(&subject.image, subject.lib.as_ref(), config)
+            else {
+                evidence.abnormal = true;
+                break;
+            };
+            let snapshot = machine
+                .process_memory(ROOT_PID)
+                .expect("root exists")
+                .clone();
+            let status = machine.run().status;
+            if status.exit_code() == Some(BOOM_EXIT_CODE) {
+                solved = Some(input);
+                break;
+            }
+            if status == RunStatus::OutOfBudget {
+                evidence.vm_budget = true;
+            }
+            let full_trace = machine.take_trace();
+
+            // 2. Tool-level aborts: unsupported syscalls, traps.
+            if full_trace.iter().any(|s| {
+                s.sys
+                    .as_ref()
+                    .is_some_and(|r| self.profile.unsupported_syscalls.contains(&r.num))
+            }) {
+                evidence.abnormal = true;
+                break;
+            }
+            let trapped = full_trace.iter().any(|s| s.trap.is_some());
+            if trapped {
+                match self.profile.trap_support {
+                    TrapSupport::Follow | TrapSupport::Skip => {}
+                    TrapSupport::MissingLift => {
+                        evidence.lift_failure = true;
+                        break;
+                    }
+                    TrapSupport::Crash => {
+                        evidence.abnormal = true;
+                        break;
+                    }
+                }
+            }
+
+            // 3. Visibility filtering (threads, forks, opaque libraries).
+            let visible = self.filter_trace(&full_trace);
+            let taint_view = if self.profile.loads_dyn_libs {
+                visible.clone()
+            } else {
+                Trace {
+                    steps: visible
+                        .steps
+                        .iter()
+                        .filter(|s| {
+                            !lib_ranges
+                                .iter()
+                                .any(|&(b, l)| s.pc >= b && s.pc < b + l)
+                        })
+                        .cloned()
+                        .collect(),
+                }
+            };
+
+            // 4. Taint analysis.
+            let mut taint = TaintEngine::new(self.profile.taint_policy)
+                .with_trap_clearing(self.profile.trap_support == TrapSupport::Skip);
+            if self.profile.taint_policy.sources.argv {
+                taint.taint_memory(
+                    ROOT_PID,
+                    &[(subject.argv1_addr(), input.argv1.len() as u64)],
+                );
+            }
+            let report = taint.run(&taint_view);
+            evidence.saw_tainted_branches |= report.any_symbolic_control();
+            evidence.taint_losses |= !report.losses.is_empty();
+            evidence.ctx_events |=
+                !report.tainted_sys_args.is_empty() || !report.tainted_sys_nums.is_empty();
+
+            // 5. Lifting check on the tainted slice (Es1).
+            for &idx in &report.tainted_steps {
+                let step = &taint_view.steps[idx];
+                if step.sys.is_some() {
+                    continue;
+                }
+                if lift(&step.insn, step.pc, &self.profile.support).is_err() {
+                    evidence.lift_failure = true;
+                    // A real tool emits corrupt constraints from here on;
+                    // we stop exploring this trace.
+                    continue 'rounds;
+                }
+            }
+
+            // 6. Symbolic replay.
+            let mut sx = SymExec::new(self.profile.memory_model, self.profile.sym_policy)
+                .with_env(SymbolizeEnv {
+                    time: self.profile.taint_policy.sources.time,
+                    net: self.profile.taint_policy.sources.net,
+                    stdin: self.profile.taint_policy.sources.stdin,
+                    unconstrained_sys_returns: self.profile.unconstrained_sys_returns,
+                })
+                .with_trap_clearing(self.profile.trap_support == TrapSupport::Skip)
+                .with_trap_guards(self.profile.trap_support == TrapSupport::Follow);
+            sx.set_initial_memory(ROOT_PID, snapshot);
+            if self.profile.taint_policy.sources.argv {
+                sx.symbolize_bytes(
+                    ROOT_PID,
+                    subject.argv1_addr(),
+                    input.argv1.len() as u64,
+                    "arg1",
+                );
+            }
+            if !self.profile.loads_dyn_libs {
+                sx.set_opaque_ranges(lib_ranges.clone(), self.profile.opaque_fresh_returns);
+                // Known libc routines get symbolic summaries (SimProcedures).
+                if let Some(lib) = &subject.lib {
+                    if let Some(addr) = lib.symbol("atoi") {
+                        sx.add_summary(addr, bomblab_symex::Summary::Atoi);
+                    }
+                    if let Some(addr) = lib.symbol("strlen") {
+                        sx.add_summary(addr, bomblab_symex::Summary::Strlen);
+                    }
+                }
+            }
+            let sym = sx.run(&visible);
+            evidence.concretization |= !sym.events.concretized_loads.is_empty()
+                || !sym.events.over_indirection.is_empty();
+            if let Some(&(_, lvl)) = sym.events.pinned_jumps.iter().max_by_key(|&&(_, l)| l) {
+                evidence.pinned_jump_lvl =
+                    Some(evidence.pinned_jump_lvl.map_or(lvl, |old| old.max(lvl)));
+            }
+            evidence.dropped_sym_flows |= !sym.events.dropped_file_flows.is_empty()
+                || !sym.events.dropped_pipe_flows.is_empty()
+                || !sym.events.dropped_thread_flows.is_empty()
+                || !sym.events.dropped_fork_flows.is_empty();
+            evidence.ctx_events |=
+                !sym.events.sym_sys_args.is_empty() || !sym.events.sym_sys_nums.is_empty();
+
+            // 7. Flip each unexplored branch and schedule the solutions.
+            let solver = Solver::new()
+                .with_budget(self.profile.solver_budget)
+                .with_float_mode(self.profile.float_mode);
+            use std::hash::{Hash, Hasher};
+            let mut prefix = std::collections::hash_map::DefaultHasher::new();
+            for i in 0..sym.path.len() {
+                let pc = &sym.path[i];
+                let key = (prefix.finish(), pc.pc, !pc.taken);
+                (pc.pc, pc.taken).hash(&mut prefix);
+                if !visited_flips.insert(key) {
+                    continue;
+                }
+                let mut query = sym.flip_query(i);
+                if self.profile.argv_model == ArgvModel::FixedNonZero {
+                    for b in 0..input.argv1.len() {
+                        let var = Term::var(format!("arg1_b{b}"), 8);
+                        query.push(Term::not(&Term::cmp(
+                            CmpOp::Eq,
+                            &var,
+                            &Term::bv(0, 8),
+                        )));
+                    }
+                }
+                evidence.queries += 1;
+                match solver.check(&query) {
+                    SolveOutcome::Sat(model) => {
+                        evidence.sat_queries += 1;
+                        if model.iter().any(|(n, _)| n.starts_with("sysret_")) {
+                            evidence.sim_query_sysret = true;
+                        }
+                        if model.iter().any(|(n, _)| n.starts_with("libret")) {
+                            evidence.sim_query_libret = true;
+                        }
+                        let next = input.apply_model(&model);
+                        if seen_inputs.insert(next.clone()) && queue.len() < 64 {
+                            queue.push_back(next);
+                        }
+                    }
+                    SolveOutcome::Unsat => {}
+                    SolveOutcome::Unknown(
+                        UnknownReason::ConflictBudget | UnknownReason::FormulaTooLarge,
+                    ) => {
+                        evidence.solver_budget = true;
+                    }
+                    SolveOutcome::Unknown(
+                        UnknownReason::FloatUnsupported | UnknownReason::FloatSearchFailed,
+                    ) => {
+                        evidence.float_unsupported = true;
+                    }
+                }
+                if evidence.solver_budget {
+                    break;
+                }
+            }
+            if evidence.solver_budget {
+                // The paper's budget is a *total* timeout: once the solver
+                // has been exhausted the tool's run is over.
+                break 'rounds;
+            }
+        }
+
+        let outcome = match solved {
+            Some(_) => Outcome::Solved,
+            None => self.diagnose(&evidence, ground),
+        };
+        Attempt {
+            outcome,
+            solved_input: solved,
+            evidence,
+        }
+    }
+
+    /// Filters the trace down to what the tool can observe.
+    fn filter_trace(&self, trace: &Trace) -> Trace {
+        let mut first_tid: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let steps = trace
+            .steps
+            .iter()
+            .filter(|s| {
+                if !self.profile.follows_forks && s.pid != ROOT_PID {
+                    return false;
+                }
+                let first = *first_tid.entry(s.pid).or_insert(s.tid);
+                if !self.profile.follows_threads && s.tid != first {
+                    return false;
+                }
+                true
+            })
+            .cloned()
+            .collect();
+        Trace { steps }
+    }
+
+    /// Maps evidence + ground truth to the paper's outcome label. Mirrors
+    /// the root-cause analysis of Section V.C.
+    fn diagnose(&self, ev: &Evidence, gt: &GroundTruth) -> Outcome {
+        let p = &self.profile;
+        let model_max_indirection = match p.memory_model {
+            bomblab_symex::MemoryModel::Concretize => 0,
+            bomblab_symex::MemoryModel::SymbolicMap {
+                max_indirection, ..
+            } => max_indirection,
+        };
+        // Deep table-driven pointer chains (crypto S-boxes) collapse the
+        // data flow during concretization — the constraint model is wrong
+        // *before* any solving happens, so this outranks resource
+        // exhaustion (the paper labels the AES row Es2, not E).
+        if gt.max_indirection >= 3 && gt.max_indirection > model_max_indirection {
+            return Outcome::Es2;
+        }
+        // Abnormal exits and resource exhaustion come next (`E`).
+        if ev.abnormal || ev.vm_budget || ev.solver_budget {
+            return Outcome::Abnormal;
+        }
+        // Tracing / lifting failures (`Es1`).
+        if ev.lift_failure {
+            return Outcome::Es1;
+        }
+        if gt.trap_edge {
+            match p.trap_support {
+                TrapSupport::MissingLift => return Outcome::Es1,
+                TrapSupport::Crash => return Outcome::Abnormal,
+                TrapSupport::Skip => return Outcome::Es2,
+                TrapSupport::Follow => {}
+            }
+        }
+        // Missing symbolic sources (`Es0`), unless simulation "handled" the
+        // environment and generated insufficient values (`P`).
+        let missing_source = (gt.needs_time && !p.taint_policy.sources.time)
+            || (gt.needs_net && !p.taint_policy.sources.net)
+            || (gt.needs_uid && !p.taint_policy.sources.sys_returns);
+        if missing_source {
+            return if ev.sim_query_sysret {
+                Outcome::Partial
+            } else {
+                Outcome::Es0
+            };
+        }
+        // Floating point without a float-capable solver (`Es3`). When the
+        // float code lives in an unloaded library the tool never even sees
+        // it; that is a propagation failure handled below.
+        let float_visible = p.loads_dyn_libs || !gt.through_lib;
+        if ev.float_unsupported
+            || (gt.has_float
+                && p.float_mode == bomblab_solver::FloatMode::Reject
+                && float_visible)
+        {
+            return Outcome::Es3;
+        }
+        // Simulation generated values the world cannot honour: syscall
+        // simulation is the paper's `P`; aggressive library summaries are
+        // wrong-value propagation (`Es2`).
+        if ev.sim_query_sysret {
+            return Outcome::Partial;
+        }
+        if ev.sim_query_libret {
+            return Outcome::Es2;
+        }
+        // Covert flows the profile does not track (`Es2`).
+        let covert_lost = (gt.covert_files && !p.sym_policy.through_files)
+            || (gt.covert_pipes && !p.sym_policy.through_pipes)
+            || (gt.covert_threads && !(p.sym_policy.across_threads && p.follows_threads))
+            || (gt.covert_forks && !(p.sym_policy.across_processes && p.follows_forks));
+        if covert_lost {
+            return Outcome::Es2;
+        }
+        // Contextual symbolic values: modeling vs propagation, per style.
+        if gt.ctx || ev.ctx_events {
+            return if p.models_env_as_constraints {
+                Outcome::Es3
+            } else {
+                Outcome::Es2
+            };
+        }
+        // Symbolic memory indirection: shallow chains are a modeling gap
+        // (`Es3`); the deep-chain case returned `Es2` above.
+        if gt.max_indirection > model_max_indirection {
+            return Outcome::Es3;
+        }
+        // Symbolic jumps.
+        if let Some(lvl) = gt.sym_jump_lvl.or(ev.pinned_jump_lvl) {
+            return if lvl >= 1 {
+                Outcome::Es3
+            } else {
+                match p.style {
+                    EngineStyle::Trace => Outcome::Es3,
+                    EngineStyle::Emulation => Outcome::Es2,
+                }
+            };
+        }
+        // Library flows invisible to a no-libs analysis.
+        if gt.through_lib && !p.loads_dyn_libs {
+            return Outcome::Es2;
+        }
+        // Leftover propagation evidence.
+        if ev.dropped_sym_flows || ev.taint_losses {
+            return Outcome::Es2;
+        }
+        if ev.concretization {
+            return Outcome::Es3;
+        }
+        // Saw nothing (or nothing useful): a declaration-level failure.
+        Outcome::Es0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    fn diagnose_with(
+        profile: ToolProfile,
+        ev: Evidence,
+        gt: GroundTruth,
+    ) -> Outcome {
+        Engine::new(profile).diagnose(&ev, &gt)
+    }
+
+    #[test]
+    fn resource_exhaustion_maps_to_abnormal() {
+        let ev = Evidence {
+            solver_budget: true,
+            ..Evidence::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::bap(), ev, GroundTruth::default()),
+            Outcome::Abnormal
+        );
+    }
+
+    #[test]
+    fn deep_indirection_outranks_resource_exhaustion() {
+        // The AES shape: budget blown *and* ≥3-deep pointer chains.
+        let ev = Evidence {
+            solver_budget: true,
+            ..Evidence::default()
+        };
+        let gt = GroundTruth {
+            max_indirection: 4,
+            ..GroundTruth::default()
+        };
+        assert_eq!(diagnose_with(ToolProfile::bap(), ev, gt), Outcome::Es2);
+    }
+
+    #[test]
+    fn lift_failure_maps_to_es1() {
+        let ev = Evidence {
+            lift_failure: true,
+            ..Evidence::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::triton(), ev, GroundTruth::default()),
+            Outcome::Es1
+        );
+    }
+
+    #[test]
+    fn trap_edges_split_by_trap_support() {
+        let gt = GroundTruth {
+            trap_edge: true,
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::triton(), Evidence::default(), gt.clone()),
+            Outcome::Es1
+        );
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), gt.clone()),
+            Outcome::Abnormal
+        );
+        assert_eq!(
+            diagnose_with(ToolProfile::angr_nolib(), Evidence::default(), gt),
+            Outcome::Es2
+        );
+    }
+
+    #[test]
+    fn missing_sources_split_by_simulation() {
+        let gt = GroundTruth {
+            needs_uid: true,
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::bap(), Evidence::default(), gt.clone()),
+            Outcome::Es0
+        );
+        let ev = Evidence {
+            sim_query_sysret: true,
+            ..Evidence::default()
+        };
+        assert_eq!(diagnose_with(ToolProfile::angr(), ev, gt), Outcome::Partial);
+    }
+
+    #[test]
+    fn covert_flows_map_to_es2() {
+        let gt = GroundTruth {
+            covert_pipes: true,
+            covert_forks: true,
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::triton(), Evidence::default(), gt.clone()),
+            Outcome::Es2
+        );
+        // Angr-NoLib tracks pipes and forks: the covert rule does not fire
+        // and the diagnosis falls through to the declaration default.
+        assert_eq!(
+            diagnose_with(ToolProfile::angr_nolib(), Evidence::default(), gt),
+            Outcome::Es0
+        );
+    }
+
+    #[test]
+    fn contextual_values_split_by_modeling_style() {
+        let gt = GroundTruth {
+            ctx: true,
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::triton(), Evidence::default(), gt.clone()),
+            Outcome::Es3
+        );
+        assert_eq!(
+            diagnose_with(ToolProfile::bap(), Evidence::default(), gt),
+            Outcome::Es2
+        );
+    }
+
+    #[test]
+    fn shallow_indirection_maps_to_es3_per_memory_model() {
+        let gt1 = GroundTruth {
+            max_indirection: 1,
+            ..GroundTruth::default()
+        };
+        // Concretizing tools fail level-1...
+        assert_eq!(
+            diagnose_with(ToolProfile::bap(), Evidence::default(), gt1.clone()),
+            Outcome::Es3
+        );
+        // ...Angr's one-level map handles it (falls through to Es0 default
+        // in the absence of any other evidence).
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), gt1),
+            Outcome::Es0
+        );
+        let gt2 = GroundTruth {
+            max_indirection: 2,
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), gt2),
+            Outcome::Es3
+        );
+    }
+
+    #[test]
+    fn symbolic_jumps_split_by_style_and_depth() {
+        let direct = GroundTruth {
+            sym_jump_lvl: Some(0),
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::bap(), Evidence::default(), direct.clone()),
+            Outcome::Es3
+        );
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), direct),
+            Outcome::Es2
+        );
+        let table = GroundTruth {
+            sym_jump_lvl: Some(1),
+            ..GroundTruth::default()
+        };
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), table),
+            Outcome::Es3
+        );
+    }
+
+    #[test]
+    fn float_visibility_depends_on_library_loading() {
+        let gt = GroundTruth {
+            has_float: true,
+            through_lib: true,
+            ..GroundTruth::default()
+        };
+        // With libraries loaded the float constraints are visible: Es3.
+        assert_eq!(
+            diagnose_with(ToolProfile::angr(), Evidence::default(), gt.clone()),
+            Outcome::Es3
+        );
+        // Without, the whole flow is hidden in the library: Es2.
+        assert_eq!(
+            diagnose_with(ToolProfile::angr_nolib(), Evidence::default(), gt),
+            Outcome::Es2
+        );
+    }
+}

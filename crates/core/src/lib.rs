@@ -1,0 +1,67 @@
+//! # bomblab-concolic — the concolic execution engine and study harness
+//!
+//! This crate assembles the substrates (`bomblab-vm`, `bomblab-taint`,
+//! `bomblab-ir`, `bomblab-symex`, `bomblab-solver`) into the DSN'17
+//! paper's conceptual framework (Figure 1):
+//!
+//! ```text
+//! concrete run ──trace──▶ taint filter ──▶ lift ──▶ constraint extraction
+//!      ▲                                                   │
+//!      └── scheduler ◀── new test cases ◀── solver ◀── negate branch
+//! ```
+//!
+//! * [`ToolProfile`] captures a tool's capability surface; presets model
+//!   the paper's BAP / Triton / Angr / Angr-NoLib configurations, plus an
+//!   omniscient profile that enables every mechanism.
+//! * [`Engine::explore`] runs the loop against a [`Subject`] until the
+//!   logic bomb detonates or the evidence determines one of the paper's
+//!   failure labels ([`Outcome`]).
+//! * [`study`] runs the full bombs × profiles matrix and renders Table II.
+//!
+//! ## Example
+//!
+//! ```
+//! use bomblab_concolic::{Engine, Subject, ToolProfile, WorldInput, Outcome};
+//! use bomblab_concolic::engine::GroundTruth;
+//! use bomblab_rt::link_program;
+//!
+//! let image = link_program(r#"
+//!     .extern atoi
+//!     .global _start
+//! _start:
+//!     ld a0, [a1+8]
+//!     call atoi
+//!     li t0, 41
+//!     bne a0, t0, no
+//!     li a0, 42
+//!     li sv, 0
+//!     sys
+//! no: li a0, 0
+//!     li sv, 0
+//!     sys
+//! "#)?;
+//! let subject = Subject {
+//!     name: "mini".into(),
+//!     image,
+//!     lib: None,
+//!     seed: WorldInput::with_arg("70"),
+//! };
+//! let engine = Engine::new(ToolProfile::omniscient());
+//! let attempt = engine.explore(&subject, &GroundTruth::default());
+//! assert_eq!(attempt.outcome, Outcome::Solved);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod outcome;
+pub mod profile;
+pub mod study;
+pub mod world;
+
+pub use engine::{ground_truth, Attempt, Engine, Evidence, GroundTruth, Subject};
+pub use outcome::Outcome;
+pub use profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
+pub use study::{run_study, StudyCase, StudyReport};
+pub use world::WorldInput;

@@ -1,0 +1,59 @@
+//! The study's outcome labels — the paper's result vocabulary.
+
+use std::fmt;
+
+/// Result of a concolic tool's attempt at one logic bomb, using the DSN'17
+/// paper's labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The tool generated an input that detonates the bomb (`✓`).
+    Solved,
+    /// Symbolic-variable declaration failure.
+    Es0,
+    /// Instruction tracing / lifting failure.
+    Es1,
+    /// Data-propagation failure.
+    Es2,
+    /// Constraint-modeling failure.
+    Es3,
+    /// Abnormal exit or resource exhaustion (`E`).
+    Abnormal,
+    /// Partial success: the tool claims the path reachable but the
+    /// generated values are insufficient (Angr's syscall simulation, `P`).
+    Partial,
+}
+
+impl Outcome {
+    /// The paper's table glyph.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Outcome::Solved => "OK",
+            Outcome::Es0 => "Es0",
+            Outcome::Es1 => "Es1",
+            Outcome::Es2 => "Es2",
+            Outcome::Es3 => "Es3",
+            Outcome::Abnormal => "E",
+            Outcome::Partial => "P",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.glyph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_match_the_papers_vocabulary() {
+        assert_eq!(Outcome::Solved.glyph(), "OK");
+        assert_eq!(Outcome::Es0.to_string(), "Es0");
+        assert_eq!(Outcome::Es3.to_string(), "Es3");
+        assert_eq!(Outcome::Abnormal.to_string(), "E");
+        assert_eq!(Outcome::Partial.to_string(), "P");
+    }
+}

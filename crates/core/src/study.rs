@@ -1,0 +1,177 @@
+//! The study runner: bombs × profiles → the paper's Table II.
+
+use crate::engine::{ground_truth, Attempt, Engine, GroundTruth, Subject};
+use crate::outcome::Outcome;
+use crate::profile::ToolProfile;
+use crate::world::WorldInput;
+use std::fmt::Write as _;
+
+/// One dataset entry: a subject plus its known trigger and the outcome row
+/// the paper reports (the oracle used for agreement scoring).
+#[derive(Debug, Clone)]
+pub struct StudyCase {
+    /// The program under test.
+    pub subject: Subject,
+    /// Challenge category (Table II's left column).
+    pub category: String,
+    /// One-line description of the challenge instance.
+    pub description: String,
+    /// An input known to detonate the bomb (ground truth).
+    pub trigger: WorldInput,
+    /// The paper's Table-II row for [BAP, Triton, Angr, Angr-NoLib], if
+    /// this case corresponds to a paper row.
+    pub paper_expected: Option<[Outcome; 4]>,
+}
+
+/// Result of one (case, profile) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Tool name.
+    pub profile: String,
+    /// What our engine produced.
+    pub outcome: Outcome,
+    /// The paper's label for this cell, when known.
+    pub expected: Option<Outcome>,
+    /// The full attempt record.
+    pub attempt: Attempt,
+}
+
+/// Result of one dataset row.
+#[derive(Debug, Clone)]
+pub struct RowResult {
+    /// Case name.
+    pub name: String,
+    /// Challenge category.
+    pub category: String,
+    /// Per-profile cells, in profile order.
+    pub cells: Vec<CellResult>,
+    /// Ground truth derived from the trigger.
+    pub ground: GroundTruth,
+}
+
+/// The full study outcome.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Profile names, in column order.
+    pub profiles: Vec<String>,
+    /// Per-bomb rows.
+    pub rows: Vec<RowResult>,
+}
+
+impl StudyReport {
+    /// Number of solved cases per profile column.
+    pub fn solved_counts(&self) -> Vec<usize> {
+        (0..self.profiles.len())
+            .map(|col| {
+                self.rows
+                    .iter()
+                    .filter(|r| r.cells[col].outcome == Outcome::Solved)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// (matching cells, total comparable cells) against the paper oracle.
+    pub fn agreement(&self) -> (usize, usize) {
+        let mut hit = 0;
+        let mut total = 0;
+        for row in &self.rows {
+            for cell in &row.cells {
+                if let Some(expected) = cell.expected {
+                    total += 1;
+                    if expected == cell.outcome {
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        (hit, total)
+    }
+
+    /// Renders the Table-II-style result matrix as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "| Category | Case |");
+        for p in &self.profiles {
+            let _ = write!(out, " {p} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|---|");
+        for _ in &self.profiles {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "| {} | {} |", row.category, row.name);
+            for cell in &row.cells {
+                match cell.expected {
+                    Some(e) if e != cell.outcome => {
+                        let _ = write!(out, " **{}** (paper: {e}) |", cell.outcome);
+                    }
+                    _ => {
+                        let _ = write!(out, " {} |", cell.outcome);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "| | **solved** |");
+        for c in self.solved_counts() {
+            let _ = write!(out, " **{c}** |");
+        }
+        let _ = writeln!(out);
+        let (hit, total) = self.agreement();
+        if total > 0 {
+            let _ = writeln!(
+                out,
+                "\nAgreement with the paper's Table II: {hit}/{total} cells."
+            );
+        }
+        out
+    }
+}
+
+/// Runs every case against every profile, logging progress to stderr.
+pub fn run_study(cases: &[StudyCase], profiles: &[ToolProfile]) -> StudyReport {
+    let mut rows = Vec::new();
+    for case in cases {
+        let t0 = std::time::Instant::now();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        eprintln!(
+            "[study] {}: ground truth in {:.1?}",
+            case.subject.name,
+            t0.elapsed()
+        );
+        let mut cells = Vec::new();
+        for (col, profile) in profiles.iter().enumerate() {
+            let t1 = std::time::Instant::now();
+            let engine = Engine::new(profile.clone());
+            let attempt = engine.explore(&case.subject, &ground);
+            eprintln!(
+                "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries)",
+                case.subject.name,
+                profile.name,
+                attempt.outcome,
+                t1.elapsed(),
+                attempt.evidence.rounds,
+                attempt.evidence.queries
+            );
+            cells.push(CellResult {
+                profile: profile.name.clone(),
+                outcome: attempt.outcome,
+                expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+                attempt,
+            });
+        }
+        rows.push(RowResult {
+            name: case.subject.name.clone(),
+            category: case.category.clone(),
+            cells,
+            ground,
+        });
+    }
+    StudyReport {
+        profiles: profiles.iter().map(|p| p.name.clone()).collect(),
+        rows,
+    }
+}

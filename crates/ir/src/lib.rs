@@ -1,0 +1,793 @@
+//! # bomblab-ir — intermediate representation and lifter
+//!
+//! The "instruction lifting" stage of the paper's conceptual framework
+//! (Figure 1): each BVM instruction is interpreted into a small RISC-like
+//! intermediate language so that register and memory effects are explicit.
+//! The symbolic executor in `bomblab-symex` consumes this IR.
+//!
+//! Real tools differ in which instructions their lifters understand — the
+//! paper attributes several Table-II failures (`Es1`) to exactly this
+//! (e.g. Triton's missing `cvtsi2sd`/`ucomisd`, BAP's missing stack and
+//! floating-point handling). [`SupportMatrix`] models those gaps: lifting
+//! an unsupported instruction returns [`LiftError::Unsupported`], which the
+//! engine maps to the paper's `Es1`.
+//!
+//! ## Example
+//!
+//! ```
+//! use bomblab_ir::{lift, SupportMatrix, Stmt};
+//! use bomblab_isa::{Insn, Reg, Opcode};
+//!
+//! let insn = Insn::AluI { op: Opcode::AddI, rd: Reg::A0, rs: Reg::A0, imm: 1 };
+//! let block = lift(&insn, 0x1000, &SupportMatrix::full())?;
+//! assert!(matches!(block[0], Stmt::Bin { .. }));
+//! # Ok::<(), bomblab_ir::LiftError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use bomblab_isa::{FReg, Insn, InsnClass, Opcode, Reg};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A storage location in the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// A general-purpose register.
+    Gpr(Reg),
+    /// A floating-point register.
+    Fpr(FReg),
+    /// A lifter-allocated temporary.
+    Tmp(u32),
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Gpr(r) => write!(f, "{r}"),
+            Place::Fpr(r) => write!(f, "{r}"),
+            Place::Tmp(t) => write!(f, "%t{t}"),
+        }
+    }
+}
+
+/// An operand: a place or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Atom {
+    /// Read a place.
+    Place(Place),
+    /// A 64-bit integer constant.
+    Const(u64),
+    /// A double constant.
+    FConst(f64),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Place(p) => write!(f, "{p}"),
+            Atom::Const(c) => write!(f, "{c:#x}"),
+            Atom::FConst(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary IR operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    DivS,
+    RemU,
+    RemS,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrU,
+    ShrS,
+    SltS,
+    SltU,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+/// Unary IR operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Mov,
+    Not,
+    Neg,
+    FMov,
+    FNeg,
+    FSqrt,
+    /// Signed integer → double (`cvt.si2d`).
+    CvtSiToD,
+    /// Double → signed integer, truncating (`cvt.d2si`).
+    CvtDToSi,
+    /// Double → raw bits.
+    FBits,
+    /// Raw bits → double.
+    FFromBits,
+}
+
+/// Comparison kinds for conditional jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpK {
+    Eq,
+    Ne,
+    LtS,
+    GeS,
+    LtU,
+    GeU,
+    FEq,
+    FLt,
+    FLe,
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: Place,
+        /// Left operand.
+        a: Atom,
+        /// Right operand.
+        b: Atom,
+    },
+    /// `dst = <op> a`.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Destination.
+        dst: Place,
+        /// Operand.
+        a: Atom,
+    },
+    /// `dst = widen(mem[addr])`.
+    Load {
+        /// Destination.
+        dst: Place,
+        /// Address operand.
+        addr: Atom,
+        /// Access width in bytes.
+        width: u8,
+        /// Sign- (vs zero-) extend.
+        sext: bool,
+        /// Destination is a floating-point register (raw 8-byte bits).
+        float: bool,
+    },
+    /// `mem[addr] = truncate(src)`.
+    Store {
+        /// Value.
+        src: Atom,
+        /// Address operand.
+        addr: Atom,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// `if a <cmp> b goto target else fallthrough`.
+    CondJump {
+        /// Comparison.
+        cmp: CmpK,
+        /// Left operand.
+        a: Atom,
+        /// Right operand.
+        b: Atom,
+        /// Taken target address.
+        target: u64,
+        /// Fallthrough address.
+        fallthrough: u64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target address.
+        target: u64,
+    },
+    /// Jump through a computed value (`jr`, `callr`, `ret`).
+    IndirectJump {
+        /// The target operand.
+        target: Atom,
+    },
+    /// System call boundary (effects applied by the engine from the trace).
+    Syscall,
+    /// Machine halt.
+    Halt,
+}
+
+/// Errors from lifting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The profile's lifter does not understand this instruction — the
+    /// paper's `Es1` condition.
+    Unsupported {
+        /// The instruction's class.
+        class: InsnClass,
+        /// The concrete opcode.
+        opcode: Opcode,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::Unsupported { class, opcode } => {
+                write!(f, "lifter does not support {opcode:?} (class {class:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+/// The set of instruction classes a tool's lifter understands.
+///
+/// ```
+/// use bomblab_ir::SupportMatrix;
+/// use bomblab_isa::InsnClass;
+///
+/// let triton_like = SupportMatrix::full()
+///     .without(InsnClass::FpConvert)
+///     .without(InsnClass::FpBranch);
+/// assert!(!triton_like.supports(InsnClass::FpConvert));
+/// assert!(triton_like.supports(InsnClass::IntAlu));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportMatrix {
+    supported: BTreeSet<InsnClassKey>,
+}
+
+/// Orderable wrapper (InsnClass itself does not implement Ord).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct InsnClassKey(u8);
+
+fn class_key(c: InsnClass) -> InsnClassKey {
+    InsnClassKey(match c {
+        InsnClass::IntAlu => 0,
+        InsnClass::Mul => 1,
+        InsnClass::Div => 2,
+        InsnClass::Mem => 3,
+        InsnClass::Stack => 4,
+        InsnClass::Branch => 5,
+        InsnClass::Jump => 6,
+        InsnClass::IndirectJump => 7,
+        InsnClass::Call => 8,
+        InsnClass::Sys => 9,
+        InsnClass::FpArith => 10,
+        InsnClass::FpConvert => 11,
+        InsnClass::FpBranch => 12,
+        InsnClass::FpMem => 13,
+        InsnClass::Misc => 14,
+    })
+}
+
+const ALL_CLASSES: [InsnClass; 15] = [
+    InsnClass::IntAlu,
+    InsnClass::Mul,
+    InsnClass::Div,
+    InsnClass::Mem,
+    InsnClass::Stack,
+    InsnClass::Branch,
+    InsnClass::Jump,
+    InsnClass::IndirectJump,
+    InsnClass::Call,
+    InsnClass::Sys,
+    InsnClass::FpArith,
+    InsnClass::FpConvert,
+    InsnClass::FpBranch,
+    InsnClass::FpMem,
+    InsnClass::Misc,
+];
+
+impl SupportMatrix {
+    /// All instruction classes supported (a VEX-grade lifter).
+    pub fn full() -> SupportMatrix {
+        SupportMatrix {
+            supported: ALL_CLASSES.iter().map(|&c| class_key(c)).collect(),
+        }
+    }
+
+    /// Removes support for a class (builder style).
+    pub fn without(mut self, class: InsnClass) -> SupportMatrix {
+        self.supported.remove(&class_key(class));
+        self
+    }
+
+    /// Whether a class is supported.
+    pub fn supports(&self, class: InsnClass) -> bool {
+        self.supported.contains(&class_key(class))
+    }
+}
+
+impl Default for SupportMatrix {
+    fn default() -> SupportMatrix {
+        SupportMatrix::full()
+    }
+}
+
+/// Lifts one instruction at `pc` to an IR block.
+///
+/// # Errors
+///
+/// Returns [`LiftError::Unsupported`] if `support` lacks the instruction's
+/// class.
+pub fn lift(insn: &Insn, pc: u64, support: &SupportMatrix) -> Result<Vec<Stmt>, LiftError> {
+    if !support.supports(insn.class()) {
+        return Err(LiftError::Unsupported {
+            class: insn.class(),
+            opcode: insn.opcode(),
+        });
+    }
+    let next = pc.wrapping_add(insn.len() as u64);
+    let gpr = |r: Reg| Atom::Place(Place::Gpr(r));
+    let fpr = |r: FReg| Atom::Place(Place::Fpr(r));
+    let rel = |r: i32| pc.wrapping_add(r as i64 as u64);
+
+    let stmts = match *insn {
+        Insn::Alu3 { op, rd, rs, rt } => vec![Stmt::Bin {
+            op: alu_binop(op),
+            dst: Place::Gpr(rd),
+            a: gpr(rs),
+            b: gpr(rt),
+        }],
+        Insn::AluI { op, rd, rs, imm } => vec![Stmt::Bin {
+            op: alui_binop(op),
+            dst: Place::Gpr(rd),
+            a: gpr(rs),
+            b: Atom::Const(imm as i64 as u64),
+        }],
+        Insn::Mov { rd, rs } => vec![Stmt::Un {
+            op: UnOp::Mov,
+            dst: Place::Gpr(rd),
+            a: gpr(rs),
+        }],
+        Insn::Not { rd, rs } => vec![Stmt::Un {
+            op: UnOp::Not,
+            dst: Place::Gpr(rd),
+            a: gpr(rs),
+        }],
+        Insn::Neg { rd, rs } => vec![Stmt::Un {
+            op: UnOp::Neg,
+            dst: Place::Gpr(rd),
+            a: gpr(rs),
+        }],
+        Insn::Li { rd, imm } => vec![Stmt::Un {
+            op: UnOp::Mov,
+            dst: Place::Gpr(rd),
+            a: Atom::Const(imm),
+        }],
+        Insn::Load { op, rd, base, off } => {
+            let (width, sext) = load_shape(op);
+            vec![
+                Stmt::Bin {
+                    op: BinOp::Add,
+                    dst: Place::Tmp(0),
+                    a: gpr(base),
+                    b: Atom::Const(off as i64 as u64),
+                },
+                Stmt::Load {
+                    dst: Place::Gpr(rd),
+                    addr: Atom::Place(Place::Tmp(0)),
+                    width,
+                    sext,
+                    float: false,
+                },
+            ]
+        }
+        Insn::Store { op, src, base, off } => {
+            let width = store_width(op);
+            vec![
+                Stmt::Bin {
+                    op: BinOp::Add,
+                    dst: Place::Tmp(0),
+                    a: gpr(base),
+                    b: Atom::Const(off as i64 as u64),
+                },
+                Stmt::Store {
+                    src: gpr(src),
+                    addr: Atom::Place(Place::Tmp(0)),
+                    width,
+                },
+            ]
+        }
+        Insn::Push { rs } => vec![
+            Stmt::Bin {
+                op: BinOp::Sub,
+                dst: Place::Gpr(Reg::SP),
+                a: gpr(Reg::SP),
+                b: Atom::Const(8),
+            },
+            Stmt::Store {
+                src: gpr(rs),
+                addr: gpr(Reg::SP),
+                width: 8,
+            },
+        ],
+        Insn::Pop { rd } => vec![
+            Stmt::Load {
+                dst: Place::Gpr(rd),
+                addr: gpr(Reg::SP),
+                width: 8,
+                sext: false,
+                float: false,
+            },
+            Stmt::Bin {
+                op: BinOp::Add,
+                dst: Place::Gpr(Reg::SP),
+                a: gpr(Reg::SP),
+                b: Atom::Const(8),
+            },
+        ],
+        Insn::Branch { op, rs, rt, rel: r } => vec![Stmt::CondJump {
+            cmp: branch_cmp(op),
+            a: gpr(rs),
+            b: gpr(rt),
+            target: rel(r),
+            fallthrough: next,
+        }],
+        Insn::Jmp { rel: r } => vec![Stmt::Jump { target: rel(r) }],
+        Insn::Jr { rs } => vec![Stmt::IndirectJump { target: gpr(rs) }],
+        Insn::Call { rel: r } => vec![
+            Stmt::Un {
+                op: UnOp::Mov,
+                dst: Place::Gpr(Reg::RA),
+                a: Atom::Const(next),
+            },
+            Stmt::Jump { target: rel(r) },
+        ],
+        Insn::Callr { rs } => vec![
+            // Target is read before ra is written (rs may be ra itself).
+            Stmt::Un {
+                op: UnOp::Mov,
+                dst: Place::Tmp(0),
+                a: gpr(rs),
+            },
+            Stmt::Un {
+                op: UnOp::Mov,
+                dst: Place::Gpr(Reg::RA),
+                a: Atom::Const(next),
+            },
+            Stmt::IndirectJump {
+                target: Atom::Place(Place::Tmp(0)),
+            },
+        ],
+        Insn::Ret => vec![Stmt::IndirectJump {
+            target: gpr(Reg::RA),
+        }],
+        Insn::Sys => vec![Stmt::Syscall],
+        Insn::Nop => vec![],
+        Insn::Halt => vec![Stmt::Halt],
+        Insn::FAlu3 { op, fd, fs, ft } => vec![Stmt::Bin {
+            op: falu_binop(op),
+            dst: Place::Fpr(fd),
+            a: fpr(fs),
+            b: fpr(ft),
+        }],
+        Insn::FAlu2 { op, fd, fs } => vec![Stmt::Un {
+            op: match op {
+                Opcode::FSqrt => UnOp::FSqrt,
+                Opcode::FNeg => UnOp::FNeg,
+                Opcode::FMov => UnOp::FMov,
+                other => unreachable!("non-FALU2 opcode {other:?}"),
+            },
+            dst: Place::Fpr(fd),
+            a: fpr(fs),
+        }],
+        Insn::FLd { fd, base, off } => vec![
+            Stmt::Bin {
+                op: BinOp::Add,
+                dst: Place::Tmp(0),
+                a: gpr(base),
+                b: Atom::Const(off as i64 as u64),
+            },
+            Stmt::Load {
+                dst: Place::Fpr(fd),
+                addr: Atom::Place(Place::Tmp(0)),
+                width: 8,
+                sext: false,
+                float: true,
+            },
+        ],
+        Insn::FSt { fs, base, off } => vec![
+            Stmt::Bin {
+                op: BinOp::Add,
+                dst: Place::Tmp(0),
+                a: gpr(base),
+                b: Atom::Const(off as i64 as u64),
+            },
+            Stmt::Un {
+                op: UnOp::FBits,
+                dst: Place::Tmp(1),
+                a: fpr(fs),
+            },
+            Stmt::Store {
+                src: Atom::Place(Place::Tmp(1)),
+                addr: Atom::Place(Place::Tmp(0)),
+                width: 8,
+            },
+        ],
+        Insn::FLi { fd, bits } => vec![Stmt::Un {
+            op: UnOp::FMov,
+            dst: Place::Fpr(fd),
+            a: Atom::FConst(f64::from_bits(bits)),
+        }],
+        Insn::FCvtSiToD { fd, rs } => vec![Stmt::Un {
+            op: UnOp::CvtSiToD,
+            dst: Place::Fpr(fd),
+            a: gpr(rs),
+        }],
+        Insn::FCvtDToSi { rd, fs } => vec![Stmt::Un {
+            op: UnOp::CvtDToSi,
+            dst: Place::Gpr(rd),
+            a: fpr(fs),
+        }],
+        Insn::FBranch { op, fs, ft, rel: r } => vec![Stmt::CondJump {
+            cmp: match op {
+                Opcode::FBeq => CmpK::FEq,
+                Opcode::FBlt => CmpK::FLt,
+                Opcode::FBle => CmpK::FLe,
+                other => unreachable!("non-FBranch opcode {other:?}"),
+            },
+            a: fpr(fs),
+            b: fpr(ft),
+            target: rel(r),
+            fallthrough: next,
+        }],
+        Insn::FBits { rd, fs } => vec![Stmt::Un {
+            op: UnOp::FBits,
+            dst: Place::Gpr(rd),
+            a: fpr(fs),
+        }],
+        Insn::FFromBits { fd, rs } => vec![Stmt::Un {
+            op: UnOp::FFromBits,
+            dst: Place::Fpr(fd),
+            a: gpr(rs),
+        }],
+    };
+    Ok(stmts)
+}
+
+fn alu_binop(op: Opcode) -> BinOp {
+    match op {
+        Opcode::Add => BinOp::Add,
+        Opcode::Sub => BinOp::Sub,
+        Opcode::Mul => BinOp::Mul,
+        Opcode::Divu => BinOp::DivU,
+        Opcode::Divs => BinOp::DivS,
+        Opcode::Remu => BinOp::RemU,
+        Opcode::Rems => BinOp::RemS,
+        Opcode::And => BinOp::And,
+        Opcode::Or => BinOp::Or,
+        Opcode::Xor => BinOp::Xor,
+        Opcode::Shl => BinOp::Shl,
+        Opcode::Shru => BinOp::ShrU,
+        Opcode::Shrs => BinOp::ShrS,
+        Opcode::Slt => BinOp::SltS,
+        Opcode::Sltu => BinOp::SltU,
+        other => unreachable!("non-ALU3 opcode {other:?}"),
+    }
+}
+
+fn alui_binop(op: Opcode) -> BinOp {
+    match op {
+        Opcode::AddI => BinOp::Add,
+        Opcode::MulI => BinOp::Mul,
+        Opcode::AndI => BinOp::And,
+        Opcode::OrI => BinOp::Or,
+        Opcode::XorI => BinOp::Xor,
+        Opcode::ShlI => BinOp::Shl,
+        Opcode::ShruI => BinOp::ShrU,
+        Opcode::ShrsI => BinOp::ShrS,
+        Opcode::SltI => BinOp::SltS,
+        Opcode::SltuI => BinOp::SltU,
+        other => unreachable!("non-ALUI opcode {other:?}"),
+    }
+}
+
+fn falu_binop(op: Opcode) -> BinOp {
+    match op {
+        Opcode::FAdd => BinOp::FAdd,
+        Opcode::FSub => BinOp::FSub,
+        Opcode::FMul => BinOp::FMul,
+        Opcode::FDiv => BinOp::FDiv,
+        other => unreachable!("non-FALU3 opcode {other:?}"),
+    }
+}
+
+fn branch_cmp(op: Opcode) -> CmpK {
+    match op {
+        Opcode::Beq => CmpK::Eq,
+        Opcode::Bne => CmpK::Ne,
+        Opcode::Blt => CmpK::LtS,
+        Opcode::Bge => CmpK::GeS,
+        Opcode::Bltu => CmpK::LtU,
+        Opcode::Bgeu => CmpK::GeU,
+        other => unreachable!("non-branch opcode {other:?}"),
+    }
+}
+
+fn load_shape(op: Opcode) -> (u8, bool) {
+    match op {
+        Opcode::Lb => (1, true),
+        Opcode::Lbu => (1, false),
+        Opcode::Lh => (2, true),
+        Opcode::Lhu => (2, false),
+        Opcode::Lw => (4, true),
+        Opcode::Lwu => (4, false),
+        Opcode::Ld => (8, false),
+        other => unreachable!("non-load opcode {other:?}"),
+    }
+}
+
+fn store_width(op: Opcode) -> u8 {
+    match op {
+        Opcode::Sb => 1,
+        Opcode::Sh => 2,
+        Opcode::Sw => 4,
+        Opcode::Sd => 8,
+        other => unreachable!("non-store opcode {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_lifts_every_sample_instruction() {
+        let support = SupportMatrix::full();
+        let r = |i| Reg::new(i).unwrap();
+        let samples = vec![
+            Insn::Alu3 {
+                op: Opcode::Add,
+                rd: r(1),
+                rs: r(2),
+                rt: r(3),
+            },
+            Insn::Push { rs: r(4) },
+            Insn::Pop { rd: r(5) },
+            Insn::Jr { rs: r(6) },
+            Insn::Ret,
+            Insn::Sys,
+            Insn::Halt,
+            Insn::FCvtSiToD {
+                fd: FReg::new(0).unwrap(),
+                rs: r(7),
+            },
+        ];
+        for insn in samples {
+            assert!(lift(&insn, 0x1000, &support).is_ok(), "{insn}");
+        }
+    }
+
+    #[test]
+    fn unsupported_class_reports_es1_shaped_error() {
+        let no_fp = SupportMatrix::full().without(InsnClass::FpConvert);
+        let insn = Insn::FCvtSiToD {
+            fd: FReg::new(0).unwrap(),
+            rs: Reg::A0,
+        };
+        assert_eq!(
+            lift(&insn, 0, &no_fp).unwrap_err(),
+            LiftError::Unsupported {
+                class: InsnClass::FpConvert,
+                opcode: Opcode::FCvtSiToD,
+            }
+        );
+        // Other classes still lift.
+        assert!(lift(&Insn::Nop, 0, &no_fp).is_ok());
+    }
+
+    #[test]
+    fn branch_lifts_with_absolute_targets() {
+        let insn = Insn::Branch {
+            op: Opcode::Bne,
+            rs: Reg::A0,
+            rt: Reg::A1,
+            rel: -20,
+        };
+        let block = lift(&insn, 0x2000, &SupportMatrix::full()).unwrap();
+        match &block[0] {
+            Stmt::CondJump {
+                cmp,
+                target,
+                fallthrough,
+                ..
+            } => {
+                assert_eq!(*cmp, CmpK::Ne);
+                assert_eq!(*target, 0x2000 - 20);
+                assert_eq!(*fallthrough, 0x2000 + 7);
+            }
+            other => panic!("expected CondJump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_lifts_to_ra_write_plus_jump() {
+        let block = lift(&Insn::Call { rel: 0x40 }, 0x1000, &SupportMatrix::full()).unwrap();
+        assert_eq!(block.len(), 2);
+        match (&block[0], &block[1]) {
+            (
+                Stmt::Un {
+                    dst: Place::Gpr(ra),
+                    a: Atom::Const(next),
+                    ..
+                },
+                Stmt::Jump { target },
+            ) => {
+                assert_eq!(*ra, Reg::RA);
+                assert_eq!(*next, 0x1005);
+                assert_eq!(*target, 0x1040);
+            }
+            other => panic!("unexpected lift {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_lifts_to_sp_update_and_store() {
+        let block = lift(&Insn::Push { rs: Reg::A0 }, 0, &SupportMatrix::full()).unwrap();
+        assert!(matches!(
+            block[0],
+            Stmt::Bin {
+                op: BinOp::Sub,
+                dst: Place::Gpr(Reg::SP),
+                ..
+            }
+        ));
+        assert!(matches!(block[1], Stmt::Store { width: 8, .. }));
+    }
+
+    #[test]
+    fn loads_carry_width_and_sign() {
+        let insn = Insn::Load {
+            op: Opcode::Lh,
+            rd: Reg::A0,
+            base: Reg::SP,
+            off: 4,
+        };
+        let block = lift(&insn, 0, &SupportMatrix::full()).unwrap();
+        match &block[1] {
+            Stmt::Load {
+                width, sext, float, ..
+            } => {
+                assert_eq!(*width, 2);
+                assert!(*sext);
+                assert!(!*float);
+            }
+            other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn callr_reads_target_before_overwriting_ra() {
+        let block = lift(&Insn::Callr { rs: Reg::RA }, 0x500, &SupportMatrix::full()).unwrap();
+        // First statement must copy the target out of ra.
+        assert!(matches!(
+            block[0],
+            Stmt::Un {
+                op: UnOp::Mov,
+                dst: Place::Tmp(0),
+                a: Atom::Place(Place::Gpr(Reg::RA)),
+            }
+        ));
+    }
+
+    #[test]
+    fn support_matrix_default_is_full() {
+        let m = SupportMatrix::default();
+        for c in super::ALL_CLASSES {
+            assert!(m.supports(c));
+        }
+    }
+}

@@ -1,0 +1,1201 @@
+//! Two-pass text assembler for BVM assembly.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! # comment
+//! .text                    # switch to the code section (default)
+//! .data                    # switch to the data section
+//! .global name             # export a symbol
+//! .extern name             # declare an external symbol
+//! .asciz "hello\n"         # NUL-terminated string
+//! .byte 1, 2, 0x1f         # raw bytes
+//! .half 1234               # 16-bit values
+//! .word 0xdeadbeef         # 32-bit values
+//! .quad label, 42          # 64-bit values (labels allowed)
+//! .double 3.14             # IEEE-754 double
+//! .space 64                # zero-filled bytes
+//! .align 8                 # pad with zeros to an 8-byte boundary
+//!
+//! main:                    # label
+//!     li   a0, 42          # load immediate (also accepts `li a0, label`)
+//!     addi sp, sp, -16
+//!     ld   t0, [sp+8]      # memory operands: [reg], [reg+imm], [reg-imm]
+//!     beq  a0, t0, main    # branch to label
+//!     fli  f0, 1024.5      # float immediate
+//!     sys
+//! ```
+//!
+//! All label references (branches, `jmp`/`call`, `li`, `.quad`) become
+//! relocations in the produced [`Object`]; the linker resolves them.
+
+use crate::insn::{Insn, Opcode};
+use crate::obj::{Object, Reloc, RelocKind, Section, Symbol};
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles BVM source text into a relocatable object.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with the offending line number) on syntax errors,
+/// unknown mnemonics or registers, malformed operands, duplicate labels, or
+/// out-of-range immediates.
+pub fn assemble(src: &str) -> Result<Object, AsmError> {
+    Assembler::new().run(src)
+}
+
+/// A symbol operand with an optional constant addend (`label+8`).
+#[derive(Debug, Clone, PartialEq)]
+struct SymRef {
+    name: String,
+    addend: i64,
+}
+
+/// An immediate that is either a constant or a symbol reference.
+#[derive(Debug, Clone, PartialEq)]
+enum ImmOrSym {
+    Imm(i64),
+    Sym(SymRef),
+}
+
+/// A parsed source statement, sized but not yet emitted.
+#[derive(Debug, Clone, PartialEq)]
+enum Stmt {
+    /// A machine instruction; label operands are still symbolic.
+    Insn { insn: PInsn, line: usize },
+    Bytes(Vec<u8>),
+    /// `.quad` entries, possibly symbolic.
+    Quads(Vec<ImmOrSym>),
+    Space(usize),
+    Align(usize),
+}
+
+/// Parsed instruction: like [`Insn`] but with symbolic targets.
+#[derive(Debug, Clone, PartialEq)]
+enum PInsn {
+    Concrete(Insn),
+    /// `li rd, symbol(+addend)` — becomes `Li` with an `Abs64` reloc.
+    LiSym { rd: Reg, sym: SymRef },
+    /// Branch to a label.
+    BranchSym { op: Opcode, rs: Reg, rt: Reg, sym: SymRef },
+    FBranchSym { op: Opcode, fs: FReg, ft: FReg, sym: SymRef },
+    JmpSym { sym: SymRef },
+    CallSym { sym: SymRef },
+}
+
+impl PInsn {
+    fn len(&self) -> usize {
+        match self {
+            PInsn::Concrete(i) => i.len(),
+            PInsn::LiSym { .. } => 10,
+            PInsn::BranchSym { .. } | PInsn::FBranchSym { .. } => 7,
+            PInsn::JmpSym { .. } | PInsn::CallSym { .. } => 5,
+        }
+    }
+}
+
+struct Assembler {
+    obj: Object,
+    section: Section,
+    /// Statements per section, with source lines.
+    text_stmts: Vec<Stmt>,
+    data_stmts: Vec<Stmt>,
+    labels: HashMap<String, (Section, u64)>,
+    globals: Vec<String>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            obj: Object::new(),
+            section: Section::Text,
+            text_stmts: Vec::new(),
+            data_stmts: Vec::new(),
+            labels: HashMap::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    fn run(mut self, src: &str) -> Result<Object, AsmError> {
+        // Pass 1: parse, size, and record label offsets.
+        let mut text_off = 0u64;
+        let mut data_off = 0u64;
+        for (idx, raw_line) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut rest = line;
+            // Labels (possibly several on one line).
+            while let Some(colon) = find_label_colon(rest) {
+                let (label, tail) = rest.split_at(colon);
+                let label = label.trim();
+                if !is_ident(label) {
+                    return Err(err(line_no, format!("invalid label name `{label}`")));
+                }
+                let off = match self.section {
+                    Section::Text => text_off,
+                    Section::Data => data_off,
+                };
+                if self
+                    .labels
+                    .insert(label.to_string(), (self.section, off))
+                    .is_some()
+                {
+                    return Err(err(line_no, format!("duplicate label `{label}`")));
+                }
+                rest = tail[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(directive) = rest.strip_prefix('.') {
+                self.directive(directive, line_no, &mut text_off, &mut data_off)?;
+            } else {
+                let insn = parse_insn(rest, line_no)?;
+                let size = insn.len() as u64;
+                match self.section {
+                    Section::Text => {
+                        self.text_stmts.push(Stmt::Insn { insn, line: line_no });
+                        text_off += size;
+                    }
+                    Section::Data => {
+                        return Err(err(line_no, "instructions are not allowed in .data"));
+                    }
+                }
+            }
+        }
+
+        // Register labels as symbols.
+        for (name, (section, offset)) in &self.labels {
+            self.obj.symbols.push(Symbol {
+                name: name.clone(),
+                section: *section,
+                offset: *offset,
+                global: self.globals.contains(name),
+            });
+        }
+        for g in &self.globals {
+            if !self.labels.contains_key(g) && !self.obj.externs.contains(g) {
+                return Err(err(0, format!("`.global {g}` but `{g}` is never defined")));
+            }
+        }
+        self.obj.symbols.sort_by(|a, b| a.name.cmp(&b.name));
+
+        // Pass 2: emit.
+        let text_stmts = std::mem::take(&mut self.text_stmts);
+        let data_stmts = std::mem::take(&mut self.data_stmts);
+        for stmt in text_stmts {
+            self.emit(Section::Text, stmt)?;
+        }
+        for stmt in data_stmts {
+            self.emit(Section::Data, stmt)?;
+        }
+        Ok(self.obj)
+    }
+
+    fn directive(
+        &mut self,
+        directive: &str,
+        line: usize,
+        text_off: &mut u64,
+        data_off: &mut u64,
+    ) -> Result<(), AsmError> {
+        let (name, args) = match directive.find(char::is_whitespace) {
+            Some(i) => (&directive[..i], directive[i..].trim()),
+            None => (directive, ""),
+        };
+        let off = match self.section {
+            Section::Text => text_off,
+            Section::Data => data_off,
+        };
+        let push = |this: &mut Assembler, stmt: Stmt| match this.section {
+            Section::Text => this.text_stmts.push(stmt),
+            Section::Data => this.data_stmts.push(stmt),
+        };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "global" | "globl" => {
+                for part in split_args(args) {
+                    if !is_ident(&part) {
+                        return Err(err(line, format!("bad symbol `{part}`")));
+                    }
+                    self.globals.push(part);
+                }
+            }
+            "extern" => {
+                for part in split_args(args) {
+                    if !is_ident(&part) {
+                        return Err(err(line, format!("bad symbol `{part}`")));
+                    }
+                    self.obj.externs.push(part);
+                }
+            }
+            "asciz" | "string" => {
+                let mut bytes = parse_string(args, line)?;
+                bytes.push(0);
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "ascii" => {
+                let bytes = parse_string(args, line)?;
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "byte" => {
+                let vals = parse_imm_list(args, line)?;
+                let bytes: Vec<u8> = vals.iter().map(|v| *v as u8).collect();
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "half" => {
+                let vals = parse_imm_list(args, line)?;
+                let mut bytes = Vec::new();
+                for v in vals {
+                    bytes.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "word" => {
+                let vals = parse_imm_list(args, line)?;
+                let mut bytes = Vec::new();
+                for v in vals {
+                    bytes.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "quad" => {
+                let mut quads = Vec::new();
+                for part in split_args(args) {
+                    quads.push(parse_imm_or_sym(&part, line)?);
+                }
+                *off += 8 * quads.len() as u64;
+                push(self, Stmt::Quads(quads));
+            }
+            "double" => {
+                let mut bytes = Vec::new();
+                for part in split_args(args) {
+                    let v: f64 = part
+                        .parse()
+                        .map_err(|_| err(line, format!("bad double `{part}`")))?;
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                *off += bytes.len() as u64;
+                push(self, Stmt::Bytes(bytes));
+            }
+            "space" | "zero" => {
+                let n = parse_imm(args, line)? as usize;
+                *off += n as u64;
+                push(self, Stmt::Space(n));
+            }
+            "align" => {
+                let n = parse_imm(args, line)? as usize;
+                if n == 0 || !n.is_power_of_two() {
+                    return Err(err(line, "alignment must be a power of two"));
+                }
+                let pad = (n as u64 - (*off % n as u64)) % n as u64;
+                *off += pad;
+                push(self, Stmt::Align(n));
+            }
+            other => return Err(err(line, format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, section: Section, stmt: Stmt) -> Result<(), AsmError> {
+        let buf = match section {
+            Section::Text => &mut self.obj.text,
+            Section::Data => &mut self.obj.data,
+        };
+        match stmt {
+            Stmt::Bytes(b) => buf.extend_from_slice(&b),
+            Stmt::Space(n) => buf.extend(std::iter::repeat(0u8).take(n)),
+            Stmt::Align(n) => {
+                let pad = (n - (buf.len() % n)) % n;
+                buf.extend(std::iter::repeat(0u8).take(pad));
+            }
+            Stmt::Quads(quads) => {
+                for q in quads {
+                    match q {
+                        ImmOrSym::Imm(v) => buf.extend_from_slice(&(v as u64).to_le_bytes()),
+                        ImmOrSym::Sym(s) => {
+                            let offset = buf.len() as u64;
+                            buf.extend_from_slice(&0u64.to_le_bytes());
+                            self.obj.relocs.push(Reloc {
+                                section,
+                                offset,
+                                kind: RelocKind::Abs64,
+                                symbol: s.name,
+                                addend: s.addend,
+                            });
+                        }
+                    }
+                }
+            }
+            Stmt::Insn { insn, line } => {
+                let start = buf.len() as u64;
+                match insn {
+                    PInsn::Concrete(i) => i.encode(buf),
+                    PInsn::LiSym { rd, sym } => {
+                        Insn::Li { rd, imm: 0 }.encode(buf);
+                        self.obj.relocs.push(Reloc {
+                            section,
+                            offset: start + 2,
+                            kind: RelocKind::Abs64,
+                            symbol: sym.name,
+                            addend: sym.addend,
+                        });
+                    }
+                    PInsn::BranchSym { op, rs, rt, sym } => {
+                        Insn::Branch { op, rs, rt, rel: 0 }.encode(buf);
+                        self.obj.relocs.push(Reloc {
+                            section,
+                            offset: start + 3,
+                            kind: RelocKind::Rel32 { base: start },
+                            symbol: sym.name,
+                            addend: sym.addend,
+                        });
+                    }
+                    PInsn::FBranchSym { op, fs, ft, sym } => {
+                        Insn::FBranch { op, fs, ft, rel: 0 }.encode(buf);
+                        self.obj.relocs.push(Reloc {
+                            section,
+                            offset: start + 3,
+                            kind: RelocKind::Rel32 { base: start },
+                            symbol: sym.name,
+                            addend: sym.addend,
+                        });
+                    }
+                    PInsn::JmpSym { sym } => {
+                        Insn::Jmp { rel: 0 }.encode(buf);
+                        self.obj.relocs.push(Reloc {
+                            section,
+                            offset: start + 1,
+                            kind: RelocKind::Rel32 { base: start },
+                            symbol: sym.name,
+                            addend: sym.addend,
+                        });
+                    }
+                    PInsn::CallSym { sym } => {
+                        Insn::Call { rel: 0 }.encode(buf);
+                        self.obj.relocs.push(Reloc {
+                            section,
+                            offset: start + 1,
+                            kind: RelocKind::Rel32 { base: start },
+                            symbol: sym.name,
+                            addend: sym.addend,
+                        });
+                    }
+                }
+                let _ = line;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Strips a `#` comment, respecting string literals and char literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => escaped = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '#' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, if any (not inside operands).
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if is_ident(head.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits a comma-separated argument list, respecting strings and brackets.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' if !in_char => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\'' if !in_str => {
+                in_char = !in_char;
+                cur.push(c);
+            }
+            '[' if !in_str && !in_char => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str && !in_char => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 && !in_str && !in_char => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        out.push(last.to_string());
+    }
+    out
+}
+
+fn parse_string(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(line, "expected a quoted string"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('r') => out.push(b'\r'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                Some(other) => return Err(err(line, format!("bad escape `\\{other}`"))),
+                None => return Err(err(line, "trailing backslash in string")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('\'') {
+        // Character literal.
+        let inner = rest
+            .strip_suffix('\'')
+            .ok_or_else(|| err(line, "unterminated char literal"))?;
+        let b = match inner {
+            "\\n" => b'\n',
+            "\\t" => b'\t',
+            "\\r" => b'\r',
+            "\\0" => 0,
+            "\\\\" => b'\\',
+            "\\'" => b'\'',
+            _ if inner.len() == 1 => inner.as_bytes()[0],
+            _ => return Err(err(line, format!("bad char literal '{inner}'"))),
+        };
+        return Ok(b as i64);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, s),
+    };
+    let val = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{s}`")))?
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).map_err(|_| err(line, format!("bad immediate `{s}`")))?
+    } else {
+        body.parse::<u64>()
+            .map_err(|_| err(line, format!("bad immediate `{s}`")))?
+    };
+    Ok(if neg {
+        (val as i64).wrapping_neg()
+    } else {
+        val as i64
+    })
+}
+
+fn parse_imm_list(s: &str, line: usize) -> Result<Vec<i64>, AsmError> {
+    split_args(s).iter().map(|p| parse_imm(p, line)).collect()
+}
+
+/// Parses `imm`, `symbol`, `symbol+imm`, or `symbol-imm`.
+fn parse_imm_or_sym(s: &str, line: usize) -> Result<ImmOrSym, AsmError> {
+    let s = s.trim();
+    if s.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_') {
+        // Symbol with optional addend.
+        if let Some(plus) = s.find('+') {
+            let (name, add) = s.split_at(plus);
+            return Ok(ImmOrSym::Sym(SymRef {
+                name: ident_checked(name.trim(), line)?,
+                addend: parse_imm(&add[1..], line)?,
+            }));
+        }
+        if let Some(minus) = s.find('-') {
+            let (name, sub) = s.split_at(minus);
+            return Ok(ImmOrSym::Sym(SymRef {
+                name: ident_checked(name.trim(), line)?,
+                addend: -parse_imm(&sub[1..], line)?,
+            }));
+        }
+        return Ok(ImmOrSym::Sym(SymRef {
+            name: ident_checked(s, line)?,
+            addend: 0,
+        }));
+    }
+    Ok(ImmOrSym::Imm(parse_imm(s, line)?))
+}
+
+fn ident_checked(s: &str, line: usize) -> Result<String, AsmError> {
+    if is_ident(s) {
+        Ok(s.to_string())
+    } else {
+        Err(err(line, format!("bad symbol name `{s}`")))
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s.trim()).ok_or_else(|| err(line, format!("unknown register `{s}`")))
+}
+
+fn parse_freg(s: &str, line: usize) -> Result<FReg, AsmError> {
+    FReg::parse(s.trim()).ok_or_else(|| err(line, format!("unknown fp register `{s}`")))
+}
+
+/// Parses a memory operand `[reg]`, `[reg+imm]` or `[reg-imm]`.
+fn parse_mem(s: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand `[reg+off]`, got `{s}`")))?;
+    let inner = inner.trim();
+    if let Some(plus) = inner.find('+') {
+        let (r, o) = inner.split_at(plus);
+        let off = parse_imm(&o[1..], line)?;
+        return Ok((parse_reg(r, line)?, i32_checked(off, line)?));
+    }
+    if let Some(minus) = inner.find('-') {
+        let (r, o) = inner.split_at(minus);
+        let off = -parse_imm(&o[1..], line)?;
+        return Ok((parse_reg(r, line)?, i32_checked(off, line)?));
+    }
+    Ok((parse_reg(inner, line)?, 0))
+}
+
+fn i32_checked(v: i64, line: usize) -> Result<i32, AsmError> {
+    i32::try_from(v).map_err(|_| err(line, format!("immediate {v} does not fit in 32 bits")))
+}
+
+/// Parses a branch/jump target: a label or a raw relative offset.
+fn parse_target(s: &str, line: usize) -> Result<ImmOrSym, AsmError> {
+    parse_imm_or_sym(s, line)
+}
+
+fn parse_insn(s: &str, line: usize) -> Result<PInsn, AsmError> {
+    let (mnemonic, rest) = match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    };
+    let args = split_args(rest);
+    let argn = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
+            ))
+        }
+    };
+
+    use Opcode::*;
+    let alu3 = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(3)?;
+        Ok(PInsn::Concrete(Insn::Alu3 {
+            op,
+            rd: parse_reg(&args[0], line)?,
+            rs: parse_reg(&args[1], line)?,
+            rt: parse_reg(&args[2], line)?,
+        }))
+    };
+    let alui = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(3)?;
+        Ok(PInsn::Concrete(Insn::AluI {
+            op,
+            rd: parse_reg(&args[0], line)?,
+            rs: parse_reg(&args[1], line)?,
+            imm: i32_checked(parse_imm(&args[2], line)?, line)?,
+        }))
+    };
+    let load = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(2)?;
+        let (base, off) = parse_mem(&args[1], line)?;
+        Ok(PInsn::Concrete(Insn::Load {
+            op,
+            rd: parse_reg(&args[0], line)?,
+            base,
+            off,
+        }))
+    };
+    let store = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(2)?;
+        let (base, off) = parse_mem(&args[0], line)?;
+        Ok(PInsn::Concrete(Insn::Store {
+            op,
+            src: parse_reg(&args[1], line)?,
+            base,
+            off,
+        }))
+    };
+    let branch = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(3)?;
+        let rs = parse_reg(&args[0], line)?;
+        let rt = parse_reg(&args[1], line)?;
+        match parse_target(&args[2], line)? {
+            ImmOrSym::Imm(rel) => Ok(PInsn::Concrete(Insn::Branch {
+                op,
+                rs,
+                rt,
+                rel: i32_checked(rel, line)?,
+            })),
+            ImmOrSym::Sym(sym) => Ok(PInsn::BranchSym { op, rs, rt, sym }),
+        }
+    };
+    let fbranch = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(3)?;
+        let fs = parse_freg(&args[0], line)?;
+        let ft = parse_freg(&args[1], line)?;
+        match parse_target(&args[2], line)? {
+            ImmOrSym::Imm(rel) => Ok(PInsn::Concrete(Insn::FBranch {
+                op,
+                fs,
+                ft,
+                rel: i32_checked(rel, line)?,
+            })),
+            ImmOrSym::Sym(sym) => Ok(PInsn::FBranchSym { op, fs, ft, sym }),
+        }
+    };
+    let falu3 = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(3)?;
+        Ok(PInsn::Concrete(Insn::FAlu3 {
+            op,
+            fd: parse_freg(&args[0], line)?,
+            fs: parse_freg(&args[1], line)?,
+            ft: parse_freg(&args[2], line)?,
+        }))
+    };
+    let falu2 = |op: Opcode| -> Result<PInsn, AsmError> {
+        argn(2)?;
+        Ok(PInsn::Concrete(Insn::FAlu2 {
+            op,
+            fd: parse_freg(&args[0], line)?,
+            fs: parse_freg(&args[1], line)?,
+        }))
+    };
+
+    match mnemonic {
+        "add" => alu3(Add),
+        "sub" => alu3(Sub),
+        "mul" => alu3(Mul),
+        "divu" => alu3(Divu),
+        "divs" | "div" => alu3(Divs),
+        "remu" => alu3(Remu),
+        "rems" | "rem" => alu3(Rems),
+        "and" => alu3(And),
+        "or" => alu3(Or),
+        "xor" => alu3(Xor),
+        "shl" => alu3(Shl),
+        "shru" => alu3(Shru),
+        "shrs" | "sar" => alu3(Shrs),
+        "slt" => alu3(Slt),
+        "sltu" => alu3(Sltu),
+        "addi" => alui(AddI),
+        "subi" => {
+            // Pseudo: subi rd, rs, imm == addi rd, rs, -imm.
+            argn(3)?;
+            let imm = parse_imm(&args[2], line)?;
+            Ok(PInsn::Concrete(Insn::AluI {
+                op: AddI,
+                rd: parse_reg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+                imm: i32_checked(-imm, line)?,
+            }))
+        }
+        "muli" => alui(MulI),
+        "andi" => alui(AndI),
+        "ori" => alui(OrI),
+        "xori" => alui(XorI),
+        "shli" => alui(ShlI),
+        "shrui" => alui(ShruI),
+        "shrsi" | "sari" => alui(ShrsI),
+        "slti" => alui(SltI),
+        "sltui" => alui(SltuI),
+        "mov" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::Mov {
+                rd: parse_reg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+            }))
+        }
+        "not" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::Not {
+                rd: parse_reg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+            }))
+        }
+        "neg" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::Neg {
+                rd: parse_reg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+            }))
+        }
+        "li" | "la" => {
+            argn(2)?;
+            let rd = parse_reg(&args[0], line)?;
+            match parse_imm_or_sym(&args[1], line)? {
+                ImmOrSym::Imm(v) => Ok(PInsn::Concrete(Insn::Li { rd, imm: v as u64 })),
+                ImmOrSym::Sym(sym) => Ok(PInsn::LiSym { rd, sym }),
+            }
+        }
+        "lb" => load(Lb),
+        "lbu" => load(Lbu),
+        "lh" => load(Lh),
+        "lhu" => load(Lhu),
+        "lw" => load(Lw),
+        "lwu" => load(Lwu),
+        "ld" => load(Ld),
+        "sb" => store(Sb),
+        "sh" => store(Sh),
+        "sw" => store(Sw),
+        "sd" => store(Sd),
+        "push" => {
+            argn(1)?;
+            Ok(PInsn::Concrete(Insn::Push {
+                rs: parse_reg(&args[0], line)?,
+            }))
+        }
+        "pop" => {
+            argn(1)?;
+            Ok(PInsn::Concrete(Insn::Pop {
+                rd: parse_reg(&args[0], line)?,
+            }))
+        }
+        "beq" => branch(Beq),
+        "bne" => branch(Bne),
+        "blt" => branch(Blt),
+        "bge" => branch(Bge),
+        "bltu" => branch(Bltu),
+        "bgeu" => branch(Bgeu),
+        "jmp" | "j" => {
+            argn(1)?;
+            match parse_target(&args[0], line)? {
+                ImmOrSym::Imm(rel) => Ok(PInsn::Concrete(Insn::Jmp {
+                    rel: i32_checked(rel, line)?,
+                })),
+                ImmOrSym::Sym(sym) => Ok(PInsn::JmpSym { sym }),
+            }
+        }
+        "jr" => {
+            argn(1)?;
+            Ok(PInsn::Concrete(Insn::Jr {
+                rs: parse_reg(&args[0], line)?,
+            }))
+        }
+        "call" => {
+            argn(1)?;
+            match parse_target(&args[0], line)? {
+                ImmOrSym::Imm(rel) => Ok(PInsn::Concrete(Insn::Call {
+                    rel: i32_checked(rel, line)?,
+                })),
+                ImmOrSym::Sym(sym) => Ok(PInsn::CallSym { sym }),
+            }
+        }
+        "callr" => {
+            argn(1)?;
+            Ok(PInsn::Concrete(Insn::Callr {
+                rs: parse_reg(&args[0], line)?,
+            }))
+        }
+        "ret" => {
+            argn(0)?;
+            Ok(PInsn::Concrete(Insn::Ret))
+        }
+        "sys" => {
+            argn(0)?;
+            Ok(PInsn::Concrete(Insn::Sys))
+        }
+        "nop" => {
+            argn(0)?;
+            Ok(PInsn::Concrete(Insn::Nop))
+        }
+        "halt" => {
+            argn(0)?;
+            Ok(PInsn::Concrete(Insn::Halt))
+        }
+        "fadd.d" | "fadd" => falu3(FAdd),
+        "fsub.d" | "fsub" => falu3(FSub),
+        "fmul.d" | "fmul" => falu3(FMul),
+        "fdiv.d" | "fdiv" => falu3(FDiv),
+        "fsqrt.d" | "fsqrt" => falu2(FSqrt),
+        "fneg.d" | "fneg" => falu2(FNeg),
+        "fmov.d" | "fmov" => falu2(FMov),
+        "fld" => {
+            argn(2)?;
+            let (base, off) = parse_mem(&args[1], line)?;
+            Ok(PInsn::Concrete(Insn::FLd {
+                fd: parse_freg(&args[0], line)?,
+                base,
+                off,
+            }))
+        }
+        "fst" => {
+            argn(2)?;
+            let (base, off) = parse_mem(&args[0], line)?;
+            Ok(PInsn::Concrete(Insn::FSt {
+                fs: parse_freg(&args[1], line)?,
+                base,
+                off,
+            }))
+        }
+        "fli" => {
+            argn(2)?;
+            let fd = parse_freg(&args[0], line)?;
+            let lit = args[1].trim();
+            let v: f64 = lit
+                .parse()
+                .map_err(|_| err(line, format!("bad float literal `{lit}`")))?;
+            Ok(PInsn::Concrete(Insn::FLi { fd, bits: v.to_bits() }))
+        }
+        "cvt.si2d" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::FCvtSiToD {
+                fd: parse_freg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+            }))
+        }
+        "cvt.d2si" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::FCvtDToSi {
+                rd: parse_reg(&args[0], line)?,
+                fs: parse_freg(&args[1], line)?,
+            }))
+        }
+        "fbeq" => fbranch(FBeq),
+        "fblt" => fbranch(FBlt),
+        "fble" => fbranch(FBle),
+        "fbits" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::FBits {
+                rd: parse_reg(&args[0], line)?,
+                fs: parse_freg(&args[1], line)?,
+            }))
+        }
+        "ffrombits" => {
+            argn(2)?;
+            Ok(PInsn::Concrete(Insn::FFromBits {
+                fd: parse_freg(&args[0], line)?,
+                rs: parse_reg(&args[1], line)?,
+            }))
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::RelocKind;
+
+    #[test]
+    fn assembles_a_minimal_program() {
+        let obj = assemble(
+            r#"
+            .text
+            .global _start
+        _start:
+            li a0, 42
+            li sv, 0
+            sys
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.text.len(), 10 + 10 + 1);
+        let start = obj.symbol("_start").unwrap();
+        assert_eq!(start.offset, 0);
+        assert!(start.global);
+    }
+
+    #[test]
+    fn labels_and_branches_create_rel32_relocs() {
+        let obj = assemble(
+            r#"
+        loop:
+            addi a0, a0, -1
+            bne a0, r0, loop
+            ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 1);
+        let r = &obj.relocs[0];
+        assert_eq!(r.symbol, "loop");
+        assert_eq!(r.kind, RelocKind::Rel32 { base: 7 });
+        assert_eq!(r.offset, 7 + 3);
+    }
+
+    #[test]
+    fn li_label_creates_abs64_reloc() {
+        let obj = assemble(
+            r#"
+            .data
+        msg: .asciz "hi"
+            .text
+            li a0, msg
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 1);
+        assert_eq!(obj.relocs[0].kind, RelocKind::Abs64);
+        assert_eq!(obj.relocs[0].offset, 2);
+        let msg = obj.symbol("msg").unwrap();
+        assert_eq!(msg.section, Section::Data);
+        assert_eq!(obj.data, b"hi\0");
+    }
+
+    #[test]
+    fn data_directives_emit_expected_bytes() {
+        let obj = assemble(
+            r#"
+            .data
+            .byte 1, 2, 0xff
+            .half 0x1234
+            .word 0xdeadbeef
+            .quad 7
+            .double 1.5
+            .align 8
+            .space 3
+            "#,
+        )
+        .unwrap();
+        let mut expect = vec![1u8, 2, 0xff];
+        expect.extend_from_slice(&0x1234u16.to_le_bytes());
+        expect.extend_from_slice(&0xdeadbeefu32.to_le_bytes());
+        expect.extend_from_slice(&7u64.to_le_bytes());
+        expect.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        expect.push(0); // align 8: 17 bytes -> pad... (3+2+4 = 9; +8 = 17; +8 = 25 -> pad 7)
+        // Recompute: 3 + 2 + 4 + 8 + 8 = 25, pad to 32 = 7 zeros, then 3 zeros.
+        expect.truncate(25);
+        expect.extend(std::iter::repeat(0).take(7));
+        expect.extend(std::iter::repeat(0).take(3));
+        assert_eq!(obj.data, expect);
+    }
+
+    #[test]
+    fn quad_with_label_relocates() {
+        let obj = assemble(
+            r#"
+            .data
+        table: .quad target, target+9
+            .text
+        target: nop
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.relocs.len(), 2);
+        assert_eq!(obj.relocs[0].addend, 0);
+        assert_eq!(obj.relocs[1].addend, 9);
+        assert_eq!(obj.relocs[1].offset, 8);
+    }
+
+    #[test]
+    fn char_literals_and_negative_immediates() {
+        let obj = assemble("li a0, 'A'\naddi sp, sp, -32").unwrap();
+        let (insn, len) = Insn::decode(&obj.text).unwrap();
+        assert_eq!(
+            insn,
+            Insn::Li {
+                rd: Reg::A0,
+                imm: b'A' as u64
+            }
+        );
+        let (insn2, _) = Insn::decode(&obj.text[len..]).unwrap();
+        assert_eq!(
+            insn2,
+            Insn::AluI {
+                op: Opcode::AddI,
+                rd: Reg::SP,
+                rs: Reg::SP,
+                imm: -32
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operands_parse_offsets() {
+        let obj = assemble("ld t0, [sp+16]\nsd [fp-8], t1\nlw t2, [a0]").unwrap();
+        let mut pos = 0;
+        let (i1, l1) = Insn::decode(&obj.text).unwrap();
+        pos += l1;
+        assert_eq!(
+            i1,
+            Insn::Load {
+                op: Opcode::Ld,
+                rd: Reg::parse("t0").unwrap(),
+                base: Reg::SP,
+                off: 16
+            }
+        );
+        let (i2, l2) = Insn::decode(&obj.text[pos..]).unwrap();
+        pos += l2;
+        assert_eq!(
+            i2,
+            Insn::Store {
+                op: Opcode::Sd,
+                src: Reg::parse("t1").unwrap(),
+                base: Reg::FP,
+                off: -8
+            }
+        );
+        let (i3, _) = Insn::decode(&obj.text[pos..]).unwrap();
+        assert_eq!(
+            i3,
+            Insn::Load {
+                op: Opcode::Lw,
+                rd: Reg::parse("t2").unwrap(),
+                base: Reg::A0,
+                off: 0
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus_insn a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus_insn"));
+
+        let e = assemble("add a0, a1\n").unwrap_err();
+        assert!(e.msg.contains("expects 3 operands"));
+
+        let e = assemble("li a9, 1\n").unwrap_err();
+        assert!(e.msg.contains("unknown register"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let e = assemble("x:\nnop\nx:\nnop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn global_undefined_symbol_is_rejected() {
+        let e = assemble(".global nothing\nnop").unwrap_err();
+        assert!(e.msg.contains("never defined"));
+    }
+
+    #[test]
+    fn instructions_in_data_are_rejected() {
+        let e = assemble(".data\nnop").unwrap_err();
+        assert!(e.msg.contains("not allowed"));
+    }
+
+    #[test]
+    fn comments_inside_strings_are_preserved() {
+        let obj = assemble(".data\n.asciz \"a # b\" # real comment").unwrap();
+        assert_eq!(obj.data, b"a # b\0");
+    }
+
+    #[test]
+    fn fp_instructions_assemble() {
+        let obj = assemble(
+            r#"
+            fli f0, 1024.0
+            cvt.si2d f1, a0
+            fadd.d f2, f0, f1
+            fbeq f2, f0, 14
+            "#,
+        )
+        .unwrap();
+        let (i, _) = Insn::decode(&obj.text).unwrap();
+        assert_eq!(
+            i,
+            Insn::FLi {
+                fd: FReg::new(0).unwrap(),
+                bits: 1024.0f64.to_bits()
+            }
+        );
+    }
+
+    #[test]
+    fn extern_symbols_are_recorded() {
+        let obj = assemble(".extern printf, sin\ncall printf").unwrap();
+        assert_eq!(obj.externs, vec!["printf".to_string(), "sin".to_string()]);
+        assert_eq!(obj.relocs.len(), 1);
+        assert_eq!(obj.relocs[0].symbol, "printf");
+    }
+}

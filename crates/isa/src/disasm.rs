@@ -1,0 +1,141 @@
+//! Disassembler: turns image text segments back into annotated listings.
+
+use crate::image::Image;
+use crate::insn::Insn;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisasmLine {
+    /// Absolute address.
+    pub addr: u64,
+    /// Raw encoding.
+    pub bytes: Vec<u8>,
+    /// The decoded instruction, or `None` for undecodable bytes.
+    pub insn: Option<Insn>,
+}
+
+/// Disassembles a byte slice mapped at `base`.
+///
+/// Undecodable bytes are consumed one at a time and reported with
+/// `insn: None`, so the listing always covers the whole input.
+pub fn disassemble(bytes: &[u8], base: u64) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match Insn::decode(&bytes[pos..]) {
+            Ok((insn, len)) => {
+                out.push(DisasmLine {
+                    addr: base + pos as u64,
+                    bytes: bytes[pos..pos + len].to_vec(),
+                    insn: Some(insn),
+                });
+                pos += len;
+            }
+            Err(_) => {
+                out.push(DisasmLine {
+                    addr: base + pos as u64,
+                    bytes: vec![bytes[pos]],
+                    insn: None,
+                });
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Renders an image's text segment as an `objdump`-style listing, with
+/// exported symbol names as labels.
+pub fn listing(image: &Image) -> String {
+    let symbols: BTreeMap<u64, &str> = image
+        .symbols
+        .iter()
+        .map(|(name, addr)| (*addr, name.as_str()))
+        .collect();
+    let mut out = String::new();
+    for line in disassemble(&image.text, image.text_base) {
+        if let Some(name) = symbols.get(&line.addr) {
+            let _ = writeln!(out, "\n{:#010x} <{name}>:", line.addr);
+        }
+        let hex: String = line.bytes.iter().map(|b| format!("{b:02x} ")).collect();
+        match &line.insn {
+            Some(insn) => {
+                let _ = writeln!(out, "  {:#010x}:  {hex:<32} {insn}", line.addr);
+            }
+            None => {
+                let _ = writeln!(out, "  {:#010x}:  {hex:<32} .byte", line.addr);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::link::Linker;
+
+    #[test]
+    fn round_trips_an_assembled_program() {
+        let obj = assemble(
+            r#"
+            .global _start
+        _start:
+            li a0, 42
+            addi a0, a0, -1
+            beq a0, zero, _start
+            halt
+            "#,
+        )
+        .unwrap();
+        let image = Linker::new().add_object(obj).link().unwrap();
+        let lines = disassemble(&image.text, image.text_base);
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.insn.is_some()));
+        // Re-encoding each decoded instruction reproduces the bytes.
+        for line in &lines {
+            let mut buf = Vec::new();
+            line.insn.as_ref().unwrap().encode(&mut buf);
+            assert_eq!(buf, line.bytes);
+        }
+    }
+
+    #[test]
+    fn listing_includes_symbols_and_mnemonics() {
+        let obj = assemble(".global _start\n_start: li a0, 7\nhalt\n").unwrap();
+        let image = Linker::new().add_object(obj).link().unwrap();
+        let text = listing(&image);
+        assert!(text.contains("<_start>"));
+        assert!(text.contains("li a0"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn bad_bytes_degrade_to_byte_lines() {
+        let lines = disassemble(&[0xFF, 0x41], 0x100);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].insn.is_none());
+        assert_eq!(lines[1].insn, Some(Insn::Nop));
+    }
+
+    #[test]
+    fn disassembly_covers_every_byte_exactly_once() {
+        let obj = assemble(
+            ".global _start\n_start:\nli t0, 0x123456789abcdef\npush t0\npop t1\nret\n",
+        )
+        .unwrap();
+        let image = Linker::new().add_object(obj).link().unwrap();
+        let lines = disassemble(&image.text, image.text_base);
+        let total: usize = lines.iter().map(|l| l.bytes.len()).sum();
+        assert_eq!(total, image.text.len());
+        // Addresses are contiguous.
+        let mut expect = image.text_base;
+        for line in &lines {
+            assert_eq!(line.addr, expect);
+            expect += line.bytes.len() as u64;
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Executable images and the BVM memory layout.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fixed virtual-memory layout used by the linker and loader.
+pub mod layout {
+    /// Base address of executable text.
+    pub const TEXT_BASE: u64 = 0x1000;
+    /// Base address of executable data.
+    pub const DATA_BASE: u64 = 0x40_000;
+    /// Base address of shared-library text.
+    pub const LIB_TEXT_BASE: u64 = 0x400_000;
+    /// Base address of shared-library data.
+    pub const LIB_DATA_BASE: u64 = 0x500_000;
+    /// Base of the heap region (grows upward).
+    pub const HEAP_BASE: u64 = 0x600_000;
+    /// Size of the heap region in bytes.
+    pub const HEAP_SIZE: u64 = 0x100_000;
+    /// Top of the main thread's stack (stacks grow downward).
+    pub const STACK_TOP: u64 = 0x7FF0_0000;
+    /// Bytes reserved per thread stack.
+    pub const STACK_SIZE: u64 = 0x1_0000;
+    /// Spacing between consecutive thread stack tops.
+    pub const STACK_STRIDE: u64 = 0x2_0000;
+    /// Region where the loader places `argv` strings and the argv array.
+    pub const ARGV_BASE: u64 = 0x7FF1_0000;
+    /// Size of the argv region.
+    pub const ARGV_SIZE: u64 = 0x1_0000;
+    /// Base of the VM-injected stub page (process/thread exit trampolines).
+    pub const STUB_BASE: u64 = 0x90_0000;
+    /// Address of the process-exit stub (`li sv, EXIT; sys`).
+    pub const EXIT_STUB: u64 = STUB_BASE;
+    /// Address of the thread-exit stub (`li sv, THREAD_EXIT; sys`).
+    pub const THREAD_EXIT_STUB: u64 = STUB_BASE + 32;
+}
+
+/// How an import fixup patches memory once the symbol is resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixupKind {
+    /// Write the absolute 64-bit symbol address.
+    Abs64,
+    /// Write `symbol_address - base` as a little-endian `i32`.
+    Rel32 {
+        /// Absolute address the displacement is relative to (the start of
+        /// the referencing instruction).
+        base: u64,
+    },
+}
+
+/// One patch site for an imported symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixup {
+    /// Absolute virtual address of the bytes to patch.
+    pub addr: u64,
+    /// Patch style.
+    pub kind: FixupKind,
+    /// Constant added to the symbol address.
+    pub addend: i64,
+}
+
+/// An imported symbol and all its patch sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// Symbol name to resolve against a shared library's exports.
+    pub symbol: String,
+    /// Patch sites.
+    pub fixups: Vec<Fixup>,
+}
+
+/// Errors from image loading, serialization, or import resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// An imported symbol was not found in the provided exports.
+    UnresolvedImport(String),
+    /// A fixup address fell outside the image's segments.
+    BadFixupAddress(u64),
+    /// A `Rel32` displacement overflowed 32 bits.
+    RelocOverflow(u64),
+    /// The byte serialization was malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::UnresolvedImport(s) => write!(f, "unresolved import `{s}`"),
+            ImageError::BadFixupAddress(a) => write!(f, "fixup address {a:#x} outside image"),
+            ImageError::RelocOverflow(a) => write!(f, "rel32 overflow at {a:#x}"),
+            ImageError::Malformed(what) => write!(f, "malformed image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A linked executable (or shared-library) image.
+///
+/// Produced by [`crate::link::Linker`]; loaded by `bomblab-vm`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Entry point address (0 for shared libraries).
+    pub entry: u64,
+    /// Base address of the text segment.
+    pub text_base: u64,
+    /// Text segment bytes.
+    pub text: Vec<u8>,
+    /// Base address of the data segment.
+    pub data_base: u64,
+    /// Data segment bytes.
+    pub data: Vec<u8>,
+    /// Exported (global) symbols: name → absolute address.
+    pub symbols: BTreeMap<String, u64>,
+    /// Imports to be resolved against a shared library at load time.
+    pub imports: Vec<Import>,
+}
+
+const MAGIC: &[u8; 4] = b"BVM1";
+
+impl Image {
+    /// Absolute address of an exported symbol.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total size of the loadable segments in bytes (for dataset stats).
+    pub fn loadable_size(&self) -> usize {
+        self.text.len() + self.data.len()
+    }
+
+    /// Patches all imports using `exports` (a shared library's symbol map).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::UnresolvedImport`] if a symbol is missing,
+    /// [`ImageError::BadFixupAddress`] for fixups outside the image, and
+    /// [`ImageError::RelocOverflow`] if a relative displacement overflows.
+    pub fn resolve_imports(&mut self, exports: &BTreeMap<String, u64>) -> Result<(), ImageError> {
+        let imports = std::mem::take(&mut self.imports);
+        for import in &imports {
+            let &addr = exports
+                .get(&import.symbol)
+                .ok_or_else(|| ImageError::UnresolvedImport(import.symbol.clone()))?;
+            for fixup in &import.fixups {
+                let target = (addr as i64).wrapping_add(fixup.addend) as u64;
+                match fixup.kind {
+                    FixupKind::Abs64 => {
+                        let bytes = target.to_le_bytes();
+                        self.patch(fixup.addr, &bytes)?;
+                    }
+                    FixupKind::Rel32 { base } => {
+                        let delta = target.wrapping_sub(base) as i64;
+                        let rel = i32::try_from(delta)
+                            .map_err(|_| ImageError::RelocOverflow(fixup.addr))?;
+                        self.patch(fixup.addr, &rel.to_le_bytes())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn patch(&mut self, addr: u64, bytes: &[u8]) -> Result<(), ImageError> {
+        let seg = |base: u64, data: &mut Vec<u8>| -> Option<(usize, usize)> {
+            let off = addr.checked_sub(base)? as usize;
+            if off + bytes.len() <= data.len() {
+                Some((off, bytes.len()))
+            } else {
+                None
+            }
+        };
+        if let Some((off, n)) = seg(self.text_base, &mut self.text) {
+            self.text[off..off + n].copy_from_slice(bytes);
+            return Ok(());
+        }
+        if let Some((off, n)) = seg(self.data_base, &mut self.data) {
+            self.data[off..off + n].copy_from_slice(bytes);
+            return Ok(());
+        }
+        Err(ImageError::BadFixupAddress(addr))
+    }
+
+    /// Serializes the image to the `BVM1` on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.entry);
+        put_u64(&mut out, self.text_base);
+        put_bytes(&mut out, &self.text);
+        put_u64(&mut out, self.data_base);
+        put_bytes(&mut out, &self.data);
+        put_u64(&mut out, self.symbols.len() as u64);
+        for (name, addr) in &self.symbols {
+            put_str(&mut out, name);
+            put_u64(&mut out, *addr);
+        }
+        put_u64(&mut out, self.imports.len() as u64);
+        for import in &self.imports {
+            put_str(&mut out, &import.symbol);
+            put_u64(&mut out, import.fixups.len() as u64);
+            for f in &import.fixups {
+                put_u64(&mut out, f.addr);
+                match f.kind {
+                    FixupKind::Abs64 => {
+                        out.push(0);
+                        put_u64(&mut out, 0);
+                    }
+                    FixupKind::Rel32 { base } => {
+                        out.push(1);
+                        put_u64(&mut out, base);
+                    }
+                }
+                put_u64(&mut out, f.addend as u64);
+            }
+        }
+        out
+    }
+
+    /// Deserializes an image from the `BVM1` on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::Malformed`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Image, ImageError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ImageError::Malformed("bad magic"));
+        }
+        let entry = r.u64()?;
+        let text_base = r.u64()?;
+        let text = r.bytes()?;
+        let data_base = r.u64()?;
+        let data = r.bytes()?;
+        let nsyms = r.u64()? as usize;
+        let mut symbols = BTreeMap::new();
+        for _ in 0..nsyms {
+            let name = r.string()?;
+            let addr = r.u64()?;
+            symbols.insert(name, addr);
+        }
+        let nimports = r.u64()? as usize;
+        let mut imports = Vec::with_capacity(nimports.min(1024));
+        for _ in 0..nimports {
+            let symbol = r.string()?;
+            let nfix = r.u64()? as usize;
+            let mut fixups = Vec::with_capacity(nfix.min(1024));
+            for _ in 0..nfix {
+                let addr = r.u64()?;
+                let tag = r.take(1)?[0];
+                let base = r.u64()?;
+                let addend = r.u64()? as i64;
+                let kind = match tag {
+                    0 => FixupKind::Abs64,
+                    1 => FixupKind::Rel32 { base },
+                    _ => return Err(ImageError::Malformed("bad fixup kind")),
+                };
+                fixups.push(Fixup { addr, kind, addend });
+            }
+            imports.push(Import { symbol, fixups });
+        }
+        if r.pos != bytes.len() {
+            return Err(ImageError::Malformed("trailing bytes"));
+        }
+        Ok(Image {
+            entry,
+            text_base,
+            text,
+            data_base,
+            data,
+            symbols,
+            imports,
+        })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(ImageError::Malformed("truncated"))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ImageError> {
+        let n = self.u64()? as usize;
+        if n > self.bytes.len() {
+            return Err(ImageError::Malformed("length overflow"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, ImageError> {
+        String::from_utf8(self.bytes()?).map_err(|_| ImageError::Malformed("bad utf-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> Image {
+        Image {
+            entry: 0x1000,
+            text_base: 0x1000,
+            text: vec![0x41, 0x42, 0, 0, 0, 0, 0, 0, 0, 0],
+            data_base: 0x40_000,
+            data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            symbols: [("main".to_string(), 0x1000u64), ("x".to_string(), 0x40_000)]
+                .into_iter()
+                .collect(),
+            imports: vec![Import {
+                symbol: "sin".into(),
+                fixups: vec![Fixup {
+                    addr: 0x1002,
+                    kind: FixupKind::Abs64,
+                    addend: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let img = sample_image();
+        let bytes = img.to_bytes();
+        let back = Image::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(Image::from_bytes(b"NOPE").is_err());
+        let mut bytes = sample_image().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Image::from_bytes(&bytes).is_err());
+        let mut extra = sample_image().to_bytes();
+        extra.push(0);
+        assert_eq!(
+            Image::from_bytes(&extra).unwrap_err(),
+            ImageError::Malformed("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn resolve_imports_patches_abs64() {
+        let mut img = sample_image();
+        let exports: BTreeMap<String, u64> = [("sin".to_string(), 0x400_100u64)].into_iter().collect();
+        img.resolve_imports(&exports).unwrap();
+        assert!(img.imports.is_empty());
+        assert_eq!(
+            u64::from_le_bytes(img.text[2..10].try_into().unwrap()),
+            0x400_100
+        );
+    }
+
+    #[test]
+    fn resolve_imports_patches_rel32_in_range() {
+        let mut img = sample_image();
+        img.imports = vec![Import {
+            symbol: "f".into(),
+            fixups: vec![Fixup {
+                addr: 0x1002,
+                kind: FixupKind::Rel32 { base: 0x1001 },
+                addend: 0,
+            }],
+        }];
+        let exports: BTreeMap<String, u64> = [("f".to_string(), 0x400_000u64)].into_iter().collect();
+        img.resolve_imports(&exports).unwrap();
+        let rel = i32::from_le_bytes(img.text[2..6].try_into().unwrap());
+        assert_eq!(rel as i64, 0x400_000 - 0x1001);
+    }
+
+    #[test]
+    fn missing_import_is_an_error() {
+        let mut img = sample_image();
+        let e = img.resolve_imports(&BTreeMap::new()).unwrap_err();
+        assert_eq!(e, ImageError::UnresolvedImport("sin".into()));
+    }
+
+    #[test]
+    fn fixup_outside_image_is_an_error() {
+        let mut img = sample_image();
+        img.imports[0].fixups[0].addr = 0xdead_0000;
+        let exports: BTreeMap<String, u64> = [("sin".to_string(), 1u64)].into_iter().collect();
+        assert_eq!(
+            img.resolve_imports(&exports).unwrap_err(),
+            ImageError::BadFixupAddress(0xdead_0000)
+        );
+    }
+
+    #[test]
+    fn loadable_size_sums_segments() {
+        assert_eq!(sample_image().loadable_size(), 18);
+    }
+}

@@ -1,0 +1,1086 @@
+//! Instruction type, opcodes, and the variable-length binary encoding.
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Binary opcode values.
+///
+/// The numeric values are stable: they are the first byte of every encoded
+/// instruction and part of the BVM executable format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants mirror `Insn`, documented there
+pub enum Opcode {
+    // Integer register-register ALU.
+    Add = 0x01,
+    Sub = 0x02,
+    Mul = 0x03,
+    Divu = 0x04,
+    Divs = 0x05,
+    Remu = 0x06,
+    Rems = 0x07,
+    And = 0x08,
+    Or = 0x09,
+    Xor = 0x0A,
+    Shl = 0x0B,
+    Shru = 0x0C,
+    Shrs = 0x0D,
+    Slt = 0x0E,
+    Sltu = 0x0F,
+    // Integer register-immediate ALU.
+    AddI = 0x10,
+    MulI = 0x11,
+    AndI = 0x12,
+    OrI = 0x13,
+    XorI = 0x14,
+    ShlI = 0x15,
+    ShruI = 0x16,
+    ShrsI = 0x17,
+    SltI = 0x18,
+    SltuI = 0x19,
+    // Moves.
+    Mov = 0x1A,
+    Not = 0x1B,
+    Neg = 0x1C,
+    Li = 0x1D,
+    // Loads.
+    Lb = 0x20,
+    Lbu = 0x21,
+    Lh = 0x22,
+    Lhu = 0x23,
+    Lw = 0x24,
+    Lwu = 0x25,
+    Ld = 0x26,
+    // Stores.
+    Sb = 0x28,
+    Sh = 0x29,
+    Sw = 0x2A,
+    Sd = 0x2B,
+    // Stack.
+    Push = 0x2C,
+    Pop = 0x2D,
+    // Conditional branches.
+    Beq = 0x30,
+    Bne = 0x31,
+    Blt = 0x32,
+    Bge = 0x33,
+    Bltu = 0x34,
+    Bgeu = 0x35,
+    // Jumps and calls.
+    Jmp = 0x38,
+    Jr = 0x39,
+    Call = 0x3A,
+    Callr = 0x3B,
+    Ret = 0x3C,
+    // System.
+    Sys = 0x40,
+    Nop = 0x41,
+    Halt = 0x42,
+    // Floating point (double precision).
+    FAdd = 0x50,
+    FSub = 0x51,
+    FMul = 0x52,
+    FDiv = 0x53,
+    FSqrt = 0x54,
+    FNeg = 0x55,
+    FMov = 0x56,
+    FLd = 0x57,
+    FSt = 0x58,
+    FLi = 0x59,
+    FCvtSiToD = 0x5A,
+    FCvtDToSi = 0x5B,
+    FBeq = 0x5C,
+    FBlt = 0x5D,
+    FBle = 0x5E,
+    FBits = 0x5F,
+    FFromBits = 0x60,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x01 => Add,
+            0x02 => Sub,
+            0x03 => Mul,
+            0x04 => Divu,
+            0x05 => Divs,
+            0x06 => Remu,
+            0x07 => Rems,
+            0x08 => And,
+            0x09 => Or,
+            0x0A => Xor,
+            0x0B => Shl,
+            0x0C => Shru,
+            0x0D => Shrs,
+            0x0E => Slt,
+            0x0F => Sltu,
+            0x10 => AddI,
+            0x11 => MulI,
+            0x12 => AndI,
+            0x13 => OrI,
+            0x14 => XorI,
+            0x15 => ShlI,
+            0x16 => ShruI,
+            0x17 => ShrsI,
+            0x18 => SltI,
+            0x19 => SltuI,
+            0x1A => Mov,
+            0x1B => Not,
+            0x1C => Neg,
+            0x1D => Li,
+            0x20 => Lb,
+            0x21 => Lbu,
+            0x22 => Lh,
+            0x23 => Lhu,
+            0x24 => Lw,
+            0x25 => Lwu,
+            0x26 => Ld,
+            0x28 => Sb,
+            0x29 => Sh,
+            0x2A => Sw,
+            0x2B => Sd,
+            0x2C => Push,
+            0x2D => Pop,
+            0x30 => Beq,
+            0x31 => Bne,
+            0x32 => Blt,
+            0x33 => Bge,
+            0x34 => Bltu,
+            0x35 => Bgeu,
+            0x38 => Jmp,
+            0x39 => Jr,
+            0x3A => Call,
+            0x3B => Callr,
+            0x3C => Ret,
+            0x40 => Sys,
+            0x41 => Nop,
+            0x42 => Halt,
+            0x50 => FAdd,
+            0x51 => FSub,
+            0x52 => FMul,
+            0x53 => FDiv,
+            0x54 => FSqrt,
+            0x55 => FNeg,
+            0x56 => FMov,
+            0x57 => FLd,
+            0x58 => FSt,
+            0x59 => FLi,
+            0x5A => FCvtSiToD,
+            0x5B => FCvtDToSi,
+            0x5C => FBeq,
+            0x5D => FBlt,
+            0x5E => FBle,
+            0x5F => FBits,
+            0x60 => FFromBits,
+            _ => return None,
+        })
+    }
+}
+
+/// Coarse instruction classification, used by lifter support matrices and
+/// trace statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnClass {
+    /// Add/sub/logic/shift/compare, register or immediate forms, and moves.
+    IntAlu,
+    /// Multiply.
+    Mul,
+    /// Divide / remainder (can trap).
+    Div,
+    /// Loads and stores.
+    Mem,
+    /// `push` / `pop`.
+    Stack,
+    /// Conditional branches on integer registers.
+    Branch,
+    /// Direct jump.
+    Jump,
+    /// Register-indirect jump (`jr`).
+    IndirectJump,
+    /// Direct or indirect call, and `ret`.
+    Call,
+    /// `sys`.
+    Sys,
+    /// Floating-point arithmetic and moves.
+    FpArith,
+    /// Int↔float conversions (`cvt.si2d` / `cvt.d2si`).
+    FpConvert,
+    /// Branches on floating-point comparisons.
+    FpBranch,
+    /// Floating-point loads/stores and bit moves.
+    FpMem,
+    /// `nop` / `halt`.
+    Misc,
+}
+
+/// A decoded BVM instruction.
+///
+/// Branch and jump targets are encoded pc-relative; the `rel` fields are
+/// byte offsets from the *start of this instruction*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    /// `rd = rs <op> rt` for the register-register ALU group.
+    Alu3 {
+        /// Operation; must be one of the R3 ALU opcodes.
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd = rs <op> imm` for the register-immediate ALU group.
+    AluI {
+        /// Operation; must be one of the RI ALU opcodes.
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Immediate, sign-extended to 64 bits.
+        imm: i32,
+    },
+    /// `rd = rs`.
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd = !rs` (bitwise not).
+    Not {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd = -rs` (two's complement).
+    Neg {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd = imm` (full 64-bit immediate).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// Memory load: `rd = width-extend(mem[rs + off])`.
+    Load {
+        /// Load opcode (selects width and sign extension).
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// Memory store: `mem[base + off] = truncate(src)`.
+    Store {
+        /// Store opcode (selects width).
+        op: Opcode,
+        /// Value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// `sp -= 8; mem[sp] = rs`.
+    Push {
+        /// Value to push.
+        rs: Reg,
+    },
+    /// `rd = mem[sp]; sp += 8`.
+    Pop {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Conditional branch: `if rs <cond> rt { pc += rel }`.
+    Branch {
+        /// Branch opcode (selects the comparison).
+        op: Opcode,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+        /// Relative target (from instruction start).
+        rel: i32,
+    },
+    /// Unconditional direct jump: `pc += rel`.
+    Jmp {
+        /// Relative target.
+        rel: i32,
+    },
+    /// Register-indirect jump: `pc = rs`.
+    Jr {
+        /// Target address register.
+        rs: Reg,
+    },
+    /// Direct call: `ra = next_pc; pc += rel`.
+    Call {
+        /// Relative target.
+        rel: i32,
+    },
+    /// Indirect call: `ra = next_pc; pc = rs`.
+    Callr {
+        /// Target address register.
+        rs: Reg,
+    },
+    /// Return: `pc = ra`.
+    Ret,
+    /// System call; number in `sv`, args in `a0..a5`, result in `a0`.
+    Sys,
+    /// No operation.
+    Nop,
+    /// Stop the machine immediately with exit code `a0`.
+    Halt,
+    /// Floating-point `fd = fs <op> ft`.
+    FAlu3 {
+        /// Operation; one of `FAdd/FSub/FMul/FDiv`.
+        op: Opcode,
+        /// Destination.
+        fd: FReg,
+        /// Left operand.
+        fs: FReg,
+        /// Right operand.
+        ft: FReg,
+    },
+    /// Floating-point unary: `fd = <op> fs` (`FSqrt`, `FNeg`, `FMov`).
+    FAlu2 {
+        /// Operation.
+        op: Opcode,
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        fs: FReg,
+    },
+    /// `fd = mem[base + off]` (8 bytes, raw bits).
+    FLd {
+        /// Destination.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// `mem[base + off] = fs` (8 bytes, raw bits).
+    FSt {
+        /// Value to store.
+        fs: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i32,
+    },
+    /// `fd = f64::from_bits(bits)`.
+    FLi {
+        /// Destination.
+        fd: FReg,
+        /// Raw IEEE-754 bits.
+        bits: u64,
+    },
+    /// `fd = rs as i64 as f64` — the BVM analogue of x86 `cvtsi2sd`.
+    FCvtSiToD {
+        /// Destination.
+        fd: FReg,
+        /// Integer source.
+        rs: Reg,
+    },
+    /// `rd = fs as i64` (truncating) — the analogue of `cvttsd2si`.
+    FCvtDToSi {
+        /// Integer destination.
+        rd: Reg,
+        /// Source.
+        fs: FReg,
+    },
+    /// Floating-point branch: `if fs <cond> ft { pc += rel }`.
+    FBranch {
+        /// Branch opcode (`FBeq`, `FBlt`, `FBle`).
+        op: Opcode,
+        /// Left operand.
+        fs: FReg,
+        /// Right operand.
+        ft: FReg,
+        /// Relative target.
+        rel: i32,
+    },
+    /// `rd = fs.to_bits()`.
+    FBits {
+        /// Integer destination.
+        rd: Reg,
+        /// Source.
+        fs: FReg,
+    },
+    /// `fd = f64::from_bits(rs)`.
+    FFromBits {
+        /// Destination.
+        fd: FReg,
+        /// Integer source (raw bits).
+        rs: Reg,
+    },
+}
+
+/// Error returned when decoding malformed instruction bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended inside an instruction.
+    Truncated,
+    /// The first byte is not a valid opcode.
+    BadOpcode(u8),
+    /// An operand byte encodes an out-of-range register.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction stream truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "invalid register operand {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Insn {
+    /// The opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        use Insn::*;
+        match *self {
+            Alu3 { op, .. } | AluI { op, .. } => op,
+            Mov { .. } => Opcode::Mov,
+            Not { .. } => Opcode::Not,
+            Neg { .. } => Opcode::Neg,
+            Li { .. } => Opcode::Li,
+            Load { op, .. } | Store { op, .. } => op,
+            Push { .. } => Opcode::Push,
+            Pop { .. } => Opcode::Pop,
+            Branch { op, .. } => op,
+            Jmp { .. } => Opcode::Jmp,
+            Jr { .. } => Opcode::Jr,
+            Call { .. } => Opcode::Call,
+            Callr { .. } => Opcode::Callr,
+            Ret => Opcode::Ret,
+            Sys => Opcode::Sys,
+            Nop => Opcode::Nop,
+            Halt => Opcode::Halt,
+            FAlu3 { op, .. } | FAlu2 { op, .. } => op,
+            FLd { .. } => Opcode::FLd,
+            FSt { .. } => Opcode::FSt,
+            FLi { .. } => Opcode::FLi,
+            FCvtSiToD { .. } => Opcode::FCvtSiToD,
+            FCvtDToSi { .. } => Opcode::FCvtDToSi,
+            FBranch { op, .. } => op,
+            FBits { .. } => Opcode::FBits,
+            FFromBits { .. } => Opcode::FFromBits,
+        }
+    }
+
+    /// The coarse class of this instruction (for support matrices and
+    /// statistics).
+    pub fn class(&self) -> InsnClass {
+        use Opcode::*;
+        match self.opcode() {
+            Add | Sub | And | Or | Xor | Shl | Shru | Shrs | Slt | Sltu | AddI | AndI | OrI
+            | XorI | ShlI | ShruI | ShrsI | SltI | SltuI | Mov | Not | Neg | Li => InsnClass::IntAlu,
+            Mul | MulI => InsnClass::Mul,
+            Divu | Divs | Remu | Rems => InsnClass::Div,
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Sb | Sh | Sw | Sd => InsnClass::Mem,
+            Push | Pop => InsnClass::Stack,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => InsnClass::Branch,
+            Jmp => InsnClass::Jump,
+            Jr => InsnClass::IndirectJump,
+            Call | Callr | Ret => InsnClass::Call,
+            Sys => InsnClass::Sys,
+            FAdd | FSub | FMul | FDiv | FSqrt | FNeg | FMov => InsnClass::FpArith,
+            FCvtSiToD | FCvtDToSi => InsnClass::FpConvert,
+            FBeq | FBlt | FBle => InsnClass::FpBranch,
+            FLd | FSt | FLi | FBits | FFromBits => InsnClass::FpMem,
+            Nop | Halt => InsnClass::Misc,
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        use Insn::*;
+        match self {
+            Alu3 { .. } | FAlu3 { .. } => 4,
+            AluI { .. } => 7,
+            Mov { .. } | Not { .. } | Neg { .. } | FAlu2 { .. } => 3,
+            Li { .. } | FLi { .. } => 10,
+            Load { .. } | Store { .. } | FLd { .. } | FSt { .. } => 7,
+            Push { .. } | Pop { .. } => 2,
+            Branch { .. } | FBranch { .. } => 7,
+            Jmp { .. } | Call { .. } => 5,
+            Jr { .. } | Callr { .. } => 2,
+            Ret | Sys | Nop | Halt => 1,
+            FCvtSiToD { .. } | FCvtDToSi { .. } | FBits { .. } | FFromBits { .. } => 3,
+        }
+    }
+
+    /// `true` only for the zero-byte case, which cannot happen; provided to
+    /// satisfy the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the instruction ends a basic block (branch, jump, call,
+    /// return, halt).
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.class(),
+            InsnClass::Branch
+                | InsnClass::Jump
+                | InsnClass::IndirectJump
+                | InsnClass::Call
+                | InsnClass::FpBranch
+        ) || matches!(self, Insn::Halt)
+    }
+
+    /// Appends the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use Insn::*;
+        out.push(self.opcode() as u8);
+        match *self {
+            Alu3 { rd, rs, rt, .. } => {
+                out.push(rd.index() as u8);
+                out.push(rs.index() as u8);
+                out.push(rt.index() as u8);
+            }
+            AluI { rd, rs, imm, .. } => {
+                out.push(rd.index() as u8);
+                out.push(rs.index() as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Mov { rd, rs } | Not { rd, rs } | Neg { rd, rs } => {
+                out.push(rd.index() as u8);
+                out.push(rs.index() as u8);
+            }
+            Li { rd, imm } => {
+                out.push(rd.index() as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Load { rd, base, off, .. } => {
+                out.push(rd.index() as u8);
+                out.push(base.index() as u8);
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            Store { src, base, off, .. } => {
+                out.push(src.index() as u8);
+                out.push(base.index() as u8);
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            Push { rs } => out.push(rs.index() as u8),
+            Pop { rd } => out.push(rd.index() as u8),
+            Branch { rs, rt, rel, .. } => {
+                out.push(rs.index() as u8);
+                out.push(rt.index() as u8);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Jmp { rel } | Call { rel } => out.extend_from_slice(&rel.to_le_bytes()),
+            Jr { rs } | Callr { rs } => out.push(rs.index() as u8),
+            Ret | Sys | Nop | Halt => {}
+            FAlu3 { fd, fs, ft, .. } => {
+                out.push(fd.index() as u8);
+                out.push(fs.index() as u8);
+                out.push(ft.index() as u8);
+            }
+            FAlu2 { fd, fs, .. } => {
+                out.push(fd.index() as u8);
+                out.push(fs.index() as u8);
+            }
+            FLd { fd, base, off } => {
+                out.push(fd.index() as u8);
+                out.push(base.index() as u8);
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            FSt { fs, base, off } => {
+                out.push(fs.index() as u8);
+                out.push(base.index() as u8);
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            FLi { fd, bits } => {
+                out.push(fd.index() as u8);
+                out.extend_from_slice(&bits.to_le_bytes());
+            }
+            FCvtSiToD { fd, rs } => {
+                out.push(fd.index() as u8);
+                out.push(rs.index() as u8);
+            }
+            FCvtDToSi { rd, fs } => {
+                out.push(rd.index() as u8);
+                out.push(fs.index() as u8);
+            }
+            FBranch { fs, ft, rel, .. } => {
+                out.push(fs.index() as u8);
+                out.push(ft.index() as u8);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            FBits { rd, fs } => {
+                out.push(rd.index() as u8);
+                out.push(fs.index() as u8);
+            }
+            FFromBits { fd, rs } => {
+                out.push(fd.index() as u8);
+                out.push(rs.index() as u8);
+            }
+        }
+    }
+
+    /// Decodes one instruction from the front of `bytes`.
+    ///
+    /// Returns the instruction and its encoded length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is truncated, the opcode byte
+    /// is invalid, or a register operand is out of range.
+    pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+        use Opcode::*;
+        let &op_byte = bytes.first().ok_or(DecodeError::Truncated)?;
+        let op = Opcode::from_byte(op_byte).ok_or(DecodeError::BadOpcode(op_byte))?;
+        let reg = |b: &[u8], i: usize| -> Result<Reg, DecodeError> {
+            let v = *b.get(i).ok_or(DecodeError::Truncated)?;
+            Reg::new(v).ok_or(DecodeError::BadRegister(v))
+        };
+        let freg = |b: &[u8], i: usize| -> Result<FReg, DecodeError> {
+            let v = *b.get(i).ok_or(DecodeError::Truncated)?;
+            FReg::new(v).ok_or(DecodeError::BadRegister(v))
+        };
+        let i32_at = |b: &[u8], i: usize| -> Result<i32, DecodeError> {
+            let s = b.get(i..i + 4).ok_or(DecodeError::Truncated)?;
+            Ok(i32::from_le_bytes(s.try_into().expect("4-byte slice")))
+        };
+        let u64_at = |b: &[u8], i: usize| -> Result<u64, DecodeError> {
+            let s = b.get(i..i + 8).ok_or(DecodeError::Truncated)?;
+            Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+        };
+
+        let insn = match op {
+            Add | Sub | Mul | Divu | Divs | Remu | Rems | And | Or | Xor | Shl | Shru | Shrs
+            | Slt | Sltu => Insn::Alu3 {
+                op,
+                rd: reg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+                rt: reg(bytes, 3)?,
+            },
+            AddI | MulI | AndI | OrI | XorI | ShlI | ShruI | ShrsI | SltI | SltuI => Insn::AluI {
+                op,
+                rd: reg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+                imm: i32_at(bytes, 3)?,
+            },
+            Mov => Insn::Mov {
+                rd: reg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+            },
+            Not => Insn::Not {
+                rd: reg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+            },
+            Neg => Insn::Neg {
+                rd: reg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+            },
+            Li => Insn::Li {
+                rd: reg(bytes, 1)?,
+                imm: u64_at(bytes, 2)?,
+            },
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => Insn::Load {
+                op,
+                rd: reg(bytes, 1)?,
+                base: reg(bytes, 2)?,
+                off: i32_at(bytes, 3)?,
+            },
+            Sb | Sh | Sw | Sd => Insn::Store {
+                op,
+                src: reg(bytes, 1)?,
+                base: reg(bytes, 2)?,
+                off: i32_at(bytes, 3)?,
+            },
+            Push => Insn::Push { rs: reg(bytes, 1)? },
+            Pop => Insn::Pop { rd: reg(bytes, 1)? },
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => Insn::Branch {
+                op,
+                rs: reg(bytes, 1)?,
+                rt: reg(bytes, 2)?,
+                rel: i32_at(bytes, 3)?,
+            },
+            Jmp => Insn::Jmp {
+                rel: i32_at(bytes, 1)?,
+            },
+            Jr => Insn::Jr { rs: reg(bytes, 1)? },
+            Call => Insn::Call {
+                rel: i32_at(bytes, 1)?,
+            },
+            Callr => Insn::Callr { rs: reg(bytes, 1)? },
+            Ret => Insn::Ret,
+            Sys => Insn::Sys,
+            Nop => Insn::Nop,
+            Halt => Insn::Halt,
+            FAdd | FSub | FMul | FDiv => Insn::FAlu3 {
+                op,
+                fd: freg(bytes, 1)?,
+                fs: freg(bytes, 2)?,
+                ft: freg(bytes, 3)?,
+            },
+            FSqrt | FNeg | FMov => Insn::FAlu2 {
+                op,
+                fd: freg(bytes, 1)?,
+                fs: freg(bytes, 2)?,
+            },
+            FLd => Insn::FLd {
+                fd: freg(bytes, 1)?,
+                base: reg(bytes, 2)?,
+                off: i32_at(bytes, 3)?,
+            },
+            FSt => Insn::FSt {
+                fs: freg(bytes, 1)?,
+                base: reg(bytes, 2)?,
+                off: i32_at(bytes, 3)?,
+            },
+            FLi => Insn::FLi {
+                fd: freg(bytes, 1)?,
+                bits: u64_at(bytes, 2)?,
+            },
+            FCvtSiToD => Insn::FCvtSiToD {
+                fd: freg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+            },
+            FCvtDToSi => Insn::FCvtDToSi {
+                rd: reg(bytes, 1)?,
+                fs: freg(bytes, 2)?,
+            },
+            FBeq | FBlt | FBle => Insn::FBranch {
+                op,
+                fs: freg(bytes, 1)?,
+                ft: freg(bytes, 2)?,
+                rel: i32_at(bytes, 3)?,
+            },
+            FBits => Insn::FBits {
+                rd: reg(bytes, 1)?,
+                fs: freg(bytes, 2)?,
+            },
+            FFromBits => Insn::FFromBits {
+                fd: freg(bytes, 1)?,
+                rs: reg(bytes, 2)?,
+            },
+        };
+        let len = insn.len();
+        if bytes.len() < len {
+            return Err(DecodeError::Truncated);
+        }
+        Ok((insn, len))
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Insn::*;
+        let opname = |op: Opcode| -> &'static str {
+            use Opcode::*;
+            match op {
+                Add => "add",
+                Sub => "sub",
+                Mul => "mul",
+                Divu => "divu",
+                Divs => "divs",
+                Remu => "remu",
+                Rems => "rems",
+                And => "and",
+                Or => "or",
+                Xor => "xor",
+                Shl => "shl",
+                Shru => "shru",
+                Shrs => "shrs",
+                Slt => "slt",
+                Sltu => "sltu",
+                AddI => "addi",
+                MulI => "muli",
+                AndI => "andi",
+                OrI => "ori",
+                XorI => "xori",
+                ShlI => "shli",
+                ShruI => "shrui",
+                ShrsI => "shrsi",
+                SltI => "slti",
+                SltuI => "sltui",
+                Mov => "mov",
+                Not => "not",
+                Neg => "neg",
+                Li => "li",
+                Lb => "lb",
+                Lbu => "lbu",
+                Lh => "lh",
+                Lhu => "lhu",
+                Lw => "lw",
+                Lwu => "lwu",
+                Ld => "ld",
+                Sb => "sb",
+                Sh => "sh",
+                Sw => "sw",
+                Sd => "sd",
+                Push => "push",
+                Pop => "pop",
+                Beq => "beq",
+                Bne => "bne",
+                Blt => "blt",
+                Bge => "bge",
+                Bltu => "bltu",
+                Bgeu => "bgeu",
+                Jmp => "jmp",
+                Jr => "jr",
+                Call => "call",
+                Callr => "callr",
+                Ret => "ret",
+                Sys => "sys",
+                Nop => "nop",
+                Halt => "halt",
+                FAdd => "fadd.d",
+                FSub => "fsub.d",
+                FMul => "fmul.d",
+                FDiv => "fdiv.d",
+                FSqrt => "fsqrt.d",
+                FNeg => "fneg.d",
+                FMov => "fmov.d",
+                FLd => "fld",
+                FSt => "fst",
+                FLi => "fli",
+                FCvtSiToD => "cvt.si2d",
+                FCvtDToSi => "cvt.d2si",
+                FBeq => "fbeq",
+                FBlt => "fblt",
+                FBle => "fble",
+                FBits => "fbits",
+                FFromBits => "ffrombits",
+            }
+        };
+        match *self {
+            Alu3 { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", opname(op)),
+            AluI { op, rd, rs, imm } => write!(f, "{} {rd}, {rs}, {imm}", opname(op)),
+            Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Not { rd, rs } => write!(f, "not {rd}, {rs}"),
+            Neg { rd, rs } => write!(f, "neg {rd}, {rs}"),
+            Li { rd, imm } => write!(f, "li {rd}, {:#x}", imm),
+            Load { op, rd, base, off } => write!(f, "{} {rd}, [{base}{off:+}]", opname(op)),
+            Store { op, src, base, off } => write!(f, "{} [{base}{off:+}], {src}", opname(op)),
+            Push { rs } => write!(f, "push {rs}"),
+            Pop { rd } => write!(f, "pop {rd}"),
+            Branch { op, rs, rt, rel } => write!(f, "{} {rs}, {rt}, {rel:+}", opname(op)),
+            Jmp { rel } => write!(f, "jmp {rel:+}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Call { rel } => write!(f, "call {rel:+}"),
+            Callr { rs } => write!(f, "callr {rs}"),
+            Ret => write!(f, "ret"),
+            Sys => write!(f, "sys"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+            FAlu3 { op, fd, fs, ft } => write!(f, "{} {fd}, {fs}, {ft}", opname(op)),
+            FAlu2 { op, fd, fs } => write!(f, "{} {fd}, {fs}", opname(op)),
+            FLd { fd, base, off } => write!(f, "fld {fd}, [{base}{off:+}]"),
+            FSt { fs, base, off } => write!(f, "fst [{base}{off:+}], {fs}"),
+            FLi { fd, bits } => write!(f, "fli {fd}, {}", f64::from_bits(bits)),
+            FCvtSiToD { fd, rs } => write!(f, "cvt.si2d {fd}, {rs}"),
+            FCvtDToSi { rd, fs } => write!(f, "cvt.d2si {rd}, {fs}"),
+            FBranch { op, fs, ft, rel } => write!(f, "{} {fs}, {ft}, {rel:+}", opname(op)),
+            FBits { rd, fs } => write!(f, "fbits {rd}, {fs}"),
+            FFromBits { fd, rs } => write!(f, "ffrombits {fd}, {rs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insns() -> Vec<Insn> {
+        let r = |i| Reg::new(i).unwrap();
+        let fr = |i| FReg::new(i).unwrap();
+        vec![
+            Insn::Alu3 {
+                op: Opcode::Add,
+                rd: r(1),
+                rs: r(2),
+                rt: r(3),
+            },
+            Insn::AluI {
+                op: Opcode::AddI,
+                rd: r(4),
+                rs: r(4),
+                imm: -8,
+            },
+            Insn::Mov { rd: r(5), rs: r(6) },
+            Insn::Li {
+                rd: r(7),
+                imm: 0xdead_beef_cafe_f00d,
+            },
+            Insn::Load {
+                op: Opcode::Lw,
+                rd: r(8),
+                base: r(29),
+                off: -16,
+            },
+            Insn::Store {
+                op: Opcode::Sd,
+                src: r(9),
+                base: r(30),
+                off: 24,
+            },
+            Insn::Push { rs: r(10) },
+            Insn::Pop { rd: r(11) },
+            Insn::Branch {
+                op: Opcode::Bltu,
+                rs: r(1),
+                rt: r(2),
+                rel: -100,
+            },
+            Insn::Jmp { rel: 1234 },
+            Insn::Jr { rs: r(12) },
+            Insn::Call { rel: -5 },
+            Insn::Callr { rs: r(13) },
+            Insn::Ret,
+            Insn::Sys,
+            Insn::Nop,
+            Insn::Halt,
+            Insn::FAlu3 {
+                op: Opcode::FMul,
+                fd: fr(0),
+                fs: fr(1),
+                ft: fr(2),
+            },
+            Insn::FAlu2 {
+                op: Opcode::FSqrt,
+                fd: fr(3),
+                fs: fr(4),
+            },
+            Insn::FLd {
+                fd: fr(5),
+                base: r(29),
+                off: 8,
+            },
+            Insn::FSt {
+                fs: fr(6),
+                base: r(29),
+                off: -8,
+            },
+            Insn::FLi {
+                fd: fr(7),
+                bits: 1024.5f64.to_bits(),
+            },
+            Insn::FCvtSiToD { fd: fr(8), rs: r(14) },
+            Insn::FCvtDToSi { rd: r(15), fs: fr(9) },
+            Insn::FBranch {
+                op: Opcode::FBle,
+                fs: fr(10),
+                ft: fr(11),
+                rel: 42,
+            },
+            Insn::FBits { rd: r(16), fs: fr(12) },
+            Insn::FFromBits {
+                fd: fr(13),
+                rs: r(17),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_shape() {
+        for insn in sample_insns() {
+            let mut buf = Vec::new();
+            insn.encode(&mut buf);
+            assert_eq!(buf.len(), insn.len(), "declared length for {insn}");
+            let (decoded, len) = Insn::decode(&buf).unwrap();
+            assert_eq!(decoded, insn);
+            assert_eq!(len, buf.len());
+        }
+    }
+
+    #[test]
+    fn stream_of_instructions_decodes_in_sequence() {
+        let insns = sample_insns();
+        let mut buf = Vec::new();
+        for i in &insns {
+            i.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (insn, len) = Insn::decode(&buf[pos..]).unwrap();
+            decoded.push(insn);
+            pos += len;
+        }
+        assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let insn = Insn::Li {
+            rd: Reg::A0,
+            imm: u64::MAX,
+        };
+        let mut buf = Vec::new();
+        insn.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                Insn::decode(&buf[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        assert_eq!(Insn::decode(&[0xFF]).unwrap_err(), DecodeError::BadOpcode(0xFF));
+        assert_eq!(Insn::decode(&[0x00]).unwrap_err(), DecodeError::BadOpcode(0x00));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        // add rd=200 — register out of range.
+        assert_eq!(
+            Insn::decode(&[Opcode::Add as u8, 200, 0, 0]).unwrap_err(),
+            DecodeError::BadRegister(200)
+        );
+    }
+
+    #[test]
+    fn classes_are_as_documented() {
+        assert_eq!(Insn::Push { rs: Reg::A0 }.class(), InsnClass::Stack);
+        assert_eq!(Insn::Jr { rs: Reg::A0 }.class(), InsnClass::IndirectJump);
+        assert_eq!(
+            Insn::FCvtSiToD {
+                fd: FReg::new(0).unwrap(),
+                rs: Reg::A0
+            }
+            .class(),
+            InsnClass::FpConvert
+        );
+        assert_eq!(Insn::Sys.class(), InsnClass::Sys);
+    }
+
+    #[test]
+    fn terminators_are_flagged() {
+        assert!(Insn::Jmp { rel: 0 }.is_terminator());
+        assert!(Insn::Ret.is_terminator());
+        assert!(Insn::Halt.is_terminator());
+        assert!(!Insn::Nop.is_terminator());
+        assert!(!Insn::Sys.is_terminator());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all() {
+        for insn in sample_insns() {
+            assert!(!insn.to_string().is_empty());
+        }
+    }
+}

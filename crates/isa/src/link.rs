@@ -1,0 +1,398 @@
+//! Static and dynamic linking of relocatable objects into images.
+
+use crate::image::{layout, Fixup, FixupKind, Image, Import};
+use crate::obj::{Object, RelocKind, Section};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Linking errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Two objects define the same global symbol.
+    DuplicateSymbol(String),
+    /// A referenced symbol is neither defined nor declared `.extern`.
+    UndefinedSymbol(String),
+    /// The entry symbol was not found.
+    MissingEntry(String),
+    /// A relative displacement overflowed 32 bits.
+    RelocOverflow(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate global symbol `{s}`"),
+            LinkError::UndefinedSymbol(s) => {
+                write!(f, "undefined symbol `{s}` (not declared .extern)")
+            }
+            LinkError::MissingEntry(s) => write!(f, "entry symbol `{s}` not defined"),
+            LinkError::RelocOverflow(s) => write!(f, "relative reference to `{s}` overflows"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Links one or more [`Object`]s into an executable or shared [`Image`].
+///
+/// References to symbols declared `.extern` that no added object defines
+/// become *imports*, resolved later by [`Image::resolve_imports`] against a
+/// shared library.
+///
+/// # Example
+///
+/// ```
+/// use bomblab_isa::asm::assemble;
+/// use bomblab_isa::link::Linker;
+///
+/// let obj = assemble(".text\n.global _start\n_start: halt\n")?;
+/// let image = Linker::new().add_object(obj).link()?;
+/// assert_eq!(image.entry, image.text_base);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Linker {
+    objects: Vec<Object>,
+    shared: bool,
+    entry: String,
+}
+
+impl Linker {
+    /// Creates a linker for an executable with entry symbol `_start`.
+    pub fn new() -> Linker {
+        Linker {
+            objects: Vec::new(),
+            shared: false,
+            entry: "_start".to_string(),
+        }
+    }
+
+    /// Adds an object file.
+    pub fn add_object(mut self, obj: Object) -> Linker {
+        self.objects.push(obj);
+        self
+    }
+
+    /// Links as a shared library: library layout bases, no entry point, all
+    /// global symbols exported.
+    pub fn shared(mut self) -> Linker {
+        self.shared = true;
+        self
+    }
+
+    /// Overrides the entry symbol (default `_start`).
+    pub fn entry_symbol(mut self, name: impl Into<String>) -> Linker {
+        self.entry = name.into();
+        self
+    }
+
+    /// Performs the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] on duplicate globals, references to symbols that
+    /// are neither defined nor `.extern`, a missing entry symbol, or
+    /// relative-displacement overflow.
+    pub fn link(self) -> Result<Image, LinkError> {
+        let (text_base, data_base) = if self.shared {
+            (layout::LIB_TEXT_BASE, layout::LIB_DATA_BASE)
+        } else {
+            (layout::TEXT_BASE, layout::DATA_BASE)
+        };
+
+        // Lay out each object's sections.
+        let mut text = Vec::new();
+        let mut data = Vec::new();
+        let mut bases = Vec::new(); // (text_off, data_off) per object
+        for obj in &self.objects {
+            align_to(&mut text, 16);
+            align_to(&mut data, 16);
+            bases.push((text.len() as u64, data.len() as u64));
+            text.extend_from_slice(&obj.text);
+            data.extend_from_slice(&obj.data);
+        }
+
+        // Global symbol map.
+        let mut globals: BTreeMap<String, u64> = BTreeMap::new();
+        for (obj, &(t_off, d_off)) in self.objects.iter().zip(&bases) {
+            for sym in obj.symbols.iter().filter(|s| s.global) {
+                let addr = match sym.section {
+                    Section::Text => text_base + t_off + sym.offset,
+                    Section::Data => data_base + d_off + sym.offset,
+                };
+                if globals.insert(sym.name.clone(), addr).is_some() {
+                    return Err(LinkError::DuplicateSymbol(sym.name.clone()));
+                }
+            }
+        }
+
+        // Collect the union of extern declarations.
+        let externs: Vec<&str> = self
+            .objects
+            .iter()
+            .flat_map(|o| o.externs.iter().map(String::as_str))
+            .collect();
+
+        // Resolve relocations.
+        let mut imports: BTreeMap<String, Vec<Fixup>> = BTreeMap::new();
+        for (obj, &(t_off, d_off)) in self.objects.iter().zip(&bases) {
+            for reloc in &obj.relocs {
+                let (seg_base, seg_off) = match reloc.section {
+                    Section::Text => (text_base, t_off),
+                    Section::Data => (data_base, d_off),
+                };
+                let patch_addr = seg_base + seg_off + reloc.offset;
+                // Local symbols shadow globals.
+                let local = obj.symbol(&reloc.symbol).map(|s| match s.section {
+                    Section::Text => text_base + t_off + s.offset,
+                    Section::Data => data_base + d_off + s.offset,
+                });
+                let resolved = local.or_else(|| globals.get(&reloc.symbol).copied());
+                let kind = match reloc.kind {
+                    RelocKind::Abs64 => FixupKind::Abs64,
+                    RelocKind::Rel32 { base } => FixupKind::Rel32 {
+                        base: seg_base + seg_off + base,
+                    },
+                };
+                match resolved {
+                    Some(sym_addr) => {
+                        let target = (sym_addr as i64).wrapping_add(reloc.addend) as u64;
+                        let buf = match reloc.section {
+                            Section::Text => &mut text,
+                            Section::Data => &mut data,
+                        };
+                        let off = (seg_off + reloc.offset) as usize;
+                        match kind {
+                            FixupKind::Abs64 => {
+                                buf[off..off + 8].copy_from_slice(&target.to_le_bytes());
+                            }
+                            FixupKind::Rel32 { base } => {
+                                let delta = target.wrapping_sub(base) as i64;
+                                let rel = i32::try_from(delta).map_err(|_| {
+                                    LinkError::RelocOverflow(reloc.symbol.clone())
+                                })?;
+                                buf[off..off + 4].copy_from_slice(&rel.to_le_bytes());
+                            }
+                        }
+                    }
+                    None => {
+                        if !externs.contains(&reloc.symbol.as_str()) {
+                            return Err(LinkError::UndefinedSymbol(reloc.symbol.clone()));
+                        }
+                        imports.entry(reloc.symbol.clone()).or_default().push(Fixup {
+                            addr: patch_addr,
+                            kind,
+                            addend: reloc.addend,
+                        });
+                    }
+                }
+            }
+        }
+
+        let entry = if self.shared {
+            0
+        } else {
+            *globals
+                .get(&self.entry)
+                .ok_or_else(|| LinkError::MissingEntry(self.entry.clone()))?
+        };
+
+        Ok(Image {
+            entry,
+            text_base,
+            text,
+            data_base,
+            data,
+            symbols: globals,
+            imports: imports
+                .into_iter()
+                .map(|(symbol, fixups)| Import { symbol, fixups })
+                .collect(),
+        })
+    }
+}
+
+fn align_to(buf: &mut Vec<u8>, align: usize) {
+    let pad = (align - (buf.len() % align)) % align;
+    buf.extend(std::iter::repeat(0u8).take(pad));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::insn::Insn;
+
+    #[test]
+    fn single_object_executable_links() {
+        let obj = assemble(
+            r#"
+            .text
+            .global _start
+        _start:
+            li a0, 1
+            jmp done
+            nop
+        done:
+            halt
+            "#,
+        )
+        .unwrap();
+        let img = Linker::new().add_object(obj).link().unwrap();
+        assert_eq!(img.entry, layout::TEXT_BASE);
+        // Decode the jmp and check the displacement lands on `done`.
+        let (li, l1) = Insn::decode(&img.text).unwrap();
+        assert!(matches!(li, Insn::Li { .. }));
+        let (jmp, _) = Insn::decode(&img.text[l1..]).unwrap();
+        match jmp {
+            Insn::Jmp { rel } => {
+                let jmp_addr = layout::TEXT_BASE + l1 as u64;
+                let done = img.symbols.get("done").copied();
+                // `done` is local (not .global) so it is not exported;
+                // compute from layout instead: li(10) + jmp(5) + nop(1).
+                assert_eq!(done, None);
+                assert_eq!(jmp_addr.wrapping_add(rel as i64 as u64), layout::TEXT_BASE + 16);
+            }
+            other => panic!("expected jmp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cross_object_call_resolves() {
+        let a = assemble(
+            r#"
+            .extern helper
+            .global _start
+        _start:
+            call helper
+            halt
+            "#,
+        )
+        .unwrap();
+        let b = assemble(
+            r#"
+            .global helper
+        helper:
+            ret
+            "#,
+        )
+        .unwrap();
+        let img = Linker::new().add_object(a).add_object(b).link().unwrap();
+        assert!(img.imports.is_empty());
+        let (call, _) = Insn::decode(&img.text).unwrap();
+        match call {
+            Insn::Call { rel } => {
+                let target = layout::TEXT_BASE.wrapping_add(rel as i64 as u64);
+                assert_eq!(Some(target), img.symbol("helper"));
+            }
+            other => panic!("expected call, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_extern_becomes_import() {
+        let a = assemble(
+            r#"
+            .extern sin
+            .global _start
+        _start:
+            call sin
+            halt
+            "#,
+        )
+        .unwrap();
+        let img = Linker::new().add_object(a).link().unwrap();
+        assert_eq!(img.imports.len(), 1);
+        assert_eq!(img.imports[0].symbol, "sin");
+        assert_eq!(img.imports[0].fixups.len(), 1);
+    }
+
+    #[test]
+    fn import_resolves_against_shared_library() {
+        let lib = assemble(
+            r#"
+            .global sin
+        sin:
+            ret
+            "#,
+        )
+        .unwrap();
+        let lib_img = Linker::new().shared().add_object(lib).link().unwrap();
+        assert_eq!(lib_img.entry, 0);
+        assert_eq!(lib_img.text_base, layout::LIB_TEXT_BASE);
+
+        let exe = assemble(
+            r#"
+            .extern sin
+            .global _start
+        _start:
+            call sin
+            halt
+            "#,
+        )
+        .unwrap();
+        let mut exe_img = Linker::new().add_object(exe).link().unwrap();
+        exe_img.resolve_imports(&lib_img.symbols).unwrap();
+        let (call, _) = Insn::decode(&exe_img.text).unwrap();
+        match call {
+            Insn::Call { rel } => {
+                let target = layout::TEXT_BASE.wrapping_add(rel as i64 as u64);
+                assert_eq!(Some(target), lib_img.symbol("sin"));
+            }
+            other => panic!("expected call, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_symbol_without_extern_errors() {
+        let a = assemble(".global _start\n_start:\ncall nowhere\n").unwrap();
+        assert_eq!(
+            Linker::new().add_object(a).link().unwrap_err(),
+            LinkError::UndefinedSymbol("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_globals_error() {
+        let a = assemble(".global f\nf: ret\n.global _start\n_start: halt").unwrap();
+        let b = assemble(".global f\nf: ret\n").unwrap();
+        assert_eq!(
+            Linker::new().add_object(a).add_object(b).link().unwrap_err(),
+            LinkError::DuplicateSymbol("f".into())
+        );
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let a = assemble("nop").unwrap();
+        assert_eq!(
+            Linker::new().add_object(a).link().unwrap_err(),
+            LinkError::MissingEntry("_start".into())
+        );
+    }
+
+    #[test]
+    fn data_references_from_text_resolve() {
+        let a = assemble(
+            r#"
+            .data
+        greeting: .asciz "hey"
+            .text
+            .global _start
+        _start:
+            li a1, greeting
+            halt
+            "#,
+        )
+        .unwrap();
+        let img = Linker::new().add_object(a).link().unwrap();
+        let (li, _) = Insn::decode(&img.text).unwrap();
+        match li {
+            Insn::Li { imm, .. } => {
+                assert_eq!(imm, layout::DATA_BASE);
+                assert_eq!(&img.data[..4], b"hey\0");
+            }
+            other => panic!("expected li, got {other}"),
+        }
+    }
+}

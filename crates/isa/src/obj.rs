@@ -1,0 +1,127 @@
+//! Relocatable object files produced by the assembler and consumed by the
+//! linker.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The section a symbol or relocation lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Executable code.
+    Text,
+    /// Initialized data (also used for zero-filled space).
+    Data,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Text => write!(f, ".text"),
+            Section::Data => write!(f, ".data"),
+        }
+    }
+}
+
+/// A defined symbol: a named offset within a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Section the symbol is defined in.
+    pub section: Section,
+    /// Byte offset within the section.
+    pub offset: u64,
+    /// Whether the symbol is visible to other objects (`.global`).
+    pub global: bool,
+}
+
+/// How a relocation patches bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocKind {
+    /// Write the symbol's absolute 64-bit address at the patch offset.
+    Abs64,
+    /// Write `symbol_address - base_address` as a little-endian `i32`,
+    /// where `base` is the section offset of the referencing instruction.
+    Rel32 {
+        /// Section offset of the start of the referencing instruction.
+        base: u64,
+    },
+}
+
+/// A pending reference to a symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Section containing the bytes to patch.
+    pub section: Section,
+    /// Byte offset of the patch location within the section.
+    pub offset: u64,
+    /// Patch style.
+    pub kind: RelocKind,
+    /// Name of the referenced symbol.
+    pub symbol: String,
+    /// Constant added to the symbol address before patching.
+    pub addend: i64,
+}
+
+/// A relocatable object file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Object {
+    /// Code bytes.
+    pub text: Vec<u8>,
+    /// Data bytes.
+    pub data: Vec<u8>,
+    /// Defined symbols.
+    pub symbols: Vec<Symbol>,
+    /// Unresolved references.
+    pub relocs: Vec<Reloc>,
+    /// Symbols declared `.extern` (expected to be defined elsewhere).
+    pub externs: Vec<String>,
+}
+
+impl Object {
+    /// Creates an empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Looks up a defined symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Map of global symbol name → (section, offset).
+    pub fn globals(&self) -> BTreeMap<&str, (Section, u64)> {
+        self.symbols
+            .iter()
+            .filter(|s| s.global)
+            .map(|s| (s.name.as_str(), (s.section, s.offset)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_filters_local_symbols() {
+        let mut o = Object::new();
+        o.symbols.push(Symbol {
+            name: "main".into(),
+            section: Section::Text,
+            offset: 0,
+            global: true,
+        });
+        o.symbols.push(Symbol {
+            name: "loop".into(),
+            section: Section::Text,
+            offset: 8,
+            global: false,
+        });
+        let g = o.globals();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g["main"], (Section::Text, 0));
+        assert!(o.symbol("loop").is_some());
+        assert!(o.symbol("nope").is_none());
+    }
+}

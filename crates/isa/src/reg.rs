@@ -1,0 +1,196 @@
+//! General-purpose and floating-point register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose 64-bit registers, `r0..r31`.
+///
+/// The BVM ABI assigns conventional roles:
+///
+/// | Register | Alias | Role |
+/// |---|---|---|
+/// | `r0` | `zero` | hardwired zero (writes are ignored by the CPU) |
+/// | `r1..r6` | `a0..a5` | arguments / `a0` return value |
+/// | `r7` | `sv` | syscall number |
+/// | `r8..r15` | `t0..t7` | caller-saved temporaries |
+/// | `r16..r23` | `s0..s7` | callee-saved |
+/// | `r26` | `tc` | trap cause (written by the CPU on a trap) |
+/// | `r27` | `tr` | trap resume address |
+/// | `r29` | `sp` | stack pointer |
+/// | `r30` | `fp` | frame pointer |
+/// | `r31` | `ra` | return address |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 32;
+
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// First argument / return value.
+    pub const A0: Reg = Reg(1);
+    /// Second argument.
+    pub const A1: Reg = Reg(2);
+    /// Third argument.
+    pub const A2: Reg = Reg(3);
+    /// Fourth argument.
+    pub const A3: Reg = Reg(4);
+    /// Fifth argument.
+    pub const A4: Reg = Reg(5);
+    /// Sixth argument.
+    pub const A5: Reg = Reg(6);
+    /// Syscall number.
+    pub const SV: Reg = Reg(7);
+    /// Trap cause.
+    pub const TC: Reg = Reg(26);
+    /// Trap resume address.
+    pub const TR: Reg = Reg(27);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub const fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < Reg::COUNT {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, in `0..32`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses a register name: `rN`, or an ABI alias (`a0..a5`, `sv`,
+    /// `t0..t7`, `s0..s7`, `tc`, `tr`, `sp`, `fp`, `ra`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let alias = |i: u8| Some(Reg(i));
+        match name {
+            "zero" => return alias(0),
+            "sv" => return alias(7),
+            "tc" => return alias(26),
+            "tr" => return alias(27),
+            "sp" => return alias(29),
+            "fp" => return alias(30),
+            "ra" => return alias(31),
+            _ => {}
+        }
+        if !name.is_char_boundary(1) || name.len() < 2 {
+            return None;
+        }
+        let (prefix, num) = name.split_at(1);
+        let n: u8 = num.parse().ok()?;
+        match prefix {
+            "r" if (n as usize) < Reg::COUNT => Some(Reg(n)),
+            "a" if n <= 5 => Some(Reg(1 + n)),
+            "t" if n <= 7 => Some(Reg(8 + n)),
+            "s" if n <= 7 => Some(Reg(16 + n)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            1..=6 => write!(f, "a{}", self.0 - 1),
+            7 => write!(f, "sv"),
+            8..=15 => write!(f, "t{}", self.0 - 8),
+            16..=23 => write!(f, "s{}", self.0 - 16),
+            26 => write!(f, "tc"),
+            27 => write!(f, "tr"),
+            29 => write!(f, "sp"),
+            30 => write!(f, "fp"),
+            31 => write!(f, "ra"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// One of the 16 double-precision floating-point registers, `f0..f15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// Returns `None` if `index >= 16`.
+    pub const fn new(index: u8) -> Option<FReg> {
+        if (index as usize) < FReg::COUNT {
+            Some(FReg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, in `0..16`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses a floating-point register name `fN`.
+    pub fn parse(name: &str) -> Option<FReg> {
+        let num = name.strip_prefix('f')?;
+        let n: u8 = num.parse().ok()?;
+        FReg::new(n)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_round_trip_through_display_and_parse() {
+        for i in 0..32u8 {
+            let r = Reg::new(i).unwrap();
+            let shown = r.to_string();
+            assert_eq!(Reg::parse(&shown), Some(r), "alias {shown}");
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn named_aliases_map_to_documented_indices() {
+        assert_eq!(Reg::parse("a0"), Some(Reg::A0));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("ra"), Some(Reg::RA));
+        assert_eq!(Reg::parse("sv"), Some(Reg::SV));
+        assert_eq!(Reg::parse("t0"), Reg::new(8));
+        assert_eq!(Reg::parse("s7"), Reg::new(23));
+    }
+
+    #[test]
+    fn out_of_range_names_are_rejected() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("a6"), None);
+        assert_eq!(Reg::parse("x3"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(FReg::parse("f16"), None);
+        assert_eq!(FReg::parse("r1"), None);
+    }
+
+    #[test]
+    fn freg_round_trips() {
+        for i in 0..16u8 {
+            let r = FReg::new(i).unwrap();
+            assert_eq!(FReg::parse(&r.to_string()), Some(r));
+        }
+    }
+}

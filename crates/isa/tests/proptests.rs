@@ -1,0 +1,162 @@
+//! Property tests for the ISA: encode/decode and assembler round-trips.
+
+use bomblab_isa::asm::assemble;
+use bomblab_isa::{FReg, Insn, Opcode, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("in range"))
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..16).prop_map(|i| FReg::new(i).expect("in range"))
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let alu3_ops = prop_oneof![
+        Just(Opcode::Add),
+        Just(Opcode::Sub),
+        Just(Opcode::Mul),
+        Just(Opcode::Divu),
+        Just(Opcode::Divs),
+        Just(Opcode::Remu),
+        Just(Opcode::Rems),
+        Just(Opcode::And),
+        Just(Opcode::Or),
+        Just(Opcode::Xor),
+        Just(Opcode::Shl),
+        Just(Opcode::Shru),
+        Just(Opcode::Shrs),
+        Just(Opcode::Slt),
+        Just(Opcode::Sltu),
+    ];
+    let alui_ops = prop_oneof![
+        Just(Opcode::AddI),
+        Just(Opcode::MulI),
+        Just(Opcode::AndI),
+        Just(Opcode::OrI),
+        Just(Opcode::XorI),
+        Just(Opcode::ShlI),
+        Just(Opcode::ShruI),
+        Just(Opcode::ShrsI),
+        Just(Opcode::SltI),
+        Just(Opcode::SltuI),
+    ];
+    let load_ops = prop_oneof![
+        Just(Opcode::Lb),
+        Just(Opcode::Lbu),
+        Just(Opcode::Lh),
+        Just(Opcode::Lhu),
+        Just(Opcode::Lw),
+        Just(Opcode::Lwu),
+        Just(Opcode::Ld),
+    ];
+    let store_ops = prop_oneof![
+        Just(Opcode::Sb),
+        Just(Opcode::Sh),
+        Just(Opcode::Sw),
+        Just(Opcode::Sd),
+    ];
+    let branch_ops = prop_oneof![
+        Just(Opcode::Beq),
+        Just(Opcode::Bne),
+        Just(Opcode::Blt),
+        Just(Opcode::Bge),
+        Just(Opcode::Bltu),
+        Just(Opcode::Bgeu),
+    ];
+    prop_oneof![
+        (alu3_ops, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Insn::Alu3 { op, rd, rs, rt }),
+        (alui_ops, arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rd, rs, imm)| Insn::AluI { op, rd, rs, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
+        (arb_reg(), any::<u64>()).prop_map(|(rd, imm)| Insn::Li { rd, imm }),
+        (load_ops, arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rd, base, off)| Insn::Load { op, rd, base, off }),
+        (store_ops, arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, src, base, off)| Insn::Store { op, src, base, off }),
+        arb_reg().prop_map(|rs| Insn::Push { rs }),
+        arb_reg().prop_map(|rd| Insn::Pop { rd }),
+        (branch_ops, arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rs, rt, rel)| Insn::Branch { op, rs, rt, rel }),
+        any::<i32>().prop_map(|rel| Insn::Jmp { rel }),
+        arb_reg().prop_map(|rs| Insn::Jr { rs }),
+        any::<i32>().prop_map(|rel| Insn::Call { rel }),
+        arb_reg().prop_map(|rs| Insn::Callr { rs }),
+        Just(Insn::Ret),
+        Just(Insn::Sys),
+        Just(Insn::Nop),
+        Just(Insn::Halt),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fs, ft)| Insn::FAlu3 {
+            op: Opcode::FMul,
+            fd,
+            fs,
+            ft
+        }),
+        (arb_freg(), any::<u64>()).prop_map(|(fd, bits)| Insn::FLi { fd, bits }),
+        (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Insn::FCvtSiToD { fd, rs }),
+        (arb_reg(), arb_freg()).prop_map(|(rd, fs)| Insn::FCvtDToSi { rd, fs }),
+        (arb_freg(), arb_freg(), any::<i32>()).prop_map(|(fs, ft, rel)| Insn::FBranch {
+            op: Opcode::FBle,
+            fs,
+            ft,
+            rel
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(insn in arb_insn()) {
+        let mut buf = Vec::new();
+        insn.encode(&mut buf);
+        prop_assert_eq!(buf.len(), insn.len());
+        let (decoded, len) = Insn::decode(&buf).expect("decodes");
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = Insn::decode(&bytes);
+    }
+
+    #[test]
+    fn instruction_streams_decode_in_sequence(insns in proptest::collection::vec(arb_insn(), 1..32)) {
+        let mut buf = Vec::new();
+        for i in &insns {
+            i.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (insn, len) = Insn::decode(&buf[pos..]).expect("stream decodes");
+            decoded.push(insn);
+            pos += len;
+        }
+        prop_assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn assembler_accepts_generated_immediates(value in any::<i32>(), shift in 0u8..64) {
+        let src = format!("addi a0, a1, {value}\nshli a2, a3, {shift}\n");
+        let obj = assemble(&src).expect("assembles");
+        let (insn, _) = Insn::decode(&obj.text).expect("decodes");
+        match insn {
+            Insn::AluI { imm, .. } => prop_assert_eq!(imm, value),
+            other => prop_assert!(false, "unexpected {}", other),
+        }
+    }
+
+    #[test]
+    fn li_round_trips_any_u64(value in any::<u64>()) {
+        let src = format!("li t0, {value}");
+        let obj = assemble(&src).expect("assembles");
+        let (insn, _) = Insn::decode(&obj.text).expect("decodes");
+        prop_assert_eq!(
+            insn,
+            Insn::Li { rd: Reg::parse("t0").expect("t0"), imm: value }
+        );
+    }
+}

@@ -1,0 +1,282 @@
+# libbomb: AES-128 single-block encryption (FIPS-197).
+#
+# State is kept column-major (state[row + 4*col] like the standard byte
+# order of the input block). Verified against the FIPS-197 and RFC test
+# vectors by the differential test suite.
+
+    .data
+aes_sbox:
+    .byte 0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76
+    .byte 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0
+    .byte 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15
+    .byte 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75
+    .byte 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84
+    .byte 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf
+    .byte 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8
+    .byte 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2
+    .byte 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73
+    .byte 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb
+    .byte 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79
+    .byte 0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08
+    .byte 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a
+    .byte 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e
+    .byte 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf
+    .byte 0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16
+aes_rcon:
+    .byte 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36
+aes_rk:  .space 176
+aes_st:  .space 16
+aes_tmp: .space 16
+
+    .text
+    .global aes128_encrypt
+    .extern memcpy
+
+aes128_encrypt:              # a0 = key (16), a1 = in (16), a2 = out (16)
+    addi sp, sp, -64
+    sd [sp+56], ra
+    sd [sp+48], s0
+    sd [sp+40], s1
+    sd [sp+32], s2
+    sd [sp+24], s3
+    sd [sp+16], s4
+    sd [sp+8],  s5
+    mov s0, a0               # key
+    mov s1, a1               # in
+    mov s2, a2               # out
+
+    # --- key expansion: rk[0..16] = key ---
+    li a0, aes_rk
+    mov a1, s0
+    li a2, 16
+    call memcpy
+    li t0, 1                 # round index r = 1..10
+aes_ke_loop:
+    li t5, 11
+    bge t0, t5, aes_ke_done
+    li t1, aes_rk
+    shli t2, t0, 4
+    add t3, t1, t2           # cur = rk + 16r
+    addi t4, t3, -16         # prev
+    # cur[0] = prev[0] ^ sbox(prev[13]) ^ rcon[r-1]
+    lbu t1, [t4+13]
+    li t5, aes_sbox
+    add t1, t5, t1
+    lbu t1, [t1]
+    li t5, aes_rcon
+    addi t2, t0, -1
+    add t5, t5, t2
+    lbu t2, [t5]
+    xor t1, t1, t2
+    lbu t2, [t4]
+    xor t1, t1, t2
+    sb [t3], t1
+    # cur[1] = prev[1] ^ sbox(prev[14])
+    lbu t1, [t4+14]
+    li t5, aes_sbox
+    add t1, t5, t1
+    lbu t1, [t1]
+    lbu t2, [t4+1]
+    xor t1, t1, t2
+    sb [t3+1], t1
+    # cur[2] = prev[2] ^ sbox(prev[15])
+    lbu t1, [t4+15]
+    li t5, aes_sbox
+    add t1, t5, t1
+    lbu t1, [t1]
+    lbu t2, [t4+2]
+    xor t1, t1, t2
+    sb [t3+2], t1
+    # cur[3] = prev[3] ^ sbox(prev[12])
+    lbu t1, [t4+12]
+    li t5, aes_sbox
+    add t1, t5, t1
+    lbu t1, [t1]
+    lbu t2, [t4+3]
+    xor t1, t1, t2
+    sb [t3+3], t1
+    # cur[i] = cur[i-4] ^ prev[i] for i in 4..16
+    li t1, 4
+aes_ke_word_loop:
+    li t5, 16
+    bge t1, t5, aes_ke_next
+    add t2, t3, t1
+    lbu t5, [t2-4]
+    add t6, t4, t1
+    lbu t6, [t6]
+    xor t5, t5, t6
+    sb [t2], t5
+    addi t1, t1, 1
+    jmp aes_ke_word_loop
+aes_ke_next:
+    addi t0, t0, 1
+    jmp aes_ke_loop
+aes_ke_done:
+
+    # --- initial AddRoundKey: st = in ^ rk[0..16] ---
+    li t0, 0
+aes_ark0_loop:
+    li t5, 16
+    bge t0, t5, aes_rounds
+    add t1, s1, t0
+    lbu t1, [t1]
+    li t2, aes_rk
+    add t2, t2, t0
+    lbu t2, [t2]
+    xor t1, t1, t2
+    li t2, aes_st
+    add t2, t2, t0
+    sb [t2], t1
+    addi t0, t0, 1
+    jmp aes_ark0_loop
+
+aes_rounds:
+    li s0, 1                 # round counter (key pointer no longer needed)
+aes_round_loop:
+    # SubBytes + ShiftRows: tmp[row + 4col] = sbox(st[row + 4((col+row)%4)])
+    li t0, 0
+aes_sr_loop:
+    li t5, 16
+    bge t0, t5, aes_sr_done
+    andi t1, t0, 3           # row
+    shrui t2, t0, 2          # col
+    add t3, t2, t1
+    andi t3, t3, 3
+    shli t3, t3, 2
+    add t3, t3, t1           # source index
+    li t4, aes_st
+    add t4, t4, t3
+    lbu t4, [t4]
+    li t3, aes_sbox
+    add t3, t3, t4
+    lbu t4, [t3]
+    li t3, aes_tmp
+    add t3, t3, t0
+    sb [t3], t4
+    addi t0, t0, 1
+    jmp aes_sr_loop
+aes_sr_done:
+    li t5, 10
+    beq s0, t5, aes_last
+
+    # MixColumns from tmp into st.
+    li t0, 0                 # byte offset of the column (0, 4, 8, 12)
+aes_mc_loop:
+    li t5, 16
+    bge t0, t5, aes_ark
+    li t6, aes_tmp
+    add t6, t6, t0
+    lbu t1, [t6]             # a0
+    lbu t2, [t6+1]           # a1
+    lbu t3, [t6+2]           # a2
+    lbu t4, [t6+3]           # a3
+    # xt(a_i): t7=xt0, s1=xt1, s3=xt2, s4=xt3
+    shli t7, t1, 1
+    shrui t5, t1, 7
+    muli t5, t5, 27
+    xor t7, t7, t5
+    andi t7, t7, 255
+    shli s1, t2, 1
+    shrui t5, t2, 7
+    muli t5, t5, 27
+    xor s1, s1, t5
+    andi s1, s1, 255
+    shli s3, t3, 1
+    shrui t5, t3, 7
+    muli t5, t5, 27
+    xor s3, s3, t5
+    andi s3, s3, 255
+    shli s4, t4, 1
+    shrui t5, t4, 7
+    muli t5, t5, 27
+    xor s4, s4, t5
+    andi s4, s4, 255
+    li t5, aes_st
+    add t5, t5, t0
+    # n0 = xt0 ^ xt1 ^ a1 ^ a2 ^ a3
+    xor s5, t7, s1
+    xor s5, s5, t2
+    xor s5, s5, t3
+    xor s5, s5, t4
+    sb [t5], s5
+    # n1 = a0 ^ xt1 ^ xt2 ^ a2 ^ a3
+    xor s5, t1, s1
+    xor s5, s5, s3
+    xor s5, s5, t3
+    xor s5, s5, t4
+    sb [t5+1], s5
+    # n2 = a0 ^ a1 ^ xt2 ^ xt3 ^ a3
+    xor s5, t1, t2
+    xor s5, s5, s3
+    xor s5, s5, s4
+    xor s5, s5, t4
+    sb [t5+2], s5
+    # n3 = xt0 ^ a0 ^ a1 ^ a2 ^ xt3
+    xor s5, t7, t1
+    xor s5, s5, t2
+    xor s5, s5, t3
+    xor s5, s5, s4
+    sb [t5+3], s5
+    addi t0, t0, 4
+    jmp aes_mc_loop
+
+aes_last:                    # final round: st = tmp (no MixColumns)
+    li t0, 0
+aes_last_loop:
+    li t5, 16
+    bge t0, t5, aes_ark
+    li t1, aes_tmp
+    add t1, t1, t0
+    lbu t1, [t1]
+    li t2, aes_st
+    add t2, t2, t0
+    sb [t2], t1
+    addi t0, t0, 1
+    jmp aes_last_loop
+
+aes_ark:                     # st ^= rk[16*round ..]
+    li t0, 0
+aes_ark_loop:
+    li t5, 16
+    bge t0, t5, aes_ark_done
+    li t1, aes_st
+    add t1, t1, t0
+    lbu t2, [t1]
+    li t3, aes_rk
+    shli t4, s0, 4
+    add t3, t3, t4
+    add t3, t3, t0
+    lbu t3, [t3]
+    xor t2, t2, t3
+    sb [t1], t2
+    addi t0, t0, 1
+    jmp aes_ark_loop
+aes_ark_done:
+    li t5, 10
+    beq s0, t5, aes_out
+    addi s0, s0, 1
+    jmp aes_round_loop
+
+aes_out:                     # out = st
+    li t0, 0
+aes_out_loop:
+    li t5, 16
+    bge t0, t5, aes_finish
+    li t1, aes_st
+    add t1, t1, t0
+    lbu t1, [t1]
+    add t2, s2, t0
+    sb [t2], t1
+    addi t0, t0, 1
+    jmp aes_out_loop
+aes_finish:
+    ld ra, [sp+56]
+    ld s0, [sp+48]
+    ld s1, [sp+40]
+    ld s2, [sp+32]
+    ld s3, [sp+24]
+    ld s4, [sp+16]
+    ld s5, [sp+8]
+    addi sp, sp, 64
+    li a0, 0
+    ret

@@ -1,0 +1,65 @@
+# libbomb: floating-point math.
+#
+# sin uses range reduction to [-pi, pi] followed by a 13th-order Taylor
+# polynomial in Horner product form. The Rust reference implementation in
+# bomblab-rt mirrors the exact operation order so results match bit for bit.
+
+    .text
+    .global sin, pow_int
+
+sin:                          # f0 = x -> f0 = sin(x)
+    # k = round(x / 2pi), computed as trunc(q +/- 0.5)
+    fli f1, 0.15915494309189535
+    fmul.d f2, f0, f1
+    fli f3, 0.5
+    fli f4, 0.0
+    fble f4, f2, sin_qpos
+    fsub.d f2, f2, f3
+    jmp sin_round
+sin_qpos:
+    fadd.d f2, f2, f3
+sin_round:
+    cvt.d2si t0, f2
+    cvt.si2d f2, t0
+    fli f1, 6.283185307179586
+    fmul.d f2, f2, f1
+    fsub.d f0, f0, f2         # x reduced into [-pi, pi]
+    # Taylor: sin x = x(1 - t/6(1 - t/20(1 - t/42(1 - t/72(1 - t/110(1 - t/156))))))
+    fmul.d f1, f0, f0         # t = x^2
+    fli f2, 1.0
+    fli f3, 156.0
+    fdiv.d f4, f1, f3
+    fsub.d f5, f2, f4
+    fli f3, 110.0
+    fdiv.d f4, f1, f3
+    fmul.d f4, f4, f5
+    fsub.d f5, f2, f4
+    fli f3, 72.0
+    fdiv.d f4, f1, f3
+    fmul.d f4, f4, f5
+    fsub.d f5, f2, f4
+    fli f3, 42.0
+    fdiv.d f4, f1, f3
+    fmul.d f4, f4, f5
+    fsub.d f5, f2, f4
+    fli f3, 20.0
+    fdiv.d f4, f1, f3
+    fmul.d f4, f4, f5
+    fsub.d f5, f2, f4
+    fli f3, 6.0
+    fdiv.d f4, f1, f3
+    fmul.d f4, f4, f5
+    fsub.d f5, f2, f4
+    fmul.d f0, f0, f5
+    ret
+
+pow_int:                      # f0 = base, a0 = exponent (unsigned) -> f0
+    fli f1, 1.0
+pow_int_loop:
+    beq a0, zero, pow_int_done
+    fmul.d f1, f1, f0
+    addi a0, a0, -1
+    jmp pow_int_loop
+pow_int_done:
+    fmov.d f0, f1
+    ret

@@ -1,0 +1,26 @@
+# libbomb: pseudo-random numbers (PCG-style 64-bit LCG).
+
+    .data
+rand_state: .quad 0x853c49e6748fea9b
+
+    .text
+    .global srand, rand
+
+srand:                       # a0 = seed
+    li t0, rand_state
+    sd [t0], a0
+    li a0, 0
+    ret
+
+rand:                        # -> a0 in [0, 2^31)
+    li t0, rand_state
+    ld t1, [t0]
+    li t2, 6364136223846793005
+    mul t1, t1, t2
+    li t2, 1442695040888963407
+    add t1, t1, t2
+    sd [t0], t1
+    shrui t1, t1, 33
+    li t2, 0x7fffffff
+    and a0, t1, t2
+    ret

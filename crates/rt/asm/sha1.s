@@ -1,0 +1,226 @@
+# libbomb: SHA-1 (single-block variant, message length <= 55 bytes).
+#
+# The logic bombs hash short command-line strings, which always fit in one
+# 512-bit block. The Rust reference implementation handles arbitrary
+# lengths and is used to cross-check this code.
+
+    .data
+sha1_blk: .space 64
+sha1_w:   .space 320
+
+    .text
+    .global sha1
+    .extern memset, memcpy
+
+sha1:                        # a0 = msg, a1 = len (<= 55), a2 = out (20 bytes)
+    addi sp, sp, -64
+    sd [sp+56], ra
+    sd [sp+48], s0
+    sd [sp+40], s1
+    sd [sp+32], s2
+    sd [sp+24], s3
+    sd [sp+16], s4
+    sd [sp+8],  s5
+    mov s0, a0               # msg
+    mov s1, a1               # len
+    mov s2, a2               # out
+
+    # Prepare the padded block.
+    li a0, sha1_blk
+    li a1, 0
+    li a2, 64
+    call memset
+    li a0, sha1_blk
+    mov a1, s0
+    mov a2, s1
+    call memcpy
+    li t0, sha1_blk
+    add t0, t0, s1
+    li t1, 0x80
+    sb [t0], t1
+    # 64-bit big-endian bit length at offset 56.
+    shli t1, s1, 3
+    li t0, sha1_blk
+    addi t0, t0, 56
+    li t3, 56
+sha1_len_loop:
+    shru t4, t1, t3
+    sb [t0], t4
+    addi t0, t0, 1
+    addi t3, t3, -8
+    bge t3, zero, sha1_len_loop
+
+    # W[0..16]: big-endian words from the block.
+    li t0, 0
+sha1_w16_loop:
+    li t5, 16
+    bge t0, t5, sha1_w16_done
+    shli t1, t0, 2
+    li t2, sha1_blk
+    add t2, t2, t1
+    lbu t3, [t2]
+    shli t4, t3, 24
+    lbu t3, [t2+1]
+    shli t3, t3, 16
+    or t4, t4, t3
+    lbu t3, [t2+2]
+    shli t3, t3, 8
+    or t4, t4, t3
+    lbu t3, [t2+3]
+    or t4, t4, t3
+    li t2, sha1_w
+    add t2, t2, t1
+    sw [t2], t4
+    addi t0, t0, 1
+    jmp sha1_w16_loop
+sha1_w16_done:
+
+    # W[16..80] = rotl1(W[t-3] ^ W[t-8] ^ W[t-14] ^ W[t-16])
+    li t0, 16
+sha1_wx_loop:
+    li t5, 80
+    bge t0, t5, sha1_wx_done
+    li t2, sha1_w
+    shli t1, t0, 2
+    add t2, t2, t1
+    lwu t3, [t2-12]
+    lwu t4, [t2-32]
+    xor t3, t3, t4
+    lwu t4, [t2-56]
+    xor t3, t3, t4
+    lwu t4, [t2-64]
+    xor t3, t3, t4
+    shli t4, t3, 1
+    shrui t3, t3, 31
+    or t3, t3, t4
+    li t4, 0xffffffff
+    and t3, t3, t4
+    sw [t2], t3
+    addi t0, t0, 1
+    jmp sha1_wx_loop
+sha1_wx_done:
+
+    # a..e in s0, s1, s3, s4, s5.
+    li s0, 0x67452301
+    li s1, 0xEFCDAB89
+    li s3, 0x98BADCFE
+    li s4, 0x10325476
+    li s5, 0xC3D2E1F0
+
+    li t0, 0
+sha1_round_loop:
+    li t5, 80
+    bge t0, t5, sha1_round_done
+    li t5, 20
+    blt t0, t5, sha1_f0
+    li t5, 40
+    blt t0, t5, sha1_f1
+    li t5, 60
+    blt t0, t5, sha1_f2
+    # t in [60, 80): parity
+    xor t1, s1, s3
+    xor t1, t1, s4
+    li t2, 0xCA62C1D6
+    jmp sha1_fdone
+sha1_f0:                     # choose
+    and t1, s1, s3
+    not t2, s1
+    and t2, t2, s4
+    or t1, t1, t2
+    li t2, 0x5A827999
+    jmp sha1_fdone
+sha1_f1:                     # parity
+    xor t1, s1, s3
+    xor t1, t1, s4
+    li t2, 0x6ED9EBA1
+    jmp sha1_fdone
+sha1_f2:                     # majority
+    and t1, s1, s3
+    and t3, s1, s4
+    or t1, t1, t3
+    and t3, s3, s4
+    or t1, t1, t3
+    li t2, 0x8F1BBCDC
+sha1_fdone:
+    # temp = rotl5(a) + f + e + k + W[t]
+    shli t3, s0, 5
+    shrui t4, s0, 27
+    or t3, t3, t4
+    li t4, 0xffffffff
+    and t3, t3, t4
+    add t3, t3, t1
+    add t3, t3, s5
+    add t3, t3, t2
+    li t2, sha1_w
+    shli t4, t0, 2
+    add t2, t2, t4
+    lwu t4, [t2]
+    add t3, t3, t4
+    li t4, 0xffffffff
+    and t3, t3, t4
+    # rotate the working registers
+    mov s5, s4
+    mov s4, s3
+    shli t1, s1, 30
+    shrui t2, s1, 2
+    or t1, t1, t2
+    li t2, 0xffffffff
+    and s3, t1, t2
+    mov s1, s0
+    mov s0, t3
+    addi t0, t0, 1
+    jmp sha1_round_loop
+sha1_round_done:
+
+    # h = init + working, masked to 32 bits.
+    li t1, 0x67452301
+    add s0, s0, t1
+    li t1, 0xEFCDAB89
+    add s1, s1, t1
+    li t1, 0x98BADCFE
+    add s3, s3, t1
+    li t1, 0x10325476
+    add s4, s4, t1
+    li t1, 0xC3D2E1F0
+    add s5, s5, t1
+    li t1, 0xffffffff
+    and s0, s0, t1
+    and s1, s1, t1
+    and s3, s3, t1
+    and s4, s4, t1
+    and s5, s5, t1
+
+    # Store h0..h4 big-endian into out.
+    mov t0, s2
+    mov t1, s0
+    call sha1_store_be
+    mov t1, s1
+    call sha1_store_be
+    mov t1, s3
+    call sha1_store_be
+    mov t1, s4
+    call sha1_store_be
+    mov t1, s5
+    call sha1_store_be
+
+    ld ra, [sp+56]
+    ld s0, [sp+48]
+    ld s1, [sp+40]
+    ld s2, [sp+32]
+    ld s3, [sp+24]
+    ld s4, [sp+16]
+    ld s5, [sp+8]
+    addi sp, sp, 64
+    li a0, 0
+    ret
+
+sha1_store_be:               # t1 = word, t0 = dst; advances t0 by 4
+    shrui t2, t1, 24
+    sb [t0], t2
+    shrui t2, t1, 16
+    sb [t0+1], t2
+    shrui t2, t1, 8
+    sb [t0+2], t2
+    sb [t0+3], t1
+    addi t0, t0, 4
+    ret

@@ -1,0 +1,210 @@
+# libbomb: formatted output and the bomb detonation helper.
+#
+# printf supports %d %u %x %s %c %% with up to three variadic arguments
+# (a1..a3). Output goes through the write syscall on fd 1.
+
+    .text
+    .global putchar, puts, printf, print_str, bomb_boom
+    .extern strlen
+
+putchar:                     # a0 = char
+    addi sp, sp, -16
+    sd [sp+8], ra
+    sb [sp], a0
+    li a0, 1
+    mov a1, sp
+    li a2, 1
+    li sv, 1                 # write
+    sys
+    ld ra, [sp+8]
+    addi sp, sp, 16
+    li a0, 0
+    ret
+
+print_str:                   # a0 = NUL-terminated string
+    addi sp, sp, -16
+    sd [sp+8], ra
+    sd [sp], a0
+    call strlen
+    mov a2, a0
+    ld a1, [sp]
+    li a0, 1
+    li sv, 1                 # write
+    sys
+    ld ra, [sp+8]
+    addi sp, sp, 16
+    li a0, 0
+    ret
+
+puts:                        # a0 = string (appends newline)
+    addi sp, sp, -16
+    sd [sp+8], ra
+    call print_str
+    li a0, 10
+    call putchar
+    ld ra, [sp+8]
+    addi sp, sp, 16
+    li a0, 0
+    ret
+
+print_u64:                   # a0 = value, printed in decimal
+    addi sp, sp, -48
+    sd [sp+40], ra
+    addi t0, sp, 32          # digits grow downward from sp+32
+    li t1, 10
+print_u64_loop:
+    remu t2, a0, t1
+    divu a0, a0, t1
+    addi t2, t2, 48
+    addi t0, t0, -1
+    sb [t0], t2
+    bne a0, zero, print_u64_loop
+    addi t2, sp, 32
+    sub a2, t2, t0
+    mov a1, t0
+    li a0, 1
+    li sv, 1                 # write
+    sys
+    ld ra, [sp+40]
+    addi sp, sp, 48
+    ret
+
+print_i64:                   # a0 = value, printed in signed decimal
+    addi sp, sp, -16
+    sd [sp+8], ra
+    bge a0, zero, print_i64_pos
+    sd [sp], a0
+    li a0, '-'
+    call putchar
+    ld a0, [sp]
+    neg a0, a0
+print_i64_pos:
+    call print_u64
+    ld ra, [sp+8]
+    addi sp, sp, 16
+    ret
+
+print_hex:                   # a0 = value, printed in lowercase hex
+    addi sp, sp, -48
+    sd [sp+40], ra
+    addi t0, sp, 32
+    li t1, 16
+print_hex_loop:
+    remu t2, a0, t1
+    divu a0, a0, t1
+    li t3, 10
+    blt t2, t3, print_hex_digit
+    addi t2, t2, 87          # 'a' - 10
+    jmp print_hex_store
+print_hex_digit:
+    addi t2, t2, 48
+print_hex_store:
+    addi t0, t0, -1
+    sb [t0], t2
+    bne a0, zero, print_hex_loop
+    addi t2, sp, 32
+    sub a2, t2, t0
+    mov a1, t0
+    li a0, 1
+    li sv, 1                 # write
+    sys
+    ld ra, [sp+40]
+    addi sp, sp, 48
+    ret
+
+printf:                      # a0 = fmt, a1..a3 = arguments
+    addi sp, sp, -48
+    sd [sp+40], ra
+    sd [sp+32], s0           # format cursor
+    sd [sp+24], s1           # argument index
+    sd [sp], a1              # vararg spill area [sp+0 .. sp+24)
+    sd [sp+8], a2
+    sd [sp+16], a3
+    mov s0, a0
+    li s1, 0
+printf_loop:
+    lbu t0, [s0]
+    beq t0, zero, printf_done
+    li t1, '%'
+    bne t0, t1, printf_putc
+    addi s0, s0, 1
+    lbu t0, [s0]
+    beq t0, zero, printf_done
+    li t1, '%'
+    beq t0, t1, printf_putc
+    li t1, 'd'
+    beq t0, t1, printf_d
+    li t1, 'u'
+    beq t0, t1, printf_u
+    li t1, 'x'
+    beq t0, t1, printf_x
+    li t1, 's'
+    beq t0, t1, printf_s
+    li t1, 'c'
+    beq t0, t1, printf_c
+    # unknown directive: print it literally
+printf_putc:
+    mov a0, t0
+    call putchar
+    addi s0, s0, 1
+    jmp printf_loop
+printf_d:
+    shli t4, s1, 3
+    add t4, t4, sp
+    ld a0, [t4]              # fetch vararg s1
+    addi s1, s1, 1
+    call print_i64
+    addi s0, s0, 1
+    jmp printf_loop
+printf_u:
+    shli t4, s1, 3
+    add t4, t4, sp
+    ld a0, [t4]
+    addi s1, s1, 1
+    call print_u64
+    addi s0, s0, 1
+    jmp printf_loop
+printf_x:
+    shli t4, s1, 3
+    add t4, t4, sp
+    ld a0, [t4]
+    addi s1, s1, 1
+    call print_hex
+    addi s0, s0, 1
+    jmp printf_loop
+printf_s:
+    shli t4, s1, 3
+    add t4, t4, sp
+    ld a0, [t4]
+    addi s1, s1, 1
+    call print_str
+    addi s0, s0, 1
+    jmp printf_loop
+printf_c:
+    shli t4, s1, 3
+    add t4, t4, sp
+    ld a0, [t4]
+    addi s1, s1, 1
+    call putchar
+    addi s0, s0, 1
+    jmp printf_loop
+printf_done:
+    ld ra, [sp+40]
+    ld s0, [sp+32]
+    ld s1, [sp+24]
+    addi sp, sp, 48
+    li a0, 0
+    ret
+
+bomb_boom:                   # prints BOOM and exits 42; never returns
+    li a0, 1
+    li a1, bomb_boom_msg
+    li a2, 5
+    li sv, 1                 # write
+    sys
+    li a0, 42
+    li sv, 0                 # exit
+    sys
+
+    .data
+bomb_boom_msg: .asciz "BOOM\n"

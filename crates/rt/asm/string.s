@@ -1,0 +1,94 @@
+# libbomb: string routines.
+#
+# Calling convention: args in a0..a5, result in a0; t* and a* are
+# caller-saved, s* are callee-saved.
+
+    .text
+    .global strlen, strcmp, strcpy, memcpy, memset, atoi
+
+strlen:                      # a0 = s -> a0 = length
+    mov t0, a0
+strlen_loop:
+    lbu t1, [t0]
+    beq t1, zero, strlen_done
+    addi t0, t0, 1
+    jmp strlen_loop
+strlen_done:
+    sub a0, t0, a0
+    ret
+
+strcmp:                      # a0 = a, a1 = b -> a0 = first difference (0 if equal)
+strcmp_loop:
+    lbu t0, [a0]
+    lbu t1, [a1]
+    bne t0, t1, strcmp_diff
+    beq t0, zero, strcmp_eq
+    addi a0, a0, 1
+    addi a1, a1, 1
+    jmp strcmp_loop
+strcmp_diff:
+    sub a0, t0, t1
+    ret
+strcmp_eq:
+    li a0, 0
+    ret
+
+strcpy:                      # a0 = dst, a1 = src -> a0 = dst
+    mov t2, a0
+strcpy_loop:
+    lbu t0, [a1]
+    sb [t2], t0
+    addi a1, a1, 1
+    addi t2, t2, 1
+    bne t0, zero, strcpy_loop
+    ret
+
+memcpy:                      # a0 = dst, a1 = src, a2 = n -> a0 = dst
+    mov t2, a0
+memcpy_loop:
+    beq a2, zero, memcpy_done
+    lbu t0, [a1]
+    sb [t2], t0
+    addi a1, a1, 1
+    addi t2, t2, 1
+    addi a2, a2, -1
+    jmp memcpy_loop
+memcpy_done:
+    ret
+
+memset:                      # a0 = dst, a1 = byte, a2 = n -> a0 = dst
+    mov t2, a0
+memset_loop:
+    beq a2, zero, memset_done
+    sb [t2], a1
+    addi t2, t2, 1
+    addi a2, a2, -1
+    jmp memset_loop
+memset_done:
+    ret
+
+atoi:                        # a0 = s -> a0 = parsed decimal (optional leading '-')
+    li t0, 0                 # accumulator
+    li t3, 0                 # negative flag
+    lbu t1, [a0]
+    li t2, '-'
+    bne t1, t2, atoi_loop
+    li t3, 1
+    addi a0, a0, 1
+atoi_loop:
+    lbu t1, [a0]
+    li t2, '0'
+    blt t1, t2, atoi_done
+    li t2, '9'
+    blt t2, t1, atoi_done
+    muli t0, t0, 10
+    addi t1, t1, -48
+    add t0, t0, t1
+    addi a0, a0, 1
+    jmp atoi_loop
+atoi_done:
+    beq t3, zero, atoi_pos
+    neg t0, t0
+atoi_pos:
+    mov a0, t0
+    ret

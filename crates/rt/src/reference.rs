@@ -1,0 +1,281 @@
+//! Host-side reference implementations of the runtime-library routines.
+//!
+//! These exist to differential-test the BVM assembly in `asm/`: every
+//! function here implements the same algorithm (for [`sin`], the *same
+//! operation order*, so results match bit for bit).
+
+/// Reference `sin`: range reduction + the exact Taylor/Horner evaluation
+/// order used by `asm/math.s`.
+pub fn sin(x: f64) -> f64 {
+    let q = x * 0.159_154_943_091_895_35_f64;
+    let q = if 0.0 <= q { q + 0.5 } else { q - 0.5 };
+    let k = q as i64;
+    let x = x - (k as f64) * 6.283_185_307_179_586_f64;
+    let t = x * x;
+    let mut u = 1.0 - t / 156.0;
+    u = 1.0 - t / 110.0 * u;
+    u = 1.0 - t / 72.0 * u;
+    u = 1.0 - t / 42.0 * u;
+    u = 1.0 - t / 20.0 * u;
+    u = 1.0 - t / 6.0 * u;
+    x * u
+}
+
+/// Reference `pow_int`: repeated multiplication, matching `asm/math.s`.
+pub fn pow_int(base: f64, exp: u64) -> f64 {
+    let mut acc = 1.0;
+    for _ in 0..exp {
+        acc *= base;
+    }
+    acc
+}
+
+/// The default `rand_state` seed baked into `asm/rand.s`.
+pub const RAND_DEFAULT_SEED: u64 = 0x853c_49e6_748f_ea9b;
+
+/// Reference LCG used by `srand`/`rand` in `asm/rand.s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Default for Lcg {
+    fn default() -> Lcg {
+        Lcg {
+            state: RAND_DEFAULT_SEED,
+        }
+    }
+}
+
+impl Lcg {
+    /// Creates a generator with the library's default seed.
+    pub fn new() -> Lcg {
+        Lcg::default()
+    }
+
+    /// Equivalent of `srand(seed)`.
+    pub fn seed(seed: u64) -> Lcg {
+        Lcg { state: seed }
+    }
+
+    /// Equivalent of `rand()`: advances the state and returns a value in
+    /// `[0, 2^31)`.
+    pub fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (self.state >> 33) & 0x7fff_ffff
+    }
+}
+
+/// Reference SHA-1 over arbitrary-length input (FIPS-180).
+pub fn sha1(msg: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut data = msg.to_vec();
+    let bitlen = (msg.len() as u64).wrapping_mul(8);
+    data.push(0x80);
+    while data.len() % 64 != 56 {
+        data.push(0);
+    }
+    data.extend_from_slice(&bitlen.to_be_bytes());
+    for block in data.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4-byte chunk"));
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// Reference AES-128 single-block encryption (FIPS-197).
+pub fn aes128_encrypt(key: &[u8; 16], block: &[u8; 16]) -> [u8; 16] {
+    // Key expansion, byte-wise, matching asm/aes.s.
+    let mut rk = [0u8; 176];
+    rk[..16].copy_from_slice(key);
+    for r in 1..=10usize {
+        let (prev_part, cur_part) = rk.split_at_mut(16 * r);
+        let prev = &prev_part[16 * (r - 1)..];
+        let cur = &mut cur_part[..16];
+        cur[0] = prev[0] ^ SBOX[prev[13] as usize] ^ RCON[r - 1];
+        cur[1] = prev[1] ^ SBOX[prev[14] as usize];
+        cur[2] = prev[2] ^ SBOX[prev[15] as usize];
+        cur[3] = prev[3] ^ SBOX[prev[12] as usize];
+        for i in 4..16 {
+            cur[i] = cur[i - 4] ^ prev[i];
+        }
+    }
+
+    let mut st = [0u8; 16];
+    for i in 0..16 {
+        st[i] = block[i] ^ rk[i];
+    }
+    for round in 1..=10usize {
+        // SubBytes + ShiftRows.
+        let mut tmp = [0u8; 16];
+        for i in 0..16 {
+            let row = i & 3;
+            let col = i >> 2;
+            let src = row + 4 * ((col + row) & 3);
+            tmp[i] = SBOX[st[src] as usize];
+        }
+        if round < 10 {
+            // MixColumns.
+            for c in 0..4 {
+                let a = &tmp[4 * c..4 * c + 4];
+                let x: Vec<u8> = a.iter().map(|&v| xtime(v)).collect();
+                st[4 * c] = x[0] ^ x[1] ^ a[1] ^ a[2] ^ a[3];
+                st[4 * c + 1] = a[0] ^ x[1] ^ x[2] ^ a[2] ^ a[3];
+                st[4 * c + 2] = a[0] ^ a[1] ^ x[2] ^ x[3] ^ a[3];
+                st[4 * c + 3] = x[0] ^ a[0] ^ a[1] ^ a[2] ^ x[3];
+            }
+        } else {
+            st = tmp;
+        }
+        for i in 0..16 {
+            st[i] ^= rk[16 * round + i];
+        }
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha1_known_vectors() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn aes_fips197_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        assert_eq!(
+            hex(&aes128_encrypt(&key, &pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        );
+    }
+
+    #[test]
+    fn aes_rijndael_paper_vector() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        assert_eq!(
+            hex(&aes128_encrypt(&key, &pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
+    }
+
+    #[test]
+    fn sin_tracks_std_sin_closely() {
+        for i in -100..=100 {
+            let x = i as f64 * 0.1;
+            let err = (sin(x) - x.sin()).abs();
+            // Truncation error of the 13th-order polynomial peaks near
+            // |x| = pi (next omitted term is x^15/15! ~ 2e-5 there).
+            assert!(err < 5e-5, "sin({x}) err {err}");
+        }
+    }
+
+    #[test]
+    fn pow_int_matches_powi() {
+        assert_eq!(pow_int(2.0, 10), 1024.0);
+        assert_eq!(pow_int(1.5, 0), 1.0);
+        assert_eq!(pow_int(-3.0, 3), -27.0);
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = Lcg::seed(7);
+        let mut b = Lcg::seed(7);
+        for _ in 0..100 {
+            let v = a.next();
+            assert_eq!(v, b.next());
+            assert!(v < (1 << 31));
+        }
+        let mut c = Lcg::seed(8);
+        assert_ne!(a.next(), c.next());
+    }
+}

@@ -1,0 +1,451 @@
+//! Differential tests: run runtime routines inside the BVM and compare with
+//! the host-side reference implementations.
+
+use bomblab_rt::{link_program, reference};
+use bomblab_vm::{Machine, MachineConfig, RunStatus};
+
+/// Builds a harness around `body`, runs it, and returns (exit code, stdout).
+fn run_harness(body: &str, config: MachineConfig) -> (i64, Vec<u8>, Machine) {
+    let src = format!(
+        r#"
+        .extern strlen, strcmp, strcpy, memcpy, memset, atoi
+        .extern putchar, puts, printf, print_str, bomb_boom
+        .extern sin, pow_int, srand, rand, sha1, aes128_encrypt
+        .text
+        .global _start
+    _start:
+{body}
+        "#
+    );
+    let image = link_program(&src).expect("harness builds");
+    let mut machine = Machine::load(&image, None, config).expect("loads");
+    let result = machine.run();
+    let code = match result.status {
+        RunStatus::Exited(c) => c,
+        other => panic!("harness did not exit cleanly: {other} (stdout: {:?})",
+            String::from_utf8_lossy(machine.stdout())),
+    };
+    let out = machine.stdout().to_vec();
+    (code, out, machine)
+}
+
+fn run_simple(body: &str) -> (i64, Vec<u8>) {
+    let (code, out, _) = run_harness(body, MachineConfig::default());
+    (code, out)
+}
+
+#[test]
+fn strlen_counts_bytes() {
+    let (code, _) = run_simple(
+        r#"
+        li a0, msg
+        call strlen
+        li sv, 0
+        sys
+        .data
+    msg: .asciz "hello world"
+        "#,
+    );
+    assert_eq!(code, 11);
+}
+
+#[test]
+fn strcmp_orders_strings() {
+    let (code, _) = run_simple(
+        r#"
+        li a0, s1
+        li a1, s2
+        call strcmp
+        slt a0, a0, zero     # 1 if s1 < s2
+        li sv, 0
+        sys
+        .data
+    s1: .asciz "apple"
+    s2: .asciz "apric"
+        "#,
+    );
+    assert_eq!(code, 1, "apple < apric");
+    let (eq, _) = run_simple(
+        r#"
+        li a0, s1
+        li a1, s1
+        call strcmp
+        li sv, 0
+        sys
+        .data
+    s1: .asciz "same"
+        "#,
+    );
+    assert_eq!(eq, 0);
+}
+
+#[test]
+fn atoi_parses_decimal_and_negative() {
+    for (text, want) in [("1234", 1234i64), ("-77", -77), ("0", 0), ("42abc", 42)] {
+        let (code, _) = run_simple(&format!(
+            r#"
+        li a0, s
+        call atoi
+        li sv, 0
+        sys
+        .data
+    s: .asciz "{text}"
+        "#
+        ));
+        assert_eq!(code, want, "atoi({text:?})");
+    }
+}
+
+#[test]
+fn atoi_of_argv_matches() {
+    let (code, _, _) = run_harness(
+        r#"
+        ld a0, [a1+8]
+        call atoi
+        li sv, 0
+        sys
+        "#,
+        MachineConfig::with_arg("123"),
+    );
+    assert_eq!(code, 123);
+}
+
+#[test]
+fn memcpy_and_memset_move_bytes() {
+    let (code, _) = run_simple(
+        r#"
+        li a0, dst
+        li a1, 0xAB
+        li a2, 8
+        call memset
+        li a0, dst
+        li a1, src
+        li a2, 3
+        call memcpy
+        li t0, dst
+        lbu a0, [t0+2]      # 'C'
+        lbu t1, [t0+3]      # still 0xAB
+        add a0, a0, t1
+        li sv, 0
+        sys
+        .data
+    src: .asciz "ABCDEF"
+    dst: .space 16
+        "#,
+    );
+    assert_eq!(code, b'C' as i64 + 0xAB);
+}
+
+#[test]
+fn printf_formats_all_directives() {
+    let (_, out) = run_simple(
+        r#"
+        li a0, fmt
+        li a1, -42
+        li a2, msg
+        li a3, 0x2a
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "d=%d s=%s x=%x 100%%\n"
+    msg: .asciz "hi"
+        "#,
+    );
+    assert_eq!(String::from_utf8_lossy(&out), "d=-42 s=hi x=2a 100%\n");
+}
+
+#[test]
+fn printf_unsigned_and_char() {
+    let (_, out) = run_simple(
+        r#"
+        li a0, fmt
+        li a1, 5000000000
+        li a2, 'Z'
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "u=%u c=%c"
+        "#,
+    );
+    assert_eq!(String::from_utf8_lossy(&out), "u=5000000000 c=Z");
+}
+
+#[test]
+fn puts_appends_newline() {
+    let (_, out) = run_simple(
+        r#"
+        li a0, msg
+        call puts
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    msg: .asciz "line"
+        "#,
+    );
+    assert_eq!(out, b"line\n");
+}
+
+#[test]
+fn bomb_boom_prints_and_exits_42() {
+    let (code, out) = run_simple("call bomb_boom\n");
+    assert_eq!(code, 42);
+    assert_eq!(out, b"BOOM\n");
+}
+
+#[test]
+fn sin_matches_reference_bit_for_bit() {
+    // Exit with 1 if sin(x) == reference bits, else 0. Bits passed via argv
+    // would be clumsy; instead compute in-VM and print bits, compare here.
+    for x in [0.0f64, 0.5, 1.0, -2.25, 3.0, 10.0, -7.5, 100.25] {
+        let (_, out) = run_simple(&format!(
+            r#"
+        fli f0, {x}
+        call sin
+        fbits a1, f0
+        li a0, fmt
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "%x"
+        "#
+        ));
+        let got = u64::from_str_radix(&String::from_utf8_lossy(&out), 16).unwrap();
+        let want = reference::sin(x).to_bits();
+        assert_eq!(got, want, "sin({x}): vm {got:#x} != ref {want:#x}");
+    }
+}
+
+#[test]
+fn pow_int_matches_reference() {
+    for (base, exp) in [(2.0f64, 10u64), (1.5, 3), (0.5, 8)] {
+        let (_, out) = run_simple(&format!(
+            r#"
+        fli f0, {base}
+        li a0, {exp}
+        call pow_int
+        fbits a1, f0
+        li a0, fmt
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "%x"
+        "#
+        ));
+        let got = u64::from_str_radix(&String::from_utf8_lossy(&out), 16).unwrap();
+        assert_eq!(got, reference::pow_int(base, exp).to_bits());
+    }
+}
+
+#[test]
+fn rand_sequence_matches_reference_lcg() {
+    let (_, out) = run_simple(
+        r#"
+        li a0, 12345
+        call srand
+        call rand
+        mov s0, a0
+        call rand
+        mov s1, a0
+        li a0, fmt
+        mov a1, s0
+        mov a2, s1
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "%u %u"
+        "#,
+    );
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let mut parts = text.split_whitespace();
+    let v1: u64 = parts.next().unwrap().parse().unwrap();
+    let v2: u64 = parts.next().unwrap().parse().unwrap();
+    let mut lcg = reference::Lcg::seed(12345);
+    assert_eq!(v1, lcg.next());
+    assert_eq!(v2, lcg.next());
+}
+
+#[test]
+fn sha1_matches_reference_for_short_messages() {
+    for msg in ["", "a", "abc", "hello world", "0123456789012345678901234567890123456789012345678901234"] {
+        assert!(msg.len() <= 55);
+        let (_, out) = run_simple(&format!(
+            r#"
+        li a0, msg
+        call strlen
+        mov a1, a0
+        li a0, msg
+        li a2, digest
+        call sha1
+        # print each byte as two hex chars (zero padding via 0x100 trick)
+        li s0, 0
+    hexloop:
+        li t0, 20
+        bge s0, t0, hexdone
+        li t1, digest
+        add t1, t1, s0
+        lbu a1, [t1]
+        ori a1, a1, 0x100   # ensures two hex digits, leading '1' skipped below
+        li a0, fmt
+        call printf
+        addi s0, s0, 1
+        jmp hexloop
+    hexdone:
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    msg: .asciz "{msg}"
+    digest: .space 20
+    fmt: .asciz "%x"
+        "#
+        ));
+        // Each byte was printed as 3 hex chars "1xy"; strip the leading 1s.
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert_eq!(text.len(), 60);
+        let mut got = String::new();
+        for chunk in text.as_bytes().chunks(3) {
+            assert_eq!(chunk[0], b'1');
+            got.push(chunk[1] as char);
+            got.push(chunk[2] as char);
+        }
+        let want: String = reference::sha1(msg.as_bytes())
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert_eq!(got, want, "sha1({msg:?})");
+    }
+}
+
+#[test]
+fn aes_matches_fips_vector_in_vm() {
+    let (_, out) = run_simple(
+        r#"
+        li a0, key
+        li a1, pt
+        li a2, ct
+        call aes128_encrypt
+        li s0, 0
+    hexloop:
+        li t0, 16
+        bge s0, t0, hexdone
+        li t1, ct
+        add t1, t1, s0
+        lbu a1, [t1]
+        ori a1, a1, 0x100
+        li a0, fmt
+        call printf
+        addi s0, s0, 1
+        jmp hexloop
+    hexdone:
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    key: .byte 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f
+    pt:  .byte 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff
+    ct:  .space 16
+    fmt: .asciz "%x"
+        "#,
+    );
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let mut got = String::new();
+    for chunk in text.as_bytes().chunks(3) {
+        assert_eq!(chunk[0], b'1');
+        got.push(chunk[1] as char);
+        got.push(chunk[2] as char);
+    }
+    assert_eq!(got, "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+#[test]
+fn aes_matches_reference_on_other_inputs() {
+    let key = *b"0123456789abcdef";
+    let pt = *b"BVM single block";
+    let want: String = reference::aes128_encrypt(&key, &pt)
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    let key_bytes: Vec<String> = key.iter().map(|b| format!("{b:#04x}")).collect();
+    let pt_bytes: Vec<String> = pt.iter().map(|b| format!("{b:#04x}")).collect();
+    let (_, out) = run_simple(&format!(
+        r#"
+        li a0, key
+        li a1, pt
+        li a2, ct
+        call aes128_encrypt
+        li s0, 0
+    hexloop:
+        li t0, 16
+        bge s0, t0, hexdone
+        li t1, ct
+        add t1, t1, s0
+        lbu a1, [t1]
+        ori a1, a1, 0x100
+        li a0, fmt
+        call printf
+        addi s0, s0, 1
+        jmp hexloop
+    hexdone:
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    key: .byte {key}
+    pt:  .byte {pt}
+    ct:  .space 16
+    fmt: .asciz "%x"
+        "#,
+        key = key_bytes.join(", "),
+        pt = pt_bytes.join(", "),
+    ));
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let mut got = String::new();
+    for chunk in text.as_bytes().chunks(3) {
+        got.push(chunk[1] as char);
+        got.push(chunk[2] as char);
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn trace_shows_library_code_inflation() {
+    // The Figure-3 mechanism: enabling printf adds many traced instructions.
+    let without = r#"
+        li a0, 5
+        li sv, 0
+        sys
+        "#;
+    let with = r#"
+        li a0, fmt
+        li a1, 5
+        call printf
+        li a0, 0
+        li sv, 0
+        sys
+        .data
+    fmt: .asciz "value=%d\n"
+        "#;
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::default()
+    };
+    let (_, _, m1) = run_harness(without, config.clone());
+    let (_, _, m2) = run_harness(with, config);
+    assert!(
+        m2.trace().len() > m1.trace().len() + 50,
+        "printf should add many instructions: {} vs {}",
+        m2.trace().len(),
+        m1.trace().len()
+    );
+}

@@ -1,0 +1,201 @@
+//! Property tests for the runtime library: the BVM implementations agree
+//! with the Rust references on randomized inputs.
+
+use bomblab_rt::{link_program, reference};
+use bomblab_vm::{Machine, MachineConfig, RunStatus};
+use proptest::prelude::*;
+
+/// Runs a harness that leaves its result bits on stdout as `%x` (prefixed
+/// with a `1` sentinel nibble trick where byte-level zero padding matters).
+fn run_stdout(src: &str) -> Vec<u8> {
+    let image = link_program(src).expect("harness builds");
+    let mut machine =
+        Machine::load(&image, None, MachineConfig::default()).expect("loads");
+    let status = machine.run().status;
+    assert_eq!(status, RunStatus::Exited(0), "harness must exit cleanly");
+    machine.stdout().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// atoi in BVM assembly equals Rust's parse for decimal strings.
+    #[test]
+    fn atoi_matches_rust_parse(value in -99_999_999i64..99_999_999) {
+        let text = value.to_string();
+        let src = format!(
+            r#"
+            .extern atoi, printf
+            .data
+        s:   .asciz "{text}"
+        fmt: .asciz "%d"
+            .text
+            .global _start
+        _start:
+            li a0, s
+            call atoi
+            mov a1, a0
+            li a0, fmt
+            call printf
+            li a0, 0
+            li sv, 0
+            sys
+            "#
+        );
+        let out = run_stdout(&src);
+        prop_assert_eq!(String::from_utf8_lossy(&out).into_owned(), text);
+    }
+
+    /// The in-VM LCG equals the reference for arbitrary seeds.
+    #[test]
+    fn rand_matches_reference(seed in any::<u64>()) {
+        let src = format!(
+            r#"
+            .extern srand, rand, printf
+            .data
+        fmt: .asciz "%u "
+            .text
+            .global _start
+        _start:
+            li a0, {seed}
+            call srand
+            li s0, 3
+        draws:
+            call rand
+            mov a1, a0
+            li a0, fmt
+            call printf
+            addi s0, s0, -1
+            bne s0, zero, draws
+            li a0, 0
+            li sv, 0
+            sys
+            "#
+        );
+        let out = run_stdout(&src);
+        let text = String::from_utf8_lossy(&out).into_owned();
+        let got: Vec<u64> = text
+            .split_whitespace()
+            .map(|w| w.parse().expect("decimal"))
+            .collect();
+        let mut lcg = reference::Lcg::seed(seed);
+        let want: Vec<u64> = (0..3).map(|_| lcg.next()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// SHA-1 in BVM assembly equals the reference on random short inputs.
+    #[test]
+    fn sha1_matches_reference_on_random_bytes(
+        msg in proptest::collection::vec(0x20u8..0x7f, 0..32)
+    ) {
+        let text: String = msg.iter().map(|&b| b as char).collect();
+        // Avoid characters that need escaping in .asciz.
+        prop_assume!(!text.contains('"') && !text.contains('\\'));
+        let src = format!(
+            r#"
+            .extern sha1, printf
+            .data
+        msg:    .asciz "{text}"
+        digest: .space 20
+        fmt:    .asciz "%x"
+            .text
+            .global _start
+        _start:
+            li a0, msg
+            li a1, {len}
+            li a2, digest
+            call sha1
+            li s0, 0
+        hexloop:
+            li t0, 20
+            bge s0, t0, hexdone
+            li t1, digest
+            add t1, t1, s0
+            lbu a1, [t1]
+            ori a1, a1, 0x100
+            li a0, fmt
+            call printf
+            addi s0, s0, 1
+            jmp hexloop
+        hexdone:
+            li a0, 0
+            li sv, 0
+            sys
+            "#,
+            len = msg.len()
+        );
+        let out = run_stdout(&src);
+        let text_out = String::from_utf8_lossy(&out).into_owned();
+        let mut got = String::new();
+        for chunk in text_out.as_bytes().chunks(3) {
+            prop_assert_eq!(chunk[0], b'1', "zero-pad sentinel");
+            got.push(chunk[1] as char);
+            got.push(chunk[2] as char);
+        }
+        let want: String = reference::sha1(&msg)
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// AES-128 in BVM assembly equals the reference on random key/block
+    /// pairs.
+    #[test]
+    fn aes_matches_reference_on_random_inputs(
+        key in proptest::collection::vec(any::<u8>(), 16),
+        block in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let key: [u8; 16] = key.try_into().expect("16 bytes");
+        let block: [u8; 16] = block.try_into().expect("16 bytes");
+        let key_list: Vec<String> = key.iter().map(|b| format!("{b:#04x}")).collect();
+        let blk_list: Vec<String> = block.iter().map(|b| format!("{b:#04x}")).collect();
+        let src = format!(
+            r#"
+            .extern aes128_encrypt, printf
+            .data
+        key: .byte {key}
+        pt:  .byte {pt}
+        ct:  .space 16
+        fmt: .asciz "%x"
+            .text
+            .global _start
+        _start:
+            li a0, key
+            li a1, pt
+            li a2, ct
+            call aes128_encrypt
+            li s0, 0
+        hexloop:
+            li t0, 16
+            bge s0, t0, hexdone
+            li t1, ct
+            add t1, t1, s0
+            lbu a1, [t1]
+            ori a1, a1, 0x100
+            li a0, fmt
+            call printf
+            addi s0, s0, 1
+            jmp hexloop
+        hexdone:
+            li a0, 0
+            li sv, 0
+            sys
+            "#,
+            key = key_list.join(", "),
+            pt = blk_list.join(", "),
+        );
+        let out = run_stdout(&src);
+        let text_out = String::from_utf8_lossy(&out).into_owned();
+        let mut got = String::new();
+        for chunk in text_out.as_bytes().chunks(3) {
+            got.push(chunk[1] as char);
+            got.push(chunk[2] as char);
+        }
+        let want: String = reference::aes128_encrypt(&key, &block)
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,581 @@
+//! # bomblab-solver — an SMT-lite bitvector solver
+//!
+//! The constraint-solving backend of the bomblab concolic engine, playing
+//! the role STP/Z3 play for the tools studied in the DSN'17 paper:
+//!
+//! * [`expr`] — a term language of bitvectors, booleans and doubles with
+//!   folding smart constructors and a concrete evaluator,
+//! * [`interval`] — unsigned range analysis used as a cheap pre-solver,
+//! * [`bitblast`] — Tseitin conversion of bitvector terms to CNF,
+//! * [`sat`] — a CDCL SAT core with conflict budgets,
+//! * [`Solver`] — the front-end combining all of the above, plus a
+//!   local-search fallback for floating-point constraints.
+//!
+//! Budgets are central: the paper's experiments cap each tool at ten
+//! minutes, and crypto-function constraints are *designed* to blow any
+//! budget. [`SolveOutcome::Unknown`] carries the reason, which the study
+//! maps onto the paper's `E` label.
+//!
+//! ## Example
+//!
+//! ```
+//! use bomblab_solver::{Solver, SolveOutcome};
+//! use bomblab_solver::expr::{Term, BvOp, CmpOp};
+//!
+//! // x * 3 + 1 == 22  =>  x == 7
+//! let x = Term::var("x", 32);
+//! let lhs = Term::bin(BvOp::Add, &Term::bin(BvOp::Mul, &x, &Term::bv(3, 32)), &Term::bv(1, 32));
+//! let c = Term::cmp(CmpOp::Eq, &lhs, &Term::bv(22, 32));
+//! match Solver::new().check(&[c]) {
+//!     SolveOutcome::Sat(model) => assert_eq!(model.get("x"), Some(7)),
+//!     other => panic!("expected sat, got {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitblast;
+pub mod expr;
+pub mod interval;
+pub mod sat;
+pub mod smtlib;
+
+use expr::{eval, Term, Value, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Resource limits for a single `check` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverBudget {
+    /// Maximum CDCL conflicts before giving up.
+    pub max_conflicts: u64,
+    /// Maximum total term nodes before refusing to blast.
+    pub max_formula_nodes: usize,
+}
+
+impl Default for SolverBudget {
+    fn default() -> SolverBudget {
+        SolverBudget {
+            max_conflicts: 200_000,
+            max_formula_nodes: 2_000_000,
+        }
+    }
+}
+
+/// How floating-point constraints are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FloatMode {
+    /// Report [`UnknownReason::FloatUnsupported`] — models a tool without a
+    /// floating-point theory (the common case in the paper).
+    #[default]
+    Reject,
+    /// Try a bounded local search over candidate integer inputs. Sound for
+    /// SAT answers (models are verified by evaluation); never reports
+    /// UNSAT for open formulas.
+    LocalSearch,
+}
+
+/// Why the solver could not decide a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The CDCL conflict budget ran out.
+    ConflictBudget,
+    /// The formula exceeded the node budget before blasting.
+    FormulaTooLarge,
+    /// Floating-point constraints and [`FloatMode::Reject`].
+    FloatUnsupported,
+    /// Floating-point local search found no satisfying input.
+    FloatSearchFailed,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::ConflictBudget => write!(f, "conflict budget exhausted"),
+            UnknownReason::FormulaTooLarge => write!(f, "formula exceeds node budget"),
+            UnknownReason::FloatUnsupported => write!(f, "floating-point theory unsupported"),
+            UnknownReason::FloatSearchFailed => write!(f, "floating-point search failed"),
+        }
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<Arc<str>, u64>,
+}
+
+impl Model {
+    /// Value of a variable (variables absent from the formula default to
+    /// `None`).
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &u64)> {
+        self.values.iter()
+    }
+
+    /// The assignment as an evaluation environment.
+    pub fn as_env(&self) -> std::collections::HashMap<Arc<str>, u64> {
+        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Inserts a binding (used by engines to pre-seed inputs).
+    pub fn insert(&mut self, name: impl Into<Arc<str>>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+}
+
+/// Outcome of a `check` call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOutcome {
+    /// Satisfiable with the given model.
+    Sat(Model),
+    /// Definitely unsatisfiable.
+    Unsat,
+    /// Could not decide.
+    Unknown(UnknownReason),
+}
+
+/// Statistics from the last `check` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Term nodes in the (simplified) formula.
+    pub formula_nodes: usize,
+    /// SAT variables created by blasting.
+    pub sat_vars: u32,
+    /// SAT clauses created by blasting.
+    pub sat_clauses: usize,
+    /// CDCL conflicts spent.
+    pub conflicts: u64,
+    /// CDCL propagations spent.
+    pub propagations: u64,
+}
+
+/// The solver front-end.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    budget: SolverBudget,
+    float_mode: FloatMode,
+    stats: std::cell::Cell<SolveStats>,
+}
+
+impl Solver {
+    /// Creates a solver with default budgets and [`FloatMode::Reject`].
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Overrides the budget.
+    pub fn with_budget(mut self, budget: SolverBudget) -> Solver {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides floating-point handling.
+    pub fn with_float_mode(mut self, mode: FloatMode) -> Solver {
+        self.float_mode = mode;
+        self
+    }
+
+    /// Statistics from the most recent [`check`](Solver::check).
+    pub fn stats(&self) -> SolveStats {
+        self.stats.get()
+    }
+
+    /// Decides the conjunction of `constraints`.
+    pub fn check(&self, constraints: &[Term]) -> SolveOutcome {
+        let mut stats = SolveStats::default();
+        // Constant and interval pre-solving.
+        let mut live = Vec::new();
+        for c in constraints {
+            match c.as_bool_const() {
+                Some(true) => continue,
+                Some(false) => return SolveOutcome::Unsat,
+                None => {}
+            }
+            if interval::definitely_false(c) {
+                return SolveOutcome::Unsat;
+            }
+            live.push(c.clone());
+        }
+        if live.is_empty() {
+            self.stats.set(stats);
+            return SolveOutcome::Sat(Model::default());
+        }
+
+        stats.formula_nodes = live.iter().map(Term::size).sum();
+        if stats.formula_nodes > self.budget.max_formula_nodes {
+            self.stats.set(stats);
+            return SolveOutcome::Unknown(UnknownReason::FormulaTooLarge);
+        }
+
+        if live.iter().any(Term::has_float) {
+            let out = match self.float_mode {
+                FloatMode::Reject => {
+                    // Even float-less solvers handle one degenerate case the
+                    // way claripy does: a comparison against a *completely
+                    // unconstrained* reinterpreted variable is trivially
+                    // satisfiable by picking its bits. This is the mechanism
+                    // behind the paper's pow-function false positive.
+                    match unconstrained_float_shortcut(&live) {
+                        Some(m) => SolveOutcome::Sat(m),
+                        None => SolveOutcome::Unknown(UnknownReason::FloatUnsupported),
+                    }
+                }
+                FloatMode::LocalSearch => match unconstrained_float_shortcut(&live) {
+                    Some(m) => SolveOutcome::Sat(m),
+                    None => float_local_search(&live),
+                },
+            };
+            self.stats.set(stats);
+            return out;
+        }
+
+        let bitblast::Blasted { solver, vars } = match bitblast::blast(&live) {
+            Ok(b) => b,
+            Err(bitblast::BlastError::Float) => {
+                self.stats.set(stats);
+                return SolveOutcome::Unknown(UnknownReason::FloatUnsupported);
+            }
+        };
+        let mut sat = solver;
+        stats.sat_vars = sat.num_vars();
+        stats.sat_clauses = sat.num_clauses();
+        let result = sat.solve(self.budget.max_conflicts);
+        stats.conflicts = sat.conflicts();
+        stats.propagations = sat.propagations();
+        self.stats.set(stats);
+        match result {
+            sat::SatResult::Sat(m) => {
+                let mut model = Model::default();
+                for (var, bits) in vars.iter() {
+                    let mut v = 0u64;
+                    for (i, &b) in bits.iter().enumerate() {
+                        if m[b as usize] {
+                            v |= 1 << i;
+                        }
+                    }
+                    model.values.insert(var.name.clone(), v);
+                }
+                // Sanity: the model must satisfy every constraint.
+                debug_assert!(
+                    live.iter()
+                        .all(|c| eval(c, &model.as_env()).map(|v| v.truth()).unwrap_or(false)),
+                    "bit-blasting produced an invalid model"
+                );
+                SolveOutcome::Sat(model)
+            }
+            sat::SatResult::Unsat => SolveOutcome::Unsat,
+            sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
+        }
+    }
+}
+
+/// Solves the degenerate "unconstrained reinterpreted float" pattern:
+/// float constraints of the shape `FCmp(op, f_from_bits(var), const)` (or
+/// mirrored) have their variable's bits chosen directly, then the whole
+/// conjunction is validated by evaluation (remaining variables default to
+/// zero). Returns `None` when the pattern does not apply or validation
+/// fails.
+fn unconstrained_float_shortcut(constraints: &[Term]) -> Option<Model> {
+    use expr::{FCmpOp, Node};
+
+    /// Matches `f_from_bits(var)` and returns the variable.
+    fn as_reinterpreted_var(t: &Term) -> Option<Var> {
+        match t.node() {
+            Node::FFromBits(inner) => match inner.node() {
+                Node::BvVar(v) => Some(v.clone()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    let mut proposal: std::collections::HashMap<Arc<str>, u64> =
+        std::collections::HashMap::new();
+    let mut matched_any = false;
+    for c in constraints {
+        let Node::FCmp { op, a, b } = c.node() else {
+            continue;
+        };
+        let (var, constant, var_on_left) = match (as_reinterpreted_var(a), b.node()) {
+            (Some(v), Node::FConst(k)) => (v, *k, true),
+            _ => match (a.node(), as_reinterpreted_var(b)) {
+                (Node::FConst(k), Some(v)) => (v, *k, false),
+                _ => continue,
+            },
+        };
+        let value = match (op, var_on_left) {
+            (FCmpOp::Eq, _) => constant,
+            (FCmpOp::Lt, true) | (FCmpOp::Le, true) => constant - constant.abs().max(1.0),
+            (FCmpOp::Lt, false) | (FCmpOp::Le, false) => constant + constant.abs().max(1.0),
+        };
+        proposal.insert(var.name.clone(), value.to_bits());
+        matched_any = true;
+    }
+    if !matched_any {
+        return None;
+    }
+    // Bind the remaining variables to zero and validate everything.
+    let mut vars = Vec::new();
+    for c in constraints {
+        c.collect_vars(&mut vars);
+    }
+    let mut env = std::collections::HashMap::new();
+    for v in &vars {
+        let val = proposal.get(&v.name).copied().unwrap_or(0);
+        env.insert(v.name.clone(), val);
+    }
+    if constraints
+        .iter()
+        .all(|c| matches!(eval(c, &env), Ok(Value::Bool(true))))
+    {
+        let mut model = Model::default();
+        for (name, value) in env {
+            model.values.insert(name, value);
+        }
+        Some(model)
+    } else {
+        None
+    }
+}
+
+/// Bounded local search for formulas with floating-point terms: tries a
+/// curated candidate set (and pairwise combinations for two variables),
+/// validating each by concrete evaluation. Sound for SAT; incomplete.
+fn float_local_search(constraints: &[Term]) -> SolveOutcome {
+    let mut vars: Vec<Var> = Vec::new();
+    for c in constraints {
+        c.collect_vars(&mut vars);
+    }
+    let check = |env: &std::collections::HashMap<Arc<str>, u64>| -> bool {
+        constraints
+            .iter()
+            .all(|c| matches!(eval(c, env), Ok(Value::Bool(true))))
+    };
+    let candidates: Vec<u64> = {
+        let mut v: Vec<u64> = (0..=16).collect();
+        v.extend([
+            42,
+            100,
+            1000,
+            1_000_000,
+            u64::MAX,        // -1
+            u64::MAX - 1,    // -2
+            u64::MAX >> 1,   // i64::MAX
+            1 << 31,
+            1 << 32,
+            1 << 62,
+        ]);
+        v.extend((0..16).map(|i| 1u64 << i));
+        // Printable ASCII, for byte-level inputs (argv digits/letters).
+        v.extend(32..=127);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    match vars.len() {
+        0 => {
+            let env = std::collections::HashMap::new();
+            if check(&env) {
+                SolveOutcome::Sat(Model::default())
+            } else {
+                SolveOutcome::Unsat // closed formula evaluated false
+            }
+        }
+        1 => {
+            for &cand in &candidates {
+                let env: std::collections::HashMap<Arc<str>, u64> =
+                    [(vars[0].name.clone(), cand)].into_iter().collect();
+                if check(&env) {
+                    let mut model = Model::default();
+                    model.values.insert(vars[0].name.clone(), cand);
+                    return SolveOutcome::Sat(model);
+                }
+            }
+            SolveOutcome::Unknown(UnknownReason::FloatSearchFailed)
+        }
+        2 => {
+            for &c0 in &candidates {
+                for &c1 in &candidates {
+                    let env: std::collections::HashMap<Arc<str>, u64> =
+                        [(vars[0].name.clone(), c0), (vars[1].name.clone(), c1)]
+                            .into_iter()
+                            .collect();
+                    if check(&env) {
+                        let mut model = Model::default();
+                        model.values.insert(vars[0].name.clone(), c0);
+                        model.values.insert(vars[1].name.clone(), c1);
+                        return SolveOutcome::Sat(model);
+                    }
+                }
+            }
+            SolveOutcome::Unknown(UnknownReason::FloatSearchFailed)
+        }
+        _ => {
+            // Vary one variable at a time with the rest at zero.
+            for (i, _) in vars.iter().enumerate() {
+                for &cand in &candidates {
+                    let mut env = std::collections::HashMap::new();
+                    for (j, other) in vars.iter().enumerate() {
+                        env.insert(other.name.clone(), if i == j { cand } else { 0 });
+                    }
+                    if check(&env) {
+                        let mut model = Model::default();
+                        for (name, value) in env {
+                            model.values.insert(name, value);
+                        }
+                        return SolveOutcome::Sat(model);
+                    }
+                }
+            }
+            SolveOutcome::Unknown(UnknownReason::FloatSearchFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expr::{BvOp, CmpOp, FCmpOp, FOp};
+
+    #[test]
+    fn presolve_catches_constant_and_interval_unsat() {
+        let s = Solver::new();
+        assert_eq!(s.check(&[Term::bool(false)]), SolveOutcome::Unsat);
+        let x = Term::var("x", 8);
+        let masked = Term::bin(BvOp::And, &x, &Term::bv(3, 8));
+        let c = Term::cmp(CmpOp::Eq, &masked, &Term::bv(200, 8));
+        assert_eq!(s.check(&[c]), SolveOutcome::Unsat);
+        assert_eq!(s.stats().sat_vars, 0, "presolved without blasting");
+    }
+
+    #[test]
+    fn trivially_true_is_sat_with_empty_model() {
+        let s = Solver::new();
+        assert!(matches!(s.check(&[Term::bool(true)]), SolveOutcome::Sat(_)));
+        assert!(matches!(s.check(&[]), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn end_to_end_bitvector_solving() {
+        // Classic crackme: (x ^ 0x5A) + 1 == 0x70  =>  x = 0x35
+        let x = Term::var("x", 8);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(
+                BvOp::Add,
+                &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, 8)),
+                &Term::bv(1, 8),
+            ),
+            &Term::bv(0x70, 8),
+        );
+        let SolveOutcome::Sat(m) = Solver::new().check(&[c]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m.get("x"), Some(0x35));
+    }
+
+    #[test]
+    fn formula_node_budget_reports_unknown() {
+        let tiny = Solver::new().with_budget(SolverBudget {
+            max_conflicts: 100,
+            max_formula_nodes: 3,
+        });
+        let x = Term::var("x", 32);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Mul, &x, &Term::var("y", 32)),
+            &Term::bv(77, 32),
+        );
+        assert_eq!(
+            tiny.check(&[c]),
+            SolveOutcome::Unknown(UnknownReason::FormulaTooLarge)
+        );
+    }
+
+    #[test]
+    fn float_reject_mode_reports_unsupported() {
+        let x = Term::var("x", 64);
+        let c = Term::fcmp(FCmpOp::Lt, &Term::f64(0.0), &Term::cvt_si_to_f(&x));
+        assert_eq!(
+            Solver::new().check(&[c]),
+            SolveOutcome::Unknown(UnknownReason::FloatUnsupported)
+        );
+    }
+
+    #[test]
+    fn float_local_search_solves_the_papers_precision_bomb() {
+        // 1024 + x == 1024 && x > 0 where x = n / 1e18 (n integer input).
+        let n = Term::var("n", 64);
+        let x = Term::fbin(FOp::Div, &Term::cvt_si_to_f(&n), &Term::f64(1e18));
+        let sum = Term::fbin(FOp::Add, &Term::f64(1024.0), &x);
+        let c1 = Term::fcmp(FCmpOp::Eq, &sum, &Term::f64(1024.0));
+        let c2 = Term::fcmp(FCmpOp::Lt, &Term::f64(0.0), &x);
+        let outcome = Solver::new()
+            .with_float_mode(FloatMode::LocalSearch)
+            .check(&[c1, c2]);
+        let SolveOutcome::Sat(m) = outcome else {
+            panic!("local search should find the paper's solution, got {outcome:?}");
+        };
+        let nv = m.get("n").expect("n bound");
+        let xv = (nv as i64 as f64) / 1e18;
+        assert!(1024.0 + xv == 1024.0 && xv > 0.0, "n = {nv}");
+    }
+
+    #[test]
+    fn float_search_failure_is_unknown_not_unsat() {
+        // No integer converts to 0.5.
+        let n = Term::var("n", 64);
+        let c = Term::fcmp(FCmpOp::Eq, &Term::cvt_si_to_f(&n), &Term::f64(0.5));
+        assert_eq!(
+            Solver::new()
+                .with_float_mode(FloatMode::LocalSearch)
+                .check(&[c]),
+            SolveOutcome::Unknown(UnknownReason::FloatSearchFailed)
+        );
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown_on_hard_instances() {
+        // Inverting a wide multiplication is hard for tiny budgets.
+        let x = Term::var("x", 64);
+        let y = Term::var("y", 64);
+        let c = Term::and(
+            &Term::cmp(
+                CmpOp::Eq,
+                &Term::bin(BvOp::Mul, &x, &y),
+                &Term::bv(0xDEAD_BEEF_1234_5677, 64),
+            ),
+            &Term::and(
+                &Term::cmp(CmpOp::Ult, &Term::bv(1, 64), &x),
+                &Term::cmp(CmpOp::Ult, &Term::bv(1, 64), &y),
+            ),
+        );
+        let s = Solver::new().with_budget(SolverBudget {
+            max_conflicts: 50,
+            max_formula_nodes: 2_000_000,
+        });
+        match s.check(&[c]) {
+            SolveOutcome::Unknown(UnknownReason::ConflictBudget) | SolveOutcome::Sat(_) => {}
+            other => panic!("expected budget exhaustion or lucky sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn models_cover_all_variables_in_formula() {
+        let x = Term::var("x", 8);
+        let y = Term::var("y", 8);
+        let c = Term::cmp(CmpOp::Eq, &Term::bin(BvOp::Add, &x, &y), &Term::bv(10, 8));
+        let SolveOutcome::Sat(m) = Solver::new().check(&[c]) else {
+            panic!("sat expected");
+        };
+        let (xv, yv) = (m.get("x").unwrap(), m.get("y").unwrap());
+        assert_eq!((xv + yv) & 0xff, 10);
+    }
+}

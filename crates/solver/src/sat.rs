@@ -1,0 +1,743 @@
+//! A CDCL SAT solver: two-watched literals, VSIDS decisions, 1-UIP clause
+//! learning, phase saving, Luby restarts, and conflict budgets.
+//!
+//! This is the backend the bit-blaster targets. Budgets model the paper's
+//! experimental timeouts: a run that exceeds its conflict budget reports
+//! [`SatResult::Unknown`], which the study maps to the `E` outcome.
+
+/// A literal: variable index shifted left once, low bit = negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: u32) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: u32) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn flip(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the vector maps variable index → value.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+impl SatResult {
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    /// Tombstoned by clause-database reduction; skipped and lazily removed
+    /// from watch lists.
+    deleted: bool,
+    activity: f64,
+}
+
+/// CDCL SAT solver.
+///
+/// # Example
+///
+/// ```
+/// use bomblab_solver::sat::{Lit, SatSolver, SatResult};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// match s.solve(10_000) {
+///     SatResult::Sat(m) => assert!(m[b as usize]),
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // lit index -> clause indices
+    assign: Vec<Option<bool>>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    queue_head: usize,
+    conflicts: u64,
+    propagations: u64,
+    /// Learnt clauses added since the last database reduction.
+    learnt_since_reduce: usize,
+    /// Learnt-clause count that triggers a reduction (doubles each time).
+    reduce_threshold: usize,
+    unsat: bool,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            reduce_threshold: 4_000,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total conflicts so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total propagations so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Overrides the learnt-clause count that triggers database reduction
+    /// (mainly for tests and tuning).
+    pub fn set_reduce_threshold(&mut self, threshold: usize) {
+        self.reduce_threshold = threshold.max(1);
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(None);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Adds a clause. Empty clauses make the instance trivially unsat;
+    /// unit clauses are enqueued immediately.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        // Deduplicate and check for tautology.
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // contains both polarities: tautology
+            }
+        }
+        // Remove literals already false at level 0; drop clause if any true.
+        if self.trail_lim.is_empty() {
+            lits.retain(|&l| self.value(l) != Some(false));
+            if lits.iter().any(|&l| self.value(l) == Some(true)) {
+                return;
+            }
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[lits[0].flip().index()].push(idx);
+                self.watches[lits[1].flip().index()].push(idx);
+                self.clauses.push(Clause {
+                    lits,
+                    learnt: false,
+                    deleted: false,
+                    activity: 0.0,
+                });
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|b| b ^ l.is_neg())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var() as usize;
+                self.assign[v] = Some(!l.is_neg());
+                self.phase[v] = !l.is_neg();
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.queue_head < self.trail.len() {
+            let p = self.trail[self.queue_head];
+            self.queue_head += 1;
+            self.propagations += 1;
+            let watch_list = std::mem::take(&mut self.watches[p.index()]);
+            let mut kept = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                i += 1;
+                if self.clauses[ci as usize].deleted {
+                    continue; // lazily dropped from this watch list
+                }
+                let false_lit = p.flip();
+                // Normalize: watched lit 1 is the false one.
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == Some(true) {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a new watch.
+                let mut found = None;
+                {
+                    let c = &self.clauses[ci as usize];
+                    for (k, &l) in c.lits.iter().enumerate().skip(2) {
+                        if self.value(l) != Some(false) {
+                            found = Some(k);
+                            break;
+                        }
+                    }
+                }
+                match found {
+                    Some(k) => {
+                        let c = &mut self.clauses[ci as usize];
+                        c.lits.swap(1, k);
+                        let new_watch = c.lits[1];
+                        self.watches[new_watch.flip().index()].push(ci);
+                    }
+                    None => {
+                        kept.push(ci);
+                        if !self.enqueue(first, Some(ci)) {
+                            // Conflict: keep remaining watches and bail.
+                            conflict = Some(ci);
+                            kept.extend_from_slice(&watch_list[i..]);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.watches[p.index()] = kept;
+            if conflict.is_some() {
+                self.queue_head = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt = vec![Lit::pos(0)]; // slot 0 reserved for the UIP
+        let mut seen = vec![false; self.assign.len()];
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut clause = conflict;
+        let mut index = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            self.bump_clause(clause);
+            let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = lit.flip();
+                break;
+            }
+            clause = self.reason[lit.var() as usize].expect("non-decision has a reason");
+        }
+
+        // Backjump level = max level among the non-UIP literals.
+        let bj = learnt
+            .iter()
+            .skip(1)
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in slot 1 (watch invariant).
+        if learnt.len() > 1 {
+            let (mi, _) = learnt
+                .iter()
+                .enumerate()
+                .skip(1)
+                .max_by_key(|(_, l)| self.level[l.var() as usize])
+                .expect("non-empty tail");
+            learnt.swap(1, mi);
+        }
+        (learnt, bj)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var() as usize;
+                self.assign[v] = None;
+                self.reason[v] = None;
+            }
+        }
+        self.queue_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        // Pick the unassigned variable with the highest activity.
+        let mut best: Option<(u32, f64)> = None;
+        for (v, a) in self.activity.iter().enumerate() {
+            if self.assign[v].is_none() {
+                match best {
+                    Some((_, ba)) if ba >= *a => {}
+                    _ => best = Some((v as u32, *a)),
+                }
+            }
+        }
+        let (v, _) = best?;
+        Some(if self.phase[v as usize] {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        })
+    }
+
+    /// Solves with a conflict budget.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        let mut restart_unit = 64u64;
+        let mut restart_left = restart_unit;
+        let start_conflicts = self.conflicts;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                restart_left = restart_left.saturating_sub(1);
+                if self.trail_lim.is_empty() {
+                    return SatResult::Unsat;
+                }
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+                let (learnt, bj) = self.analyze(conflict);
+                self.cancel_until(bj);
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], None) {
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[learnt[0].flip().index()].push(idx);
+                    self.watches[learnt[1].flip().index()].push(idx);
+                    let first = learnt[0];
+                    self.clauses.push(Clause {
+                        lits: learnt,
+                        learnt: true,
+                        deleted: false,
+                        activity: 0.0,
+                    });
+                    self.bump_clause(idx);
+                    self.learnt_since_reduce += 1;
+                    if !self.enqueue(first, Some(idx)) {
+                        return SatResult::Unsat;
+                    }
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+            } else {
+                if restart_left == 0 && !self.trail_lim.is_empty() {
+                    restart_unit = restart_unit.saturating_mul(2);
+                    restart_left = restart_unit;
+                    self.cancel_until(0);
+                    if self.learnt_since_reduce >= self.reduce_threshold {
+                        self.reduce_db();
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision literal was assigned");
+                    }
+                    None => {
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                        self.cancel_until(0);
+                        return SatResult::Sat(model);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live (non-deleted) learnt clauses (diagnostics).
+    pub fn learnt_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Deletes the lower-activity half of the learnt clauses. Must be
+    /// called at decision level 0; clauses that are reasons for current
+    /// (level-0) assignments and binary clauses are kept.
+    fn reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "reduce at the root only");
+        self.learnt_since_reduce = 0;
+        self.reduce_threshold = self.reduce_threshold.saturating_mul(2);
+        let protected: std::collections::HashSet<u32> =
+            self.reason.iter().flatten().copied().collect();
+        let mut candidates: Vec<(u32, f64)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !protected.contains(&(*i as u32))
+            })
+            .map(|(i, c)| (i as u32, c.activity))
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("activities are finite"));
+        for &(ci, _) in candidates.iter().take(candidates.len() / 2) {
+            self.clauses[ci as usize].deleted = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        if pos {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    #[test]
+    fn lit_encoding_round_trips() {
+        let l = Lit::neg(5);
+        assert_eq!(l.var(), 5);
+        assert!(l.is_neg());
+        assert_eq!(l.flip(), Lit::pos(5));
+        assert_eq!(l.flip().flip(), l);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(matches!(s.solve(1000), SatResult::Sat(_)));
+
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(1000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(1000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // (a | b) & (!a | c) & (!b | !c) & (a | c)
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![lit(a, true), lit(b, true)],
+            vec![lit(a, false), lit(c, true)],
+            vec![lit(b, false), lit(c, false)],
+            vec![lit(a, true), lit(c, true)],
+        ];
+        for cl in &clauses {
+            s.add_clause(cl);
+        }
+        let SatResult::Sat(m) = s.solve(10_000) else {
+            panic!("expected sat");
+        };
+        for cl in &clauses {
+            assert!(
+                cl.iter().any(|l| m[l.var() as usize] != l.is_neg()),
+                "clause {cl:?} unsatisfied by {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = SatSolver::new();
+        let mut p = [[0u32; 2]; 3];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(100_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat_with_learning() {
+        let n = 5usize;
+        let mut s = SatSolver::new();
+        let mut p = vec![vec![0u32; n - 1]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(1_000_000), SatResult::Unsat);
+        assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // A hard-ish pigeonhole with a tiny budget.
+        let n = 8usize;
+        let mut s = SatSolver::new();
+        let mut p = vec![vec![0u32; n - 1]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(10), SatResult::Unknown);
+    }
+
+    #[test]
+    fn clause_reduction_preserves_correctness() {
+        // A pigeonhole instance generates plenty of learnt clauses; an
+        // aggressive reduction threshold forces several reductions, and
+        // the verdict must still be UNSAT.
+        let n = 7usize;
+        let mut s = SatSolver::new();
+        s.set_reduce_threshold(64);
+        let mut p = vec![vec![0u32; n - 1]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(5_000_000), SatResult::Unsat);
+        assert!(s.conflicts() > 64, "reductions must actually have fired");
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic xorshift for reproducibility.
+        let mut state = 0x1234_5678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let nvars = 6u32;
+            let nclauses = 18;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (rnd() % nvars as u64) as u32;
+                    cl.push(lit(v, rnd() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << nvars) {
+                for cl in &clauses {
+                    if !cl
+                        .iter()
+                        .any(|l| ((m >> l.var()) & 1 == 1) != l.is_neg())
+                    {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = SatSolver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            match s.solve(100_000) {
+                SatResult::Sat(m) => {
+                    assert!(brute_sat, "solver found model for unsat instance");
+                    for cl in &clauses {
+                        assert!(cl.iter().any(|l| m[l.var() as usize] != l.is_neg()));
+                    }
+                }
+                SatResult::Unsat => assert!(!brute_sat, "solver claims unsat for sat instance"),
+                SatResult::Unknown => panic!("budget should not be hit on tiny instances"),
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the solver stack: smart-constructor soundness,
+//! bit-blast/eval agreement, and model validity.
+
+use bomblab_solver::expr::{eval, BvOp, CmpOp, Term, Value};
+use bomblab_solver::{SolveOutcome, Solver};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const OPS: [BvOp; 13] = [
+    BvOp::Add,
+    BvOp::Sub,
+    BvOp::Mul,
+    BvOp::UDiv,
+    BvOp::SDiv,
+    BvOp::URem,
+    BvOp::SRem,
+    BvOp::And,
+    BvOp::Or,
+    BvOp::Xor,
+    BvOp::Shl,
+    BvOp::LShr,
+    BvOp::AShr,
+];
+
+const CMPS: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Ult, CmpOp::Ule, CmpOp::Slt, CmpOp::Sle];
+
+/// A small expression AST we can both build as a `Term` and evaluate
+/// naively, so the smart constructors' folding can be cross-checked.
+#[derive(Debug, Clone)]
+enum Ast {
+    X,
+    Y,
+    Const(u64),
+    Bin(BvOp, Box<Ast>, Box<Ast>),
+    Not(Box<Ast>),
+    Neg(Box<Ast>),
+}
+
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        Just(Ast::X),
+        Just(Ast::Y),
+        any::<u64>().prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (0usize..OPS.len(), inner.clone(), inner.clone())
+                .prop_map(|(i, a, b)| Ast::Bin(OPS[i], Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Ast::Not(Box::new(a))),
+            inner.prop_map(|a| Ast::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn build(ast: &Ast, width: u8) -> Term {
+    match ast {
+        Ast::X => Term::var("x", width),
+        Ast::Y => Term::var("y", width),
+        Ast::Const(v) => Term::bv(*v, width),
+        Ast::Bin(op, a, b) => Term::bin(*op, &build(a, width), &build(b, width)),
+        Ast::Not(a) => Term::bvnot(&build(a, width)),
+        Ast::Neg(a) => Term::bvneg(&build(a, width)),
+    }
+}
+
+fn env(x: u64, y: u64) -> HashMap<Arc<str>, u64> {
+    [(Arc::from("x"), x), (Arc::from("y"), y)].into_iter().collect()
+}
+
+proptest! {
+    /// The folding smart constructors must preserve semantics: building a
+    /// term (which may fold/simplify) and evaluating it equals evaluating
+    /// an unsimplified equivalent (built fresh with leaf substitution).
+    #[test]
+    fn smart_constructors_preserve_evaluation(
+        ast in arb_ast(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let width = 16u8;
+        let term = build(&ast, width);
+        // Substitute the concrete values at the leaves: constant folding
+        // computes the exact value.
+        fn subst(ast: &Ast, x: u64, y: u64, width: u8) -> Term {
+            match ast {
+                Ast::X => Term::bv(x, width),
+                Ast::Y => Term::bv(y, width),
+                Ast::Const(v) => Term::bv(*v, width),
+                Ast::Bin(op, a, b) => {
+                    Term::bin(*op, &subst(a, x, y, width), &subst(b, x, y, width))
+                }
+                Ast::Not(a) => Term::bvnot(&subst(a, x, y, width)),
+                Ast::Neg(a) => Term::bvneg(&subst(a, x, y, width)),
+            }
+        }
+        let folded = subst(&ast, x, y, width).as_const().expect("fully folded");
+        let evaluated = eval(&term, &env(x, y)).expect("closed").bits();
+        prop_assert_eq!(folded, evaluated);
+    }
+
+    /// For any expression and any concrete (x, y), constraining the
+    /// variables and the expression's value must be satisfiable, and the
+    /// solver's model must satisfy the constraint per the evaluator.
+    #[test]
+    fn bitblast_agrees_with_eval(
+        ast in arb_ast(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let width = 8u8;
+        let term = build(&ast, width);
+        let want = eval(&term, &env(x, y)).expect("closed").bits();
+        let xv = Term::var("x", width);
+        let yv = Term::var("y", width);
+        let c = Term::and(
+            &Term::and(
+                &Term::cmp(CmpOp::Eq, &xv, &Term::bv(x, width)),
+                &Term::cmp(CmpOp::Eq, &yv, &Term::bv(y, width)),
+            ),
+            &Term::cmp(CmpOp::Eq, &term, &Term::bv(want, width)),
+        );
+        match Solver::new().check(&[c]) {
+            SolveOutcome::Sat(_) => {}
+            other => prop_assert!(false, "expected sat, got {:?}", other),
+        }
+    }
+
+    /// Solver models satisfy the constraints they were produced for.
+    #[test]
+    fn models_satisfy_their_constraints(
+        ast in arb_ast(),
+        cmp_i in 0usize..CMPS.len(),
+        k in any::<u64>(),
+    ) {
+        let width = 8u8;
+        let term = build(&ast, width);
+        let c = Term::cmp(CMPS[cmp_i], &term, &Term::bv(k, width));
+        match Solver::new().check(&[c.clone()]) {
+            SolveOutcome::Sat(model) => {
+                let mut env = model.as_env();
+                // Unmentioned variables default to zero.
+                env.entry(Arc::from("x")).or_insert(0);
+                env.entry(Arc::from("y")).or_insert(0);
+                prop_assert_eq!(
+                    eval(&c, &env).expect("closed"),
+                    Value::Bool(true),
+                    "model must satisfy the constraint"
+                );
+            }
+            SolveOutcome::Unsat => {
+                // Spot-check: a handful of assignments must all violate c.
+                for (x, y) in [(0u64, 0u64), (1, 1), (k, k), (255, 0), (0, 255)] {
+                    prop_assert_eq!(
+                        eval(&c, &env(x, y)).expect("closed"),
+                        Value::Bool(false),
+                        "unsat claim contradicted by x={} y={}", x, y
+                    );
+                }
+            }
+            SolveOutcome::Unknown(r) => {
+                prop_assert!(false, "tiny formulas should never exhaust budgets: {}", r);
+            }
+        }
+    }
+
+    /// `extract`/`concat`/extensions respect the evaluator on random data.
+    #[test]
+    fn structure_ops_agree_with_eval(v in any::<u64>(), hi in 0u8..32, lo in 0u8..32) {
+        prop_assume!(hi >= lo);
+        let x = Term::bv(v, 32);
+        let ex = Term::extract(&x, hi, lo);
+        let expected = (v >> lo) & if hi - lo + 1 >= 64 { u64::MAX } else { (1u64 << (hi - lo + 1)) - 1 };
+        prop_assert_eq!(ex.as_const(), Some(expected & 0xffff_ffff));
+        let z = Term::zext(&ex, 64);
+        prop_assert_eq!(eval(&z, &HashMap::new()).expect("closed").bits(), expected & 0xffff_ffff);
+    }
+}

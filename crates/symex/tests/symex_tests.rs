@@ -1,0 +1,512 @@
+//! Symbolic-execution tests: extract constraints from real traces, solve,
+//! and verify the generated inputs by replaying them on the VM.
+
+use bomblab_isa::image::layout;
+use bomblab_rt::link_program;
+use bomblab_solver::{FloatMode, Model, SolveOutcome, Solver};
+use bomblab_symex::{MemoryModel, PropagationPolicy, SymExec, SymResult};
+use bomblab_vm::{Machine, MachineConfig, RunStatus, Trace};
+
+const ARG_PREFIX: &str = "arg1";
+
+/// Builds, runs with `argv[1] = seed`, and returns the trace plus the
+/// pre-run memory snapshot.
+fn run_traced(src: &str, seed: &str) -> (Trace, bomblab_vm::Memory, RunStatus) {
+    let image = link_program(src).expect("program builds");
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg(seed)
+    };
+    let mut machine = Machine::load(&image, None, config).expect("loads");
+    let snapshot = machine
+        .process_memory(bomblab_vm::ROOT_PID)
+        .expect("root exists")
+        .clone();
+    let status = machine.run().status;
+    (machine.take_trace(), snapshot, status)
+}
+
+/// Address of argv[1]'s bytes in the loader layout (argc == 2).
+fn argv1_addr() -> u64 {
+    layout::ARGV_BASE + 16 + 5 // past 2 pointers and "bomb\0"
+}
+
+fn symexec(model: MemoryModel, src: &str, seed: &str) -> (SymResult, RunStatus) {
+    let (trace, snapshot, status) = run_traced(src, seed);
+    let mut exec = SymExec::new(model, PropagationPolicy::full());
+    exec.set_initial_memory(bomblab_vm::ROOT_PID, snapshot);
+    exec.symbolize_bytes(
+        bomblab_vm::ROOT_PID,
+        argv1_addr(),
+        seed.len() as u64,
+        ARG_PREFIX,
+    );
+    (exec.run(&trace), status)
+}
+
+/// Decodes a model back into an argv[1] string of `len` seed bytes.
+fn model_to_arg(model: &Model, seed: &str) -> Vec<u8> {
+    (0..seed.len())
+        .map(|i| {
+            model
+                .get(&format!("{ARG_PREFIX}_b{i}"))
+                .map(|v| v as u8)
+                .unwrap_or(seed.as_bytes()[i])
+        })
+        .collect()
+}
+
+/// Replays with a new argv[1]; returns the exit code.
+fn replay(src: &str, arg: &[u8]) -> i64 {
+    let image = link_program(src).expect("program builds");
+    let mut machine = Machine::load(&image, None, MachineConfig::with_arg(arg.to_vec()))
+        .expect("loads");
+    machine
+        .run()
+        .status
+        .exit_code()
+        .expect("replay exits cleanly")
+}
+
+const CRACKME: &str = r#"
+    .extern atoi
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    li t0, 7
+    beq a0, t0, boom
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn crackme_branch_flips_to_the_bomb() {
+    let (result, status) = symexec(MemoryModel::Concretize, CRACKME, "3");
+    assert_eq!(status, RunStatus::Exited(0), "seed must miss the bomb");
+    assert!(!result.path.is_empty(), "symbolic branches expected");
+
+    // The final `beq a0, t0` is the last symbolic branch; flip it.
+    let last = result.path.len() - 1;
+    let query = result.flip_query(last);
+    let SolveOutcome::Sat(model) = Solver::new().check(&query) else {
+        panic!("flip query must be satisfiable");
+    };
+    let arg = model_to_arg(&model, "3");
+    assert_eq!(
+        replay(CRACKME, &arg),
+        42,
+        "generated input {:?} must detonate",
+        String::from_utf8_lossy(&arg)
+    );
+}
+
+#[test]
+fn path_query_is_satisfied_by_the_seed_itself() {
+    let (result, _) = symexec(MemoryModel::Concretize, CRACKME, "3");
+    let query = result.path_query();
+    let SolveOutcome::Sat(model) = Solver::new().check(&query) else {
+        panic!("the executed path must be satisfiable");
+    };
+    // Any model of the path query must re-trigger the same path (exit 0).
+    let arg = model_to_arg(&model, "3");
+    assert_eq!(replay(CRACKME, &arg), 0);
+}
+
+const ARRAY_L1: &str = r#"
+    .extern atoi
+    .data
+table: .byte 10, 20, 30, 40, 50, 60, 70, 80
+    .text
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    andi a0, a0, 7
+    li t0, table
+    add t0, t0, a0
+    lbu t1, [t0]
+    li t2, 70
+    beq t1, t2, boom
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn symbolic_map_solves_one_level_array() {
+    let (result, status) = symexec(
+        MemoryModel::SymbolicMap {
+            max_indirection: 1,
+            region: 16,
+        },
+        ARRAY_L1,
+        "2",
+    );
+    assert_eq!(status, RunStatus::Exited(0));
+    assert!(result.events.concretized_loads.is_empty());
+    let last = result.path.len() - 1;
+    let SolveOutcome::Sat(model) = Solver::new().check(&result.flip_query(last)) else {
+        panic!("array flip must be satisfiable under SymbolicMap");
+    };
+    let arg = model_to_arg(&model, "2");
+    assert_eq!(
+        replay(ARRAY_L1, &arg),
+        42,
+        "index input {:?} must detonate",
+        String::from_utf8_lossy(&arg)
+    );
+}
+
+#[test]
+fn concretize_model_pins_the_array_index() {
+    let (result, _) = symexec(MemoryModel::Concretize, ARRAY_L1, "2");
+    assert!(
+        !result.events.concretized_loads.is_empty(),
+        "the load must be reported concretized"
+    );
+    // Under the pin the loaded value is fixed to table[2] = 30, so the
+    // bomb comparison never becomes symbolic: no flip of any remaining
+    // branch can detonate — the paper's Es3 behaviour.
+    for i in 0..result.path.len() {
+        if let SolveOutcome::Sat(model) = Solver::new().check(&result.flip_query(i)) {
+            let arg = model_to_arg(&model, "2");
+            assert_ne!(
+                replay(ARRAY_L1, &arg),
+                42,
+                "concretized model must not find the bomb (flip {i}, arg {arg:?})"
+            );
+        }
+    }
+}
+
+const ARRAY_L2: &str = r#"
+    .extern atoi
+    .data
+idx:   .byte 3, 0, 1, 2, 7, 6, 5, 4
+table: .byte 10, 20, 30, 40, 50, 60, 70, 80
+    .text
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    andi a0, a0, 7
+    li t0, idx
+    add t0, t0, a0
+    lbu t1, [t0]        # level 1
+    li t0, table
+    add t0, t0, t1
+    lbu t2, [t0]        # level 2
+    li t3, 80
+    beq t2, t3, boom
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn two_level_array_exceeds_indirection_budget() {
+    let (result, _) = symexec(
+        MemoryModel::SymbolicMap {
+            max_indirection: 1,
+            region: 16,
+        },
+        ARRAY_L2,
+        "1",
+    );
+    assert!(
+        !result.events.over_indirection.is_empty(),
+        "level-2 access must exceed the budget"
+    );
+}
+
+const COVERT_FILE: &str = r#"
+    .data
+path: .asciz "covert"
+buf:  .space 8
+    .text
+    .global _start
+_start:
+    ld s0, [a1+8]
+    li a0, path
+    li a1, 1
+    li sv, 3
+    sys
+    mov s1, a0
+    mov a0, s1
+    mov a1, s0
+    li a2, 1
+    li sv, 1             # write argv byte to file
+    sys
+    mov a0, s1
+    li sv, 4
+    sys
+    li a0, path
+    li a1, 0
+    li sv, 3
+    sys
+    mov s1, a0
+    mov a0, s1
+    li a1, buf
+    li a2, 1
+    li sv, 2             # read it back
+    sys
+    li t0, buf
+    lbu t1, [t0]
+    li t2, 'X'
+    beq t1, t2, boom
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn covert_file_flow_solved_with_full_policy() {
+    let (result, _) = symexec(MemoryModel::Concretize, COVERT_FILE, "A");
+    assert!(
+        !result.path.is_empty(),
+        "the branch on the file byte must be symbolic with through_files"
+    );
+    let last = result.path.len() - 1;
+    let SolveOutcome::Sat(model) = Solver::new().check(&result.flip_query(last)) else {
+        panic!("flip must be satisfiable");
+    };
+    let arg = model_to_arg(&model, "A");
+    assert_eq!(arg, b"X");
+    assert_eq!(replay(COVERT_FILE, &arg), 42);
+}
+
+#[test]
+fn covert_file_flow_lost_without_policy() {
+    let (trace, snapshot, _) = run_traced(COVERT_FILE, "A");
+    let mut exec = SymExec::new(MemoryModel::Concretize, PropagationPolicy::direct_only());
+    exec.set_initial_memory(bomblab_vm::ROOT_PID, snapshot);
+    exec.symbolize_bytes(bomblab_vm::ROOT_PID, argv1_addr(), 1, ARG_PREFIX);
+    let result = exec.run(&trace);
+    assert!(
+        result.path.is_empty(),
+        "without file tracking the branch is concrete"
+    );
+    assert!(!result.events.dropped_file_flows.is_empty());
+}
+
+const STACK_COVERT: &str = r#"
+    .extern atoi
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    push a0
+    li a0, 0
+    pop t0
+    li t1, 9
+    beq t0, t1, boom
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn stack_round_trip_stays_symbolic() {
+    let (result, _) = symexec(MemoryModel::Concretize, STACK_COVERT, "3");
+    let last = result.path.len() - 1;
+    let SolveOutcome::Sat(model) = Solver::new().check(&result.flip_query(last)) else {
+        panic!("flip must be satisfiable");
+    };
+    let arg = model_to_arg(&model, "3");
+    assert_eq!(replay(STACK_COVERT, &arg), 42, "arg {:?}", arg);
+}
+
+const SYM_JUMP: &str = r#"
+    .extern atoi
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    andi a0, a0, 7
+    shli a0, a0, 3       # 8-byte slots
+    li t0, base
+    add t0, t0, a0
+    jr t0
+base:
+    jmp ok               # slot 0 (jmp is 5 bytes + 3 nops)
+    nop
+    nop
+    nop
+    jmp ok               # slot 1
+    nop
+    nop
+    nop
+    jmp ok               # slot 2
+    nop
+    nop
+    nop
+    jmp ok               # slot 3
+    nop
+    nop
+    nop
+    jmp ok               # slot 4
+    nop
+    nop
+    nop
+    jmp ok               # slot 5
+    nop
+    nop
+    nop
+    jmp boom             # slot 6 — the bomb slot
+    nop
+    nop
+    nop
+    jmp ok               # slot 7
+    nop
+    nop
+    nop
+ok:
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn symbolic_jump_is_pinned_and_reported() {
+    let (result, status) = symexec(MemoryModel::Concretize, SYM_JUMP, "0");
+    assert_eq!(status, RunStatus::Exited(0));
+    assert!(
+        !result.events.pinned_jumps.is_empty(),
+        "the jr must be reported as pinned"
+    );
+    assert_eq!(
+        result.events.pinned_jumps[0].1, 0,
+        "a computed (not loaded) target has depth 0"
+    );
+    // The pin forces the same landing pad: asking for a different path is
+    // not expressible — exactly the paper's Es3 on symbolic jumps.
+    let SolveOutcome::Sat(model) = Solver::new().check(&result.path_query()) else {
+        panic!("path query should be satisfiable");
+    };
+    let arg = model_to_arg(&model, "0");
+    assert_eq!(replay(SYM_JUMP, &arg), 0, "pinned jump keeps the old path");
+}
+
+const FLOAT_BOMB: &str = r#"
+    .extern atoi
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    cvt.si2d f0, a0
+    fli f1, 1000000000000000000.0
+    fdiv.d f0, f0, f1      # x = n / 1e18
+    fli f2, 1024.0
+    fadd.d f3, f2, f0      # 1024 + x
+    fbeq f3, f2, check2    # == 1024 ?
+    li a0, 0
+    li sv, 0
+    sys
+check2:
+    fli f4, 0.0
+    fblt f4, f0, boom      # x > 0 ?
+    li a0, 0
+    li sv, 0
+    sys
+boom:
+    li a0, 42
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn float_constraints_are_extracted_and_searchable() {
+    let (result, status) = symexec(MemoryModel::Concretize, FLOAT_BOMB, "0");
+    // Seed 0: 1024 + 0 == 1024 takes the first branch, then x > 0 fails.
+    assert_eq!(status, RunStatus::Exited(0));
+    assert!(result.has_float(), "path must contain float terms");
+    let last = result.path.len() - 1;
+    let query = result.flip_query(last);
+
+    // Reject mode (most tools): unknown.
+    assert!(matches!(
+        Solver::new().check(&query),
+        SolveOutcome::Unknown(_)
+    ));
+
+    // Local search: finds n = 1 (the paper's 0.00001-style solution).
+    let SolveOutcome::Sat(model) = Solver::new()
+        .with_float_mode(FloatMode::LocalSearch)
+        .check(&query)
+    else {
+        panic!("local search should solve the float bomb");
+    };
+    let arg = model_to_arg(&model, "0");
+    assert_eq!(replay(FLOAT_BOMB, &arg), 42, "arg {:?}", arg);
+}
+
+const DIV_TRAP: &str = r#"
+    .extern atoi
+    .global _start
+_start:
+    ld a0, [a1+8]
+    call atoi
+    li t0, 100
+    divs t1, t0, a0       # traps when argv == 0
+    li a0, 0
+    li sv, 0
+    sys
+    "#;
+
+#[test]
+fn symbolic_divisor_guards_the_trap() {
+    let (result, status) = symexec(MemoryModel::Concretize, DIV_TRAP, "5");
+    assert_eq!(status, RunStatus::Exited(0));
+    // One of the path conds is the divisor-zero guard, not taken.
+    let guard = result
+        .path
+        .iter()
+        .find(|p| !p.taken && p.taken_target == 0)
+        .expect("divisor guard present");
+    assert!(!guard.taken);
+    // Flipping it means finding input where the program traps: atoi == 0.
+    let idx = result
+        .path
+        .iter()
+        .position(|p| p.step == guard.step)
+        .unwrap();
+    let SolveOutcome::Sat(model) = Solver::new().check(&result.flip_query(idx)) else {
+        panic!("trap path must be satisfiable");
+    };
+    let arg = model_to_arg(&model, "5");
+    // Replay: the program faults (no clean exit code 0 path).
+    let image = link_program(DIV_TRAP).unwrap();
+    let mut machine =
+        Machine::load(&image, None, MachineConfig::with_arg(arg.clone())).unwrap();
+    assert!(
+        matches!(machine.run().status, RunStatus::Faulted { .. }),
+        "arg {:?} must reach the division trap",
+        String::from_utf8_lossy(&arg)
+    );
+}

@@ -1,0 +1,512 @@
+//! Taint tests over real VM traces.
+
+use bomblab_isa::image::layout;
+use bomblab_rt::link_program;
+use bomblab_taint::{TaintEngine, TaintLoss, TaintPolicy};
+use bomblab_vm::{Machine, MachineConfig, RunStatus, Trace};
+
+/// Runs a statically linked program with tracing and returns the trace.
+fn trace_of(src: &str, config: MachineConfig) -> (Trace, RunStatus) {
+    let image = link_program(src).expect("program builds");
+    let mut machine = Machine::load(
+        &image,
+        None,
+        MachineConfig {
+            trace: true,
+            ..config
+        },
+    )
+    .expect("loads");
+    let result = machine.run();
+    (machine.take_trace(), result.status)
+}
+
+/// Byte range of `argv[index]`'s string in the loader layout.
+fn argv_range(argv: &[&str], index: usize) -> (u64, u64) {
+    let mut addr = layout::ARGV_BASE + 8 * argv.len() as u64;
+    for (i, a) in argv.iter().enumerate() {
+        if i == index {
+            return (addr, a.len() as u64);
+        }
+        addr += a.len() as u64 + 1;
+    }
+    panic!("argv index out of range");
+}
+
+fn engine_with_argv1(policy: TaintPolicy, argv1: &str) -> TaintEngine {
+    let mut engine = TaintEngine::new(policy);
+    let (base, len) = argv_range(&["bomb", argv1], 1);
+    engine.taint_memory(bomblab_vm::ROOT_PID, &[(base, len)]);
+    engine
+}
+
+#[test]
+fn direct_branch_on_argv_is_tainted() {
+    let src = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        li t0, 7
+        beq a0, t0, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("3"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "3");
+    let report = engine.run(&trace);
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "the beq on atoi(argv[1]) must be tainted"
+    );
+    // The tainted branch at `beq a0, t0` plus atoi's internal digit checks.
+    assert!(report.tainted_step_count > 3);
+}
+
+#[test]
+fn branch_on_constant_is_clean() {
+    let src = r#"
+        .global _start
+    _start:
+        li a0, 5
+        li t0, 7
+        beq a0, t0, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::default());
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "");
+    let report = engine.run(&trace);
+    assert!(report.tainted_branches.is_empty());
+    assert_eq!(report.tainted_step_count, 0);
+}
+
+#[test]
+fn file_covert_channel_needs_through_files() {
+    // Write argv[1] byte to a file, read it back, branch on it.
+    let src = r#"
+        .data
+    path: .asciz "covert"
+    buf:  .space 8
+        .text
+        .global _start
+    _start:
+        ld s0, [a1+8]        # argv[1] ptr
+        li a0, path
+        li a1, 1
+        li sv, 3             # open write
+        sys
+        mov s1, a0
+        mov a0, s1
+        mov a1, s0
+        li a2, 1
+        li sv, 1             # write(fd, argv1, 1)
+        sys
+        mov a0, s1
+        li sv, 4             # close
+        sys
+        li a0, path
+        li a1, 0
+        li sv, 3             # open read
+        sys
+        mov s1, a0
+        mov a0, s1
+        li a1, buf
+        li a2, 1
+        li sv, 2             # read back
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        li t2, 'X'
+        beq t1, t2, boom
+        li a0, 0
+        li sv, 0
+        sys
+    boom:
+        li a0, 42
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("A"));
+
+    // Omniscient: branch is tainted through the file.
+    let mut omni = engine_with_argv1(TaintPolicy::omniscient(), "A");
+    let report = omni.run(&trace);
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "file round-trip must keep taint with through_files"
+    );
+
+    // Default policy: taint lost at the file write.
+    let mut strict = engine_with_argv1(TaintPolicy::argv_direct_only(), "A");
+    let report = strict.run(&trace);
+    assert!(report.tainted_branches.is_empty());
+    assert!(report
+        .losses
+        .iter()
+        .any(|(_, l)| *l == TaintLoss::FileWrite));
+}
+
+#[test]
+fn stack_push_pop_keeps_taint() {
+    let src = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        push a0
+        li a0, 0
+        pop t0
+        li t1, 7
+        beq t0, t1, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("3"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "3");
+    let report = engine.run(&trace);
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "push/pop must propagate taint through the stack"
+    );
+}
+
+#[test]
+fn symbolic_array_index_is_flagged() {
+    let src = r#"
+        .extern atoi
+        .data
+    table: .byte 10, 20, 30, 40, 50, 60, 70, 80
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        li t0, table
+        add t0, t0, a0       # tainted address
+        lbu t1, [t0]
+        li t2, 70
+        beq t1, t2, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("2"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "2");
+    let report = engine.run(&trace);
+    assert!(
+        !report.tainted_addr_loads.is_empty(),
+        "tainted array index must be reported"
+    );
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "value loaded through a tainted pointer must taint the branch"
+    );
+}
+
+#[test]
+fn symbolic_jump_target_is_flagged() {
+    let src = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        andi a0, a0, 7
+        li t0, base
+        add t0, t0, a0
+        jr t0                # tainted indirect jump
+    base:
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        li a0, 0
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("0"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "0");
+    let report = engine.run(&trace);
+    assert!(
+        !report.tainted_indirect_jumps.is_empty(),
+        "tainted jr must be reported"
+    );
+}
+
+#[test]
+fn time_source_requires_policy() {
+    let src = r#"
+        .global _start
+    _start:
+        li sv, 6             # time
+        sys
+        li t0, 777
+        beq a0, t0, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::default());
+    let mut strict = TaintEngine::new(TaintPolicy::argv_direct_only());
+    assert!(strict.run(&trace).tainted_branches.is_empty());
+    let mut omni = TaintEngine::new(TaintPolicy::omniscient());
+    assert!(
+        !omni.run(&trace).tainted_branches.is_empty(),
+        "time must taint the branch when declared symbolic"
+    );
+}
+
+#[test]
+fn thread_argument_crosses_only_with_policy() {
+    let src = r#"
+        .extern atoi
+        .data
+    cell: .quad 0
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov a1, a0           # arg = atoi(argv[1])
+        li a0, worker
+        li sv, 11            # thread_spawn
+        sys
+        li sv, 12            # join
+        sys
+        li t0, cell
+        ld t1, [t0]
+        li t2, 8
+        beq t1, t2, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+    worker:
+        addi a0, a0, 1
+        li t0, cell
+        sd [t0], a0
+        li a0, 0
+        ret
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("7"));
+    let mut omni = engine_with_argv1(TaintPolicy::omniscient(), "7");
+    let report = omni.run(&trace);
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "cross-thread flow must be visible omnisciently"
+    );
+
+    let mut strict = engine_with_argv1(TaintPolicy::argv_direct_only(), "7");
+    let report = strict.run(&trace);
+    // atoi's own digit-scanning branches are tainted in any policy; the
+    // point is that no tainted branch survives past the thread spawn.
+    let spawn_idx = trace
+        .iter()
+        .position(|s| s.sys.as_ref().is_some_and(|r| r.num == 11))
+        .expect("spawn syscall in trace");
+    assert!(
+        report.tainted_branches.iter().all(|&i| i < spawn_idx),
+        "no tainted branch may survive the dropped thread flow"
+    );
+    assert!(report
+        .losses
+        .iter()
+        .any(|(_, l)| *l == TaintLoss::ThreadSpawn));
+}
+
+#[test]
+fn fork_pipe_flow_crosses_only_with_policy() {
+    let src = r#"
+        .extern atoi
+        .data
+    fds: .space 16
+    buf: .space 8
+        .text
+        .global _start
+    _start:
+        ld s2, [a1+8]        # argv[1] ptr
+        li a0, fds
+        li sv, 10            # pipe
+        sys
+        li sv, 8             # fork
+        sys
+        beq a0, r0, child
+        li a0, fds
+        ld a0, [a0]
+        li a1, buf
+        li a2, 1
+        li sv, 2             # read transformed byte
+        sys
+        li t0, buf
+        lbu t1, [t0]
+        li t2, 'B'
+        beq t1, t2, yes
+        li a0, 0
+        li sv, 0
+        sys
+    yes:
+        li a0, 1
+        li sv, 0
+        sys
+    child:
+        lbu t0, [s2]
+        addi t0, t0, 1       # transform argv byte
+        li t1, buf
+        sb [t1], t0
+        li a0, fds
+        ld a0, [a0+8]
+        li a1, buf
+        li a2, 1
+        li sv, 1             # write to pipe
+        sys
+        li a0, 0
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("A"));
+    let mut omni = engine_with_argv1(TaintPolicy::omniscient(), "A");
+    let report = omni.run(&trace);
+    assert!(
+        !report.tainted_branches.is_empty(),
+        "fork+pipe flow must be visible omnisciently"
+    );
+
+    let mut strict = engine_with_argv1(TaintPolicy::argv_direct_only(), "A");
+    let report = strict.run(&trace);
+    assert!(report.tainted_branches.is_empty());
+}
+
+#[test]
+fn tainted_syscall_arguments_are_reported() {
+    // argv[1] used as a file name for open().
+    let src = r#"
+        .global _start
+    _start:
+        ld a0, [a1+8]        # path = argv[1]
+        li a1, 0
+        li sv, 3             # open(argv[1], RDONLY)
+        sys
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("zzz"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "zzz");
+    let report = engine.run(&trace);
+    assert!(
+        report.tainted_sys_args.iter().any(|(_, args)| args.contains(&0)),
+        "open's a0 must be reported tainted"
+    );
+}
+
+#[test]
+fn tainted_syscall_number_is_reported() {
+    let src = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        addi sv, a0, 6       # syscall number derived from argv
+        sys
+        li sv, 0
+        sys
+        "#;
+    let (trace, _) = trace_of(src, MachineConfig::with_arg("1"));
+    let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "1");
+    let report = engine.run(&trace);
+    assert!(!report.tainted_sys_nums.is_empty());
+}
+
+#[test]
+fn figure3_metric_grows_with_printf() {
+    let base = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        li t0, 0x32
+        blt a0, t0, small
+        li a0, 0
+        li sv, 0
+        sys
+    small:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let with_print = r#"
+        .extern atoi, printf
+        .data
+    fmt: .asciz "input=%d\n"
+        .text
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+        li a0, fmt
+        mov a1, s0
+        call printf
+        mov a0, s0
+        li t0, 0x32
+        blt a0, t0, small
+        li a0, 0
+        li sv, 0
+        sys
+    small:
+        li a0, 1
+        li sv, 0
+        sys
+        "#;
+    let (t1, _) = trace_of(base, MachineConfig::with_arg("7"));
+    let (t2, _) = trace_of(with_print, MachineConfig::with_arg("7"));
+    let mut e1 = engine_with_argv1(TaintPolicy::argv_direct_only(), "7");
+    let r1 = e1.run(&t1);
+    let mut e2 = engine_with_argv1(TaintPolicy::argv_direct_only(), "7");
+    let r2 = e2.run(&t2);
+    assert!(
+        r2.tainted_step_count > r1.tainted_step_count + 10,
+        "printf must add tainted instructions: {} vs {}",
+        r2.tainted_step_count,
+        r1.tainted_step_count
+    );
+    assert!(
+        r2.tainted_branches.len() > r1.tainted_branches.len(),
+        "printf adds conditional branches over the symbolic value"
+    );
+}

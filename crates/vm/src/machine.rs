@@ -1,0 +1,970 @@
+//! The multi-process, multi-thread BVM machine.
+//!
+//! A [`Machine`] loads an [`Image`] (plus an optional shared library),
+//! simulates a small deterministic OS, and runs threads round-robin with a
+//! fixed quantum. With tracing enabled it records every executed
+//! instruction — the concolic engine's raw material.
+
+use crate::cpu::{self, Effect, Regs};
+use crate::mem::Memory;
+use crate::os::{Fd, Os, O_RDONLY, O_RDWR, O_WRONLY};
+use crate::trace::{InputSource, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep};
+use bomblab_isa::image::{layout, Image, ImageError};
+use bomblab_isa::{sys, Insn, Reg};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Pid of the initial process.
+pub const ROOT_PID: u32 = 1;
+
+/// Exit code conventionally used by logic bombs on detonation.
+pub const BOOM_EXIT_CODE: i64 = 42;
+
+/// Configuration for a machine run.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Program arguments, including `argv[0]`.
+    pub argv: Vec<Vec<u8>>,
+    /// Bytes available on standard input.
+    pub stdin: Vec<u8>,
+    /// Initial filesystem contents.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// Value returned by the `time` syscall.
+    pub epoch: u64,
+    /// Value returned by the `getuid` syscall.
+    pub uid: u64,
+    /// Bytes served by the `net_get` syscall.
+    pub net_response: Vec<u8>,
+    /// Maximum total instructions before the run is cut off.
+    pub step_budget: u64,
+    /// Instructions per scheduling quantum.
+    pub quantum: u32,
+    /// Record a full instruction trace.
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            argv: vec![b"bomb".to_vec()],
+            stdin: Vec::new(),
+            files: Vec::new(),
+            epoch: 1_500_000_000,
+            uid: 1000,
+            net_response: b"HELLO FROM BVM-NET\n".to_vec(),
+            step_budget: 5_000_000,
+            quantum: 64,
+            trace: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Convenience: a config whose `argv[1]` is `arg`.
+    pub fn with_arg(arg: impl Into<Vec<u8>>) -> MachineConfig {
+        MachineConfig {
+            argv: vec![b"bomb".to_vec(), arg.into()],
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The root process exited with this code.
+    Exited(i64),
+    /// The root process took an unhandled hardware trap.
+    Faulted {
+        /// Trap cause (see [`bomblab_isa::trap`]).
+        cause: u64,
+        /// Faulting pc.
+        pc: u64,
+    },
+    /// Every live thread was blocked.
+    Deadlock,
+    /// The step budget was exhausted.
+    OutOfBudget,
+}
+
+impl RunStatus {
+    /// The exit code, if the root process exited normally.
+    pub fn exit_code(&self) -> Option<i64> {
+        match self {
+            RunStatus::Exited(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Exited(c) => write!(f, "exited({c})"),
+            RunStatus::Faulted { cause, pc } => write!(f, "faulted(cause={cause}, pc={pc:#x})"),
+            RunStatus::Deadlock => write!(f, "deadlock"),
+            RunStatus::OutOfBudget => write!(f, "out of budget"),
+        }
+    }
+}
+
+/// Result of [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Total instructions executed.
+    pub steps: u64,
+}
+
+/// Errors while loading an image into a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Import resolution or image patching failed.
+    Image(ImageError),
+    /// The image has imports but no shared library was supplied.
+    MissingLibrary(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Image(e) => write!(f, "image error: {e}"),
+            LoadError::MissingLibrary(s) => {
+                write!(f, "image imports `{s}` but no shared library was provided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ImageError> for LoadError {
+    fn from(e: ImageError) -> LoadError {
+        LoadError::Image(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    regs: Regs,
+    blocked: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Process {
+    parent: u32,
+    mem: Memory,
+    threads: BTreeMap<u32, Thread>,
+    fds: Vec<Option<Fd>>,
+    trap_handler: Option<u64>,
+    stdin_pos: usize,
+    stdout: Vec<u8>,
+    thread_exits: BTreeMap<u32, u64>,
+    next_stack_index: u64,
+}
+
+/// The BVM virtual machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    os: Os,
+    procs: BTreeMap<u32, Process>,
+    /// pid → (parent, exit status) for exited processes (until reaped).
+    exited: BTreeMap<u32, (u32, i64)>,
+    rr: VecDeque<(u32, u32)>,
+    steps: u64,
+    step_budget: u64,
+    quantum: u32,
+    tracing: bool,
+    trace: Trace,
+    stdin: Vec<u8>,
+    next_pid: u32,
+    next_tid: u32,
+    result: Option<RunStatus>,
+    blocked_streak: usize,
+    root_stdout_backup: Option<Vec<u8>>,
+}
+
+impl Machine {
+    /// Loads an executable image (resolving imports against `lib` if given)
+    /// and prepares the root process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if the image has imports and no library is
+    /// provided, or if import resolution fails.
+    pub fn load(
+        image: &Image,
+        lib: Option<&Image>,
+        config: MachineConfig,
+    ) -> Result<Machine, LoadError> {
+        let mut image = image.clone();
+        if !image.imports.is_empty() {
+            match lib {
+                Some(l) => image.resolve_imports(&l.symbols)?,
+                None => {
+                    return Err(LoadError::MissingLibrary(
+                        image.imports[0].symbol.clone(),
+                    ))
+                }
+            }
+        }
+
+        let mut mem = Memory::new();
+        mem.map(image.text_base, image.text.len().max(1) as u64);
+        mem.write_bytes(image.text_base, &image.text)
+            .expect("text segment just mapped");
+        mem.map(image.data_base, image.data.len().max(1) as u64);
+        mem.write_bytes(image.data_base, &image.data)
+            .expect("data segment just mapped");
+        if let Some(l) = lib {
+            mem.map(l.text_base, l.text.len().max(1) as u64);
+            mem.write_bytes(l.text_base, &l.text)
+                .expect("lib text just mapped");
+            mem.map(l.data_base, l.data.len().max(1) as u64);
+            mem.write_bytes(l.data_base, &l.data)
+                .expect("lib data just mapped");
+        }
+        mem.map(layout::HEAP_BASE, layout::HEAP_SIZE);
+        mem.map(layout::STACK_TOP - layout::STACK_SIZE, layout::STACK_SIZE);
+        mem.map(layout::ARGV_BASE, layout::ARGV_SIZE);
+
+        // VM-injected exit trampolines.
+        mem.map(layout::STUB_BASE, 4096);
+        let mut stub = Vec::new();
+        Insn::Li {
+            rd: Reg::SV,
+            imm: sys::EXIT,
+        }
+        .encode(&mut stub);
+        Insn::Sys.encode(&mut stub);
+        mem.write_bytes(layout::EXIT_STUB, &stub)
+            .expect("stub page mapped");
+        let mut tstub = Vec::new();
+        Insn::Li {
+            rd: Reg::SV,
+            imm: sys::THREAD_EXIT,
+        }
+        .encode(&mut tstub);
+        Insn::Sys.encode(&mut tstub);
+        mem.write_bytes(layout::THREAD_EXIT_STUB, &tstub)
+            .expect("stub page mapped");
+
+        // argv: pointer array then the strings.
+        let argc = config.argv.len() as u64;
+        let mut str_addr = layout::ARGV_BASE + 8 * argc;
+        for (i, arg) in config.argv.iter().enumerate() {
+            mem.write_uint(layout::ARGV_BASE + 8 * i as u64, str_addr, 8)
+                .expect("argv region mapped");
+            mem.write_bytes(str_addr, arg).expect("argv region mapped");
+            mem.write_u8(str_addr + arg.len() as u64, 0)
+                .expect("argv region mapped");
+            str_addr += arg.len() as u64 + 1;
+        }
+
+        let mut regs = Regs::new();
+        regs.pc = image.entry;
+        regs.set(Reg::A0, argc);
+        regs.set(Reg::A1, layout::ARGV_BASE);
+        regs.set(Reg::SP, layout::STACK_TOP - 64);
+        regs.set(Reg::FP, layout::STACK_TOP - 64);
+        regs.set(Reg::RA, layout::EXIT_STUB);
+
+        let mut os = Os::new();
+        os.epoch = config.epoch;
+        os.uid = config.uid;
+        os.net_response = config.net_response.clone();
+        for (name, content) in &config.files {
+            os.fs.insert(name.clone(), content.clone());
+        }
+
+        let root = Process {
+            parent: 0,
+            mem,
+            threads: [(
+                1,
+                Thread {
+                    regs,
+                    blocked: false,
+                },
+            )]
+            .into_iter()
+            .collect(),
+            fds: vec![Some(Fd::Stdin), Some(Fd::Stdout)],
+            trap_handler: None,
+            stdin_pos: 0,
+            stdout: Vec::new(),
+            thread_exits: BTreeMap::new(),
+            next_stack_index: 1,
+        };
+
+        Ok(Machine {
+            os,
+            procs: [(ROOT_PID, root)].into_iter().collect(),
+            exited: BTreeMap::new(),
+            rr: [(ROOT_PID, 1)].into_iter().collect(),
+            steps: 0,
+            step_budget: config.step_budget,
+            quantum: config.quantum.max(1),
+            tracing: config.trace,
+            trace: Trace::new(),
+            stdin: config.stdin,
+            next_pid: ROOT_PID + 1,
+            next_tid: 2,
+            result: None,
+            blocked_streak: 0,
+            root_stdout_backup: None,
+        })
+    }
+
+    /// Runs until the root process ends, deadlock, or budget exhaustion.
+    pub fn run(&mut self) -> RunResult {
+        while self.result.is_none() {
+            if self.steps >= self.step_budget {
+                self.result = Some(RunStatus::OutOfBudget);
+                break;
+            }
+            let Some((pid, tid)) = self.rr.pop_front() else {
+                // No runnable threads and the root never exited.
+                self.result = Some(RunStatus::Deadlock);
+                break;
+            };
+            if !self
+                .procs
+                .get(&pid)
+                .is_some_and(|p| p.threads.contains_key(&tid))
+            {
+                continue; // thread or process died while queued
+            }
+            let mut made_progress = false;
+            let mut alive = true;
+            for _ in 0..self.quantum {
+                if self.steps >= self.step_budget || self.result.is_some() {
+                    break;
+                }
+                match self.step_thread(pid, tid) {
+                    ThreadStep::Ran => {
+                        made_progress = true;
+                    }
+                    ThreadStep::Blocked => {
+                        break;
+                    }
+                    ThreadStep::Died => {
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+            if made_progress {
+                self.blocked_streak = 0;
+            } else if alive {
+                self.blocked_streak += 1;
+                if self.blocked_streak >= self.live_threads() && self.live_threads() > 0 {
+                    self.result = Some(RunStatus::Deadlock);
+                }
+            }
+            if alive {
+                self.rr.push_back((pid, tid));
+            }
+        }
+        RunResult {
+            status: self.result.expect("loop sets result"),
+            steps: self.steps,
+        }
+    }
+
+    /// Total instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The root process's standard output.
+    pub fn stdout(&self) -> &[u8] {
+        self.stdout_of(ROOT_PID).unwrap_or(&[])
+    }
+
+    /// A process's standard output (works for exited processes too, as long
+    /// as they are unreaped; root output is always retained).
+    pub fn stdout_of(&self, pid: u32) -> Option<&[u8]> {
+        self.procs
+            .get(&pid)
+            .map(|p| p.stdout.as_slice())
+            .or_else(|| self.root_stdout_backup.as_deref().filter(|_| pid == ROOT_PID))
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes ownership of the recorded trace.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Read-only view of kernel state (filesystem etc.).
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// A live process's memory (snapshot it *before* `run` to get the
+    /// loaded-image state the symbolic executor mirrors).
+    pub fn process_memory(&self, pid: u32) -> Option<&Memory> {
+        self.procs.get(&pid).map(|p| &p.mem)
+    }
+
+    fn live_threads(&self) -> usize {
+        self.procs.values().map(|p| p.threads.len()).sum()
+    }
+
+    fn step_thread(&mut self, pid: u32, tid: u32) -> ThreadStep {
+        let proc = self.procs.get_mut(&pid).expect("checked by caller");
+        let thread = proc.threads.get_mut(&tid).expect("checked by caller");
+        let outcome = cpu::step(&mut thread.regs, &mut proc.mem, pid, tid, self.tracing);
+        self.steps += 1;
+        match outcome.effect {
+            Effect::Continue => {
+                if let Some(s) = outcome.step {
+                    self.trace.steps.push(s);
+                }
+                ThreadStep::Ran
+            }
+            Effect::Halt => {
+                if let Some(s) = outcome.step {
+                    self.trace.steps.push(s);
+                }
+                let code = self.procs[&pid].threads[&tid].regs.get(Reg::A0) as i64;
+                self.exit_process(pid, code);
+                ThreadStep::Died
+            }
+            Effect::Trap(fault) => {
+                if let Some(s) = outcome.step {
+                    self.trace.steps.push(s);
+                }
+                let proc = self.procs.get_mut(&pid).expect("still alive");
+                match proc.trap_handler {
+                    Some(handler) => {
+                        let thread = proc.threads.get_mut(&tid).expect("still alive");
+                        let resume = thread.regs.pc.wrapping_add(fault.insn_len);
+                        thread.regs.set(Reg::TC, fault.cause);
+                        thread.regs.set(Reg::TR, resume);
+                        thread.regs.pc = handler;
+                        ThreadStep::Ran
+                    }
+                    None => {
+                        let pc = proc.threads[&tid].regs.pc;
+                        self.exit_process(pid, 128 + fault.cause as i64);
+                        if pid == ROOT_PID {
+                            self.result = Some(RunStatus::Faulted {
+                                cause: fault.cause,
+                                pc,
+                            });
+                        }
+                        ThreadStep::Died
+                    }
+                }
+            }
+            Effect::Sys => self.handle_syscall(pid, tid, outcome.step),
+        }
+    }
+
+    fn exit_process(&mut self, pid: u32, status: i64) {
+        let Some(proc) = self.procs.remove(&pid) else {
+            return;
+        };
+        // Release pipe ends so blocked peers observe EOF/closure.
+        for fd in proc.fds.iter().flatten() {
+            match fd {
+                Fd::PipeRead(id) => self.os.pipes[*id].readers -= 1,
+                Fd::PipeWrite(id) => self.os.pipes[*id].writers -= 1,
+                _ => {}
+            }
+        }
+        if pid == ROOT_PID {
+            self.root_stdout_backup = Some(proc.stdout.clone());
+            if self.result.is_none() {
+                self.result = Some(RunStatus::Exited(status));
+            }
+        }
+        self.exited.insert(pid, (proc.parent, status));
+    }
+
+    fn handle_syscall(&mut self, pid: u32, tid: u32, step: Option<TraceStep>) -> ThreadStep {
+        let proc = self.procs.get_mut(&pid).expect("live process");
+        let regs = &proc.threads[&tid].regs;
+        let num = regs.get(Reg::SV);
+        let args = [
+            regs.get(Reg::A0),
+            regs.get(Reg::A1),
+            regs.get(Reg::A2),
+            regs.get(Reg::A3),
+            regs.get(Reg::A4),
+            regs.get(Reg::A5),
+        ];
+
+        let outcome = self.do_syscall(pid, tid, num, args);
+        match outcome {
+            SysOutcome::Done { ret, effect } => {
+                // The process may have exited (sys::EXIT) — only advance pc
+                // for still-running threads.
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    if let Some(t) = p.threads.get_mut(&tid) {
+                        t.regs.set(Reg::A0, ret);
+                        t.regs.pc = t.regs.pc.wrapping_add(1);
+                        t.blocked = false;
+                    }
+                }
+                if let Some(mut s) = step {
+                    s.sys = Some(SyscallRecord {
+                        num,
+                        args,
+                        ret,
+                        effect,
+                    });
+                    self.trace.steps.push(s);
+                }
+                let died = !self
+                    .procs
+                    .get(&pid)
+                    .is_some_and(|p| p.threads.contains_key(&tid));
+                if died {
+                    ThreadStep::Died
+                } else {
+                    ThreadStep::Ran
+                }
+            }
+            SysOutcome::Block => {
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    if let Some(t) = p.threads.get_mut(&tid) {
+                        t.blocked = true;
+                    }
+                }
+                ThreadStep::Blocked
+            }
+        }
+    }
+
+    fn do_syscall(&mut self, pid: u32, tid: u32, num: u64, args: [u64; 6]) -> SysOutcome {
+        let neg1 = u64::MAX;
+        match num {
+            sys::EXIT => {
+                self.exit_process(pid, args[0] as i64);
+                SysOutcome::done(0)
+            }
+            sys::THREAD_EXIT => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                proc.threads.remove(&tid);
+                proc.thread_exits.insert(tid, args[0]);
+                if proc.threads.is_empty() {
+                    self.exit_process(pid, args[0] as i64);
+                }
+                SysOutcome::done(0)
+            }
+            sys::WRITE => {
+                let (fd, buf, len) = (args[0] as usize, args[1], args[2]);
+                let proc = self.procs.get_mut(&pid).expect("live");
+                if !proc.mem.is_mapped(buf, len) {
+                    return SysOutcome::done(neg1);
+                }
+                let bytes = proc.mem.read_bytes(buf, len).expect("checked mapped");
+                let Some(Some(entry)) = proc.fds.get_mut(fd) else {
+                    return SysOutcome::done(neg1);
+                };
+                let (sink, offset) = match entry {
+                    Fd::Stdout => {
+                        let off = proc.stdout.len() as u64;
+                        proc.stdout.extend_from_slice(&bytes);
+                        (OutputSink::Stdout, off)
+                    }
+                    Fd::File {
+                        name,
+                        pos,
+                        writable,
+                        ..
+                    } => {
+                        if !*writable {
+                            return SysOutcome::done(neg1);
+                        }
+                        let name = name.clone();
+                        let at = *pos as usize;
+                        let file = self.os.fs.entry(name.clone()).or_default();
+                        if file.len() < at + bytes.len() {
+                            file.resize(at + bytes.len(), 0);
+                        }
+                        file[at..at + bytes.len()].copy_from_slice(&bytes);
+                        *pos += bytes.len() as u64;
+                        (OutputSink::File(name), at as u64)
+                    }
+                    Fd::PipeWrite(id) => {
+                        let id = *id;
+                        let pipe = &mut self.os.pipes[id];
+                        let off = pipe.write_off;
+                        pipe.buf.extend(bytes.iter().copied());
+                        pipe.write_off += bytes.len() as u64;
+                        (OutputSink::Pipe(id), off)
+                    }
+                    Fd::Stdin | Fd::PipeRead(_) => return SysOutcome::done(neg1),
+                };
+                SysOutcome::Done {
+                    ret: bytes.len() as u64,
+                    effect: SysEffect::OutputBytes {
+                        addr: buf,
+                        bytes,
+                        sink,
+                        offset,
+                    },
+                }
+            }
+            sys::READ => {
+                let (fd, buf, len) = (args[0] as usize, args[1], args[2]);
+                let proc = self.procs.get_mut(&pid).expect("live");
+                if !proc.mem.is_mapped(buf, len) {
+                    return SysOutcome::done(neg1);
+                }
+                let Some(Some(entry)) = proc.fds.get_mut(fd) else {
+                    return SysOutcome::done(neg1);
+                };
+                let (bytes, source, offset) = match entry {
+                    Fd::Stdin => {
+                        let off = proc.stdin_pos as u64;
+                        let avail = &self.stdin[proc.stdin_pos.min(self.stdin.len())..];
+                        let n = avail.len().min(len as usize);
+                        let bytes = avail[..n].to_vec();
+                        proc.stdin_pos += n;
+                        (bytes, InputSource::Stdin, off)
+                    }
+                    Fd::File {
+                        name,
+                        pos,
+                        readable,
+                        ..
+                    } => {
+                        if !*readable {
+                            return SysOutcome::done(neg1);
+                        }
+                        let content = self.os.fs.get(name).cloned().unwrap_or_default();
+                        let at = (*pos as usize).min(content.len());
+                        let n = (content.len() - at).min(len as usize);
+                        *pos += n as u64;
+                        (
+                            content[at..at + n].to_vec(),
+                            InputSource::File(name.clone()),
+                            at as u64,
+                        )
+                    }
+                    Fd::PipeRead(id) => {
+                        let id = *id;
+                        let pipe = &mut self.os.pipes[id];
+                        if pipe.buf.is_empty() {
+                            if pipe.writers > 0 {
+                                return SysOutcome::Block;
+                            }
+                            (Vec::new(), InputSource::Pipe(id), pipe.read_off)
+                        } else {
+                            let n = pipe.buf.len().min(len as usize);
+                            let off = pipe.read_off;
+                            let bytes: Vec<u8> = pipe.buf.drain(..n).collect();
+                            pipe.read_off += n as u64;
+                            (bytes, InputSource::Pipe(id), off)
+                        }
+                    }
+                    Fd::Stdout | Fd::PipeWrite(_) => return SysOutcome::done(neg1),
+                };
+                proc.mem.write_bytes(buf, &bytes).expect("checked mapped");
+                SysOutcome::Done {
+                    ret: bytes.len() as u64,
+                    effect: SysEffect::InputBytes {
+                        addr: buf,
+                        bytes,
+                        source,
+                        offset,
+                    },
+                }
+            }
+            sys::OPEN => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                let Ok(path) = proc.mem.read_cstr(args[0], 256) else {
+                    return SysOutcome::done(neg1);
+                };
+                let name = String::from_utf8_lossy(&path).into_owned();
+                let flags = args[1];
+                let entry = match flags {
+                    O_RDONLY => {
+                        if !self.os.fs.contains_key(&name) {
+                            return SysOutcome::Done {
+                                ret: neg1,
+                                effect: SysEffect::OpenedFile { path, fd: -1 },
+                            };
+                        }
+                        Fd::File {
+                            name: name.clone(),
+                            pos: 0,
+                            readable: true,
+                            writable: false,
+                        }
+                    }
+                    O_WRONLY => {
+                        self.os.fs.insert(name.clone(), Vec::new());
+                        Fd::File {
+                            name: name.clone(),
+                            pos: 0,
+                            readable: false,
+                            writable: true,
+                        }
+                    }
+                    O_RDWR => {
+                        self.os.fs.entry(name.clone()).or_default();
+                        Fd::File {
+                            name: name.clone(),
+                            pos: 0,
+                            readable: true,
+                            writable: true,
+                        }
+                    }
+                    _ => return SysOutcome::done(neg1),
+                };
+                let fd = alloc_fd(&mut proc.fds, entry);
+                SysOutcome::Done {
+                    ret: fd as u64,
+                    effect: SysEffect::OpenedFile {
+                        path,
+                        fd: fd as i64,
+                    },
+                }
+            }
+            sys::CLOSE => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                let fd = args[0] as usize;
+                match proc.fds.get_mut(fd).and_then(Option::take) {
+                    Some(Fd::PipeRead(id)) => {
+                        self.os.pipes[id].readers -= 1;
+                        SysOutcome::done(0)
+                    }
+                    Some(Fd::PipeWrite(id)) => {
+                        self.os.pipes[id].writers -= 1;
+                        SysOutcome::done(0)
+                    }
+                    Some(_) => SysOutcome::done(0),
+                    None => SysOutcome::done(neg1),
+                }
+            }
+            sys::UNLINK => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                let Ok(path) = proc.mem.read_cstr(args[0], 256) else {
+                    return SysOutcome::done(neg1);
+                };
+                let name = String::from_utf8_lossy(&path).into_owned();
+                match self.os.fs.remove(&name) {
+                    Some(_) => SysOutcome::done(0),
+                    None => SysOutcome::done(neg1),
+                }
+            }
+            sys::TIME => SysOutcome::done(self.os.epoch),
+            sys::GETPID => SysOutcome::done(pid as u64),
+            sys::GETUID => SysOutcome::done(self.os.uid),
+            sys::FORK => {
+                let child_pid = self.next_pid;
+                self.next_pid += 1;
+                let child_tid = self.next_tid;
+                self.next_tid += 1;
+                let proc = self.procs.get_mut(&pid).expect("live");
+                // Bump pipe refcounts for inherited descriptors.
+                let fds = proc.fds.clone();
+                let mut child = Process {
+                    parent: pid,
+                    mem: proc.mem.clone(),
+                    threads: BTreeMap::new(),
+                    fds,
+                    trap_handler: proc.trap_handler,
+                    stdin_pos: proc.stdin_pos,
+                    stdout: Vec::new(),
+                    thread_exits: BTreeMap::new(),
+                    next_stack_index: proc.next_stack_index,
+                };
+                let mut regs = proc.threads[&tid].regs.clone();
+                regs.set(Reg::A0, 0);
+                regs.pc = regs.pc.wrapping_add(1); // past the sys insn
+                child.threads.insert(
+                    child_tid,
+                    Thread {
+                        regs,
+                        blocked: false,
+                    },
+                );
+                for fd in child.fds.iter().flatten() {
+                    match fd {
+                        Fd::PipeRead(id) => self.os.pipes[*id].readers += 1,
+                        Fd::PipeWrite(id) => self.os.pipes[*id].writers += 1,
+                        _ => {}
+                    }
+                }
+                self.procs.insert(child_pid, child);
+                self.rr.push_back((child_pid, child_tid));
+                SysOutcome::Done {
+                    ret: child_pid as u64,
+                    effect: SysEffect::Forked { child: child_pid },
+                }
+            }
+            sys::WAITPID => {
+                let target = args[0] as u32;
+                if let Some(&(parent, status)) = self.exited.get(&target) {
+                    if parent == pid {
+                        self.exited.remove(&target);
+                        return SysOutcome::done(status as u64);
+                    }
+                    return SysOutcome::done(neg1);
+                }
+                if self.procs.contains_key(&target) {
+                    SysOutcome::Block
+                } else {
+                    SysOutcome::done(neg1)
+                }
+            }
+            sys::PIPE => {
+                let id = self.os.create_pipe();
+                let proc = self.procs.get_mut(&pid).expect("live");
+                if !proc.mem.is_mapped(args[0], 16) {
+                    return SysOutcome::done(neg1);
+                }
+                let rfd = alloc_fd(&mut proc.fds, Fd::PipeRead(id));
+                let wfd = alloc_fd(&mut proc.fds, Fd::PipeWrite(id));
+                proc.mem
+                    .write_uint(args[0], rfd as u64, 8)
+                    .expect("checked mapped");
+                proc.mem
+                    .write_uint(args[0] + 8, wfd as u64, 8)
+                    .expect("checked mapped");
+                SysOutcome::Done {
+                    ret: 0,
+                    effect: SysEffect::PipeCreated {
+                        rfd: rfd as i64,
+                        wfd: wfd as i64,
+                        addr: args[0],
+                    },
+                }
+            }
+            sys::THREAD_SPAWN => {
+                let (entry, arg) = (args[0], args[1]);
+                let new_tid = self.next_tid;
+                self.next_tid += 1;
+                let proc = self.procs.get_mut(&pid).expect("live");
+                let index = proc.next_stack_index;
+                proc.next_stack_index += 1;
+                let top = layout::STACK_TOP - index * layout::STACK_STRIDE;
+                proc.mem.map(top - layout::STACK_SIZE, layout::STACK_SIZE);
+                let mut regs = Regs::new();
+                regs.pc = entry;
+                regs.set(Reg::A0, arg);
+                regs.set(Reg::SP, top - 64);
+                regs.set(Reg::FP, top - 64);
+                regs.set(Reg::RA, layout::THREAD_EXIT_STUB);
+                proc.threads.insert(
+                    new_tid,
+                    Thread {
+                        regs,
+                        blocked: false,
+                    },
+                );
+                self.rr.push_back((pid, new_tid));
+                SysOutcome::Done {
+                    ret: new_tid as u64,
+                    effect: SysEffect::SpawnedThread {
+                        tid: new_tid,
+                        entry,
+                        arg,
+                    },
+                }
+            }
+            sys::THREAD_JOIN => {
+                let target = args[0] as u32;
+                let proc = self.procs.get_mut(&pid).expect("live");
+                if let Some(ret) = proc.thread_exits.remove(&target) {
+                    SysOutcome::done(ret)
+                } else if proc.threads.contains_key(&target) {
+                    SysOutcome::Block
+                } else {
+                    SysOutcome::done(neg1)
+                }
+            }
+            sys::NET_GET => {
+                let (_url, buf, len) = (args[0], args[1], args[2]);
+                let response = self.os.net_response.clone();
+                let n = response.len().min(args[2] as usize);
+                let proc = self.procs.get_mut(&pid).expect("live");
+                if !proc.mem.is_mapped(buf, len.min(n as u64)) {
+                    return SysOutcome::done(neg1);
+                }
+                proc.mem
+                    .write_bytes(buf, &response[..n])
+                    .expect("checked mapped");
+                SysOutcome::Done {
+                    ret: n as u64,
+                    effect: SysEffect::InputBytes {
+                        addr: buf,
+                        bytes: response[..n].to_vec(),
+                        source: InputSource::Net,
+                        offset: 0,
+                    },
+                }
+            }
+            sys::SET_TRAP_HANDLER => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                proc.trap_handler = (args[0] != 0).then_some(args[0]);
+                SysOutcome::done(0)
+            }
+            sys::LSEEK => {
+                let proc = self.procs.get_mut(&pid).expect("live");
+                let fd = args[0] as usize;
+                let off = args[1] as i64;
+                let whence = args[2];
+                let Some(Some(Fd::File { name, pos, .. })) = proc.fds.get_mut(fd) else {
+                    return SysOutcome::done(neg1);
+                };
+                let size = self.os.fs.get(name).map_or(0, Vec::len) as i64;
+                let new = match whence {
+                    0 => off,
+                    1 => *pos as i64 + off,
+                    2 => size + off,
+                    _ => return SysOutcome::done(neg1),
+                };
+                if new < 0 {
+                    return SysOutcome::done(neg1);
+                }
+                *pos = new as u64;
+                SysOutcome::done(new as u64)
+            }
+            _ => SysOutcome::done(neg1),
+        }
+    }
+}
+
+fn alloc_fd(fds: &mut Vec<Option<Fd>>, entry: Fd) -> usize {
+    for (i, slot) in fds.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some(entry);
+            return i;
+        }
+    }
+    fds.push(Some(entry));
+    fds.len() - 1
+}
+
+enum ThreadStep {
+    Ran,
+    Blocked,
+    Died,
+}
+
+enum SysOutcome {
+    Done { ret: u64, effect: SysEffect },
+    Block,
+}
+
+impl SysOutcome {
+    fn done(ret: u64) -> SysOutcome {
+        SysOutcome::Done {
+            ret,
+            effect: SysEffect::None,
+        }
+    }
+}

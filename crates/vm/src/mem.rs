@@ -1,0 +1,262 @@
+//! Sparse paged memory with explicit mapping.
+//!
+//! Accesses to unmapped addresses fault, which is how the VM models the
+//! paper's "bad memory" hardware trap.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Sparse paged memory.
+///
+/// Pages must be [`map`](Memory::map)ped before use; reads and writes to
+/// unmapped pages return [`MemFault`]. `Clone` performs a deep copy, which
+/// is how `fork` duplicates an address space.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates empty (fully unmapped) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps (zero-fills) all pages covering `[base, base + len)`.
+    ///
+    /// Mapping an already-mapped page leaves its contents intact.
+    pub fn map(&mut self, base: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = base / PAGE_SIZE;
+        let last = (base + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+    }
+
+    /// Whether every byte of `[addr, addr + len)` is mapped.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = addr / PAGE_SIZE;
+        let Some(end) = addr.checked_add(len - 1) else {
+            return false;
+        };
+        (first..=end / PAGE_SIZE).all(|p| self.pages.contains_key(&p))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        let page = self.pages.get(&(addr / PAGE_SIZE)).ok_or(MemFault { addr })?;
+        Ok(page[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the address is unmapped.
+    pub fn write_u8(&mut self, addr: u64, val: u8) -> Result<(), MemFault> {
+        let page = self
+            .pages
+            .get_mut(&(addr / PAGE_SIZE))
+            .ok_or(MemFault { addr })?;
+        page[(addr % PAGE_SIZE) as usize] = val;
+        Ok(())
+    }
+
+    /// Reads a little-endian unsigned value of `width` bytes (1, 2, 4 or 8).
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read_uint(&self, addr: u64, width: u8) -> Result<u64, MemFault> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        let mut v = 0u64;
+        for i in 0..width as u64 {
+            v |= (self.read_u8(addr.wrapping_add(i))? as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `width` bytes of `val` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: u64, val: u64, width: u8) -> Result<(), MemFault> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad access width {width}");
+        for i in 0..width as u64 {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+        for i in 0..len {
+            out.push(self.read_u8(addr.wrapping_add(i))?);
+        }
+        Ok(out)
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte is unmapped.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes (excluding NUL).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped bytes; returns the bytes read so far is *not*
+    /// attempted — the whole read fails.
+    pub fn read_cstr(&self, addr: u64, max: u64) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.wrapping_add(i))?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Number of mapped pages (for tests and diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u8(0x1000), Err(MemFault { addr: 0x1000 }));
+        assert_eq!(m.write_u8(0x1000, 1), Err(MemFault { addr: 0x1000 }));
+        m.map(0x1000, 1);
+        assert_eq!(m.read_u8(0x1000), Ok(0));
+        assert!(m.write_u8(0x1000, 7).is_ok());
+        assert_eq!(m.read_u8(0x1000), Ok(7));
+    }
+
+    #[test]
+    fn map_is_page_granular_and_idempotent() {
+        let mut m = Memory::new();
+        m.map(0x1ffe, 4); // spans two pages
+        assert_eq!(m.mapped_pages(), 2);
+        assert!(m.is_mapped(0x1000, PAGE_SIZE));
+        assert!(m.is_mapped(0x2000, 1));
+        assert!(!m.is_mapped(0x3000, 1));
+        m.write_u8(0x1800, 9).unwrap();
+        m.map(0x1000, 16); // re-map must not clear
+        assert_eq!(m.read_u8(0x1800), Ok(9));
+    }
+
+    #[test]
+    fn uint_round_trips_all_widths() {
+        let mut m = Memory::new();
+        m.map(0x0, 64);
+        for &w in &[1u8, 2, 4, 8] {
+            let val = 0x1122_3344_5566_7788u64;
+            m.write_uint(8, val, w).unwrap();
+            let mask = if w == 8 { u64::MAX } else { (1 << (8 * w)) - 1 };
+            assert_eq!(m.read_uint(8, w).unwrap(), val & mask);
+        }
+    }
+
+    #[test]
+    fn values_are_little_endian() {
+        let mut m = Memory::new();
+        m.map(0, 16);
+        m.write_uint(0, 0x0102_0304, 4).unwrap();
+        assert_eq!(m.read_u8(0).unwrap(), 4);
+        assert_eq!(m.read_u8(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn cross_page_access_works_when_both_mapped() {
+        let mut m = Memory::new();
+        m.map(0x1000, 2 * PAGE_SIZE);
+        m.write_uint(0x1fff, 0xAABB, 2).unwrap();
+        assert_eq!(m.read_uint(0x1fff, 2).unwrap(), 0xAABB);
+    }
+
+    #[test]
+    fn cstr_stops_at_nul_or_max() {
+        let mut m = Memory::new();
+        m.map(0, 32);
+        m.write_bytes(0, b"hello\0junk").unwrap();
+        assert_eq!(m.read_cstr(0, 32).unwrap(), b"hello");
+        assert_eq!(m.read_cstr(0, 3).unwrap(), b"hel");
+    }
+
+    #[test]
+    fn clone_is_a_deep_copy() {
+        let mut a = Memory::new();
+        a.map(0, 8);
+        a.write_u8(0, 1).unwrap();
+        let mut b = a.clone();
+        b.write_u8(0, 2).unwrap();
+        assert_eq!(a.read_u8(0).unwrap(), 1);
+        assert_eq!(b.read_u8(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn is_mapped_handles_overflowing_ranges() {
+        let m = Memory::new();
+        assert!(!m.is_mapped(u64::MAX, 2));
+        assert!(m.is_mapped(123, 0));
+    }
+}

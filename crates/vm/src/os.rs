@@ -1,0 +1,126 @@
+//! Simulated kernel state: filesystem, pipes, clock, and network.
+//!
+//! The state here is shared by all processes of a [`crate::machine::Machine`];
+//! per-process state (descriptor tables, trap handlers) lives with the
+//! process.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A kernel pipe object.
+#[derive(Debug, Clone, Default)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: VecDeque<u8>,
+    /// Number of open read ends.
+    pub readers: u32,
+    /// Number of open write ends.
+    pub writers: u32,
+    /// Total bytes ever read (stream offset of the next read).
+    pub read_off: u64,
+    /// Total bytes ever written (stream offset of the next write).
+    pub write_off: u64,
+}
+
+/// One entry in a process descriptor table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fd {
+    /// Standard input (fd 0 by convention).
+    Stdin,
+    /// Standard output (fd 1).
+    Stdout,
+    /// An open file.
+    File {
+        /// Name in the simulated filesystem.
+        name: String,
+        /// Current offset.
+        pos: u64,
+        /// Opened for reading.
+        readable: bool,
+        /// Opened for writing.
+        writable: bool,
+    },
+    /// Read end of a pipe.
+    PipeRead(usize),
+    /// Write end of a pipe.
+    PipeWrite(usize),
+}
+
+/// `open` flag: read-only.
+pub const O_RDONLY: u64 = 0;
+/// `open` flag: write-only, create + truncate.
+pub const O_WRONLY: u64 = 1;
+/// `open` flag: read-write, create if missing.
+pub const O_RDWR: u64 = 2;
+
+/// Shared simulated-kernel state.
+#[derive(Debug, Clone)]
+pub struct Os {
+    /// The in-memory filesystem: name → contents.
+    pub fs: BTreeMap<String, Vec<u8>>,
+    /// Kernel pipe table.
+    pub pipes: Vec<Pipe>,
+    /// Value returned by the `time` syscall.
+    pub epoch: u64,
+    /// Bytes served by the `net_get` syscall.
+    pub net_response: Vec<u8>,
+    /// Value returned by `getuid`.
+    pub uid: u64,
+}
+
+impl Default for Os {
+    fn default() -> Os {
+        Os {
+            fs: BTreeMap::new(),
+            pipes: Vec::new(),
+            epoch: 1_500_000_000,
+            net_response: b"HELLO FROM BVM-NET\n".to_vec(),
+            uid: 1000,
+        }
+    }
+}
+
+impl Os {
+    /// Creates default kernel state.
+    pub fn new() -> Os {
+        Os::default()
+    }
+
+    /// Allocates a new pipe with one reader and one writer; returns its id.
+    pub fn create_pipe(&mut self) -> usize {
+        self.pipes.push(Pipe {
+            buf: VecDeque::new(),
+            readers: 1,
+            writers: 1,
+            read_off: 0,
+            write_off: 0,
+        });
+        self.pipes.len() - 1
+    }
+
+    /// Contents of a file, if it exists.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.fs.get(name).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipes_allocate_sequential_ids() {
+        let mut os = Os::new();
+        assert_eq!(os.create_pipe(), 0);
+        assert_eq!(os.create_pipe(), 1);
+        assert_eq!(os.pipes[0].readers, 1);
+        assert_eq!(os.pipes[0].writers, 1);
+    }
+
+    #[test]
+    fn default_state_is_deterministic() {
+        let a = Os::new();
+        let b = Os::new();
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.net_response, b.net_response);
+    }
+}

@@ -1,0 +1,241 @@
+//! Instruction traces — the VM's equivalent of an Intel Pin tool.
+//!
+//! Every executed instruction can be recorded as a [`TraceStep`] carrying
+//! the concrete values it observed, which is exactly the information a
+//! trace-based concolic executor needs for lifting and constraint
+//! extraction.
+
+use bomblab_isa::{FReg, Insn, Reg};
+
+/// One memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Value transferred (zero-extended into 64 bits, little-endian).
+    pub value: u64,
+    /// Access width in bytes.
+    pub width: u8,
+}
+
+/// Where input bytes delivered by a syscall came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSource {
+    /// Standard input.
+    Stdin,
+    /// A file in the simulated filesystem.
+    File(String),
+    /// A pipe (identified by its kernel id).
+    Pipe(usize),
+    /// The simulated network.
+    Net,
+}
+
+/// Where output bytes sent by a syscall went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputSink {
+    /// Standard output.
+    Stdout,
+    /// A file in the simulated filesystem.
+    File(String),
+    /// A pipe (identified by its kernel id).
+    Pipe(usize),
+}
+
+/// Data-flow relevant side effects of a syscall, recorded for taint
+/// tracking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SysEffect {
+    /// No data-flow effect (e.g. `getpid`).
+    None,
+    /// Bytes were copied *into* guest memory (`read`, `net_get`).
+    InputBytes {
+        /// Destination buffer address.
+        addr: u64,
+        /// The bytes delivered.
+        bytes: Vec<u8>,
+        /// Their origin.
+        source: InputSource,
+        /// Byte offset within the source stream (file position, cumulative
+        /// pipe/stdin position; 0 for net).
+        offset: u64,
+    },
+    /// Bytes were copied *out of* guest memory (`write`).
+    OutputBytes {
+        /// Source buffer address.
+        addr: u64,
+        /// The bytes sent.
+        bytes: Vec<u8>,
+        /// Their destination.
+        sink: OutputSink,
+        /// Byte offset within the sink stream (file position, cumulative
+        /// pipe/stdout position).
+        offset: u64,
+    },
+    /// A file was opened; `path` is the NUL-terminated name that was read
+    /// from guest memory.
+    OpenedFile {
+        /// The path bytes.
+        path: Vec<u8>,
+        /// Resulting descriptor (`-1` on failure).
+        fd: i64,
+    },
+    /// `fork` created a child process.
+    Forked {
+        /// The child pid (the child observes return value 0).
+        child: u32,
+    },
+    /// `thread_spawn` created a thread.
+    SpawnedThread {
+        /// New thread id.
+        tid: u32,
+        /// Entry address.
+        entry: u64,
+        /// Argument passed in `a0`.
+        arg: u64,
+    },
+    /// `pipe` allocated descriptors and wrote them to guest memory.
+    PipeCreated {
+        /// Read-end descriptor.
+        rfd: i64,
+        /// Write-end descriptor.
+        wfd: i64,
+        /// Address the fd pair was written to.
+        addr: u64,
+    },
+}
+
+/// A completed syscall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyscallRecord {
+    /// Syscall number (the value of `sv`).
+    pub num: u64,
+    /// Arguments `a0..a5` at entry.
+    pub args: [u64; 6],
+    /// Return value placed in `a0`.
+    pub ret: u64,
+    /// Data-flow effect.
+    pub effect: SysEffect,
+}
+
+/// One executed instruction with everything it observed and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Process id.
+    pub pid: u32,
+    /// Thread id (unique within the machine).
+    pub tid: u32,
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Values of general registers read, in operand order.
+    pub reg_reads: Vec<(Reg, u64)>,
+    /// Values of floating-point registers read.
+    pub freg_reads: Vec<(FReg, f64)>,
+    /// General registers written with their new values.
+    pub reg_writes: Vec<(Reg, u64)>,
+    /// Floating-point registers written with their new values.
+    pub freg_writes: Vec<(FReg, f64)>,
+    /// Memory read performed, if any.
+    pub mem_read: Option<MemAccess>,
+    /// Memory write performed, if any.
+    pub mem_write: Option<MemAccess>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For `sys`: the completed syscall.
+    pub sys: Option<SyscallRecord>,
+    /// Trap cause if this instruction trapped (see [`bomblab_isa::trap`]).
+    pub trap: Option<u64>,
+}
+
+impl TraceStep {
+    /// Creates an empty step for `insn` at `pc` (builder-style, used by the
+    /// CPU).
+    pub fn new(pid: u32, tid: u32, pc: u64, insn: Insn) -> TraceStep {
+        TraceStep {
+            pid,
+            tid,
+            pc,
+            insn,
+            reg_reads: Vec::new(),
+            freg_reads: Vec::new(),
+            reg_writes: Vec::new(),
+            freg_writes: Vec::new(),
+            mem_read: None,
+            mem_write: None,
+            taken: None,
+            sys: None,
+            trap: None,
+        }
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Executed steps in machine order (interleaving all threads).
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceStep> {
+        self.steps.iter()
+    }
+
+    /// Whether any step executed at `pc` (in any process/thread).
+    pub fn visited(&self, pc: u64) -> bool {
+        self.steps.iter().any(|s| s.pc == pc)
+    }
+
+    /// Steps belonging to one (pid, tid) pair, in order.
+    pub fn thread_steps(&self, pid: u32, tid: u32) -> impl Iterator<Item = &TraceStep> {
+        self.steps
+            .iter()
+            .filter(move |s| s.pid == pid && s.tid == tid)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceStep;
+    type IntoIter = std::slice::Iter<'a, TraceStep>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_and_thread_filtering() {
+        let mut t = Trace::new();
+        t.steps.push(TraceStep::new(0, 0, 0x1000, Insn::Nop));
+        t.steps.push(TraceStep::new(0, 1, 0x2000, Insn::Nop));
+        t.steps.push(TraceStep::new(1, 2, 0x3000, Insn::Halt));
+        assert!(t.visited(0x2000));
+        assert!(!t.visited(0x4000));
+        assert_eq!(t.thread_steps(0, 1).count(), 1);
+        assert_eq!(t.thread_steps(0, 0).next().unwrap().pc, 0x1000);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

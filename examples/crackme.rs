@@ -1,0 +1,96 @@
+//! A CTF-style crackme solved with the concolic engine: a multi-stage
+//! password check mixing arithmetic, table lookups, and a stack round
+//! trip — the kind of showcase (crackmes, CGC) the paper's introduction
+//! cites as concolic execution's home turf.
+//!
+//! ```sh
+//! cargo run --example crackme
+//! ```
+
+use bomblab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The password is 4 characters. Stage 1 checks a xor-chain, stage 2
+    // a byte sum, stage 3 a table lookup keyed by the last byte.
+    let source = r#"
+        .extern strlen, bomb_boom
+        .data
+    table: .byte 7, 11, 13, 17, 19, 23, 29, 31
+        .text
+        .global _start
+    _start:
+        ld s0, [a1+8]        # password
+        mov a0, s0
+        call strlen
+        li t0, 4
+        bne a0, t0, fail     # exactly 4 characters
+
+        # stage 1: b0 ^ b1 == 0x15
+        lbu t1, [s0]
+        lbu t2, [s0+1]
+        xor t3, t1, t2
+        li t0, 0x15
+        bne t3, t0, fail
+
+        # stage 2: b0 + b1 + b2 == 0xE9  (through the stack)
+        lbu t3, [s0+2]
+        add t4, t1, t2
+        add t4, t4, t3
+        push t4
+        li t4, 0
+        pop t4
+        li t0, 0xE9
+        bne t4, t0, fail
+
+        # stage 3: table[b3 & 7] == 29 and b3 must be a digit
+        lbu t5, [s0+3]
+        li t0, '0'
+        blt t5, t0, fail
+        li t0, '9'
+        blt t0, t5, fail
+        andi t6, t5, 7
+        li t0, table
+        add t0, t0, t6
+        lbu t7, [t0]
+        li t0, 29
+        bne t7, t0, fail
+
+        call bomb_boom
+    fail:
+        li a0, 1
+        li sv, 0
+        sys
+    "#;
+    let image = link_program(source)?;
+    let subject = Subject {
+        name: "crackme".into(),
+        image,
+        lib: None,
+        seed: WorldInput::with_arg("AAAA"),
+    };
+
+    println!("cracking a 4-character password...");
+    let engine = Engine::new(ToolProfile::omniscient());
+    let attempt = engine.explore(&subject, &GroundTruth::default());
+    println!(
+        "outcome: {} ({} rounds, {} queries, {} satisfiable)",
+        attempt.outcome,
+        attempt.evidence.rounds,
+        attempt.evidence.queries,
+        attempt.evidence.sat_queries
+    );
+    let input = attempt.solved_input.expect("the crackme is solvable");
+    let password = String::from_utf8_lossy(&input.argv1).into_owned();
+    println!("recovered password: {password:?}");
+
+    // Verify the stages by hand.
+    let b = input.argv1.clone();
+    assert_eq!(b.len(), 4);
+    assert_eq!(b[0] ^ b[1], 0x15);
+    assert_eq!(b[0] as u32 + b[1] as u32 + b[2] as u32, 0xE9);
+    assert!(b[3].is_ascii_digit());
+    let table = [7u8, 11, 13, 17, 19, 23, 29, 31];
+    assert_eq!(table[(b[3] & 7) as usize], 29);
+    println!("all stages verified");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Opaque-predicate detection via concolic execution — the paper's second
+//! application scenario (Section V.D).
+//!
+//! An obfuscator guards dead code with predicates that always evaluate the
+//! same way. Concolic execution detects them: a branch whose flip query is
+//! UNSAT is opaque, and its guarded block is dead code. The example also
+//! shows the paper's caveat: building the opaque predicate out of one of
+//! the studied challenges (here `pow(x,2) == -1` behind an unloaded
+//! library summary) defeats — or worse, *fools* — the analysis.
+//!
+//! ```sh
+//! cargo run --example deobfuscate
+//! ```
+
+use bomblab::prelude::*;
+use bomblab::solver::{SolveOutcome, Solver};
+use bomblab::symex::{MemoryModel, PropagationPolicy, SymExec};
+use bomblab::vm::ROOT_PID;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // x*x - x is always even: `(x*x - x) & 1 == 1` is opaquely false, and
+    // the "bogus" block it guards is dead. The real branch (x == 97)
+    // is genuine.
+    let source = r#"
+        .extern atoi
+        .global _start
+    _start:
+        ld a0, [a1+8]
+        call atoi
+        mov s0, a0
+        # opaque predicate: (x*x - x) & 1 == 1 -- never true
+        mul t0, s0, s0
+        sub t0, t0, s0
+        andi t0, t0, 1
+        li t1, 1
+        beq t0, t1, bogus
+        # genuine branch
+        li t1, 97
+        bne s0, t1, out
+        li a0, 2
+        li sv, 0
+        sys
+    bogus:
+        li a0, 3             # dead code
+        li sv, 0
+        sys
+    out:
+        li a0, 0
+        li sv, 0
+        sys
+    "#;
+    let image = link_program(source)?;
+
+    // Trace a concrete run, replay symbolically, then classify each
+    // symbolic branch by the satisfiability of its flip.
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg("5")
+    };
+    let mut machine = Machine::load(&image, None, config)?;
+    let snapshot = machine.process_memory(ROOT_PID).expect("root").clone();
+    machine.run();
+    let trace = machine.take_trace();
+
+    let mut sx = SymExec::new(MemoryModel::Concretize, PropagationPolicy::full());
+    sx.set_initial_memory(ROOT_PID, snapshot);
+    // argv[1] = "5" lives at a fixed loader address (2 pointers + "bomb\0").
+    let argv1 = bomblab::isa::image::layout::ARGV_BASE + 16 + 5;
+    sx.symbolize_bytes(ROOT_PID, argv1, 1, "arg1");
+    let sym = sx.run(&trace);
+
+    println!("symbolic branches on the trace: {}", sym.path.len());
+    let solver = Solver::new();
+    let mut opaque = 0;
+    let mut genuine = 0;
+    for i in 0..sym.path.len() {
+        let pc = sym.path[i].pc;
+        match solver.check(&sym.flip_query(i)) {
+            SolveOutcome::Unsat => {
+                opaque += 1;
+                println!("  branch at {pc:#x}: OPAQUE (flip unsatisfiable) -> guarded code is dead");
+            }
+            SolveOutcome::Sat(_) => {
+                genuine += 1;
+                println!("  branch at {pc:#x}: genuine (both directions feasible)");
+            }
+            SolveOutcome::Unknown(r) => {
+                println!("  branch at {pc:#x}: unknown ({r})");
+            }
+        }
+    }
+    println!("classified {opaque} opaque, {genuine} genuine branches");
+    assert!(opaque >= 1, "the (x*x - x) & 1 predicate must be detected");
+    assert!(genuine >= 1, "the x == 97 branch must stay live");
+
+    // The caveat: the same predicate hidden behind an unloaded library
+    // (Angr-NoLib style) is no longer provably opaque — the summary
+    // invents return values and the dead branch looks reachable.
+    let case = bomblab::bombs::negative_pow();
+    let engine = Engine::new(ToolProfile::angr_nolib());
+    let ground = GroundTruth::default();
+    let attempt = engine.explore(&case.subject, &ground);
+    let claims = attempt.evidence.sat_queries > 0;
+    println!(
+        "negative bomb under Angr-NoLib: outcome {}, claims-reachable = {claims}",
+        attempt.outcome
+    );
+    assert!(
+        claims,
+        "the unconstrained library summary should produce the paper's false positive"
+    );
+    Ok(())
+}

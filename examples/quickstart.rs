@@ -1,0 +1,72 @@
+//! Quickstart: assemble a tiny logic bomb, run it concretely, then let the
+//! concolic engine find the detonating input.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bomblab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A program with a hidden bomb: it detonates when
+    //    atoi(argv[1]) * 3 + 1 == 1000, i.e. argv[1] == "333".
+    let source = r#"
+        .extern atoi, puts, bomb_boom
+        .data
+    greet: .asciz "checking the password..."
+        .text
+        .global _start
+    _start:
+        mov s1, a1           # save argv (a-registers are caller-saved)
+        li a0, greet
+        call puts
+        ld a0, [s1+8]        # argv[1]
+        call atoi
+        muli a0, a0, 3
+        addi a0, a0, 1
+        li t0, 1000
+        bne a0, t0, wrong
+        call bomb_boom       # prints BOOM, exits 42
+    wrong:
+        li a0, 0
+        li sv, 0             # exit(0)
+        sys
+    "#;
+    let image = link_program(source)?;
+    println!("assembled + linked: {} loadable bytes", image.loadable_size());
+
+    // 2. Run it concretely with a wrong guess.
+    let mut machine = Machine::load(&image, None, MachineConfig::with_arg("42"))?;
+    let result = machine.run();
+    println!(
+        "concrete run with \"42\": {} after {} instructions, stdout: {:?}",
+        result.status,
+        result.steps,
+        String::from_utf8_lossy(machine.stdout()),
+    );
+
+    // 3. Let the concolic engine search for the detonating input.
+    let subject = Subject {
+        name: "quickstart".into(),
+        image,
+        lib: None,
+        seed: WorldInput::with_arg("042"),
+    };
+    let engine = Engine::new(ToolProfile::omniscient());
+    let attempt = engine.explore(&subject, &GroundTruth::default());
+    println!(
+        "engine outcome: {} after {} rounds / {} solver queries",
+        attempt.outcome, attempt.evidence.rounds, attempt.evidence.queries
+    );
+    match attempt.solved_input {
+        Some(input) => {
+            println!(
+                "detonating argv[1]: {:?}",
+                String::from_utf8_lossy(&input.argv1)
+            );
+            assert!(subject.detonates(&input, 1_000_000));
+        }
+        None => println!("no solution found"),
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! The full paper study in one command: all 22 logic bombs against the
+//! four tool profiles, rendered as the paper's Table II with per-cell
+//! agreement against the published results.
+//!
+//! ```sh
+//! cargo run --release --example study
+//! ```
+//!
+//! Pass a bomb name prefix to restrict the run, e.g.
+//! `cargo run --release --example study -- array` runs only the
+//! symbolic-array bombs.
+
+use bomblab::bombs::all_cases;
+use bomblab::prelude::*;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let cases: Vec<StudyCase> = all_cases()
+        .into_iter()
+        .filter(|c| c.subject.name.starts_with(&filter))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("no bombs match prefix {filter:?}");
+        std::process::exit(2);
+    }
+    let profiles = ToolProfile::paper_lineup();
+    let report = run_study(&cases, &profiles);
+    println!("{}", report.to_markdown());
+    let counts = report.solved_counts();
+    let names: Vec<&str> = report.profiles.iter().map(String::as_str).collect();
+    let solved: Vec<String> = names
+        .iter()
+        .zip(&counts)
+        .map(|(n, c)| format!("{n}={c}"))
+        .collect();
+    println!("Solved cases: {}", solved.join(", "));
+}

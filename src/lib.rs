@@ -1,0 +1,77 @@
+//! # bomblab — concolic execution on small-size binaries
+//!
+//! A full-stack reproduction of *"Concolic Execution on Small-Size
+//! Binaries: Challenges and Empirical Study"* (DSN 2017): a small binary
+//! platform (ISA, VM, runtime library), a from-scratch concolic execution
+//! engine (taint, lifter, symbolic executor, SMT-lite solver), the paper's
+//! 22-logic-bomb dataset, and the study harness that regenerates its
+//! evaluation.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`isa`] | `bomblab-isa` | BVM instruction set, assembler, linker |
+//! | [`vm`] | `bomblab-vm` | concrete machine + simulated OS + tracing |
+//! | [`rt`] | `bomblab-rt` | libc/libm/crypto runtime in BVM assembly |
+//! | [`ir`] | `bomblab-ir` | intermediate language + lifter |
+//! | [`taint`] | `bomblab-taint` | forward dynamic taint analysis |
+//! | [`solver`] | `bomblab-solver` | bitvector terms, bit-blasting, CDCL SAT |
+//! | [`symex`] | `bomblab-symex` | symbolic state + constraint extraction |
+//! | [`concolic`] | `bomblab-concolic` | the engine, tool profiles, study |
+//! | [`bombs`] | `bomblab-bombs` | the 22-bomb dataset |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bomblab::prelude::*;
+//!
+//! // A tiny crackme: detonates when atoi(argv[1]) == 1207.
+//! let image = bomblab::rt::link_program(r#"
+//!     .extern atoi, bomb_boom
+//!     .global _start
+//! _start:
+//!     ld a0, [a1+8]
+//!     call atoi
+//!     li t0, 1207
+//!     bne a0, t0, no
+//!     call bomb_boom
+//! no: li a0, 0
+//!     li sv, 0
+//!     sys
+//! "#)?;
+//! let subject = Subject {
+//!     name: "crackme".into(),
+//!     image,
+//!     lib: None,
+//!     seed: WorldInput::with_arg("9999"),
+//! };
+//! let attempt = Engine::new(ToolProfile::omniscient())
+//!     .explore(&subject, &GroundTruth::default());
+//! assert_eq!(attempt.outcome, Outcome::Solved);
+//! let input = attempt.solved_input.expect("solved");
+//! assert_eq!(String::from_utf8_lossy(&input.argv1), "1207");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bomblab_bombs as bombs;
+pub use bomblab_concolic as concolic;
+pub use bomblab_ir as ir;
+pub use bomblab_isa as isa;
+pub use bomblab_rt as rt;
+pub use bomblab_solver as solver;
+pub use bomblab_symex as symex;
+pub use bomblab_taint as taint;
+pub use bomblab_vm as vm;
+
+/// The most common imports for working with the engine.
+pub mod prelude {
+    pub use bomblab_concolic::{
+        run_study, Attempt, Engine, GroundTruth, Outcome, StudyCase, Subject, ToolProfile,
+        WorldInput,
+    };
+    pub use bomblab_rt::{link_program, link_program_dynamic};
+    pub use bomblab_vm::{Machine, MachineConfig, RunStatus};
+}

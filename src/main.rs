@@ -1,0 +1,207 @@
+//! `bomblab` — command-line front end for the concolic-execution lab.
+//!
+//! ```text
+//! bomblab asm <file.s> [-o out.bvm]     assemble + link (static, with runtime)
+//! bomblab dis <file.s|file.bvm>         disassemble the text segment
+//! bomblab run <file.s|file.bvm> [arg]   run concretely, print stdout/exit
+//! bomblab trace <file.s|file.bvm> [arg] run and print the executed listing
+//! bomblab solve <file.s|file.bvm> [seed] concolically search for BOOM
+//! bomblab constraints <file> [arg]      dump path conditions as SMT-LIB
+//! bomblab bombs                         list the dataset
+//! bomblab study [prefix]                run the Table-II study
+//! ```
+
+use bomblab::concolic::{run_study, Engine, GroundTruth, Subject, ToolProfile, WorldInput};
+use bomblab::isa::image::Image;
+use bomblab::rt::link_program;
+use bomblab::vm::{Machine, MachineConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("dis") => cmd_dis(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("constraints") => cmd_constraints(&args[1..]),
+        Some("bombs") => cmd_bombs(),
+        Some("study") => cmd_study(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: bomblab <asm|dis|run|trace|solve|bombs|study> [args]\n\
+                 see `bomblab` source documentation for details"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
+
+/// Loads an image from a `.s` source file (assembled against the runtime)
+/// or a serialized `.bvm` image.
+fn load_image(path: &str) -> Result<Image, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(b"BVM1") {
+        Ok(Image::from_bytes(&bytes)?)
+    } else {
+        let src = String::from_utf8(bytes)?;
+        Ok(link_program(&src)?)
+    }
+}
+
+fn cmd_asm(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("asm: missing input file")?;
+    let out = match args.get(1).map(String::as_str) {
+        Some("-o") => args.get(2).ok_or("asm: -o needs a path")?.clone(),
+        _ => format!("{}.bvm", input.trim_end_matches(".s")),
+    };
+    let image = load_image(input)?;
+    std::fs::write(&out, image.to_bytes())?;
+    println!(
+        "wrote {out}: {} text + {} data bytes, entry {:#x}",
+        image.text.len(),
+        image.data.len(),
+        image.entry
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_dis(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("dis: missing input file")?;
+    let image = load_image(input)?;
+    print!("{}", bomblab::isa::disasm::listing(&image));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn machine_for(args: &[String], trace: bool) -> Result<Machine, Box<dyn std::error::Error>> {
+    let input = args.first().ok_or("missing input file")?;
+    let image = load_image(input)?;
+    let arg = args.get(1).cloned().unwrap_or_default();
+    let config = MachineConfig {
+        trace,
+        ..MachineConfig::with_arg(arg.into_bytes())
+    };
+    Ok(Machine::load(&image, None, config)?)
+}
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let mut machine = machine_for(args, false)?;
+    let result = machine.run();
+    print!("{}", String::from_utf8_lossy(machine.stdout()));
+    eprintln!("[{} after {} steps]", result.status, result.steps);
+    Ok(ExitCode::from(
+        result.status.exit_code().unwrap_or(125).clamp(0, 255) as u8,
+    ))
+}
+
+fn cmd_trace(args: &[String]) -> CmdResult {
+    let mut machine = machine_for(args, true)?;
+    let result = machine.run();
+    for step in machine.trace().iter() {
+        println!("[{}:{}] {:#010x}  {}", step.pid, step.tid, step.pc, step.insn);
+    }
+    eprintln!("[{} after {} steps]", result.status, result.steps);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_solve(args: &[String]) -> CmdResult {
+    let input = args.first().ok_or("solve: missing input file")?;
+    let image = load_image(input)?;
+    let seed = args.get(1).cloned().unwrap_or_else(|| "AAAAAAAA".into());
+    let subject = Subject {
+        name: input.clone(),
+        image,
+        lib: None,
+        seed: WorldInput::with_arg(seed.into_bytes()),
+    };
+    let attempt =
+        Engine::new(ToolProfile::omniscient()).explore(&subject, &GroundTruth::default());
+    println!(
+        "outcome: {} ({} rounds, {} queries)",
+        attempt.outcome, attempt.evidence.rounds, attempt.evidence.queries
+    );
+    if let Some(solution) = attempt.solved_input {
+        println!("argv[1] = {:?}", String::from_utf8_lossy(&solution.argv1));
+        if solution.epoch != subject.seed.epoch {
+            println!("epoch   = {}", solution.epoch);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_constraints(args: &[String]) -> CmdResult {
+    use bomblab::symex::{MemoryModel, PropagationPolicy, SymExec};
+    let input = args.first().ok_or("constraints: missing input file")?;
+    let image = load_image(input)?;
+    let arg = args.get(1).cloned().unwrap_or_else(|| "AAAAAAAA".into());
+    let config = MachineConfig {
+        trace: true,
+        ..MachineConfig::with_arg(arg.clone().into_bytes())
+    };
+    let mut machine = Machine::load(&image, None, config)?;
+    let snapshot = machine
+        .process_memory(bomblab::vm::ROOT_PID)
+        .ok_or("no root process")?
+        .clone();
+    machine.run();
+    let trace = machine.take_trace();
+    let mut sx = SymExec::new(
+        MemoryModel::SymbolicMap {
+            max_indirection: 2,
+            region: 256,
+        },
+        PropagationPolicy::full(),
+    );
+    sx.set_initial_memory(bomblab::vm::ROOT_PID, snapshot);
+    sx.symbolize_bytes(
+        bomblab::vm::ROOT_PID,
+        bomblab::isa::image::layout::ARGV_BASE + 16 + 5,
+        arg.len() as u64,
+        "arg1",
+    );
+    let sym = sx.run(&trace);
+    eprintln!(
+        "; {} symbolic branches, {} pins on the trace of argv[1] = {arg:?}",
+        sym.path.len(),
+        sym.pins.len()
+    );
+    print!("{}", bomblab::solver::smtlib::to_smtlib(&sym.path_query()));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bombs() -> CmdResult {
+    println!("| bomb | category | description |");
+    println!("|---|---|---|");
+    for case in bomblab::bombs::all_cases() {
+        println!(
+            "| {} | {} | {} |",
+            case.subject.name, case.category, case.description
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_study(args: &[String]) -> CmdResult {
+    let prefix = args.first().cloned().unwrap_or_default();
+    let cases: Vec<_> = bomblab::bombs::all_cases()
+        .into_iter()
+        .filter(|c| c.subject.name.starts_with(&prefix))
+        .collect();
+    if cases.is_empty() {
+        return Err(format!("no bombs match prefix {prefix:?}").into());
+    }
+    let report = run_study(&cases, &ToolProfile::paper_lineup());
+    println!("{}", report.to_markdown());
+    Ok(ExitCode::SUCCESS)
+}

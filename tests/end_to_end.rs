@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the omniscient engine against
+//! representative bombs, and tool-profile behaviour on key rows.
+
+use bomblab::bombs::dataset;
+use bomblab::prelude::*;
+
+fn omniscient_solves(case: &StudyCase) -> Attempt {
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground)
+}
+
+#[test]
+fn omniscient_engine_solves_the_stack_bomb() {
+    let attempt = omniscient_solves(&dataset::covert_stack());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+    assert_eq!(
+        attempt.solved_input.unwrap().argv1[0],
+        b'9',
+        "push/pop bomb wants argv[1] = 9"
+    );
+}
+
+#[test]
+fn omniscient_engine_solves_the_time_bomb_by_controlling_time() {
+    let case = dataset::decl_time();
+    let attempt = omniscient_solves(&case);
+    assert_eq!(attempt.outcome, Outcome::Solved);
+    assert_eq!(
+        attempt.solved_input.unwrap().epoch,
+        1_234_567_891,
+        "the engine must have synthesized the magic epoch"
+    );
+}
+
+#[test]
+fn omniscient_engine_solves_the_level_one_array() {
+    let attempt = omniscient_solves(&dataset::array_l1());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+}
+
+#[test]
+fn omniscient_engine_solves_the_two_level_array() {
+    // max_indirection = 2 in the omniscient profile.
+    let attempt = omniscient_solves(&dataset::array_l2());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+}
+
+#[test]
+fn omniscient_engine_solves_the_covert_file_bomb() {
+    let attempt = omniscient_solves(&dataset::covert_file());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+    assert_eq!(attempt.solved_input.unwrap().argv1[0], b'Y');
+}
+
+#[test]
+fn omniscient_engine_solves_the_thread_bomb() {
+    let attempt = omniscient_solves(&dataset::parallel_thread());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+}
+
+#[test]
+fn omniscient_engine_solves_the_fork_pipe_bomb() {
+    let attempt = omniscient_solves(&dataset::parallel_fork());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+}
+
+#[test]
+fn omniscient_engine_solves_the_float_bomb_via_local_search() {
+    let attempt = omniscient_solves(&dataset::float_cmp());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+}
+
+#[test]
+fn omniscient_engine_solves_the_exception_bomb() {
+    let attempt = omniscient_solves(&dataset::covert_exception());
+    assert_eq!(attempt.outcome, Outcome::Solved);
+    let input = attempt.solved_input.unwrap();
+    let text = String::from_utf8_lossy(&input.argv1);
+    assert!(
+        text.trim_end_matches('\0').trim_start_matches('0').starts_with("77")
+            || text.contains("77"),
+        "trap requires atoi(argv[1]) == 77, got {text:?}"
+    );
+}
+
+#[test]
+fn crypto_bombs_defeat_even_the_omniscient_engine() {
+    // SHA-1 preimage: nobody inverts it. The omniscient engine must not
+    // silently claim success. A tight budget keeps the test fast — with a
+    // larger one the solver merely grinds longer before giving up.
+    let case = dataset::crypto_sha1();
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    let mut profile = ToolProfile::omniscient();
+    profile.solver_budget = bomblab::solver::SolverBudget {
+        max_conflicts: 2_000,
+        max_formula_nodes: 100_000,
+    };
+    let attempt = Engine::new(profile).explore(&case.subject, &ground);
+    assert_ne!(attempt.outcome, Outcome::Solved);
+    assert_eq!(attempt.outcome, Outcome::Abnormal, "budget exhaustion is the honest outcome");
+}
+
+#[test]
+fn bap_profile_follows_the_trap_edge() {
+    let case = dataset::covert_exception();
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    let attempt = Engine::new(ToolProfile::bap()).explore(&case.subject, &ground);
+    assert_eq!(attempt.outcome, Outcome::Solved, "paper row 8: BAP succeeds");
+}
+
+#[test]
+fn triton_profile_fails_the_stack_bomb_is_bap_only() {
+    // Row 5: BAP's lifter lacks push/pop -> Es1; Triton succeeds.
+    let case = dataset::covert_stack();
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    let bap = Engine::new(ToolProfile::bap()).explore(&case.subject, &ground);
+    assert_eq!(bap.outcome, Outcome::Es1);
+    let triton = Engine::new(ToolProfile::triton()).explore(&case.subject, &ground);
+    assert_eq!(triton.outcome, Outcome::Solved);
+}
+
+#[test]
+fn angr_profiles_split_on_the_fork_bomb() {
+    // Row 11: only the no-libraries configuration handles fork/pipe.
+    let case = dataset::parallel_fork();
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    let with_libs = Engine::new(ToolProfile::angr()).explore(&case.subject, &ground);
+    assert_eq!(with_libs.outcome, Outcome::Es2);
+    let nolib = Engine::new(ToolProfile::angr_nolib()).explore(&case.subject, &ground);
+    assert_eq!(nolib.outcome, Outcome::Solved);
+}
+
+#[test]
+fn angr_reports_partial_success_on_syscall_returns() {
+    // Row 3: simulation invents syscall returns the world cannot honour.
+    let case = dataset::decl_syscall();
+    let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+    let attempt = Engine::new(ToolProfile::angr()).explore(&case.subject, &ground);
+    assert_eq!(attempt.outcome, Outcome::Partial);
+    assert!(attempt.evidence.sim_query_sysret);
+}
+
+#[test]
+fn negative_bomb_probe_reproduces_the_false_positive() {
+    let case = bomblab::bombs::negative_pow();
+    let ground = GroundTruth::default();
+    // Sound tools do not claim reachability...
+    let omni = Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground);
+    assert_ne!(omni.outcome, Outcome::Solved);
+    assert_eq!(omni.evidence.sat_queries, 0, "x^2 == -1 must be unsat");
+    // ...but the unconstrained library summary does.
+    let nolib = Engine::new(ToolProfile::angr_nolib()).explore(&case.subject, &ground);
+    assert!(nolib.evidence.sat_queries > 0, "the paper's false positive");
+    assert_ne!(nolib.outcome, Outcome::Solved);
+}

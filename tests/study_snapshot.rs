@@ -1,0 +1,57 @@
+//! Snapshot test guarding the reproduction: a representative slice of
+//! Table II must keep producing the paper-matching labels.
+
+use bomblab::bombs::dataset;
+use bomblab::prelude::*;
+
+#[test]
+fn representative_rows_match_the_paper() {
+    // Fast rows covering each challenge category and all outcome kinds.
+    let cases = vec![
+        dataset::decl_time(),      // [Es0, Es0, Es0, Es0]
+        dataset::covert_stack(),   // [Es1, OK, OK, OK]
+        dataset::covert_file(),    // paper [Es2, Es2, E, Es2]; ours Es2 x4
+        dataset::array_l1(),       // [Es3, Es3, OK, OK]
+        dataset::array_l2(),       // [Es3, Es3, Es3, Es3]
+        dataset::ctx_filename(),   // [Es2, Es3, Es2, Es2]
+        dataset::jump_direct(),    // [Es3, Es3, Es2, Es2]
+        dataset::jump_table(),     // [Es3, Es3, Es3, Es3]
+    ];
+    let report = run_study(&cases, &ToolProfile::paper_lineup());
+
+    let expect: &[(&str, [Outcome; 4])] = &[
+        ("decl_time", [Outcome::Es0, Outcome::Es0, Outcome::Es0, Outcome::Es0]),
+        ("covert_stack", [Outcome::Es1, Outcome::Solved, Outcome::Solved, Outcome::Solved]),
+        ("covert_file", [Outcome::Es2, Outcome::Es2, Outcome::Es2, Outcome::Es2]),
+        ("array_l1", [Outcome::Es3, Outcome::Es3, Outcome::Solved, Outcome::Solved]),
+        ("array_l2", [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3]),
+        ("ctx_filename", [Outcome::Es2, Outcome::Es3, Outcome::Es2, Outcome::Es2]),
+        ("jump_direct", [Outcome::Es3, Outcome::Es3, Outcome::Es2, Outcome::Es2]),
+        ("jump_table", [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3]),
+    ];
+    for (row, (name, labels)) in report.rows.iter().zip(expect) {
+        assert_eq!(&row.name, name);
+        for (cell, want) in row.cells.iter().zip(labels) {
+            assert_eq!(
+                cell.outcome, *want,
+                "{name} x {} diverged from the reproduction snapshot",
+                cell.profile
+            );
+        }
+    }
+}
+
+#[test]
+fn markdown_report_renders_counts_and_agreement() {
+    let cases = vec![dataset::covert_stack()];
+    let report = run_study(&cases, &ToolProfile::paper_lineup());
+    let md = report.to_markdown();
+    assert!(md.contains("| Category | Case |"));
+    assert!(md.contains("covert_stack"));
+    assert!(md.contains("**solved**"));
+    assert!(md.contains("Agreement"));
+    let (hit, total) = report.agreement();
+    assert_eq!(total, 4);
+    assert_eq!(hit, 4, "covert_stack row fully matches the paper");
+    assert_eq!(report.solved_counts(), vec![0, 1, 1, 1]);
+}
