@@ -105,12 +105,7 @@ fn interval_presolve_ablation(c: &mut Criterion) {
         b.iter(|| matches!(Solver::new().check(&[dead.clone()]), SolveOutcome::Unsat))
     });
     group.bench_function("blasted_sat", |b| {
-        b.iter(|| {
-            matches!(
-                Solver::new().check(&[alive.clone()]),
-                SolveOutcome::Sat(_)
-            )
-        })
+        b.iter(|| matches!(Solver::new().check(&[alive.clone()]), SolveOutcome::Sat(_)))
     });
     group.finish();
 }

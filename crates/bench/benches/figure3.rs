@@ -25,9 +25,7 @@ fn figure3_pipeline(with_print: bool) -> usize {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure3");
-    group.bench_function("without_printf", |b| {
-        b.iter(|| figure3_pipeline(false))
-    });
+    group.bench_function("without_printf", |b| b.iter(|| figure3_pipeline(false)));
     group.bench_function("with_printf", |b| b.iter(|| figure3_pipeline(true)));
     group.finish();
 }

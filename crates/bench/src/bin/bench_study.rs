@@ -1,0 +1,118 @@
+//! Benchmarks the study runner: sequential (`--jobs 1`) against the
+//! parallel worker pool, and the solver's cross-round cache behaviour.
+//! Emits `BENCH_study.json` (hand-rolled JSON, no serde dependency).
+//!
+//! ```text
+//! bench_study [--jobs N] [--out PATH]
+//! ```
+//!
+//! `--jobs` sets the parallel leg's worker count (default 4, the paper
+//! machine's core count); the sequential leg always runs with one.
+
+use bomblab_bombs::all_cases;
+use bomblab_concolic::{run_study_jobs, StudyReport, ToolProfile};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 4usize;
+    let mut out_path = "BENCH_study.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            jobs = it
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("--jobs needs a number");
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            jobs = n.parse().expect("--jobs needs a number");
+        } else if arg == "--out" {
+            out_path = it.next().expect("--out needs a path").clone();
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cases = all_cases();
+    let profiles = ToolProfile::paper_lineup();
+    eprintln!(
+        "bench_study: {} bombs x {} profiles, sequential vs --jobs {jobs} ({cores} core(s))",
+        cases.len(),
+        profiles.len()
+    );
+
+    let t0 = Instant::now();
+    let sequential = run_study_jobs(&cases, &profiles, 1);
+    let seq_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_study_jobs(&cases, &profiles, jobs);
+    let par_s = t1.elapsed().as_secs_f64();
+
+    let identical = sequential.to_markdown() == parallel.to_markdown();
+    let json = render(&sequential, seq_s, par_s, jobs, cores, identical);
+    std::fs::write(&out_path, &json).expect("write BENCH_study.json");
+    eprintln!(
+        "sequential {seq_s:.2}s, --jobs {jobs} {par_s:.2}s ({:.2}x), reports identical: {identical}",
+        seq_s / par_s
+    );
+    eprintln!("wrote {out_path}");
+    assert!(identical, "parallel report diverged from sequential");
+}
+
+fn render(
+    report: &StudyReport,
+    seq_s: f64,
+    par_s: f64,
+    jobs: usize,
+    cores: usize,
+    identical: bool,
+) -> String {
+    let mut cells = String::new();
+    let (mut hits, mut misses, mut blasted, mut reused) = (0u64, 0u64, 0u64, 0u64);
+    for row in &report.rows {
+        for cell in &row.cells {
+            let ev = &cell.attempt.evidence;
+            hits += ev.cache_hits;
+            misses += ev.cache_misses;
+            blasted += ev.roots_blasted;
+            reused += ev.roots_reused;
+            if !cells.is_empty() {
+                cells.push_str(",\n");
+            }
+            let _ = write!(
+                cells,
+                "    {{\"case\": \"{}\", \"profile\": \"{}\", \"outcome\": \"{}\", \
+                 \"wall_ms\": {:.3}, \"rounds\": {}, \"queries\": {}, \
+                 \"vm_ms\": {:.3}, \"taint_ms\": {:.3}, \"symex_ms\": {:.3}, \"solver_ms\": {:.3}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \
+                 \"roots_blasted\": {}, \"roots_reused\": {}}}",
+                row.name,
+                cell.profile,
+                cell.outcome,
+                cell.wall_ns as f64 / 1e6,
+                ev.rounds,
+                ev.queries,
+                ev.vm_ns as f64 / 1e6,
+                ev.taint_ns as f64 / 1e6,
+                ev.symex_ns as f64 / 1e6,
+                ev.solver_ns as f64 / 1e6,
+                ev.cache_hits,
+                ev.cache_misses,
+                ev.roots_blasted,
+                ev.roots_reused,
+            );
+        }
+    }
+    format!(
+        "{{\n  \"bench\": \"study\",\n  \"cores\": {cores},\n  \"bombs\": {},\n  \
+         \"profiles\": {},\n  \"sequential_s\": {seq_s:.3},\n  \"parallel_jobs\": {jobs},\n  \
+         \"parallel_s\": {par_s:.3},\n  \"speedup\": {:.3},\n  \
+         \"reports_identical\": {identical},\n  \"solver_cache\": {{\"hits\": {hits}, \
+         \"misses\": {misses}, \"roots_blasted\": {blasted}, \"roots_reused\": {reused}}},\n  \
+         \"cells\": [\n{cells}\n  ]\n}}\n",
+        report.rows.len(),
+        report.profiles.len(),
+        seq_s / par_s,
+    )
+}

@@ -1,18 +1,20 @@
 //! Regenerates the paper's Table II: 22 logic bombs × 4 tool profiles.
 
 use bomblab_bombs::all_cases;
-use bomblab_concolic::{run_study, ToolProfile};
+use bomblab_concolic::{run_study_jobs, ToolProfile};
 
 fn main() {
+    let jobs = bomblab_bench::jobs_from_args();
     let cases = all_cases();
     let profiles = ToolProfile::paper_lineup();
     eprintln!(
-        "running {} bombs x {} profiles ...",
+        "running {} bombs x {} profiles on {} worker(s) ...",
         cases.len(),
-        profiles.len()
+        profiles.len(),
+        jobs
     );
     let start = std::time::Instant::now();
-    let report = run_study(&cases, &profiles);
+    let report = run_study_jobs(&cases, &profiles, jobs);
     eprintln!("done in {:.1?}", start.elapsed());
     println!("{}", report.to_markdown());
     let counts = report.solved_counts();

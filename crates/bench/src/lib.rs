@@ -18,6 +18,26 @@
 use bomblab_concolic::{Outcome, StudyReport};
 use std::collections::BTreeMap;
 
+/// Parses `--jobs N` / `-j N` / `--jobs=N` from the process arguments,
+/// defaulting to the machine's available parallelism. Shared by the
+/// bench binaries so they accept the same knob as `bomblab study`.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            if let Some(n) = it.next().and_then(|n| n.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            if let Ok(n) = n.parse() {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Derives the Table-I view (challenge category → set of error stages
 /// observed across tools) from a Table-II study report.
 pub fn table1_from_report(report: &StudyReport) -> BTreeMap<String, Vec<&'static str>> {

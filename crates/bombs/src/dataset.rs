@@ -12,8 +12,8 @@ use bomblab_rt::{link_program_dynamic, reference};
 
 /// Builds a dynamically linked subject from bomb assembly.
 fn subject(name: &str, src: &str, seed: WorldInput) -> Subject {
-    let (image, lib) = link_program_dynamic(src)
-        .unwrap_or_else(|e| panic!("bomb `{name}` failed to build: {e}"));
+    let (image, lib) =
+        link_program_dynamic(src).unwrap_or_else(|e| panic!("bomb `{name}` failed to build: {e}"));
     Subject {
         name: name.to_string(),
         image,

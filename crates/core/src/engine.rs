@@ -80,6 +80,29 @@ pub struct Evidence {
     pub sat_queries: u32,
     /// Concrete rounds executed.
     pub rounds: u32,
+    /// Queries answered from the solver's cross-round cache without
+    /// touching the SAT core (exact + model-reuse + unsat-subset hits).
+    pub cache_hits: u64,
+    /// Queries that missed every cache layer and were solved from scratch.
+    pub cache_misses: u64,
+    /// Cache hits answered by replaying an identical constraint set.
+    pub cache_exact_hits: u64,
+    /// Cache hits answered by re-validating a previously found model.
+    pub cache_model_hits: u64,
+    /// Cache hits answered by unsat-core subset subsumption.
+    pub cache_unsat_hits: u64,
+    /// Constraint roots bit-blasted into fresh CNF.
+    pub roots_blasted: u64,
+    /// Constraint roots reused from the incremental blasting session.
+    pub roots_reused: u64,
+    /// Wall-clock nanoseconds in concrete execution (VM) per attempt.
+    pub vm_ns: u64,
+    /// Wall-clock nanoseconds in taint analysis per attempt.
+    pub taint_ns: u64,
+    /// Wall-clock nanoseconds in symbolic replay per attempt.
+    pub symex_ns: u64,
+    /// Wall-clock nanoseconds in solver queries per attempt.
+    pub solver_ns: u64,
 }
 
 /// Result of one engine run against a subject.
@@ -274,6 +297,13 @@ impl Engine {
         // multi-digit atoi) is a fresh key and gets its own query.
         let mut visited_flips: HashSet<(u64, u64, bool)> = HashSet::new();
 
+        // One solver for the whole attempt: its incremental blasting
+        // session, query cache and learnt clauses persist across rounds,
+        // so later rounds extend earlier CNF instead of re-emitting it.
+        let solver = Solver::new()
+            .with_budget(self.profile.solver_budget)
+            .with_float_mode(self.profile.float_mode);
+
         'rounds: while let Some(input) = queue.pop_front() {
             if evidence.rounds >= self.profile.max_rounds {
                 break;
@@ -291,7 +321,9 @@ impl Engine {
                 .process_memory(ROOT_PID)
                 .expect("root exists")
                 .clone();
+            let vm_start = std::time::Instant::now();
             let status = machine.run().status;
+            evidence.vm_ns += vm_start.elapsed().as_nanos() as u64;
             if status.exit_code() == Some(BOOM_EXIT_CODE) {
                 solved = Some(input);
                 break;
@@ -334,11 +366,7 @@ impl Engine {
                     steps: visible
                         .steps
                         .iter()
-                        .filter(|s| {
-                            !lib_ranges
-                                .iter()
-                                .any(|&(b, l)| s.pc >= b && s.pc < b + l)
-                        })
+                        .filter(|s| !lib_ranges.iter().any(|&(b, l)| s.pc >= b && s.pc < b + l))
                         .cloned()
                         .collect(),
                 }
@@ -353,7 +381,9 @@ impl Engine {
                     &[(subject.argv1_addr(), input.argv1.len() as u64)],
                 );
             }
+            let taint_start = std::time::Instant::now();
             let report = taint.run(&taint_view);
+            evidence.taint_ns += taint_start.elapsed().as_nanos() as u64;
             evidence.saw_tainted_branches |= report.any_symbolic_control();
             evidence.taint_losses |= !report.losses.is_empty();
             evidence.ctx_events |=
@@ -404,9 +434,11 @@ impl Engine {
                     }
                 }
             }
+            let symex_start = std::time::Instant::now();
             let sym = sx.run(&visible);
-            evidence.concretization |= !sym.events.concretized_loads.is_empty()
-                || !sym.events.over_indirection.is_empty();
+            evidence.symex_ns += symex_start.elapsed().as_nanos() as u64;
+            evidence.concretization |=
+                !sym.events.concretized_loads.is_empty() || !sym.events.over_indirection.is_empty();
             if let Some(&(_, lvl)) = sym.events.pinned_jumps.iter().max_by_key(|&&(_, l)| l) {
                 evidence.pinned_jump_lvl =
                     Some(evidence.pinned_jump_lvl.map_or(lvl, |old| old.max(lvl)));
@@ -419,9 +451,6 @@ impl Engine {
                 !sym.events.sym_sys_args.is_empty() || !sym.events.sym_sys_nums.is_empty();
 
             // 7. Flip each unexplored branch and schedule the solutions.
-            let solver = Solver::new()
-                .with_budget(self.profile.solver_budget)
-                .with_float_mode(self.profile.float_mode);
             use std::hash::{Hash, Hasher};
             let mut prefix = std::collections::hash_map::DefaultHasher::new();
             for i in 0..sym.path.len() {
@@ -435,15 +464,14 @@ impl Engine {
                 if self.profile.argv_model == ArgvModel::FixedNonZero {
                     for b in 0..input.argv1.len() {
                         let var = Term::var(format!("arg1_b{b}"), 8);
-                        query.push(Term::not(&Term::cmp(
-                            CmpOp::Eq,
-                            &var,
-                            &Term::bv(0, 8),
-                        )));
+                        query.push(Term::not(&Term::cmp(CmpOp::Eq, &var, &Term::bv(0, 8))));
                     }
                 }
                 evidence.queries += 1;
-                match solver.check(&query) {
+                let solve_start = std::time::Instant::now();
+                let outcome = solver.check(&query);
+                evidence.solver_ns += solve_start.elapsed().as_nanos() as u64;
+                match outcome {
                     SolveOutcome::Sat(model) => {
                         evidence.sat_queries += 1;
                         if model.iter().any(|(n, _)| n.starts_with("sysret_")) {
@@ -479,6 +507,15 @@ impl Engine {
                 break 'rounds;
             }
         }
+
+        let cache = solver.cache_stats();
+        evidence.cache_hits = cache.hits();
+        evidence.cache_misses = cache.misses;
+        evidence.cache_exact_hits = cache.exact_hits;
+        evidence.cache_model_hits = cache.model_hits;
+        evidence.cache_unsat_hits = cache.unsat_subset_hits;
+        evidence.roots_blasted = cache.roots_blasted;
+        evidence.roots_reused = cache.roots_reused;
 
         let outcome = match solved {
             Some(_) => Outcome::Solved,
@@ -562,9 +599,7 @@ impl Engine {
         // it; that is a propagation failure handled below.
         let float_visible = p.loads_dyn_libs || !gt.through_lib;
         if ev.float_unsupported
-            || (gt.has_float
-                && p.float_mode == bomblab_solver::FloatMode::Reject
-                && float_visible)
+            || (gt.has_float && p.float_mode == bomblab_solver::FloatMode::Reject && float_visible)
         {
             return Outcome::Es3;
         }
@@ -630,11 +665,7 @@ mod tests {
     use super::*;
     use crate::outcome::Outcome;
 
-    fn diagnose_with(
-        profile: ToolProfile,
-        ev: Evidence,
-        gt: GroundTruth,
-    ) -> Outcome {
+    fn diagnose_with(profile: ToolProfile, ev: Evidence, gt: GroundTruth) -> Outcome {
         Engine::new(profile).diagnose(&ev, &gt)
     }
 

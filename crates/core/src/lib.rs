@@ -63,5 +63,5 @@ pub mod world;
 pub use engine::{ground_truth, Attempt, Engine, Evidence, GroundTruth, Subject};
 pub use outcome::Outcome;
 pub use profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
-pub use study::{run_study, StudyCase, StudyReport};
+pub use study::{run_study, run_study_jobs, StudyCase, StudyReport};
 pub use world::WorldInput;

@@ -334,7 +334,10 @@ mod tests {
         assert!(angr.unconstrained_sys_returns && nolib.unconstrained_sys_returns);
         assert!(matches!(
             angr.memory_model,
-            bomblab_symex::MemoryModel::SymbolicMap { max_indirection: 1, .. }
+            bomblab_symex::MemoryModel::SymbolicMap {
+                max_indirection: 1,
+                ..
+            }
         ));
     }
 

@@ -5,6 +5,7 @@ use crate::outcome::Outcome;
 use crate::profile::ToolProfile;
 use crate::world::WorldInput;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One dataset entry: a subject plus its known trigger and the outcome row
 /// the paper reports (the oracle used for agreement scoring).
@@ -32,6 +33,8 @@ pub struct CellResult {
     pub outcome: Outcome,
     /// The paper's label for this cell, when known.
     pub expected: Option<Outcome>,
+    /// Wall-clock nanoseconds the cell's exploration took.
+    pub wall_ns: u64,
     /// The full attempt record.
     pub attempt: Attempt,
 }
@@ -131,10 +134,58 @@ impl StudyReport {
     }
 }
 
+/// Maps `f` over `0..n`, fanning the indices across `jobs` scoped worker
+/// threads. Workers pull indices from a shared atomic counter and collect
+/// `(index, result)` pairs locally; the pairs are merged and sorted after
+/// the scope joins, so the output order is `f(0), f(1), ..` regardless of
+/// scheduling. `jobs <= 1` (or a single item) runs inline on this thread.
+fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (next, f) = (&next, &f);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("study worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Runs every case against every profile, logging progress to stderr.
+/// Equivalent to [`run_study_jobs`] with `jobs = 1`.
 pub fn run_study(cases: &[StudyCase], profiles: &[ToolProfile]) -> StudyReport {
-    let mut rows = Vec::new();
-    for case in cases {
+    run_study_jobs(cases, profiles, 1)
+}
+
+/// Runs the study with up to `jobs` worker threads. Two fan-out phases:
+/// ground truths (one unit per case), then the (case, profile) cell
+/// matrix (one unit per cell). Rows and cells land in dataset order, so
+/// the report is byte-for-byte identical for every `jobs` value.
+pub fn run_study_jobs(cases: &[StudyCase], profiles: &[ToolProfile], jobs: usize) -> StudyReport {
+    let grounds = parallel_map(jobs, cases.len(), |i| {
+        let case = &cases[i];
         let t0 = std::time::Instant::now();
         let ground = ground_truth(&case.subject, &case.trigger);
         eprintln!(
@@ -142,34 +193,44 @@ pub fn run_study(cases: &[StudyCase], profiles: &[ToolProfile]) -> StudyReport {
             case.subject.name,
             t0.elapsed()
         );
-        let mut cells = Vec::new();
-        for (col, profile) in profiles.iter().enumerate() {
-            let t1 = std::time::Instant::now();
-            let engine = Engine::new(profile.clone());
-            let attempt = engine.explore(&case.subject, &ground);
-            eprintln!(
-                "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries)",
-                case.subject.name,
-                profile.name,
-                attempt.outcome,
-                t1.elapsed(),
-                attempt.evidence.rounds,
-                attempt.evidence.queries
-            );
-            cells.push(CellResult {
-                profile: profile.name.clone(),
-                outcome: attempt.outcome,
-                expected: case.paper_expected.and_then(|row| row.get(col).copied()),
-                attempt,
-            });
+        ground
+    });
+
+    let cells = parallel_map(jobs, cases.len() * profiles.len(), |k| {
+        let (case, ground) = (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
+        let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
+        let t1 = std::time::Instant::now();
+        let engine = Engine::new(profile.clone());
+        let attempt = engine.explore(&case.subject, ground);
+        eprintln!(
+            "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries)",
+            case.subject.name,
+            profile.name,
+            attempt.outcome,
+            t1.elapsed(),
+            attempt.evidence.rounds,
+            attempt.evidence.queries
+        );
+        CellResult {
+            profile: profile.name.clone(),
+            outcome: attempt.outcome,
+            expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+            wall_ns: t1.elapsed().as_nanos() as u64,
+            attempt,
         }
-        rows.push(RowResult {
+    });
+
+    let mut cells = cells.into_iter();
+    let rows = cases
+        .iter()
+        .zip(grounds)
+        .map(|(case, ground)| RowResult {
             name: case.subject.name.clone(),
             category: case.category.clone(),
-            cells,
+            cells: cells.by_ref().take(profiles.len()).collect(),
             ground,
-        });
-    }
+        })
+        .collect();
     StudyReport {
         profiles: profiles.iter().map(|p| p.name.clone()).collect(),
         rows,

@@ -81,7 +81,10 @@ enum ImmOrSym {
 #[derive(Debug, Clone, PartialEq)]
 enum Stmt {
     /// A machine instruction; label operands are still symbolic.
-    Insn { insn: PInsn, line: usize },
+    Insn {
+        insn: PInsn,
+        line: usize,
+    },
     Bytes(Vec<u8>),
     /// `.quad` entries, possibly symbolic.
     Quads(Vec<ImmOrSym>),
@@ -94,12 +97,29 @@ enum Stmt {
 enum PInsn {
     Concrete(Insn),
     /// `li rd, symbol(+addend)` — becomes `Li` with an `Abs64` reloc.
-    LiSym { rd: Reg, sym: SymRef },
+    LiSym {
+        rd: Reg,
+        sym: SymRef,
+    },
     /// Branch to a label.
-    BranchSym { op: Opcode, rs: Reg, rt: Reg, sym: SymRef },
-    FBranchSym { op: Opcode, fs: FReg, ft: FReg, sym: SymRef },
-    JmpSym { sym: SymRef },
-    CallSym { sym: SymRef },
+    BranchSym {
+        op: Opcode,
+        rs: Reg,
+        rt: Reg,
+        sym: SymRef,
+    },
+    FBranchSym {
+        op: Opcode,
+        fs: FReg,
+        ft: FReg,
+        sym: SymRef,
+    },
+    JmpSym {
+        sym: SymRef,
+    },
+    CallSym {
+        sym: SymRef,
+    },
 }
 
 impl PInsn {
@@ -176,7 +196,10 @@ impl Assembler {
                 let size = insn.len() as u64;
                 match self.section {
                     Section::Text => {
-                        self.text_stmts.push(Stmt::Insn { insn, line: line_no });
+                        self.text_stmts.push(Stmt::Insn {
+                            insn,
+                            line: line_no,
+                        });
                         text_off += size;
                     }
                     Section::Data => {
@@ -332,10 +355,10 @@ impl Assembler {
         };
         match stmt {
             Stmt::Bytes(b) => buf.extend_from_slice(&b),
-            Stmt::Space(n) => buf.extend(std::iter::repeat(0u8).take(n)),
+            Stmt::Space(n) => buf.extend(std::iter::repeat_n(0u8, n)),
             Stmt::Align(n) => {
                 let pad = (n - (buf.len() % n)) % n;
-                buf.extend(std::iter::repeat(0u8).take(pad));
+                buf.extend(std::iter::repeat_n(0u8, pad));
             }
             Stmt::Quads(quads) => {
                 for q in quads {
@@ -458,7 +481,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -630,7 +655,12 @@ fn parse_mem(s: &str, line: usize) -> Result<(Reg, i32), AsmError> {
     let inner = s
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| err(line, format!("expected memory operand `[reg+off]`, got `{s}`")))?;
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected memory operand `[reg+off]`, got `{s}`"),
+            )
+        })?;
     let inner = inner.trim();
     if let Some(plus) = inner.find('+') {
         let (r, o) = inner.split_at(plus);
@@ -929,7 +959,10 @@ fn parse_insn(s: &str, line: usize) -> Result<PInsn, AsmError> {
             let v: f64 = lit
                 .parse()
                 .map_err(|_| err(line, format!("bad float literal `{lit}`")))?;
-            Ok(PInsn::Concrete(Insn::FLi { fd, bits: v.to_bits() }))
+            Ok(PInsn::Concrete(Insn::FLi {
+                fd,
+                bits: v.to_bits(),
+            }))
         }
         "cvt.si2d" => {
             argn(2)?;
@@ -1048,7 +1081,7 @@ mod tests {
         expect.extend_from_slice(&7u64.to_le_bytes());
         expect.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
         expect.push(0); // align 8: 17 bytes -> pad... (3+2+4 = 9; +8 = 17; +8 = 25 -> pad 7)
-        // Recompute: 3 + 2 + 4 + 8 + 8 = 25, pad to 32 = 7 zeros, then 3 zeros.
+                        // Recompute: 3 + 2 + 4 + 8 + 8 = 25, pad to 32 = 7 zeros, then 3 zeros.
         expect.truncate(25);
         expect.extend(std::iter::repeat(0).take(7));
         expect.extend(std::iter::repeat(0).take(3));

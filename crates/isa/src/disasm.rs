@@ -123,10 +123,9 @@ mod tests {
 
     #[test]
     fn disassembly_covers_every_byte_exactly_once() {
-        let obj = assemble(
-            ".global _start\n_start:\nli t0, 0x123456789abcdef\npush t0\npop t1\nret\n",
-        )
-        .unwrap();
+        let obj =
+            assemble(".global _start\n_start:\nli t0, 0x123456789abcdef\npush t0\npop t1\nret\n")
+                .unwrap();
         let image = Linker::new().add_object(obj).link().unwrap();
         let lines = disassemble(&image.text, image.text_base);
         let total: usize = lines.iter().map(|l| l.bytes.len()).sum();

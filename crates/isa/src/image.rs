@@ -302,7 +302,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, ImageError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, ImageError> {
@@ -368,7 +370,8 @@ mod tests {
     #[test]
     fn resolve_imports_patches_abs64() {
         let mut img = sample_image();
-        let exports: BTreeMap<String, u64> = [("sin".to_string(), 0x400_100u64)].into_iter().collect();
+        let exports: BTreeMap<String, u64> =
+            [("sin".to_string(), 0x400_100u64)].into_iter().collect();
         img.resolve_imports(&exports).unwrap();
         assert!(img.imports.is_empty());
         assert_eq!(
@@ -388,7 +391,8 @@ mod tests {
                 addend: 0,
             }],
         }];
-        let exports: BTreeMap<String, u64> = [("f".to_string(), 0x400_000u64)].into_iter().collect();
+        let exports: BTreeMap<String, u64> =
+            [("f".to_string(), 0x400_000u64)].into_iter().collect();
         img.resolve_imports(&exports).unwrap();
         let rel = i32::from_le_bytes(img.text[2..6].try_into().unwrap());
         assert_eq!(rel as i64, 0x400_000 - 0x1001);

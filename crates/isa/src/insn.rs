@@ -491,7 +491,9 @@ impl Insn {
         use Opcode::*;
         match self.opcode() {
             Add | Sub | And | Or | Xor | Shl | Shru | Shrs | Slt | Sltu | AddI | AndI | OrI
-            | XorI | ShlI | ShruI | ShrsI | SltI | SltuI | Mov | Not | Neg | Li => InsnClass::IntAlu,
+            | XorI | ShlI | ShruI | ShrsI | SltI | SltuI | Mov | Not | Neg | Li => {
+                InsnClass::IntAlu
+            }
             Mul | MulI => InsnClass::Mul,
             Divu | Divs | Remu | Rems => InsnClass::Div,
             Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Sb | Sh | Sw | Sd => InsnClass::Mem,
@@ -976,15 +978,24 @@ mod tests {
                 fd: fr(7),
                 bits: 1024.5f64.to_bits(),
             },
-            Insn::FCvtSiToD { fd: fr(8), rs: r(14) },
-            Insn::FCvtDToSi { rd: r(15), fs: fr(9) },
+            Insn::FCvtSiToD {
+                fd: fr(8),
+                rs: r(14),
+            },
+            Insn::FCvtDToSi {
+                rd: r(15),
+                fs: fr(9),
+            },
             Insn::FBranch {
                 op: Opcode::FBle,
                 fs: fr(10),
                 ft: fr(11),
                 rel: 42,
             },
-            Insn::FBits { rd: r(16), fs: fr(12) },
+            Insn::FBits {
+                rd: r(16),
+                fs: fr(12),
+            },
             Insn::FFromBits {
                 fd: fr(13),
                 rs: r(17),
@@ -1040,8 +1051,14 @@ mod tests {
 
     #[test]
     fn bad_opcode_is_rejected() {
-        assert_eq!(Insn::decode(&[0xFF]).unwrap_err(), DecodeError::BadOpcode(0xFF));
-        assert_eq!(Insn::decode(&[0x00]).unwrap_err(), DecodeError::BadOpcode(0x00));
+        assert_eq!(
+            Insn::decode(&[0xFF]).unwrap_err(),
+            DecodeError::BadOpcode(0xFF)
+        );
+        assert_eq!(
+            Insn::decode(&[0x00]).unwrap_err(),
+            DecodeError::BadOpcode(0x00)
+        );
     }
 
     #[test]

@@ -168,9 +168,8 @@ impl Linker {
                             }
                             FixupKind::Rel32 { base } => {
                                 let delta = target.wrapping_sub(base) as i64;
-                                let rel = i32::try_from(delta).map_err(|_| {
-                                    LinkError::RelocOverflow(reloc.symbol.clone())
-                                })?;
+                                let rel = i32::try_from(delta)
+                                    .map_err(|_| LinkError::RelocOverflow(reloc.symbol.clone()))?;
                                 buf[off..off + 4].copy_from_slice(&rel.to_le_bytes());
                             }
                         }
@@ -179,11 +178,14 @@ impl Linker {
                         if !externs.contains(&reloc.symbol.as_str()) {
                             return Err(LinkError::UndefinedSymbol(reloc.symbol.clone()));
                         }
-                        imports.entry(reloc.symbol.clone()).or_default().push(Fixup {
-                            addr: patch_addr,
-                            kind,
-                            addend: reloc.addend,
-                        });
+                        imports
+                            .entry(reloc.symbol.clone())
+                            .or_default()
+                            .push(Fixup {
+                                addr: patch_addr,
+                                kind,
+                                addend: reloc.addend,
+                            });
                     }
                 }
             }
@@ -214,7 +216,7 @@ impl Linker {
 
 fn align_to(buf: &mut Vec<u8>, align: usize) {
     let pad = (align - (buf.len() % align)) % align;
-    buf.extend(std::iter::repeat(0u8).take(pad));
+    buf.extend(std::iter::repeat_n(0u8, pad));
 }
 
 #[cfg(test)]
@@ -251,7 +253,10 @@ mod tests {
                 // `done` is local (not .global) so it is not exported;
                 // compute from layout instead: li(10) + jmp(5) + nop(1).
                 assert_eq!(done, None);
-                assert_eq!(jmp_addr.wrapping_add(rel as i64 as u64), layout::TEXT_BASE + 16);
+                assert_eq!(
+                    jmp_addr.wrapping_add(rel as i64 as u64),
+                    layout::TEXT_BASE + 16
+                );
             }
             other => panic!("expected jmp, got {other}"),
         }
@@ -357,7 +362,11 @@ mod tests {
         let a = assemble(".global f\nf: ret\n.global _start\n_start: halt").unwrap();
         let b = assemble(".global f\nf: ret\n").unwrap();
         assert_eq!(
-            Linker::new().add_object(a).add_object(b).link().unwrap_err(),
+            Linker::new()
+                .add_object(a)
+                .add_object(b)
+                .link()
+                .unwrap_err(),
             LinkError::DuplicateSymbol("f".into())
         );
     }

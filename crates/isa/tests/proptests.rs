@@ -66,14 +66,26 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         Just(Opcode::Bgeu),
     ];
     prop_oneof![
-        (alu3_ops, arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs, rt)| Insn::Alu3 { op, rd, rs, rt }),
-        (alui_ops, arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(op, rd, rs, imm)| Insn::AluI { op, rd, rs, imm }),
+        (alu3_ops, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs, rt)| Insn::Alu3 {
+            op,
+            rd,
+            rs,
+            rt
+        }),
+        (alui_ops, arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs, imm)| Insn::AluI {
+            op,
+            rd,
+            rs,
+            imm
+        }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
         (arb_reg(), any::<u64>()).prop_map(|(rd, imm)| Insn::Li { rd, imm }),
-        (load_ops, arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(op, rd, base, off)| Insn::Load { op, rd, base, off }),
+        (load_ops, arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, base, off)| Insn::Load {
+            op,
+            rd,
+            base,
+            off
+        }),
         (store_ops, arb_reg(), arb_reg(), any::<i32>())
             .prop_map(|(op, src, base, off)| Insn::Store { op, src, base, off }),
         arb_reg().prop_map(|rs| Insn::Push { rs }),

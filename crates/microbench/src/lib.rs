@@ -1,0 +1,212 @@
+//! # microbench — a dependency-free benchmark harness
+//!
+//! The workspace's benches were written against the `criterion` crate. This
+//! container builds fully offline, so this shim provides the subset of the
+//! criterion API those benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::measurement_time`] /
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark routine is calibrated until one sample
+//! takes ≳2 ms (or a single iteration already exceeds that), then `sample_size`
+//! samples are timed, capped by `measurement_time`. Mean / median / min
+//! per-iteration times are printed to stdout — no statistics engine, no HTML
+//! reports, no baseline files.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock cap on the sampling phase of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, which must call [`Bencher::iter`] exactly once.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group (marker for API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Sample {
+    per_iter: Vec<Duration>,
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the iteration count until one sample is ≳2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Sample.
+        let budget = Instant::now();
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for i in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed() / iters as u32);
+            if i >= 2 && budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some(Sample { per_iter });
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match &self.result {
+            None => println!("  {group}/{id}: no measurement (iter was not called)"),
+            Some(s) => {
+                let mut sorted = s.per_iter.clone();
+                sorted.sort();
+                let median = sorted[sorted.len() / 2];
+                let min = sorted[0];
+                let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+                println!(
+                    "  {group}/{id}: median {median:?}  mean {mean:?}  min {min:?}  (n={})",
+                    sorted.len()
+                );
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

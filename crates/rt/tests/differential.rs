@@ -22,8 +22,10 @@ fn run_harness(body: &str, config: MachineConfig) -> (i64, Vec<u8>, Machine) {
     let result = machine.run();
     let code = match result.status {
         RunStatus::Exited(c) => c,
-        other => panic!("harness did not exit cleanly: {other} (stdout: {:?})",
-            String::from_utf8_lossy(machine.stdout())),
+        other => panic!(
+            "harness did not exit cleanly: {other} (stdout: {:?})",
+            String::from_utf8_lossy(machine.stdout())
+        ),
     };
     let out = machine.stdout().to_vec();
     (code, out, machine)
@@ -277,7 +279,13 @@ fn rand_sequence_matches_reference_lcg() {
 
 #[test]
 fn sha1_matches_reference_for_short_messages() {
-    for msg in ["", "a", "abc", "hello world", "0123456789012345678901234567890123456789012345678901234"] {
+    for msg in [
+        "",
+        "a",
+        "abc",
+        "hello world",
+        "0123456789012345678901234567890123456789012345678901234",
+    ] {
         assert!(msg.len() <= 55);
         let (_, out) = run_simple(&format!(
             r#"

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 /// with a `1` sentinel nibble trick where byte-level zero padding matters).
 fn run_stdout(src: &str) -> Vec<u8> {
     let image = link_program(src).expect("harness builds");
-    let mut machine =
-        Machine::load(&image, None, MachineConfig::default()).expect("loads");
+    let mut machine = Machine::load(&image, None, MachineConfig::default()).expect("loads");
     let status = machine.run().status;
     assert_eq!(status, RunStatus::Exited(0), "harness must exit cleanly");
     machine.stdout().to_vec()

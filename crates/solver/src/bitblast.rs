@@ -5,7 +5,7 @@
 //! blasted — they are handled by the float fallback in [`crate::Solver::check`].
 
 use crate::expr::{BvOp, CmpOp, Node, Term, Var};
-use crate::sat::{Lit, SatSolver};
+use crate::sat::{Lit, SatResult, SatSolver};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -90,12 +90,131 @@ pub fn blast(constraints: &[Term]) -> Result<Blasted, BlastError> {
     })
 }
 
+/// Incremental blasting session: keeps the SAT solver, the term → literal
+/// caches, and learnt clauses alive across queries. Each distinct constraint
+/// is Tseitin-encoded **once** into an indicator literal; a query for a
+/// constraint set is then a [`SatSolver::solve_with_assumptions`] call over
+/// the corresponding literals. Consecutive concolic rounds share long
+/// constraint prefixes, so with hash-consed terms the prefix's CNF is reused
+/// instead of re-emitted each round.
+///
+/// Sound because every gate emitted by the blaster is a full (two-sided)
+/// Tseitin definition: the indicator literal is *equivalent* to its
+/// constraint under the definitional clauses, so assuming it constrains
+/// exactly that constraint and nothing else.
+#[derive(Debug, Default)]
+pub struct Session {
+    b: Blaster,
+    /// Constraint term id → indicator literal.
+    roots: HashMap<usize, Lit>,
+    /// Pins every blasted root (and thereby its subterms) so the pointer
+    /// ids keying the caches can never be reused by later allocations.
+    retained: Vec<Term>,
+    roots_blasted: u64,
+    roots_reused: u64,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Returns the indicator literal for boolean constraint `c`, emitting
+    /// its CNF if this session has not blasted it before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlastError::Float`] if `c` contains floating-point nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not boolean-sorted.
+    pub fn root_lit(&mut self, c: &Term) -> Result<Lit, BlastError> {
+        if let Some(&l) = self.roots.get(&c.id()) {
+            self.roots_reused += 1;
+            return Ok(l);
+        }
+        assert_eq!(
+            c.sort(),
+            crate::expr::Sort::Bool,
+            "constraints must be boolean"
+        );
+        // Populate the caches children-first so the recursive workers never
+        // descend more than one level on deep DAGs.
+        for node in c.topo_order() {
+            match node.sort() {
+                crate::expr::Sort::Bv(_) => {
+                    self.b.blast_bv(&node)?;
+                }
+                crate::expr::Sort::Bool => {
+                    self.b.blast_bool(&node)?;
+                }
+                crate::expr::Sort::F64 => return Err(BlastError::Float),
+            }
+        }
+        let l = self.b.blast_bool(c)?;
+        self.roots.insert(c.id(), l);
+        self.retained.push(c.clone());
+        self.roots_blasted += 1;
+        Ok(l)
+    }
+
+    /// Solves the conjunction of the constraints behind `roots` (literals
+    /// from [`Session::root_lit`]) under a conflict budget.
+    pub fn solve(&mut self, roots: &[Lit], max_conflicts: u64) -> SatResult {
+        self.b.sat.solve_with_assumptions(roots, max_conflicts)
+    }
+
+    /// SAT variables backing `var`'s bits (LSB first), if it was blasted.
+    pub fn var_bits(&self, var: &Var) -> Option<&[u32]> {
+        self.b.var_bits.get(var).map(Vec::as_slice)
+    }
+
+    /// Number of SAT variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.b.sat.num_vars()
+    }
+
+    /// Number of SAT clauses emitted so far.
+    pub fn num_clauses(&self) -> usize {
+        self.b.sat.num_clauses()
+    }
+
+    /// Cumulative CDCL conflicts across all queries.
+    pub fn conflicts(&self) -> u64 {
+        self.b.sat.conflicts()
+    }
+
+    /// Cumulative CDCL propagations across all queries.
+    pub fn propagations(&self) -> u64 {
+        self.b.sat.propagations()
+    }
+
+    /// Constraints Tseitin-encoded by this session.
+    pub fn roots_blasted(&self) -> u64 {
+        self.roots_blasted
+    }
+
+    /// Constraint lookups answered from the root cache (CNF prefix reuse).
+    pub fn roots_reused(&self) -> u64 {
+        self.roots_reused
+    }
+}
+
+#[derive(Debug)]
 struct Blaster {
     sat: SatSolver,
     true_lit: Lit,
     bv_cache: HashMap<usize, Vec<Lit>>,
     bool_cache: HashMap<usize, Lit>,
     var_bits: HashMap<Var, Vec<u32>>,
+}
+
+impl Default for Blaster {
+    fn default() -> Blaster {
+        Blaster::new()
+    }
 }
 
 impl Blaster {
@@ -299,12 +418,12 @@ impl Blaster {
         let w = a.len();
         let stages = 64 - (w as u64 - 1).leading_zeros() as usize; // ceil(log2 w)
         let mut cur = a.to_vec();
-        for s in 0..stages {
+        for (s, &shbit) in sh.iter().enumerate().take(stages) {
             let k = 1usize << s;
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = if i >= k { cur[i - k] } else { self.false_lit() };
-                next.push(self.g_mux(sh[s], shifted, cur[i]));
+                next.push(self.g_mux(shbit, shifted, cur[i]));
             }
             cur = next;
         }
@@ -328,12 +447,12 @@ impl Blaster {
         let sign = a[w - 1];
         let stages = 64 - (w as u64 - 1).leading_zeros() as usize;
         let mut cur = a.to_vec();
-        for s in 0..stages {
+        for (s, &shbit) in sh.iter().enumerate().take(stages) {
             let k = 1usize << s;
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = if i + k < w { cur[i + k] } else { sign };
-                next.push(self.g_mux(sh[s], shifted, cur[i]));
+                next.push(self.g_mux(shbit, shifted, cur[i]));
             }
             cur = next;
         }
@@ -685,8 +804,9 @@ mod tests {
             let e = Term::bin(op1, &Term::bin(op2, &x, &y), &x);
             let xv = rnd() & 0xff;
             let yv = rnd() & 0xff;
-            let env: HashMap<Arc<str>, u64> =
-                [(Arc::from("x"), xv), (Arc::from("y"), yv)].into_iter().collect();
+            let env: HashMap<Arc<str>, u64> = [(Arc::from("x"), xv), (Arc::from("y"), yv)]
+                .into_iter()
+                .collect();
             let want = eval(&e, &env).unwrap().bits();
             // Constrain x/y to the sampled values and e to its evaluated
             // value; must be SAT.

@@ -5,9 +5,10 @@
 //! the fly. All bitvector widths are between 1 and 64 bits; values are kept
 //! in the low bits of a `u64`.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
 /// The sort of a term.
@@ -195,7 +196,13 @@ pub enum Node {
     FBits(Term),
 }
 
-/// A reference-counted term.
+/// A reference-counted, hash-consed term.
+///
+/// All construction funnels through a thread-local interner, so within one
+/// thread two structurally equal terms always share the same allocation:
+/// equality and hashing are O(1) pointer operations, and DAG-shaped formulas
+/// (crypto traces especially) are stored once instead of re-allocated per
+/// rewrite. `Term` is intentionally `!Send`; terms never cross threads.
 #[derive(Clone)]
 pub struct Term(Rc<Node>);
 
@@ -207,8 +214,138 @@ impl fmt::Debug for Term {
 
 impl PartialEq for Term {
     fn eq(&self, other: &Term) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+        // Sound because of hash-consing: structurally equal terms built on
+        // this thread share one allocation (see `Term::raw`).
+        Rc::ptr_eq(&self.0, &other.0)
     }
+}
+
+impl Eq for Term {}
+
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id().hash(state);
+    }
+}
+
+/// Shallow interner key: node discriminant + immediates + child identities.
+/// A live entry's children are pinned by the entry's own node, so child ids
+/// cannot be reused while the entry is upgradeable.
+#[derive(PartialEq, Eq, Hash)]
+enum InternKey {
+    BvConst(u64, u8),
+    BvVar(Arc<str>, u8),
+    BvBin(BvOp, usize, usize),
+    BvNot(usize),
+    BvNeg(usize),
+    Extract(u8, u8, usize),
+    ZExt(u8, usize),
+    SExt(u8, usize),
+    Concat(usize, usize),
+    Cmp(CmpOp, usize, usize),
+    BoolConst(bool),
+    BNot(usize),
+    BAnd(usize, usize),
+    BOr(usize, usize),
+    Ite(usize, usize, usize),
+    // Keyed by bit pattern so NaNs and signed zeros intern consistently.
+    FConst(u64),
+    FBin(FOp, usize, usize),
+    FNeg(usize),
+    FSqrt(usize),
+    FCmp(FCmpOp, usize, usize),
+    CvtSiToF(usize),
+    CvtFToSi(usize),
+    FFromBits(usize),
+    FBits(usize),
+}
+
+fn intern_key(node: &Node) -> InternKey {
+    match node {
+        Node::BvConst { value, width } => InternKey::BvConst(*value, *width),
+        Node::BvVar(v) => InternKey::BvVar(Arc::clone(&v.name), v.width),
+        Node::BvBin { op, a, b } => InternKey::BvBin(*op, a.id(), b.id()),
+        Node::BvNot(a) => InternKey::BvNot(a.id()),
+        Node::BvNeg(a) => InternKey::BvNeg(a.id()),
+        Node::Extract { hi, lo, a } => InternKey::Extract(*hi, *lo, a.id()),
+        Node::ZExt { width, a } => InternKey::ZExt(*width, a.id()),
+        Node::SExt { width, a } => InternKey::SExt(*width, a.id()),
+        Node::Concat { a, b } => InternKey::Concat(a.id(), b.id()),
+        Node::Cmp { op, a, b } => InternKey::Cmp(*op, a.id(), b.id()),
+        Node::BoolConst(b) => InternKey::BoolConst(*b),
+        Node::BNot(a) => InternKey::BNot(a.id()),
+        Node::BAnd(a, b) => InternKey::BAnd(a.id(), b.id()),
+        Node::BOr(a, b) => InternKey::BOr(a.id(), b.id()),
+        Node::Ite { cond, then, els } => InternKey::Ite(cond.id(), then.id(), els.id()),
+        Node::FConst(v) => InternKey::FConst(v.to_bits()),
+        Node::FBin { op, a, b } => InternKey::FBin(*op, a.id(), b.id()),
+        Node::FNeg(a) => InternKey::FNeg(a.id()),
+        Node::FSqrt(a) => InternKey::FSqrt(a.id()),
+        Node::FCmp { op, a, b } => InternKey::FCmp(*op, a.id(), b.id()),
+        Node::CvtSiToF(a) => InternKey::CvtSiToF(a.id()),
+        Node::CvtFToSi(a) => InternKey::CvtFToSi(a.id()),
+        Node::FFromBits(a) => InternKey::FFromBits(a.id()),
+        Node::FBits(a) => InternKey::FBits(a.id()),
+    }
+}
+
+/// Counters describing this thread's term interner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Constructions that reused an existing allocation.
+    pub hits: u64,
+    /// Constructions that allocated a new node.
+    pub misses: u64,
+    /// Entries currently in the intern table (live + not-yet-swept dead).
+    pub table_len: usize,
+}
+
+struct Interner {
+    map: HashMap<InternKey, Weak<Node>>,
+    hits: u64,
+    misses: u64,
+    sweep_at: usize,
+}
+
+impl Interner {
+    fn intern(&mut self, node: Node) -> Rc<Node> {
+        let key = intern_key(&node);
+        if let Some(weak) = self.map.get(&key) {
+            if let Some(rc) = weak.upgrade() {
+                self.hits += 1;
+                return rc;
+            }
+        }
+        self.misses += 1;
+        let rc = Rc::new(node);
+        self.map.insert(key, Rc::downgrade(&rc));
+        if self.map.len() > self.sweep_at {
+            self.map.retain(|_, w| w.strong_count() > 0);
+            self.sweep_at = (self.map.len() * 2).max(4096);
+        }
+        rc
+    }
+}
+
+thread_local! {
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner {
+        map: HashMap::new(),
+        hits: 0,
+        misses: 0,
+        sweep_at: 4096,
+    });
+}
+
+/// Snapshot of the current thread's interner counters.
+pub fn intern_stats() -> InternStats {
+    INTERNER.with(|i| {
+        let i = i.borrow();
+        InternStats {
+            hits: i.hits,
+            misses: i.misses,
+            table_len: i.map.len(),
+        }
+    })
 }
 
 fn mask(width: u8) -> u64 {
@@ -297,7 +434,7 @@ impl Term {
     }
 
     fn raw(node: Node) -> Term {
-        Term(Rc::new(node))
+        Term(INTERNER.with(|i| i.borrow_mut().intern(node)))
     }
 
     // ---- constructors: bitvectors ----
@@ -308,7 +445,7 @@ impl Term {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn bv(value: u64, width: u8) -> Term {
-        assert!(width >= 1 && width <= 64, "bad width {width}");
+        assert!((1..=64).contains(&width), "bad width {width}");
         Term::raw(Node::BvConst {
             value: value & mask(width),
             width,
@@ -321,7 +458,7 @@ impl Term {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn var(name: impl Into<Arc<str>>, width: u8) -> Term {
-        assert!(width >= 1 && width <= 64, "bad width {width}");
+        assert!((1..=64).contains(&width), "bad width {width}");
         Term::raw(Node::BvVar(Var {
             name: name.into(),
             width,
@@ -404,10 +541,8 @@ impl Term {
                     return Term::bv(0, w);
                 }
             }
-            BvOp::Shl | BvOp::LShr | BvOp::AShr => {
-                if b.as_const() == Some(0) {
-                    return a.clone();
-                }
+            BvOp::Shl | BvOp::LShr | BvOp::AShr if b.as_const() == Some(0) => {
+                return a.clone();
             }
             _ => {}
         }
@@ -443,7 +578,10 @@ impl Term {
     /// Panics if `hi < lo` or `hi` is out of range.
     pub fn extract(a: &Term, hi: u8, lo: u8) -> Term {
         let w = a.width();
-        assert!(hi >= lo && hi < w, "bad extract [{hi}:{lo}] of {w}-bit term");
+        assert!(
+            hi >= lo && hi < w,
+            "bad extract [{hi}:{lo}] of {w}-bit term"
+        );
         if hi == w - 1 && lo == 0 {
             return a.clone();
         }
@@ -845,10 +983,7 @@ impl Term {
                     kids.push(then.clone());
                     kids.push(els.clone());
                 }
-                Node::BvConst { .. }
-                | Node::BvVar(_)
-                | Node::BoolConst(_)
-                | Node::FConst(_) => {}
+                Node::BvConst { .. } | Node::BvVar(_) | Node::BoolConst(_) | Node::FConst(_) => {}
             }
             stack.push((t, true));
             for k in kids {
@@ -910,13 +1045,8 @@ fn fold_bin(op: BvOp, x: u64, y: u64, w: u8) -> u64 {
         BvOp::Add => x.wrapping_add(y),
         BvOp::Sub => x.wrapping_sub(y),
         BvOp::Mul => x.wrapping_mul(y),
-        BvOp::UDiv => {
-            if y == 0 {
-                m // SMT-LIB convention: x/0 = all-ones
-            } else {
-                x / y
-            }
-        }
+        // SMT-LIB convention: x/0 = all-ones.
+        BvOp::UDiv => x.checked_div(y).unwrap_or(m),
         BvOp::SDiv => {
             let (sx, sy) = (to_signed(x, w), to_signed(y, w));
             if sy == 0 {
@@ -1077,7 +1207,12 @@ fn eval_inner(
         Node::BvBin { op, a, b } => {
             let w = a.width();
             Value::Bits {
-                value: fold_bin(*op, bits(eval_memo(a, env, cache)?), bits(eval_memo(b, env, cache)?), w) & mask(w),
+                value: fold_bin(
+                    *op,
+                    bits(eval_memo(a, env, cache)?),
+                    bits(eval_memo(b, env, cache)?),
+                    w,
+                ) & mask(w),
                 width: w,
             }
         }
@@ -1119,7 +1254,10 @@ fn eval_inner(
         }
         Node::Cmp { op, a, b } => {
             let w = a.width();
-            let (x, y) = (bits(eval_memo(a, env, cache)?), bits(eval_memo(b, env, cache)?));
+            let (x, y) = (
+                bits(eval_memo(a, env, cache)?),
+                bits(eval_memo(b, env, cache)?),
+            );
             Value::Bool(match op {
                 CmpOp::Eq => x == y,
                 CmpOp::Ult => x < y,
@@ -1130,8 +1268,12 @@ fn eval_inner(
         }
         Node::BoolConst(b) => Value::Bool(*b),
         Node::BNot(a) => Value::Bool(!eval_memo(a, env, cache)?.truth()),
-        Node::BAnd(a, b) => Value::Bool(eval_memo(a, env, cache)?.truth() && eval_memo(b, env, cache)?.truth()),
-        Node::BOr(a, b) => Value::Bool(eval_memo(a, env, cache)?.truth() || eval_memo(b, env, cache)?.truth()),
+        Node::BAnd(a, b) => {
+            Value::Bool(eval_memo(a, env, cache)?.truth() && eval_memo(b, env, cache)?.truth())
+        }
+        Node::BOr(a, b) => {
+            Value::Bool(eval_memo(a, env, cache)?.truth() || eval_memo(b, env, cache)?.truth())
+        }
         Node::Ite { cond, then, els } => {
             if eval_memo(cond, env, cache)?.truth() {
                 eval_memo(then, env, cache)?
@@ -1141,7 +1283,9 @@ fn eval_inner(
         }
         Node::FConst(v) => Value::F64(*v),
         Node::FBin { op, a, b } => {
-            let (Value::F64(x), Value::F64(y)) = (eval_memo(a, env, cache)?, eval_memo(b, env, cache)?) else {
+            let (Value::F64(x), Value::F64(y)) =
+                (eval_memo(a, env, cache)?, eval_memo(b, env, cache)?)
+            else {
                 unreachable!("float op on non-floats")
             };
             Value::F64(match op {
@@ -1164,7 +1308,9 @@ fn eval_inner(
             Value::F64(x.sqrt())
         }
         Node::FCmp { op, a, b } => {
-            let (Value::F64(x), Value::F64(y)) = (eval_memo(a, env, cache)?, eval_memo(b, env, cache)?) else {
+            let (Value::F64(x), Value::F64(y)) =
+                (eval_memo(a, env, cache)?, eval_memo(b, env, cache)?)
+            else {
                 unreachable!()
             };
             Value::Bool(match op {
@@ -1299,10 +1445,7 @@ mod tests {
         let c = Term::bv(0xABCD, 16);
         assert_eq!(Term::extract(&c, 15, 8).as_const(), Some(0xAB));
         assert_eq!(Term::zext(&c, 32).as_const(), Some(0xABCD));
-        assert_eq!(
-            Term::sext(&Term::bv(0x80, 8), 16).as_const(),
-            Some(0xFF80)
-        );
+        assert_eq!(Term::sext(&Term::bv(0x80, 8), 16).as_const(), Some(0xFF80));
         assert_eq!(
             Term::concat(&Term::bv(0xAB, 8), &Term::bv(0xCD, 8)).as_const(),
             Some(0xABCD)
@@ -1338,11 +1481,7 @@ mod tests {
             .collect();
         let x = Term::var("x", 16);
         let y = Term::var("y", 16);
-        let e = Term::bin(
-            BvOp::Add,
-            &Term::bin(BvOp::Mul, &x, &y),
-            &Term::bv(100, 16),
-        );
+        let e = Term::bin(BvOp::Add, &Term::bin(BvOp::Mul, &x, &y), &Term::bv(100, 16));
         assert_eq!(eval(&e, &env).unwrap().bits(), 121);
         let c = Term::cmp(CmpOp::Ult, &x, &y);
         assert!(!eval(&c, &env).unwrap().truth());
@@ -1363,10 +1502,7 @@ mod tests {
         let tiny = Term::f64(1e-14);
         let sum = Term::fbin(FOp::Add, &x, &tiny);
         // Absorption: the paper's float-precision example.
-        assert_eq!(
-            Term::fcmp(FCmpOp::Eq, &sum, &x).as_bool_const(),
-            Some(true)
-        );
+        assert_eq!(Term::fcmp(FCmpOp::Eq, &sum, &x).as_bool_const(), Some(true));
         let n = Term::var("n", 64);
         let f = Term::cvt_si_to_f(&n);
         assert!(f.has_float());

@@ -103,25 +103,24 @@ fn range_of_inner(t: &Term, cache: &mut HashMap<usize, Range>) -> Range {
                     lo: ra.lo.max(rb.lo),
                     hi: full.hi,
                 },
-                BvOp::UDiv => {
-                    if rb.lo > 0 {
-                        Range {
-                            lo: ra.lo / rb.hi,
-                            hi: ra.hi / rb.lo,
-                        }
-                    } else {
-                        full
-                    }
-                }
+                BvOp::UDiv => match ra.hi.checked_div(rb.lo) {
+                    // rb.hi >= rb.lo > 0, so the inner division is safe.
+                    Some(hi) => Range {
+                        lo: ra.lo / rb.hi,
+                        hi,
+                    },
+                    None => full,
+                },
                 BvOp::URem => {
-                    if rb.hi > 0 {
-                        Range {
-                            lo: 0,
-                            hi: (rb.hi - 1).min(ra.hi),
-                        }
+                    // a % b <= a always, and < b when b != 0. With the
+                    // URem(a, 0) = a convention the divisor bound only
+                    // applies when the divisor range excludes zero.
+                    let hi = if rb.lo > 0 {
+                        (rb.hi - 1).min(ra.hi)
                     } else {
-                        full
-                    }
+                        ra.hi
+                    };
+                    Range { lo: 0, hi }
                 }
                 BvOp::LShr => Range {
                     lo: 0,

@@ -41,7 +41,7 @@ pub mod sat;
 pub mod smtlib;
 
 use expr::{eval, Term, Value, Var};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -145,22 +145,85 @@ pub enum SolveOutcome {
 pub struct SolveStats {
     /// Term nodes in the (simplified) formula.
     pub formula_nodes: usize,
-    /// SAT variables created by blasting.
+    /// SAT variables created by blasting (cumulative across the session).
     pub sat_vars: u32,
-    /// SAT clauses created by blasting.
+    /// SAT clauses created by blasting (cumulative across the session).
     pub sat_clauses: usize,
-    /// CDCL conflicts spent.
+    /// CDCL conflicts spent on this query.
     pub conflicts: u64,
-    /// CDCL propagations spent.
+    /// CDCL propagations spent on this query.
     pub propagations: u64,
+    /// Whether the query was answered from the cross-round cache.
+    pub cache_hit: bool,
+}
+
+/// Cumulative cross-round cache counters for one [`Solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries whose exact constraint set was seen before (outcome replayed).
+    pub exact_hits: u64,
+    /// Queries answered by re-validating a previously found model.
+    pub model_hits: u64,
+    /// Queries subsumed by a cached unsat core (a known-unsat subset).
+    pub unsat_subset_hits: u64,
+    /// Queries that had to run the solving pipeline.
+    pub misses: u64,
+    /// Constraints Tseitin-encoded by the incremental session.
+    pub roots_blasted: u64,
+    /// Constraint CNF lookups served from the session cache (prefix reuse).
+    pub roots_reused: u64,
+}
+
+impl CacheStats {
+    /// Total queries answered without running the solving pipeline.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.model_hits + self.unsat_subset_hits
+    }
+}
+
+/// How many cached models a query tries to re-validate before solving.
+const MODEL_REUSE_TRIES: usize = 32;
+/// How many recent models the cache retains.
+const MODEL_CACHE_CAP: usize = 64;
+/// How many unsat cores the cache retains for subset checks.
+const UNSAT_CORE_CAP: usize = 256;
+
+/// Mutable cross-query state behind the immutable `check(&self)` interface.
+#[derive(Debug, Default)]
+struct SolverState {
+    /// Incremental blasting session shared by all bitvector queries.
+    session: Option<bitblast::Session>,
+    /// Canonical constraint-set fingerprint (sorted, deduped hash-consed
+    /// term ids) → outcome of a previous identical query.
+    exact: HashMap<Vec<usize>, SolveOutcome>,
+    /// Recent satisfying models, newest last, for cross-query model reuse.
+    models: Vec<Model>,
+    /// Constraint-id sets proven unsatisfiable (sorted); any superset query
+    /// is unsat too.
+    unsat_cores: Vec<Vec<usize>>,
+    /// Pins terms whose ids appear in cache keys but which the blasting
+    /// session does not retain (float-path queries), so those ids can never
+    /// be reused by later allocations.
+    pinned: Vec<Term>,
 }
 
 /// The solver front-end.
-#[derive(Debug, Clone, Default)]
+///
+/// A `Solver` is cheap to create but *profits from living long*: it keeps an
+/// incremental bit-blasting session (CNF and learnt clauses persist across
+/// queries, constraint prefixes are blasted once) and a cross-round query
+/// cache (exact outcome replay, model reuse, and unsat-core subsumption).
+/// The concolic engine therefore creates one solver per exploration, not one
+/// per round. Disable the cache layer with
+/// [`with_query_cache(false)`](Solver::with_query_cache).
+#[derive(Debug, Default)]
 pub struct Solver {
     budget: SolverBudget,
     float_mode: FloatMode,
+    no_query_cache: bool,
     stats: std::cell::Cell<SolveStats>,
+    cache_stats: std::cell::Cell<CacheStats>,
+    state: std::cell::RefCell<SolverState>,
 }
 
 impl Solver {
@@ -181,9 +244,26 @@ impl Solver {
         self
     }
 
+    /// Enables or disables the cross-round query cache (default: enabled).
+    /// The incremental blasting session stays on either way.
+    pub fn with_query_cache(mut self, enabled: bool) -> Solver {
+        self.no_query_cache = !enabled;
+        self
+    }
+
     /// Statistics from the most recent [`check`](Solver::check).
     pub fn stats(&self) -> SolveStats {
         self.stats.get()
+    }
+
+    /// Cumulative cache counters across every `check` on this solver.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut cs = self.cache_stats.get();
+        if let Some(session) = self.state.borrow().session.as_ref() {
+            cs.roots_blasted = session.roots_blasted();
+            cs.roots_reused = session.roots_reused();
+        }
+        cs
     }
 
     /// Decides the conjunction of `constraints`.
@@ -213,6 +293,21 @@ impl Solver {
             return SolveOutcome::Unknown(UnknownReason::FormulaTooLarge);
         }
 
+        // Canonical fingerprint: hash-consing makes term ids stable within
+        // the thread, so the sorted deduped id vector identifies the
+        // constraint set exactly.
+        let mut key: Vec<usize> = live.iter().map(Term::id).collect();
+        key.sort_unstable();
+        key.dedup();
+
+        if !self.no_query_cache {
+            if let Some(out) = self.cache_lookup(&key, &live, &mut stats) {
+                self.stats.set(stats);
+                return out;
+            }
+        }
+        self.bump_cache(|cs| cs.misses += 1);
+
         if live.iter().any(Term::has_float) {
             let out = match self.float_mode {
                 FloatMode::Reject => {
@@ -232,47 +327,174 @@ impl Solver {
                 },
             };
             self.stats.set(stats);
+            if !self.no_query_cache {
+                // The session never saw these terms; pin them so the cache
+                // key ids stay unique.
+                let mut st = self.state.borrow_mut();
+                st.pinned.extend(live.iter().cloned());
+                Self::cache_store(&mut st, key, &out);
+            }
             return out;
         }
 
-        let bitblast::Blasted { solver, vars } = match bitblast::blast(&live) {
-            Ok(b) => b,
-            Err(bitblast::BlastError::Float) => {
+        let out = {
+            let mut st = self.state.borrow_mut();
+            let session = st.session.get_or_insert_with(bitblast::Session::new);
+            let mut roots = Vec::with_capacity(live.len());
+            let mut float_err = false;
+            for c in &live {
+                match session.root_lit(c) {
+                    Ok(l) => roots.push(l),
+                    Err(bitblast::BlastError::Float) => {
+                        float_err = true;
+                        break;
+                    }
+                }
+            }
+            if float_err {
                 self.stats.set(stats);
                 return SolveOutcome::Unknown(UnknownReason::FloatUnsupported);
             }
-        };
-        let mut sat = solver;
-        stats.sat_vars = sat.num_vars();
-        stats.sat_clauses = sat.num_clauses();
-        let result = sat.solve(self.budget.max_conflicts);
-        stats.conflicts = sat.conflicts();
-        stats.propagations = sat.propagations();
-        self.stats.set(stats);
-        match result {
-            sat::SatResult::Sat(m) => {
-                let mut model = Model::default();
-                for (var, bits) in vars.iter() {
-                    let mut v = 0u64;
-                    for (i, &b) in bits.iter().enumerate() {
-                        if m[b as usize] {
-                            v |= 1 << i;
-                        }
+            let conflicts_before = session.conflicts();
+            let props_before = session.propagations();
+            let result = session.solve(&roots, self.budget.max_conflicts);
+            stats.sat_vars = session.num_vars();
+            stats.sat_clauses = session.num_clauses();
+            stats.conflicts = session.conflicts() - conflicts_before;
+            stats.propagations = session.propagations() - props_before;
+            match result {
+                sat::SatResult::Sat(m) => {
+                    let mut vars = Vec::new();
+                    for c in &live {
+                        c.collect_vars(&mut vars);
                     }
-                    model.values.insert(var.name.clone(), v);
+                    vars.sort();
+                    vars.dedup();
+                    let mut model = Model::default();
+                    for var in &vars {
+                        let bits = session.var_bits(var).expect("query variable was blasted");
+                        let mut v = 0u64;
+                        for (i, &b) in bits.iter().enumerate() {
+                            if m[b as usize] {
+                                v |= 1 << i;
+                            }
+                        }
+                        model.values.insert(var.name.clone(), v);
+                    }
+                    // Sanity: the model must satisfy every constraint.
+                    debug_assert!(
+                        live.iter()
+                            .all(|c| eval(c, &model.as_env()).map(|v| v.truth()).unwrap_or(false)),
+                        "bit-blasting produced an invalid model"
+                    );
+                    SolveOutcome::Sat(model)
                 }
-                // Sanity: the model must satisfy every constraint.
-                debug_assert!(
-                    live.iter()
-                        .all(|c| eval(c, &model.as_env()).map(|v| v.truth()).unwrap_or(false)),
-                    "bit-blasting produced an invalid model"
-                );
-                SolveOutcome::Sat(model)
+                sat::SatResult::Unsat => SolveOutcome::Unsat,
+                sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
             }
-            sat::SatResult::Unsat => SolveOutcome::Unsat,
-            sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
+        };
+        self.stats.set(stats);
+        if !self.no_query_cache {
+            // The session retains the blasted roots, so the key ids are
+            // already pinned.
+            let mut st = self.state.borrow_mut();
+            Self::cache_store(&mut st, key, &out);
         }
+        out
     }
+
+    fn bump_cache(&self, f: impl FnOnce(&mut CacheStats)) {
+        let mut cs = self.cache_stats.get();
+        f(&mut cs);
+        self.cache_stats.set(cs);
+    }
+
+    /// The three cache layers, cheapest first: exact outcome replay, unsat
+    /// core subsumption, and model re-validation.
+    fn cache_lookup(
+        &self,
+        key: &[usize],
+        live: &[Term],
+        stats: &mut SolveStats,
+    ) -> Option<SolveOutcome> {
+        let st = self.state.borrow();
+        if let Some(out) = st.exact.get(key) {
+            stats.cache_hit = true;
+            self.bump_cache(|cs| cs.exact_hits += 1);
+            return Some(out.clone());
+        }
+        if st
+            .unsat_cores
+            .iter()
+            .any(|core| is_sorted_subset(core, key))
+        {
+            stats.cache_hit = true;
+            self.bump_cache(|cs| cs.unsat_subset_hits += 1);
+            return Some(SolveOutcome::Unsat);
+        }
+        // Model reuse: a recent model that happens to satisfy this query
+        // answers it without touching the SAT solver (variables the model
+        // does not bind default to zero and are validated like the rest).
+        let mut vars = Vec::new();
+        for c in live {
+            c.collect_vars(&mut vars);
+        }
+        vars.sort();
+        vars.dedup();
+        for cached in st.models.iter().rev().take(MODEL_REUSE_TRIES) {
+            let env: std::collections::HashMap<Arc<str>, u64> = vars
+                .iter()
+                .map(|v| (v.name.clone(), cached.get(&v.name).unwrap_or(0)))
+                .collect();
+            if live
+                .iter()
+                .all(|c| matches!(eval(c, &env), Ok(Value::Bool(true))))
+            {
+                let mut model = Model::default();
+                for (name, value) in env {
+                    model.values.insert(name, value);
+                }
+                stats.cache_hit = true;
+                self.bump_cache(|cs| cs.model_hits += 1);
+                return Some(SolveOutcome::Sat(model));
+            }
+        }
+        None
+    }
+
+    fn cache_store(st: &mut SolverState, key: Vec<usize>, out: &SolveOutcome) {
+        match out {
+            SolveOutcome::Sat(model) => {
+                if st.models.len() >= MODEL_CACHE_CAP {
+                    st.models.remove(0);
+                }
+                st.models.push(model.clone());
+            }
+            SolveOutcome::Unsat => {
+                if st.unsat_cores.len() < UNSAT_CORE_CAP {
+                    st.unsat_cores.push(key.clone());
+                }
+            }
+            SolveOutcome::Unknown(_) => {}
+        }
+        st.exact.insert(key, out.clone());
+    }
+}
+
+/// Is sorted `needle` a subset of sorted `haystack`?
+fn is_sorted_subset(needle: &[usize], haystack: &[usize]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for n in needle {
+        for h in it.by_ref() {
+            match h.cmp(n) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// Solves the degenerate "unconstrained reinterpreted float" pattern:
@@ -295,8 +517,7 @@ fn unconstrained_float_shortcut(constraints: &[Term]) -> Option<Model> {
         }
     }
 
-    let mut proposal: std::collections::HashMap<Arc<str>, u64> =
-        std::collections::HashMap::new();
+    let mut proposal: std::collections::HashMap<Arc<str>, u64> = std::collections::HashMap::new();
     let mut matched_any = false;
     for c in constraints {
         let Node::FCmp { op, a, b } = c.node() else {
@@ -364,9 +585,9 @@ fn float_local_search(constraints: &[Term]) -> SolveOutcome {
             100,
             1000,
             1_000_000,
-            u64::MAX,        // -1
-            u64::MAX - 1,    // -2
-            u64::MAX >> 1,   // i64::MAX
+            u64::MAX,      // -1
+            u64::MAX - 1,  // -2
+            u64::MAX >> 1, // i64::MAX
             1 << 31,
             1 << 32,
             1 << 62,

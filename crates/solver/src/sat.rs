@@ -410,6 +410,39 @@ impl SatSolver {
 
     /// Solves with a conflict budget.
     pub fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        self.solve_with_assumptions(&[], max_conflicts)
+    }
+
+    /// Solves under `assumptions`: each assumption literal is placed as a
+    /// decision before any free decision, so an `Unsat` answer means the
+    /// clause database is unsatisfiable *together with the assumptions*
+    /// (the database itself stays intact, including clauses learnt during
+    /// the search — they are derived by resolution from real clauses only,
+    /// never from the assumptions, so they remain sound for later calls).
+    /// This is the incremental interface used by the bit-blaster: blast
+    /// each constraint once to an indicator literal, then solve different
+    /// constraint subsets by assumption.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bomblab_solver::sat::{Lit, SatSolver, SatResult};
+    ///
+    /// let mut s = SatSolver::new();
+    /// let a = s.new_var();
+    /// let b = s.new_var();
+    /// s.add_clause(&[Lit::neg(a), Lit::pos(b)]); // a -> b
+    /// assert!(matches!(
+    ///     s.solve_with_assumptions(&[Lit::pos(a), Lit::neg(b)], 1000),
+    ///     SatResult::Unsat
+    /// ));
+    /// // The same database is still satisfiable under other assumptions.
+    /// assert!(matches!(
+    ///     s.solve_with_assumptions(&[Lit::pos(a)], 1000),
+    ///     SatResult::Sat(_)
+    /// ));
+    /// ```
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], max_conflicts: u64) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -421,6 +454,9 @@ impl SatSolver {
                 self.conflicts += 1;
                 restart_left = restart_left.saturating_sub(1);
                 if self.trail_lim.is_empty() {
+                    // Conflict at the root: unsatisfiable regardless of any
+                    // assumptions; remember it for incremental reuse.
+                    self.unsat = true;
                     return SatResult::Unsat;
                 }
                 if self.conflicts - start_conflicts >= max_conflicts {
@@ -431,6 +467,8 @@ impl SatSolver {
                 self.cancel_until(bj);
                 if learnt.len() == 1 {
                     if !self.enqueue(learnt[0], None) {
+                        // Unit learnt clause contradicted at the root.
+                        self.unsat = true;
                         return SatResult::Unsat;
                     }
                 } else {
@@ -459,6 +497,31 @@ impl SatSolver {
                     self.cancel_until(0);
                     if self.learnt_since_reduce >= self.reduce_threshold {
                         self.reduce_db();
+                    }
+                    continue;
+                }
+                // Re-place any pending assumptions, one pseudo-decision level
+                // each, before making free decisions (restarts and backjumps
+                // may have cancelled them).
+                if self.trail_lim.len() < assumptions.len() {
+                    let p = assumptions[self.trail_lim.len()];
+                    match self.value(p) {
+                        Some(false) => {
+                            // The database forces the negation: unsat under
+                            // these assumptions (but not globally).
+                            self.cancel_until(0);
+                            return SatResult::Unsat;
+                        }
+                        Some(true) => {
+                            // Already implied; open an empty level so the
+                            // position in `assumptions` stays in sync.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(p, None);
+                            debug_assert!(ok, "assumption literal was assigned");
+                        }
                     }
                     continue;
                 }
@@ -606,6 +669,60 @@ mod tests {
     }
 
     #[test]
+    fn assumptions_reuse_learnt_clauses_across_queries() {
+        // Pigeonhole 5->4 gated behind an indicator g: every clause is
+        // weakened to (not-g or clause), so the instance is Unsat only
+        // under the assumption [g]. The first refutation is expensive;
+        // its learnt clauses (all containing not-g) persist, so repeating
+        // the query must cost strictly fewer conflicts, and the solver
+        // must stay usable for unrelated queries afterwards.
+        let n = 5usize;
+        let mut s = SatSolver::new();
+        let g = s.new_var();
+        let mut p = vec![vec![0u32; n - 1]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            let mut lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            lits.push(Lit::neg(g));
+            s.add_clause(&lits);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j]), Lit::neg(g)]);
+                }
+            }
+        }
+        let c0 = s.conflicts();
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(g)], 1_000_000),
+            SatResult::Unsat
+        );
+        let first = s.conflicts() - c0;
+        assert!(first > 0, "the gated pigeonhole must require real search");
+
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(g)], 1_000_000),
+            SatResult::Unsat
+        );
+        let second = s.conflicts() - c0 - first;
+        assert!(
+            second < first,
+            "learnt clauses must make the repeat query cheaper ({second} vs {first})"
+        );
+
+        // Unsat-under-assumptions is not sticky: dropping g satisfies.
+        match s.solve(1_000_000) {
+            SatResult::Sat(model) => assert!(!model[g as usize], "g must fall false"),
+            other => panic!("expected Sat without the assumption, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn pigeonhole_5_into_4_is_unsat_with_learning() {
         let n = 5usize;
         let mut s = SatSolver::new();
@@ -710,10 +827,7 @@ mod tests {
             let mut brute_sat = false;
             'outer: for m in 0..(1u32 << nvars) {
                 for cl in &clauses {
-                    if !cl
-                        .iter()
-                        .any(|l| ((m >> l.var()) & 1 == 1) != l.is_neg())
-                    {
+                    if !cl.iter().any(|l| ((m >> l.var()) & 1 == 1) != l.is_neg()) {
                         continue 'outer;
                     }
                 }

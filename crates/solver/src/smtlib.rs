@@ -59,9 +59,7 @@ impl Printer {
 
     fn print_inner(&mut self, t: &Term) -> String {
         match t.node() {
-            Node::BvConst { value, width } =>
-
-                format!("(_ bv{value} {width})"),
+            Node::BvConst { value, width } => format!("(_ bv{value} {width})"),
             Node::BvVar(v) => v.name.to_string(),
             Node::BvBin { op, a, b } => {
                 let name = match op {
@@ -143,14 +141,10 @@ impl Printer {
                 };
                 format!("({name} {} {})", self.print(a), self.print(b))
             }
-            Node::CvtSiToF(a) => format!(
-                "((_ to_fp 11 53) roundNearestTiesToEven {})",
-                self.print(a)
-            ),
-            Node::CvtFToSi(a) => format!(
-                "((_ fp.to_sbv 64) roundTowardZero {})",
-                self.print(a)
-            ),
+            Node::CvtSiToF(a) => {
+                format!("((_ to_fp 11 53) roundNearestTiesToEven {})", self.print(a))
+            }
+            Node::CvtFToSi(a) => format!("((_ fp.to_sbv 64) roundTowardZero {})", self.print(a)),
             Node::FFromBits(a) => format!("((_ to_fp 11 53) {})", self.print(a)),
             Node::FBits(a) => format!("(fp.to_ieee_bv {})", self.print(a)),
         }
@@ -183,11 +177,7 @@ mod tests {
         let widened = Term::sext(&narrowed, 16);
         let c = Term::cmp(
             CmpOp::Slt,
-            &Term::ite(
-                &Term::cmp(CmpOp::Ult, &x, &Term::bv(10, 16)),
-                &widened,
-                &x,
-            ),
+            &Term::ite(&Term::cmp(CmpOp::Ult, &x, &Term::bv(10, 16)), &widened, &x),
             &Term::bv(3, 16),
         );
         let script = to_smtlib(&[c]);
@@ -200,11 +190,7 @@ mod tests {
     #[test]
     fn float_scripts_use_the_fp_theory() {
         let n = Term::var("n", 64);
-        let c = Term::fcmp(
-            FCmpOp::Lt,
-            &Term::f64(0.0),
-            &Term::cvt_si_to_f(&n),
-        );
+        let c = Term::fcmp(FCmpOp::Lt, &Term::f64(0.0), &Term::cvt_si_to_f(&n));
         let script = to_smtlib(&[c]);
         assert!(script.contains("QF_BVFP"));
         assert!(script.contains("fp.lt"));

@@ -45,8 +45,11 @@ fn arb_ast() -> impl Strategy<Value = Ast> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (0usize..OPS.len(), inner.clone(), inner.clone())
-                .prop_map(|(i, a, b)| Ast::Bin(OPS[i], Box::new(a), Box::new(b))),
+            (0usize..OPS.len(), inner.clone(), inner.clone()).prop_map(|(i, a, b)| Ast::Bin(
+                OPS[i],
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|a| Ast::Not(Box::new(a))),
             inner.prop_map(|a| Ast::Neg(Box::new(a))),
         ]
@@ -65,7 +68,9 @@ fn build(ast: &Ast, width: u8) -> Term {
 }
 
 fn env(x: u64, y: u64) -> HashMap<Arc<str>, u64> {
-    [(Arc::from("x"), x), (Arc::from("y"), y)].into_iter().collect()
+    [(Arc::from("x"), x), (Arc::from("y"), y)]
+        .into_iter()
+        .collect()
 }
 
 proptest! {
@@ -162,6 +167,70 @@ proptest! {
                 prop_assert!(false, "tiny formulas should never exhaust budgets: {}", r);
             }
         }
+    }
+
+    /// Hash-consing is canonical: building the same structure twice must
+    /// intern to the *same* node (equal ids, `==` in O(1)), and the
+    /// interned construction + smart-constructor folding must agree with
+    /// a naive evaluator that never allocates a term at all.
+    #[test]
+    fn interning_is_canonical_and_semantics_preserving(
+        ast in arb_ast(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        /// Reference semantics, written independently of `expr.rs`:
+        /// wrap-around arithmetic at `width`, SMT-LIB division
+        /// conventions (x/0 = all-ones, x%0 = x), shifts >= width clear
+        /// (arithmetic shift saturates at width-1).
+        fn naive(ast: &Ast, x: u64, y: u64, w: u8) -> u64 {
+            let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let sign = |v: u64| -> i64 {
+                let shift = 64 - w as u32;
+                ((v << shift) as i64) >> shift
+            };
+            let v = match ast {
+                Ast::X => x,
+                Ast::Y => y,
+                Ast::Const(c) => *c,
+                Ast::Not(a) => !naive(a, x, y, w),
+                Ast::Neg(a) => naive(a, x, y, w).wrapping_neg(),
+                Ast::Bin(op, a, b) => {
+                    let (a, b) = (naive(a, x, y, w) & m, naive(b, x, y, w) & m);
+                    match op {
+                        BvOp::Add => a.wrapping_add(b),
+                        BvOp::Sub => a.wrapping_sub(b),
+                        BvOp::Mul => a.wrapping_mul(b),
+                        BvOp::UDiv if b == 0 => m,
+                        BvOp::UDiv => a / b,
+                        BvOp::SDiv if sign(b) == 0 => m,
+                        BvOp::SDiv => sign(a).wrapping_div(sign(b)) as u64,
+                        BvOp::URem if b == 0 => a,
+                        BvOp::URem => a % b,
+                        BvOp::SRem if sign(b) == 0 => a,
+                        BvOp::SRem => sign(a).wrapping_rem(sign(b)) as u64,
+                        BvOp::And => a & b,
+                        BvOp::Or => a | b,
+                        BvOp::Xor => a ^ b,
+                        BvOp::Shl if b >= w as u64 => 0,
+                        BvOp::Shl => a << b,
+                        BvOp::LShr if b >= w as u64 => 0,
+                        BvOp::LShr => a >> b,
+                        BvOp::AShr => (sign(a) >> (b.min(w as u64 - 1))) as u64,
+                    }
+                }
+            };
+            v & m
+        }
+
+        let width = 16u8;
+        let first = build(&ast, width);
+        let second = build(&ast, width);
+        prop_assert_eq!(first.id(), second.id(), "identical builds must intern to one node");
+        prop_assert!(first == second, "interned equality must hold");
+        let got = eval(&first, &env(x, y)).expect("closed").bits();
+        let want = naive(&ast, x & 0xffff, y & 0xffff, width);
+        prop_assert_eq!(got, want, "interned term diverged from reference semantics");
     }
 
     /// `extract`/`concat`/extensions respect the evaluator on random data.

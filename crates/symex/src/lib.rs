@@ -199,8 +199,7 @@ impl SymResult {
 
     /// Whether any collected constraint involves floating point.
     pub fn has_float(&self) -> bool {
-        self.path.iter().any(|p| p.cond.has_float())
-            || self.pins.iter().any(|p| p.cond.has_float())
+        self.path.iter().any(|p| p.cond.has_float()) || self.pins.iter().any(|p| p.cond.has_float())
     }
 }
 
@@ -232,6 +231,9 @@ struct SVal {
 
 type TKey = (u32, u32);
 
+/// Register state (GPR, FPR) a forked child inherits from its parent.
+type ForkSeed = (HashMap<usize, SVal>, HashMap<usize, SVal>);
+
 /// The concolic symbolic executor.
 #[derive(Debug)]
 pub struct SymExec {
@@ -246,7 +248,7 @@ pub struct SymExec {
     spipes: HashMap<usize, HashMap<u64, SVal>>,
     /// Symbolic kernel file positions, keyed by (pid, fd).
     sfilepos: HashMap<(u32, u64), SVal>,
-    fork_seeds: HashMap<u32, (HashMap<usize, SVal>, HashMap<usize, SVal>)>,
+    fork_seeds: HashMap<u32, ForkSeed>,
     /// Code ranges the analysis treats as opaque (unloaded libraries).
     opaque_ranges: Vec<(u64, u64)>,
     /// Give opaque calls fresh unconstrained return values.
@@ -375,11 +377,7 @@ impl SymExec {
             if opaque_now {
                 if !was_opaque {
                     if let Some(&summary) = self.summaries.get(&step.pc) {
-                        let args = self
-                            .concrete_args
-                            .get(&key)
-                            .copied()
-                            .unwrap_or([0; 6]);
+                        let args = self.concrete_args.get(&key).copied().unwrap_or([0; 6]);
                         if let Some(sv) = self.apply_summary(step.pid, summary, args[0]) {
                             self.pending_rets.insert(key, sv);
                         }
@@ -438,10 +436,7 @@ impl SymExec {
                     f.insert(
                         0,
                         SVal {
-                            term: Term::f_from_bits(&Term::var(
-                                format!("libretf_{idx}"),
-                                64,
-                            )),
+                            term: Term::f_from_bits(&Term::var(format!("libretf_{idx}"), 64)),
                             lvl: 0,
                         },
                     );
@@ -456,13 +451,20 @@ impl SymExec {
                 self.sfpr.remove(&key);
                 continue;
             }
-            let block = lift(&step.insn, step.pc, &self.support)
-                .expect("full support lifts everything");
+            let block =
+                lift(&step.insn, step.pc, &self.support).expect("full support lifts everything");
             // Per-instruction concrete temp values.
             let mut tmp_concrete: HashMap<u32, u64> = HashMap::new();
             let mut tmp_sym: HashMap<u32, SVal> = HashMap::new();
             for stmt in &block {
-                self.apply_stmt(idx, step, stmt, &mut tmp_concrete, &mut tmp_sym, &mut result);
+                self.apply_stmt(
+                    idx,
+                    step,
+                    stmt,
+                    &mut tmp_concrete,
+                    &mut tmp_sym,
+                    &mut result,
+                );
             }
             // Track concrete argument registers for opaque summaries.
             let args = self.concrete_args.entry(key).or_insert([0; 6]);
@@ -485,11 +487,7 @@ impl SymExec {
         let mut any_symbolic = false;
         for i in 0..BOUND {
             let addr = ptr + i;
-            let sv = self
-                .smem
-                .get(&pid)
-                .and_then(|m| m.get(&addr))
-                .cloned();
+            let sv = self.smem.get(&pid).and_then(|m| m.get(&addr)).cloned();
             let term = match sv {
                 Some(sv) => {
                     max_lvl = max_lvl.max(sv.lvl);
@@ -516,8 +514,7 @@ impl SymExec {
                 // len = first NUL index (BOUND if none).
                 let mut len = Term::bv(BOUND, 64);
                 for i in (0..BOUND).rev() {
-                    let is_nul =
-                        Term::cmp(CmpOp::Eq, &bytes[i as usize], &Term::bv(0, 8));
+                    let is_nul = Term::cmp(CmpOp::Eq, &bytes[i as usize], &Term::bv(0, 8));
                     len = Term::ite(&is_nul, &Term::bv(i, 64), &len);
                 }
                 Some(SVal {
@@ -537,8 +534,7 @@ impl SymExec {
                         &Term::cmp(CmpOp::Ule, &wide, &Term::bv(b'9' as u64, 64)),
                     );
                     running = Term::and(&running, &is_digit);
-                    let digit =
-                        Term::bin(BvOp::Sub, &wide, &Term::bv(b'0' as u64, 64));
+                    let digit = Term::bin(BvOp::Sub, &wide, &Term::bv(b'0' as u64, 64));
                     let next = Term::bin(
                         BvOp::Add,
                         &Term::bin(BvOp::Mul, &value, &Term::bv(10, 64)),
@@ -572,14 +568,13 @@ impl SymExec {
             .unwrap_or_else(|| panic!("fp register {r} not in trace reads at {:#x}", step.pc))
     }
 
-    fn sym_of_place(
-        &self,
-        key: TKey,
-        place: &Place,
-        tmp_sym: &HashMap<u32, SVal>,
-    ) -> Option<SVal> {
+    fn sym_of_place(&self, key: TKey, place: &Place, tmp_sym: &HashMap<u32, SVal>) -> Option<SVal> {
         match place {
-            Place::Gpr(r) => self.sregs.get(&key).and_then(|m| m.get(&r.index())).cloned(),
+            Place::Gpr(r) => self
+                .sregs
+                .get(&key)
+                .and_then(|m| m.get(&r.index()))
+                .cloned(),
             Place::Fpr(r) => self.sfpr.get(&key).and_then(|m| m.get(&r.index())).cloned(),
             Place::Tmp(i) => tmp_sym.get(i).cloned(),
         }
@@ -794,7 +789,11 @@ impl SymExec {
                 let value = match loaded {
                     Some(sv) => {
                         let term = extend(&sv.term, *width, *sext);
-                        let term = if *float { Term::f_from_bits(&term) } else { term };
+                        let term = if *float {
+                            Term::f_from_bits(&term)
+                        } else {
+                            term
+                        };
                         Some(SVal { term, lvl: sv.lvl })
                     }
                     None => None,
@@ -937,8 +936,7 @@ impl SymExec {
         match self.model {
             MemoryModel::Concretize => {
                 result.events.concretized_loads.push(idx);
-                result.events.max_load_level =
-                    result.events.max_load_level.max(addr_sval.lvl + 1);
+                result.events.max_load_level = result.events.max_load_level.max(addr_sval.lvl + 1);
                 pin_to_runtime(self, result)
             }
             MemoryModel::SymbolicMap {
@@ -1106,10 +1104,7 @@ impl SymExec {
                         InputSource::Stdin => {
                             if self.env.stdin {
                                 Some(SVal {
-                                    term: Term::var(
-                                        format!("stdin_b{}", offset + i),
-                                        8,
-                                    ),
+                                    term: Term::var(format!("stdin_b{}", offset + i), 8),
                                     lvl: 0,
                                 })
                             } else {
@@ -1201,14 +1196,11 @@ impl SymExec {
                 .get(&key)
                 .and_then(|m| m.get(&Reg::A1.index()))
                 .cloned();
-            match (off_sym, record.args[2]) {
-                (Some(sv), 0) => {
-                    // SEEK_SET with symbolic offset.
-                    if self.policy.through_files {
-                        self.sfilepos.insert(fdkey, sv);
-                    }
+            if let (Some(sv), 0) = (off_sym, record.args[2]) {
+                // SEEK_SET with symbolic offset.
+                if self.policy.through_files {
+                    self.sfilepos.insert(fdkey, sv);
                 }
-                _ => {}
             }
             lseek_sym = self.sfilepos.get(&fdkey).cloned();
         }
@@ -1233,9 +1225,7 @@ impl SymExec {
                 | sys::TIME // simulated with a concrete clock
         );
         let ret_sym = match record.num {
-            sys::LSEEK if lseek_sym.is_some() && !self.env.unconstrained_sys_returns => {
-                lseek_sym
-            }
+            sys::LSEEK if lseek_sym.is_some() && !self.env.unconstrained_sys_returns => lseek_sym,
             sys::TIME if self.env.time => Some(SVal {
                 term: Term::var("time", 64),
                 lvl: 0,
@@ -1267,13 +1257,7 @@ fn concrete_bin(op: BinOp, a: u64, b: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::DivU => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        BinOp::DivU => a.checked_div(b).unwrap_or(0),
         BinOp::DivS => {
             if b == 0 {
                 0

@@ -59,8 +59,8 @@ fn model_to_arg(model: &Model, seed: &str) -> Vec<u8> {
 /// Replays with a new argv[1]; returns the exit code.
 fn replay(src: &str, arg: &[u8]) -> i64 {
     let image = link_program(src).expect("program builds");
-    let mut machine = Machine::load(&image, None, MachineConfig::with_arg(arg.to_vec()))
-        .expect("loads");
+    let mut machine =
+        Machine::load(&image, None, MachineConfig::with_arg(arg.to_vec())).expect("loads");
     machine
         .run()
         .status
@@ -502,8 +502,7 @@ fn symbolic_divisor_guards_the_trap() {
     let arg = model_to_arg(&model, "5");
     // Replay: the program faults (no clean exit code 0 path).
     let image = link_program(DIV_TRAP).unwrap();
-    let mut machine =
-        Machine::load(&image, None, MachineConfig::with_arg(arg.clone())).unwrap();
+    let mut machine = Machine::load(&image, None, MachineConfig::with_arg(arg.clone())).unwrap();
     assert!(
         matches!(machine.run().status, RunStatus::Faulted { .. }),
         "arg {:?} must reach the division trap",

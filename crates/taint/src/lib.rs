@@ -251,7 +251,8 @@ impl TaintEngine {
                     report.tainted_sys_args.push((idx, tainted_args));
                     step_touches_taint = true;
                 }
-                step_touches_taint |= self.apply_syscall(step.pid, step.tid, idx, record, &mut report);
+                step_touches_taint |=
+                    self.apply_syscall(step.pid, step.tid, idx, record, &mut report);
                 // The return value lands in a0; taint decided in apply_syscall.
                 if step_touches_taint {
                     report.tainted_step_count += 1;
@@ -355,7 +356,9 @@ impl TaintEngine {
                 self.set_place(pid, tid, dst, t);
                 t
             }
-            Stmt::Load { dst, addr, width, .. } => {
+            Stmt::Load {
+                dst, addr, width, ..
+            } => {
                 let addr_tainted = self.atom_tainted(pid, tid, addr);
                 let Some(acc) = step.mem_read else {
                     // Trapped before completing; nothing loaded.
@@ -416,7 +419,9 @@ impl TaintEngine {
         let mut ret_tainted = false;
 
         match &record.effect {
-            SysEffect::OutputBytes { addr, bytes, sink, .. } => {
+            SysEffect::OutputBytes {
+                addr, bytes, sink, ..
+            } => {
                 let t = self.mem_range_tainted(pid, *addr, bytes.len() as u64);
                 if t {
                     touched = true;
@@ -439,7 +444,12 @@ impl TaintEngine {
                     }
                 }
             }
-            SysEffect::InputBytes { addr, bytes, source, .. } => {
+            SysEffect::InputBytes {
+                addr,
+                bytes,
+                source,
+                ..
+            } => {
                 let t = match source {
                     InputSource::Stdin => self.policy.sources.stdin,
                     InputSource::File(name) => self.files.contains(name),
@@ -532,7 +542,6 @@ impl TaintEngine {
             }
         }
     }
-
 }
 
 #[cfg(test)]

@@ -427,7 +427,10 @@ fn tainted_syscall_arguments_are_reported() {
     let mut engine = engine_with_argv1(TaintPolicy::argv_direct_only(), "zzz");
     let report = engine.run(&trace);
     assert!(
-        report.tainted_sys_args.iter().any(|(_, args)| args.contains(&0)),
+        report
+            .tainted_sys_args
+            .iter()
+            .any(|(_, args)| args.contains(&0)),
         "open's a0 must be reported tainted"
     );
 }

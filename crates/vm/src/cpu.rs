@@ -91,13 +91,7 @@ pub struct StepOutcome {
 ///
 /// Undecodable instruction bytes and unmapped fetches are reported as
 /// [`Effect::Trap`] with cause [`trap::BAD_INSN`] / [`trap::BAD_MEM`].
-pub fn step(
-    regs: &mut Regs,
-    mem: &mut Memory,
-    pid: u32,
-    tid: u32,
-    tracing: bool,
-) -> StepOutcome {
+pub fn step(regs: &mut Regs, mem: &mut Memory, pid: u32, tid: u32, tracing: bool) -> StepOutcome {
     let pc = regs.pc;
     // Fetch up to the maximum instruction length (10 bytes).
     let mut buf = [0u8; 10];
@@ -127,7 +121,9 @@ pub fn step(
     }
     let insn = match Insn::decode(&buf[..n]) {
         Ok((insn, _)) => insn,
-        Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadRegister(_)) | Err(DecodeError::Truncated) => {
+        Err(DecodeError::BadOpcode(_))
+        | Err(DecodeError::BadRegister(_))
+        | Err(DecodeError::Truncated) => {
             return StepOutcome {
                 effect: Effect::Trap(Fault {
                     cause: trap::BAD_INSN,
@@ -354,7 +350,11 @@ pub fn exec(
                 Opcode::Sd => 8,
                 _ => unreachable!("non-store opcode in Store"),
             };
-            let mask = if w == 8 { u64::MAX } else { (1u64 << (8 * w)) - 1 };
+            let mask = if w == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * w)) - 1
+            };
             store!(addr, v & mask, w);
         }
         Insn::Push { rs } => {

@@ -53,6 +53,4 @@ pub use machine::{
 };
 pub use mem::{MemFault, Memory};
 pub use os::{Fd, Os};
-pub use trace::{
-    InputSource, MemAccess, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep,
-};
+pub use trace::{InputSource, MemAccess, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep};

@@ -202,11 +202,7 @@ impl Machine {
         if !image.imports.is_empty() {
             match lib {
                 Some(l) => image.resolve_imports(&l.symbols)?,
-                None => {
-                    return Err(LoadError::MissingLibrary(
-                        image.imports[0].symbol.clone(),
-                    ))
-                }
+                None => return Err(LoadError::MissingLibrary(image.imports[0].symbol.clone())),
             }
         }
 
@@ -389,7 +385,11 @@ impl Machine {
         self.procs
             .get(&pid)
             .map(|p| p.stdout.as_slice())
-            .or_else(|| self.root_stdout_backup.as_deref().filter(|_| pid == ROOT_PID))
+            .or_else(|| {
+                self.root_stdout_backup
+                    .as_deref()
+                    .filter(|_| pid == ROOT_PID)
+            })
     }
 
     /// The recorded trace (empty unless tracing was enabled).

@@ -74,7 +74,10 @@ impl Memory {
     ///
     /// Faults if the address is unmapped.
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
-        let page = self.pages.get(&(addr / PAGE_SIZE)).ok_or(MemFault { addr })?;
+        let page = self
+            .pages
+            .get(&(addr / PAGE_SIZE))
+            .ok_or(MemFault { addr })?;
         Ok(page[(addr % PAGE_SIZE) as usize])
     }
 

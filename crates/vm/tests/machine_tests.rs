@@ -23,15 +23,13 @@ fn run(src: &str) -> (RunStatus, Machine) {
 
 #[test]
 fn exit_code_is_reported() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 42
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(42));
 }
 
@@ -39,21 +37,18 @@ fn exit_code_is_reported() {
 fn main_return_falls_into_exit_stub() {
     // `_start` just returns; ra points at the VM exit stub, so the return
     // value in a0 becomes the exit code.
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 9
         ret
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(9));
 }
 
 #[test]
 fn write_to_stdout_is_captured() {
-    let (status, machine) = run(
-        r#"
+    let (status, machine) = run(r#"
         .data
     msg: .asciz "hello, vm\n"
         .text
@@ -67,8 +62,7 @@ fn write_to_stdout_is_captured() {
         li a0, 0
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(0));
     assert_eq!(machine.stdout(), b"hello, vm\n");
 }
@@ -177,8 +171,7 @@ fn time_syscall_returns_configured_epoch() {
 
 #[test]
 fn unhandled_div_zero_faults_the_process() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 10
@@ -186,8 +179,7 @@ fn unhandled_div_zero_faults_the_process() {
         divs a2, a0, a1
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     match status {
         RunStatus::Faulted { cause, .. } => assert_eq!(cause, trap::DIV_ZERO),
         other => panic!("expected fault, got {other:?}"),
@@ -198,8 +190,7 @@ fn unhandled_div_zero_faults_the_process() {
 fn trap_handler_receives_cause_and_resumes() {
     // Install a handler that sets s0 = 99 and resumes after the faulting
     // instruction; then divide by zero and exit with s0.
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, handler
@@ -214,16 +205,14 @@ fn trap_handler_receives_cause_and_resumes() {
     handler:
         li s0, 99
         jr tr
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(99));
 }
 
 #[test]
 fn fork_returns_zero_in_child_and_pid_in_parent() {
     // Parent waits for child; child exits 5; parent exits child_status + 1.
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li sv, 8             # fork
@@ -239,8 +228,7 @@ fn fork_returns_zero_in_child_and_pid_in_parent() {
         li a0, 5
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(6));
 }
 
@@ -248,8 +236,7 @@ fn fork_returns_zero_in_child_and_pid_in_parent() {
 fn pipe_carries_bytes_between_processes() {
     // Parent forks; child writes a byte into the pipe and exits; parent
     // reads it (blocking until available) and exits with it.
-    let (status, machine) = run(
-        r#"
+    let (status, machine) = run(r#"
         .data
     fds: .space 16
     buf: .space 8
@@ -289,17 +276,20 @@ fn pipe_carries_bytes_between_processes() {
         sys
         .data
     marker: .byte 0x5A
-        "#,
+        "#);
+    assert_eq!(
+        status,
+        RunStatus::Exited(0x5A),
+        "stdout: {:?}",
+        machine.stdout()
     );
-    assert_eq!(status, RunStatus::Exited(0x5A), "stdout: {:?}", machine.stdout());
 }
 
 #[test]
 fn threads_share_memory_and_join_returns_value() {
     // Spawn a thread that increments a shared cell by 3 and returns 11;
     // main joins, then exits with cell + join value.
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .data
     cell: .quad 4
         .text
@@ -325,8 +315,7 @@ fn threads_share_memory_and_join_returns_value() {
         sd [t0], t1
         li a0, 11
         ret                  # returns to THREAD_EXIT stub
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(18));
 }
 
@@ -374,8 +363,7 @@ fn infinite_loop_hits_step_budget() {
 
 #[test]
 fn read_from_never_filled_pipe_deadlocks() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .data
     fds: .space 16
     buf: .space 8
@@ -394,15 +382,13 @@ fn read_from_never_filled_pipe_deadlocks() {
         li a0, 0
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Deadlock);
 }
 
 #[test]
 fn read_from_closed_pipe_returns_eof() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .data
     fds: .space 16
     buf: .space 8
@@ -424,8 +410,7 @@ fn read_from_closed_pipe_returns_eof() {
         sys
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(0));
 }
 
@@ -466,14 +451,12 @@ fn trace_records_syscall_effects() {
 
 #[test]
 fn halt_stops_with_a0_as_exit_code() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 3
         halt
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(3));
 }
 
@@ -541,8 +524,7 @@ fn lseek_repositions_reads() {
 
 #[test]
 fn unknown_syscall_returns_minus_one() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li sv, 9999
@@ -550,15 +532,13 @@ fn unknown_syscall_returns_minus_one() {
         addi a0, a0, 2   # -1 + 2 = 1
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(1));
 }
 
 #[test]
 fn getpid_and_getuid_return_fixed_values() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li sv, 7         # getpid -> 1 (root)
@@ -569,8 +549,7 @@ fn getpid_and_getuid_return_fixed_values() {
         add a0, a0, s0
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(1001));
 }
 
@@ -648,8 +627,7 @@ fn closed_fd_is_reusable_and_stale_handle_fails() {
 
 #[test]
 fn open_with_bad_flags_fails() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .data
     p: .asciz "x"
         .text
@@ -662,8 +640,7 @@ fn open_with_bad_flags_fails() {
         addi a0, a0, 2
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(1));
 }
 
@@ -735,8 +712,7 @@ fn unlink_removes_files() {
 
 #[test]
 fn waitpid_for_unrelated_pid_fails() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 999
@@ -745,15 +721,13 @@ fn waitpid_for_unrelated_pid_fails() {
         addi a0, a0, 2
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(1));
 }
 
 #[test]
 fn thread_join_of_unknown_tid_fails() {
-    let (status, _) = run(
-        r#"
+    let (status, _) = run(r#"
         .global _start
     _start:
         li a0, 777
@@ -762,8 +736,7 @@ fn thread_join_of_unknown_tid_fails() {
         addi a0, a0, 2
         li sv, 0
         sys
-        "#,
-    );
+        "#);
     assert_eq!(status, RunStatus::Exited(1));
 }
 

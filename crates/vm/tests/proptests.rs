@@ -1,7 +1,7 @@
 //! Property tests for the VM: memory invariants and CPU/encoder agreement.
 
-use bomblab_vm::{Memory, Regs};
 use bomblab_isa::{Insn, Opcode, Reg};
+use bomblab_vm::{Memory, Regs};
 use proptest::prelude::*;
 
 proptest! {

@@ -78,7 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match solver.check(&sym.flip_query(i)) {
             SolveOutcome::Unsat => {
                 opaque += 1;
-                println!("  branch at {pc:#x}: OPAQUE (flip unsatisfiable) -> guarded code is dead");
+                println!(
+                    "  branch at {pc:#x}: OPAQUE (flip unsatisfiable) -> guarded code is dead"
+                );
             }
             SolveOutcome::Sat(_) => {
                 genuine += 1;

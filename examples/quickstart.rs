@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys
     "#;
     let image = link_program(source)?;
-    println!("assembled + linked: {} loadable bytes", image.loadable_size());
+    println!(
+        "assembled + linked: {} loadable bytes",
+        image.loadable_size()
+    );
 
     // 2. Run it concretely with a wrong guess.
     let mut machine = Machine::load(&image, None, MachineConfig::with_arg("42"))?;

@@ -69,8 +69,8 @@ pub use bomblab_vm as vm;
 /// The most common imports for working with the engine.
 pub mod prelude {
     pub use bomblab_concolic::{
-        run_study, Attempt, Engine, GroundTruth, Outcome, StudyCase, Subject, ToolProfile,
-        WorldInput,
+        run_study, run_study_jobs, Attempt, Engine, GroundTruth, Outcome, StudyCase, Subject,
+        ToolProfile, WorldInput,
     };
     pub use bomblab_rt::{link_program, link_program_dynamic};
     pub use bomblab_vm::{Machine, MachineConfig, RunStatus};

@@ -8,10 +8,10 @@
 //! bomblab solve <file.s|file.bvm> [seed] concolically search for BOOM
 //! bomblab constraints <file> [arg]      dump path conditions as SMT-LIB
 //! bomblab bombs                         list the dataset
-//! bomblab study [prefix]                run the Table-II study
+//! bomblab study [prefix] [--jobs N]     run the Table-II study
 //! ```
 
-use bomblab::concolic::{run_study, Engine, GroundTruth, Subject, ToolProfile, WorldInput};
+use bomblab::concolic::{run_study_jobs, Engine, GroundTruth, Subject, ToolProfile, WorldInput};
 use bomblab::isa::image::Image;
 use bomblab::rt::link_program;
 use bomblab::vm::{Machine, MachineConfig};
@@ -108,7 +108,10 @@ fn cmd_trace(args: &[String]) -> CmdResult {
     let mut machine = machine_for(args, true)?;
     let result = machine.run();
     for step in machine.trace().iter() {
-        println!("[{}:{}] {:#010x}  {}", step.pid, step.tid, step.pc, step.insn);
+        println!(
+            "[{}:{}] {:#010x}  {}",
+            step.pid, step.tid, step.pc, step.insn
+        );
     }
     eprintln!("[{} after {} steps]", result.status, result.steps);
     Ok(ExitCode::SUCCESS)
@@ -124,8 +127,7 @@ fn cmd_solve(args: &[String]) -> CmdResult {
         lib: None,
         seed: WorldInput::with_arg(seed.into_bytes()),
     };
-    let attempt =
-        Engine::new(ToolProfile::omniscient()).explore(&subject, &GroundTruth::default());
+    let attempt = Engine::new(ToolProfile::omniscient()).explore(&subject, &GroundTruth::default());
     println!(
         "outcome: {} ({} rounds, {} queries)",
         attempt.outcome, attempt.evidence.rounds, attempt.evidence.queries
@@ -193,7 +195,19 @@ fn cmd_bombs() -> CmdResult {
 }
 
 fn cmd_study(args: &[String]) -> CmdResult {
-    let prefix = args.first().cloned().unwrap_or_default();
+    let mut prefix = String::new();
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let n = it.next().ok_or("study: --jobs needs a number")?;
+            jobs = n.parse().map_err(|_| format!("study: bad --jobs {n:?}"))?;
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            jobs = n.parse().map_err(|_| format!("study: bad --jobs {n:?}"))?;
+        } else {
+            prefix = arg.clone();
+        }
+    }
     let cases: Vec<_> = bomblab::bombs::all_cases()
         .into_iter()
         .filter(|c| c.subject.name.starts_with(&prefix))
@@ -201,7 +215,7 @@ fn cmd_study(args: &[String]) -> CmdResult {
     if cases.is_empty() {
         return Err(format!("no bombs match prefix {prefix:?}").into());
     }
-    let report = run_study(&cases, &ToolProfile::paper_lineup());
+    let report = run_study_jobs(&cases, &ToolProfile::paper_lineup(), jobs);
     println!("{}", report.to_markdown());
     Ok(ExitCode::SUCCESS)
 }

@@ -77,7 +77,9 @@ fn omniscient_engine_solves_the_exception_bomb() {
     let input = attempt.solved_input.unwrap();
     let text = String::from_utf8_lossy(&input.argv1);
     assert!(
-        text.trim_end_matches('\0').trim_start_matches('0').starts_with("77")
+        text.trim_end_matches('\0')
+            .trim_start_matches('0')
+            .starts_with("77")
             || text.contains("77"),
         "trap requires atoi(argv[1]) == 77, got {text:?}"
     );
@@ -97,7 +99,11 @@ fn crypto_bombs_defeat_even_the_omniscient_engine() {
     };
     let attempt = Engine::new(profile).explore(&case.subject, &ground);
     assert_ne!(attempt.outcome, Outcome::Solved);
-    assert_eq!(attempt.outcome, Outcome::Abnormal, "budget exhaustion is the honest outcome");
+    assert_eq!(
+        attempt.outcome,
+        Outcome::Abnormal,
+        "budget exhaustion is the honest outcome"
+    );
 }
 
 #[test]
@@ -105,7 +111,11 @@ fn bap_profile_follows_the_trap_edge() {
     let case = dataset::covert_exception();
     let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
     let attempt = Engine::new(ToolProfile::bap()).explore(&case.subject, &ground);
-    assert_eq!(attempt.outcome, Outcome::Solved, "paper row 8: BAP succeeds");
+    assert_eq!(
+        attempt.outcome,
+        Outcome::Solved,
+        "paper row 8: BAP succeeds"
+    );
 }
 
 #[test]

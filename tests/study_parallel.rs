@@ -1,0 +1,73 @@
+//! Parallel study runner: scheduling must never change the science.
+//!
+//! The report produced by `run_study_jobs` has to be byte-for-byte
+//! identical for every worker count, and the solver's cross-round query
+//! cache has to actually fire on multi-round explorations.
+
+use bomblab::bombs::dataset;
+use bomblab::concolic::ground_truth;
+use bomblab::prelude::*;
+
+/// A representative slice: multi-round bombs (`parallel_thread`,
+/// `jump_direct`), single-round failures, and a solved case.
+fn slice() -> Vec<StudyCase> {
+    vec![
+        dataset::decl_time(),
+        dataset::covert_stack(),
+        dataset::array_l1(),
+        dataset::ctx_syscallnum(),
+        dataset::jump_direct(),
+        dataset::parallel_thread(),
+    ]
+}
+
+#[test]
+fn parallel_report_matches_sequential_byte_for_byte() {
+    let profiles = ToolProfile::paper_lineup();
+    let sequential = run_study_jobs(&slice(), &profiles, 1).to_markdown();
+    for jobs in [2, 4, 7] {
+        let parallel = run_study_jobs(&slice(), &profiles, jobs).to_markdown();
+        assert_eq!(
+            sequential, parallel,
+            "report changed under --jobs {jobs}: scheduling leaked into results"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_pool_handles_fewer_items_than_workers() {
+    let cases = vec![dataset::covert_stack()];
+    let profiles = ToolProfile::paper_lineup();
+    let sequential = run_study_jobs(&cases, &profiles, 1).to_markdown();
+    let parallel = run_study_jobs(&cases, &profiles, 32).to_markdown();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn multi_round_bombs_hit_the_query_cache() {
+    // covert_syscall under Angr explores ~24 rounds whose path prefixes
+    // overlap heavily: the persistent solver must reuse blasted CNF and
+    // answer repeat queries from its cache instead of re-solving.
+    let case = dataset::covert_syscall();
+    let ground = ground_truth(&case.subject, &case.trigger);
+    let attempt = Engine::new(ToolProfile::angr()).explore(&case.subject, &ground);
+    let ev = &attempt.evidence;
+    assert!(
+        ev.rounds > 1,
+        "expected a multi-round exploration, got {}",
+        ev.rounds
+    );
+    assert!(
+        ev.cache_hits > 0,
+        "cross-round query cache never hit: {ev:#?}"
+    );
+    assert!(
+        ev.roots_reused > 0,
+        "incremental blasting session never reused a constraint: {ev:#?}"
+    );
+    assert_eq!(
+        ev.cache_hits,
+        ev.cache_exact_hits + ev.cache_model_hits + ev.cache_unsat_hits,
+        "hit breakdown must sum to the total"
+    );
+}

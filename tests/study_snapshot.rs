@@ -8,26 +8,55 @@ use bomblab::prelude::*;
 fn representative_rows_match_the_paper() {
     // Fast rows covering each challenge category and all outcome kinds.
     let cases = vec![
-        dataset::decl_time(),      // [Es0, Es0, Es0, Es0]
-        dataset::covert_stack(),   // [Es1, OK, OK, OK]
-        dataset::covert_file(),    // paper [Es2, Es2, E, Es2]; ours Es2 x4
-        dataset::array_l1(),       // [Es3, Es3, OK, OK]
-        dataset::array_l2(),       // [Es3, Es3, Es3, Es3]
-        dataset::ctx_filename(),   // [Es2, Es3, Es2, Es2]
-        dataset::jump_direct(),    // [Es3, Es3, Es2, Es2]
-        dataset::jump_table(),     // [Es3, Es3, Es3, Es3]
+        dataset::decl_time(),    // [Es0, Es0, Es0, Es0]
+        dataset::covert_stack(), // [Es1, OK, OK, OK]
+        dataset::covert_file(),  // paper [Es2, Es2, E, Es2]; ours Es2 x4
+        dataset::array_l1(),     // [Es3, Es3, OK, OK]
+        dataset::array_l2(),     // [Es3, Es3, Es3, Es3]
+        dataset::ctx_filename(), // [Es2, Es3, Es2, Es2]
+        dataset::jump_direct(),  // [Es3, Es3, Es2, Es2]
+        dataset::jump_table(),   // [Es3, Es3, Es3, Es3]
     ];
     let report = run_study(&cases, &ToolProfile::paper_lineup());
 
     let expect: &[(&str, [Outcome; 4])] = &[
-        ("decl_time", [Outcome::Es0, Outcome::Es0, Outcome::Es0, Outcome::Es0]),
-        ("covert_stack", [Outcome::Es1, Outcome::Solved, Outcome::Solved, Outcome::Solved]),
-        ("covert_file", [Outcome::Es2, Outcome::Es2, Outcome::Es2, Outcome::Es2]),
-        ("array_l1", [Outcome::Es3, Outcome::Es3, Outcome::Solved, Outcome::Solved]),
-        ("array_l2", [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3]),
-        ("ctx_filename", [Outcome::Es2, Outcome::Es3, Outcome::Es2, Outcome::Es2]),
-        ("jump_direct", [Outcome::Es3, Outcome::Es3, Outcome::Es2, Outcome::Es2]),
-        ("jump_table", [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3]),
+        (
+            "decl_time",
+            [Outcome::Es0, Outcome::Es0, Outcome::Es0, Outcome::Es0],
+        ),
+        (
+            "covert_stack",
+            [
+                Outcome::Es1,
+                Outcome::Solved,
+                Outcome::Solved,
+                Outcome::Solved,
+            ],
+        ),
+        (
+            "covert_file",
+            [Outcome::Es2, Outcome::Es2, Outcome::Es2, Outcome::Es2],
+        ),
+        (
+            "array_l1",
+            [Outcome::Es3, Outcome::Es3, Outcome::Solved, Outcome::Solved],
+        ),
+        (
+            "array_l2",
+            [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3],
+        ),
+        (
+            "ctx_filename",
+            [Outcome::Es2, Outcome::Es3, Outcome::Es2, Outcome::Es2],
+        ),
+        (
+            "jump_direct",
+            [Outcome::Es3, Outcome::Es3, Outcome::Es2, Outcome::Es2],
+        ),
+        (
+            "jump_table",
+            [Outcome::Es3, Outcome::Es3, Outcome::Es3, Outcome::Es3],
+        ),
     ];
     for (row, (name, labels)) in report.rows.iter().zip(expect) {
         assert_eq!(&row.name, name);
