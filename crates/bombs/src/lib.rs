@@ -45,7 +45,10 @@ pub fn dataset_stats() -> DatasetStats {
         .iter()
         .map(|c| {
             c.subject.image.loadable_size()
-                + c.subject.lib.as_ref().map_or(0, |l| l.loadable_size())
+                + c.subject
+                    .lib
+                    .as_ref()
+                    .map_or(0, bomblab_isa::image::Image::loadable_size)
         })
         .collect();
     sizes.sort_unstable();

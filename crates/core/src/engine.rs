@@ -12,7 +12,7 @@ use bomblab_solver::{SolveOutcome, Solver, UnknownReason};
 use bomblab_symex::{SymExec, SymbolizeEnv};
 use bomblab_taint::{TaintEngine, TaintPolicy};
 use bomblab_vm::{Machine, RunStatus, Trace, BOOM_EXIT_CODE, ROOT_PID};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 /// A program under test.
 #[derive(Debug, Clone)]
@@ -41,6 +41,34 @@ impl Subject {
             return false;
         };
         machine.run().status.exit_code() == Some(BOOM_EXIT_CODE)
+    }
+}
+
+/// Statically proven facts the engine may use to prune symbolic work,
+/// computed ahead of execution by the `bomblab-sa` analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct StaticHints {
+    /// Branch edges `(pc, direction)` proved infeasible in every analyzed
+    /// context: flipping onto one can never yield a satisfiable query, so
+    /// the solver call is skipped outright.
+    pub infeasible_edges: BTreeSet<(u64, bool)>,
+    /// Fully resolved indirect-jump target sets, keyed by `jr` site pc.
+    /// A pinned jump whose static target set is a singleton loses no
+    /// paths, so it is not evidence of a symbolic-jump modeling gap.
+    pub jr_targets: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl StaticHints {
+    /// Extracts the prunable facts from a static analysis, keeping only
+    /// results the analyzer itself vouches for (`resolve_sound`).
+    pub fn from_analysis(analysis: &bomblab_sa::Analysis) -> StaticHints {
+        if !analysis.resolve_sound {
+            return StaticHints::default();
+        }
+        StaticHints {
+            infeasible_edges: analysis.infeasible_edges(),
+            jr_targets: analysis.jr_targets(),
+        }
     }
 }
 
@@ -74,6 +102,12 @@ pub struct Evidence {
     pub sim_query_sysret: bool,
     /// A satisfiable flip depended on unconstrained library summaries.
     pub sim_query_libret: bool,
+    /// Flip queries skipped because static analysis proved the edge
+    /// infeasible (no solver call issued).
+    pub pruned_flips: u32,
+    /// Pinned jumps proven exact by static `jr` resolution (singleton
+    /// target set — pinning lost no paths).
+    pub exact_pins: u32,
     /// Total solver queries issued.
     pub queries: u32,
     /// Satisfiable queries.
@@ -255,12 +289,23 @@ pub fn ground_truth(subject: &Subject, trigger: &WorldInput) -> GroundTruth {
 #[derive(Debug, Clone)]
 pub struct Engine {
     profile: ToolProfile,
+    hints: StaticHints,
 }
 
 impl Engine {
     /// Creates an engine with the given tool profile.
     pub fn new(profile: ToolProfile) -> Engine {
-        Engine { profile }
+        Engine {
+            profile,
+            hints: StaticHints::default(),
+        }
+    }
+
+    /// Installs statically proven facts used to prune symbolic work.
+    #[must_use]
+    pub fn with_static_hints(mut self, hints: StaticHints) -> Engine {
+        self.hints = hints;
+        self
     }
 
     /// The profile.
@@ -439,9 +484,19 @@ impl Engine {
             evidence.symex_ns += symex_start.elapsed().as_nanos() as u64;
             evidence.concretization |=
                 !sym.events.concretized_loads.is_empty() || !sym.events.over_indirection.is_empty();
-            if let Some(&(_, lvl)) = sym.events.pinned_jumps.iter().max_by_key(|&&(_, l)| l) {
-                evidence.pinned_jump_lvl =
-                    Some(evidence.pinned_jump_lvl.map_or(lvl, |old| old.max(lvl)));
+            for &(idx, lvl) in &sym.events.pinned_jumps {
+                let site_pc = visible.steps[idx].pc;
+                let exact = self
+                    .hints
+                    .jr_targets
+                    .get(&site_pc)
+                    .is_some_and(|targets| targets.len() == 1);
+                if exact {
+                    evidence.exact_pins += 1;
+                } else {
+                    evidence.pinned_jump_lvl =
+                        Some(evidence.pinned_jump_lvl.map_or(lvl, |old| old.max(lvl)));
+                }
             }
             evidence.dropped_sym_flows |= !sym.events.dropped_file_flows.is_empty()
                 || !sym.events.dropped_pipe_flows.is_empty()
@@ -460,6 +515,10 @@ impl Engine {
                 if !visited_flips.insert(key) {
                     continue;
                 }
+                if self.hints.infeasible_edges.contains(&(pc.pc, !pc.taken)) {
+                    evidence.pruned_flips += 1;
+                    continue;
+                }
                 let mut query = sym.flip_query(i);
                 if self.profile.argv_model == ArgvModel::FixedNonZero {
                     for b in 0..input.argv1.len() {
@@ -469,7 +528,18 @@ impl Engine {
                 }
                 evidence.queries += 1;
                 let solve_start = std::time::Instant::now();
-                let outcome = solver.check(&query);
+                // Stateless profiles get a throwaway solver per query:
+                // no learnt clauses, no cached models, no incremental
+                // blasting — each query pays its full cost against the
+                // budget, the way the 2017-era tools did.
+                let outcome = if self.profile.incremental_solver {
+                    solver.check(&query)
+                } else {
+                    Solver::new()
+                        .with_budget(self.profile.solver_budget)
+                        .with_float_mode(self.profile.float_mode)
+                        .check(&query)
+                };
                 evidence.solver_ns += solve_start.elapsed().as_nanos() as u64;
                 match outcome {
                     SolveOutcome::Sat(model) => {

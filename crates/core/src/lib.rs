@@ -60,7 +60,7 @@ pub mod profile;
 pub mod study;
 pub mod world;
 
-pub use engine::{ground_truth, Attempt, Engine, Evidence, GroundTruth, Subject};
+pub use engine::{ground_truth, Attempt, Engine, Evidence, GroundTruth, StaticHints, Subject};
 pub use outcome::Outcome;
 pub use profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
 pub use study::{run_study, run_study_jobs, StudyCase, StudyReport};

@@ -44,6 +44,22 @@ impl fmt::Display for Outcome {
     }
 }
 
+/// The static analyzer's predicted stage uses the same vocabulary; this
+/// conversion lets the study compare predictions with observed outcomes.
+impl From<bomblab_sa::Stage> for Outcome {
+    fn from(stage: bomblab_sa::Stage) -> Outcome {
+        match stage {
+            bomblab_sa::Stage::Solved => Outcome::Solved,
+            bomblab_sa::Stage::Es0 => Outcome::Es0,
+            bomblab_sa::Stage::Es1 => Outcome::Es1,
+            bomblab_sa::Stage::Es2 => Outcome::Es2,
+            bomblab_sa::Stage::Es3 => Outcome::Es3,
+            bomblab_sa::Stage::Abnormal => Outcome::Abnormal,
+            bomblab_sa::Stage::Partial => Outcome::Partial,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,6 +98,12 @@ pub struct ToolProfile {
     pub models_env_as_constraints: bool,
     /// Solver budget.
     pub solver_budget: SolverBudget,
+    /// Whether the tool's solver keeps state (learnt clauses, cached
+    /// queries, incremental blasting) across queries. The 2017-era tools
+    /// invoked their solver afresh per query, so the paper presets run
+    /// stateless — otherwise the framework's own caching would quietly
+    /// make the emulated tools stronger than the budget calibration.
+    pub incremental_solver: bool,
     /// VM step budget per concrete run.
     pub step_budget: u64,
     /// Maximum concrete rounds (test cases executed).
@@ -143,6 +149,7 @@ impl ToolProfile {
             unsupported_syscalls: Vec::new(),
             models_env_as_constraints: false,
             solver_budget: PAPER_TOOL_BUDGET,
+            incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
         }
@@ -179,6 +186,7 @@ impl ToolProfile {
             unsupported_syscalls: Vec::new(),
             models_env_as_constraints: true,
             solver_budget: PAPER_TOOL_BUDGET,
+            incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
         }
@@ -215,6 +223,7 @@ impl ToolProfile {
             unsupported_syscalls: vec![bomblab_isa::sys::NET_GET],
             models_env_as_constraints: false,
             solver_budget: PAPER_TOOL_BUDGET,
+            incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
         }
@@ -271,8 +280,59 @@ impl ToolProfile {
             unsupported_syscalls: Vec::new(),
             models_env_as_constraints: false,
             solver_budget: SolverBudget::default(),
+            incremental_solver: true,
             step_budget: 4_000_000,
             max_rounds: 48,
+        }
+    }
+
+    /// Projects this profile onto the static analyzer's capability model,
+    /// so [`bomblab_sa`] can predict the tool's failure stage per bomb
+    /// without executing it.
+    pub fn static_capabilities(&self) -> bomblab_sa::Capabilities {
+        let max_indirection = match self.memory_model {
+            MemoryModel::Concretize => 0,
+            MemoryModel::SymbolicMap {
+                max_indirection, ..
+            } => u8::try_from(max_indirection).unwrap_or(u8::MAX),
+        };
+        bomblab_sa::Capabilities {
+            name: self.name.clone(),
+            lifts_stack: self.support.supports(InsnClass::Stack),
+            lifts_fp_arith: self.support.supports(InsnClass::FpArith),
+            lifts_fp_convert: self.support.supports(InsnClass::FpConvert),
+            lifts_fp_branch: self.support.supports(InsnClass::FpBranch),
+            float_solver: self.float_mode == FloatMode::LocalSearch,
+            trap_model: match self.trap_support {
+                TrapSupport::Follow => bomblab_sa::TrapModel::Follow,
+                TrapSupport::MissingLift => bomblab_sa::TrapModel::MissingLift,
+                TrapSupport::Crash => bomblab_sa::TrapModel::Crash,
+                TrapSupport::Skip => bomblab_sa::TrapModel::Skip,
+            },
+            max_indirection,
+            argv_variable: self.argv_model == ArgvModel::Variable,
+            models_env_as_constraints: self.models_env_as_constraints,
+            loads_dyn_libs: self.loads_dyn_libs,
+            sim_sys_returns: self.unconstrained_sys_returns,
+            opaque_lib_returns: self.opaque_fresh_returns,
+            follows_threads: self.follows_threads,
+            sym_across_threads: self.taint_policy.across_threads,
+            follows_forks: self.follows_forks,
+            tracks_files: self.taint_policy.through_files,
+            tracks_pipes: self.taint_policy.through_pipes,
+            unsupported_syscalls: self.unsupported_syscalls.clone(),
+            style: match self.style {
+                EngineStyle::Trace => bomblab_sa::Style::Trace,
+                EngineStyle::Emulation => bomblab_sa::Style::Emulation,
+            },
+            small_solver_budget: self.solver_budget.max_formula_nodes
+                <= PAPER_TOOL_BUDGET.max_formula_nodes,
+            // The claripy-style float abort and the simulated filesystem
+            // both ship with the full-library emulation environment.
+            float_crash: self.style == EngineStyle::Emulation
+                && self.float_mode == FloatMode::Reject
+                && self.loads_dyn_libs,
+            sim_fs: self.unconstrained_sys_returns && self.loads_dyn_libs,
         }
     }
 
@@ -339,6 +399,25 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn static_capabilities_project_onto_the_analyzers_paper_profiles() {
+        // The static analyzer carries its own copy of the four paper
+        // profiles (used by its unit tests); the study derives
+        // capabilities from ToolProfile instead. Both must agree field
+        // for field, or the static/dynamic comparison is meaningless.
+        let sa_profiles = bomblab_sa::Capabilities::paper_profiles();
+        for (profile, want) in ToolProfile::paper_lineup().iter().zip(&sa_profiles) {
+            let mut got = profile.static_capabilities();
+            got.name.clone_from(&want.name); // display names differ in case
+            assert_eq!(&got, want, "{} capability projection drifted", profile.name);
+        }
+        // The omniscient profile must not inherit any paper handicap.
+        let omni = ToolProfile::omniscient().static_capabilities();
+        assert!(omni.float_solver);
+        assert!(!omni.small_solver_budget);
+        assert!(!omni.float_crash && !omni.sim_fs);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The study runner: bombs × profiles → the paper's Table II.
 
-use crate::engine::{ground_truth, Attempt, Engine, GroundTruth, Subject};
+use crate::engine::{ground_truth, Attempt, Engine, GroundTruth, StaticHints, Subject};
 use crate::outcome::Outcome;
 use crate::profile::ToolProfile;
 use crate::world::WorldInput;
@@ -50,6 +50,9 @@ pub struct RowResult {
     pub cells: Vec<CellResult>,
     /// Ground truth derived from the trigger.
     pub ground: GroundTruth,
+    /// Per-profile outcome predicted by static analysis alone (no
+    /// execution), in profile order.
+    pub static_predictions: Vec<Outcome>,
 }
 
 /// The full study outcome.
@@ -85,6 +88,22 @@ impl StudyReport {
                     if expected == cell.outcome {
                         hit += 1;
                     }
+                }
+            }
+        }
+        (hit, total)
+    }
+
+    /// (matching cells, total cells) of static predictions against the
+    /// dynamically observed outcomes.
+    pub fn static_agreement(&self) -> (usize, usize) {
+        let mut hit = 0;
+        let mut total = 0;
+        for row in &self.rows {
+            for (cell, predicted) in row.cells.iter().zip(&row.static_predictions) {
+                total += 1;
+                if *predicted == cell.outcome {
+                    hit += 1;
                 }
             }
         }
@@ -128,6 +147,36 @@ impl StudyReport {
             let _ = writeln!(
                 out,
                 "\nAgreement with the paper's Table II: {hit}/{total} cells."
+            );
+        }
+        let (shit, stotal) = self.static_agreement();
+        if stotal > 0 {
+            let _ = writeln!(out, "\n## Static prediction vs dynamic outcome\n");
+            let _ = write!(out, "| Case |");
+            for p in &self.profiles {
+                let _ = write!(out, " {p} |");
+            }
+            let _ = writeln!(out);
+            let _ = write!(out, "|---|");
+            for _ in &self.profiles {
+                let _ = write!(out, "---|");
+            }
+            let _ = writeln!(out);
+            for row in &self.rows {
+                let _ = write!(out, "| {} |", row.name);
+                for (cell, predicted) in row.cells.iter().zip(&row.static_predictions) {
+                    if *predicted == cell.outcome {
+                        let _ = write!(out, " {predicted} |");
+                    } else {
+                        let _ = write!(out, " **{predicted}** (ran: {}) |", cell.outcome);
+                    }
+                }
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(
+                out,
+                "\nStatic/dynamic agreement: {shit}/{stotal} cells \
+                 (predictions made without executing the bombs)."
             );
         }
         out
@@ -184,23 +233,34 @@ pub fn run_study(cases: &[StudyCase], profiles: &[ToolProfile]) -> StudyReport {
 /// matrix (one unit per cell). Rows and cells land in dataset order, so
 /// the report is byte-for-byte identical for every `jobs` value.
 pub fn run_study_jobs(cases: &[StudyCase], profiles: &[ToolProfile], jobs: usize) -> StudyReport {
+    let capabilities: Vec<bomblab_sa::Capabilities> = profiles
+        .iter()
+        .map(ToolProfile::static_capabilities)
+        .collect();
+
+    // Phase 1: per-case ground truth plus the execution-free static
+    // analysis (CFG + VSA + lints) that feeds pruning hints and the
+    // prediction column.
     let grounds = parallel_map(jobs, cases.len(), |i| {
         let case = &cases[i];
         let t0 = std::time::Instant::now();
         let ground = ground_truth(&case.subject, &case.trigger);
+        let analysis = bomblab_sa::analyze(&case.subject.image, case.subject.lib.as_ref());
         eprintln!(
-            "[study] {}: ground truth in {:.1?}",
+            "[study] {}: ground truth + static analysis in {:.1?} ({})",
             case.subject.name,
-            t0.elapsed()
+            t0.elapsed(),
+            analysis.summary()
         );
-        ground
+        (ground, analysis)
     });
 
     let cells = parallel_map(jobs, cases.len() * profiles.len(), |k| {
-        let (case, ground) = (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
+        let (case, (ground, analysis)) = (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
         let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
         let t1 = std::time::Instant::now();
-        let engine = Engine::new(profile.clone());
+        let engine =
+            Engine::new(profile.clone()).with_static_hints(StaticHints::from_analysis(analysis));
         let attempt = engine.explore(&case.subject, ground);
         eprintln!(
             "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries)",
@@ -224,11 +284,15 @@ pub fn run_study_jobs(cases: &[StudyCase], profiles: &[ToolProfile], jobs: usize
     let rows = cases
         .iter()
         .zip(grounds)
-        .map(|(case, ground)| RowResult {
+        .map(|(case, (ground, analysis))| RowResult {
             name: case.subject.name.clone(),
             category: case.category.clone(),
             cells: cells.by_ref().take(profiles.len()).collect(),
             ground,
+            static_predictions: capabilities
+                .iter()
+                .map(|caps| bomblab_sa::predict(&analysis.facts, caps).into())
+                .collect(),
         })
         .collect();
     StudyReport {

@@ -1,0 +1,443 @@
+//! Shared interval domains.
+//!
+//! Two abstract domains live here so the solver and the static analyzer
+//! agree on arithmetic:
+//!
+//! * [`Range`] — plain inclusive unsigned intervals `[lo, hi]`, used by the
+//!   solver as a cheap pre-check that can discharge queries without
+//!   bit-blasting.
+//! * [`StridedInterval`] — RIC-style strided intervals `{lo + k·stride} ∩
+//!   [lo, hi]`, used by value-set analysis to resolve jump-table targets
+//!   (where plain intervals would over-approximate an 8-byte-strided table
+//!   walk into every intermediate byte).
+//!
+//! Every operation is *sound*: the result set is a superset of the exact
+//! result set. Operations that could wrap silently widen to the full range
+//! instead.
+
+#![warn(missing_docs)]
+
+/// An inclusive unsigned range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Range {
+    /// The full range of a `width`-bit value.
+    #[must_use]
+    pub fn full(width: u8) -> Range {
+        Range {
+            lo: 0,
+            hi: if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            },
+        }
+    }
+
+    /// A single value.
+    #[must_use]
+    pub fn point(v: u64) -> Range {
+        Range { lo: v, hi: v }
+    }
+
+    /// Whether the ranges share no value.
+    #[must_use]
+    pub fn disjoint(&self, other: &Range) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+}
+
+/// Greatest common divisor; `gcd(0, x) == x` so point strides combine
+/// naturally.
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A strided interval: the set `{ lo, lo + stride, …, hi }`.
+///
+/// Invariants (maintained by [`StridedInterval::new`]):
+/// * `lo <= hi`,
+/// * `stride == 0` iff `lo == hi` (a point),
+/// * otherwise `(hi - lo) % stride == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedInterval {
+    /// Smallest element.
+    pub lo: u64,
+    /// Largest element.
+    pub hi: u64,
+    /// Distance between consecutive elements (0 for a point).
+    pub stride: u64,
+}
+
+impl StridedInterval {
+    /// Builds a normalized strided interval. `hi` is clamped down to the
+    /// last element actually reachable from `lo` by `stride` steps.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64, stride: u64) -> StridedInterval {
+        if hi <= lo {
+            return StridedInterval {
+                lo,
+                hi: lo,
+                stride: 0,
+            };
+        }
+        if stride == 0 {
+            // A non-point set with no stride information degrades to dense.
+            return StridedInterval { lo, hi, stride: 1 };
+        }
+        let hi = lo + ((hi - lo) / stride) * stride;
+        if hi == lo {
+            StridedInterval { lo, hi, stride: 0 }
+        } else {
+            StridedInterval { lo, hi, stride }
+        }
+    }
+
+    /// A single value.
+    #[must_use]
+    pub fn point(v: u64) -> StridedInterval {
+        StridedInterval {
+            lo: v,
+            hi: v,
+            stride: 0,
+        }
+    }
+
+    /// The full 64-bit value set.
+    #[must_use]
+    pub fn top() -> StridedInterval {
+        StridedInterval {
+            lo: 0,
+            hi: u64::MAX,
+            stride: 1,
+        }
+    }
+
+    /// Whether this is the full value set.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.lo == 0 && self.hi == u64::MAX
+    }
+
+    /// Whether this is a single value.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The single value, if this is a point.
+    #[must_use]
+    pub fn as_point(&self) -> Option<u64> {
+        self.is_point().then_some(self.lo)
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        if self.is_point() {
+            1
+        } else {
+            // Saturating: a near-top set has "effectively infinite" count,
+            // and callers only compare counts against small budgets.
+            ((self.hi - self.lo) / self.stride.max(1)).saturating_add(1)
+        }
+    }
+
+    /// Whether `v` is in the set.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        if v < self.lo || v > self.hi {
+            return false;
+        }
+        self.stride == 0 || (v - self.lo).is_multiple_of(self.stride)
+    }
+
+    /// Whether the concretization of the two sets can share an element.
+    /// Conservative: uses bounds only, so aligned-but-interleaved sets
+    /// still count as overlapping.
+    #[must_use]
+    pub fn may_overlap(&self, other: &StridedInterval) -> bool {
+        !(self.hi < other.lo || other.hi < self.lo)
+    }
+
+    /// Enumerates the elements if there are at most `max` of them.
+    #[must_use]
+    pub fn enumerate(&self, max: u64) -> Option<Vec<u64>> {
+        if self.count() > max {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.count() as usize);
+        let mut v = self.lo;
+        loop {
+            out.push(v);
+            if v == self.hi {
+                break;
+            }
+            v += self.stride;
+        }
+        Some(out)
+    }
+
+    /// Least upper bound of the two sets.
+    #[must_use]
+    pub fn join(&self, other: &StridedInterval) -> StridedInterval {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        // Every element of either set is ≡ self.lo modulo this stride.
+        let stride = gcd(gcd(self.stride, other.stride), self.lo.abs_diff(other.lo));
+        StridedInterval::new(lo, hi, stride)
+    }
+
+    /// Widened least upper bound for fixpoint acceleration: any bound that
+    /// grew jumps straight to the extreme.
+    #[must_use]
+    pub fn widen(&self, next: &StridedInterval) -> StridedInterval {
+        let lo = if next.lo < self.lo { 0 } else { self.lo };
+        let hi = if next.hi > self.hi { u64::MAX } else { self.hi };
+        if lo == self.lo && hi == self.hi {
+            self.join(next)
+        } else {
+            StridedInterval::new(lo, hi, 1)
+        }
+    }
+
+    /// Abstract addition; widens to top on potential wraparound.
+    #[must_use]
+    pub fn add(&self, other: &StridedInterval) -> StridedInterval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => StridedInterval::new(lo, hi, gcd(self.stride, other.stride)),
+            _ => StridedInterval::top(),
+        }
+    }
+
+    /// Abstract subtraction; only precise when provably non-wrapping.
+    #[must_use]
+    pub fn sub(&self, other: &StridedInterval) -> StridedInterval {
+        if self.lo >= other.hi {
+            StridedInterval::new(
+                self.lo - other.hi,
+                self.hi - other.lo,
+                gcd(self.stride, other.stride),
+            )
+        } else {
+            StridedInterval::top()
+        }
+    }
+
+    /// Abstract multiplication; precise when one side is a point.
+    #[must_use]
+    pub fn mul(&self, other: &StridedInterval) -> StridedInterval {
+        let (si, k) = match (self.as_point(), other.as_point()) {
+            (Some(k), _) => (other, k),
+            (_, Some(k)) => (self, k),
+            _ => {
+                return match (self.hi.checked_mul(other.hi), self.lo.checked_mul(other.lo)) {
+                    (Some(hi), Some(lo)) => StridedInterval::new(lo, hi, 1),
+                    _ => StridedInterval::top(),
+                }
+            }
+        };
+        if k == 0 {
+            return StridedInterval::point(0);
+        }
+        match (
+            si.lo.checked_mul(k),
+            si.hi.checked_mul(k),
+            si.stride.checked_mul(k),
+        ) {
+            (Some(lo), Some(hi), Some(stride)) => StridedInterval::new(lo, hi, stride),
+            _ => StridedInterval::top(),
+        }
+    }
+
+    /// Abstract left shift by a constant.
+    #[must_use]
+    pub fn shl(&self, k: u64) -> StridedInterval {
+        if k >= 64 {
+            return StridedInterval::top();
+        }
+        self.mul(&StridedInterval::point(1u64 << k))
+    }
+
+    /// Abstract logical right shift by a constant. Keeps the stride when
+    /// shifting preserves alignment.
+    #[must_use]
+    pub fn shr(&self, k: u64) -> StridedInterval {
+        let k = k.min(63);
+        let stride = if self.stride > 0 && self.stride.is_multiple_of(1u64 << k) {
+            self.stride >> k
+        } else {
+            1
+        };
+        StridedInterval::new(self.lo >> k, self.hi >> k, stride)
+    }
+
+    /// Abstract bitwise AND. Precise for power-of-two masks that the set
+    /// already fits inside; otherwise bounds by the smaller maximum.
+    #[must_use]
+    pub fn and(&self, other: &StridedInterval) -> StridedInterval {
+        if let Some(m) = other.as_point() {
+            return self.and_mask(m);
+        }
+        if let Some(m) = self.as_point() {
+            return other.and_mask(m);
+        }
+        StridedInterval::new(0, self.hi.min(other.hi), 1)
+    }
+
+    fn and_mask(&self, m: u64) -> StridedInterval {
+        if m == u64::MAX {
+            return *self;
+        }
+        if (m.wrapping_add(1)) & m == 0 {
+            // Low-bit mask: identity if the set already fits below it.
+            if self.hi <= m {
+                return *self;
+            }
+            return StridedInterval::new(0, m, 1);
+        }
+        StridedInterval::new(0, m, 1)
+    }
+
+    /// Abstract bitwise OR: bounded below by the larger minimum.
+    #[must_use]
+    pub fn or(&self, other: &StridedInterval) -> StridedInterval {
+        if let (Some(a), Some(b)) = (self.as_point(), other.as_point()) {
+            return StridedInterval::point(a | b);
+        }
+        StridedInterval::new(self.lo.max(other.lo), u64::MAX, 1)
+    }
+
+    /// Abstract bitwise XOR: precise only for points.
+    #[must_use]
+    pub fn xor(&self, other: &StridedInterval) -> StridedInterval {
+        if let (Some(a), Some(b)) = (self.as_point(), other.as_point()) {
+            return StridedInterval::point(a ^ b);
+        }
+        StridedInterval::top()
+    }
+
+    /// Abstract unsigned division.
+    #[must_use]
+    pub fn udiv(&self, other: &StridedInterval) -> StridedInterval {
+        if other.lo == 0 {
+            // The BVM convention is x / 0 = trap; bounds stay loose.
+            return StridedInterval::new(0, self.hi, 1);
+        }
+        StridedInterval::new(self.lo / other.hi, self.hi / other.lo, 1)
+    }
+
+    /// Abstract unsigned remainder: `x % m < m` when `m` cannot be zero.
+    #[must_use]
+    pub fn urem(&self, other: &StridedInterval) -> StridedInterval {
+        let hi = if other.lo > 0 {
+            (other.hi - 1).min(self.hi)
+        } else {
+            self.hi
+        };
+        StridedInterval::new(0, hi, 1)
+    }
+}
+
+impl std::fmt::Display for StridedInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_top() {
+            write!(f, "⊤")
+        } else if self.is_point() {
+            write!(f, "{:#x}", self.lo)
+        } else {
+            write!(f, "{:#x}..={:#x}/{}", self.lo, self.hi, self.stride)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        assert_eq!(Range::full(8), Range { lo: 0, hi: 255 });
+        assert_eq!(Range::full(64).hi, u64::MAX);
+        assert!(Range::point(3).disjoint(&Range::point(4)));
+        assert!(!Range { lo: 0, hi: 5 }.disjoint(&Range { lo: 5, hi: 9 }));
+    }
+
+    #[test]
+    fn si_normalization() {
+        let si = StridedInterval::new(0x1000, 0x103d, 8);
+        assert_eq!(si.hi, 0x1038); // clamped to last reachable element
+        assert_eq!(si.count(), 8);
+        assert!(si.contains(0x1008));
+        assert!(!si.contains(0x1009));
+        assert_eq!(StridedInterval::new(5, 5, 8), StridedInterval::point(5));
+    }
+
+    #[test]
+    fn si_jump_table_shape() {
+        // andi a0, a0, 7 ; shli a0, a0, 3 ; add t0, base, a0 ; jr t0
+        let idx = StridedInterval::top().and(&StridedInterval::point(7));
+        assert_eq!(idx, StridedInterval::new(0, 7, 1));
+        let scaled = idx.shl(3);
+        assert_eq!(scaled, StridedInterval::new(0, 56, 8));
+        let addr = StridedInterval::point(0x1100).add(&scaled);
+        assert_eq!(addr, StridedInterval::new(0x1100, 0x1138, 8));
+        let targets = addr.enumerate(64).expect("small");
+        assert_eq!(targets.len(), 8);
+        assert_eq!(targets[1], 0x1108);
+    }
+
+    #[test]
+    fn si_join_and_widen() {
+        let a = StridedInterval::point(0x10);
+        let b = StridedInterval::point(0x30);
+        let j = a.join(&b);
+        assert_eq!(j, StridedInterval::new(0x10, 0x30, 0x20));
+        assert!(j.contains(0x10) && j.contains(0x30) && !j.contains(0x18));
+        let grown = StridedInterval::new(0x10, 0x40, 0x10);
+        let w = j.widen(&grown);
+        assert_eq!(w.hi, u64::MAX); // hi grew -> widened
+        assert_eq!(w.lo, 0x10); // lo stable -> kept
+    }
+
+    #[test]
+    fn si_soundness_on_overflow() {
+        let big = StridedInterval::new(u64::MAX - 4, u64::MAX, 1);
+        assert!(big.add(&StridedInterval::point(8)).is_top());
+        assert!(big.mul(&StridedInterval::point(3)).is_top());
+        assert!(StridedInterval::point(1)
+            .sub(&StridedInterval::point(2))
+            .is_top());
+    }
+
+    #[test]
+    fn si_masks_and_rem() {
+        let top = StridedInterval::top();
+        assert_eq!(top.and(&StridedInterval::point(0xFF)).hi, 0xFF);
+        assert_eq!(top.urem(&StridedInterval::point(10)).hi, 9);
+        // URem with a possibly-zero divisor keeps the dividend bound
+        // (matches the solver's URem(a, 0) = a convention).
+        let d = StridedInterval::new(0, 4, 1);
+        assert_eq!(StridedInterval::new(0, 100, 1).urem(&d).hi, 100);
+    }
+
+    #[test]
+    fn si_shr_keeps_alignment() {
+        let si = StridedInterval::new(0x100, 0x140, 0x10);
+        assert_eq!(si.shr(4), StridedInterval::new(0x10, 0x14, 1));
+        let aligned = StridedInterval::new(0, 64, 16);
+        assert_eq!(aligned.shr(2), StridedInterval::new(0, 16, 4));
+    }
+}

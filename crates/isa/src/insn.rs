@@ -872,7 +872,7 @@ impl fmt::Display for Insn {
             Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
             Not { rd, rs } => write!(f, "not {rd}, {rs}"),
             Neg { rd, rs } => write!(f, "neg {rd}, {rs}"),
-            Li { rd, imm } => write!(f, "li {rd}, {:#x}", imm),
+            Li { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
             Load { op, rd, base, off } => write!(f, "{} {rd}, [{base}{off:+}]", opname(op)),
             Store { op, src, base, off } => write!(f, "{} [{base}{off:+}], {src}", opname(op)),
             Push { rs } => write!(f, "push {rs}"),

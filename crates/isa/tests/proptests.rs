@@ -135,6 +135,21 @@ proptest! {
     }
 
     #[test]
+    fn reencoding_decoded_bytes_reproduces_the_prefix(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        // Decoding is a partial inverse of encoding: whenever arbitrary
+        // bytes decode, re-encoding the instruction must reproduce the
+        // exact consumed prefix (no don't-care bits, no aliased forms).
+        // The static analyzer's recursive-descent disassembly relies on
+        // this to rebuild byte-accurate listings.
+        if let Ok((insn, len)) = Insn::decode(&bytes) {
+            let mut buf = Vec::new();
+            insn.encode(&mut buf);
+            prop_assert_eq!(buf.len(), len);
+            prop_assert_eq!(&buf[..], &bytes[..len]);
+        }
+    }
+
+    #[test]
     fn instruction_streams_decode_in_sequence(insns in proptest::collection::vec(arb_insn(), 1..32)) {
         let mut buf = Vec::new();
         for i in &insns {

@@ -1,0 +1,369 @@
+//! Control-flow-graph recovery by recursive descent.
+//!
+//! Disassembly starts from the image entry point and every symbol that
+//! points into a text segment, follows fall-through and branch edges, and
+//! treats every `call` target as a new function root. Bytes that fail to
+//! decode degrade to `.byte` gaps: the address is recorded and the path
+//! stops, exactly like the disassembler's one-byte fallback — recursive
+//! descent never plows through data.
+//!
+//! `jr` (register-indirect jump) sites get their successor sets from a
+//! previous value-set-analysis round via [`CfgInput::jr_targets`]; on the
+//! first round they have none and are recorded as unresolved.
+
+use crate::code::CodeMap;
+use bomblab_isa::{Insn, InsnClass};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A basic block: straight-line instructions ending at a terminator or
+/// just before another block's leader.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// Address one past the last instruction's final byte.
+    pub end: u64,
+    /// Decoded instructions, in address order.
+    pub insns: Vec<(u64, Insn)>,
+    /// Successor block start addresses (within the same function).
+    pub succs: Vec<u64>,
+}
+
+/// A recovered function: the blocks reachable from one call target.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Entry address (call target or root symbol).
+    pub entry: u64,
+    /// Best-effort name from the symbol tables.
+    pub name: String,
+    /// Start addresses of the member blocks, sorted.
+    pub blocks: Vec<u64>,
+    /// Immediate dominator of each block (entry maps to itself).
+    pub idom: BTreeMap<u64, u64>,
+    /// Headers of natural loops (targets of back edges).
+    pub loop_headers: BTreeSet<u64>,
+}
+
+/// Inputs that refine recovery across analysis rounds.
+#[derive(Debug, Default, Clone)]
+pub struct CfgInput {
+    /// Resolved successor sets for `jr` sites, from value-set analysis.
+    pub jr_targets: BTreeMap<u64, BTreeSet<u64>>,
+    /// Extra function roots (trap handlers, thread entry points) whose
+    /// addresses were found flowing into `sys` by value-set analysis.
+    pub extra_roots: BTreeMap<u64, String>,
+}
+
+/// The recovered control-flow graph of a linked image.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// All blocks, keyed by start address.
+    pub blocks: BTreeMap<u64, Block>,
+    /// All functions, keyed by entry address.
+    pub functions: BTreeMap<u64, Function>,
+    /// Call-graph edges `(caller entry, callee entry)`.
+    pub call_edges: BTreeSet<(u64, u64)>,
+    /// Addresses where decoding failed and recovery degraded to `.byte`.
+    pub gaps: BTreeSet<u64>,
+    /// `jr` sites: address → resolved targets (empty when unresolved).
+    pub jr_sites: BTreeMap<u64, BTreeSet<u64>>,
+    /// `callr` sites with no static callee.
+    pub callr_sites: BTreeSet<u64>,
+}
+
+impl Cfg {
+    /// Total number of intra-procedural edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.blocks.values().map(|b| b.succs.len()).sum()
+    }
+
+    /// The function containing `addr`, if any block covers it.
+    #[must_use]
+    pub fn function_of(&self, addr: u64) -> Option<&Function> {
+        self.functions.values().find(|f| {
+            f.blocks
+                .iter()
+                .any(|b| self.blocks[b].start <= addr && addr < self.blocks[b].end)
+        })
+    }
+}
+
+/// Recovers the CFG of `code` starting from `roots` (address → name).
+#[must_use]
+pub fn build(code: &CodeMap, roots: &BTreeMap<u64, String>, input: &CfgInput) -> Cfg {
+    let mut cfg = Cfg::default();
+    let mut pending: VecDeque<(u64, String)> = roots
+        .iter()
+        .chain(input.extra_roots.iter())
+        .map(|(&a, n)| (a, n.clone()))
+        .collect();
+    let mut seen_fns: BTreeSet<u64> = BTreeSet::new();
+
+    while let Some((entry, name)) = pending.pop_front() {
+        if !seen_fns.insert(entry) || !code.in_text(entry) {
+            continue;
+        }
+        let f = recover_function(code, entry, name, input, &mut cfg, |callee, cname| {
+            pending.push_back((callee, cname));
+        });
+        cfg.functions.insert(entry, f);
+    }
+    cfg
+}
+
+/// Recovers one function; `on_call` receives newly discovered call targets.
+fn recover_function(
+    code: &CodeMap,
+    entry: u64,
+    name: String,
+    input: &CfgInput,
+    cfg: &mut Cfg,
+    mut on_call: impl FnMut(u64, String),
+) -> Function {
+    // Instruction-level sweep.
+    let mut insns: BTreeMap<u64, Insn> = BTreeMap::new();
+    let mut leaders: BTreeSet<u64> = BTreeSet::new();
+    let mut succs_of: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    leaders.insert(entry);
+    let mut work = vec![entry];
+    while let Some(pc) = work.pop() {
+        if insns.contains_key(&pc) {
+            continue;
+        }
+        let Some(bytes) = code.text_at(pc) else {
+            cfg.gaps.insert(pc);
+            continue;
+        };
+        let Ok((insn, len)) = Insn::decode(bytes) else {
+            // Degrade to `.byte`: record the gap, stop this path.
+            cfg.gaps.insert(pc);
+            continue;
+        };
+        insns.insert(pc, insn);
+        let next = pc + len as u64;
+        let mut push_edge = |succs: &mut Vec<u64>, t: u64| {
+            succs.push(t);
+            leaders.insert(t);
+            work.push(t);
+        };
+        let mut succs = Vec::new();
+        match insn {
+            Insn::Branch { rel, .. } | Insn::FBranch { rel, .. } => {
+                push_edge(&mut succs, next);
+                push_edge(&mut succs, pc.wrapping_add_signed(rel.into()));
+            }
+            Insn::Jmp { rel } => {
+                push_edge(&mut succs, pc.wrapping_add_signed(rel.into()));
+            }
+            Insn::Jr { .. } => {
+                let targets = input.jr_targets.get(&pc).cloned().unwrap_or_default();
+                for &t in &targets {
+                    if code.in_text(t) {
+                        push_edge(&mut succs, t);
+                    }
+                }
+                cfg.jr_sites.insert(pc, targets);
+            }
+            Insn::Call { rel } => {
+                let callee = pc.wrapping_add_signed(rel.into());
+                cfg.call_edges.insert((entry, callee));
+                on_call(callee, code.name_of(callee));
+                push_edge(&mut succs, next);
+            }
+            Insn::Callr { .. } => {
+                cfg.callr_sites.insert(pc);
+                push_edge(&mut succs, next);
+            }
+            Insn::Ret | Insn::Halt => {}
+            _ => {
+                // Fall through, including `sys` (which returns to next).
+                succs.push(next);
+                work.push(next);
+            }
+        }
+        if !succs.is_empty() {
+            succs_of.insert(pc, succs);
+        }
+        // Anything after a terminator starts a fresh block.
+        if insn.is_terminator() && insn.class() != InsnClass::Call {
+            leaders.insert(next);
+        }
+    }
+
+    // Block construction: split the instruction map at leaders.
+    let mut blocks: Vec<u64> = Vec::new();
+    let mut current: Option<Block> = None;
+    let addrs: Vec<u64> = insns.keys().copied().collect();
+    for pc in addrs {
+        let insn = insns[&pc];
+        let end = pc + insn.len() as u64;
+        let contiguous = current.as_ref().is_some_and(|b| b.end == pc);
+        if leaders.contains(&pc) || !contiguous {
+            if let Some(mut b) = current.take() {
+                // A block cut by a leader falls through to it.
+                if b.end == pc
+                    && !b
+                        .insns
+                        .last()
+                        .is_some_and(|(_, i)| i.is_terminator() && i.class() != InsnClass::Call)
+                {
+                    b.succs.push(pc);
+                }
+                finish_block(b, &mut blocks, cfg);
+            }
+            current = Some(Block {
+                start: pc,
+                end,
+                insns: vec![(pc, insn)],
+                succs: Vec::new(),
+            });
+        } else if let Some(b) = current.as_mut() {
+            b.insns.push((pc, insn));
+            b.end = end;
+        }
+        let terminates = match insn {
+            Insn::Call { .. } | Insn::Callr { .. } => false,
+            _ => insn.is_terminator(),
+        };
+        if terminates {
+            let mut b = current.take().expect("block in progress");
+            b.succs = succs_of.get(&pc).cloned().unwrap_or_default();
+            finish_block(b, &mut blocks, cfg);
+        } else {
+            current.as_mut().expect("block in progress").end = end;
+        }
+    }
+    if let Some(mut b) = current.take() {
+        // Ran off into a gap or another function's leader.
+        if insns.contains_key(&b.end) || leaders.contains(&b.end) {
+            b.succs.push(b.end);
+        }
+        finish_block(b, &mut blocks, cfg);
+    }
+    // Drop successor edges into addresses that never produced a block
+    // (unresolved targets landing in gaps).
+    let known: BTreeSet<u64> = blocks.iter().copied().collect();
+    for &b in &blocks {
+        if let Some(block) = cfg.blocks.get_mut(&b) {
+            block.succs.retain(|s| known.contains(s));
+            block.succs.sort_unstable();
+            block.succs.dedup();
+        }
+    }
+
+    let mut f = Function {
+        entry,
+        name,
+        blocks,
+        idom: BTreeMap::new(),
+        loop_headers: BTreeSet::new(),
+    };
+    f.blocks.sort_unstable();
+    compute_dominators(&mut f, &cfg.blocks);
+    f
+}
+
+fn finish_block(b: Block, blocks: &mut Vec<u64>, cfg: &mut Cfg) {
+    blocks.push(b.start);
+    // Functions may share tails; first recovery wins, shapes agree.
+    cfg.blocks.entry(b.start).or_insert(b);
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy) plus back-edge
+/// detection for loop headers.
+fn compute_dominators(f: &mut Function, blocks: &BTreeMap<u64, Block>) {
+    if !blocks.contains_key(&f.entry) {
+        return; // the entry itself failed to decode
+    }
+    // Reverse postorder from the entry.
+    let mut order = Vec::new();
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    let mut stack = vec![(f.entry, false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            order.push(b);
+            continue;
+        }
+        if !visited.insert(b) {
+            continue;
+        }
+        stack.push((b, true));
+        for &s in blocks
+            .get(&b)
+            .map(|blk| blk.succs.as_slice())
+            .unwrap_or_default()
+        {
+            if !visited.contains(&s) && blocks.contains_key(&s) {
+                stack.push((s, false));
+            }
+        }
+    }
+    order.reverse();
+    let index: BTreeMap<u64, usize> = order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &b in &order {
+        for &s in &blocks[&b].succs {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut idom: BTreeMap<u64, u64> = BTreeMap::new();
+    idom.insert(f.entry, f.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new = None;
+            for &p in preds.get(&b).into_iter().flatten() {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new = Some(match new {
+                    None => p,
+                    Some(n) => intersect(n, p, &idom, &index),
+                });
+            }
+            if let Some(n) = new {
+                if idom.get(&b) != Some(&n) {
+                    idom.insert(b, n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Back edge u -> v where v dominates u.
+    for &u in &order {
+        for &v in &blocks[&u].succs {
+            let mut d = u;
+            loop {
+                if d == v {
+                    f.loop_headers.insert(v);
+                    break;
+                }
+                let Some(&up) = idom.get(&d) else { break };
+                if up == d {
+                    break;
+                }
+                d = up;
+            }
+        }
+    }
+    f.idom = idom;
+}
+
+fn intersect(
+    mut a: u64,
+    mut b: u64,
+    idom: &BTreeMap<u64, u64>,
+    index: &BTreeMap<u64, usize>,
+) -> u64 {
+    while a != b {
+        while index.get(&a) > index.get(&b) {
+            a = idom[&a];
+        }
+        while index.get(&b) > index.get(&a) {
+            b = idom[&b];
+        }
+    }
+    a
+}

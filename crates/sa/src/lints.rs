@@ -1,0 +1,955 @@
+//! Challenge lints: typed diagnostics, one family per challenge class the
+//! paper identifies in small binaries, plus a per-tool failure-stage
+//! predictor.
+//!
+//! A [`Lint`] marks a program feature (floating point, a symbolic jump, a
+//! covert channel, …) at a code address. For each [`Capabilities`] profile
+//! the engine predicts the [`Stage`] at which a concolic tool with those
+//! capabilities would fail on the bomb — before ever executing it. The
+//! prediction logic deliberately mirrors the dynamic study's diagnosis
+//! rules (`Engine::diagnose` in the core crate) so that the static and
+//! dynamic verdicts can be compared cell by cell.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Predicted (or observed) outcome stage, ordered from success to
+/// hard failure. Matches the paper's error-stage taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// The tool is expected to crack the bomb.
+    Solved,
+    /// Es0: no symbolic flow ever reaches a branch (missing taint source).
+    Es0,
+    /// Es1: instruction lifting fails on a relevant instruction.
+    Es1,
+    /// Es2: symbolic flows are dropped before reaching the target branch.
+    Es2,
+    /// Es3: flows arrive but the solver cannot produce a usable model.
+    Es3,
+    /// E: the tool aborts abnormally (crash, unsupported syscall, budget).
+    Abnormal,
+    /// P: partially cracked — a model exists but the world rejects it.
+    Partial,
+}
+
+impl Stage {
+    /// Short table glyph, matching the dynamic study's rendering.
+    #[must_use]
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Stage::Solved => "OK",
+            Stage::Es0 => "Es0",
+            Stage::Es1 => "Es1",
+            Stage::Es2 => "Es2",
+            Stage::Es3 => "Es3",
+            Stage::Abnormal => "E",
+            Stage::Partial => "P",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+/// How a profile reacts to a hardware trap (division by zero) on the
+/// analyzed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapModel {
+    /// The faulting instruction itself fails to lift.
+    MissingLift,
+    /// The tool crashes when the trap fires.
+    Crash,
+    /// The trap edge is skipped; flows through the handler are lost.
+    Skip,
+    /// Trap control flow is followed faithfully.
+    Follow,
+}
+
+/// Trace-based instrumentation vs full-system emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Replays concrete traces (a symbolic jump ends the trace).
+    Trace,
+    /// Emulates and can fork on indirect-jump target sets.
+    Emulation,
+}
+
+/// A capability profile of a concolic executor, the static analogue of
+/// the dynamic study's tool profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Display name.
+    pub name: String,
+    /// Lifts stack push/pop effects into the IR.
+    pub lifts_stack: bool,
+    /// Lifts floating-point arithmetic.
+    pub lifts_fp_arith: bool,
+    /// Lifts int↔float conversions.
+    pub lifts_fp_convert: bool,
+    /// Lifts floating-point compare-and-branch.
+    pub lifts_fp_branch: bool,
+    /// The solver backend accepts floating-point constraints.
+    pub float_solver: bool,
+    /// Reaction to traps on the path.
+    pub trap_model: TrapModel,
+    /// Symbolic-address indirection levels modeled (0 = concretize).
+    pub max_indirection: u8,
+    /// The argv model can vary argument length.
+    pub argv_variable: bool,
+    /// Environment interactions become constraints rather than halts.
+    pub models_env_as_constraints: bool,
+    /// Shared libraries are loaded and analyzed.
+    pub loads_dyn_libs: bool,
+    /// Unmodeled syscall returns become unconstrained symbols (simulation).
+    pub sim_sys_returns: bool,
+    /// Skipped library calls return opaque fresh symbols.
+    pub opaque_lib_returns: bool,
+    /// Execution follows spawned threads.
+    pub follows_threads: bool,
+    /// Taint/symbols survive across threads.
+    pub sym_across_threads: bool,
+    /// Execution follows forked children.
+    pub follows_forks: bool,
+    /// Symbolic data survives a write-to-file / read-back round trip
+    /// (and kernel state such as file offsets stays modeled).
+    pub tracks_files: bool,
+    /// Symbolic data survives transit through a pipe.
+    pub tracks_pipes: bool,
+    /// Syscall numbers with no handler at all (tool aborts).
+    pub unsupported_syscalls: Vec<u64>,
+    /// Trace-based or emulation-based exploration.
+    pub style: Style,
+    /// Small solver budget: long crypto constraint chains blow it.
+    pub small_solver_budget: bool,
+    /// The solver *aborts* on float constraints instead of dropping them.
+    pub float_crash: bool,
+    /// A simulated filesystem models file contents symbolically (and
+    /// explodes on symbolic round trips).
+    pub sim_fs: bool,
+}
+
+/// Library routines the emulation-based tools model natively (the
+/// SimProcedure set): calls into these survive even when the library
+/// itself is not loaded.
+pub const MODELED_LIB_ROUTINES: [&str; 14] = [
+    "bomb_boom",
+    "strlen",
+    "strcmp",
+    "strcpy",
+    "memcpy",
+    "memset",
+    "atoi",
+    "putchar",
+    "print_str",
+    "puts",
+    "print_u64",
+    "print_i64",
+    "print_hex",
+    "printf",
+];
+
+impl Capabilities {
+    /// The four paper-tool profiles, in the study's column order.
+    #[must_use]
+    pub fn paper_profiles() -> Vec<Capabilities> {
+        use bomblab_isa::sys;
+        let base = Capabilities {
+            name: String::new(),
+            lifts_stack: true,
+            lifts_fp_arith: true,
+            lifts_fp_convert: true,
+            lifts_fp_branch: true,
+            float_solver: false,
+            trap_model: TrapModel::Follow,
+            max_indirection: 0,
+            argv_variable: false,
+            models_env_as_constraints: false,
+            loads_dyn_libs: true,
+            sim_sys_returns: false,
+            opaque_lib_returns: false,
+            follows_threads: false,
+            sym_across_threads: false,
+            follows_forks: false,
+            tracks_files: false,
+            tracks_pipes: false,
+            unsupported_syscalls: Vec::new(),
+            style: Style::Trace,
+            small_solver_budget: true,
+            float_crash: false,
+            sim_fs: false,
+        };
+        vec![
+            Capabilities {
+                name: "bap".into(),
+                lifts_stack: false,
+                lifts_fp_arith: false,
+                lifts_fp_convert: false,
+                lifts_fp_branch: false,
+                follows_threads: true,
+                sym_across_threads: true,
+                ..base.clone()
+            },
+            Capabilities {
+                name: "triton".into(),
+                lifts_fp_convert: false,
+                lifts_fp_branch: false,
+                trap_model: TrapModel::MissingLift,
+                models_env_as_constraints: true,
+                ..base.clone()
+            },
+            Capabilities {
+                name: "angr".into(),
+                trap_model: TrapModel::Crash,
+                max_indirection: 1,
+                argv_variable: true,
+                sim_sys_returns: true,
+                unsupported_syscalls: vec![sys::NET_GET],
+                style: Style::Emulation,
+                float_crash: true,
+                sim_fs: true,
+                ..base.clone()
+            },
+            Capabilities {
+                name: "angr-nolib".into(),
+                trap_model: TrapModel::Skip,
+                max_indirection: 1,
+                argv_variable: true,
+                sim_sys_returns: true,
+                opaque_lib_returns: true,
+                loads_dyn_libs: false,
+                follows_forks: true,
+                tracks_pipes: true,
+                unsupported_syscalls: vec![sys::NET_GET],
+                style: Style::Emulation,
+                ..base
+            },
+        ]
+    }
+}
+
+/// The challenge family a lint belongs to; one variant per class of
+/// obstacle the paper studies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintKind {
+    /// Input reaches floating-point computation.
+    FloatOps {
+        /// An int↔float conversion sits on the flow.
+        convert: bool,
+        /// All FP code lives in the shared library.
+        lib_only: bool,
+    },
+    /// `jr` on an input-derived value.
+    SymbolicJump {
+        /// Indirection depth of the jump value (0 = computed directly).
+        depth: u8,
+        /// Number of statically resolved targets (0 = unresolved).
+        targets: usize,
+    },
+    /// Memory load at an input-derived address.
+    SymbolicIndexMemory {
+        /// Deepest tainted-address load chain.
+        depth: u8,
+    },
+    /// Input written to a file and read back.
+    CovertFile,
+    /// Input round-trips through kernel state (file offsets via `lseek`).
+    CovertKernelState,
+    /// Input propagates through a trap handler (e.g. division by zero).
+    CovertException,
+    /// Input pushed through stack slots (lost without stack lifting).
+    StackPropagation,
+    /// Input crosses a `fork` (typically via a pipe).
+    ParallelFork,
+    /// Input crosses a spawned thread.
+    ParallelThread,
+    /// Input flows through an external library function.
+    ExternalCall {
+        /// Callee symbol.
+        name: String,
+    },
+    /// Budget-blowing cryptographic loop on the input path.
+    CryptoLoop {
+        /// Callee symbol (`sha1`, `aes128_encrypt`, …).
+        name: String,
+        /// The routine lives in the shared library.
+        in_lib: bool,
+    },
+    /// A syscall argument or number is input-dependent (contextual value).
+    ContextualValue {
+        /// The syscall *number* itself is input-derived.
+        syscall_number: bool,
+    },
+    /// Branches depend on an environment source the profile cannot taint.
+    MissingSource {
+        /// Which source (`time`, `uid`, `net`).
+        source: String,
+    },
+    /// A branch compares the *length* of an argv string.
+    ArgvLength,
+    /// A division whose divisor is input-derived may trap.
+    TrapDivision,
+}
+
+impl LintKind {
+    /// Stable short code for reports.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintKind::FloatOps { .. } => "float-ops",
+            LintKind::SymbolicJump { .. } => "symbolic-jump",
+            LintKind::SymbolicIndexMemory { .. } => "symbolic-index",
+            LintKind::CovertFile => "covert-file",
+            LintKind::CovertKernelState => "covert-kernel-state",
+            LintKind::CovertException => "covert-exception",
+            LintKind::StackPropagation => "stack-propagation",
+            LintKind::ParallelFork => "parallel-fork",
+            LintKind::ParallelThread => "parallel-thread",
+            LintKind::ExternalCall { .. } => "external-call",
+            LintKind::CryptoLoop { .. } => "crypto-loop",
+            LintKind::ContextualValue { .. } => "contextual-value",
+            LintKind::MissingSource { .. } => "missing-source",
+            LintKind::ArgvLength => "argv-length",
+            LintKind::TrapDivision => "trap-division",
+        }
+    }
+}
+
+/// One diagnostic: a challenge feature at an address, with the stage each
+/// capability profile is predicted to reach because of it.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Challenge family.
+    pub kind: LintKind,
+    /// Anchoring address (0 when the lint is whole-program).
+    pub pc: u64,
+    /// Human-readable one-liner.
+    pub detail: String,
+    /// Per-profile predicted stage attributable to this lint alone
+    /// (`Solved` = this profile handles the feature).
+    pub stages: Vec<(String, Stage)>,
+}
+
+/// Whole-bomb facts distilled from CFG recovery and value-set analysis;
+/// the input to lint generation and stage prediction.
+#[derive(Debug, Clone, Default)]
+pub struct Facts {
+    /// Input reaches floating point.
+    pub has_float: bool,
+    /// An int↔float conversion is on the flow.
+    pub fp_convert: bool,
+    /// A float compare-and-branch is on the flow.
+    pub fp_branch: bool,
+    /// Every FP instruction on the flow lives in library text.
+    pub float_lib_only: bool,
+    /// Deepest tainted-address load chain (whole image).
+    pub max_indirection: u8,
+    /// Same, restricted to executable (non-library) text.
+    pub max_indirection_exe: u8,
+    /// Max taint depth over `jr` values, when some `jr` is input-derived.
+    pub sym_jump_depth: Option<u8>,
+    /// Resolved target count of the deepest tainted `jr`.
+    pub sym_jump_targets: usize,
+    /// A trap handler is installed and a tainted division may fault.
+    pub trap_flow: bool,
+    /// All syscall numbers that can reach a `sys`.
+    pub sys_nums: BTreeSet<u64>,
+    /// A syscall *number* is input-derived.
+    pub ctx_sysnum: bool,
+    /// A syscall argument (filename pointer) is input-derived.
+    pub ctx_filename: bool,
+    /// Some branch depends on an environment-sourced value.
+    pub env_branch: bool,
+    /// Some branch depends on an argv-sourced value.
+    pub argv_branch: bool,
+    /// Input round-trips through a file.
+    pub covert_file: bool,
+    /// A branch checks a file-descriptor syscall return against −1: the
+    /// covert path is guarded by error handling.
+    pub open_error_branch: bool,
+    /// Input round-trips through kernel state (`lseek`).
+    pub covert_kernel: bool,
+    /// The bomb forks (with pipes or wait status carrying data).
+    pub uses_forks: bool,
+    /// The bomb spawns threads.
+    pub uses_threads: bool,
+    /// A tainted value is pushed onto the stack.
+    pub tainted_push: bool,
+    /// Library routines called with tainted arguments.
+    pub tainted_lib_calls: BTreeSet<String>,
+    /// Budget-blowing crypto callee on the input path, if any.
+    pub crypto: Option<(String, bool)>,
+    /// Branch compares an argv string's length (`strlen` return).
+    pub argv_len_branch: bool,
+    /// Branch depends on `time` / `getuid` / `net_get` returns.
+    pub needs_time: bool,
+    /// See [`Facts::needs_time`].
+    pub needs_uid: bool,
+    /// See [`Facts::needs_time`].
+    pub needs_net: bool,
+}
+
+impl Facts {
+    fn indirection_visible(&self, c: &Capabilities) -> u8 {
+        if c.loads_dyn_libs {
+            self.max_indirection
+        } else {
+            self.max_indirection_exe
+        }
+    }
+
+    fn float_visible(&self, c: &Capabilities) -> bool {
+        self.has_float && (c.loads_dyn_libs || !self.float_lib_only)
+    }
+
+    fn crypto_visible(&self, c: &Capabilities) -> Option<&str> {
+        match &self.crypto {
+            Some((name, in_lib)) if c.loads_dyn_libs || !in_lib => Some(name),
+            _ => None,
+        }
+    }
+
+    fn lift_gap(&self, c: &Capabilities) -> bool {
+        (self.tainted_push && !c.lifts_stack)
+            || (self.float_visible(c)
+                && ((self.fp_convert && !c.lifts_fp_convert)
+                    || (self.fp_branch && !c.lifts_fp_branch)
+                    || !c.lifts_fp_arith))
+    }
+
+    fn covert_lost(&self, c: &Capabilities) -> bool {
+        (self.uses_forks && !(c.follows_forks && c.tracks_pipes))
+            || (self.uses_threads && !(c.follows_threads && c.sym_across_threads))
+            || (self.covert_file && !c.tracks_files)
+            || (self.covert_kernel && !c.tracks_files)
+    }
+
+    /// Tainted library calls beyond the natively modeled routine set:
+    /// the ones an unloaded/opaque library loses.
+    fn unmodeled_lib_calls(&self) -> impl Iterator<Item = &String> {
+        self.tainted_lib_calls
+            .iter()
+            .filter(|n| !MODELED_LIB_ROUTINES.contains(&n.as_str()))
+    }
+
+    /// Kernel-state syscalls whose returns the program branches on and
+    /// whose simulation yields world-refusable models (uid, file offset).
+    fn env_ret_branch(&self) -> bool {
+        use bomblab_isa::sys;
+        self.env_branch
+            && [sys::GETUID, sys::LSEEK]
+                .iter()
+                .any(|n| self.sys_nums.contains(n))
+    }
+}
+
+impl Capabilities {
+    /// Whether environment sources (time, uid, net) are taint sources.
+    /// None of the paper profiles taint anything but argv.
+    #[must_use]
+    pub fn models_all_sources(&self) -> bool {
+        false
+    }
+}
+
+/// Predicts the stage a tool with capabilities `c` reaches on a bomb with
+/// facts `f`. Rule order mirrors the dynamic diagnosis priority: hard
+/// aborts and lifting failures hit first, then source gaps, then dropped
+/// flows, then solver-stage failures.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn predict(f: &Facts, c: &Capabilities) -> Stage {
+    // 1. Deep symbolic-index chains starve the solver before anything else.
+    let ind = f.indirection_visible(c);
+    if ind >= 3 && ind > c.max_indirection {
+        return Stage::Es2;
+    }
+    // 2. A syscall with no handler aborts the run.
+    if f.sys_nums
+        .iter()
+        .any(|n| c.unsupported_syscalls.contains(n))
+    {
+        return Stage::Abnormal;
+    }
+    // 3. Crypto constraint chains blow small solver budgets. Exception:
+    //    an LCG's state round-trips through a static cell, which purely
+    //    trace-based taint drops before the solver ever sees it.
+    if let Some(name) = f.crypto_visible(c) {
+        if c.small_solver_budget {
+            let lcg = name == "srand" || name == "rand";
+            if lcg && c.style == Style::Trace && !c.models_env_as_constraints {
+                return Stage::Es2;
+            }
+            return Stage::Abnormal;
+        }
+    }
+    // 4. Lifting gaps hit before any symbolic reasoning.
+    if f.lift_gap(c) {
+        return Stage::Es1;
+    }
+    // 5. Traps on the path.
+    if f.trap_flow {
+        match c.trap_model {
+            TrapModel::MissingLift => return Stage::Es1,
+            TrapModel::Crash => return Stage::Abnormal,
+            TrapModel::Skip => return Stage::Es2,
+            TrapModel::Follow => {}
+        }
+    }
+    // 6. Branches on environment sources the tool never taints. Time is
+    //    simulated concretely (a clock) even under simulation — Es0; a
+    //    simulated uid is an unconstrained symbol whose model the real
+    //    world then refuses — Partial.
+    if !c.models_all_sources() {
+        if f.needs_net || f.needs_time {
+            return Stage::Es0;
+        }
+        if f.needs_uid {
+            return if c.sim_sys_returns {
+                Stage::Partial
+            } else {
+                Stage::Es0
+            };
+        }
+    }
+    // 7. Calls into an unloaded/opaque library (beyond the natively
+    //    modeled routines) detach the flow from the input.
+    if (c.opaque_lib_returns || !c.loads_dyn_libs) && f.unmodeled_lib_calls().next().is_some() {
+        return Stage::Es2;
+    }
+    // 8. Floating-point constraints the solver rejects (or chokes on).
+    if f.float_visible(c) && !c.float_solver {
+        return if c.float_crash {
+            Stage::Abnormal
+        } else {
+            Stage::Es3
+        };
+    }
+    // 9. Simulated kernel-state returns produce models the world rejects.
+    if c.sim_sys_returns && f.env_ret_branch() {
+        return Stage::Partial;
+    }
+    // 10. A symbolic file round trip under a simulated filesystem
+    //     explodes; behind an error-handling guard the sim never takes
+    //     the covert path at all (plain dropped flow, rule 11).
+    if c.sim_fs && f.covert_file && !f.open_error_branch {
+        return Stage::Abnormal;
+    }
+    // 11. Covert propagation channels the tool does not track.
+    if f.covert_lost(c) {
+        return Stage::Es2;
+    }
+    // 12. Contextual values (input-dependent syscall numbers / filenames).
+    if f.ctx_sysnum || f.ctx_filename {
+        return if c.models_env_as_constraints {
+            Stage::Es3
+        } else {
+            Stage::Es2
+        };
+    }
+    // 13. Shallow symbolic-index memory beyond the tool's model.
+    if ind > c.max_indirection {
+        return Stage::Es3;
+    }
+    // 14. Symbolic jumps: a loaded jump target (depth ≥ 1) defeats every
+    //     profile; a directly computed one only ends trace-based tools.
+    if let Some(depth) = f.sym_jump_depth {
+        if depth >= 1 {
+            return Stage::Es3;
+        }
+        return match c.style {
+            Style::Trace => Stage::Es3,
+            Style::Emulation => Stage::Es2,
+        };
+    }
+    // 15. Length-dependent argv comparisons under a fixed argv model.
+    if f.argv_len_branch && !c.argv_variable {
+        return if c.models_env_as_constraints {
+            Stage::Es0
+        } else {
+            Stage::Es2
+        };
+    }
+    Stage::Solved
+}
+
+/// Derives the lint list from the facts, with per-profile stages.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lints(f: &Facts, anchors: &Anchors, profiles: &[Capabilities]) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let mut push =
+        |kind: LintKind, pc: u64, detail: String, stage_of: &dyn Fn(&Capabilities) -> Stage| {
+            let stages = profiles
+                .iter()
+                .map(|c| (c.name.clone(), stage_of(c)))
+                .collect();
+            out.push(Lint {
+                kind,
+                pc,
+                detail,
+                stages,
+            });
+        };
+
+    if f.has_float {
+        let (convert, lib_only) = (f.fp_convert, f.float_lib_only);
+        push(
+            LintKind::FloatOps { convert, lib_only },
+            anchors.float_pc,
+            format!(
+                "input reaches floating-point code{}",
+                if lib_only { " (library only)" } else { "" }
+            ),
+            &|c| {
+                if !f.float_visible(c) {
+                    Stage::Solved
+                } else if f.lift_gap(c)
+                    && (!c.lifts_fp_arith || !c.lifts_fp_convert || !c.lifts_fp_branch)
+                {
+                    Stage::Es1
+                } else if c.float_solver {
+                    Stage::Solved
+                } else if c.float_crash {
+                    Stage::Abnormal
+                } else {
+                    Stage::Es3
+                }
+            },
+        );
+    }
+    if let Some(depth) = f.sym_jump_depth {
+        push(
+            LintKind::SymbolicJump {
+                depth,
+                targets: f.sym_jump_targets,
+            },
+            anchors.jr_pc,
+            format!(
+                "indirect jump on input-derived value (depth {depth}, {} static targets)",
+                f.sym_jump_targets
+            ),
+            &|c| {
+                if depth >= 1 {
+                    Stage::Es3
+                } else {
+                    match c.style {
+                        Style::Trace => Stage::Es3,
+                        Style::Emulation => Stage::Es2,
+                    }
+                }
+            },
+        );
+    }
+    if f.max_indirection > 0 {
+        let depth = f.max_indirection;
+        push(
+            LintKind::SymbolicIndexMemory { depth },
+            anchors.load_pc,
+            format!("memory load at input-derived address (depth {depth})"),
+            &|c| {
+                let d = f.indirection_visible(c);
+                if d == 0 || d <= c.max_indirection {
+                    Stage::Solved
+                } else if d >= 3 {
+                    Stage::Es2
+                } else {
+                    Stage::Es3
+                }
+            },
+        );
+    }
+    if f.covert_file {
+        push(
+            LintKind::CovertFile,
+            0,
+            "input written to a file and read back".into(),
+            &|c| {
+                if c.tracks_files {
+                    Stage::Solved
+                } else if c.sim_fs && !f.open_error_branch {
+                    Stage::Abnormal
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    if f.covert_kernel {
+        push(
+            LintKind::CovertKernelState,
+            0,
+            "input round-trips through kernel state (lseek offsets)".into(),
+            &|c| {
+                if c.tracks_files {
+                    Stage::Solved
+                } else if c.sim_sys_returns {
+                    Stage::Partial
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    if f.trap_flow {
+        push(
+            LintKind::CovertException,
+            anchors.div_pc,
+            "input propagates through a trap handler".into(),
+            &|c| match c.trap_model {
+                TrapModel::MissingLift => Stage::Es1,
+                TrapModel::Crash => Stage::Abnormal,
+                TrapModel::Skip => Stage::Es2,
+                TrapModel::Follow => Stage::Solved,
+            },
+        );
+    } else if !anchors.div_sites.is_empty() {
+        push(
+            LintKind::TrapDivision,
+            anchors.div_pc,
+            "division with input-derived divisor may trap".into(),
+            &|c| match c.trap_model {
+                TrapModel::MissingLift => Stage::Es1,
+                TrapModel::Crash => Stage::Abnormal,
+                _ => Stage::Solved,
+            },
+        );
+    }
+    if f.tainted_push {
+        push(
+            LintKind::StackPropagation,
+            anchors.push_pc,
+            "input propagates through push/pop stack slots".into(),
+            &|c| {
+                if c.lifts_stack {
+                    Stage::Solved
+                } else {
+                    Stage::Es1
+                }
+            },
+        );
+    }
+    if f.uses_forks {
+        push(
+            LintKind::ParallelFork,
+            0,
+            "input crosses a fork (pipe / wait status)".into(),
+            &|c| {
+                if c.follows_forks && c.tracks_pipes {
+                    Stage::Solved
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    if f.uses_threads {
+        push(
+            LintKind::ParallelThread,
+            0,
+            "input crosses a spawned thread".into(),
+            &|c| {
+                if c.follows_threads && c.sym_across_threads {
+                    Stage::Solved
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    if let Some((name, in_lib)) = &f.crypto {
+        push(
+            LintKind::CryptoLoop {
+                name: name.clone(),
+                in_lib: *in_lib,
+            },
+            0,
+            format!("budget-blowing crypto routine `{name}` on the input path"),
+            &|c| {
+                if f.crypto_visible(c).is_none() {
+                    Stage::Es2 // flows vanish into the unloaded library
+                } else if c.small_solver_budget {
+                    let lcg = name == "srand" || name == "rand";
+                    if lcg && c.style == Style::Trace && !c.models_env_as_constraints {
+                        Stage::Es2
+                    } else {
+                        Stage::Abnormal
+                    }
+                } else {
+                    Stage::Solved
+                }
+            },
+        );
+    }
+    for name in &f.tainted_lib_calls {
+        if f.crypto.as_ref().is_some_and(|(n, _)| n == name) {
+            continue;
+        }
+        let modeled = MODELED_LIB_ROUTINES.contains(&name.as_str());
+        push(
+            LintKind::ExternalCall { name: name.clone() },
+            0,
+            format!("input flows through library routine `{name}`"),
+            &|c| {
+                if (c.loads_dyn_libs && !c.opaque_lib_returns) || modeled {
+                    Stage::Solved
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    if f.ctx_sysnum || f.ctx_filename {
+        push(
+            LintKind::ContextualValue {
+                syscall_number: f.ctx_sysnum,
+            },
+            anchors.sys_pc,
+            if f.ctx_sysnum {
+                "syscall number is input-derived".into()
+            } else {
+                "syscall argument (filename) is input-derived".into()
+            },
+            &|c| {
+                if c.models_env_as_constraints {
+                    Stage::Es3
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    for (flag, source) in [
+        (f.needs_time, "time"),
+        (f.needs_uid, "uid"),
+        (f.needs_net, "net"),
+    ] {
+        if flag {
+            push(
+                LintKind::MissingSource {
+                    source: source.into(),
+                },
+                anchors.sys_pc,
+                format!("branches depend on environment source `{source}`"),
+                &|c| {
+                    if c.models_all_sources() {
+                        Stage::Solved
+                    } else if c.sim_sys_returns {
+                        Stage::Partial
+                    } else {
+                        Stage::Es0
+                    }
+                },
+            );
+        }
+    }
+    if f.argv_len_branch {
+        push(
+            LintKind::ArgvLength,
+            0,
+            "branch compares an argv string's length".into(),
+            &|c| {
+                if c.argv_variable {
+                    Stage::Solved
+                } else if c.models_env_as_constraints {
+                    Stage::Es0
+                } else {
+                    Stage::Es2
+                }
+            },
+        );
+    }
+    out
+}
+
+/// Code addresses anchoring whole-program lints, for the annotated listing.
+#[derive(Debug, Clone, Default)]
+pub struct Anchors {
+    /// First FP instruction on a tainted flow.
+    pub float_pc: u64,
+    /// Deepest tainted `jr` site.
+    pub jr_pc: u64,
+    /// Deepest tainted load site.
+    pub load_pc: u64,
+    /// First tainted division site.
+    pub div_pc: u64,
+    /// All tainted division sites.
+    pub div_sites: BTreeSet<u64>,
+    /// First tainted push site.
+    pub push_pc: u64,
+    /// Representative `sys` site.
+    pub sys_pc: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<Capabilities> {
+        Capabilities::paper_profiles()
+    }
+
+    fn by_name(name: &str) -> Capabilities {
+        profiles().into_iter().find(|c| c.name == name).unwrap()
+    }
+
+    #[test]
+    fn float_bomb_predictions() {
+        let f = Facts {
+            has_float: true,
+            fp_convert: true,
+            fp_branch: true,
+            argv_branch: true,
+            ..Facts::default()
+        };
+        // Lifting gap dominates for trace tools missing FP lifters.
+        assert_eq!(predict(&f, &by_name("bap")), Stage::Es1);
+        assert_eq!(predict(&f, &by_name("triton")), Stage::Es1);
+        // Full lifting, but the float-rejecting solver backend crashes.
+        assert_eq!(predict(&f, &by_name("angr")), Stage::Abnormal);
+    }
+
+    #[test]
+    fn deep_indirection_dominates() {
+        let f = Facts {
+            max_indirection: 4,
+            max_indirection_exe: 4,
+            argv_branch: true,
+            ..Facts::default()
+        };
+        for c in profiles() {
+            assert_eq!(predict(&f, &c), Stage::Es2, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn fork_bomb_lost_without_fork_following() {
+        let f = Facts {
+            uses_forks: true,
+            env_branch: true,
+            argv_branch: true,
+            sys_nums: [bomblab_isa::sys::FORK, bomblab_isa::sys::PIPE]
+                .into_iter()
+                .collect(),
+            ..Facts::default()
+        };
+        assert_eq!(predict(&f, &by_name("bap")), Stage::Es2);
+        assert_eq!(predict(&f, &by_name("angr")), Stage::Es2);
+        // angr-nolib follows forks and tracks pipes: the flow survives.
+        assert_eq!(predict(&f, &by_name("angr-nolib")), Stage::Solved);
+    }
+
+    #[test]
+    fn plain_bomb_solved_everywhere() {
+        let f = Facts {
+            argv_branch: true,
+            ..Facts::default()
+        };
+        for c in profiles() {
+            assert_eq!(predict(&f, &c), Stage::Solved, "{}", c.name);
+        }
+    }
+}

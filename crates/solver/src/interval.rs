@@ -7,38 +7,10 @@
 use crate::expr::{BvOp, CmpOp, Node, Term};
 use std::collections::HashMap;
 
-/// An inclusive unsigned range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Range {
-    /// Smallest possible value.
-    pub lo: u64,
-    /// Largest possible value.
-    pub hi: u64,
-}
-
-impl Range {
-    /// The full range of a `width`-bit value.
-    pub fn full(width: u8) -> Range {
-        Range {
-            lo: 0,
-            hi: if width >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << width) - 1
-            },
-        }
-    }
-
-    /// A single value.
-    pub fn point(v: u64) -> Range {
-        Range { lo: v, hi: v }
-    }
-
-    /// Whether the ranges share no value.
-    pub fn disjoint(&self, other: &Range) -> bool {
-        self.hi < other.lo || other.hi < self.lo
-    }
-}
+// The interval arithmetic itself is shared with the static analyzer
+// (`bomblab-sa`); this module keeps the term-DAG traversal and re-exports
+// the domain so `bomblab_solver::interval::Range` stays a stable path.
+pub use bomblab_interval::Range;
 
 /// Computes a conservative unsigned range for a bitvector term.
 pub fn range_of(t: &Term) -> Range {

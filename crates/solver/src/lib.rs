@@ -384,7 +384,7 @@ impl Solver {
                     // Sanity: the model must satisfy every constraint.
                     debug_assert!(
                         live.iter()
-                            .all(|c| eval(c, &model.as_env()).map(|v| v.truth()).unwrap_or(false)),
+                            .all(|c| eval(c, &model.as_env()).is_ok_and(|v| v.truth())),
                         "bit-blasting produced an invalid model"
                     );
                     SolveOutcome::Sat(model)

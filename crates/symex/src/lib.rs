@@ -556,16 +556,20 @@ impl SymExec {
         step.reg_reads
             .iter()
             .find(|(reg, _)| *reg == r)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("register {r} not in trace reads at {:#x}", step.pc))
+            .map_or_else(
+                || panic!("register {r} not in trace reads at {:#x}", step.pc),
+                |(_, v)| *v,
+            )
     }
 
     fn freg_concrete(&self, step: &TraceStep, r: bomblab_isa::FReg) -> f64 {
         step.freg_reads
             .iter()
             .find(|(reg, _)| *reg == r)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("fp register {r} not in trace reads at {:#x}", step.pc))
+            .map_or_else(
+                || panic!("fp register {r} not in trace reads at {:#x}", step.pc),
+                |(_, v)| *v,
+            )
     }
 
     fn sym_of_place(&self, key: TKey, place: &Place, tmp_sym: &HashMap<u32, SVal>) -> Option<SVal> {

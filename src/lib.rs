@@ -19,6 +19,8 @@
 //! | [`solver`] | `bomblab-solver` | bitvector terms, bit-blasting, CDCL SAT |
 //! | [`symex`] | `bomblab-symex` | symbolic state + constraint extraction |
 //! | [`concolic`] | `bomblab-concolic` | the engine, tool profiles, study |
+//! | [`sa`] | `bomblab-sa` | static analysis: CFG recovery, VSA, lints |
+//! | [`interval`] | `bomblab-interval` | strided-interval arithmetic |
 //! | [`bombs`] | `bomblab-bombs` | the 22-bomb dataset |
 //!
 //! ## Quickstart
@@ -58,9 +60,11 @@
 
 pub use bomblab_bombs as bombs;
 pub use bomblab_concolic as concolic;
+pub use bomblab_interval as interval;
 pub use bomblab_ir as ir;
 pub use bomblab_isa as isa;
 pub use bomblab_rt as rt;
+pub use bomblab_sa as sa;
 pub use bomblab_solver as solver;
 pub use bomblab_symex as symex;
 pub use bomblab_taint as taint;

@@ -7,6 +7,8 @@
 //! bomblab trace <file.s|file.bvm> [arg] run and print the executed listing
 //! bomblab solve <file.s|file.bvm> [seed] concolically search for BOOM
 //! bomblab constraints <file> [arg]      dump path conditions as SMT-LIB
+//! bomblab analyze <file.s|file.bvm>     static analysis: annotated listing
+//! bomblab analyze --bombs [prefix]      analyze the dataset, print summaries
 //! bomblab bombs                         list the dataset
 //! bomblab study [prefix] [--jobs N]     run the Table-II study
 //! ```
@@ -26,11 +28,12 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("constraints") => cmd_constraints(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("bombs") => cmd_bombs(),
         Some("study") => cmd_study(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bomblab <asm|dis|run|trace|solve|bombs|study> [args]\n\
+                "usage: bomblab <asm|dis|run|trace|solve|analyze|bombs|study> [args]\n\
                  see `bomblab` source documentation for details"
             );
             return ExitCode::from(2);
@@ -182,6 +185,51 @@ fn cmd_constraints(args: &[String]) -> CmdResult {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_analyze(args: &[String]) -> CmdResult {
+    let input = args
+        .first()
+        .ok_or("analyze: expected a file or `--bombs [prefix]`")?;
+    if input == "--bombs" {
+        let prefix = args.get(1).cloned().unwrap_or_default();
+        let mut silent: Vec<String> = Vec::new();
+        let mut seen = false;
+        for case in bomblab::bombs::all_cases() {
+            if !case.subject.name.starts_with(&prefix) {
+                continue;
+            }
+            seen = true;
+            let a = bomblab::sa::analyze(&case.subject.image, case.subject.lib.as_ref());
+            let preds: Vec<String> = a
+                .predictions
+                .iter()
+                .map(|(name, stage)| format!("{name}={stage}"))
+                .collect();
+            println!(
+                "{:18} {}  {}",
+                case.subject.name,
+                a.summary(),
+                preds.join(" ")
+            );
+            if a.lints.is_empty() {
+                silent.push(case.subject.name.clone());
+            }
+        }
+        if !seen {
+            return Err(format!("no bombs match prefix {prefix:?}").into());
+        }
+        if !silent.is_empty() {
+            eprintln!("analyze: no lints fired on: {}", silent.join(", "));
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let image = load_image(input)?;
+    let analysis = bomblab::sa::analyze(&image, None);
+    print!("{}", analysis.listing());
+    eprintln!("; {}", analysis.summary());
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_bombs() -> CmdResult {
     println!("| bomb | category | description |");
     println!("|---|---|---|");
@@ -196,7 +244,7 @@ fn cmd_bombs() -> CmdResult {
 
 fn cmd_study(args: &[String]) -> CmdResult {
     let mut prefix = String::new();
-    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--jobs" || arg == "-j" {

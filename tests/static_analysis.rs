@@ -1,0 +1,182 @@
+//! Static-analysis layer over the bomb dataset: prediction agreement
+//! against the paper's Table II, lint coverage, golden CFG snapshots,
+//! and `jr` soundness against the dynamic trace.
+
+use bomblab_bombs::{all_cases, negative_pow};
+use bomblab_sa::analyze;
+
+/// Committed regression baseline for static/paper agreement, in percent.
+/// The calibrated analyzer currently scores 100%; a drop below this is a
+/// real regression, not measurement noise. (The acceptance floor for the
+/// feature itself is 70%.)
+const AGREEMENT_BASELINE_PCT: usize = 95;
+
+/// The static predictor must agree with the paper's expected outcome on
+/// at least [`AGREEMENT_BASELINE_PCT`] of the (bomb × profile) cells.
+/// The full matrix is printed so disagreements are diagnosable from the
+/// test log.
+#[test]
+fn static_predictions_agree_with_paper_matrix() {
+    let cases = all_cases();
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    let mut report = String::new();
+    for case in &cases {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        let expected = case
+            .paper_expected
+            .expect("dataset rows carry expectations");
+        let mut row = format!("{:18}", case.subject.name);
+        for (i, (name, stage)) in a.predictions.iter().enumerate() {
+            let want = expected[i].glyph();
+            let got = stage.glyph();
+            total += 1;
+            if got == want {
+                agree += 1;
+                row.push_str(&format!("  {name}:{got}"));
+            } else {
+                row.push_str(&format!("  {name}:{got}!={want}"));
+            }
+        }
+        report.push_str(&row);
+        report.push('\n');
+    }
+    println!("{report}");
+    println!("agreement: {agree}/{total}");
+    assert!(
+        agree * 100 >= total * AGREEMENT_BASELINE_PCT,
+        "static/paper agreement {agree}/{total} regressed below the \
+         committed {AGREEMENT_BASELINE_PCT}% baseline\n{report}"
+    );
+}
+
+/// Every bomb family must trip at least one challenge lint on at least
+/// 20 of the 22 bombs.
+#[test]
+fn lints_fire_on_nearly_all_bombs() {
+    let cases = all_cases();
+    let mut with_lints = 0usize;
+    let mut silent = Vec::new();
+    for case in &cases {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        if a.lints.is_empty() {
+            silent.push(case.subject.name.clone());
+        } else {
+            with_lints += 1;
+        }
+    }
+    assert!(
+        with_lints >= 20,
+        "only {with_lints}/22 bombs produced lints; silent: {silent:?}"
+    );
+}
+
+/// CFG recovery is deterministic: the per-bomb summaries (block, edge,
+/// and function counts; resolved `jr` targets; infeasible edges; lint
+/// count) must match the committed golden file byte for byte. Set
+/// `UPDATE_GOLDEN=1` to regenerate after an intentional change.
+#[test]
+fn cfg_summaries_match_the_committed_golden_file() {
+    let mut got = String::new();
+    for case in all_cases().into_iter().chain([negative_pow()]) {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        got.push_str(&format!("{:18} {}\n", case.subject.name, a.summary()));
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/cfg_summaries.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("golden file is writable");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file is committed");
+    assert_eq!(
+        got, want,
+        "CFG summaries drifted from tests/golden/cfg_summaries.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// Statically resolved `jr` target sets must be sound: every indirect
+/// jump the trigger input actually takes lands inside the static set.
+/// The two symbolic-jump bombs must both exercise a resolved site.
+#[test]
+fn resolved_jr_targets_cover_the_dynamic_trace() {
+    use bomblab::isa::Insn;
+    use bomblab::vm::Machine;
+
+    let mut exercised = 0usize;
+    for case in all_cases() {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        let static_targets = a.jr_targets();
+        if static_targets.is_empty() {
+            continue;
+        }
+        for (pc, targets) in &static_targets {
+            assert!(
+                !targets.is_empty(),
+                "{}: resolved jr site {pc:#x} has an empty target set",
+                case.subject.name
+            );
+        }
+        let config = case.trigger.to_config(true, 2_000_000);
+        let mut machine = Machine::load(&case.subject.image, case.subject.lib.as_ref(), config)
+            .expect("trigger input loads");
+        machine.run();
+        let trace = machine.take_trace();
+        for w in trace.steps.windows(2) {
+            let (cur, next) = (&w[0], &w[1]);
+            if cur.pid != next.pid || cur.tid != next.tid {
+                continue;
+            }
+            if !matches!(cur.insn, Insn::Jr { .. }) {
+                continue;
+            }
+            if let Some(targets) = static_targets.get(&cur.pc) {
+                assert!(
+                    targets.contains(&next.pc),
+                    "{}: dynamic jr {:#x} -> {:#x} escapes the static set {targets:?}",
+                    case.subject.name,
+                    cur.pc,
+                    next.pc
+                );
+                exercised += 1;
+            }
+        }
+    }
+    assert!(
+        exercised >= 2,
+        "expected both symbolic-jump bombs to exercise resolved jr sites, saw {exercised}"
+    );
+}
+
+#[test]
+#[ignore]
+fn debug_dump_facts() {
+    for case in all_cases() {
+        let name = &case.subject.name;
+        if ![
+            "jump_table",
+            "crypto_sha1",
+            "decl_argv_len",
+            "ctx_filename",
+            "array_l1",
+            "covert_syscall",
+            "parallel_fork",
+        ]
+        .contains(&name.as_str())
+        {
+            continue;
+        }
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        println!(
+            "=== {name} rounds={} sound={} ===",
+            a.rounds, a.resolve_sound
+        );
+        println!("facts: {:?}", a.facts);
+        println!("jr: {:?}", a.vsa.jr);
+        println!("tainted_lib_calls: {:?}", a.vsa.tainted_lib_calls);
+        println!("summary: {}", a.summary());
+    }
+}

@@ -45,12 +45,15 @@ fn oversubscribed_pool_handles_fewer_items_than_workers() {
 
 #[test]
 fn multi_round_bombs_hit_the_query_cache() {
-    // covert_syscall under Angr explores ~24 rounds whose path prefixes
-    // overlap heavily: the persistent solver must reuse blasted CNF and
-    // answer repeat queries from its cache instead of re-solving.
+    // covert_syscall explores many rounds whose path prefixes overlap
+    // heavily: the persistent solver must reuse blasted CNF and answer
+    // repeat queries from its cache instead of re-solving. Only the
+    // omniscient profile gets the incremental solver — the paper-tool
+    // profiles run stateless so the framework's caching cannot make the
+    // emulated 2017 tools stronger than their budget calibration.
     let case = dataset::covert_syscall();
     let ground = ground_truth(&case.subject, &case.trigger);
-    let attempt = Engine::new(ToolProfile::angr()).explore(&case.subject, &ground);
+    let attempt = Engine::new(ToolProfile::omniscient()).explore(&case.subject, &ground);
     let ev = &attempt.evidence;
     assert!(
         ev.rounds > 1,
@@ -70,4 +73,23 @@ fn multi_round_bombs_hit_the_query_cache() {
         ev.cache_exact_hits + ev.cache_model_hits + ev.cache_unsat_hits,
         "hit breakdown must sum to the total"
     );
+}
+
+#[test]
+fn paper_profiles_run_a_stateless_solver() {
+    for profile in ToolProfile::paper_lineup() {
+        assert!(
+            !profile.incremental_solver,
+            "{}: paper-tool profiles must not reuse solver state across \
+             queries — the Table-II budget is calibrated per fresh query",
+            profile.name
+        );
+        let case = dataset::covert_syscall();
+        let ground = ground_truth(&case.subject, &case.trigger);
+        let attempt = Engine::new(profile).explore(&case.subject, &ground);
+        let ev = &attempt.evidence;
+        assert_eq!(ev.cache_hits, 0, "stateless profile hit a cache: {ev:#?}");
+        assert_eq!(ev.roots_reused, 0, "stateless profile reused CNF: {ev:#?}");
+    }
+    assert!(ToolProfile::omniscient().incremental_solver);
 }

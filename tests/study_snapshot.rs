@@ -14,8 +14,14 @@ fn representative_rows_match_the_paper() {
         dataset::array_l1(),     // [Es3, Es3, OK, OK]
         dataset::array_l2(),     // [Es3, Es3, Es3, Es3]
         dataset::ctx_filename(), // [Es2, Es3, Es2, Es2]
-        dataset::jump_direct(),  // [Es3, Es3, Es2, Es2]
-        dataset::jump_table(),   // [Es3, Es3, Es3, Es3]
+        // The next two guard the tool-emulation calibration: both rows
+        // only fail because the paper profiles run a *stateless* solver
+        // per query, so any caching or budget-metric change that leaks
+        // framework strength into the emulated tools flips them to OK.
+        dataset::ctx_syscallnum(), // [Es2, Es3, Es2, Es2]
+        dataset::float_cmp(),      // paper [Es1, Es1, E, Es3]; ours Es3 x Angr
+        dataset::jump_direct(),    // [Es3, Es3, Es2, Es2]
+        dataset::jump_table(),     // [Es3, Es3, Es3, Es3]
     ];
     let report = run_study(&cases, &ToolProfile::paper_lineup());
 
@@ -48,6 +54,14 @@ fn representative_rows_match_the_paper() {
         (
             "ctx_filename",
             [Outcome::Es2, Outcome::Es3, Outcome::Es2, Outcome::Es2],
+        ),
+        (
+            "ctx_syscallnum",
+            [Outcome::Es2, Outcome::Es3, Outcome::Es2, Outcome::Es2],
+        ),
+        (
+            "float_cmp",
+            [Outcome::Es1, Outcome::Es1, Outcome::Es3, Outcome::Es3],
         ),
         (
             "jump_direct",
