@@ -5,6 +5,7 @@
 use crate::outcome::Outcome;
 use crate::profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
 use crate::world::WorldInput;
+use bomblab_fault as fault;
 use bomblab_ir::lift;
 use bomblab_isa::image::{layout, Image};
 use bomblab_solver::expr::{CmpOp, Term};
@@ -137,6 +138,30 @@ pub struct Evidence {
     pub symex_ns: u64,
     /// Wall-clock nanoseconds in solver queries per attempt.
     pub solver_ns: u64,
+    /// Faults fired by an armed chaos plan during this attempt (0 unless
+    /// the study runner armed a [`bomblab_fault::FaultPlan`]).
+    pub injected_faults: u32,
+    /// Human-readable record of each injected fault, in firing order.
+    pub fault_log: Vec<String>,
+    /// Structured diagnostic when the attempt was ended by a contained
+    /// crash (machine failure, panic, or deadline).
+    pub crash: Option<CrashDiag>,
+}
+
+/// Structured diagnostic for a contained per-cell failure: what the cell
+/// died of, where in the pipeline, and how long it had been running.
+///
+/// Only `message` and `stage` appear in reports — `elapsed_ns` is real
+/// wall clock and would break byte-identical output across `--jobs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashDiag {
+    /// The panic payload or machine error, as text.
+    pub message: String,
+    /// The pipeline stage the cell had reached ("vm", "taint", "lift",
+    /// "symex", "solve", or "start").
+    pub stage: String,
+    /// Wall-clock nanoseconds from cell start to the failure.
+    pub elapsed_ns: u64,
 }
 
 /// Result of one engine run against a subject.
@@ -350,12 +375,26 @@ impl Engine {
             .with_float_mode(self.profile.float_mode);
 
         'rounds: while let Some(input) = queue.pop_front() {
+            // Containment watchdog plus the engine-round fault point: one
+            // hit per concrete round. Both are inert (one relaxed atomic
+            // load each) unless the study runner armed a chaos plan.
+            fault::check_deadline();
+            if let Some(action) = fault::fault_point(fault::FaultSite::EngineRound) {
+                match action {
+                    fault::FaultAction::Stall => {
+                        fault::trip_stall();
+                        fault::check_deadline();
+                    }
+                    _ => panic!("injected panic in the engine round loop"),
+                }
+            }
             if evidence.rounds >= self.profile.max_rounds {
                 break;
             }
             evidence.rounds += 1;
 
             // 1. Concrete execution with tracing.
+            fault::set_stage("vm");
             let config = input.to_config(true, self.profile.step_budget);
             let Ok(mut machine) = Machine::load(&subject.image, subject.lib.as_ref(), config)
             else {
@@ -369,6 +408,21 @@ impl Engine {
             let vm_start = std::time::Instant::now();
             let status = machine.run().status;
             evidence.vm_ns += vm_start.elapsed().as_nanos() as u64;
+            // An injected stall may have tripped on the guest's final
+            // quantum; fail the cell before the detonation check so the
+            // "hang" cannot race the solve.
+            fault::check_deadline();
+            if let RunStatus::Crashed(e) = status {
+                // The emulator itself failed (injected fault or broken
+                // invariant): the tool is dead, not the guest.
+                evidence.abnormal = true;
+                evidence.crash = Some(CrashDiag {
+                    message: e.to_string(),
+                    stage: "vm".to_string(),
+                    elapsed_ns: 0,
+                });
+                break;
+            }
             if status.exit_code() == Some(BOOM_EXIT_CODE) {
                 solved = Some(input);
                 break;
@@ -418,6 +472,7 @@ impl Engine {
             };
 
             // 4. Taint analysis.
+            fault::set_stage("taint");
             let mut taint = TaintEngine::new(self.profile.taint_policy)
                 .with_trap_clearing(self.profile.trap_support == TrapSupport::Skip);
             if self.profile.taint_policy.sources.argv {
@@ -435,6 +490,7 @@ impl Engine {
                 !report.tainted_sys_args.is_empty() || !report.tainted_sys_nums.is_empty();
 
             // 5. Lifting check on the tainted slice (Es1).
+            fault::set_stage("lift");
             for &idx in &report.tainted_steps {
                 let step = &taint_view.steps[idx];
                 if step.sys.is_some() {
@@ -449,6 +505,7 @@ impl Engine {
             }
 
             // 6. Symbolic replay.
+            fault::set_stage("symex");
             let mut sx = SymExec::new(self.profile.memory_model, self.profile.sym_policy)
                 .with_env(SymbolizeEnv {
                     time: self.profile.taint_policy.sources.time,
@@ -506,6 +563,7 @@ impl Engine {
                 !sym.events.sym_sys_args.is_empty() || !sym.events.sym_sys_nums.is_empty();
 
             // 7. Flip each unexplored branch and schedule the solutions.
+            fault::set_stage("solve");
             use std::hash::{Hash, Hasher};
             let mut prefix = std::collections::hash_map::DefaultHasher::new();
             for i in 0..sym.path.len() {
@@ -557,7 +615,9 @@ impl Engine {
                     }
                     SolveOutcome::Unsat => {}
                     SolveOutcome::Unknown(
-                        UnknownReason::ConflictBudget | UnknownReason::FormulaTooLarge,
+                        UnknownReason::ConflictBudget
+                        | UnknownReason::FormulaTooLarge
+                        | UnknownReason::FaultInjected,
                     ) => {
                         evidence.solver_budget = true;
                     }
@@ -587,6 +647,20 @@ impl Engine {
         evidence.roots_blasted = cache.roots_blasted;
         evidence.roots_reused = cache.roots_reused;
 
+        // Injected faults corrupt the attempt wholesale: even a run that
+        // stumbled onto the trigger is not a trustworthy solve once the
+        // chaos layer has interfered, so any injection (or contained
+        // machine crash) forces the paper's `E` label. Unarmed runs have
+        // `injected_faults == 0` and are untouched by this rule.
+        evidence.injected_faults = fault::injected_count();
+        if evidence.crash.is_some() || evidence.injected_faults > 0 {
+            evidence.abnormal = true;
+            return Attempt {
+                outcome: Outcome::Abnormal,
+                solved_input: None,
+                evidence,
+            };
+        }
         let outcome = match solved {
             Some(_) => Outcome::Solved,
             None => self.diagnose(&evidence, ground),

@@ -54,14 +54,18 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod outcome;
 pub mod profile;
 pub mod study;
 pub mod world;
 
-pub use engine::{ground_truth, Attempt, Engine, Evidence, GroundTruth, StaticHints, Subject};
+pub use chaos::{chaos_sweep, check_containment, ChaosConfig, SweepOutcome};
+pub use engine::{
+    ground_truth, Attempt, CrashDiag, Engine, Evidence, GroundTruth, StaticHints, Subject,
+};
 pub use outcome::Outcome;
 pub use profile::{ArgvModel, EngineStyle, ToolProfile, TrapSupport};
-pub use study::{run_study, run_study_jobs, StudyCase, StudyReport};
+pub use study::{run_study, run_study_jobs, run_study_with, StudyCase, StudyOptions, StudyReport};
 pub use world::WorldInput;

@@ -1,11 +1,22 @@
 //! The study runner: bombs × profiles → the paper's Table II.
+//!
+//! Every (bomb, profile) cell runs inside a crash-containment boundary:
+//! the cell is armed with the study's [`bomblab_fault::FaultPlan`] (if
+//! any) and a wall-clock deadline, executed under `catch_unwind`, and any
+//! panic — injected, organic, or deadline — lands as a well-formed
+//! `Abnormal` cell with a [`CrashDiag`] instead of killing the study.
 
-use crate::engine::{ground_truth, Attempt, Engine, GroundTruth, StaticHints, Subject};
+use crate::engine::GroundTruth;
+use crate::engine::{ground_truth, Attempt, CrashDiag, Engine, Evidence, StaticHints, Subject};
 use crate::outcome::Outcome;
 use crate::profile::ToolProfile;
 use crate::world::WorldInput;
+use bomblab_fault as fault;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 /// One dataset entry: a subject plus its known trigger and the outcome row
 /// the paper reports (the oracle used for agreement scoring).
@@ -53,6 +64,37 @@ pub struct RowResult {
     /// Per-profile outcome predicted by static analysis alone (no
     /// execution), in profile order.
     pub static_predictions: Vec<Outcome>,
+    /// Diagnostic when this row's static analysis crashed and was
+    /// contained (the dynamic cells still ran, with default hints).
+    pub analysis_crash: Option<CrashDiag>,
+}
+
+/// How to run a study: worker count, chaos plan, containment deadline.
+#[derive(Debug, Clone)]
+pub struct StudyOptions {
+    /// Worker threads for the two fan-out phases.
+    pub jobs: usize,
+    /// Fault plan armed around every cell (and every per-case static
+    /// analysis). `None` leaves the fault layer fully inert.
+    pub fault_plan: Option<fault::FaultPlan>,
+    /// Per-cell wall-clock deadline; a cell past it is recorded as
+    /// `Abnormal` ("cell wall-clock deadline exceeded") instead of
+    /// hanging the study. `None` disables the watchdog.
+    pub cell_deadline: Option<Duration>,
+}
+
+impl Default for StudyOptions {
+    fn default() -> StudyOptions {
+        StudyOptions {
+            jobs: 1,
+            fault_plan: None,
+            // Generous: real cells finish in milliseconds-to-seconds, so
+            // the default deadline only ever fires on a genuine hang (and
+            // its report text carries no timing, keeping reports
+            // byte-identical across schedulers).
+            cell_deadline: Some(Duration::from_secs(300)),
+        }
+    }
 }
 
 /// The full study outcome.
@@ -179,47 +221,113 @@ impl StudyReport {
                  (predictions made without executing the bombs)."
             );
         }
+        let crashes = self.contained_crashes();
+        if !crashes.is_empty() {
+            let _ = writeln!(out, "\n## Contained crashes\n");
+            for line in crashes {
+                let _ = writeln!(out, "- {line}");
+            }
+        }
         out
+    }
+
+    /// Deterministic one-line descriptions of every contained failure:
+    /// static-analysis crashes per row, then per-cell crash diagnostics
+    /// and injected-fault logs, in row/profile order. Empty on a healthy
+    /// run, so the Table-II snapshot is untouched.
+    pub fn contained_crashes(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for row in &self.rows {
+            if let Some(diag) = &row.analysis_crash {
+                lines.push(format!(
+                    "{} static analysis [{}]: {}",
+                    row.name, diag.stage, diag.message
+                ));
+            }
+            for cell in &row.cells {
+                let ev = &cell.attempt.evidence;
+                if ev.crash.is_none() && ev.fault_log.is_empty() {
+                    continue;
+                }
+                let mut line = format!("{} x {}", row.name, cell.profile);
+                match &ev.crash {
+                    Some(diag) => {
+                        let _ = write!(line, " [{}]: {}", diag.stage, diag.message);
+                    }
+                    None => {
+                        let _ = write!(line, ": survived injection as {}", cell.outcome);
+                    }
+                }
+                if !ev.fault_log.is_empty() {
+                    let _ = write!(line, " (injected: {})", ev.fault_log.join(", "));
+                }
+                lines.push(line);
+            }
+        }
+        lines
     }
 }
 
 /// Maps `f` over `0..n`, fanning the indices across `jobs` scoped worker
-/// threads. Workers pull indices from a shared atomic counter and collect
-/// `(index, result)` pairs locally; the pairs are merged and sorted after
-/// the scope joins, so the output order is `f(0), f(1), ..` regardless of
-/// scheduling. `jobs <= 1` (or a single item) runs inline on this thread.
-fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+/// threads, with two layers of panic containment:
+///
+/// * every `f(i)` runs under `catch_unwind`, so a panicking item becomes
+///   `recover(i, panic_message)` and its worker keeps draining indices;
+/// * results land in per-index slots as they finish, so even if a worker
+///   somehow dies anyway (e.g. `recover` itself panicked), every finished
+///   item survives and the dead worker's unfinished slots are backfilled
+///   with `recover` after the scope joins.
+///
+/// The output order is `f(0), f(1), ..` regardless of scheduling.
+/// `jobs <= 1` (or a single item) runs inline on this thread with the
+/// same containment.
+fn parallel_map<T, F, R>(jobs: usize, n: usize, f: F, recover: R) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+    R: Fn(usize, String) -> T + Sync,
 {
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let run_one = |i: usize| {
+        let value = match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(v) => v,
+            Err(payload) => recover(i, fault::panic_message(&*payload)),
+        };
+        // A poisoned slot just means a previous holder panicked while
+        // writing; the data is a plain Option we are about to overwrite.
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+    };
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let (next, f) = (&next, &f);
-    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..jobs.min(n))
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return local;
-                        }
-                        local.push((i, f(i)));
+        (0..n).for_each(&run_one);
+    } else {
+        let next = AtomicUsize::new(0);
+        let (next, run_one) = (&next, &run_one);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(n) {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
                     }
+                    run_one(i);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    recover(
+                        i,
+                        "study worker died before producing this result".to_string(),
+                    )
                 })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("study worker panicked"))
-            .collect()
-    });
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, t)| t).collect()
+        })
+        .collect()
 }
 
 /// Runs every case against every profile, logging progress to stderr.
@@ -228,11 +336,62 @@ pub fn run_study(cases: &[StudyCase], profiles: &[ToolProfile]) -> StudyReport {
     run_study_jobs(cases, profiles, 1)
 }
 
-/// Runs the study with up to `jobs` worker threads. Two fan-out phases:
-/// ground truths (one unit per case), then the (case, profile) cell
-/// matrix (one unit per cell). Rows and cells land in dataset order, so
-/// the report is byte-for-byte identical for every `jobs` value.
+/// Runs the study with up to `jobs` worker threads and default
+/// containment (no fault plan, generous cell deadline).
 pub fn run_study_jobs(cases: &[StudyCase], profiles: &[ToolProfile], jobs: usize) -> StudyReport {
+    run_study_with(
+        cases,
+        profiles,
+        &StudyOptions {
+            jobs,
+            ..StudyOptions::default()
+        },
+    )
+}
+
+/// An `Abnormal` cell standing in for an attempt that never finished:
+/// the containment boundary's record of a contained panic or deadline.
+fn abnormal_cell(
+    case: &StudyCase,
+    profile: &ToolProfile,
+    col: usize,
+    diag: CrashDiag,
+    containment: Option<&fault::Containment>,
+) -> CellResult {
+    let evidence = Evidence {
+        abnormal: true,
+        injected_faults: containment.map_or(0, |c| c.injected),
+        fault_log: containment.map(|c| c.fired.clone()).unwrap_or_default(),
+        crash: Some(diag),
+        ..Evidence::default()
+    };
+    CellResult {
+        profile: profile.name.clone(),
+        outcome: Outcome::Abnormal,
+        expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+        wall_ns: 0,
+        attempt: Attempt {
+            outcome: Outcome::Abnormal,
+            solved_input: None,
+            evidence,
+        },
+    }
+}
+
+/// Runs the study under explicit [`StudyOptions`]. Two fan-out phases:
+/// ground truths + static analysis (one unit per case), then the
+/// (case, profile) cell matrix (one unit per cell). Rows and cells land
+/// in dataset order and no report text depends on timing or scheduling,
+/// so the report is byte-for-byte identical for every `jobs` value —
+/// with or without an armed fault plan.
+pub fn run_study_with(
+    cases: &[StudyCase],
+    profiles: &[ToolProfile],
+    options: &StudyOptions,
+) -> StudyReport {
+    let jobs = options.jobs;
+    let plan = options.fault_plan.as_ref();
+    let deadline = options.cell_deadline;
     let capabilities: Vec<bomblab_sa::Capabilities> = profiles
         .iter()
         .map(ToolProfile::static_capabilities)
@@ -240,63 +399,205 @@ pub fn run_study_jobs(cases: &[StudyCase], profiles: &[ToolProfile], jobs: usize
 
     // Phase 1: per-case ground truth plus the execution-free static
     // analysis (CFG + VSA + lints) that feeds pruning hints and the
-    // prediction column.
-    let grounds = parallel_map(jobs, cases.len(), |i| {
-        let case = &cases[i];
-        let t0 = std::time::Instant::now();
-        let ground = ground_truth(&case.subject, &case.trigger);
-        let analysis = bomblab_sa::analyze(&case.subject.image, case.subject.lib.as_ref());
-        eprintln!(
-            "[study] {}: ground truth + static analysis in {:.1?} ({})",
-            case.subject.name,
-            t0.elapsed(),
-            analysis.summary()
-        );
-        (ground, analysis)
-    });
+    // prediction column. Ground truth is the study's *oracle* and runs
+    // unfaulted; the analyzer runs armed, and a contained analyzer crash
+    // degrades the row (default hints, `E` predictions) without losing it.
+    type GroundSlot = (GroundTruth, Result<bomblab_sa::Analysis, CrashDiag>);
+    let grounds: Vec<GroundSlot> = parallel_map(
+        jobs,
+        cases.len(),
+        |i| {
+            let case = &cases[i];
+            let t0 = std::time::Instant::now();
+            let ground = ground_truth(&case.subject, &case.trigger);
+            let token = fault::arm(plan, deadline);
+            let analysis = catch_unwind(AssertUnwindSafe(|| {
+                bomblab_sa::analyze(&case.subject.image, case.subject.lib.as_ref())
+            }));
+            let containment = fault::disarm(token);
+            let analysis = analysis.map_err(|payload| CrashDiag {
+                message: fault::panic_message(&*payload),
+                stage: "static analysis".to_string(),
+                elapsed_ns: containment.elapsed.as_nanos() as u64,
+            });
+            match &analysis {
+                Ok(a) => eprintln!(
+                    "[study] {}: ground truth + static analysis in {:.1?} ({})",
+                    case.subject.name,
+                    t0.elapsed(),
+                    a.summary()
+                ),
+                Err(diag) => eprintln!(
+                    "[study] {}: static analysis crashed (contained): {}",
+                    case.subject.name, diag.message
+                ),
+            }
+            (ground, analysis)
+        },
+        |i, message| {
+            // Even ground truth died: keep the row with a default oracle.
+            eprintln!(
+                "[study] {}: phase-1 worker crashed (contained): {message}",
+                cases[i].subject.name
+            );
+            (
+                GroundTruth::default(),
+                Err(CrashDiag {
+                    message,
+                    stage: "ground truth".to_string(),
+                    elapsed_ns: 0,
+                }),
+            )
+        },
+    );
 
-    let cells = parallel_map(jobs, cases.len() * profiles.len(), |k| {
-        let (case, (ground, analysis)) = (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
-        let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
-        let t1 = std::time::Instant::now();
-        let engine =
-            Engine::new(profile.clone()).with_static_hints(StaticHints::from_analysis(analysis));
-        let attempt = engine.explore(&case.subject, ground);
-        eprintln!(
-            "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries)",
-            case.subject.name,
-            profile.name,
-            attempt.outcome,
-            t1.elapsed(),
-            attempt.evidence.rounds,
-            attempt.evidence.queries
-        );
-        CellResult {
-            profile: profile.name.clone(),
-            outcome: attempt.outcome,
-            expected: case.paper_expected.and_then(|row| row.get(col).copied()),
-            wall_ns: t1.elapsed().as_nanos() as u64,
-            attempt,
-        }
-    });
+    // Phase 2: the cell matrix, one containment boundary per cell.
+    let cells = parallel_map(
+        jobs,
+        cases.len() * profiles.len(),
+        |k| {
+            let (case, (ground, analysis)) =
+                (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
+            let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
+            let hints = analysis
+                .as_ref()
+                .map(StaticHints::from_analysis)
+                .unwrap_or_default();
+            let t1 = std::time::Instant::now();
+            let token = fault::arm(plan, deadline);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Engine::new(profile.clone())
+                    .with_static_hints(hints)
+                    .explore(&case.subject, ground)
+            }));
+            let containment = fault::disarm(token);
+            let mut cell = match result {
+                Ok(mut attempt) => {
+                    attempt.evidence.injected_faults = containment.injected;
+                    CellResult {
+                        profile: profile.name.clone(),
+                        outcome: attempt.outcome,
+                        expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+                        wall_ns: t1.elapsed().as_nanos() as u64,
+                        attempt,
+                    }
+                }
+                Err(payload) => abnormal_cell(
+                    case,
+                    profile,
+                    col,
+                    CrashDiag {
+                        message: fault::panic_message(&*payload),
+                        stage: containment.stage.to_string(),
+                        elapsed_ns: containment.elapsed.as_nanos() as u64,
+                    },
+                    Some(&containment),
+                ),
+            };
+            cell.attempt.evidence.fault_log = containment.fired;
+            eprintln!(
+                "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries{})",
+                case.subject.name,
+                profile.name,
+                cell.outcome,
+                t1.elapsed(),
+                cell.attempt.evidence.rounds,
+                cell.attempt.evidence.queries,
+                if cell.attempt.evidence.injected_faults > 0 {
+                    format!(
+                        ", {} injected faults",
+                        cell.attempt.evidence.injected_faults
+                    )
+                } else {
+                    String::new()
+                }
+            );
+            cell
+        },
+        |k, message| {
+            let (case, profile) = (&cases[k / profiles.len()], &profiles[k % profiles.len()]);
+            abnormal_cell(
+                case,
+                profile,
+                k % profiles.len(),
+                CrashDiag {
+                    message,
+                    stage: "worker".to_string(),
+                    elapsed_ns: 0,
+                },
+                None,
+            )
+        },
+    );
 
     let mut cells = cells.into_iter();
     let rows = cases
         .iter()
         .zip(grounds)
-        .map(|(case, (ground, analysis))| RowResult {
-            name: case.subject.name.clone(),
-            category: case.category.clone(),
-            cells: cells.by_ref().take(profiles.len()).collect(),
-            ground,
-            static_predictions: capabilities
-                .iter()
-                .map(|caps| bomblab_sa::predict(&analysis.facts, caps).into())
-                .collect(),
+        .map(|(case, (ground, analysis))| {
+            let (static_predictions, analysis_crash) = match analysis {
+                Ok(a) => (
+                    capabilities
+                        .iter()
+                        .map(|caps| bomblab_sa::predict(&a.facts, caps).into())
+                        .collect(),
+                    None,
+                ),
+                // No analysis to predict from: the static tool itself
+                // died on this binary, which is exactly the paper's `E`.
+                Err(diag) => (vec![Outcome::Abnormal; profiles.len()], Some(diag)),
+            };
+            RowResult {
+                name: case.subject.name.clone(),
+                category: case.category.clone(),
+                cells: cells.by_ref().take(profiles.len()).collect(),
+                ground,
+                static_predictions,
+                analysis_crash,
+            }
         })
         .collect();
     StudyReport {
         profiles: profiles.iter().map(|p| p.name.clone()).collect(),
         rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map;
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_job_count() {
+        for jobs in [1, 2, 7] {
+            let out = parallel_map(jobs, 10, |i| i * i, |i, _| i);
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn a_panicking_item_is_recovered_without_losing_its_neighbors() {
+        for jobs in [1, 3] {
+            let out = parallel_map(
+                jobs,
+                5,
+                |i| {
+                    assert!(i != 2, "boom at {i}");
+                    format!("ok {i}")
+                },
+                |i, message| format!("recovered {i}: {message}"),
+            );
+            assert_eq!(out[0], "ok 0");
+            assert_eq!(out[1], "ok 1");
+            assert_eq!(out[2], "recovered 2: boom at 2");
+            assert_eq!(out[3], "ok 3");
+            assert_eq!(out[4], "ok 4");
+        }
+    }
+
+    #[test]
+    fn every_item_panicking_still_yields_a_full_result_vector() {
+        let out: Vec<usize> = parallel_map(4, 8, |_| panic!("all dead"), |i, _| i + 100);
+        assert_eq!(out, (100..108).collect::<Vec<_>>());
     }
 }

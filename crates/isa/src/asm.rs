@@ -1083,8 +1083,8 @@ mod tests {
         expect.push(0); // align 8: 17 bytes -> pad... (3+2+4 = 9; +8 = 17; +8 = 25 -> pad 7)
                         // Recompute: 3 + 2 + 4 + 8 + 8 = 25, pad to 32 = 7 zeros, then 3 zeros.
         expect.truncate(25);
-        expect.extend(std::iter::repeat(0).take(7));
-        expect.extend(std::iter::repeat(0).take(3));
+        expect.extend(std::iter::repeat_n(0, 7));
+        expect.extend(std::iter::repeat_n(0, 3));
         assert_eq!(obj.data, expect);
     }
 

@@ -44,6 +44,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// Crash-containment surface: assembling/linking untrusted text must fail
+// with typed errors (`AsmError`, `LinkError`, `ImageError`), never unwind.
+// The workspace lint table cannot be extended per crate, so the stricter
+// policy lives here; CI's `-D warnings` promotes it.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod asm;
 pub mod disasm;

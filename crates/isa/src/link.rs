@@ -16,6 +16,8 @@ pub enum LinkError {
     MissingEntry(String),
     /// A relative displacement overflowed 32 bits.
     RelocOverflow(String),
+    /// A relocation's patch site falls outside its section.
+    PatchOutOfBounds(String),
 }
 
 impl fmt::Display for LinkError {
@@ -27,6 +29,9 @@ impl fmt::Display for LinkError {
             }
             LinkError::MissingEntry(s) => write!(f, "entry symbol `{s}` not defined"),
             LinkError::RelocOverflow(s) => write!(f, "relative reference to `{s}` overflows"),
+            LinkError::PatchOutOfBounds(s) => {
+                write!(f, "relocation for `{s}` patches outside its section")
+            }
         }
     }
 }
@@ -161,16 +166,25 @@ impl Linker {
                             Section::Text => &mut text,
                             Section::Data => &mut data,
                         };
+
                         let off = (seg_off + reloc.offset) as usize;
                         match kind {
                             FixupKind::Abs64 => {
-                                buf[off..off + 8].copy_from_slice(&target.to_le_bytes());
+                                buf.get_mut(off..off + 8)
+                                    .ok_or_else(|| {
+                                        LinkError::PatchOutOfBounds(reloc.symbol.clone())
+                                    })?
+                                    .copy_from_slice(&target.to_le_bytes());
                             }
                             FixupKind::Rel32 { base } => {
                                 let delta = target.wrapping_sub(base) as i64;
                                 let rel = i32::try_from(delta)
                                     .map_err(|_| LinkError::RelocOverflow(reloc.symbol.clone()))?;
-                                buf[off..off + 4].copy_from_slice(&rel.to_le_bytes());
+                                buf.get_mut(off..off + 4)
+                                    .ok_or_else(|| {
+                                        LinkError::PatchOutOfBounds(reloc.symbol.clone())
+                                    })?
+                                    .copy_from_slice(&rel.to_le_bytes());
                             }
                         }
                     }
@@ -403,5 +417,31 @@ mod tests {
             }
             other => panic!("expected li, got {other}"),
         }
+    }
+
+    #[test]
+    fn out_of_bounds_patch_site_is_a_link_error_not_a_panic() {
+        // A hand-built object whose relocation points past the end of its
+        // text section: the linker must report it, not unwind.
+        use crate::obj::{Object, Reloc, RelocKind, Section, Symbol};
+        let mut obj = Object::new();
+        obj.text = vec![0u8; 4];
+        obj.symbols.push(Symbol {
+            name: "_start".into(),
+            section: Section::Text,
+            offset: 0,
+            global: true,
+        });
+        obj.relocs.push(Reloc {
+            section: Section::Text,
+            offset: 2, // patch needs bytes 2..10, but text is 4 bytes long
+            kind: RelocKind::Abs64,
+            symbol: "_start".into(),
+            addend: 0,
+        });
+        assert_eq!(
+            Linker::new().add_object(obj).link().unwrap_err(),
+            LinkError::PatchOutOfBounds("_start".into())
+        );
     }
 }

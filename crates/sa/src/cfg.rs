@@ -90,8 +90,21 @@ impl Cfg {
 }
 
 /// Recovers the CFG of `code` starting from `roots` (address → name).
+///
+/// # Panics
+///
+/// Panics only when an armed chaos plan injects a fault at the
+/// `cfg_build` site; the study runner contains it per cell.
 #[must_use]
 pub fn build(code: &CodeMap, roots: &BTreeMap<u64, String>, input: &CfgInput) -> Cfg {
+    // Fault-injection point: one hit per CFG recovery. Inert (one relaxed
+    // atomic load) unless a chaos plan is armed on this thread.
+    if let Some(action) = bomblab_fault::fault_point(bomblab_fault::FaultSite::CfgBuild) {
+        match action {
+            bomblab_fault::FaultAction::Stall => bomblab_fault::trip_stall(),
+            _ => panic!("injected panic in cfg recovery"),
+        }
+    }
     let mut cfg = Cfg::default();
     let mut pending: VecDeque<(u64, String)> = roots
         .iter()

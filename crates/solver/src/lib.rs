@@ -87,6 +87,9 @@ pub enum UnknownReason {
     FloatUnsupported,
     /// Floating-point local search found no satisfying input.
     FloatSearchFailed,
+    /// A chaos-harness fault plan forced this query to give up
+    /// (models solver resource exhaustion; never occurs unarmed).
+    FaultInjected,
 }
 
 impl fmt::Display for UnknownReason {
@@ -96,6 +99,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::FormulaTooLarge => write!(f, "formula exceeds node budget"),
             UnknownReason::FloatUnsupported => write!(f, "floating-point theory unsupported"),
             UnknownReason::FloatSearchFailed => write!(f, "floating-point search failed"),
+            UnknownReason::FaultInjected => write!(f, "fault injected by chaos plan"),
         }
     }
 }
@@ -268,6 +272,17 @@ impl Solver {
 
     /// Decides the conjunction of `constraints`.
     pub fn check(&self, constraints: &[Term]) -> SolveOutcome {
+        // Fault-injection point: one hit per query. Inert (one relaxed
+        // atomic load) unless a chaos plan is armed on this thread.
+        if let Some(action) = bomblab_fault::fault_point(bomblab_fault::FaultSite::SolverQuery) {
+            match action {
+                bomblab_fault::FaultAction::Panic => {
+                    panic!("injected panic in the solver")
+                }
+                bomblab_fault::FaultAction::Stall => bomblab_fault::trip_stall(),
+                _ => return SolveOutcome::Unknown(UnknownReason::FaultInjected),
+            }
+        }
         let mut stats = SolveStats::default();
         // Constant and interval pre-solving.
         let mut live = Vec::new();

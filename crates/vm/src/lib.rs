@@ -40,6 +40,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// Crash-containment surface: fallible paths must carry typed errors
+// ([`machine::MachineError`]) instead of unwinding through the study
+// runner. The workspace lint table cannot be extended per crate, so the
+// stricter policy lives here; CI's `-D warnings` promotes it.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cpu;
 pub mod machine;
@@ -49,7 +54,7 @@ pub mod trace;
 
 pub use cpu::{Effect, Regs};
 pub use machine::{
-    LoadError, Machine, MachineConfig, RunResult, RunStatus, BOOM_EXIT_CODE, ROOT_PID,
+    LoadError, Machine, MachineConfig, MachineError, RunResult, RunStatus, BOOM_EXIT_CODE, ROOT_PID,
 };
 pub use mem::{MemFault, Memory};
 pub use os::{Fd, Os};

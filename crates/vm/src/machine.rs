@@ -6,9 +6,10 @@
 //! instruction — the concolic engine's raw material.
 
 use crate::cpu::{self, Effect, Regs};
-use crate::mem::Memory;
+use crate::mem::{MemFault, Memory};
 use crate::os::{Fd, Os, O_RDONLY, O_RDWR, O_WRONLY};
 use crate::trace::{InputSource, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep};
+use bomblab_fault::{check_deadline, fault_point, trip_stall, FaultAction, FaultSite};
 use bomblab_isa::image::{layout, Image, ImageError};
 use bomblab_isa::{sys, Insn, Reg};
 use std::collections::{BTreeMap, VecDeque};
@@ -85,6 +86,9 @@ pub enum RunStatus {
     Deadlock,
     /// The step budget was exhausted.
     OutOfBudget,
+    /// The machine itself failed: an internal invariant broke or a fault
+    /// was injected into the emulator. The guest is in an undefined state.
+    Crashed(MachineError),
 }
 
 impl RunStatus {
@@ -104,7 +108,77 @@ impl fmt::Display for RunStatus {
             RunStatus::Faulted { cause, pc } => write!(f, "faulted(cause={cause}, pc={pc:#x})"),
             RunStatus::Deadlock => write!(f, "deadlock"),
             RunStatus::OutOfBudget => write!(f, "out of budget"),
+            RunStatus::Crashed(e) => write!(f, "machine crashed: {e}"),
         }
+    }
+}
+
+/// An internal machine failure: the emulator (not the guest) went wrong.
+///
+/// These are the typed replacements for what used to be `expect()` calls
+/// on the VM's fallible paths: instead of unwinding through the study
+/// runner, a broken invariant ends the run with
+/// [`RunStatus::Crashed`] and the concolic engine records the cell as
+/// abnormal (the paper's `E` label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// A scheduled pid no longer exists.
+    DeadProcess {
+        /// The missing process.
+        pid: u32,
+    },
+    /// A scheduled (pid, tid) no longer exists.
+    DeadThread {
+        /// Owning process.
+        pid: u32,
+        /// The missing thread.
+        tid: u32,
+    },
+    /// A memory access the kernel believed valid faulted.
+    Memory {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// The scheduler loop ended without recording a run status.
+    MissingResult,
+    /// Injected fault: instruction decode failure at `pc`.
+    InjectedDecodeFault {
+        /// Guest pc at injection.
+        pc: u64,
+    },
+    /// Injected fault: spurious memory fault at `pc`.
+    InjectedMemFault {
+        /// Guest pc at injection.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::DeadProcess { pid } => write!(f, "scheduled dead process {pid}"),
+            MachineError::DeadThread { pid, tid } => {
+                write!(f, "scheduled dead thread {pid}:{tid}")
+            }
+            MachineError::Memory { addr } => {
+                write!(f, "kernel memory access faulted at {addr:#x}")
+            }
+            MachineError::MissingResult => write!(f, "scheduler loop ended without a result"),
+            MachineError::InjectedDecodeFault { pc } => {
+                write!(f, "injected decode fault at pc {pc:#x}")
+            }
+            MachineError::InjectedMemFault { pc } => {
+                write!(f, "injected memory fault at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<MemFault> for MachineError {
+    fn from(e: MemFault) -> MachineError {
+        MachineError::Memory { addr: e.addr }
     }
 }
 
@@ -124,6 +198,9 @@ pub enum LoadError {
     Image(ImageError),
     /// The image has imports but no shared library was supplied.
     MissingLibrary(String),
+    /// Populating freshly mapped guest memory faulted (overlapping or
+    /// inconsistent segment layout in the image).
+    Memory(MemFault),
 }
 
 impl fmt::Display for LoadError {
@@ -133,6 +210,7 @@ impl fmt::Display for LoadError {
             LoadError::MissingLibrary(s) => {
                 write!(f, "image imports `{s}` but no shared library was provided")
             }
+            LoadError::Memory(e) => write!(f, "loader memory write faulted: {e}"),
         }
     }
 }
@@ -142,6 +220,12 @@ impl std::error::Error for LoadError {}
 impl From<ImageError> for LoadError {
     fn from(e: ImageError) -> LoadError {
         LoadError::Image(e)
+    }
+}
+
+impl From<MemFault> for LoadError {
+    fn from(e: MemFault) -> LoadError {
+        LoadError::Memory(e)
     }
 }
 
@@ -192,7 +276,8 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`LoadError`] if the image has imports and no library is
-    /// provided, or if import resolution fails.
+    /// provided, if import resolution fails, or if populating guest
+    /// memory faults (inconsistent segment layout).
     pub fn load(
         image: &Image,
         lib: Option<&Image>,
@@ -208,18 +293,14 @@ impl Machine {
 
         let mut mem = Memory::new();
         mem.map(image.text_base, image.text.len().max(1) as u64);
-        mem.write_bytes(image.text_base, &image.text)
-            .expect("text segment just mapped");
+        mem.write_bytes(image.text_base, &image.text)?;
         mem.map(image.data_base, image.data.len().max(1) as u64);
-        mem.write_bytes(image.data_base, &image.data)
-            .expect("data segment just mapped");
+        mem.write_bytes(image.data_base, &image.data)?;
         if let Some(l) = lib {
             mem.map(l.text_base, l.text.len().max(1) as u64);
-            mem.write_bytes(l.text_base, &l.text)
-                .expect("lib text just mapped");
+            mem.write_bytes(l.text_base, &l.text)?;
             mem.map(l.data_base, l.data.len().max(1) as u64);
-            mem.write_bytes(l.data_base, &l.data)
-                .expect("lib data just mapped");
+            mem.write_bytes(l.data_base, &l.data)?;
         }
         mem.map(layout::HEAP_BASE, layout::HEAP_SIZE);
         mem.map(layout::STACK_TOP - layout::STACK_SIZE, layout::STACK_SIZE);
@@ -234,8 +315,7 @@ impl Machine {
         }
         .encode(&mut stub);
         Insn::Sys.encode(&mut stub);
-        mem.write_bytes(layout::EXIT_STUB, &stub)
-            .expect("stub page mapped");
+        mem.write_bytes(layout::EXIT_STUB, &stub)?;
         let mut tstub = Vec::new();
         Insn::Li {
             rd: Reg::SV,
@@ -243,18 +323,15 @@ impl Machine {
         }
         .encode(&mut tstub);
         Insn::Sys.encode(&mut tstub);
-        mem.write_bytes(layout::THREAD_EXIT_STUB, &tstub)
-            .expect("stub page mapped");
+        mem.write_bytes(layout::THREAD_EXIT_STUB, &tstub)?;
 
         // argv: pointer array then the strings.
         let argc = config.argv.len() as u64;
         let mut str_addr = layout::ARGV_BASE + 8 * argc;
         for (i, arg) in config.argv.iter().enumerate() {
-            mem.write_uint(layout::ARGV_BASE + 8 * i as u64, str_addr, 8)
-                .expect("argv region mapped");
-            mem.write_bytes(str_addr, arg).expect("argv region mapped");
-            mem.write_u8(str_addr + arg.len() as u64, 0)
-                .expect("argv region mapped");
+            mem.write_uint(layout::ARGV_BASE + 8 * i as u64, str_addr, 8)?;
+            mem.write_bytes(str_addr, arg)?;
+            mem.write_u8(str_addr + arg.len() as u64, 0)?;
             str_addr += arg.len() as u64 + 1;
         }
 
@@ -313,9 +390,14 @@ impl Machine {
         })
     }
 
-    /// Runs until the root process ends, deadlock, or budget exhaustion.
+    /// Runs until the root process ends, deadlock, budget exhaustion, or an
+    /// internal machine failure ([`RunStatus::Crashed`]).
     pub fn run(&mut self) -> RunResult {
         while self.result.is_none() {
+            // Containment watchdog: when the study runner armed a cell
+            // deadline this panics (caught at the cell boundary) instead of
+            // letting a hung guest hang the whole study. Inert otherwise.
+            check_deadline();
             if self.steps >= self.step_budget {
                 self.result = Some(RunStatus::OutOfBudget);
                 break;
@@ -339,13 +421,18 @@ impl Machine {
                     break;
                 }
                 match self.step_thread(pid, tid) {
-                    ThreadStep::Ran => {
+                    Ok(ThreadStep::Ran) => {
                         made_progress = true;
                     }
-                    ThreadStep::Blocked => {
+                    Ok(ThreadStep::Blocked) => {
                         break;
                     }
-                    ThreadStep::Died => {
+                    Ok(ThreadStep::Died) => {
+                        alive = false;
+                        break;
+                    }
+                    Err(e) => {
+                        self.result = Some(RunStatus::Crashed(e));
                         alive = false;
                         break;
                     }
@@ -364,7 +451,9 @@ impl Machine {
             }
         }
         RunResult {
-            status: self.result.expect("loop sets result"),
+            status: self
+                .result
+                .unwrap_or(RunStatus::Crashed(MachineError::MissingResult)),
             steps: self.steps,
         }
     }
@@ -417,9 +506,29 @@ impl Machine {
         self.procs.values().map(|p| p.threads.len()).sum()
     }
 
-    fn step_thread(&mut self, pid: u32, tid: u32) -> ThreadStep {
-        let proc = self.procs.get_mut(&pid).expect("checked by caller");
-        let thread = proc.threads.get_mut(&tid).expect("checked by caller");
+    fn step_thread(&mut self, pid: u32, tid: u32) -> Result<ThreadStep, MachineError> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(MachineError::DeadProcess { pid })?;
+        let thread = proc
+            .threads
+            .get_mut(&tid)
+            .ok_or(MachineError::DeadThread { pid, tid })?;
+        // Fault-injection point: one hit per executed instruction. A single
+        // relaxed atomic load unless a chaos plan is armed on this thread.
+        if let Some(action) = fault_point(FaultSite::VmStep) {
+            let pc = thread.regs.pc;
+            match action {
+                FaultAction::DecodeError => {
+                    return Err(MachineError::InjectedDecodeFault { pc });
+                }
+                FaultAction::MemFault => return Err(MachineError::InjectedMemFault { pc }),
+                FaultAction::Panic => panic!("injected panic in the vm step loop"),
+                FaultAction::Stall => trip_stall(),
+                FaultAction::Unknown => {}
+            }
+        }
         let outcome = cpu::step(&mut thread.regs, &mut proc.mem, pid, tid, self.tracing);
         self.steps += 1;
         match outcome.effect {
@@ -427,32 +536,49 @@ impl Machine {
                 if let Some(s) = outcome.step {
                     self.trace.steps.push(s);
                 }
-                ThreadStep::Ran
+                Ok(ThreadStep::Ran)
             }
             Effect::Halt => {
                 if let Some(s) = outcome.step {
                     self.trace.steps.push(s);
                 }
-                let code = self.procs[&pid].threads[&tid].regs.get(Reg::A0) as i64;
+                let code = self
+                    .procs
+                    .get(&pid)
+                    .and_then(|p| p.threads.get(&tid))
+                    .ok_or(MachineError::DeadThread { pid, tid })?
+                    .regs
+                    .get(Reg::A0) as i64;
                 self.exit_process(pid, code);
-                ThreadStep::Died
+                Ok(ThreadStep::Died)
             }
             Effect::Trap(fault) => {
                 if let Some(s) = outcome.step {
                     self.trace.steps.push(s);
                 }
-                let proc = self.procs.get_mut(&pid).expect("still alive");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 match proc.trap_handler {
                     Some(handler) => {
-                        let thread = proc.threads.get_mut(&tid).expect("still alive");
+                        let thread = proc
+                            .threads
+                            .get_mut(&tid)
+                            .ok_or(MachineError::DeadThread { pid, tid })?;
                         let resume = thread.regs.pc.wrapping_add(fault.insn_len);
                         thread.regs.set(Reg::TC, fault.cause);
                         thread.regs.set(Reg::TR, resume);
                         thread.regs.pc = handler;
-                        ThreadStep::Ran
+                        Ok(ThreadStep::Ran)
                     }
                     None => {
-                        let pc = proc.threads[&tid].regs.pc;
+                        let pc = proc
+                            .threads
+                            .get(&tid)
+                            .ok_or(MachineError::DeadThread { pid, tid })?
+                            .regs
+                            .pc;
                         self.exit_process(pid, 128 + fault.cause as i64);
                         if pid == ROOT_PID {
                             self.result = Some(RunStatus::Faulted {
@@ -460,7 +586,7 @@ impl Machine {
                                 pc,
                             });
                         }
-                        ThreadStep::Died
+                        Ok(ThreadStep::Died)
                     }
                 }
             }
@@ -489,9 +615,21 @@ impl Machine {
         self.exited.insert(pid, (proc.parent, status));
     }
 
-    fn handle_syscall(&mut self, pid: u32, tid: u32, step: Option<TraceStep>) -> ThreadStep {
-        let proc = self.procs.get_mut(&pid).expect("live process");
-        let regs = &proc.threads[&tid].regs;
+    fn handle_syscall(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        step: Option<TraceStep>,
+    ) -> Result<ThreadStep, MachineError> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(MachineError::DeadProcess { pid })?;
+        let regs = &proc
+            .threads
+            .get(&tid)
+            .ok_or(MachineError::DeadThread { pid, tid })?
+            .regs;
         let num = regs.get(Reg::SV);
         let args = [
             regs.get(Reg::A0),
@@ -502,7 +640,7 @@ impl Machine {
             regs.get(Reg::A5),
         ];
 
-        let outcome = self.do_syscall(pid, tid, num, args);
+        let outcome = self.do_syscall(pid, tid, num, args)?;
         match outcome {
             SysOutcome::Done { ret, effect } => {
                 // The process may have exited (sys::EXIT) — only advance pc
@@ -528,9 +666,9 @@ impl Machine {
                     .get(&pid)
                     .is_some_and(|p| p.threads.contains_key(&tid));
                 if died {
-                    ThreadStep::Died
+                    Ok(ThreadStep::Died)
                 } else {
-                    ThreadStep::Ran
+                    Ok(ThreadStep::Ran)
                 }
             }
             SysOutcome::Block => {
@@ -539,20 +677,29 @@ impl Machine {
                         t.blocked = true;
                     }
                 }
-                ThreadStep::Blocked
+                Ok(ThreadStep::Blocked)
             }
         }
     }
 
-    fn do_syscall(&mut self, pid: u32, tid: u32, num: u64, args: [u64; 6]) -> SysOutcome {
+    fn do_syscall(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        num: u64,
+        args: [u64; 6],
+    ) -> Result<SysOutcome, MachineError> {
         let neg1 = u64::MAX;
-        match num {
+        Ok(match num {
             sys::EXIT => {
                 self.exit_process(pid, args[0] as i64);
                 SysOutcome::done(0)
             }
             sys::THREAD_EXIT => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 proc.threads.remove(&tid);
                 proc.thread_exits.insert(tid, args[0]);
                 if proc.threads.is_empty() {
@@ -562,13 +709,16 @@ impl Machine {
             }
             sys::WRITE => {
                 let (fd, buf, len) = (args[0] as usize, args[1], args[2]);
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 if !proc.mem.is_mapped(buf, len) {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
-                let bytes = proc.mem.read_bytes(buf, len).expect("checked mapped");
+                let bytes = proc.mem.read_bytes(buf, len)?;
                 let Some(Some(entry)) = proc.fds.get_mut(fd) else {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 };
                 let (sink, offset) = match entry {
                     Fd::Stdout => {
@@ -583,7 +733,7 @@ impl Machine {
                         ..
                     } => {
                         if !*writable {
-                            return SysOutcome::done(neg1);
+                            return Ok(SysOutcome::done(neg1));
                         }
                         let name = name.clone();
                         let at = *pos as usize;
@@ -603,7 +753,7 @@ impl Machine {
                         pipe.write_off += bytes.len() as u64;
                         (OutputSink::Pipe(id), off)
                     }
-                    Fd::Stdin | Fd::PipeRead(_) => return SysOutcome::done(neg1),
+                    Fd::Stdin | Fd::PipeRead(_) => return Ok(SysOutcome::done(neg1)),
                 };
                 SysOutcome::Done {
                     ret: bytes.len() as u64,
@@ -617,12 +767,15 @@ impl Machine {
             }
             sys::READ => {
                 let (fd, buf, len) = (args[0] as usize, args[1], args[2]);
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 if !proc.mem.is_mapped(buf, len) {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
                 let Some(Some(entry)) = proc.fds.get_mut(fd) else {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 };
                 let (bytes, source, offset) = match entry {
                     Fd::Stdin => {
@@ -640,7 +793,7 @@ impl Machine {
                         ..
                     } => {
                         if !*readable {
-                            return SysOutcome::done(neg1);
+                            return Ok(SysOutcome::done(neg1));
                         }
                         let content = self.os.fs.get(name).cloned().unwrap_or_default();
                         let at = (*pos as usize).min(content.len());
@@ -657,7 +810,7 @@ impl Machine {
                         let pipe = &mut self.os.pipes[id];
                         if pipe.buf.is_empty() {
                             if pipe.writers > 0 {
-                                return SysOutcome::Block;
+                                return Ok(SysOutcome::Block);
                             }
                             (Vec::new(), InputSource::Pipe(id), pipe.read_off)
                         } else {
@@ -668,9 +821,9 @@ impl Machine {
                             (bytes, InputSource::Pipe(id), off)
                         }
                     }
-                    Fd::Stdout | Fd::PipeWrite(_) => return SysOutcome::done(neg1),
+                    Fd::Stdout | Fd::PipeWrite(_) => return Ok(SysOutcome::done(neg1)),
                 };
-                proc.mem.write_bytes(buf, &bytes).expect("checked mapped");
+                proc.mem.write_bytes(buf, &bytes)?;
                 SysOutcome::Done {
                     ret: bytes.len() as u64,
                     effect: SysEffect::InputBytes {
@@ -682,19 +835,22 @@ impl Machine {
                 }
             }
             sys::OPEN => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 let Ok(path) = proc.mem.read_cstr(args[0], 256) else {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 };
                 let name = String::from_utf8_lossy(&path).into_owned();
                 let flags = args[1];
                 let entry = match flags {
                     O_RDONLY => {
                         if !self.os.fs.contains_key(&name) {
-                            return SysOutcome::Done {
+                            return Ok(SysOutcome::Done {
                                 ret: neg1,
                                 effect: SysEffect::OpenedFile { path, fd: -1 },
-                            };
+                            });
                         }
                         Fd::File {
                             name: name.clone(),
@@ -721,7 +877,7 @@ impl Machine {
                             writable: true,
                         }
                     }
-                    _ => return SysOutcome::done(neg1),
+                    _ => return Ok(SysOutcome::done(neg1)),
                 };
                 let fd = alloc_fd(&mut proc.fds, entry);
                 SysOutcome::Done {
@@ -733,7 +889,10 @@ impl Machine {
                 }
             }
             sys::CLOSE => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 let fd = args[0] as usize;
                 match proc.fds.get_mut(fd).and_then(Option::take) {
                     Some(Fd::PipeRead(id)) => {
@@ -749,9 +908,12 @@ impl Machine {
                 }
             }
             sys::UNLINK => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 let Ok(path) = proc.mem.read_cstr(args[0], 256) else {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 };
                 let name = String::from_utf8_lossy(&path).into_owned();
                 match self.os.fs.remove(&name) {
@@ -767,7 +929,10 @@ impl Machine {
                 self.next_pid += 1;
                 let child_tid = self.next_tid;
                 self.next_tid += 1;
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 // Bump pipe refcounts for inherited descriptors.
                 let fds = proc.fds.clone();
                 let mut child = Process {
@@ -810,9 +975,9 @@ impl Machine {
                 if let Some(&(parent, status)) = self.exited.get(&target) {
                     if parent == pid {
                         self.exited.remove(&target);
-                        return SysOutcome::done(status as u64);
+                        return Ok(SysOutcome::done(status as u64));
                     }
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
                 if self.procs.contains_key(&target) {
                     SysOutcome::Block
@@ -822,18 +987,17 @@ impl Machine {
             }
             sys::PIPE => {
                 let id = self.os.create_pipe();
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 if !proc.mem.is_mapped(args[0], 16) {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
                 let rfd = alloc_fd(&mut proc.fds, Fd::PipeRead(id));
                 let wfd = alloc_fd(&mut proc.fds, Fd::PipeWrite(id));
-                proc.mem
-                    .write_uint(args[0], rfd as u64, 8)
-                    .expect("checked mapped");
-                proc.mem
-                    .write_uint(args[0] + 8, wfd as u64, 8)
-                    .expect("checked mapped");
+                proc.mem.write_uint(args[0], rfd as u64, 8)?;
+                proc.mem.write_uint(args[0] + 8, wfd as u64, 8)?;
                 SysOutcome::Done {
                     ret: 0,
                     effect: SysEffect::PipeCreated {
@@ -847,7 +1011,10 @@ impl Machine {
                 let (entry, arg) = (args[0], args[1]);
                 let new_tid = self.next_tid;
                 self.next_tid += 1;
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 let index = proc.next_stack_index;
                 proc.next_stack_index += 1;
                 let top = layout::STACK_TOP - index * layout::STACK_STRIDE;
@@ -877,7 +1044,10 @@ impl Machine {
             }
             sys::THREAD_JOIN => {
                 let target = args[0] as u32;
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 if let Some(ret) = proc.thread_exits.remove(&target) {
                     SysOutcome::done(ret)
                 } else if proc.threads.contains_key(&target) {
@@ -890,13 +1060,14 @@ impl Machine {
                 let (_url, buf, len) = (args[0], args[1], args[2]);
                 let response = self.os.net_response.clone();
                 let n = response.len().min(args[2] as usize);
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 if !proc.mem.is_mapped(buf, len.min(n as u64)) {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
-                proc.mem
-                    .write_bytes(buf, &response[..n])
-                    .expect("checked mapped");
+                proc.mem.write_bytes(buf, &response[..n])?;
                 SysOutcome::Done {
                     ret: n as u64,
                     effect: SysEffect::InputBytes {
@@ -908,33 +1079,39 @@ impl Machine {
                 }
             }
             sys::SET_TRAP_HANDLER => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 proc.trap_handler = (args[0] != 0).then_some(args[0]);
                 SysOutcome::done(0)
             }
             sys::LSEEK => {
-                let proc = self.procs.get_mut(&pid).expect("live");
+                let proc = self
+                    .procs
+                    .get_mut(&pid)
+                    .ok_or(MachineError::DeadProcess { pid })?;
                 let fd = args[0] as usize;
                 let off = args[1] as i64;
                 let whence = args[2];
                 let Some(Some(Fd::File { name, pos, .. })) = proc.fds.get_mut(fd) else {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 };
                 let size = self.os.fs.get(name).map_or(0, Vec::len) as i64;
                 let new = match whence {
                     0 => off,
                     1 => *pos as i64 + off,
                     2 => size + off,
-                    _ => return SysOutcome::done(neg1),
+                    _ => return Ok(SysOutcome::done(neg1)),
                 };
                 if new < 0 {
-                    return SysOutcome::done(neg1);
+                    return Ok(SysOutcome::done(neg1));
                 }
                 *pos = new as u64;
                 SysOutcome::done(new as u64)
             }
             _ => SysOutcome::done(neg1),
-        }
+        })
     }
 }
 
@@ -953,6 +1130,79 @@ enum ThreadStep {
     Ran,
     Blocked,
     Died,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bomblab_fault::{arm, disarm, FaultPlan};
+    use bomblab_isa::asm::assemble;
+    use bomblab_isa::link::Linker;
+
+    fn exit7() -> Image {
+        let obj = assemble(
+            r"
+            .text
+            .global _start
+        _start:
+            li   a0, 7
+            li   sv, 0      # SYS_EXIT
+            sys
+            ",
+        )
+        .unwrap();
+        Linker::new().add_object(obj).link().unwrap()
+    }
+
+    #[test]
+    fn injected_decode_fault_ends_the_run_as_crashed() {
+        let mut m = Machine::load(&exit7(), None, MachineConfig::default()).unwrap();
+        let plan = FaultPlan::single(FaultSite::VmStep, 2, FaultAction::DecodeError);
+        let token = arm(Some(&plan), None);
+        let result = m.run();
+        let containment = disarm(token);
+        assert_eq!(containment.injected, 1);
+        assert!(
+            matches!(
+                result.status,
+                RunStatus::Crashed(MachineError::InjectedDecodeFault { .. })
+            ),
+            "expected an injected crash, got {}",
+            result.status
+        );
+        assert_eq!(result.steps, 1, "one instruction ran before injection");
+    }
+
+    #[test]
+    fn injected_mem_fault_ends_the_run_as_crashed() {
+        let mut m = Machine::load(&exit7(), None, MachineConfig::default()).unwrap();
+        let plan = FaultPlan::single(FaultSite::VmStep, 1, FaultAction::MemFault);
+        let token = arm(Some(&plan), None);
+        let result = m.run();
+        let containment = disarm(token);
+        assert_eq!(containment.injected, 1);
+        assert!(matches!(
+            result.status,
+            RunStatus::Crashed(MachineError::InjectedMemFault { .. })
+        ));
+    }
+
+    #[test]
+    fn a_plan_past_the_programs_length_is_a_no_op() {
+        let mut m = Machine::load(&exit7(), None, MachineConfig::default()).unwrap();
+        let plan = FaultPlan::single(FaultSite::VmStep, 1_000_000, FaultAction::Panic);
+        let token = arm(Some(&plan), None);
+        let result = m.run();
+        let containment = disarm(token);
+        assert_eq!(containment.injected, 0);
+        assert_eq!(result.status.exit_code(), Some(7));
+    }
+
+    #[test]
+    fn unarmed_runs_are_untouched_by_the_fault_layer() {
+        let mut m = Machine::load(&exit7(), None, MachineConfig::default()).unwrap();
+        assert_eq!(m.run().status.exit_code(), Some(7));
+    }
 }
 
 enum SysOutcome {

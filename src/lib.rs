@@ -20,6 +20,7 @@
 //! | [`symex`] | `bomblab-symex` | symbolic state + constraint extraction |
 //! | [`concolic`] | `bomblab-concolic` | the engine, tool profiles, study |
 //! | [`sa`] | `bomblab-sa` | static analysis: CFG recovery, VSA, lints |
+//! | [`fault`] | `bomblab-fault` | deterministic fault injection + crash containment |
 //! | [`interval`] | `bomblab-interval` | strided-interval arithmetic |
 //! | [`bombs`] | `bomblab-bombs` | the 22-bomb dataset |
 //!
@@ -60,6 +61,7 @@
 
 pub use bomblab_bombs as bombs;
 pub use bomblab_concolic as concolic;
+pub use bomblab_fault as fault;
 pub use bomblab_interval as interval;
 pub use bomblab_ir as ir;
 pub use bomblab_isa as isa;
@@ -73,7 +75,8 @@ pub use bomblab_vm as vm;
 /// The most common imports for working with the engine.
 pub mod prelude {
     pub use bomblab_concolic::{
-        run_study, run_study_jobs, Attempt, Engine, GroundTruth, Outcome, StudyCase, Subject,
+        chaos_sweep, check_containment, run_study, run_study_jobs, run_study_with, Attempt,
+        ChaosConfig, Engine, GroundTruth, Outcome, StudyCase, StudyOptions, Subject, SweepOutcome,
         ToolProfile, WorldInput,
     };
     pub use bomblab_rt::{link_program, link_program_dynamic};

@@ -11,9 +11,14 @@
 //! bomblab analyze --bombs [prefix]      analyze the dataset, print summaries
 //! bomblab bombs                         list the dataset
 //! bomblab study [prefix] [--jobs N]     run the Table-II study
+//! bomblab chaos [prefix] [--seed N] [--faults K] [--sweeps M] [--jobs N]
+//!                                       fault-injection sweeps + containment check
 //! ```
 
-use bomblab::concolic::{run_study_jobs, Engine, GroundTruth, Subject, ToolProfile, WorldInput};
+use bomblab::concolic::{
+    chaos_sweep, run_study_jobs, ChaosConfig, Engine, GroundTruth, Outcome, Subject, ToolProfile,
+    WorldInput,
+};
 use bomblab::isa::image::Image;
 use bomblab::rt::link_program;
 use bomblab::vm::{Machine, MachineConfig};
@@ -31,9 +36,10 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("bombs") => cmd_bombs(),
         Some("study") => cmd_study(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bomblab <asm|dis|run|trace|solve|analyze|bombs|study> [args]\n\
+                "usage: bomblab <asm|dis|run|trace|solve|analyze|bombs|study|chaos> [args]\n\
                  see `bomblab` source documentation for details"
             );
             return ExitCode::from(2);
@@ -265,5 +271,71 @@ fn cmd_study(args: &[String]) -> CmdResult {
     }
     let report = run_study_jobs(&cases, &ToolProfile::paper_lineup(), jobs);
     println!("{}", report.to_markdown());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_chaos(args: &[String]) -> CmdResult {
+    let mut prefix = String::new();
+    let mut config = ChaosConfig::default();
+    let mut it = args.iter();
+    config.jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let parse = |flag: &str, value: Option<&String>| -> Result<u64, Box<dyn std::error::Error>> {
+        let v = value.ok_or_else(|| format!("chaos: {flag} needs a number"))?;
+        v.parse()
+            .map_err(|_| format!("chaos: bad {flag} value {v:?}").into())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => config.seed = parse("--seed", it.next())?,
+            "--faults" => config.faults = parse("--faults", it.next())? as u32,
+            "--sweeps" => config.sweeps = parse("--sweeps", it.next())? as u32,
+            "--jobs" | "-j" => config.jobs = parse("--jobs", it.next())? as usize,
+            _ => prefix = arg.clone(),
+        }
+    }
+    if config.jobs == 0 {
+        config.jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    }
+    let cases: Vec<_> = bomblab::bombs::all_cases()
+        .into_iter()
+        .filter(|c| c.subject.name.starts_with(&prefix))
+        .collect();
+    if cases.is_empty() {
+        return Err(format!("no bombs match prefix {prefix:?}").into());
+    }
+    let profiles = ToolProfile::paper_lineup();
+    let sweeps = chaos_sweep(&cases, &profiles, &config);
+    let mut failed = false;
+    for sweep in &sweeps {
+        let abnormal = sweep
+            .report
+            .rows
+            .iter()
+            .flat_map(|row| &row.cells)
+            .filter(|cell| cell.outcome == Outcome::Abnormal)
+            .count();
+        println!("sweep seed={}: plan [{}]", sweep.seed, sweep.plan);
+        println!(
+            "  {} cells, {} absorbed injected faults, {} labeled E",
+            sweep.report.rows.len() * profiles.len(),
+            sweep.injected_cells,
+            abnormal
+        );
+        for line in sweep.report.contained_crashes() {
+            println!("  contained: {line}");
+        }
+        if sweep.violations.is_empty() {
+            println!("  containment invariant: OK");
+        } else {
+            failed = true;
+            for v in &sweep.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("chaos: containment invariant violated");
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,215 @@
+//! Chaos-harness integration tests: injected faults must always surface
+//! as well-formed `E`/`P` cells in a complete, deterministic report —
+//! never as a lost cell or an aborted study.
+
+use bomblab::bombs::dataset;
+use bomblab::concolic::{
+    chaos_sweep, check_containment, run_study_with, ChaosConfig, Outcome, StudyCase, StudyOptions,
+};
+use bomblab::fault::{FaultAction, FaultPlan, FaultSite};
+use bomblab::prelude::*;
+use proptest::prelude::*;
+
+/// A fast slice of the dataset: three bombs from different challenge
+/// categories that each finish in well under a second per cell.
+fn fast_cases() -> Vec<StudyCase> {
+    vec![
+        dataset::decl_time(),
+        dataset::covert_stack(),
+        dataset::array_l1(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant: any random seeded fault plan yields a
+    /// complete bombs × profiles matrix with every injected fault
+    /// contained as a well-formed cell, at any job count.
+    #[test]
+    fn random_fault_plans_are_always_contained(
+        seed in 0u64..1_000_000,
+        faults in 1usize..6,
+    ) {
+        let cases = fast_cases();
+        let profiles = ToolProfile::paper_lineup();
+        let sweeps = chaos_sweep(
+            &cases,
+            &profiles,
+            &ChaosConfig {
+                seed,
+                sweeps: 1,
+                faults: faults as u32,
+                jobs: 2,
+                ..ChaosConfig::default()
+            },
+        );
+        prop_assert_eq!(sweeps.len(), 1);
+        let sweep = &sweeps[0];
+        prop_assert!(
+            sweep.violations.is_empty(),
+            "plan [{}] violated containment: {:?}",
+            sweep.plan,
+            sweep.violations
+        );
+        prop_assert_eq!(sweep.report.rows.len(), cases.len());
+    }
+}
+
+#[test]
+fn a_fixed_plan_is_byte_identical_across_job_counts() {
+    let cases = fast_cases();
+    let profiles = ToolProfile::paper_lineup();
+    let plan = FaultPlan::random(42, 4);
+    let run = |jobs| {
+        run_study_with(
+            &cases,
+            &profiles,
+            &StudyOptions {
+                jobs,
+                fault_plan: Some(plan.clone()),
+                ..StudyOptions::default()
+            },
+        )
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        serial.to_markdown(),
+        parallel.to_markdown(),
+        "a faulted study must render identically at --jobs 1 and --jobs 8"
+    );
+    assert_eq!(serial.contained_crashes(), parallel.contained_crashes());
+}
+
+#[test]
+fn a_panicking_cell_no_longer_aborts_the_study() {
+    // Regression for the old `worker.join().expect(...)`: a panic on the
+    // very first engine round used to kill the worker and abort the run.
+    let cases = fast_cases();
+    let profiles = ToolProfile::paper_lineup();
+    let plan = FaultPlan::single(FaultSite::EngineRound, 1, FaultAction::Panic);
+    let report = run_study_with(
+        &cases,
+        &profiles,
+        &StudyOptions {
+            jobs: 2,
+            fault_plan: Some(plan),
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(report.rows.len(), cases.len());
+    for row in &report.rows {
+        assert_eq!(row.cells.len(), profiles.len());
+        for cell in &row.cells {
+            assert_eq!(
+                cell.outcome,
+                Outcome::Abnormal,
+                "{} x {}: a first-round panic must land as E",
+                row.name,
+                cell.profile
+            );
+            let diag = cell.attempt.evidence.crash.as_ref().expect("crash diag");
+            assert!(
+                diag.message.contains("injected"),
+                "diagnostic should name the injected panic, got {:?}",
+                diag.message
+            );
+        }
+    }
+    assert!(check_containment(&cases, &profiles, &report).is_empty());
+}
+
+#[test]
+fn an_injected_stall_is_contained_as_a_deadline_crash() {
+    let cases = vec![dataset::covert_stack()];
+    let profiles = ToolProfile::paper_lineup();
+    let plan = FaultPlan::single(FaultSite::EngineRound, 1, FaultAction::Stall);
+    let report = run_study_with(
+        &cases,
+        &profiles,
+        &StudyOptions {
+            jobs: 1,
+            fault_plan: Some(plan),
+            ..StudyOptions::default()
+        },
+    );
+    for cell in &report.rows[0].cells {
+        assert_eq!(cell.outcome, Outcome::Abnormal);
+        let diag = cell.attempt.evidence.crash.as_ref().expect("crash diag");
+        assert!(
+            diag.message.contains("deadline"),
+            "stall should surface as a deadline crash, got {:?}",
+            diag.message
+        );
+    }
+}
+
+#[test]
+fn an_injected_solver_unknown_degrades_the_cell_to_abnormal() {
+    let cases = vec![dataset::covert_stack()];
+    let profiles = ToolProfile::paper_lineup();
+    let plan = FaultPlan::single(FaultSite::SolverQuery, 1, FaultAction::Unknown);
+    let report = run_study_with(
+        &cases,
+        &profiles,
+        &StudyOptions {
+            jobs: 1,
+            fault_plan: Some(plan),
+            ..StudyOptions::default()
+        },
+    );
+    let row = &report.rows[0];
+    let absorbed: Vec<_> = row
+        .cells
+        .iter()
+        .filter(|c| c.attempt.evidence.injected_faults > 0)
+        .collect();
+    assert!(
+        !absorbed.is_empty(),
+        "at least one profile queries the solver on covert_stack"
+    );
+    for cell in absorbed {
+        assert_eq!(
+            cell.outcome,
+            Outcome::Abnormal,
+            "{}: an injected Unknown must not launder into a success label",
+            cell.profile
+        );
+        assert!(cell.attempt.solved_input.is_none());
+    }
+    assert!(check_containment(&cases, &profiles, &report).is_empty());
+}
+
+#[test]
+fn a_cfg_fault_degrades_the_row_not_the_study() {
+    let cases = fast_cases();
+    let profiles = ToolProfile::paper_lineup();
+    let plan = FaultPlan::single(FaultSite::CfgBuild, 1, FaultAction::Panic);
+    let report = run_study_with(
+        &cases,
+        &profiles,
+        &StudyOptions {
+            jobs: 2,
+            fault_plan: Some(plan),
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(report.rows.len(), cases.len());
+    for row in &report.rows {
+        let diag = row
+            .analysis_crash
+            .as_ref()
+            .expect("static analysis crashed on every row");
+        assert!(diag.message.contains("injected"));
+        // The prediction column degrades to `E`, the cell matrix survives.
+        assert_eq!(
+            row.static_predictions,
+            vec![Outcome::Abnormal; profiles.len()]
+        );
+        assert_eq!(row.cells.len(), profiles.len());
+    }
+    assert!(check_containment(&cases, &profiles, &report).is_empty());
+    let md = report.to_markdown();
+    assert!(md.contains("## Contained crashes"));
+}

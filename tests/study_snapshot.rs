@@ -85,6 +85,33 @@ fn representative_rows_match_the_paper() {
 }
 
 #[test]
+fn the_fault_layer_is_inert_without_a_plan() {
+    // Table-II guard: with no FaultPlan armed, the injection layer must be
+    // a no-op — zero injected sites globally and clean evidence on every
+    // cell, so the snapshot above cannot drift because of the chaos layer.
+    let before = bomblab::fault::global_injected_total();
+    let cases = vec![dataset::decl_time(), dataset::covert_stack()];
+    let report = run_study(&cases, &ToolProfile::paper_lineup());
+    assert_eq!(
+        bomblab::fault::global_injected_total(),
+        before,
+        "an unfaulted study must not inject a single fault"
+    );
+    for row in &report.rows {
+        assert!(row.analysis_crash.is_none());
+        for cell in &row.cells {
+            assert_eq!(cell.attempt.evidence.injected_faults, 0);
+            assert!(cell.attempt.evidence.crash.is_none());
+            assert!(cell.attempt.evidence.fault_log.is_empty());
+        }
+    }
+    assert!(
+        !report.to_markdown().contains("Contained crashes"),
+        "the crash section only renders when something was contained"
+    );
+}
+
+#[test]
 fn markdown_report_renders_counts_and_agreement() {
     let cases = vec![dataset::covert_stack()];
     let report = run_study(&cases, &ToolProfile::paper_lineup());
