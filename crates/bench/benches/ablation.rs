@@ -55,7 +55,7 @@ fn array_pipeline(model: MemoryModel) -> bool {
         let SolveOutcome::Sat(m) = solver.check(&sym.flip_query(i)) else {
             continue;
         };
-        let byte = m.get("arg1_b0").map(|v| v as u8).unwrap_or(b'2');
+        let byte = m.get("arg1_b0").map_or(b'2', |v| v as u8);
         let mut replay =
             Machine::load(&image, None, MachineConfig::with_arg(vec![byte])).expect("loads");
         if replay.run().status.exit_code() == Some(42) {
@@ -68,7 +68,7 @@ fn array_pipeline(model: MemoryModel) -> bool {
 fn memory_model_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_memory_model");
     group.bench_function("concretize", |b| {
-        b.iter(|| array_pipeline(MemoryModel::Concretize))
+        b.iter(|| array_pipeline(MemoryModel::Concretize));
     });
     for region in [16u64, 64, 256] {
         group.bench_with_input(
@@ -80,7 +80,7 @@ fn memory_model_ablation(c: &mut Criterion) {
                         max_indirection: 1,
                         region,
                     })
-                })
+                });
             },
         );
     }
@@ -102,10 +102,20 @@ fn interval_presolve_ablation(c: &mut Criterion) {
     let alive = Term::cmp(CmpOp::Eq, &masked, &Term::bv(0x42, 32));
     let mut group = c.benchmark_group("ablation_interval");
     group.bench_function("presolved_unsat", |b| {
-        b.iter(|| matches!(Solver::new().check(&[dead.clone()]), SolveOutcome::Unsat))
+        b.iter(|| {
+            matches!(
+                Solver::new().check(std::slice::from_ref(&dead)),
+                SolveOutcome::Unsat
+            )
+        });
     });
     group.bench_function("blasted_sat", |b| {
-        b.iter(|| matches!(Solver::new().check(&[alive.clone()]), SolveOutcome::Sat(_)))
+        b.iter(|| {
+            matches!(
+                Solver::new().check(std::slice::from_ref(&alive)),
+                SolveOutcome::Sat(_)
+            )
+        });
     });
     group.finish();
 }

@@ -1,0 +1,67 @@
+//! Observability overhead: an unarmed instrumentation site must cost a
+//! single relaxed atomic load, and an unarmed end-to-end VM run must be
+//! indistinguishable from the pre-instrumentation baseline.
+//!
+//! Compare `vm_loop_unarmed` against `vm_loop_armed` (and against the
+//! `vm` group in `vm_throughput.rs`, which measures the same program):
+//! the unarmed number is the one the study pays when `--trace` is off.
+
+use bomblab_obs as obs;
+use bomblab_rt::link_program;
+use bomblab_vm::{Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const LOOP: &str = r#"
+    .global _start
+_start:
+    li t0, 0
+    li t1, 100000
+loop:
+    addi t0, t0, 1
+    bne t0, t1, loop
+    li a0, 0
+    li sv, 0
+    sys
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    // The raw site: one counter bump. Unarmed this is a relaxed load and
+    // a branch; armed it walks the thread-local profile.
+    group.bench_function("site_unarmed", |b| {
+        assert!(!obs::armed());
+        b.iter(|| obs::counter("bench.counter", 1));
+    });
+    group.bench_function("site_armed", |b| {
+        let token = obs::arm("bench", "bench");
+        b.iter(|| obs::counter("bench.counter", 1));
+        let profile = obs::disarm(token);
+        assert!(profile.counter("bench.counter") > 0);
+    });
+
+    // End to end: the instrumented VM interpreting 200k steps. The
+    // unarmed case is the zero-overhead claim.
+    let image = link_program(LOOP).expect("builds");
+    group.sample_size(20);
+    group.bench_function("vm_loop_unarmed", |b| {
+        assert!(!obs::armed());
+        b.iter(|| {
+            let mut m = Machine::load(&image, None, MachineConfig::default()).unwrap();
+            m.run().steps
+        });
+    });
+    group.bench_function("vm_loop_armed", |b| {
+        let token = obs::arm("bench", "bench");
+        b.iter(|| {
+            let mut m = Machine::load(&image, None, MachineConfig::default()).unwrap();
+            m.run().steps
+        });
+        let profile = obs::disarm(token);
+        assert!(profile.spans.iter().any(|s| s.stage == "vm.run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

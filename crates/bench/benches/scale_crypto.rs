@@ -4,6 +4,7 @@
 
 use bomblab_isa::image::layout;
 use bomblab_rt::link_program;
+use bomblab_solver::expr::Term;
 use bomblab_solver::{Solver, SolverBudget};
 use bomblab_symex::{MemoryModel, PropagationPolicy, SymExec};
 use bomblab_vm::{Machine, MachineConfig, ROOT_PID};
@@ -71,7 +72,7 @@ fn sha1_pipeline(len: usize) -> (usize, &'static str) {
     let sym = sx.run(&trace);
     let last = sym.path.len() - 1;
     let query = sym.flip_query(last);
-    let nodes: usize = query.iter().map(|t| t.size()).sum();
+    let nodes: usize = query.iter().map(Term::size).sum();
     // A small conflict budget keeps the bench quick; the verdict is the
     // same at any practical budget (full preimages are out of reach).
     let solver = Solver::new().with_budget(SolverBudget {
@@ -97,7 +98,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(20));
     for len in [1usize, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            b.iter(|| sha1_pipeline(len))
+            b.iter(|| sha1_pipeline(len));
         });
     }
     group.finish();

@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale_external");
     for k in [0usize, 1, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| pipeline(k))
+            b.iter(|| pipeline(k));
         });
     }
     group.finish();

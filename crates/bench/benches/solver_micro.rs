@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let q = crackme_query(width);
                 matches!(Solver::new().check(&[q]), SolveOutcome::Sat(_))
-            })
+            });
         });
     }
     group.bench_function("div_rem_16bit", |b| {
@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
                 &Term::bv(3, 16),
             );
             matches!(Solver::new().check(&[c1, c2]), SolveOutcome::Sat(_))
-        })
+        });
     });
     group.finish();
 }

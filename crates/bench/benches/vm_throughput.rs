@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::load(&image, None, MachineConfig::default()).unwrap();
             m.run().steps
-        })
+        });
     });
     group.bench_function("loop_200k_steps_traced", |b| {
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             };
             let mut m = Machine::load(&image, None, config).unwrap();
             m.run().steps
-        })
+        });
     });
     group.finish();
 }

@@ -32,7 +32,7 @@ fn main() {
         }
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let cases = all_cases();
     let profiles = ToolProfile::paper_lineup();
     eprintln!(

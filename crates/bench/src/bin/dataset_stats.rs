@@ -11,7 +11,11 @@ fn main() {
     println!("|---|---|---|");
     for case in all_cases() {
         let size = case.subject.image.loadable_size()
-            + case.subject.lib.as_ref().map_or(0, |l| l.loadable_size());
+            + case
+                .subject
+                .lib
+                .as_ref()
+                .map_or(0, bomblab_isa::image::Image::loadable_size);
         println!("| {} | {} | {size} |", case.subject.name, case.category);
     }
     println!(

@@ -28,8 +28,7 @@ fn main() {
     for (category, expected) in paper {
         let observed = derived
             .get(*category)
-            .map(|v| v.join(" "))
-            .unwrap_or_else(|| "-".to_string());
+            .map_or_else(|| "-".to_string(), |v| v.join(" "));
         println!("| {category} | {observed} | {expected} |");
     }
 }

@@ -35,7 +35,7 @@ pub fn jobs_from_args() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Derives the Table-I view (challenge category → set of error stages

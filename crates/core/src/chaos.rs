@@ -28,6 +28,8 @@ pub struct ChaosConfig {
     pub jobs: usize,
     /// Per-cell wall-clock deadline (stalled cells become `E`).
     pub cell_deadline: Option<Duration>,
+    /// Collect per-cell observation profiles (for `chaos --trace`).
+    pub observe: bool,
 }
 
 impl Default for ChaosConfig {
@@ -38,6 +40,7 @@ impl Default for ChaosConfig {
             faults: 3,
             jobs: 1,
             cell_deadline: Some(Duration::from_secs(300)),
+            observe: false,
         }
     }
 }
@@ -77,6 +80,7 @@ pub fn chaos_sweep(
                     jobs: config.jobs,
                     fault_plan: Some(plan.clone()),
                     cell_deadline: config.cell_deadline,
+                    observe: config.observe,
                 },
             );
             let violations = check_containment(cases, profiles, &report);

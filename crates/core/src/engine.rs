@@ -8,6 +8,7 @@ use crate::world::WorldInput;
 use bomblab_fault as fault;
 use bomblab_ir::lift;
 use bomblab_isa::image::{layout, Image};
+use bomblab_obs as obs;
 use bomblab_solver::expr::{CmpOp, Term};
 use bomblab_solver::{SolveOutcome, Solver, UnknownReason};
 use bomblab_symex::{SymExec, SymbolizeEnv};
@@ -392,6 +393,7 @@ impl Engine {
                 break;
             }
             evidence.rounds += 1;
+            obs::set_round(evidence.rounds);
 
             // 1. Concrete execution with tracing.
             fault::set_stage("vm");
@@ -491,6 +493,8 @@ impl Engine {
 
             // 5. Lifting check on the tainted slice (Es1).
             fault::set_stage("lift");
+            let lift_timer = obs::start();
+            let mut lift_failed = false;
             for &idx in &report.tainted_steps {
                 let step = &taint_view.steps[idx];
                 if step.sys.is_some() {
@@ -498,10 +502,17 @@ impl Engine {
                 }
                 if lift(&step.insn, step.pc, &self.profile.support).is_err() {
                     evidence.lift_failure = true;
-                    // A real tool emits corrupt constraints from here on;
-                    // we stop exploring this trace.
-                    continue 'rounds;
+                    lift_failed = true;
+                    break;
                 }
+            }
+            if let Some(t0) = lift_timer {
+                obs::span_ns("lift.check", t0.elapsed().as_nanos() as u64);
+            }
+            if lift_failed {
+                // A real tool emits corrupt constraints from here on; we
+                // stop exploring this trace.
+                continue 'rounds;
             }
 
             // 6. Symbolic replay.
@@ -590,15 +601,30 @@ impl Engine {
                 // no learnt clauses, no cached models, no incremental
                 // blasting — each query pays its full cost against the
                 // budget, the way the 2017-era tools did.
-                let outcome = if self.profile.incremental_solver {
-                    solver.check(&query)
+                let result = if self.profile.incremental_solver {
+                    solver.try_check(&query)
                 } else {
                     Solver::new()
                         .with_budget(self.profile.solver_budget)
                         .with_float_mode(self.profile.float_mode)
-                        .check(&query)
+                        .try_check(&query)
                 };
                 evidence.solver_ns += solve_start.elapsed().as_nanos() as u64;
+                let outcome = match result {
+                    Ok(out) => out,
+                    Err(e) => {
+                        // An internal solver invariant broke: the tool is
+                        // dead. Contain it as an abnormal cell with a
+                        // stage-attributed diagnostic instead of panicking.
+                        evidence.abnormal = true;
+                        evidence.crash = Some(CrashDiag {
+                            message: e.to_string(),
+                            stage: "solve".to_string(),
+                            elapsed_ns: 0,
+                        });
+                        break 'rounds;
+                    }
+                };
                 match outcome {
                     SolveOutcome::Sat(model) => {
                         evidence.sat_queries += 1;
@@ -626,6 +652,11 @@ impl Engine {
                     ) => {
                         evidence.float_unsupported = true;
                     }
+                    // Unreachable through `try_check` (internal errors
+                    // surface as `Err` above), kept for exhaustiveness.
+                    SolveOutcome::Unknown(UnknownReason::Internal) => {
+                        evidence.abnormal = true;
+                    }
                 }
                 if evidence.solver_budget {
                     break;
@@ -646,6 +677,22 @@ impl Engine {
         evidence.cache_unsat_hits = cache.unsat_subset_hits;
         evidence.roots_blasted = cache.roots_blasted;
         evidence.roots_reused = cache.roots_reused;
+
+        // Mirror the attempt-level evidence into the trace sink. The split
+        // cache counters and root reuse live only on the shared solver, so
+        // the per-query instrumentation cannot see them.
+        if obs::armed() {
+            obs::counter("engine.rounds", u64::from(evidence.rounds));
+            obs::counter("engine.queries", u64::from(evidence.queries));
+            obs::counter("engine.sat_queries", u64::from(evidence.sat_queries));
+            obs::counter("engine.pruned_flips", u64::from(evidence.pruned_flips));
+            obs::counter("engine.exact_pins", u64::from(evidence.exact_pins));
+            obs::counter("solver.cache_exact_hits", evidence.cache_exact_hits);
+            obs::counter("solver.cache_model_hits", evidence.cache_model_hits);
+            obs::counter("solver.cache_unsat_hits", evidence.cache_unsat_hits);
+            obs::counter("solver.roots_blasted", evidence.roots_blasted);
+            obs::counter("solver.roots_reused", evidence.roots_reused);
+        }
 
         // Injected faults corrupt the attempt wholesale: even a run that
         // stumbled onto the trigger is not a trustworthy solve once the

@@ -12,6 +12,9 @@ use crate::outcome::Outcome;
 use crate::profile::ToolProfile;
 use crate::world::WorldInput;
 use bomblab_fault as fault;
+use bomblab_obs as obs;
+use bomblab_obs::json::{str_array, Obj};
+use bomblab_obs::trace::{render_cell, SCHEMA_VERSION};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,6 +51,10 @@ pub struct CellResult {
     pub wall_ns: u64,
     /// The full attempt record.
     pub attempt: Attempt,
+    /// Per-cell observation profile (spans, events, counters), collected
+    /// when [`StudyOptions::observe`] is set. Never feeds the Table-II
+    /// report, so its timing data cannot perturb the snapshot.
+    pub obs: Option<obs::CellProfile>,
 }
 
 /// Result of one dataset row.
@@ -67,6 +74,9 @@ pub struct RowResult {
     /// Diagnostic when this row's static analysis crashed and was
     /// contained (the dynamic cells still ran, with default hints).
     pub analysis_crash: Option<CrashDiag>,
+    /// Observation profile of the phase-1 unit (ground truth + static
+    /// analysis), collected when [`StudyOptions::observe`] is set.
+    pub analysis_obs: Option<obs::CellProfile>,
 }
 
 /// How to run a study: worker count, chaos plan, containment deadline.
@@ -81,6 +91,11 @@ pub struct StudyOptions {
     /// `Abnormal` ("cell wall-clock deadline exceeded") instead of
     /// hanging the study. `None` disables the watchdog.
     pub cell_deadline: Option<Duration>,
+    /// Collect per-cell observation profiles (spans, events, counters)
+    /// for the JSONL trace sink and the profile-summary sidecar. Off by
+    /// default, leaving every instrumentation site a single relaxed
+    /// atomic load.
+    pub observe: bool,
 }
 
 impl Default for StudyOptions {
@@ -93,6 +108,7 @@ impl Default for StudyOptions {
             // its report text carries no timing, keeping reports
             // byte-identical across schedulers).
             cell_deadline: Some(Duration::from_secs(300)),
+            observe: false,
         }
     }
 }
@@ -266,6 +282,260 @@ impl StudyReport {
         }
         lines
     }
+
+    /// Aggregates every collected per-cell observation profile (phase-1
+    /// units and matrix cells) into one study-wide registry. Empty when
+    /// the study ran without [`StudyOptions::observe`].
+    pub fn metrics(&self) -> obs::MetricsRegistry {
+        let mut registry = obs::MetricsRegistry::new();
+        for row in &self.rows {
+            if let Some(p) = &row.analysis_obs {
+                registry.absorb(p);
+            }
+            for cell in &row.cells {
+                if let Some(p) = &cell.obs {
+                    registry.absorb(p);
+                }
+            }
+        }
+        registry
+    }
+
+    /// Cells sorted slowest-first by wall clock, ties broken by dataset
+    /// order so the ranking is deterministic.
+    fn ranked_cells(&self, key: impl Fn(&CellResult) -> u64) -> Vec<(&RowResult, &CellResult)> {
+        let mut ranked: Vec<(usize, &RowResult, &CellResult)> = Vec::new();
+        for row in &self.rows {
+            for cell in &row.cells {
+                ranked.push((ranked.len(), row, cell));
+            }
+        }
+        ranked.sort_by(|a, b| key(b.2).cmp(&key(a.2)).then(a.0.cmp(&b.0)));
+        ranked.into_iter().map(|(_, r, c)| (r, c)).collect()
+    }
+
+    /// Renders the whole study as JSONL trace lines, in deterministic
+    /// dataset order: a `study_start` header, then per row the phase-1
+    /// profile, per-cell span/event/counter/hist streams and a `cell`
+    /// outcome line, then study-wide `stage_total`, ranking, and
+    /// `summary` lines. Every line validates against
+    /// [`bomblab_obs::trace::validate_line`].
+    pub fn trace_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.push(
+            Obj::new("study_start")
+                .u64("schema", SCHEMA_VERSION)
+                .u64("bombs", self.rows.len() as u64)
+                .raw("profiles", &str_array(&self.profiles))
+                .finish(),
+        );
+        let (mut spans, mut events, mut counters, mut cell_count) = (0u64, 0u64, 0u64, 0u64);
+        let mut tally = |p: &obs::CellProfile| {
+            spans += p.spans.len() as u64;
+            events += p.events.len() as u64;
+            counters += p.counters.len() as u64;
+        };
+        for row in &self.rows {
+            if let Some(p) = &row.analysis_obs {
+                tally(p);
+                render_cell(p, &mut out);
+            }
+            for cell in &row.cells {
+                if let Some(p) = &cell.obs {
+                    tally(p);
+                    render_cell(p, &mut out);
+                }
+                cell_count += 1;
+                let ev = &cell.attempt.evidence;
+                let mut line = Obj::new("cell")
+                    .str("bomb", &row.name)
+                    .str("profile", &cell.profile)
+                    .str("outcome", &cell.outcome.to_string())
+                    .u64("wall_ns", cell.wall_ns)
+                    .u64("rounds", u64::from(ev.rounds))
+                    .u64("queries", u64::from(ev.queries));
+                if let Some(expected) = cell.expected {
+                    line = line.str("expected", &expected.to_string());
+                }
+                if let Some(crash) = &ev.crash {
+                    line = line
+                        .str("crash_stage", &crash.stage)
+                        .str("crash_message", &crash.message);
+                }
+                out.push(line.finish());
+            }
+        }
+        for (stage, &(hits, ns)) in &self.metrics().stages {
+            out.push(
+                Obj::new("stage_total")
+                    .str("stage", stage)
+                    .u64("spans", hits)
+                    .u64("ns", ns)
+                    .finish(),
+            );
+        }
+        for (rank, (row, cell)) in self
+            .ranked_cells(|c| c.wall_ns)
+            .into_iter()
+            .take(RANKING_DEPTH)
+            .enumerate()
+        {
+            out.push(
+                Obj::new("slow_cell")
+                    .u64("rank", rank as u64 + 1)
+                    .str("bomb", &row.name)
+                    .str("profile", &cell.profile)
+                    .u64("wall_ns", cell.wall_ns)
+                    .finish(),
+            );
+        }
+        for (rank, (row, cell)) in self
+            .ranked_cells(|c| u64::from(c.attempt.evidence.queries))
+            .into_iter()
+            .take(RANKING_DEPTH)
+            .enumerate()
+        {
+            out.push(
+                Obj::new("hot_cell")
+                    .u64("rank", rank as u64 + 1)
+                    .str("bomb", &row.name)
+                    .str("profile", &cell.profile)
+                    .u64("queries", u64::from(cell.attempt.evidence.queries))
+                    .u64("solver_ns", cell.attempt.evidence.solver_ns)
+                    .finish(),
+            );
+        }
+        out.push(
+            Obj::new("summary")
+                .u64("cells", cell_count)
+                .u64("spans", spans)
+                .u64("events", events)
+                .u64("counters", counters)
+                .finish(),
+        );
+        out
+    }
+
+    /// Renders the profile-summary sidecar: slowest cells, hottest
+    /// solver cells, and the per-stage aggregate breakdown. Emitted
+    /// *next to* the Table-II report, never inside it — its timing data
+    /// varies run to run while the report stays byte-identical.
+    pub fn profile_summary(&self) -> String {
+        let metrics = self.metrics();
+        let mut out = String::from("# Study profile\n\n");
+        let _ = writeln!(
+            out,
+            "{} observed windows, {} cells in the matrix.\n",
+            metrics.cells,
+            self.rows.len() * self.profiles.len()
+        );
+
+        let _ = writeln!(out, "## Slowest cells\n");
+        let _ = writeln!(out, "| # | Case | Profile | Wall | Rounds | Queries |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for (rank, (row, cell)) in self
+            .ranked_cells(|c| c.wall_ns)
+            .into_iter()
+            .take(RANKING_DEPTH)
+            .enumerate()
+        {
+            let ev = &cell.attempt.evidence;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                rank + 1,
+                row.name,
+                cell.profile,
+                format_ns(cell.wall_ns),
+                ev.rounds,
+                ev.queries
+            );
+        }
+
+        let _ = writeln!(out, "\n## Hottest solver cells\n");
+        let _ = writeln!(
+            out,
+            "| # | Case | Profile | Queries | Solver time | Cache hits |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for (rank, (row, cell)) in self
+            .ranked_cells(|c| u64::from(c.attempt.evidence.queries))
+            .into_iter()
+            .take(RANKING_DEPTH)
+            .enumerate()
+        {
+            let ev = &cell.attempt.evidence;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                rank + 1,
+                row.name,
+                cell.profile,
+                ev.queries,
+                format_ns(ev.solver_ns),
+                ev.cache_hits
+            );
+        }
+
+        if !metrics.stages.is_empty() {
+            let total_ns: u64 = metrics.stages.values().map(|&(_, ns)| ns).sum();
+            let _ = writeln!(out, "\n## Per-stage breakdown\n");
+            let _ = writeln!(out, "| Stage | Spans | Total | Share |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for (stage, &(hits, ns)) in &metrics.stages {
+                let share = (ns * 1000).checked_div(total_ns).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "| {stage} | {hits} | {} | {}.{}% |",
+                    format_ns(ns),
+                    share / 10,
+                    share % 10
+                );
+            }
+        }
+
+        if !metrics.counters.is_empty() {
+            let _ = writeln!(out, "\n## Aggregated counters\n");
+            let _ = writeln!(out, "| Counter | Total |");
+            let _ = writeln!(out, "|---|---|");
+            for (name, value) in &metrics.counters {
+                let _ = writeln!(out, "| {name} | {value} |");
+            }
+        }
+
+        if let Some(hist) = metrics.hists.get("solver.query_ns") {
+            let _ = writeln!(out, "\n## Solver query latency\n");
+            let _ = writeln!(
+                out,
+                "{} queries, mean {}, min {}, max {}.",
+                hist.count,
+                format_ns(hist.mean()),
+                format_ns(hist.min),
+                format_ns(hist.max)
+            );
+        }
+        out
+    }
+}
+
+/// How many cells the slow/hot rankings keep.
+const RANKING_DEPTH: usize = 5;
+
+/// Human-readable duration for the profile sidecar.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!(
+            "{}.{:02} s",
+            ns / 1_000_000_000,
+            ns % 1_000_000_000 / 10_000_000
+        )
+    } else if ns >= 1_000_000 {
+        format!("{}.{:02} ms", ns / 1_000_000, ns % 1_000_000 / 10_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:02} us", ns / 1_000, ns % 1_000 / 10)
+    } else {
+        format!("{ns} ns")
+    }
 }
 
 /// Maps `f` over `0..n`, fanning the indices across `jobs` scoped worker
@@ -375,6 +645,7 @@ fn abnormal_cell(
             solved_input: None,
             evidence,
         },
+        obs: None,
     }
 }
 
@@ -402,19 +673,31 @@ pub fn run_study_with(
     // prediction column. Ground truth is the study's *oracle* and runs
     // unfaulted; the analyzer runs armed, and a contained analyzer crash
     // degrades the row (default hints, `E` predictions) without losing it.
-    type GroundSlot = (GroundTruth, Result<bomblab_sa::Analysis, CrashDiag>);
+    type GroundSlot = (
+        GroundTruth,
+        Result<bomblab_sa::Analysis, CrashDiag>,
+        Option<obs::CellProfile>,
+    );
     let grounds: Vec<GroundSlot> = parallel_map(
         jobs,
         cases.len(),
         |i| {
             let case = &cases[i];
             let t0 = std::time::Instant::now();
+            // The observation window wraps the whole phase-1 unit under a
+            // pseudo-profile name; it sits *outside* the containment
+            // boundary so a contained analyzer crash still yields the
+            // spans recorded up to the panic.
+            let obs_token = options
+                .observe
+                .then(|| obs::arm(&case.subject.name, "oracle+static"));
             let ground = ground_truth(&case.subject, &case.trigger);
             let token = fault::arm(plan, deadline);
             let analysis = catch_unwind(AssertUnwindSafe(|| {
                 bomblab_sa::analyze(&case.subject.image, case.subject.lib.as_ref())
             }));
             let containment = fault::disarm(token);
+            let profile = obs_token.map(obs::disarm);
             let analysis = analysis.map_err(|payload| CrashDiag {
                 message: fault::panic_message(&*payload),
                 stage: "static analysis".to_string(),
@@ -432,7 +715,7 @@ pub fn run_study_with(
                     case.subject.name, diag.message
                 ),
             }
-            (ground, analysis)
+            (ground, analysis, profile)
         },
         |i, message| {
             // Even ground truth died: keep the row with a default oracle.
@@ -447,6 +730,7 @@ pub fn run_study_with(
                     stage: "ground truth".to_string(),
                     elapsed_ns: 0,
                 }),
+                None,
             )
         },
     );
@@ -456,7 +740,7 @@ pub fn run_study_with(
         jobs,
         cases.len() * profiles.len(),
         |k| {
-            let (case, (ground, analysis)) =
+            let (case, (ground, analysis, _)) =
                 (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
             let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
             let hints = analysis
@@ -464,6 +748,11 @@ pub fn run_study_with(
                 .map(StaticHints::from_analysis)
                 .unwrap_or_default();
             let t1 = std::time::Instant::now();
+            // Observation window outside the containment boundary: a
+            // contained panic still yields the spans recorded up to it.
+            let obs_token = options
+                .observe
+                .then(|| obs::arm(&case.subject.name, &profile.name));
             let token = fault::arm(plan, deadline);
             let result = catch_unwind(AssertUnwindSafe(|| {
                 Engine::new(profile.clone())
@@ -471,6 +760,7 @@ pub fn run_study_with(
                     .explore(&case.subject, ground)
             }));
             let containment = fault::disarm(token);
+            let obs_profile = obs_token.map(obs::disarm);
             let mut cell = match result {
                 Ok(mut attempt) => {
                     attempt.evidence.injected_faults = containment.injected;
@@ -480,6 +770,7 @@ pub fn run_study_with(
                         expected: case.paper_expected.and_then(|row| row.get(col).copied()),
                         wall_ns: t1.elapsed().as_nanos() as u64,
                         attempt,
+                        obs: None,
                     }
                 }
                 Err(payload) => abnormal_cell(
@@ -494,6 +785,7 @@ pub fn run_study_with(
                     Some(&containment),
                 ),
             };
+            cell.obs = obs_profile;
             cell.attempt.evidence.fault_log = containment.fired;
             eprintln!(
                 "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries{})",
@@ -534,7 +826,7 @@ pub fn run_study_with(
     let rows = cases
         .iter()
         .zip(grounds)
-        .map(|(case, (ground, analysis))| {
+        .map(|(case, (ground, analysis, analysis_obs))| {
             let (static_predictions, analysis_crash) = match analysis {
                 Ok(a) => (
                     capabilities
@@ -554,6 +846,7 @@ pub fn run_study_with(
                 ground,
                 static_predictions,
                 analysis_crash,
+                analysis_obs,
             }
         })
         .collect();

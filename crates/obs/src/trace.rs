@@ -1,0 +1,412 @@
+//! The JSONL trace schema: renderers from [`CellProfile`](crate::CellProfile)
+//! to trace lines, and a strict validator used by the round-trip tests,
+//! the `bomblab tracecheck` subcommand, and CI.
+//!
+//! Every line is one JSON object with a `type` field. Versioning is the
+//! `schema` field on the `study_start` line ([`SCHEMA_VERSION`]). Types:
+//!
+//! | type | meaning |
+//! |---|---|
+//! | `study_start` | header: schema version, dataset size, profile lineup |
+//! | `sweep_start` | chaos-only: seed + armed fault plan of the next sweep |
+//! | `span` | one stage duration for a (bomb, profile, round) |
+//! | `event` | one structured occurrence (e.g. a solver query) |
+//! | `counter` | final per-cell counter value |
+//! | `hist` | final per-cell histogram (count/sum/min/max + log2 buckets) |
+//! | `cell` | one (bomb, profile) outcome with wall clock and totals |
+//! | `stage_total` | study-wide span aggregate for one stage |
+//! | `slow_cell` | profile sidecar: a slowest-cells ranking entry |
+//! | `hot_cell` | profile sidecar: a hottest-queries ranking entry |
+//! | `summary` | trailer: line/cell totals for quick sanity checks |
+//!
+//! The validator is *strict*: unknown types, missing required fields,
+//! wrongly typed fields, and unknown extra fields are all errors, so any
+//! schema drift fails CI instead of silently changing the format.
+
+use crate::json::{self, Json, Obj};
+use crate::{CellProfile, Field};
+
+/// Version stamped on every `study_start` line.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Field kinds the validator distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Str,
+    U64,
+    Arr,
+    Obj,
+}
+
+impl Kind {
+    fn matches(self, v: &Json) -> bool {
+        match self {
+            Kind::Str => matches!(v, Json::Str(_)),
+            Kind::U64 => matches!(v, Json::U64(_)),
+            Kind::Arr => matches!(v, Json::Arr(_)),
+            Kind::Obj => matches!(v, Json::Obj(_)),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Str => "string",
+            Kind::U64 => "unsigned integer",
+            Kind::Arr => "array",
+            Kind::Obj => "object",
+        }
+    }
+}
+
+/// `(type, required fields, optional fields)`.
+type TypeSchema = (
+    &'static str,
+    &'static [(&'static str, Kind)],
+    &'static [(&'static str, Kind)],
+);
+
+const SCHEMA: &[TypeSchema] = &[
+    (
+        "study_start",
+        &[
+            ("schema", Kind::U64),
+            ("bombs", Kind::U64),
+            ("profiles", Kind::Arr),
+        ],
+        &[],
+    ),
+    (
+        "sweep_start",
+        &[("seed", Kind::U64), ("plan", Kind::Str)],
+        &[],
+    ),
+    (
+        "span",
+        &[
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("stage", Kind::Str),
+            ("round", Kind::U64),
+            ("seq", Kind::U64),
+            ("ns", Kind::U64),
+        ],
+        &[],
+    ),
+    (
+        "event",
+        &[
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("name", Kind::Str),
+            ("round", Kind::U64),
+            ("seq", Kind::U64),
+            ("fields", Kind::Obj),
+        ],
+        &[],
+    ),
+    (
+        "counter",
+        &[
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("name", Kind::Str),
+            ("value", Kind::U64),
+        ],
+        &[],
+    ),
+    (
+        "hist",
+        &[
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("name", Kind::Str),
+            ("count", Kind::U64),
+            ("sum", Kind::U64),
+            ("min", Kind::U64),
+            ("max", Kind::U64),
+            ("buckets", Kind::Arr),
+        ],
+        &[],
+    ),
+    (
+        "cell",
+        &[
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("outcome", Kind::Str),
+            ("wall_ns", Kind::U64),
+            ("rounds", Kind::U64),
+            ("queries", Kind::U64),
+        ],
+        &[
+            ("expected", Kind::Str),
+            ("crash_stage", Kind::Str),
+            ("crash_message", Kind::Str),
+        ],
+    ),
+    (
+        "stage_total",
+        &[
+            ("stage", Kind::Str),
+            ("spans", Kind::U64),
+            ("ns", Kind::U64),
+        ],
+        &[],
+    ),
+    (
+        "slow_cell",
+        &[
+            ("rank", Kind::U64),
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("wall_ns", Kind::U64),
+        ],
+        &[],
+    ),
+    (
+        "hot_cell",
+        &[
+            ("rank", Kind::U64),
+            ("bomb", Kind::Str),
+            ("profile", Kind::Str),
+            ("queries", Kind::U64),
+            ("solver_ns", Kind::U64),
+        ],
+        &[],
+    ),
+    (
+        "summary",
+        &[
+            ("cells", Kind::U64),
+            ("spans", Kind::U64),
+            ("events", Kind::U64),
+            ("counters", Kind::U64),
+        ],
+        &[],
+    ),
+];
+
+/// Validates one trace line against the schema.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: JSON syntax errors,
+/// non-object lines, unknown `type`, missing or wrongly typed required
+/// fields, or fields the schema does not know.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = value.as_obj().ok_or("line is not a JSON object")?;
+    let type_ = obj
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing string `type` field")?;
+    let (_, required, optional) = SCHEMA
+        .iter()
+        .find(|(t, _, _)| *t == type_)
+        .ok_or_else(|| format!("unknown line type `{type_}`"))?;
+    for (field, kind) in *required {
+        match obj.get(*field) {
+            None => return Err(format!("{type_}: missing required field `{field}`")),
+            Some(v) if !kind.matches(v) => {
+                return Err(format!(
+                    "{type_}: field `{field}` must be a {}",
+                    kind.name()
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, value) in obj {
+        if key == "type" {
+            continue;
+        }
+        let known = required
+            .iter()
+            .chain(optional.iter())
+            .find(|(f, _)| f == key);
+        match known {
+            None => return Err(format!("{type_}: unknown field `{key}`")),
+            Some((_, kind)) if !kind.matches(value) => {
+                return Err(format!("{type_}: field `{key}` must be a {}", kind.name()))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates every non-empty line of a JSONL document.
+///
+/// # Errors
+///
+/// Returns `(1-based line number, description)` of the first invalid
+/// line.
+pub fn validate_lines(text: &str) -> Result<usize, (usize, String)> {
+    let mut checked = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+fn field_json(field: &Field) -> String {
+    match field {
+        Field::U64(v) => v.to_string(),
+        Field::Str(s) => format!("\"{}\"", json::escape(s)),
+        Field::Bool(b) => b.to_string(),
+    }
+}
+
+/// Renders one cell profile as trace lines (spans, events, counters,
+/// histograms), appending to `out`. Deterministic given the profile.
+pub fn render_cell(cell: &CellProfile, out: &mut Vec<String>) {
+    for span in &cell.spans {
+        out.push(
+            Obj::new("span")
+                .str("bomb", &cell.bomb)
+                .str("profile", &cell.profile)
+                .str("stage", span.stage)
+                .u64("round", u64::from(span.round))
+                .u64("seq", span.seq)
+                .u64("ns", span.ns)
+                .finish(),
+        );
+    }
+    for event in &cell.events {
+        let fields: Vec<String> = event
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json::escape(k), field_json(v)))
+            .collect();
+        out.push(
+            Obj::new("event")
+                .str("bomb", &cell.bomb)
+                .str("profile", &cell.profile)
+                .str("name", event.name)
+                .u64("round", u64::from(event.round))
+                .u64("seq", event.seq)
+                .raw("fields", &format!("{{{}}}", fields.join(",")))
+                .finish(),
+        );
+    }
+    for (&name, &value) in &cell.counters {
+        out.push(
+            Obj::new("counter")
+                .str("bomb", &cell.bomb)
+                .str("profile", &cell.profile)
+                .str("name", name)
+                .u64("value", value)
+                .finish(),
+        );
+    }
+    for (&name, hist) in &cell.hists {
+        let buckets: Vec<String> = hist
+            .nonzero_buckets()
+            .map(|(i, c)| format!("[{i},{c}]"))
+            .collect();
+        out.push(
+            Obj::new("hist")
+                .str("bomb", &cell.bomb)
+                .str("profile", &cell.profile)
+                .str("name", name)
+                .u64("count", hist.count)
+                .u64("sum", hist.sum)
+                .u64("min", hist.min)
+                .u64("max", hist.max)
+                .raw("buckets", &format!("[{}]", buckets.join(",")))
+                .finish(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arm, counter, disarm, event, hist, set_round, span_ns};
+
+    #[test]
+    fn rendered_cells_validate_and_round_trip() {
+        let token = arm("decl_time", "BAP");
+        set_round(1);
+        span_ns("vm.run", 12345);
+        counter("vm.steps", 777);
+        hist("solver.conflicts", 3);
+        hist("solver.conflicts", 200);
+        event("solver.query", || {
+            vec![
+                ("outcome", Field::Str("sat".to_string())),
+                ("cache_hit", Field::Bool(true)),
+                ("conflicts", Field::U64(3)),
+            ]
+        });
+        let profile = disarm(token);
+        let mut lines = Vec::new();
+        render_cell(&profile, &mut lines);
+        assert_eq!(lines.len(), 4, "span + event + counter + hist");
+        for line in &lines {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // Round-trip: the parsed values carry the recorded data exactly.
+        let span = json::parse(&lines[0]).expect("span json");
+        let span = span.as_obj().expect("obj");
+        assert_eq!(span["stage"].as_str(), Some("vm.run"));
+        assert_eq!(span["ns"].as_u64(), Some(12345));
+        assert_eq!(span["round"].as_u64(), Some(1));
+        let event_line = json::parse(&lines[1]).expect("event json");
+        let fields = event_line.as_obj().expect("obj")["fields"]
+            .as_obj()
+            .expect("fields obj")
+            .clone();
+        assert_eq!(fields["outcome"].as_str(), Some("sat"));
+        assert_eq!(fields["cache_hit"], Json::Bool(true));
+        assert_eq!(fields["conflicts"].as_u64(), Some(3));
+        let hist_line = json::parse(&lines[3]).expect("hist json");
+        let hist_obj = hist_line.as_obj().expect("obj");
+        assert_eq!(hist_obj["count"].as_u64(), Some(2));
+        assert_eq!(hist_obj["sum"].as_u64(), Some(203));
+        assert_eq!(hist_obj["min"].as_u64(), Some(3));
+        assert_eq!(hist_obj["max"].as_u64(), Some(200));
+    }
+
+    #[test]
+    fn validator_rejects_schema_drift() {
+        // Unknown type.
+        assert!(validate_line("{\"type\":\"mystery\"}").is_err());
+        // Missing required field.
+        assert!(validate_line(
+            "{\"type\":\"counter\",\"bomb\":\"b\",\"profile\":\"p\",\"name\":\"n\"}"
+        )
+        .is_err());
+        // Wrongly typed field.
+        assert!(validate_line(
+            "{\"type\":\"counter\",\"bomb\":\"b\",\"profile\":\"p\",\"name\":\"n\",\"value\":\"9\"}"
+        )
+        .is_err());
+        // Unknown extra field.
+        assert!(validate_line(
+            "{\"type\":\"counter\",\"bomb\":\"b\",\"profile\":\"p\",\"name\":\"n\",\"value\":9,\"extra\":1}"
+        )
+        .is_err());
+        // Not an object / not JSON.
+        assert!(validate_line("[1,2]").is_err());
+        assert!(validate_line("{nope}").is_err());
+        // The golden positive case.
+        assert!(validate_line(
+            "{\"type\":\"counter\",\"bomb\":\"b\",\"profile\":\"p\",\"name\":\"n\",\"value\":9}"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_lines_reports_the_offending_line_number() {
+        let doc = "{\"type\":\"study_start\",\"schema\":1,\"bombs\":2,\"profiles\":[\"BAP\"]}\n\n{\"type\":\"bogus\"}\n";
+        let err = validate_lines(doc).expect_err("third line is invalid");
+        assert_eq!(err.0, 3);
+        let ok_doc = "{\"type\":\"summary\",\"cells\":1,\"spans\":2,\"events\":3,\"counters\":4}\n";
+        assert_eq!(validate_lines(ok_doc), Ok(1));
+    }
+}

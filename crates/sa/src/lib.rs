@@ -19,6 +19,7 @@
 //! until the recovered graph is stable.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cfg;
 pub mod code;
@@ -70,8 +71,20 @@ pub fn analyze(exe: &Image, lib: Option<&Image>) -> Analysis {
 
 /// Analyzes with a caller-chosen set of capability profiles.
 #[must_use]
-#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
 pub fn analyze_with(exe: &Image, lib: Option<&Image>, profiles: &[Capabilities]) -> Analysis {
+    let obs_timer = bomblab_obs::start();
+    let analysis = analyze_inner(exe, lib, profiles);
+    if let Some(t0) = obs_timer {
+        bomblab_obs::span_ns("sa.analyze", t0.elapsed().as_nanos() as u64);
+        bomblab_obs::counter("sa.cfg_blocks", analysis.cfg.blocks.len() as u64);
+        bomblab_obs::counter("sa.lints", analysis.lints.len() as u64);
+        bomblab_obs::counter("sa.rounds", analysis.rounds as u64);
+    }
+    analysis
+}
+
+#[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+fn analyze_inner(exe: &Image, lib: Option<&Image>, profiles: &[Capabilities]) -> Analysis {
     // Resolve imports exactly like the VM loader, so call targets point
     // into library text. Unresolvable imports are left in place; calls
     // through them degrade to gaps, never to wrong edges.

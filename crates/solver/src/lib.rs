@@ -33,6 +33,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bitblast;
 pub mod expr;
@@ -90,6 +91,9 @@ pub enum UnknownReason {
     /// A chaos-harness fault plan forced this query to give up
     /// (models solver resource exhaustion; never occurs unarmed).
     FaultInjected,
+    /// An internal solver invariant broke ([`SolverError`] surfaced via the
+    /// infallible [`check`](Solver::check) wrapper).
+    Internal,
 }
 
 impl fmt::Display for UnknownReason {
@@ -100,9 +104,34 @@ impl fmt::Display for UnknownReason {
             UnknownReason::FloatUnsupported => write!(f, "floating-point theory unsupported"),
             UnknownReason::FloatSearchFailed => write!(f, "floating-point search failed"),
             UnknownReason::FaultInjected => write!(f, "fault injected by chaos plan"),
+            UnknownReason::Internal => write!(f, "internal solver error"),
         }
     }
 }
+
+/// An internal solver failure surfaced as a typed error instead of a panic.
+///
+/// [`Solver::try_check`] returns these; the infallible [`Solver::check`]
+/// maps them onto [`UnknownReason::Internal`] so legacy callers keep their
+/// signature while the engine can diagnose the stage precisely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// Model extraction found a variable the blasting session never
+    /// encoded — an invariant break that used to `panic!` mid-study.
+    UnblastedVariable(Arc<str>),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::UnblastedVariable(name) => {
+                write!(f, "query variable `{name}` was never blasted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// A satisfying assignment.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -270,8 +299,65 @@ impl Solver {
         cs
     }
 
-    /// Decides the conjunction of `constraints`.
+    /// Decides the conjunction of `constraints`, mapping internal solver
+    /// errors onto [`UnknownReason::Internal`]. Prefer
+    /// [`try_check`](Solver::try_check) when the caller can report errors.
     pub fn check(&self, constraints: &[Term]) -> SolveOutcome {
+        match self.try_check(constraints) {
+            Ok(out) => out,
+            Err(_) => SolveOutcome::Unknown(UnknownReason::Internal),
+        }
+    }
+
+    /// Decides the conjunction of `constraints`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SolverError`] when an internal invariant breaks (e.g.
+    /// model extraction meets a variable the session never blasted) —
+    /// conditions that formerly panicked mid-study.
+    pub fn try_check(&self, constraints: &[Term]) -> Result<SolveOutcome, SolverError> {
+        let timer = bomblab_obs::start();
+        let out = self.check_impl(constraints);
+        if let Some(t0) = timer {
+            self.record_query(&out, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    /// Trace-sink bookkeeping for one finished query. Only runs when an
+    /// observation sink is armed on this thread.
+    #[cold]
+    fn record_query(&self, out: &Result<SolveOutcome, SolverError>, ns: u64) {
+        use bomblab_obs::Field;
+        let stats = self.stats.get();
+        bomblab_obs::span_ns("solver.check", ns);
+        bomblab_obs::counter("solver.queries", 1);
+        bomblab_obs::hist("solver.query_ns", ns);
+        bomblab_obs::hist("solver.conflicts", stats.conflicts);
+        if stats.cache_hit {
+            bomblab_obs::counter("solver.cache_hits", 1);
+        } else {
+            bomblab_obs::counter("solver.cache_misses", 1);
+        }
+        let outcome = match out {
+            Ok(SolveOutcome::Sat(_)) => "sat",
+            Ok(SolveOutcome::Unsat) => "unsat",
+            Ok(SolveOutcome::Unknown(_)) => "unknown",
+            Err(_) => "error",
+        };
+        bomblab_obs::event("solver.query", || {
+            vec![
+                ("outcome", Field::Str(outcome.to_string())),
+                ("cache_hit", Field::Bool(stats.cache_hit)),
+                ("conflicts", Field::U64(stats.conflicts)),
+                ("formula_nodes", Field::U64(stats.formula_nodes as u64)),
+                ("ns", Field::U64(ns)),
+            ]
+        });
+    }
+
+    fn check_impl(&self, constraints: &[Term]) -> Result<SolveOutcome, SolverError> {
         // Fault-injection point: one hit per query. Inert (one relaxed
         // atomic load) unless a chaos plan is armed on this thread.
         if let Some(action) = bomblab_fault::fault_point(bomblab_fault::FaultSite::SolverQuery) {
@@ -280,7 +366,7 @@ impl Solver {
                     panic!("injected panic in the solver")
                 }
                 bomblab_fault::FaultAction::Stall => bomblab_fault::trip_stall(),
-                _ => return SolveOutcome::Unknown(UnknownReason::FaultInjected),
+                _ => return Ok(SolveOutcome::Unknown(UnknownReason::FaultInjected)),
             }
         }
         let mut stats = SolveStats::default();
@@ -289,23 +375,27 @@ impl Solver {
         for c in constraints {
             match c.as_bool_const() {
                 Some(true) => continue,
-                Some(false) => return SolveOutcome::Unsat,
+                Some(false) => {
+                    self.stats.set(stats);
+                    return Ok(SolveOutcome::Unsat);
+                }
                 None => {}
             }
             if interval::definitely_false(c) {
-                return SolveOutcome::Unsat;
+                self.stats.set(stats);
+                return Ok(SolveOutcome::Unsat);
             }
             live.push(c.clone());
         }
         if live.is_empty() {
             self.stats.set(stats);
-            return SolveOutcome::Sat(Model::default());
+            return Ok(SolveOutcome::Sat(Model::default()));
         }
 
         stats.formula_nodes = live.iter().map(Term::size).sum();
         if stats.formula_nodes > self.budget.max_formula_nodes {
             self.stats.set(stats);
-            return SolveOutcome::Unknown(UnknownReason::FormulaTooLarge);
+            return Ok(SolveOutcome::Unknown(UnknownReason::FormulaTooLarge));
         }
 
         // Canonical fingerprint: hash-consing makes term ids stable within
@@ -318,7 +408,7 @@ impl Solver {
         if !self.no_query_cache {
             if let Some(out) = self.cache_lookup(&key, &live, &mut stats) {
                 self.stats.set(stats);
-                return out;
+                return Ok(out);
             }
         }
         self.bump_cache(|cs| cs.misses += 1);
@@ -349,7 +439,7 @@ impl Solver {
                 st.pinned.extend(live.iter().cloned());
                 Self::cache_store(&mut st, key, &out);
             }
-            return out;
+            return Ok(out);
         }
 
         let out = {
@@ -368,7 +458,7 @@ impl Solver {
             }
             if float_err {
                 self.stats.set(stats);
-                return SolveOutcome::Unknown(UnknownReason::FloatUnsupported);
+                return Ok(SolveOutcome::Unknown(UnknownReason::FloatUnsupported));
             }
             let conflicts_before = session.conflicts();
             let props_before = session.propagations();
@@ -387,7 +477,10 @@ impl Solver {
                     vars.dedup();
                     let mut model = Model::default();
                     for var in &vars {
-                        let bits = session.var_bits(var).expect("query variable was blasted");
+                        let Some(bits) = session.var_bits(var) else {
+                            self.stats.set(stats);
+                            return Err(SolverError::UnblastedVariable(var.name.clone()));
+                        };
                         let mut v = 0u64;
                         for (i, &b) in bits.iter().enumerate() {
                             if m[b as usize] {
@@ -415,7 +508,7 @@ impl Solver {
             let mut st = self.state.borrow_mut();
             Self::cache_store(&mut st, key, &out);
         }
-        out
+        Ok(out)
     }
 
     fn bump_cache(&self, f: impl FnOnce(&mut CacheStats)) {

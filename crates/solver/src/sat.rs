@@ -587,6 +587,21 @@ mod tests {
         }
     }
 
+    /// Pigeonhole "no two pigeons share a hole" clauses; `extra` literals
+    /// are appended to each clause (used to gate an instance behind an
+    /// indicator variable).
+    fn no_shared_holes(s: &mut SatSolver, p: &[impl AsRef<[u32]>], extra: &[Lit]) {
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.as_ref().iter().zip(row2.as_ref()) {
+                    let mut lits = vec![Lit::neg(a), Lit::neg(b)];
+                    lits.extend_from_slice(extra);
+                    s.add_clause(&lits);
+                }
+            }
+        }
+    }
+
     #[test]
     fn lit_encoding_round_trips() {
         let l = Lit::neg(5);
@@ -658,13 +673,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-                }
-            }
-        }
+        no_shared_holes(&mut s, &p, &[]);
         assert_eq!(s.solve(100_000), SatResult::Unsat);
     }
 
@@ -690,13 +699,7 @@ mod tests {
             lits.push(Lit::neg(g));
             s.add_clause(&lits);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j]), Lit::neg(g)]);
-                }
-            }
-        }
+        no_shared_holes(&mut s, &p, &[Lit::neg(g)]);
         let c0 = s.conflicts();
         assert_eq!(
             s.solve_with_assumptions(&[Lit::pos(g)], 1_000_000),
@@ -736,13 +739,7 @@ mod tests {
             let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&lits);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-                }
-            }
-        }
+        no_shared_holes(&mut s, &p, &[]);
         assert_eq!(s.solve(1_000_000), SatResult::Unsat);
         assert!(s.conflicts() > 0);
     }
@@ -762,13 +759,7 @@ mod tests {
             let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&lits);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-                }
-            }
-        }
+        no_shared_holes(&mut s, &p, &[]);
         assert_eq!(s.solve(10), SatResult::Unknown);
     }
 
@@ -790,13 +781,7 @@ mod tests {
             let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&lits);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-                }
-            }
-        }
+        no_shared_holes(&mut s, &p, &[]);
         assert_eq!(s.solve(5_000_000), SatResult::Unsat);
         assert!(s.conflicts() > 64, "reductions must actually have fired");
     }

@@ -141,7 +141,7 @@ proptest! {
         let width = 8u8;
         let term = build(&ast, width);
         let c = Term::cmp(CMPS[cmp_i], &term, &Term::bv(k, width));
-        match Solver::new().check(&[c.clone()]) {
+        match Solver::new().check(std::slice::from_ref(&c)) {
             SolveOutcome::Sat(model) => {
                 let mut env = model.as_env();
                 // Unmentioned variables default to zero.

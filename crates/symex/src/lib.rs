@@ -361,6 +361,17 @@ impl SymExec {
 
     /// Symbolically replays a trace.
     pub fn run(&mut self, trace: &Trace) -> SymResult {
+        let obs_timer = bomblab_obs::start();
+        let result = self.run_inner(trace);
+        if let Some(t0) = obs_timer {
+            bomblab_obs::span_ns("symex.run", t0.elapsed().as_nanos() as u64);
+            bomblab_obs::counter("symex.path_conds", result.path.len() as u64);
+            bomblab_obs::counter("symex.pins", result.pins.len() as u64);
+        }
+        result
+    }
+
+    fn run_inner(&mut self, trace: &Trace) -> SymResult {
         let mut result = SymResult::default();
         for (idx, step) in trace.iter().enumerate() {
             // Seed forked children on first sight.

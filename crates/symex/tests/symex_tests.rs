@@ -50,8 +50,7 @@ fn model_to_arg(model: &Model, seed: &str) -> Vec<u8> {
         .map(|i| {
             model
                 .get(&format!("{ARG_PREFIX}_b{i}"))
-                .map(|v| v as u8)
-                .unwrap_or(seed.as_bytes()[i])
+                .map_or(seed.as_bytes()[i], |v| v as u8)
         })
         .collect()
 }
@@ -335,7 +334,7 @@ fn stack_round_trip_stays_symbolic() {
         panic!("flip must be satisfiable");
     };
     let arg = model_to_arg(&model, "3");
-    assert_eq!(replay(STACK_COVERT, &arg), 42, "arg {:?}", arg);
+    assert_eq!(replay(STACK_COVERT, &arg), 42, "arg {arg:?}");
 }
 
 const SYM_JUMP: &str = r#"
@@ -463,7 +462,7 @@ fn float_constraints_are_extracted_and_searchable() {
         panic!("local search should solve the float bomb");
     };
     let arg = model_to_arg(&model, "0");
-    assert_eq!(replay(FLOAT_BOMB, &arg), 42, "arg {:?}", arg);
+    assert_eq!(replay(FLOAT_BOMB, &arg), 42, "arg {arg:?}");
 }
 
 const DIV_TRAP: &str = r#"

@@ -223,6 +223,21 @@ impl TaintEngine {
 
     /// Runs the analysis over a trace.
     pub fn run(&mut self, trace: &Trace) -> TaintReport {
+        let obs_timer = bomblab_obs::start();
+        let report = self.run_inner(trace);
+        if let Some(t0) = obs_timer {
+            bomblab_obs::span_ns("taint.run", t0.elapsed().as_nanos() as u64);
+            bomblab_obs::counter("taint.steps", trace.len() as u64);
+            bomblab_obs::counter("taint.tainted_steps", report.tainted_step_count as u64);
+            bomblab_obs::counter(
+                "taint.tainted_branches",
+                report.tainted_branches.len() as u64,
+            );
+        }
+        report
+    }
+
+    fn run_inner(&mut self, trace: &Trace) -> TaintReport {
         let mut report = TaintReport::default();
         for (idx, step) in trace.iter().enumerate() {
             // Seed a forked child's registers on its first appearance.

@@ -393,6 +393,17 @@ impl Machine {
     /// Runs until the root process ends, deadlock, budget exhaustion, or an
     /// internal machine failure ([`RunStatus::Crashed`]).
     pub fn run(&mut self) -> RunResult {
+        let obs_timer = bomblab_obs::start();
+        let steps_before = self.steps;
+        let result = self.run_inner();
+        if let Some(t0) = obs_timer {
+            bomblab_obs::span_ns("vm.run", t0.elapsed().as_nanos() as u64);
+            bomblab_obs::counter("vm.steps", result.steps - steps_before);
+        }
+        result
+    }
+
+    fn run_inner(&mut self) -> RunResult {
         while self.result.is_none() {
             // Containment watchdog: when the study runner armed a cell
             // deadline this panics (caught at the cell boundary) instead of
@@ -1132,6 +1143,20 @@ enum ThreadStep {
     Died,
 }
 
+enum SysOutcome {
+    Done { ret: u64, effect: SysEffect },
+    Block,
+}
+
+impl SysOutcome {
+    fn done(ret: u64) -> SysOutcome {
+        SysOutcome::Done {
+            ret,
+            effect: SysEffect::None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1202,19 +1227,5 @@ mod tests {
     fn unarmed_runs_are_untouched_by_the_fault_layer() {
         let mut m = Machine::load(&exit7(), None, MachineConfig::default()).unwrap();
         assert_eq!(m.run().status.exit_code(), Some(7));
-    }
-}
-
-enum SysOutcome {
-    Done { ret: u64, effect: SysEffect },
-    Block,
-}
-
-impl SysOutcome {
-    fn done(ret: u64) -> SysOutcome {
-        SysOutcome::Done {
-            ret,
-            effect: SysEffect::None,
-        }
     }
 }

@@ -21,6 +21,7 @@
 //! | [`concolic`] | `bomblab-concolic` | the engine, tool profiles, study |
 //! | [`sa`] | `bomblab-sa` | static analysis: CFG recovery, VSA, lints |
 //! | [`fault`] | `bomblab-fault` | deterministic fault injection + crash containment |
+//! | [`obs`] | `bomblab-obs` | structured tracing, metrics registry, per-cell profiles |
 //! | [`interval`] | `bomblab-interval` | strided-interval arithmetic |
 //! | [`bombs`] | `bomblab-bombs` | the 22-bomb dataset |
 //!
@@ -65,6 +66,7 @@ pub use bomblab_fault as fault;
 pub use bomblab_interval as interval;
 pub use bomblab_ir as ir;
 pub use bomblab_isa as isa;
+pub use bomblab_obs as obs;
 pub use bomblab_rt as rt;
 pub use bomblab_sa as sa;
 pub use bomblab_solver as solver;

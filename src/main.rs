@@ -5,19 +5,27 @@
 //! bomblab dis <file.s|file.bvm>         disassemble the text segment
 //! bomblab run <file.s|file.bvm> [arg]   run concretely, print stdout/exit
 //! bomblab trace <file.s|file.bvm> [arg] run and print the executed listing
-//! bomblab solve <file.s|file.bvm> [seed] concolically search for BOOM
+//! bomblab solve <file.s|file.bvm> [seed] [--trace out.jsonl]
+//!                                       concolically search for BOOM
 //! bomblab constraints <file> [arg]      dump path conditions as SMT-LIB
 //! bomblab analyze <file.s|file.bvm>     static analysis: annotated listing
 //! bomblab analyze --bombs [prefix]      analyze the dataset, print summaries
 //! bomblab bombs                         list the dataset
-//! bomblab study [prefix] [--jobs N]     run the Table-II study
+//! bomblab study [prefix] [--jobs N] [--trace out.jsonl]
+//!                                       run the Table-II study
 //! bomblab chaos [prefix] [--seed N] [--faults K] [--sweeps M] [--jobs N]
-//!                                       fault-injection sweeps + containment check
+//!               [--trace out.jsonl]     fault-injection sweeps + containment check
+//! bomblab tracecheck <file.jsonl>       validate a trace against the schema
 //! ```
+//!
+//! Flags are order-independent — `bomblab study --jobs 4 decl` and
+//! `bomblab study decl --jobs 4` are the same invocation — and unknown
+//! flags are rejected with the accepted set. `--flag value` and
+//! `--flag=value` are both accepted.
 
 use bomblab::concolic::{
-    chaos_sweep, run_study_jobs, ChaosConfig, Engine, GroundTruth, Outcome, Subject, ToolProfile,
-    WorldInput,
+    chaos_sweep, run_study_with, ChaosConfig, Engine, GroundTruth, Outcome, StudyOptions, Subject,
+    ToolProfile, WorldInput,
 };
 use bomblab::isa::image::Image;
 use bomblab::rt::link_program;
@@ -37,9 +45,10 @@ fn main() -> ExitCode {
         Some("bombs") => cmd_bombs(),
         Some("study") => cmd_study(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("tracecheck") => cmd_tracecheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bomblab <asm|dis|run|trace|solve|analyze|bombs|study|chaos> [args]\n\
+                "usage: bomblab <asm|dis|run|trace|solve|analyze|bombs|study|chaos|tracecheck> [args]\n\
                  see `bomblab` source documentation for details"
             );
             return ExitCode::from(2);
@@ -56,6 +65,120 @@ fn main() -> ExitCode {
 
 type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
 
+/// One flag a subcommand accepts: canonical `--name`, optional short
+/// alias, and whether it consumes a value (`--flag value` or
+/// `--flag=value`; flags without values reject `=`).
+struct FlagSpec {
+    name: &'static str,
+    alias: Option<&'static str>,
+    takes_value: bool,
+}
+
+const JOBS: FlagSpec = FlagSpec {
+    name: "--jobs",
+    alias: Some("-j"),
+    takes_value: true,
+};
+const TRACE: FlagSpec = FlagSpec {
+    name: "--trace",
+    alias: None,
+    takes_value: true,
+};
+
+/// Parses `args` into positionals and flag values, order-independently.
+/// Flags may appear anywhere, repeated flags keep the last value, and
+/// anything starting with `-` that is not in `specs` is an error naming
+/// the accepted set.
+fn parse_flags(
+    cmd: &str,
+    args: &[String],
+    specs: &[FlagSpec],
+    max_positional: usize,
+) -> Result<
+    (
+        Vec<String>,
+        std::collections::BTreeMap<&'static str, String>,
+    ),
+    String,
+> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let accepted = || specs.iter().map(|s| s.name).collect::<Vec<_>>().join(", ");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with('-') || arg == "-" {
+            if positional.len() == max_positional {
+                return Err(format!(
+                    "{cmd}: unexpected argument {arg:?} (takes at most {max_positional} positional)"
+                ));
+            }
+            positional.push(arg.clone());
+            continue;
+        }
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) => (n, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        let Some(spec) = specs
+            .iter()
+            .find(|s| s.name == name || s.alias == Some(name))
+        else {
+            return Err(format!(
+                "{cmd}: unknown flag `{name}` (accepted: {})",
+                accepted()
+            ));
+        };
+        let value = if spec.takes_value {
+            match inline {
+                Some(v) => v.to_string(),
+                None => it
+                    .next()
+                    .ok_or_else(|| format!("{cmd}: {} needs a value", spec.name))?
+                    .clone(),
+            }
+        } else {
+            if inline.is_some() {
+                return Err(format!("{cmd}: {} takes no value", spec.name));
+            }
+            String::new()
+        };
+        flags.insert(spec.name, value);
+    }
+    Ok((positional, flags))
+}
+
+/// Parses a required-numeric flag value.
+fn parse_num<T: std::str::FromStr>(cmd: &str, flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{cmd}: bad {flag} value {value:?}"))
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Writes JSONL trace lines to `path` and the profile-summary sidecar
+/// next to it (`<path minus .jsonl>.profile.md`), reporting both on
+/// stderr so stdout stays machine-readable.
+fn write_trace(
+    path: &str,
+    lines: &[String],
+    profile_summary: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut doc = lines.join("\n");
+    doc.push('\n');
+    std::fs::write(path, doc)?;
+    eprintln!("trace: wrote {} lines to {path}", lines.len());
+    if let Some(summary) = profile_summary {
+        let stem = path.strip_suffix(".jsonl").unwrap_or(path);
+        let sidecar = format!("{stem}.profile.md");
+        std::fs::write(&sidecar, summary)?;
+        eprintln!("trace: wrote profile summary to {sidecar}");
+    }
+    Ok(())
+}
+
 /// Loads an image from a `.s` source file (assembled against the runtime)
 /// or a serialized `.bvm` image.
 fn load_image(path: &str) -> Result<Image, Box<dyn std::error::Error>> {
@@ -69,10 +192,18 @@ fn load_image(path: &str) -> Result<Image, Box<dyn std::error::Error>> {
 }
 
 fn cmd_asm(args: &[String]) -> CmdResult {
-    let input = args.first().ok_or("asm: missing input file")?;
-    let out = match args.get(1).map(String::as_str) {
-        Some("-o") => args.get(2).ok_or("asm: -o needs a path")?.clone(),
-        _ => format!("{}.bvm", input.trim_end_matches(".s")),
+    const OUTPUT: FlagSpec = FlagSpec {
+        name: "--output",
+        alias: Some("-o"),
+        takes_value: true,
+    };
+    let (pos, flags) = parse_flags("asm", args, &[OUTPUT], 1)?;
+    let input = pos.first().ok_or("asm: missing input file")?;
+    let out = match flags.get("--output") {
+        Some(path) => path.clone(),
+        // `strip_suffix`, not `trim_end_matches`: the latter strips the
+        // suffix repeatedly, mangling names like `double.s.s`.
+        None => format!("{}.bvm", input.strip_suffix(".s").unwrap_or(input)),
     };
     let image = load_image(input)?;
     std::fs::write(&out, image.to_bytes())?;
@@ -127,16 +258,28 @@ fn cmd_trace(args: &[String]) -> CmdResult {
 }
 
 fn cmd_solve(args: &[String]) -> CmdResult {
-    let input = args.first().ok_or("solve: missing input file")?;
+    let (pos, flags) = parse_flags("solve", args, &[TRACE], 2)?;
+    let input = pos.first().ok_or("solve: missing input file")?;
     let image = load_image(input)?;
-    let seed = args.get(1).cloned().unwrap_or_else(|| "AAAAAAAA".into());
+    let seed = pos.get(1).cloned().unwrap_or_else(|| "AAAAAAAA".into());
     let subject = Subject {
         name: input.clone(),
         image,
         lib: None,
         seed: WorldInput::with_arg(seed.into_bytes()),
     };
-    let attempt = Engine::new(ToolProfile::omniscient()).explore(&subject, &GroundTruth::default());
+    let profile = ToolProfile::omniscient();
+    let obs_token = flags
+        .get("--trace")
+        .map(|_| bomblab::obs::arm(&subject.name, &profile.name));
+    let started = std::time::Instant::now();
+    let attempt = Engine::new(profile.clone()).explore(&subject, &GroundTruth::default());
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    if let Some(token) = obs_token {
+        let cell = bomblab::obs::disarm(token);
+        let path = &flags["--trace"];
+        write_trace(path, &solve_trace_lines(&cell, &attempt, wall_ns), None)?;
+    }
     println!(
         "outcome: {} ({} rounds, {} queries)",
         attempt.outcome, attempt.evidence.rounds, attempt.evidence.queries
@@ -149,6 +292,47 @@ fn cmd_solve(args: &[String]) -> CmdResult {
         return Ok(ExitCode::SUCCESS);
     }
     Ok(ExitCode::FAILURE)
+}
+
+/// Renders one `solve` run as schema-valid trace lines: header, the
+/// cell's span/event/counter/hist stream, its outcome line, and the
+/// summary trailer.
+fn solve_trace_lines(
+    cell: &bomblab::obs::CellProfile,
+    attempt: &bomblab::concolic::Attempt,
+    wall_ns: u64,
+) -> Vec<String> {
+    use bomblab::obs::json::{str_array, Obj};
+    use bomblab::obs::trace::{render_cell, SCHEMA_VERSION};
+    let mut lines = vec![Obj::new("study_start")
+        .u64("schema", SCHEMA_VERSION)
+        .u64("bombs", 1)
+        .raw("profiles", &str_array(std::slice::from_ref(&cell.profile)))
+        .finish()];
+    render_cell(cell, &mut lines);
+    let ev = &attempt.evidence;
+    let mut line = Obj::new("cell")
+        .str("bomb", &cell.bomb)
+        .str("profile", &cell.profile)
+        .str("outcome", &attempt.outcome.to_string())
+        .u64("wall_ns", wall_ns)
+        .u64("rounds", u64::from(ev.rounds))
+        .u64("queries", u64::from(ev.queries));
+    if let Some(crash) = &ev.crash {
+        line = line
+            .str("crash_stage", &crash.stage)
+            .str("crash_message", &crash.message);
+    }
+    lines.push(line.finish());
+    lines.push(
+        Obj::new("summary")
+            .u64("cells", 1)
+            .u64("spans", cell.spans.len() as u64)
+            .u64("events", cell.events.len() as u64)
+            .u64("counters", cell.counters.len() as u64)
+            .finish(),
+    );
+    lines
 }
 
 fn cmd_constraints(args: &[String]) -> CmdResult {
@@ -192,11 +376,14 @@ fn cmd_constraints(args: &[String]) -> CmdResult {
 }
 
 fn cmd_analyze(args: &[String]) -> CmdResult {
-    let input = args
-        .first()
-        .ok_or("analyze: expected a file or `--bombs [prefix]`")?;
-    if input == "--bombs" {
-        let prefix = args.get(1).cloned().unwrap_or_default();
+    const BOMBS: FlagSpec = FlagSpec {
+        name: "--bombs",
+        alias: None,
+        takes_value: false,
+    };
+    let (pos, flags) = parse_flags("analyze", args, &[BOMBS], 1)?;
+    if flags.contains_key("--bombs") {
+        let prefix = pos.first().cloned().unwrap_or_default();
         let mut silent: Vec<String> = Vec::new();
         let mut seen = false;
         for case in bomblab::bombs::all_cases() {
@@ -229,6 +416,9 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
         }
         return Ok(ExitCode::SUCCESS);
     }
+    let input = pos
+        .first()
+        .ok_or("analyze: expected a file or `--bombs [prefix]`")?;
     let image = load_image(input)?;
     let analysis = bomblab::sa::analyze(&image, None);
     print!("{}", analysis.listing());
@@ -249,19 +439,13 @@ fn cmd_bombs() -> CmdResult {
 }
 
 fn cmd_study(args: &[String]) -> CmdResult {
-    let mut prefix = String::new();
-    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--jobs" || arg == "-j" {
-            let n = it.next().ok_or("study: --jobs needs a number")?;
-            jobs = n.parse().map_err(|_| format!("study: bad --jobs {n:?}"))?;
-        } else if let Some(n) = arg.strip_prefix("--jobs=") {
-            jobs = n.parse().map_err(|_| format!("study: bad --jobs {n:?}"))?;
-        } else {
-            prefix = arg.clone();
-        }
-    }
+    let (pos, flags) = parse_flags("study", args, &[JOBS, TRACE], 1)?;
+    let prefix = pos.first().cloned().unwrap_or_default();
+    let jobs = match flags.get("--jobs") {
+        Some(n) => parse_num("study", "--jobs", n)?,
+        None => default_jobs(),
+    };
+    let trace_path = flags.get("--trace");
     let cases: Vec<_> = bomblab::bombs::all_cases()
         .into_iter()
         .filter(|c| c.subject.name.starts_with(&prefix))
@@ -269,32 +453,57 @@ fn cmd_study(args: &[String]) -> CmdResult {
     if cases.is_empty() {
         return Err(format!("no bombs match prefix {prefix:?}").into());
     }
-    let report = run_study_jobs(&cases, &ToolProfile::paper_lineup(), jobs);
+    let options = StudyOptions {
+        jobs,
+        observe: trace_path.is_some(),
+        ..StudyOptions::default()
+    };
+    let report = run_study_with(&cases, &ToolProfile::paper_lineup(), &options);
     println!("{}", report.to_markdown());
+    if let Some(path) = trace_path {
+        write_trace(path, &report.trace_lines(), Some(&report.profile_summary()))?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_chaos(args: &[String]) -> CmdResult {
-    let mut prefix = String::new();
-    let mut config = ChaosConfig::default();
-    let mut it = args.iter();
-    config.jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let parse = |flag: &str, value: Option<&String>| -> Result<u64, Box<dyn std::error::Error>> {
-        let v = value.ok_or_else(|| format!("chaos: {flag} needs a number"))?;
-        v.parse()
-            .map_err(|_| format!("chaos: bad {flag} value {v:?}").into())
+    const SEED: FlagSpec = FlagSpec {
+        name: "--seed",
+        alias: None,
+        takes_value: true,
     };
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--seed" => config.seed = parse("--seed", it.next())?,
-            "--faults" => config.faults = parse("--faults", it.next())? as u32,
-            "--sweeps" => config.sweeps = parse("--sweeps", it.next())? as u32,
-            "--jobs" | "-j" => config.jobs = parse("--jobs", it.next())? as usize,
-            _ => prefix = arg.clone(),
-        }
+    const FAULTS: FlagSpec = FlagSpec {
+        name: "--faults",
+        alias: None,
+        takes_value: true,
+    };
+    const SWEEPS: FlagSpec = FlagSpec {
+        name: "--sweeps",
+        alias: None,
+        takes_value: true,
+    };
+    let (pos, flags) = parse_flags("chaos", args, &[SEED, FAULTS, SWEEPS, JOBS, TRACE], 1)?;
+    let prefix = pos.first().cloned().unwrap_or_default();
+    let mut config = ChaosConfig {
+        jobs: default_jobs(),
+        ..ChaosConfig::default()
+    };
+    if let Some(v) = flags.get("--seed") {
+        config.seed = parse_num("chaos", "--seed", v)?;
     }
+    if let Some(v) = flags.get("--faults") {
+        config.faults = parse_num("chaos", "--faults", v)?;
+    }
+    if let Some(v) = flags.get("--sweeps") {
+        config.sweeps = parse_num("chaos", "--sweeps", v)?;
+    }
+    if let Some(v) = flags.get("--jobs") {
+        config.jobs = parse_num("chaos", "--jobs", v)?;
+    }
+    let trace_path = flags.get("--trace");
+    config.observe = trace_path.is_some();
     if config.jobs == 0 {
-        config.jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        config.jobs = default_jobs();
     }
     let cases: Vec<_> = bomblab::bombs::all_cases()
         .into_iter()
@@ -305,6 +514,20 @@ fn cmd_chaos(args: &[String]) -> CmdResult {
     }
     let profiles = ToolProfile::paper_lineup();
     let sweeps = chaos_sweep(&cases, &profiles, &config);
+    if let Some(path) = trace_path {
+        use bomblab::obs::json::Obj;
+        let mut lines = Vec::new();
+        for sweep in &sweeps {
+            lines.push(
+                Obj::new("sweep_start")
+                    .u64("seed", sweep.seed)
+                    .str("plan", &sweep.plan.to_string())
+                    .finish(),
+            );
+            lines.extend(sweep.report.trace_lines());
+        }
+        write_trace(path, &lines, None)?;
+    }
     let mut failed = false;
     for sweep in &sweeps {
         let abnormal = sweep
@@ -338,4 +561,21 @@ fn cmd_chaos(args: &[String]) -> CmdResult {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_tracecheck(args: &[String]) -> CmdResult {
+    let (pos, _) = parse_flags("tracecheck", args, &[], 1)?;
+    let path = pos.first().ok_or("tracecheck: missing trace file")?;
+    let text = std::fs::read_to_string(path)?;
+    match bomblab::obs::trace::validate_lines(&text) {
+        Ok(checked) => {
+            let version = bomblab::obs::trace::SCHEMA_VERSION;
+            println!("{path}: {checked} lines OK (schema v{version})");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err((line, why)) => {
+            eprintln!("{path}:{line}: {why}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
