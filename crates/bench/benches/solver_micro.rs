@@ -20,6 +20,18 @@ fn crackme_query(width: u8) -> Term {
     Term::cmp(CmpOp::Eq, &e, &Term::bv(0x42, width))
 }
 
+/// The shape of a paper-profile flip query: one crackme condition plus
+/// independent nonzero guards on each argv byte — exactly what the
+/// cone-of-influence slicer is built to pull apart.
+fn flip_style_query() -> Vec<Term> {
+    let mut q = vec![crackme_query(32)];
+    for b in 0..8 {
+        let var = Term::var(format!("arg1_b{b}"), 8);
+        q.push(Term::not(&Term::cmp(CmpOp::Eq, &var, &Term::bv(0, 8))));
+    }
+    q
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
     for width in [8u8, 32, 64] {
@@ -46,6 +58,31 @@ fn bench(c: &mut Criterion) {
             matches!(Solver::new().check(&[c1, c2]), SolveOutcome::Sat(_))
         });
     });
+    group.finish();
+
+    // Word-level optimizer ablation: the same flip-style query with each
+    // stage toggled off, so a regression in either stage shows up as the
+    // `full` leg converging on `raw`.
+    let mut group = c.benchmark_group("optimizer");
+    for (name, simplify, slicing) in [
+        ("flip_full", true, true),
+        ("flip_no_simplify", false, true),
+        ("flip_no_slice", true, false),
+        ("flip_raw", false, false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let q = flip_style_query();
+                matches!(
+                    Solver::new()
+                        .with_simplify(simplify)
+                        .with_slicing(slicing)
+                        .check(&q),
+                    SolveOutcome::Sat(_)
+                )
+            });
+        });
+    }
     group.finish();
 }
 

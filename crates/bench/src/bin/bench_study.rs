@@ -52,10 +52,19 @@ fn main() {
     let identical = sequential.to_markdown() == parallel.to_markdown();
     let json = render(&sequential, seq_s, par_s, jobs, cores, identical);
     std::fs::write(&out_path, &json).expect("write BENCH_study.json");
-    eprintln!(
-        "sequential {seq_s:.2}s, --jobs {jobs} {par_s:.2}s ({:.2}x), reports identical: {identical}",
-        seq_s / par_s
-    );
+    if cores > 1 {
+        eprintln!(
+            "sequential {seq_s:.2}s, --jobs {jobs} {par_s:.2}s ({:.2}x), reports identical: {identical}",
+            seq_s / par_s
+        );
+    } else {
+        // On one core the parallel leg is pure oversubscription; a
+        // "speedup" ratio would be noise, not signal.
+        eprintln!(
+            "sequential {seq_s:.2}s, --jobs {jobs} {par_s:.2}s (single core, \
+             no speedup measured), reports identical: {identical}"
+        );
+    }
     eprintln!("wrote {out_path}");
     assert!(identical, "parallel report diverged from sequential");
 }
@@ -70,6 +79,8 @@ fn render(
 ) -> String {
     let mut cells = String::new();
     let (mut hits, mut misses, mut blasted, mut reused) = (0u64, 0u64, 0u64, 0u64);
+    let (mut simp_hits, mut pruned, mut slices, mut witnessed) = (0u64, 0u64, 0u64, 0u64);
+    let (mut simp_ns, mut intv_ns, mut slice_ns) = (0u64, 0u64, 0u64);
     for row in &report.rows {
         for cell in &row.cells {
             let ev = &cell.attempt.evidence;
@@ -77,6 +88,13 @@ fn render(
             misses += ev.cache_misses;
             blasted += ev.roots_blasted;
             reused += ev.roots_reused;
+            simp_hits += ev.simplify_hits;
+            pruned += ev.terms_pruned;
+            slices += ev.slices;
+            witnessed += ev.witness_hits;
+            simp_ns += ev.simplify_ns;
+            intv_ns += ev.interval_ns;
+            slice_ns += ev.slice_ns;
             if !cells.is_empty() {
                 cells.push_str(",\n");
             }
@@ -85,6 +103,9 @@ fn render(
                 "    {{\"case\": \"{}\", \"profile\": \"{}\", \"outcome\": \"{}\", \
                  \"wall_ms\": {:.3}, \"rounds\": {}, \"queries\": {}, \
                  \"vm_ms\": {:.3}, \"taint_ms\": {:.3}, \"symex_ms\": {:.3}, \"solver_ms\": {:.3}, \
+                 \"simplify_hits\": {}, \"terms_pruned\": {}, \"slices\": {}, \
+                 \"witness_hits\": {}, \
+                 \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \"slice_ms\": {:.3}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \
                  \"roots_blasted\": {}, \"roots_reused\": {}}}",
                 row.name,
@@ -97,6 +118,13 @@ fn render(
                 ev.taint_ns as f64 / 1e6,
                 ev.symex_ns as f64 / 1e6,
                 ev.solver_ns as f64 / 1e6,
+                ev.simplify_hits,
+                ev.terms_pruned,
+                ev.slices,
+                ev.witness_hits,
+                ev.simplify_ns as f64 / 1e6,
+                ev.interval_ns as f64 / 1e6,
+                ev.slice_ns as f64 / 1e6,
                 ev.cache_hits,
                 ev.cache_misses,
                 ev.roots_blasted,
@@ -104,15 +132,29 @@ fn render(
             );
         }
     }
+    // A speedup ratio on a single core measures scheduler overhead, not
+    // parallelism: report null so downstream jq does not mistake it for a
+    // regression (or an impossible win).
+    let speedup = if cores > 1 {
+        format!("{:.3}", seq_s / par_s)
+    } else {
+        "null".to_string()
+    };
     format!(
         "{{\n  \"bench\": \"study\",\n  \"cores\": {cores},\n  \"bombs\": {},\n  \
          \"profiles\": {},\n  \"sequential_s\": {seq_s:.3},\n  \"parallel_jobs\": {jobs},\n  \
-         \"parallel_s\": {par_s:.3},\n  \"speedup\": {:.3},\n  \
+         \"parallel_s\": {par_s:.3},\n  \"speedup\": {speedup},\n  \
          \"reports_identical\": {identical},\n  \"solver_cache\": {{\"hits\": {hits}, \
          \"misses\": {misses}, \"roots_blasted\": {blasted}, \"roots_reused\": {reused}}},\n  \
+         \"optimizer\": {{\"simplify_hits\": {simp_hits}, \"terms_pruned\": {pruned}, \
+         \"slices\": {slices}, \"witness_hits\": {witnessed}, \
+         \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \
+         \"slice_ms\": {:.3}}},\n  \
          \"cells\": [\n{cells}\n  ]\n}}\n",
         report.rows.len(),
         report.profiles.len(),
-        seq_s / par_s,
+        simp_ns as f64 / 1e6,
+        intv_ns as f64 / 1e6,
+        slice_ns as f64 / 1e6,
     )
 }

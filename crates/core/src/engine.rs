@@ -139,6 +139,24 @@ pub struct Evidence {
     pub symex_ns: u64,
     /// Wall-clock nanoseconds in solver queries per attempt.
     pub solver_ns: u64,
+    /// Rewrite-simplifier memo hits across all queries (optimizer stage 1).
+    pub simplify_hits: u64,
+    /// Constraints dropped as tautologies or folded to constants by the
+    /// optimizer (stages 1 and 2), across all queries.
+    pub terms_pruned: u64,
+    /// Total variable-connected slices queries were split into (stage 3);
+    /// equals `queries` when every query was a single component.
+    pub slices: u64,
+    /// Cache-missed slices answered by interval-witness synthesis instead
+    /// of the CDCL solver (stage 3½), across all queries.
+    pub witness_hits: u64,
+    /// Wall-clock nanoseconds in the rewrite simplifier across all queries.
+    pub simplify_ns: u64,
+    /// Wall-clock nanoseconds in interval pruning across all queries.
+    pub interval_ns: u64,
+    /// Wall-clock nanoseconds in cone-of-influence slicing across all
+    /// queries.
+    pub slice_ns: u64,
     /// Faults fired by an armed chaos plan during this attempt (0 unless
     /// the study runner armed a [`bomblab_fault::FaultPlan`]).
     pub injected_faults: u32,
@@ -600,16 +618,28 @@ impl Engine {
                 // Stateless profiles get a throwaway solver per query:
                 // no learnt clauses, no cached models, no incremental
                 // blasting — each query pays its full cost against the
-                // budget, the way the 2017-era tools did.
-                let result = if self.profile.incremental_solver {
-                    solver.try_check(&query)
+                // budget, the way the 2017-era tools did. The throwaway
+                // stays alive past `try_check` so its per-query optimizer
+                // statistics can be folded into the evidence.
+                let throwaway;
+                let active = if self.profile.incremental_solver {
+                    &solver
                 } else {
-                    Solver::new()
+                    throwaway = Solver::new()
                         .with_budget(self.profile.solver_budget)
-                        .with_float_mode(self.profile.float_mode)
-                        .try_check(&query)
+                        .with_float_mode(self.profile.float_mode);
+                    &throwaway
                 };
+                let result = active.try_check(&query);
                 evidence.solver_ns += solve_start.elapsed().as_nanos() as u64;
+                let qstats = active.stats();
+                evidence.simplify_hits += qstats.simplify_hits;
+                evidence.terms_pruned += qstats.terms_pruned;
+                evidence.slices += qstats.slices;
+                evidence.witness_hits += qstats.witness_hits;
+                evidence.simplify_ns += qstats.simplify_ns;
+                evidence.interval_ns += qstats.interval_ns;
+                evidence.slice_ns += qstats.slice_ns;
                 let outcome = match result {
                     Ok(out) => out,
                     Err(e) => {

@@ -354,6 +354,27 @@ impl StudyReport {
                     .u64("wall_ns", cell.wall_ns)
                     .u64("rounds", u64::from(ev.rounds))
                     .u64("queries", u64::from(ev.queries));
+                if ev.simplify_hits > 0 {
+                    line = line.u64("simplify_hits", ev.simplify_hits);
+                }
+                if ev.terms_pruned > 0 {
+                    line = line.u64("terms_pruned", ev.terms_pruned);
+                }
+                if ev.slices > 0 {
+                    line = line.u64("slices", ev.slices);
+                }
+                if ev.witness_hits > 0 {
+                    line = line.u64("witness_hits", ev.witness_hits);
+                }
+                if ev.simplify_ns > 0 {
+                    line = line.u64("simplify_ns", ev.simplify_ns);
+                }
+                if ev.interval_ns > 0 {
+                    line = line.u64("interval_ns", ev.interval_ns);
+                }
+                if ev.slice_ns > 0 {
+                    line = line.u64("slice_ns", ev.slice_ns);
+                }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
                 }
@@ -501,6 +522,42 @@ impl StudyReport {
             for (name, value) in &metrics.counters {
                 let _ = writeln!(out, "| {name} | {value} |");
             }
+        }
+
+        {
+            let mut hits = 0u64;
+            let mut pruned = 0u64;
+            let mut slices = 0u64;
+            let mut witnessed = 0u64;
+            let mut queries = 0u64;
+            let (mut simp_ns, mut intv_ns, mut slice_ns) = (0u64, 0u64, 0u64);
+            for row in &self.rows {
+                for cell in &row.cells {
+                    let ev = &cell.attempt.evidence;
+                    hits += ev.simplify_hits;
+                    pruned += ev.terms_pruned;
+                    slices += ev.slices;
+                    witnessed += ev.witness_hits;
+                    queries += u64::from(ev.queries);
+                    simp_ns += ev.simplify_ns;
+                    intv_ns += ev.interval_ns;
+                    slice_ns += ev.slice_ns;
+                }
+            }
+            let _ = writeln!(out, "\n## Query optimizer\n");
+            let _ = writeln!(
+                out,
+                "{queries} queries: {hits} simplifier memo hits, {pruned} \
+                 constraints pruned, {slices} slices solved \
+                 ({witnessed} by interval witness, no CDCL)."
+            );
+            let _ = writeln!(
+                out,
+                "Stage time: simplify {}, interval {}, slicing {}.",
+                format_ns(simp_ns),
+                format_ns(intv_ns),
+                format_ns(slice_ns)
+            );
         }
 
         if let Some(hist) = metrics.hists.get("solver.query_ns") {

@@ -139,6 +139,13 @@ const SCHEMA: &[TypeSchema] = &[
             ("queries", Kind::U64),
         ],
         &[
+            ("simplify_hits", Kind::U64),
+            ("terms_pruned", Kind::U64),
+            ("slices", Kind::U64),
+            ("witness_hits", Kind::U64),
+            ("simplify_ns", Kind::U64),
+            ("interval_ns", Kind::U64),
+            ("slice_ns", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),

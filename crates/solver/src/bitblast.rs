@@ -371,6 +371,22 @@ impl Blaster {
     }
 
     fn w_mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        // Multiplication is commutative; use the more-constant operand as
+        // the row selector so every constant selector bit either skips its
+        // addend row outright (bit 0, the row folds away in `w_add`) or
+        // drops the row's AND gates (bit 1). A constant multiplier like
+        // atoi's `acc * 10` then costs popcount(10) = 2 real adds instead
+        // of one per bit width.
+        let const_bits = |s: &Blaster, ls: &[Lit]| {
+            ls.iter()
+                .filter(|&&l| s.is_true(l) || s.is_false(l))
+                .count()
+        };
+        let (a, b) = if const_bits(self, b) > const_bits(self, a) {
+            (b, a)
+        } else {
+            (a, b)
+        };
         let w = a.len();
         let mut acc = self.w_const(0, w as u8);
         for i in 0..w {
@@ -468,6 +484,30 @@ impl Blaster {
     /// divide-by-zero case.
     fn w_udivrem(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
         let w = a.len();
+        // When the divisor is entirely constant, the restoring invariant
+        // `rem < b` bounds the remainder to the divisor's bit width after
+        // every step: bits at or above bits(b) are provably zero, so
+        // pinning them to constant false lets the per-iteration compare,
+        // subtract, and select fold down to the divisor's width instead of
+        // running over the full word (`urem x, 991` builds ~10-bit stages,
+        // not 65-bit ones).
+        let mut const_divisor: Option<u64> = Some(0);
+        for (i, &l) in b.iter().enumerate() {
+            match const_divisor {
+                Some(v) if self.is_true(l) && i < 64 => const_divisor = Some(v | 1u64 << i),
+                Some(_) if self.is_false(l) => {}
+                _ => {
+                    const_divisor = None;
+                    break;
+                }
+            }
+        }
+        let const_divisor = const_divisor.filter(|&c| c > 0);
+        let keep = match const_divisor {
+            Some(c) => (64 - c.leading_zeros()) as usize,
+            None => w + 1,
+        }
+        .min(w + 1);
         // rem has w+1 bits of headroom.
         let mut rem = vec![self.false_lit(); w + 1];
         let mut bx = b.to_vec();
@@ -481,7 +521,11 @@ impl Blaster {
             let lt = self.w_ult(&rem, &bx); // rem < b ?
             let diff = self.w_sub(&rem, &bx);
             q[i] = lt.flip();
-            rem = self.w_mux(lt, &rem, &diff);
+            // Select only the live low bits; the rest stay constant zero
+            // (both branches are provably below the constant divisor).
+            let mut next = self.w_mux(lt, &rem[..keep], &diff[..keep]);
+            next.resize(w + 1, self.false_lit());
+            rem = next;
         }
         rem.truncate(w);
         (q, rem)

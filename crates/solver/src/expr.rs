@@ -5,6 +5,7 @@
 //! the fly. All bitvector widths are between 1 and 64 bits; values are kept
 //! in the low bits of a `u64`.
 
+use crate::idhash::IdSet;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -843,7 +844,7 @@ impl Term {
     pub fn collect_vars(&self, out: &mut Vec<Var>) {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![self.clone()];
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = IdSet::default();
         while let Some(t) = stack.pop() {
             if !visited.insert(t.id()) {
                 continue;
@@ -897,7 +898,7 @@ impl Term {
     /// Whether the term contains any floating-point node.
     pub fn has_float(&self) -> bool {
         let mut stack = vec![self.clone()];
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = IdSet::default();
         while let Some(t) = stack.pop() {
             if !visited.insert(t.id()) {
                 continue;
@@ -943,7 +944,7 @@ impl Term {
     /// one even on crypto-sized expressions.
     pub fn topo_order(&self) -> Vec<Term> {
         let mut order = Vec::new();
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = IdSet::default();
         // (term, children_expanded)
         let mut stack: Vec<(Term, bool)> = vec![(self.clone(), false)];
         while let Some((t, expanded)) = stack.pop() {
@@ -997,11 +998,24 @@ impl Term {
 
     /// Approximate node count (shared nodes counted once).
     pub fn size(&self) -> usize {
-        let mut visited = std::collections::HashSet::new();
+        self.size_capped(usize::MAX)
+    }
+
+    /// Like [`size`](Term::size), but stops walking once more than `cap`
+    /// distinct nodes have been seen, returning `cap + 1`. Budget checks
+    /// only need to know *whether* a formula exceeds the node cap; on
+    /// crypto-sized DAGs (hundreds of thousands of shared nodes against a
+    /// paper-profile cap of 2 000) the early exit turns the dominant cost
+    /// of a `FormulaTooLarge` query into a bounded walk.
+    pub fn size_capped(&self, cap: usize) -> usize {
+        let mut visited = IdSet::default();
         let mut stack = vec![self.clone()];
         while let Some(t) = stack.pop() {
             if !visited.insert(t.id()) {
                 continue;
+            }
+            if visited.len() > cap {
+                return visited.len();
             }
             match t.node() {
                 Node::BvBin { a, b, .. }
@@ -1035,6 +1049,178 @@ impl Term {
             }
         }
         visited.len()
+    }
+
+    /// Rebuilds this single node through the smart constructors with every
+    /// direct child replaced by `child(c)`. Returns `self` unchanged (same
+    /// allocation) when no child mapping changed, so callers walking a DAG
+    /// bottom-up only allocate along actually-rewritten paths.
+    pub(crate) fn rebuild_shallow(&self, mut child: impl FnMut(&Term) -> Term) -> Term {
+        match self.node() {
+            Node::BvConst { .. } | Node::BvVar(_) | Node::BoolConst(_) | Node::FConst(_) => {
+                self.clone()
+            }
+            Node::BvBin { op, a, b } => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::bin(*op, &na, &nb)
+                }
+            }
+            Node::BvNot(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::bvnot(&na)
+                }
+            }
+            Node::BvNeg(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::bvneg(&na)
+                }
+            }
+            Node::Extract { hi, lo, a } => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::extract(&na, *hi, *lo)
+                }
+            }
+            Node::ZExt { width, a } => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::zext(&na, *width)
+                }
+            }
+            Node::SExt { width, a } => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::sext(&na, *width)
+                }
+            }
+            Node::Concat { a, b } => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::concat(&na, &nb)
+                }
+            }
+            Node::Cmp { op, a, b } => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::cmp(*op, &na, &nb)
+                }
+            }
+            Node::BNot(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::not(&na)
+                }
+            }
+            Node::BAnd(a, b) => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::and(&na, &nb)
+                }
+            }
+            Node::BOr(a, b) => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::or(&na, &nb)
+                }
+            }
+            Node::Ite { cond, then, els } => {
+                let (nc, nt, ne) = (child(cond), child(then), child(els));
+                if nc == *cond && nt == *then && ne == *els {
+                    self.clone()
+                } else {
+                    Term::ite(&nc, &nt, &ne)
+                }
+            }
+            Node::FBin { op, a, b } => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::fbin(*op, &na, &nb)
+                }
+            }
+            Node::FNeg(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::fneg(&na)
+                }
+            }
+            Node::FSqrt(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::fsqrt(&na)
+                }
+            }
+            Node::FCmp { op, a, b } => {
+                let (na, nb) = (child(a), child(b));
+                if na == *a && nb == *b {
+                    self.clone()
+                } else {
+                    Term::fcmp(*op, &na, &nb)
+                }
+            }
+            Node::CvtSiToF(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::cvt_si_to_f(&na)
+                }
+            }
+            Node::CvtFToSi(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::cvt_f_to_si(&na)
+                }
+            }
+            Node::FFromBits(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::f_from_bits(&na)
+                }
+            }
+            Node::FBits(a) => {
+                let na = child(a);
+                if na == *a {
+                    self.clone()
+                } else {
+                    Term::f_bits(&na)
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,93 @@
+//! Identity-friendly hashing for term-id keyed tables.
+//!
+//! The solver's hot paths (DAG walks, blasting caches, interval and
+//! simplification memos) all key maps and sets by [`Term::id`] — a pointer
+//! cast to `usize`. SipHash, the std default, burns most of the lookup cost
+//! hashing eight bytes that are already well-distributed after one cheap
+//! mix. This module provides a Fibonacci-multiply hasher specialized for
+//! those keys: one `wrapping_mul` plus one xor-shift, which benchmarks
+//! several times faster than SipHash on id-dense walks while still
+//! spreading the (aligned, heap-clustered) pointer values across both the
+//! high bits (hashbrown's control bytes) and the low bits (bucket index).
+//!
+//! [`Term::id`]: crate::expr::Term::id
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for integer keys (term ids, SAT variable indices).
+///
+/// Not DoS-resistant — do not use for attacker-controlled keys. Term ids
+/// are allocator-assigned pointers, so the distribution is benign.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+/// 2^64 / φ, the classic Fibonacci-hashing multiplier.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (struct keys that embed more than one integer):
+        // FNV-style byte fold, still cheap for the short keys we see.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        let mut h = (self.0 ^ i).wrapping_mul(PHI);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`].
+pub type BuildIdHasher = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by term ids (or other benign integers).
+pub type IdMap<K, V> = HashMap<K, V, BuildIdHasher>;
+
+/// A `HashSet` of term ids (or other benign integers).
+pub type IdSet<K> = HashSet<K, BuildIdHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_spread_across_buckets() {
+        // Aligned pointer-like keys must not collide into a few buckets.
+        let mut set = IdSet::default();
+        for i in 0..10_000usize {
+            set.insert(0x5600_0000_0000 + i * 64);
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: IdMap<usize, u32> = IdMap::default();
+        for i in 0..1000 {
+            m.insert(i * 8, i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i * 8)), Some(&(i as u32)));
+        }
+    }
+}

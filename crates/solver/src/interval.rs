@@ -3,8 +3,16 @@
 //! Each bitvector term gets a conservative unsigned range `[lo, hi]`. When
 //! a constraint's ranges are incompatible (e.g. `Eq` of disjoint ranges),
 //! the whole query is unsatisfiable without touching the SAT solver.
+//!
+//! Stage 2 of the word-level query optimizer builds on the same ranges
+//! through [`prune`]: constraints that hold for *every* assignment
+//! (tautologies) are dropped, constraints that hold for none short-circuit
+//! the query to unsat, and subterms whose range collapses to a single
+//! point are substituted by that constant before bit-blasting.
 
 use crate::expr::{BvOp, CmpOp, Node, Term};
+use crate::idhash::IdMap;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 // The interval arithmetic itself is shared with the static analyzer
@@ -126,11 +134,17 @@ fn range_of_inner(t: &Term, cache: &mut HashMap<usize, Range>) -> Range {
 /// Fast check: is the boolean constraint definitely unsatisfiable by
 /// interval reasoning alone?
 pub fn definitely_false(t: &Term) -> bool {
+    let mut cache = HashMap::new();
+    seed_ranges(t, &mut cache);
+    false_with(t, &mut cache)
+}
+
+fn false_with(t: &Term, cache: &mut HashMap<usize, Range>) -> bool {
     match t.node() {
         Node::BoolConst(b) => !b,
         Node::Cmp { op, a, b } => {
-            let ra = range_of(a);
-            let rb = range_of(b);
+            let ra = range_of_memo(a, cache);
+            let rb = range_of_memo(b, cache);
             match op {
                 CmpOp::Eq => ra.disjoint(&rb),
                 CmpOp::Ult => ra.lo >= rb.hi, // a >= b everywhere
@@ -139,9 +153,168 @@ pub fn definitely_false(t: &Term) -> bool {
                 CmpOp::Slt | CmpOp::Sle => false,
             }
         }
-        Node::BAnd(a, b) => definitely_false(a) || definitely_false(b),
-        Node::BOr(a, b) => definitely_false(a) && definitely_false(b),
+        Node::BAnd(a, b) => false_with(a, cache) || false_with(b, cache),
+        Node::BOr(a, b) => false_with(a, cache) && false_with(b, cache),
         _ => false,
+    }
+}
+
+/// Fast check: does the boolean constraint hold for *every* assignment,
+/// by interval reasoning alone? Such tautologies can be dropped from a
+/// query without changing its models.
+pub fn definitely_true(t: &Term) -> bool {
+    let mut cache = HashMap::new();
+    seed_ranges(t, &mut cache);
+    true_with(t, &mut cache)
+}
+
+fn true_with(t: &Term, cache: &mut HashMap<usize, Range>) -> bool {
+    match t.node() {
+        Node::BoolConst(b) => *b,
+        Node::Cmp { op, a, b } => {
+            let ra = range_of_memo(a, cache);
+            let rb = range_of_memo(b, cache);
+            match op {
+                // Equal only when both sides are the same single point.
+                CmpOp::Eq => ra.lo == ra.hi && rb.lo == rb.hi && ra.lo == rb.lo,
+                CmpOp::Ult => ra.hi < rb.lo,
+                CmpOp::Ule => ra.hi <= rb.lo,
+                CmpOp::Slt | CmpOp::Sle => false,
+            }
+        }
+        Node::BAnd(a, b) => true_with(a, cache) && true_with(b, cache),
+        Node::BOr(a, b) => true_with(a, cache) || true_with(b, cache),
+        Node::BNot(a) => false_with(a, cache),
+        _ => false,
+    }
+}
+
+/// Extracts a shallow range fact `x ∈ [lo, hi]` from one constraint, if
+/// the constraint is a single-variable comparison against a constant
+/// (possibly negated). The returned range is always a *superset* of the
+/// constraint's solution set, so an empty meet across several facts about
+/// the same variable is a sound word-level unsatisfiability proof. Most
+/// shapes are exact; `x != k` is only representable when `k` sits at an
+/// end of the domain, and signed comparisons are left alone (stage-1
+/// narrowing rewrites the interesting ones to unsigned forms first).
+pub fn guard_range(c: &Term) -> Option<(crate::expr::Var, Range)> {
+    let (inner, neg) = match c.node() {
+        Node::BNot(a) => (a, true),
+        _ => (c, false),
+    };
+    let Node::Cmp { op, a, b } = inner.node() else {
+        return None;
+    };
+    let (var_term, k, var_left) = match (a.node(), b.as_const()) {
+        (Node::BvVar(_), Some(k)) => (a, k, true),
+        _ => match (a.as_const(), b.node()) {
+            (Some(k), Node::BvVar(_)) => (b, k, false),
+            _ => return None,
+        },
+    };
+    let Node::BvVar(v) = var_term.node() else {
+        return None;
+    };
+    let max = Range::full(var_term.width()).hi;
+    let r = match (op, var_left, neg) {
+        (CmpOp::Eq, _, false) => Range::point(k),
+        (CmpOp::Eq, _, true) if k == 0 => Range { lo: 1, hi: max },
+        (CmpOp::Eq, _, true) if k == max => Range { lo: 0, hi: max - 1 },
+        // x < k  /  !(x < k)
+        (CmpOp::Ult, true, false) if k > 0 => Range { lo: 0, hi: k - 1 },
+        (CmpOp::Ult, true, true) => Range { lo: k, hi: max },
+        // k < x  /  !(k < x)
+        (CmpOp::Ult, false, false) if k < max => Range { lo: k + 1, hi: max },
+        (CmpOp::Ult, false, true) => Range { lo: 0, hi: k },
+        // x <= k  /  !(x <= k)
+        (CmpOp::Ule, true, false) => Range { lo: 0, hi: k },
+        (CmpOp::Ule, true, true) if k < max => Range { lo: k + 1, hi: max },
+        // k <= x  /  !(k <= x)
+        (CmpOp::Ule, false, false) => Range { lo: k, hi: max },
+        (CmpOp::Ule, false, true) if k > 0 => Range { lo: 0, hi: k - 1 },
+        _ => return None,
+    };
+    Some((v.clone(), r))
+}
+
+/// Verdict of stage-2 interval pruning for one constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pruned {
+    /// Holds for every assignment — drop the constraint.
+    True,
+    /// Holds for no assignment — the whole query is unsat.
+    False,
+    /// Kept, possibly with singleton-range subterms replaced by their
+    /// constant value (pointer-equal to the input when nothing changed).
+    Kept(Term),
+}
+
+/// Entries above this cap trigger a memo reset (each entry pins a DAG).
+const PRUNE_MEMO_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// constraint id → (constraint (pins the id), verdict). A constraint's
+    /// verdict is a pure function of the term, so the memo survives across
+    /// queries and across the throwaway solvers of the paper profiles.
+    static PRUNE_MEMO: RefCell<IdMap<usize, (Term, Pruned)>> =
+        RefCell::new(IdMap::default());
+}
+
+/// Interval-prunes one constraint: tautology / contradiction detection
+/// plus singleton substitution, sharing a single range computation and
+/// memoized per thread.
+pub fn prune(c: &Term) -> Pruned {
+    if let Some(hit) = PRUNE_MEMO.with(|m| m.borrow().get(&c.id()).map(|(_, v)| v.clone())) {
+        return hit;
+    }
+    let mut cache = HashMap::new();
+    seed_ranges(c, &mut cache);
+    let verdict = if true_with(c, &mut cache) {
+        Pruned::True
+    } else if false_with(c, &mut cache) {
+        Pruned::False
+    } else {
+        Pruned::Kept(substitute_singletons(c, &mut cache))
+    };
+    PRUNE_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.len() > PRUNE_MEMO_CAP {
+            m.clear();
+        }
+        m.insert(c.id(), (c.clone(), verdict.clone()));
+    });
+    verdict
+}
+
+/// Replaces every bitvector subterm whose range is a single point with
+/// that constant, rebuilding parents through the smart constructors (which
+/// fold any comparisons or arithmetic the substitution exposes). Sound
+/// because the transfer functions are over-approximations: a point range
+/// means the subterm evaluates to that value under *every* assignment.
+fn substitute_singletons(c: &Term, cache: &mut HashMap<usize, Range>) -> Term {
+    let mut rebuilt: IdMap<usize, Term> = IdMap::default();
+    for node in c.topo_order() {
+        let mapped = node.rebuild_shallow(|child| match rebuilt.get(&child.id()) {
+            Some(t) => t.clone(),
+            None => child.clone(),
+        });
+        let mapped =
+            if matches!(mapped.sort(), crate::expr::Sort::Bv(_)) && mapped.as_const().is_none() {
+                // Ranges were computed on the *original* DAG; look up by the
+                // original node's id, which is sound because rebuilds preserve
+                // semantics (same value ⇒ same point).
+                match cache.get(&node.id()) {
+                    Some(r) if r.lo == r.hi => Term::bv(r.lo, mapped.width()),
+                    _ => mapped,
+                }
+            } else {
+                mapped
+            };
+        rebuilt.insert(node.id(), mapped);
+    }
+    match rebuilt.remove(&c.id()) {
+        Some(t) => t,
+        None => c.clone(),
     }
 }
 
@@ -186,6 +359,40 @@ mod tests {
         // rem < 4, so 10 < rem is impossible; encoded as Ult(10, rem) -> a.lo(10) >= b.hi(3)
         let c = Term::cmp(CmpOp::Ult, &Term::bv(10, 8), &rem);
         assert!(definitely_false(&c));
+    }
+
+    #[test]
+    fn guard_ranges_from_shallow_shapes() {
+        let x = Term::var("x", 8);
+        let g = |t: &Term| guard_range(t).map(|(v, r)| (v.name.to_string(), r.lo, r.hi));
+        assert_eq!(
+            g(&Term::cmp(CmpOp::Eq, &x, &Term::bv(45, 8))),
+            Some(("x".into(), 45, 45))
+        );
+        assert_eq!(
+            g(&Term::not(&Term::cmp(CmpOp::Ult, &x, &Term::bv(48, 8)))),
+            Some(("x".into(), 48, 255))
+        );
+        assert_eq!(
+            g(&Term::cmp(CmpOp::Ult, &x, &Term::bv(58, 8))),
+            Some(("x".into(), 0, 57))
+        );
+        assert_eq!(
+            g(&Term::cmp(CmpOp::Ult, &Term::bv(57, 8), &x)),
+            Some(("x".into(), 58, 255))
+        );
+        assert_eq!(
+            g(&Term::not(&Term::cmp(CmpOp::Eq, &x, &Term::bv(0, 8)))),
+            Some(("x".into(), 1, 255))
+        );
+        // x != k for interior k is not an interval: no fact.
+        assert_eq!(
+            g(&Term::not(&Term::cmp(CmpOp::Eq, &x, &Term::bv(7, 8)))),
+            None
+        );
+        // Non-variable left sides contribute nothing.
+        let masked = Term::bin(BvOp::And, &x, &Term::bv(0x0F, 8));
+        assert_eq!(g(&Term::cmp(CmpOp::Ult, &masked, &Term::bv(5, 8))), None);
     }
 
     #[test]

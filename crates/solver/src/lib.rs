@@ -37,8 +37,11 @@
 
 pub mod bitblast;
 pub mod expr;
+pub mod idhash;
 pub mod interval;
 pub mod sat;
+pub mod simplify;
+pub mod slice;
 pub mod smtlib;
 
 use expr::{eval, Term, Value, Var};
@@ -186,8 +189,28 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// CDCL propagations spent on this query.
     pub propagations: u64,
-    /// Whether the query was answered from the cross-round cache.
+    /// Whether the query was answered from the cross-round cache (with
+    /// slicing: every slice answered from cache).
     pub cache_hit: bool,
+    /// Rewrite-simplifier memo hits on this query (stage 1).
+    pub simplify_hits: u64,
+    /// Constraints dropped as tautologies or folded to `true` by the
+    /// optimizer (stages 1 and 2).
+    pub terms_pruned: u64,
+    /// Variable-connected slices the query was split into (stage 3);
+    /// `1` when slicing is off or the query is a single component.
+    pub slices: u64,
+    /// Cache-missed slices answered by interval-witness synthesis instead
+    /// of the CDCL solver (stage 3½): a model guessed from the per-variable
+    /// range meet and confirmed by concrete evaluation, or an unsat proof
+    /// from an empty meet.
+    pub witness_hits: u64,
+    /// Nanoseconds spent in the rewrite simplifier (stage 1).
+    pub simplify_ns: u64,
+    /// Nanoseconds spent in interval pruning (stage 2).
+    pub interval_ns: u64,
+    /// Nanoseconds spent partitioning into slices (stage 3).
+    pub slice_ns: u64,
 }
 
 /// Cumulative cross-round cache counters for one [`Solver`].
@@ -254,6 +277,8 @@ pub struct Solver {
     budget: SolverBudget,
     float_mode: FloatMode,
     no_query_cache: bool,
+    no_simplify: bool,
+    no_slice: bool,
     stats: std::cell::Cell<SolveStats>,
     cache_stats: std::cell::Cell<CacheStats>,
     state: std::cell::RefCell<SolverState>,
@@ -281,6 +306,20 @@ impl Solver {
     /// The incremental blasting session stays on either way.
     pub fn with_query_cache(mut self, enabled: bool) -> Solver {
         self.no_query_cache = !enabled;
+        self
+    }
+
+    /// Enables or disables the word-level optimizer's rewrite and interval
+    /// stages (default: enabled). Ablation hook for the optimizer bench.
+    pub fn with_simplify(mut self, enabled: bool) -> Solver {
+        self.no_simplify = !enabled;
+        self
+    }
+
+    /// Enables or disables cone-of-influence slicing (default: enabled).
+    /// Ablation hook for the optimizer bench.
+    pub fn with_slicing(mut self, enabled: bool) -> Solver {
+        self.no_slice = !enabled;
         self
     }
 
@@ -340,6 +379,27 @@ impl Solver {
         } else {
             bomblab_obs::counter("solver.cache_misses", 1);
         }
+        if stats.simplify_hits > 0 {
+            bomblab_obs::counter("solver.simplify_hits", stats.simplify_hits);
+        }
+        if stats.terms_pruned > 0 {
+            bomblab_obs::counter("solver.terms_pruned", stats.terms_pruned);
+        }
+        if stats.slices > 1 {
+            bomblab_obs::counter("solver.slices", stats.slices);
+        }
+        if stats.witness_hits > 0 {
+            bomblab_obs::counter("solver.witness_hits", stats.witness_hits);
+        }
+        if stats.simplify_ns > 0 {
+            bomblab_obs::span_ns("solver.simplify", stats.simplify_ns);
+        }
+        if stats.interval_ns > 0 {
+            bomblab_obs::span_ns("solver.interval", stats.interval_ns);
+        }
+        if stats.slice_ns > 0 {
+            bomblab_obs::span_ns("solver.slice", stats.slice_ns);
+        }
         let outcome = match out {
             Ok(SolveOutcome::Sat(_)) => "sat",
             Ok(SolveOutcome::Unsat) => "unsat",
@@ -370,7 +430,12 @@ impl Solver {
             }
         }
         let mut stats = SolveStats::default();
-        // Constant and interval pre-solving.
+        // Constant pre-solving. The interval pre-solve over the *original*
+        // constraints only runs on the raw (`no_simplify`) path: with the
+        // optimizer on, the memoized stage-2 prune below performs the same
+        // range refutation after the budget check, so within-budget queries
+        // pay the analysis once per term instead of once per query and
+        // over-budget queries (crypto-sized DAGs) never pay it at all.
         let mut live = Vec::new();
         for c in constraints {
             match c.as_bool_const() {
@@ -381,7 +446,7 @@ impl Solver {
                 }
                 None => {}
             }
-            if interval::definitely_false(c) {
+            if self.no_simplify && interval::definitely_false(c) {
                 self.stats.set(stats);
                 return Ok(SolveOutcome::Unsat);
             }
@@ -392,28 +457,98 @@ impl Solver {
             return Ok(SolveOutcome::Sat(Model::default()));
         }
 
-        stats.formula_nodes = live.iter().map(Term::size).sum();
-        if stats.formula_nodes > self.budget.max_formula_nodes {
+        // Node budget on the *original* constraints, so a budget-determined
+        // verdict can never be flipped by the optimizer stages below. The
+        // walk aborts as soon as the running total exceeds the budget
+        // (`formula_nodes` is then a lower bound, which is all the verdict
+        // needs — crypto DAGs are ~100k nodes against a 2k budget).
+        let node_budget = self.budget.max_formula_nodes;
+        let mut total_nodes = 0usize;
+        for c in &live {
+            total_nodes = total_nodes.saturating_add(c.size_capped(node_budget - total_nodes));
+            if total_nodes > node_budget {
+                break;
+            }
+        }
+        stats.formula_nodes = total_nodes;
+        if total_nodes > node_budget {
             self.stats.set(stats);
             return Ok(SolveOutcome::Unknown(UnknownReason::FormulaTooLarge));
         }
 
-        // Canonical fingerprint: hash-consing makes term ids stable within
-        // the thread, so the sorted deduped id vector identifies the
-        // constraint set exactly.
-        let mut key: Vec<usize> = live.iter().map(Term::id).collect();
-        key.sort_unstable();
-        key.dedup();
+        // The original constraint set: model zero-fill and the final sanity
+        // check run against it, never against the optimizer's rewrite.
+        let original = live.clone();
 
-        if !self.no_query_cache {
-            if let Some(out) = self.cache_lookup(&key, &live, &mut stats) {
+        if !self.no_simplify {
+            // Stage 1: memoized rewrite simplification.
+            let t0 = std::time::Instant::now();
+            let mut sstats = simplify::SimplifyStats::default();
+            let mut simplified = Vec::with_capacity(live.len());
+            let mut decided_unsat = false;
+            for c in &live {
+                let s = simplify::simplify(c, &mut sstats);
+                match s.as_bool_const() {
+                    Some(true) => stats.terms_pruned += 1,
+                    Some(false) => {
+                        decided_unsat = true;
+                        break;
+                    }
+                    None => simplified.push(s),
+                }
+            }
+            stats.simplify_hits = sstats.memo_hits;
+            stats.simplify_ns = t0.elapsed().as_nanos() as u64;
+            if decided_unsat {
                 self.stats.set(stats);
-                return Ok(out);
+                return Ok(SolveOutcome::Unsat);
+            }
+            live = simplified;
+
+            // Stage 2: interval pruning over the simplified constraints.
+            let t1 = std::time::Instant::now();
+            let mut kept = Vec::with_capacity(live.len());
+            for c in &live {
+                match interval::prune(c) {
+                    interval::Pruned::True => stats.terms_pruned += 1,
+                    interval::Pruned::False => {
+                        stats.interval_ns = t1.elapsed().as_nanos() as u64;
+                        self.stats.set(stats);
+                        return Ok(SolveOutcome::Unsat);
+                    }
+                    interval::Pruned::Kept(k) => match k.as_bool_const() {
+                        Some(true) => stats.terms_pruned += 1,
+                        Some(false) => {
+                            stats.interval_ns = t1.elapsed().as_nanos() as u64;
+                            self.stats.set(stats);
+                            return Ok(SolveOutcome::Unsat);
+                        }
+                        None => kept.push(k),
+                    },
+                }
+            }
+            stats.interval_ns = t1.elapsed().as_nanos() as u64;
+            live = kept;
+            if live.is_empty() {
+                // Every constraint was a tautology: any assignment works.
+                self.stats.set(stats);
+                return Ok(SolveOutcome::Sat(zero_model(&original)));
             }
         }
-        self.bump_cache(|cs| cs.misses += 1);
 
         if live.iter().any(Term::has_float) {
+            // Floating-point queries take the whole-conjunction fallback
+            // paths (shortcut / local search) and are never sliced: the
+            // shortcut's validity depends on validating *all* constraints
+            // together under one proposal.
+            let key = query_key(&live);
+            if !self.no_query_cache {
+                if let Some(out) = self.cache_lookup(&key, &live, &mut stats) {
+                    self.stats.set(stats);
+                    return Ok(out);
+                }
+            }
+            self.bump_cache(|cs| cs.misses += 1);
             let out = match self.float_mode {
                 FloatMode::Reject => {
                     // Even float-less solvers handle one degenerate case the
@@ -442,73 +577,237 @@ impl Solver {
             return Ok(out);
         }
 
-        let out = {
-            let mut st = self.state.borrow_mut();
-            let session = st.session.get_or_insert_with(bitblast::Session::new);
-            let mut roots = Vec::with_capacity(live.len());
-            let mut float_err = false;
-            for c in &live {
-                match session.root_lit(c) {
-                    Ok(l) => roots.push(l),
-                    Err(bitblast::BlastError::Float) => {
-                        float_err = true;
-                        break;
-                    }
-                }
-            }
-            if float_err {
-                self.stats.set(stats);
-                return Ok(SolveOutcome::Unknown(UnknownReason::FloatUnsupported));
-            }
-            let conflicts_before = session.conflicts();
-            let props_before = session.propagations();
-            let result = session.solve(&roots, self.budget.max_conflicts);
-            stats.sat_vars = session.num_vars();
-            stats.sat_clauses = session.num_clauses();
-            stats.conflicts = session.conflicts() - conflicts_before;
-            stats.propagations = session.propagations() - props_before;
-            match result {
-                sat::SatResult::Sat(m) => {
-                    let mut vars = Vec::new();
-                    for c in &live {
-                        c.collect_vars(&mut vars);
-                    }
-                    vars.sort();
-                    vars.dedup();
-                    let mut model = Model::default();
-                    for var in &vars {
-                        let Some(bits) = session.var_bits(var) else {
-                            self.stats.set(stats);
-                            return Err(SolverError::UnblastedVariable(var.name.clone()));
-                        };
-                        let mut v = 0u64;
-                        for (i, &b) in bits.iter().enumerate() {
-                            if m[b as usize] {
-                                v |= 1 << i;
-                            }
-                        }
-                        model.values.insert(var.name.clone(), v);
-                    }
-                    // Sanity: the model must satisfy every constraint.
-                    debug_assert!(
-                        live.iter()
-                            .all(|c| eval(c, &model.as_env()).is_ok_and(|v| v.truth())),
-                        "bit-blasting produced an invalid model"
-                    );
-                    SolveOutcome::Sat(model)
-                }
-                sat::SatResult::Unsat => SolveOutcome::Unsat,
-                sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
-            }
+        // Stage 3: cone-of-influence slicing. Each variable-connected
+        // component is cached and solved on its own — the conjunction is
+        // sat iff every slice is sat, any unsat slice decides unsat, and
+        // per-slice models merge without conflict.
+        let slices: Vec<Vec<Term>> = if self.no_slice || live.len() <= 1 {
+            vec![live.clone()]
+        } else {
+            let t2 = std::time::Instant::now();
+            let parts = slice::partition(&live);
+            stats.slice_ns = t2.elapsed().as_nanos() as u64;
+            parts
         };
-        self.stats.set(stats);
-        if !self.no_query_cache {
-            // The session retains the blasted roots, so the key ids are
-            // already pinned.
-            let mut st = self.state.borrow_mut();
-            Self::cache_store(&mut st, key, &out);
+        stats.slices = slices.len() as u64;
+
+        let mut merged = Model::default();
+        let mut every_slice_hit = true;
+        let mut first_unknown: Option<UnknownReason> = None;
+        let mut missed: Vec<&Vec<Term>> = Vec::new();
+        for slice_terms in &slices {
+            stats.cache_hit = false;
+            let out = if self.no_query_cache {
+                None
+            } else {
+                let key = query_key(slice_terms);
+                self.cache_lookup(&key, slice_terms, &mut stats)
+            };
+            every_slice_hit &= stats.cache_hit;
+            match out {
+                Some(SolveOutcome::Unsat) => {
+                    // Unsat wins over any Unknown from an earlier slice.
+                    stats.cache_hit = every_slice_hit;
+                    self.stats.set(stats);
+                    return Ok(SolveOutcome::Unsat);
+                }
+                Some(SolveOutcome::Unknown(r)) => {
+                    if first_unknown.is_none() {
+                        first_unknown = Some(r);
+                    }
+                }
+                Some(SolveOutcome::Sat(m)) => {
+                    for (name, value) in m.iter() {
+                        merged.values.insert(name.clone(), *value);
+                    }
+                }
+                None => {
+                    self.bump_cache(|cs| cs.misses += 1);
+                    missed.push(slice_terms);
+                }
+            }
         }
-        Ok(out)
+        if !missed.is_empty() && !self.no_simplify {
+            // Stage 3½: interval-witness synthesis. Slices whose range
+            // facts pin a satisfying point never reach the bit-blaster;
+            // an empty meet short-circuits the whole query to unsat.
+            let t3 = std::time::Instant::now();
+            let mut still_missed = Vec::with_capacity(missed.len());
+            for slice_terms in missed {
+                match interval_witness(slice_terms) {
+                    WitnessVerdict::Sat(m) => {
+                        stats.witness_hits += 1;
+                        if !self.no_query_cache {
+                            // The session never blasts these terms; pin
+                            // them so the cache-key ids stay unique.
+                            let mut st = self.state.borrow_mut();
+                            st.pinned.extend(slice_terms.iter().cloned());
+                            Self::cache_store(
+                                &mut st,
+                                query_key(slice_terms),
+                                &SolveOutcome::Sat(m.clone()),
+                            );
+                        }
+                        for (name, value) in m.iter() {
+                            merged.values.insert(name.clone(), *value);
+                        }
+                    }
+                    WitnessVerdict::Unsat => {
+                        stats.witness_hits += 1;
+                        if !self.no_query_cache {
+                            let mut st = self.state.borrow_mut();
+                            st.pinned.extend(slice_terms.iter().cloned());
+                            Self::cache_store(
+                                &mut st,
+                                query_key(slice_terms),
+                                &SolveOutcome::Unsat,
+                            );
+                        }
+                        stats.interval_ns += t3.elapsed().as_nanos() as u64;
+                        stats.cache_hit = every_slice_hit;
+                        self.stats.set(stats);
+                        return Ok(SolveOutcome::Unsat);
+                    }
+                    WitnessVerdict::Miss => still_missed.push(slice_terms),
+                }
+            }
+            stats.interval_ns += t3.elapsed().as_nanos() as u64;
+            missed = still_missed;
+        }
+        if !missed.is_empty() {
+            // Every cache-missed slice is solved in ONE SAT call over their
+            // union: slices are variable-disjoint, so the union is sat iff
+            // each missed slice is sat and a single model covers them all.
+            // Slicing exists for cache-key granularity, not extra CDCL runs —
+            // batching keeps the solve count (and the conflict budget's
+            // meaning) identical to the unsliced pipeline.
+            let union: Vec<Term> = missed.iter().flat_map(|s| s.iter().cloned()).collect();
+            match self.solve_slice(&union, &mut stats)? {
+                SolveOutcome::Unsat => {
+                    if !self.no_query_cache {
+                        // The union is a genuine unsat core (which member
+                        // slice caused it is unattributed); feed it to the
+                        // subsumption layer under its own key.
+                        let mut st = self.state.borrow_mut();
+                        Self::cache_store(&mut st, query_key(&union), &SolveOutcome::Unsat);
+                    }
+                    stats.cache_hit = every_slice_hit;
+                    self.stats.set(stats);
+                    return Ok(SolveOutcome::Unsat);
+                }
+                SolveOutcome::Unknown(r) => {
+                    if first_unknown.is_none() {
+                        first_unknown = Some(r);
+                    }
+                }
+                SolveOutcome::Sat(m) => {
+                    if !self.no_query_cache {
+                        // Store each slice's restriction of the model under
+                        // its own key, so later queries sharing only a path
+                        // prefix still hit slice-by-slice. The session
+                        // retains the blasted roots, so key ids stay pinned.
+                        let mut st = self.state.borrow_mut();
+                        for slice_terms in &missed {
+                            let mut vars = Vec::new();
+                            for c in slice_terms.iter() {
+                                c.collect_vars(&mut vars);
+                            }
+                            vars.sort();
+                            vars.dedup();
+                            let mut sub = Model::default();
+                            for var in &vars {
+                                if let Some(v) = m.values.get(&var.name) {
+                                    sub.values.insert(var.name.clone(), *v);
+                                }
+                            }
+                            let key = query_key(slice_terms);
+                            Self::cache_store(&mut st, key, &SolveOutcome::Sat(sub));
+                        }
+                    }
+                    for (name, value) in m.iter() {
+                        merged.values.insert(name.clone(), *value);
+                    }
+                }
+            }
+        }
+        stats.cache_hit = every_slice_hit;
+        self.stats.set(stats);
+        if let Some(r) = first_unknown {
+            return Ok(SolveOutcome::Unknown(r));
+        }
+        // Variables the optimizer rewrote away are unconstrained; bind them
+        // to zero so the model still covers the original formula.
+        for (name, value) in zero_model(&original).values {
+            merged.values.entry(name).or_insert(value);
+        }
+        // Sanity: the merged model must satisfy the *original* constraints.
+        debug_assert!(
+            original
+                .iter()
+                .all(|c| eval(c, &merged.as_env()).is_ok_and(|v| v.truth())),
+            "query optimizer produced an invalid model"
+        );
+        Ok(SolveOutcome::Sat(merged))
+    }
+
+    /// Blasts and solves one slice through the shared incremental session,
+    /// accumulating SAT statistics into `stats`.
+    fn solve_slice(
+        &self,
+        slice_terms: &[Term],
+        stats: &mut SolveStats,
+    ) -> Result<SolveOutcome, SolverError> {
+        let mut st = self.state.borrow_mut();
+        let session = st.session.get_or_insert_with(bitblast::Session::new);
+        let mut roots = Vec::with_capacity(slice_terms.len());
+        for c in slice_terms {
+            match session.root_lit(c) {
+                Ok(l) => roots.push(l),
+                Err(bitblast::BlastError::Float) => {
+                    return Ok(SolveOutcome::Unknown(UnknownReason::FloatUnsupported));
+                }
+            }
+        }
+        let conflicts_before = session.conflicts();
+        let props_before = session.propagations();
+        let result = session.solve(&roots, self.budget.max_conflicts);
+        stats.sat_vars = session.num_vars();
+        stats.sat_clauses = session.num_clauses();
+        stats.conflicts += session.conflicts() - conflicts_before;
+        stats.propagations += session.propagations() - props_before;
+        Ok(match result {
+            sat::SatResult::Sat(m) => {
+                let mut vars = Vec::new();
+                for c in slice_terms {
+                    c.collect_vars(&mut vars);
+                }
+                vars.sort();
+                vars.dedup();
+                let mut model = Model::default();
+                for var in &vars {
+                    let Some(bits) = session.var_bits(var) else {
+                        return Err(SolverError::UnblastedVariable(var.name.clone()));
+                    };
+                    let mut v = 0u64;
+                    for (i, &b) in bits.iter().enumerate() {
+                        if m[b as usize] {
+                            v |= 1 << i;
+                        }
+                    }
+                    model.values.insert(var.name.clone(), v);
+                }
+                // Sanity: the model must satisfy every slice constraint.
+                debug_assert!(
+                    slice_terms
+                        .iter()
+                        .all(|c| eval(c, &model.as_env()).is_ok_and(|v| v.truth())),
+                    "bit-blasting produced an invalid model"
+                );
+                SolveOutcome::Sat(model)
+            }
+            sat::SatResult::Unsat => SolveOutcome::Unsat,
+            sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
+        })
     }
 
     fn bump_cache(&self, f: impl FnOnce(&mut CacheStats)) {
@@ -587,6 +886,92 @@ impl Solver {
         }
         st.exact.insert(key, out.clone());
     }
+}
+
+/// Canonical cache fingerprint: hash-consing makes term ids stable within
+/// the thread, so the sorted deduped id vector identifies the constraint
+/// set exactly.
+fn query_key(terms: &[Term]) -> Vec<usize> {
+    let mut key: Vec<usize> = terms.iter().map(Term::id).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Verdict of one interval-witness synthesis attempt on a slice.
+enum WitnessVerdict {
+    /// A guessed model confirmed by concrete evaluation.
+    Sat(Model),
+    /// The per-variable range meet is empty: the slice has no solutions.
+    Unsat,
+    /// The guess failed (or nothing guided it); fall through to CDCL.
+    Miss,
+}
+
+/// Stage 3½: tries to answer a slice without the CDCL solver. Every
+/// single-variable range guard ([`interval::guard_range`]) contributes a
+/// range fact; the facts about each variable are met. An empty meet is a
+/// sound unsat proof (each range over-approximates its guard's solutions).
+/// Otherwise each variable is guessed at the low end of its meet (zero if
+/// unguarded) and the guess is *verified by evaluating every constraint*
+/// — the evaluator, not the interval domain, is the soundness authority,
+/// so non-range constraints in the slice (`x != k`, arithmetic) simply
+/// make or break the verification. Digit-guard slices from `atoi`-style
+/// byte classification are the archetype: their meet's low end always
+/// satisfies them, so they never reach the bit-blaster.
+fn interval_witness(slice_terms: &[Term]) -> WitnessVerdict {
+    let mut env: HashMap<Var, interval::Range> = HashMap::new();
+    for c in slice_terms {
+        if let Some((v, r)) = interval::guard_range(c) {
+            match env.get_mut(&v) {
+                Some(e) => {
+                    e.lo = e.lo.max(r.lo);
+                    e.hi = e.hi.min(r.hi);
+                    if e.lo > e.hi {
+                        return WitnessVerdict::Unsat;
+                    }
+                }
+                None => {
+                    env.insert(v, r);
+                }
+            }
+        }
+    }
+    let mut vars = Vec::new();
+    for c in slice_terms {
+        c.collect_vars(&mut vars);
+    }
+    vars.sort();
+    vars.dedup();
+    let mut model = Model::default();
+    for var in &vars {
+        let guess = env.get(var).map_or(0, |r| r.lo);
+        model.values.insert(var.name.clone(), guess);
+    }
+    let ok = {
+        let bind = model.as_env();
+        slice_terms
+            .iter()
+            .all(|c| eval(c, &bind).is_ok_and(|v| v.truth()))
+    };
+    if ok {
+        WitnessVerdict::Sat(model)
+    } else {
+        WitnessVerdict::Miss
+    }
+}
+
+/// A model binding every variable of `constraints` to zero.
+fn zero_model(constraints: &[Term]) -> Model {
+    let mut vars = Vec::new();
+    for c in constraints {
+        c.collect_vars(&mut vars);
+    }
+    let mut model = Model::default();
+    for v in vars {
+        model.values.insert(v.name, 0);
+    }
+    model
 }
 
 /// Is sorted `needle` a subset of sorted `haystack`?
@@ -782,6 +1167,40 @@ mod tests {
         let c = Term::cmp(CmpOp::Eq, &masked, &Term::bv(200, 8));
         assert_eq!(s.check(&[c]), SolveOutcome::Unsat);
         assert_eq!(s.stats().sat_vars, 0, "presolved without blasting");
+    }
+
+    #[test]
+    fn digit_guard_slices_are_answered_by_interval_witness() {
+        // The atoi byte-classification shape: each variable pinned to a
+        // range by a pair of guards, plus a non-range "!= 0" constraint
+        // the evaluator has to confirm. No CDCL run should be needed.
+        let b0 = Term::var("b0", 8);
+        let b1 = Term::var("b1", 8);
+        let cs = vec![
+            Term::not(&Term::cmp(CmpOp::Ult, &b0, &Term::bv(0x30, 8))),
+            Term::cmp(CmpOp::Ult, &b0, &Term::bv(0x3A, 8)),
+            Term::not(&Term::cmp(CmpOp::Eq, &b0, &Term::bv(0, 8))),
+            Term::not(&Term::cmp(CmpOp::Ult, &b1, &Term::bv(0x30, 8))),
+        ];
+        let s = Solver::new();
+        let SolveOutcome::Sat(m) = s.check(&cs) else {
+            panic!("expected sat");
+        };
+        let stats = s.stats();
+        assert_eq!(stats.witness_hits, 2, "both slices witnessed");
+        assert_eq!(stats.sat_vars, 0, "no bit-blasting happened");
+        assert_eq!(m.get("b0"), Some(0x30));
+        assert_eq!(m.get("b1"), Some(0x30));
+
+        // Contradictory guards on one variable: the empty range meet is a
+        // word-level unsat proof, again without blasting.
+        let s2 = Solver::new();
+        let cs2 = vec![
+            Term::cmp(CmpOp::Ult, &b0, &Term::bv(0x30, 8)),
+            Term::not(&Term::cmp(CmpOp::Ult, &b0, &Term::bv(0x3A, 8))),
+        ];
+        assert_eq!(s2.check(&cs2), SolveOutcome::Unsat);
+        assert_eq!(s2.stats().sat_vars, 0, "no bit-blasting happened");
     }
 
     #[test]

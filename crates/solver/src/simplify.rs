@@ -1,0 +1,647 @@
+//! Stage 1 of the word-level query optimizer: a memoized rewrite
+//! simplifier over the hash-consed term DAG.
+//!
+//! The smart constructors in [`crate::expr`] already fold constants and a
+//! few local identities *at construction time*. This pass goes further: it
+//! walks a constraint bottom-up and applies rewrite rules that only pay
+//! off once the whole term exists — solve-for-x normalization of
+//! equalities, strength reduction of multiply/divide/remainder by powers
+//! of two into shifts and masks, absorption and complement laws, nested
+//! extract/concat fusion, and extension collapsing. Rebuilding through the
+//! smart constructors lets every rewrite cascade into further folding.
+//!
+//! Results are memoized in a thread-local table keyed by [`Term::id`] —
+//! the same lifetime domain as the hash-consing interner — so the cost is
+//! paid once per distinct term *per thread*, not once per query. Paper
+//! profiles run a throwaway [`crate::Solver`] per query (PR 2's stateless
+//! pinning); the memo is what still makes round N+1's near-identical path
+//! condition almost free to simplify.
+//!
+//! Every rule is an equivalence: for all assignments, the rewritten term
+//! evaluates to the same value as the original. Soundness is covered by
+//! the `optimizer_props` property suite, which cross-checks random term
+//! graphs under random assignments and compares optimized against
+//! unoptimized solver verdicts.
+
+use crate::expr::{BvOp, CmpOp, Node, Term};
+use crate::idhash::IdMap;
+use std::cell::RefCell;
+
+/// Counters from one batch of [`simplify`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Constraints answered straight from the thread-local memo.
+    pub memo_hits: u64,
+    /// Constraints whose simplified form differs from the input.
+    pub rewritten: u64,
+}
+
+/// Entries above this cap trigger a full memo reset. Each entry pins its
+/// key term (and thereby the term's whole DAG), so the table must not grow
+/// without bound across a long-lived study thread.
+const MEMO_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// original id → (original term (pins the id), simplified term).
+    static MEMO: RefCell<IdMap<usize, (Term, Term)>> = RefCell::new(IdMap::default());
+}
+
+/// Simplifies one boolean or bitvector constraint, memoized per thread.
+pub fn simplify(t: &Term, stats: &mut SimplifyStats) -> Term {
+    if let Some(hit) = MEMO.with(|m| m.borrow().get(&t.id()).map(|(_, s)| s.clone())) {
+        stats.memo_hits += 1;
+        return hit;
+    }
+    let out = simplify_uncached(t);
+    if out != *t {
+        stats.rewritten += 1;
+    }
+    out
+}
+
+/// Bottom-up rewrite over the DAG. Children-first ordering keeps the
+/// recursion depth at one even on crypto-sized expressions, mirroring the
+/// evaluator and the interval analysis.
+fn simplify_uncached(t: &Term) -> Term {
+    MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if memo.len() > MEMO_CAP {
+            memo.clear();
+        }
+        for node in t.topo_order() {
+            if memo.contains_key(&node.id()) {
+                continue;
+            }
+            let rebuilt = node.rebuild_shallow(|c| match memo.get(&c.id()) {
+                Some((_, s)) => s.clone(),
+                // Unreachable in a topo order, but a lost child must never
+                // corrupt the result — fall back to the unsimplified child.
+                None => c.clone(),
+            });
+            let reduced = rewrite_fixpoint(rebuilt);
+            // The simplified form is itself a fixpoint: memo it both ways
+            // so later queries hit regardless of which form they carry.
+            memo.insert(reduced.id(), (reduced.clone(), reduced.clone()));
+            memo.insert(node.id(), (node, reduced));
+        }
+        match memo.get(&t.id()) {
+            Some((_, s)) => s.clone(),
+            None => t.clone(),
+        }
+    })
+}
+
+/// How many times a single node may be re-rewritten before we accept the
+/// current form. Rules strictly shrink or normalize, so two or three
+/// rounds reach a fixpoint in practice; the cap guards against cycles.
+const REWRITE_ROUNDS: usize = 4;
+
+fn rewrite_fixpoint(mut t: Term) -> Term {
+    for _ in 0..REWRITE_ROUNDS {
+        let next = rewrite_step(&t);
+        if next == t {
+            break;
+        }
+        t = next;
+    }
+    t
+}
+
+/// One round of top-level rewrite rules. Children are already simplified;
+/// every produced term goes back through the smart constructors, which
+/// fold any constants the rewrite exposes.
+fn rewrite_step(t: &Term) -> Term {
+    match t.node() {
+        Node::BvBin { op, a, b } => rewrite_bvbin(*op, a, b).unwrap_or_else(|| t.clone()),
+        Node::Cmp { op, a, b } => rewrite_cmp(*op, a, b).unwrap_or_else(|| t.clone()),
+        Node::Extract { hi, lo, a } => rewrite_extract(*hi, *lo, a).unwrap_or_else(|| t.clone()),
+        Node::Concat { a, b } => rewrite_concat(a, b).unwrap_or_else(|| t.clone()),
+        Node::ZExt { width, a } => match a.node() {
+            // zext(zext(x)) → zext(x): the middle extension adds no bits.
+            Node::ZExt { a: inner, .. } => Term::zext(inner, *width),
+            _ => t.clone(),
+        },
+        Node::SExt { width, a } => match a.node() {
+            // sext(sext(x)) → sext(x): sign bit propagates either way.
+            Node::SExt { a: inner, .. } => Term::sext(inner, *width),
+            _ => t.clone(),
+        },
+        Node::BAnd(a, b) => {
+            // Complement: p ∧ ¬p → false. Absorption: p ∧ (p ∨ q) → p.
+            if is_bool_complement(a, b) {
+                Term::bool(false)
+            } else if or_contains(b, a) {
+                a.clone()
+            } else if or_contains(a, b) {
+                b.clone()
+            } else {
+                t.clone()
+            }
+        }
+        Node::BOr(a, b) => {
+            // Complement: p ∨ ¬p → true. Absorption: p ∨ (p ∧ q) → p.
+            if is_bool_complement(a, b) {
+                Term::bool(true)
+            } else if and_contains(b, a) {
+                a.clone()
+            } else if and_contains(a, b) {
+                b.clone()
+            } else {
+                t.clone()
+            }
+        }
+        Node::Ite { cond, then, els } => match cond.node() {
+            // ite(¬c, t, e) → ite(c, e, t): one node fewer, and the
+            // positive condition dedups against the path constraint.
+            Node::BNot(inner) => Term::ite(inner, els, then),
+            _ => t.clone(),
+        },
+        _ => t.clone(),
+    }
+}
+
+/// Is `b` the boolean negation of `a` (either direction)?
+fn is_bool_complement(a: &Term, b: &Term) -> bool {
+    match (a.node(), b.node()) {
+        (Node::BNot(x), _) => *x == *b,
+        (_, Node::BNot(y)) => *y == *a,
+        _ => false,
+    }
+}
+
+/// Does the (possibly nested) disjunction `hay` contain `needle` as a
+/// disjunct? Shallow: checks two levels, which covers the shapes the
+/// symbolic executor emits.
+fn or_contains(hay: &Term, needle: &Term) -> bool {
+    match hay.node() {
+        Node::BOr(x, y) => {
+            *x == *needle || *y == *needle || or_contains(x, needle) || or_contains(y, needle)
+        }
+        _ => false,
+    }
+}
+
+/// Conjunction counterpart of [`or_contains`].
+fn and_contains(hay: &Term, needle: &Term) -> bool {
+    match hay.node() {
+        Node::BAnd(x, y) => {
+            *x == *needle || *y == *needle || and_contains(x, needle) || and_contains(y, needle)
+        }
+        _ => false,
+    }
+}
+
+fn rewrite_bvbin(op: BvOp, a: &Term, b: &Term) -> Option<Term> {
+    let w = a.width();
+    match op {
+        // Strength reduction: constant power-of-two multiply → shift.
+        BvOp::Mul => {
+            if let Some(k) = a.as_const().filter(|k| k.is_power_of_two()) {
+                return Some(Term::bin(
+                    BvOp::Shl,
+                    b,
+                    &Term::bv(u64::from(k.trailing_zeros()), w),
+                ));
+            }
+            if let Some(k) = b.as_const().filter(|k| k.is_power_of_two()) {
+                return Some(Term::bin(
+                    BvOp::Shl,
+                    a,
+                    &Term::bv(u64::from(k.trailing_zeros()), w),
+                ));
+            }
+            None
+        }
+        // x / 2^k → x >> k (unsigned; exact for k < width).
+        BvOp::UDiv => {
+            let k = b.as_const().filter(|k| k.is_power_of_two())?;
+            Some(Term::bin(
+                BvOp::LShr,
+                a,
+                &Term::bv(u64::from(k.trailing_zeros()), w),
+            ))
+        }
+        // x % 2^k → x & (2^k - 1).
+        BvOp::URem => {
+            let k = b.as_const().filter(|k| k.is_power_of_two())?;
+            Some(Term::bin(BvOp::And, a, &Term::bv(k - 1, w)))
+        }
+        // Complement laws the constructors miss: x & ~x → 0,
+        // x | ~x → all-ones, x ^ ~x → all-ones.
+        BvOp::And if is_bv_complement(a, b) => Some(Term::bv(0, w)),
+        BvOp::Or | BvOp::Xor if is_bv_complement(a, b) => Some(Term::bv(u64::MAX, w)),
+        _ => None,
+    }
+}
+
+/// Is `b` the bitwise negation of `a` (either direction)?
+fn is_bv_complement(a: &Term, b: &Term) -> bool {
+    match (a.node(), b.node()) {
+        (Node::BvNot(x), _) => *x == *b,
+        (_, Node::BvNot(y)) => *y == *a,
+        _ => false,
+    }
+}
+
+/// Compare-through-zext narrowing. A zero-extended value is confined to
+/// the low `iw` bits of its width, so comparing it against a constant (or
+/// against another zero-extension from the same width) decides at width
+/// `iw` — or decides outright when the constant lies beyond the reachable
+/// range. Signed orders reduce to unsigned ones because a proper
+/// zero-extension always has a clear sign bit. This is the rule that
+/// collapses the 64-bit digit guards a `zext`-happy lifter emits around
+/// every `atoi` byte down to 8-bit compares before the blaster sees them.
+fn narrow_zext_cmp(op: CmpOp, a: &Term, b: &Term) -> Option<Term> {
+    use crate::expr::to_signed;
+    let w = a.width();
+    // Both sides zero-extended from the same inner width: drop the
+    // extensions and compare the operands directly.
+    if let (Node::ZExt { a: x, .. }, Node::ZExt { a: y, .. }) = (a.node(), b.node()) {
+        if x.width() == y.width() && x.width() < w {
+            let uop = match op {
+                CmpOp::Eq => CmpOp::Eq,
+                CmpOp::Ult | CmpOp::Slt => CmpOp::Ult,
+                CmpOp::Ule | CmpOp::Sle => CmpOp::Ule,
+            };
+            return Some(Term::cmp(uop, x, y));
+        }
+    }
+    let (x, k, zext_left) = match (a.node(), b.as_const()) {
+        (Node::ZExt { a: x, .. }, Some(k)) => (x, k, true),
+        _ => match (a.as_const(), b.node()) {
+            (Some(k), Node::ZExt { a: x, .. }) => (x, k, false),
+            _ => return None,
+        },
+    };
+    let iw = x.width();
+    if iw >= w {
+        return None;
+    }
+    // iw <= 63 here, so `max` fits a signed 64-bit value.
+    let max = (1u64 << iw) - 1;
+    let ks = to_signed(k, w);
+    let kn = Term::bv(k & max, iw);
+    Some(if zext_left {
+        // zext(x) OP k
+        match op {
+            CmpOp::Eq if k > max => Term::bool(false),
+            CmpOp::Eq => Term::cmp(CmpOp::Eq, x, &kn),
+            CmpOp::Ult if k > max => Term::bool(true),
+            CmpOp::Ult => Term::cmp(CmpOp::Ult, x, &kn),
+            CmpOp::Ule if k >= max => Term::bool(true),
+            CmpOp::Ule => Term::cmp(CmpOp::Ule, x, &kn),
+            CmpOp::Slt if ks <= 0 => Term::bool(false),
+            CmpOp::Slt if ks > max as i64 => Term::bool(true),
+            CmpOp::Slt => Term::cmp(CmpOp::Ult, x, &kn),
+            CmpOp::Sle if ks < 0 => Term::bool(false),
+            CmpOp::Sle if ks >= max as i64 => Term::bool(true),
+            CmpOp::Sle => Term::cmp(CmpOp::Ule, x, &kn),
+        }
+    } else {
+        // k OP zext(x)
+        match op {
+            CmpOp::Eq if k > max => Term::bool(false),
+            CmpOp::Eq => Term::cmp(CmpOp::Eq, x, &kn),
+            CmpOp::Ult if k >= max => Term::bool(false),
+            CmpOp::Ult => Term::cmp(CmpOp::Ult, &kn, x),
+            CmpOp::Ule if k > max => Term::bool(false),
+            CmpOp::Ule => Term::cmp(CmpOp::Ule, &kn, x),
+            CmpOp::Slt if ks < 0 => Term::bool(true),
+            CmpOp::Slt if ks >= max as i64 => Term::bool(false),
+            CmpOp::Slt => Term::cmp(CmpOp::Ult, &kn, x),
+            CmpOp::Sle if ks <= 0 => Term::bool(true),
+            CmpOp::Sle if ks > max as i64 => Term::bool(false),
+            CmpOp::Sle => Term::cmp(CmpOp::Ule, &kn, x),
+        }
+    })
+}
+
+fn rewrite_cmp(op: CmpOp, a: &Term, b: &Term) -> Option<Term> {
+    if let Some(t) = narrow_zext_cmp(op, a, b) {
+        return Some(t);
+    }
+    let w = a.width();
+    let full = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+    match op {
+        CmpOp::Eq => {
+            // Canonical orientation: constant on the right.
+            if a.as_const().is_some() && b.as_const().is_none() {
+                return Some(Term::cmp(CmpOp::Eq, b, a));
+            }
+            let k = b.as_const()?;
+            // Solve-for-x through invertible unary/binary shapes. Each is
+            // an equivalence in modular arithmetic, so no solutions are
+            // gained or lost — the equality just moves toward the
+            // variable, shedding one operator per round.
+            match a.node() {
+                Node::BvBin {
+                    op: BvOp::Add,
+                    a: x,
+                    b: y,
+                } => {
+                    if let Some(c) = y.as_const() {
+                        return Some(Term::cmp(CmpOp::Eq, x, &Term::bv(k.wrapping_sub(c), w)));
+                    }
+                    if let Some(c) = x.as_const() {
+                        return Some(Term::cmp(CmpOp::Eq, y, &Term::bv(k.wrapping_sub(c), w)));
+                    }
+                    None
+                }
+                Node::BvBin {
+                    op: BvOp::Sub,
+                    a: x,
+                    b: y,
+                } => {
+                    if let Some(c) = y.as_const() {
+                        return Some(Term::cmp(CmpOp::Eq, x, &Term::bv(k.wrapping_add(c), w)));
+                    }
+                    if let Some(c) = x.as_const() {
+                        // c - y == k  ⇔  y == c - k
+                        return Some(Term::cmp(CmpOp::Eq, y, &Term::bv(c.wrapping_sub(k), w)));
+                    }
+                    None
+                }
+                Node::BvBin {
+                    op: BvOp::Xor,
+                    a: x,
+                    b: y,
+                } => {
+                    if let Some(c) = y.as_const() {
+                        return Some(Term::cmp(CmpOp::Eq, x, &Term::bv(k ^ c, w)));
+                    }
+                    if let Some(c) = x.as_const() {
+                        return Some(Term::cmp(CmpOp::Eq, y, &Term::bv(k ^ c, w)));
+                    }
+                    None
+                }
+                Node::BvNot(x) => Some(Term::cmp(CmpOp::Eq, x, &Term::bv(!k, w))),
+                Node::BvNeg(x) => Some(Term::cmp(CmpOp::Eq, x, &Term::bv(k.wrapping_neg(), w))),
+                _ => None,
+            }
+        }
+        // Vacuous unsigned bounds: nothing is below zero, everything is
+        // at least zero and at most the all-ones value.
+        CmpOp::Ult => {
+            if b.as_const() == Some(0) {
+                return Some(Term::bool(false));
+            }
+            if a.as_const() == Some(full) {
+                return Some(Term::bool(false));
+            }
+            None
+        }
+        CmpOp::Ule => {
+            if a.as_const() == Some(0) {
+                return Some(Term::bool(true));
+            }
+            if b.as_const() == Some(full) {
+                return Some(Term::bool(true));
+            }
+            None
+        }
+        CmpOp::Slt | CmpOp::Sle => None,
+    }
+}
+
+fn rewrite_extract(hi: u8, lo: u8, a: &Term) -> Option<Term> {
+    match a.node() {
+        // extract(extract(x)) → one extract with shifted bounds.
+        Node::Extract {
+            lo: l2, a: inner, ..
+        } => Some(Term::extract(inner, hi + l2, lo + l2)),
+        // extract over zext: fully below the original width reads the
+        // operand, fully above reads zeros.
+        Node::ZExt { a: inner, .. } => {
+            let iw = inner.width();
+            if hi < iw {
+                Some(Term::extract(inner, hi, lo))
+            } else if lo >= iw {
+                Some(Term::bv(0, hi - lo + 1))
+            } else {
+                None
+            }
+        }
+        // extract over concat: a slice that stays inside one half skips
+        // the other half entirely — the classic byte-select fusion.
+        Node::Concat { a: top, b: bot } => {
+            let wb = bot.width();
+            if hi < wb {
+                Some(Term::extract(bot, hi, lo))
+            } else if lo >= wb {
+                Some(Term::extract(top, hi - wb, lo - wb))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn rewrite_concat(a: &Term, b: &Term) -> Option<Term> {
+    // concat(extract(x, h1, l1), extract(x, h2, l2)) with l1 == h2+1
+    // → extract(x, h1, l2): adjacent slices of one source re-fuse.
+    let (
+        Node::Extract {
+            hi: h1,
+            lo: l1,
+            a: x,
+        },
+        Node::Extract {
+            hi: h2,
+            lo: l2,
+            a: y,
+        },
+    ) = (a.node(), b.node())
+    else {
+        return None;
+    };
+    if x == y && *l1 == h2 + 1 {
+        Some(Term::extract(x, *h1, *l2))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simp(t: &Term) -> Term {
+        simplify(t, &mut SimplifyStats::default())
+    }
+
+    #[test]
+    fn mul_and_div_by_powers_of_two_become_shifts() {
+        let x = Term::var("x", 16);
+        let m = simp(&Term::bin(BvOp::Mul, &x, &Term::bv(8, 16)));
+        assert!(
+            matches!(m.node(), Node::BvBin { op: BvOp::Shl, .. }),
+            "{m:?}"
+        );
+        let d = simp(&Term::bin(BvOp::UDiv, &x, &Term::bv(4, 16)));
+        assert!(
+            matches!(d.node(), Node::BvBin { op: BvOp::LShr, .. }),
+            "{d:?}"
+        );
+        let r = simp(&Term::bin(BvOp::URem, &x, &Term::bv(16, 16)));
+        assert!(
+            matches!(r.node(), Node::BvBin { op: BvOp::And, .. }),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn equalities_solve_toward_the_variable() {
+        // (x ^ 0x5A) + 1 == 0x70  simplifies to  x == 0x35 (the crackme).
+        let x = Term::var("x", 8);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(
+                BvOp::Add,
+                &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, 8)),
+                &Term::bv(1, 8),
+            ),
+            &Term::bv(0x70, 8),
+        );
+        let s = simp(&c);
+        assert_eq!(s, Term::cmp(CmpOp::Eq, &x, &Term::bv(0x35, 8)));
+    }
+
+    #[test]
+    fn vacuous_unsigned_bounds_fold_to_constants() {
+        let x = Term::var("x", 8);
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Ult, &x, &Term::bv(0, 8))).as_bool_const(),
+            Some(false)
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Ule, &Term::bv(0, 8), &x)).as_bool_const(),
+            Some(true)
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Ule, &x, &Term::bv(255, 8))).as_bool_const(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn zext_compares_narrow_to_operand_width() {
+        let x = Term::var("x", 8);
+        let z = Term::zext(&x, 64);
+        // The atoi digit-guard shapes: signed compares against in-range
+        // constants become 8-bit unsigned compares.
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Slt, &z, &Term::bv(48, 64))),
+            Term::cmp(CmpOp::Ult, &x, &Term::bv(48, 8))
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Slt, &Term::bv(57, 64), &z)),
+            Term::cmp(CmpOp::Ult, &Term::bv(57, 8), &x)
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Eq, &z, &Term::bv(45, 64))),
+            Term::cmp(CmpOp::Eq, &x, &Term::bv(45, 8))
+        );
+        // Constants outside the zext range decide the comparison outright.
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Eq, &z, &Term::bv(300, 64))).as_bool_const(),
+            Some(false)
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Ult, &z, &Term::bv(300, 64))).as_bool_const(),
+            Some(true)
+        );
+        // A negative signed bound sits below every zero-extended value.
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Slt, &z, &Term::bv(-1i64 as u64, 64))).as_bool_const(),
+            Some(false)
+        );
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Slt, &Term::bv(-1i64 as u64, 64), &z)).as_bool_const(),
+            Some(true)
+        );
+        // Matching extensions on both sides drop away together.
+        let y = Term::var("y", 8);
+        assert_eq!(
+            simp(&Term::cmp(CmpOp::Slt, &z, &Term::zext(&y, 64))),
+            Term::cmp(CmpOp::Ult, &x, &y)
+        );
+    }
+
+    #[test]
+    fn extract_fusion_and_concat_refusion() {
+        let x = Term::var("x", 32);
+        let outer = Term::extract(&Term::extract(&x, 23, 8), 11, 4);
+        assert_eq!(simp(&outer), Term::extract(&x, 19, 12));
+
+        let hi = Term::extract(&x, 15, 8);
+        let lo = Term::extract(&x, 7, 0);
+        assert_eq!(simp(&Term::concat(&hi, &lo)), Term::extract(&x, 15, 0));
+
+        let z = Term::zext(&Term::var("y", 8), 32);
+        assert_eq!(simp(&Term::extract(&z, 31, 16)), Term::bv(0, 16));
+        assert_eq!(
+            simp(&Term::extract(&z, 7, 4)),
+            Term::extract(&Term::var("y", 8), 7, 4)
+        );
+    }
+
+    #[test]
+    fn boolean_absorption_and_complement() {
+        let x = Term::var("x", 8);
+        let p = Term::cmp(CmpOp::Eq, &x, &Term::bv(1, 8));
+        let q = Term::cmp(CmpOp::Ult, &x, &Term::bv(9, 8));
+        let raw_and = Term::and(&p, &q);
+        let raw_or = Term::or(&p, &q);
+        assert_eq!(simp(&Term::and(&p, &raw_or)), p);
+        assert_eq!(simp(&Term::or(&p, &raw_and)), p);
+        assert_eq!(
+            simp(&Term::and(&p, &Term::not(&p))).as_bool_const(),
+            Some(false)
+        );
+        assert_eq!(
+            simp(&Term::or(&p, &Term::not(&p))).as_bool_const(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn memo_hits_count_on_repeat_queries() {
+        let x = Term::var("x", 32);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Add, &x, &Term::bv(7, 32)),
+            &Term::bv(11, 32),
+        );
+        let mut stats = SimplifyStats::default();
+        let first = simplify(&c, &mut stats);
+        let hits_before = stats.memo_hits;
+        let second = simplify(&c, &mut stats);
+        assert_eq!(first, second);
+        assert_eq!(stats.memo_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn rewrites_preserve_evaluation_on_samples() {
+        use crate::expr::eval;
+        let x = Term::var("x", 16);
+        let shapes = [
+            Term::bin(BvOp::Mul, &x, &Term::bv(32, 16)),
+            Term::bin(BvOp::URem, &x, &Term::bv(64, 16)),
+            Term::bin(BvOp::And, &x, &Term::bvnot(&x)),
+            Term::bin(BvOp::Or, &x, &Term::bvnot(&x)),
+        ];
+        for t in &shapes {
+            let s = simp(t);
+            for v in [0u64, 1, 2, 0x1234, 0xFFFF, 0x8000] {
+                let env: std::collections::HashMap<std::sync::Arc<str>, u64> =
+                    [(std::sync::Arc::from("x"), v)].into_iter().collect();
+                assert_eq!(
+                    eval(t, &env).unwrap(),
+                    eval(&s, &env).unwrap(),
+                    "rewrite changed semantics of {t:?} at x={v}"
+                );
+            }
+        }
+    }
+}

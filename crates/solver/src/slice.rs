@@ -1,0 +1,179 @@
+//! Stage 3 of the word-level query optimizer: cone-of-influence slicing.
+//!
+//! A query is a conjunction of constraints. Two constraints interact only
+//! if they (transitively) share a variable; constraints in different
+//! variable-connected components are independent, so the conjunction is
+//! satisfiable iff every component is satisfiable, and the models merge
+//! without conflict. Solving components separately keeps CNF small and —
+//! more importantly for the study loop — shrinks per-attempt cache keys:
+//! a slice that reappears across rounds hits the cache even when the rest
+//! of the query changed.
+//!
+//! Partitioning is a union-find over variable names. Per-constraint
+//! variable lists are memoized per thread (keyed by [`Term::id`], pinning
+//! the term so the id stays valid), because the engine re-submits the same
+//! hash-consed path constraints round after round.
+
+use crate::expr::{Term, Var};
+use crate::idhash::IdMap;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Entries above this cap trigger a memo reset (each entry pins a DAG).
+const VARS_MEMO_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// constraint id → (constraint (pins the id), its free variables).
+    static VARS_MEMO: RefCell<IdMap<usize, (Term, Vec<Var>)>> =
+        RefCell::new(IdMap::default());
+}
+
+/// The free variables of a constraint, memoized per thread.
+fn vars_of(c: &Term) -> Vec<Var> {
+    if let Some(v) = VARS_MEMO.with(|m| m.borrow().get(&c.id()).map(|(_, v)| v.clone())) {
+        return v;
+    }
+    let mut vars = Vec::new();
+    c.collect_vars(&mut vars);
+    VARS_MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.len() > VARS_MEMO_CAP {
+            m.clear();
+        }
+        m.insert(c.id(), (c.clone(), vars.clone()));
+    });
+    vars
+}
+
+fn find(parent: &mut [usize], i: usize) -> usize {
+    let mut root = i;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    // Path compression.
+    let mut cur = i;
+    while parent[cur] != root {
+        let next = parent[cur];
+        parent[cur] = root;
+        cur = next;
+    }
+    root
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    // Always hang the larger-indexed root under the smaller one so a
+    // component's root is its first constraint — this keeps the output
+    // ordering independent of union order.
+    if ra < rb {
+        parent[rb] = ra;
+    } else {
+        parent[ra] = rb;
+    }
+}
+
+/// Partitions constraints into variable-connected components.
+///
+/// Slices are ordered by the index of their first constraint in the input,
+/// and constraints within a slice keep their input order, so the result is
+/// deterministic. Ground constraints (no free variables) each form their
+/// own singleton slice. The input conjunction is satisfiable iff every
+/// returned slice is satisfiable.
+pub fn partition(constraints: &[Term]) -> Vec<Vec<Term>> {
+    let n = constraints.len();
+    if n <= 1 {
+        return if n == 0 {
+            Vec::new()
+        } else {
+            vec![constraints.to_vec()]
+        };
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut owner: HashMap<Arc<str>, usize> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        for v in vars_of(c) {
+            match owner.entry(v.name) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    union(&mut parent, i, *e.get());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<Term>> = Vec::new();
+    let mut root_to_group: HashMap<usize, usize> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let g = *root_to_group.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(c.clone());
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BvOp, CmpOp};
+
+    fn eq_const(name: &str, k: u64) -> Term {
+        Term::cmp(CmpOp::Eq, &Term::var(name, 8), &Term::bv(k, 8))
+    }
+
+    #[test]
+    fn disjoint_vars_split() {
+        let a = eq_const("x", 1);
+        let b = eq_const("y", 2);
+        let slices = partition(&[a.clone(), b.clone()]);
+        assert_eq!(slices, vec![vec![a], vec![b]]);
+    }
+
+    #[test]
+    fn shared_var_joins_transitively() {
+        // x~y via c1, y~z via c2: all three in one slice, w separate.
+        let c1 = Term::cmp(
+            CmpOp::Eq,
+            &Term::var("x", 8),
+            &Term::bin(BvOp::Add, &Term::var("y", 8), &Term::bv(1, 8)),
+        );
+        let c2 = Term::cmp(CmpOp::Ult, &Term::var("y", 8), &Term::var("z", 8));
+        let c3 = eq_const("w", 3);
+        let c4 = eq_const("z", 9);
+        let slices = partition(&[c1.clone(), c2.clone(), c3.clone(), c4.clone()]);
+        assert_eq!(slices, vec![vec![c1, c2, c4], vec![c3]]);
+    }
+
+    #[test]
+    fn ground_constraints_are_singletons() {
+        let g = Term::cmp(CmpOp::Eq, &Term::bv(1, 8), &Term::bv(1, 8));
+        // Constant-folds to bool const; still var-free either way.
+        let x = eq_const("x", 1);
+        let slices = partition(&[g.clone(), x.clone(), g.clone()]);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[1], vec![x]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(partition(&[]).is_empty());
+        let c = eq_const("x", 1);
+        assert_eq!(partition(std::slice::from_ref(&c)), vec![vec![c]]);
+    }
+
+    #[test]
+    fn ordering_is_by_first_index() {
+        // y appears first, then x, then a joiner that links x back to y:
+        // everything collapses into one slice rooted at index 0.
+        let a = eq_const("y", 1);
+        let b = eq_const("x", 2);
+        let j = Term::cmp(CmpOp::Ule, &Term::var("x", 8), &Term::var("y", 8));
+        let slices = partition(&[a.clone(), b.clone(), j.clone()]);
+        assert_eq!(slices, vec![vec![a, b, j]]);
+    }
+}

@@ -186,7 +186,7 @@ impl SymResult {
             target.cond.clone()
         };
         out.push(negated);
-        out
+        dedup_query(out)
     }
 
     /// The full path condition of the executed trace (pins + oriented
@@ -194,7 +194,7 @@ impl SymResult {
     pub fn path_query(&self) -> Vec<Term> {
         let mut out: Vec<Term> = self.pins.iter().map(|p| p.cond.clone()).collect();
         out.extend(self.path.iter().map(oriented));
-        out
+        dedup_query(out)
     }
 
     /// Whether any collected constraint involves floating point.
@@ -208,6 +208,45 @@ fn oriented(pc: &PathCond) -> Term {
         pc.cond.clone()
     } else {
         Term::not(&pc.cond)
+    }
+}
+
+/// Drops repeated and subsumed constraints before a query reaches the
+/// solver, preserving order. Hash-consing makes this exact: a guard
+/// re-asserted on every iteration of a hot loop is the *same* term, and a
+/// constraint already present as a conjunct of another constraint (the
+/// term graphs share `BAnd` nodes) is implied by it.
+fn dedup_query(constraints: Vec<Term>) -> Vec<Term> {
+    use std::collections::HashSet;
+    let mut seen: HashSet<usize> = HashSet::with_capacity(constraints.len());
+    let unique: Vec<Term> = constraints
+        .into_iter()
+        .filter(|c| seen.insert(c.id()))
+        .collect();
+    // Ids of every conjunct reachable through top-level `BAnd` spines.
+    let mut conjuncts: HashSet<usize> = HashSet::new();
+    for c in &unique {
+        collect_conjuncts(c, true, &mut conjuncts);
+    }
+    unique
+        .into_iter()
+        .filter(|c| !conjuncts.contains(&c.id()))
+        .collect()
+}
+
+/// Records the ids of all proper sub-conjuncts of `t` (children of `BAnd`
+/// spines); the root itself is skipped so a constraint never subsumes
+/// itself.
+fn collect_conjuncts(t: &Term, is_root: bool, out: &mut std::collections::HashSet<usize>) {
+    use bomblab_solver::expr::Node;
+    if let Node::BAnd(a, b) = t.node() {
+        if !is_root {
+            out.insert(t.id());
+        }
+        collect_conjuncts(a, false, out);
+        collect_conjuncts(b, false, out);
+    } else if !is_root {
+        out.insert(t.id());
     }
 }
 
@@ -1407,9 +1446,10 @@ mod tests {
             events: SymEvents::default(),
         };
         // Flipping branch 1: pin (step 1 <= 3) + branch 0 as taken +
-        // negation of branch 1 (it was not taken, so asserted positively).
+        // negation of branch 1 (it was not taken, so asserted positively —
+        // the same hash-consed term as branch 0, so it dedups away).
         let q = result.flip_query(1);
-        assert_eq!(q.len(), 3);
+        assert_eq!(q.len(), 2);
         // Flipping branch 0: the pin at step 1 comes after step 0, so it
         // is excluded; only the negated branch remains.
         let q0 = result.flip_query(0);
@@ -1437,6 +1477,20 @@ mod tests {
         };
         assert_eq!(result.path_query().len(), 2);
         assert!(!result.has_float());
+    }
+
+    #[test]
+    fn queries_drop_repeats_and_subsumed_conjuncts() {
+        let x = Term::var("x", 64);
+        let a = Term::cmp(CmpOp::Eq, &x, &Term::bv(1, 64));
+        let b = Term::cmp(CmpOp::Ult, &x, &Term::bv(9, 64));
+        let both = Term::and(&a, &b);
+        // `a` repeats and both `a` and `b` are conjuncts of `both`.
+        let q = dedup_query(vec![a.clone(), b.clone(), a.clone(), both.clone()]);
+        assert_eq!(q, vec![both]);
+        // Distinct, unrelated constraints pass through in order.
+        let q2 = dedup_query(vec![b.clone(), a.clone()]);
+        assert_eq!(q2, vec![b, a]);
     }
 
     #[test]
