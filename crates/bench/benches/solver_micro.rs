@@ -2,6 +2,7 @@
 //! constraint shapes.
 
 use bomblab_solver::expr::{BvOp, CmpOp, Term};
+use bomblab_solver::sat::{Lit, SatResult, SatSolver};
 use bomblab_solver::{SolveOutcome, Solver};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -84,6 +85,54 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Raw CDCL propagation loop, no bit-blasting in front. The chain leg
+    // is conflict-free — one unit triggers a deterministic cascade down
+    // long implication chains, so it times the watch-arena walk itself.
+    // The pigeonhole legs add conflict/learning/reduction churn on top.
+    let mut group = c.benchmark_group("propagation");
+    group.bench_function("chain_64x1000", |b| {
+        b.iter(|| {
+            let mut s = SatSolver::new();
+            for _ in 0..64 {
+                let vars: Vec<u32> = (0..1000).map(|_| s.new_var()).collect();
+                for w in vars.windows(2) {
+                    s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+                }
+                s.add_clause(&[Lit::pos(vars[0])]);
+            }
+            matches!(s.solve(1000), SatResult::Sat(_))
+        });
+    });
+    for holes in [6usize, 7] {
+        group.bench_function(format!("pigeonhole_{holes}"), |b| {
+            b.iter(|| {
+                let mut s = SatSolver::new();
+                pigeonhole(&mut s, holes);
+                matches!(s.solve(5_000_000), SatResult::Unsat)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes — unsatisfiable,
+/// and every conflict is found through long propagation chains.
+fn pigeonhole(s: &mut SatSolver, holes: usize) {
+    let pigeons = holes + 1;
+    let vars: Vec<u32> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+    let var = |p: usize, h: usize| vars[p * holes + h];
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
 }
 
 criterion_group!(benches, bench);

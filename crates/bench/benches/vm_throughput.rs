@@ -37,6 +37,30 @@ fn bench(c: &mut Criterion) {
             m.run().steps
         });
     });
+    // A/B ablation: the same loops with the predecoded block cache off,
+    // byte-decoding every step. The `loop_200k_steps` / `nocache` ratio is
+    // the dispatch speedup the cache buys.
+    group.bench_function("loop_200k_steps_nocache", |b| {
+        b.iter(|| {
+            let config = MachineConfig {
+                bbcache: false,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::load(&image, None, config).unwrap();
+            m.run().steps
+        });
+    });
+    group.bench_function("loop_200k_steps_traced_nocache", |b| {
+        b.iter(|| {
+            let config = MachineConfig {
+                trace: true,
+                bbcache: false,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::load(&image, None, config).unwrap();
+            m.run().steps
+        });
+    });
     group.finish();
 }
 

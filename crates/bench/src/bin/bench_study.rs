@@ -81,6 +81,9 @@ fn render(
     let (mut hits, mut misses, mut blasted, mut reused) = (0u64, 0u64, 0u64, 0u64);
     let (mut simp_hits, mut pruned, mut slices, mut witnessed) = (0u64, 0u64, 0u64, 0u64);
     let (mut simp_ns, mut intv_ns, mut slice_ns) = (0u64, 0u64, 0u64);
+    let (mut vm_steps, mut bb_hits, mut bb_misses, mut decoded) = (0u64, 0u64, 0u64, 0u64);
+    let mut bb_invalidations = 0u64;
+    let (mut blockers, mut evictions) = (0u64, 0u64);
     for row in &report.rows {
         for cell in &row.cells {
             let ev = &cell.attempt.evidence;
@@ -95,14 +98,29 @@ fn render(
             simp_ns += ev.simplify_ns;
             intv_ns += ev.interval_ns;
             slice_ns += ev.slice_ns;
+            vm_steps += ev.vm_steps;
+            bb_hits += ev.bb_hits;
+            bb_misses += ev.bb_misses;
+            bb_invalidations += ev.bb_invalidations;
+            decoded += ev.steps_decoded;
+            blockers += ev.blocker_skips;
+            evictions += ev.lbd_evictions;
             if !cells.is_empty() {
                 cells.push_str(",\n");
             }
+            // Derived steps/second from the cell's own VM wall clock;
+            // null when the VM never ran (no rate to report).
+            let steps_per_sec = if ev.vm_ns > 0 {
+                format!("{:.0}", ev.vm_steps as f64 / (ev.vm_ns as f64 / 1e9))
+            } else {
+                "null".to_string()
+            };
             let _ = write!(
                 cells,
                 "    {{\"case\": \"{}\", \"profile\": \"{}\", \"outcome\": \"{}\", \
                  \"wall_ms\": {:.3}, \"rounds\": {}, \"queries\": {}, \
                  \"vm_ms\": {:.3}, \"taint_ms\": {:.3}, \"symex_ms\": {:.3}, \"solver_ms\": {:.3}, \
+                 \"vm_steps\": {}, \"steps_per_sec\": {steps_per_sec}, \
                  \"simplify_hits\": {}, \"terms_pruned\": {}, \"slices\": {}, \
                  \"witness_hits\": {}, \
                  \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \"slice_ms\": {:.3}, \
@@ -118,6 +136,7 @@ fn render(
                 ev.taint_ns as f64 / 1e6,
                 ev.symex_ns as f64 / 1e6,
                 ev.solver_ns as f64 / 1e6,
+                ev.vm_steps,
                 ev.simplify_hits,
                 ev.terms_pruned,
                 ev.slices,
@@ -150,6 +169,10 @@ fn render(
          \"slices\": {slices}, \"witness_hits\": {witnessed}, \
          \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \
          \"slice_ms\": {:.3}}},\n  \
+         \"vm\": {{\"vm_steps\": {vm_steps}, \"bb_hits\": {bb_hits}, \
+         \"bb_misses\": {bb_misses}, \"bb_invalidations\": {bb_invalidations}, \
+         \"steps_decoded\": {decoded}}},\n  \
+         \"sat\": {{\"blocker_skips\": {blockers}, \"lbd_evictions\": {evictions}}},\n  \
          \"cells\": [\n{cells}\n  ]\n}}\n",
         report.rows.len(),
         report.profiles.len(),

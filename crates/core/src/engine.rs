@@ -157,6 +157,24 @@ pub struct Evidence {
     /// Wall-clock nanoseconds in cone-of-influence slicing across all
     /// queries.
     pub slice_ns: u64,
+    /// Total VM instruction steps across all concrete rounds.
+    pub vm_steps: u64,
+    /// VM steps served from the predecoded basic-block cache.
+    pub bb_hits: u64,
+    /// VM dispatch steps the block cache could not serve (cold, dirty, or
+    /// uncacheable pc).
+    pub bb_misses: u64,
+    /// Cached blocks invalidated by stores into decoded code ranges.
+    pub bb_invalidations: u64,
+    /// VM steps that byte-decoded an instruction (cache misses plus all
+    /// steps when the cache is disabled).
+    pub steps_decoded: u64,
+    /// SAT watch-list entries dismissed by a true blocker literal across
+    /// all queries (propagation fast path).
+    pub blocker_skips: u64,
+    /// SAT learnt clauses evicted by LBD-scored reduction across all
+    /// queries.
+    pub lbd_evictions: u64,
     /// Faults fired by an armed chaos plan during this attempt (0 unless
     /// the study runner armed a [`bomblab_fault::FaultPlan`]).
     pub injected_faults: u32,
@@ -426,8 +444,15 @@ impl Engine {
                 .expect("root exists")
                 .clone();
             let vm_start = std::time::Instant::now();
-            let status = machine.run().status;
+            let run = machine.run();
+            let status = run.status;
             evidence.vm_ns += vm_start.elapsed().as_nanos() as u64;
+            evidence.vm_steps += run.steps;
+            let bb = machine.bb_stats();
+            evidence.bb_hits += bb.bb_hits;
+            evidence.bb_misses += bb.bb_misses;
+            evidence.bb_invalidations += bb.bb_invalidations;
+            evidence.steps_decoded += bb.steps_decoded;
             // An injected stall may have tripped on the guest's final
             // quantum; fail the cell before the detonation check so the
             // "hang" cannot race the solve.
@@ -640,6 +665,8 @@ impl Engine {
                 evidence.simplify_ns += qstats.simplify_ns;
                 evidence.interval_ns += qstats.interval_ns;
                 evidence.slice_ns += qstats.slice_ns;
+                evidence.blocker_skips += qstats.blocker_skips;
+                evidence.lbd_evictions += qstats.lbd_evictions;
                 let outcome = match result {
                     Ok(out) => out,
                     Err(e) => {
@@ -722,6 +749,7 @@ impl Engine {
             obs::counter("solver.cache_unsat_hits", evidence.cache_unsat_hits);
             obs::counter("solver.roots_blasted", evidence.roots_blasted);
             obs::counter("solver.roots_reused", evidence.roots_reused);
+            obs::counter("engine.vm_steps", evidence.vm_steps);
         }
 
         // Injected faults corrupt the attempt wholesale: even a run that

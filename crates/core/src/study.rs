@@ -375,6 +375,27 @@ impl StudyReport {
                 if ev.slice_ns > 0 {
                     line = line.u64("slice_ns", ev.slice_ns);
                 }
+                if ev.vm_steps > 0 {
+                    line = line.u64("vm_steps", ev.vm_steps);
+                }
+                if ev.bb_hits > 0 {
+                    line = line.u64("bb_hits", ev.bb_hits);
+                }
+                if ev.bb_misses > 0 {
+                    line = line.u64("bb_misses", ev.bb_misses);
+                }
+                if ev.bb_invalidations > 0 {
+                    line = line.u64("bb_invalidations", ev.bb_invalidations);
+                }
+                if ev.steps_decoded > 0 {
+                    line = line.u64("steps_decoded", ev.steps_decoded);
+                }
+                if ev.blocker_skips > 0 {
+                    line = line.u64("blocker_skips", ev.blocker_skips);
+                }
+                if ev.lbd_evictions > 0 {
+                    line = line.u64("lbd_evictions", ev.lbd_evictions);
+                }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
                 }
@@ -557,6 +578,38 @@ impl StudyReport {
                 format_ns(simp_ns),
                 format_ns(intv_ns),
                 format_ns(slice_ns)
+            );
+        }
+
+        {
+            let mut steps = 0u64;
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let mut invalidations = 0u64;
+            let mut decoded = 0u64;
+            let mut blockers = 0u64;
+            let mut evictions = 0u64;
+            for row in &self.rows {
+                for cell in &row.cells {
+                    let ev = &cell.attempt.evidence;
+                    steps += ev.vm_steps;
+                    hits += ev.bb_hits;
+                    misses += ev.bb_misses;
+                    invalidations += ev.bb_invalidations;
+                    decoded += ev.steps_decoded;
+                    blockers += ev.blocker_skips;
+                    evictions += ev.lbd_evictions;
+                }
+            }
+            let _ = writeln!(out, "\n## VM dispatch\n");
+            let _ = writeln!(
+                out,
+                "{steps} VM steps: {hits} block-cache hits, {misses} misses, \
+                 {invalidations} invalidations, {decoded} byte-decoded."
+            );
+            let _ = writeln!(
+                out,
+                "SAT hot loop: {blockers} blocker skips, {evictions} LBD evictions."
             );
         }
 

@@ -56,6 +56,7 @@ impl WorldInput {
             step_budget,
             quantum: 64,
             trace,
+            bbcache: true,
         }
     }
 
@@ -154,5 +155,6 @@ mod tests {
         assert_eq!(config.files.len(), 1);
         assert!(config.trace);
         assert_eq!(config.step_budget, 1234);
+        assert!(config.bbcache, "cached dispatch is the default");
     }
 }

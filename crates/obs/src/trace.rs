@@ -27,7 +27,12 @@ use crate::json::{self, Json, Obj};
 use crate::{CellProfile, Field};
 
 /// Version stamped on every `study_start` line.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — initial format; v2 — optional VM-dispatch and SAT
+/// hot-loop counters on `cell` lines (`vm_steps`, `bb_*`, `steps_decoded`,
+/// `blocker_skips`, `lbd_evictions`). All v2 additions are optional fields,
+/// so v1 traces still validate.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Field kinds the validator distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +151,13 @@ const SCHEMA: &[TypeSchema] = &[
             ("simplify_ns", Kind::U64),
             ("interval_ns", Kind::U64),
             ("slice_ns", Kind::U64),
+            ("vm_steps", Kind::U64),
+            ("bb_hits", Kind::U64),
+            ("bb_misses", Kind::U64),
+            ("bb_invalidations", Kind::U64),
+            ("steps_decoded", Kind::U64),
+            ("blocker_skips", Kind::U64),
+            ("lbd_evictions", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),

@@ -191,6 +191,17 @@ impl Session {
         self.b.sat.propagations()
     }
 
+    /// Cumulative watch-list entries dismissed by a true blocker literal
+    /// (propagation fast path; see [`SatSolver::blocker_skips`]).
+    pub fn blocker_skips(&self) -> u64 {
+        self.b.sat.blocker_skips()
+    }
+
+    /// Cumulative learnt clauses evicted by LBD-scored reduction.
+    pub fn lbd_evictions(&self) -> u64 {
+        self.b.sat.lbd_evictions()
+    }
+
     /// Constraints Tseitin-encoded by this session.
     pub fn roots_blasted(&self) -> u64 {
         self.roots_blasted

@@ -189,6 +189,11 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// CDCL propagations spent on this query.
     pub propagations: u64,
+    /// Watch-list entries dismissed by a true blocker literal on this query
+    /// (propagation fast path).
+    pub blocker_skips: u64,
+    /// Learnt clauses evicted by LBD-scored database reduction on this query.
+    pub lbd_evictions: u64,
     /// Whether the query was answered from the cross-round cache (with
     /// slicing: every slice answered from cache).
     pub cache_hit: bool,
@@ -390,6 +395,12 @@ impl Solver {
         }
         if stats.witness_hits > 0 {
             bomblab_obs::counter("solver.witness_hits", stats.witness_hits);
+        }
+        if stats.blocker_skips > 0 {
+            bomblab_obs::counter("solver.blocker_skips", stats.blocker_skips);
+        }
+        if stats.lbd_evictions > 0 {
+            bomblab_obs::counter("solver.lbd_evictions", stats.lbd_evictions);
         }
         if stats.simplify_ns > 0 {
             bomblab_obs::span_ns("solver.simplify", stats.simplify_ns);
@@ -770,11 +781,15 @@ impl Solver {
         }
         let conflicts_before = session.conflicts();
         let props_before = session.propagations();
+        let blockers_before = session.blocker_skips();
+        let evictions_before = session.lbd_evictions();
         let result = session.solve(&roots, self.budget.max_conflicts);
         stats.sat_vars = session.num_vars();
         stats.sat_clauses = session.num_clauses();
         stats.conflicts += session.conflicts() - conflicts_before;
         stats.propagations += session.propagations() - props_before;
+        stats.blocker_skips += session.blocker_skips() - blockers_before;
+        stats.lbd_evictions += session.lbd_evictions() - evictions_before;
         Ok(match result {
             sat::SatResult::Sat(m) => {
                 let mut vars = Vec::new();

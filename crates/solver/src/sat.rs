@@ -4,6 +4,25 @@
 //! This is the backend the bit-blaster targets. Budgets model the paper's
 //! experimental timeouts: a run that exceeds its conflict budget reports
 //! [`SatResult::Unknown`], which the study maps to the `E` outcome.
+//!
+//! ## Hot-loop layout
+//!
+//! The propagation inner loop dominates solver time, so its data layout is
+//! tuned for cache behaviour:
+//!
+//! * **Flattened watch lists.** Instead of `Vec<Vec<_>>` (one heap
+//!   allocation per literal, plus a `mem::take`/re-push cycle on every
+//!   propagation), all watch lists live in one contiguous arena indexed by
+//!   `(start, len, cap)` triples. Lists that outgrow their slot relocate to
+//!   the arena tail with doubled capacity; dead slots are compacted away at
+//!   the next `propagate` entry, never mid-scan.
+//! * **Blocker literals.** Each watcher caches one other literal of its
+//!   clause. If the blocker is already true the clause is satisfied and the
+//!   clause body is never dereferenced — the common case touches only the
+//!   watch arena and the assignment array.
+//! * **Contiguous clause storage.** Clause literals live in a single
+//!   arena (`ClauseDb`), with per-clause headers carrying activity and the
+//!   LBD score used by learnt-clause reduction.
 
 /// A literal: variable index shifted left once, low bit = negated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,14 +80,130 @@ impl SatResult {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
+/// One entry in a watch list: the clause index plus a cached "blocker"
+/// literal from the same clause. If the blocker is true the clause is
+/// satisfied without touching its literals.
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// A watch list's slice of the arena: `data[start..start+len]` holds live
+/// watchers, `cap` is the reserved slot size (relocate on overflow).
+#[derive(Debug, Clone, Copy, Default)]
+struct WatchList {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// All watch lists in one flat arena. Replaces `Vec<Vec<u32>>`: no per-list
+/// heap allocation, no `mem::take`/re-push per propagation — `propagate`
+/// scans lists in place with read/write cursors.
+#[derive(Debug, Default)]
+struct WatchArena {
+    data: Vec<Watcher>,
+    lists: Vec<WatchList>,
+    /// Arena slots orphaned by list relocation; reclaimed by `maybe_compact`.
+    holes: usize,
+}
+
+impl WatchArena {
+    fn add_list(&mut self) {
+        self.lists.push(WatchList::default());
+    }
+
+    /// Appends a watcher, relocating the list to the arena tail with doubled
+    /// capacity when full. Relocation never moves any *other* list, which is
+    /// what makes mid-propagation pushes safe: the list being scanned stays
+    /// put (new watches always target a different literal's list).
+    fn push(&mut self, lit_index: usize, w: Watcher) {
+        let list = self.lists[lit_index];
+        if list.len < list.cap {
+            self.data[(list.start + list.len) as usize] = w;
+            self.lists[lit_index].len += 1;
+            return;
+        }
+        let new_cap = (list.cap * 2).max(4);
+        let new_start = self.data.len() as u32;
+        self.data.reserve(new_cap as usize);
+        for i in 0..list.len {
+            let moved = self.data[(list.start + i) as usize];
+            self.data.push(moved);
+        }
+        self.data.push(w);
+        let pad = Watcher {
+            clause: u32::MAX,
+            blocker: Lit(u32::MAX),
+        };
+        self.data.resize(new_start as usize + new_cap as usize, pad);
+        self.holes += list.cap as usize;
+        self.lists[lit_index] = WatchList {
+            start: new_start,
+            len: list.len + 1,
+            cap: new_cap,
+        };
+    }
+
+    /// Rebuilds the arena without holes once more than half of it is dead.
+    /// Only called at `propagate` entry — never while a list is being
+    /// scanned.
+    fn maybe_compact(&mut self) {
+        if self.data.len() < 1024 || self.holes * 2 < self.data.len() {
+            return;
+        }
+        let mut new_data = Vec::with_capacity(self.data.len() - self.holes);
+        for list in &mut self.lists {
+            let new_start = new_data.len() as u32;
+            for i in 0..list.len {
+                new_data.push(self.data[(list.start + i) as usize]);
+            }
+            list.start = new_start;
+            list.cap = list.len;
+        }
+        self.data = new_data;
+        self.holes = 0;
+    }
+}
+
+/// Per-clause metadata; the literals live contiguously in [`ClauseDb::lits`].
+#[derive(Debug, Clone, Copy)]
+struct ClauseHdr {
+    start: u32,
+    len: u32,
     learnt: bool,
     /// Tombstoned by clause-database reduction; skipped and lazily removed
     /// from watch lists.
     deleted: bool,
     activity: f64,
+    /// Literal block distance: distinct decision levels in the clause at
+    /// learn time. Low-LBD ("glue") clauses are never evicted.
+    lbd: u32,
+}
+
+/// Clause storage: one contiguous literal arena plus fixed-size headers.
+#[derive(Debug, Default)]
+struct ClauseDb {
+    lits: Vec<Lit>,
+    headers: Vec<ClauseHdr>,
+}
+
+impl ClauseDb {
+    fn add(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> u32 {
+        let idx = self.headers.len() as u32;
+        let start = self.lits.len() as u32;
+        self.lits.extend_from_slice(lits);
+        self.headers.push(ClauseHdr {
+            start,
+            len: lits.len() as u32,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        });
+        idx
+    }
 }
 
 /// CDCL SAT solver.
@@ -90,8 +225,8 @@ struct Clause {
 /// ```
 #[derive(Debug, Default)]
 pub struct SatSolver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<u32>>, // lit index -> clause indices
+    db: ClauseDb,
+    watches: WatchArena,
     assign: Vec<Option<bool>>,
     phase: Vec<bool>,
     level: Vec<u32>,
@@ -104,6 +239,8 @@ pub struct SatSolver {
     queue_head: usize,
     conflicts: u64,
     propagations: u64,
+    blocker_skips: u64,
+    lbd_evictions: u64,
     /// Learnt clauses added since the last database reduction.
     learnt_since_reduce: usize,
     /// Learnt-clause count that triggers a reduction (doubles each time).
@@ -127,9 +264,9 @@ impl SatSolver {
         self.assign.len() as u32
     }
 
-    /// Number of clauses (original + learnt).
+    /// Number of clauses (original + learnt, including tombstones).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.db.headers.len()
     }
 
     /// Total conflicts so far.
@@ -140,6 +277,17 @@ impl SatSolver {
     /// Total propagations so far.
     pub fn propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Watch-list entries dismissed by a true blocker literal without
+    /// dereferencing the clause (propagation fast path).
+    pub fn blocker_skips(&self) -> u64 {
+        self.blocker_skips
+    }
+
+    /// Learnt clauses evicted by LBD-scored database reduction.
+    pub fn lbd_evictions(&self) -> u64 {
+        self.lbd_evictions
     }
 
     /// Overrides the learnt-clause count that triggers database reduction
@@ -156,8 +304,8 @@ impl SatSolver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.add_list();
+        self.watches.add_list();
         v
     }
 
@@ -191,15 +339,21 @@ impl SatSolver {
                 }
             }
             _ => {
-                let idx = self.clauses.len() as u32;
-                self.watches[lits[0].flip().index()].push(idx);
-                self.watches[lits[1].flip().index()].push(idx);
-                self.clauses.push(Clause {
-                    lits,
-                    learnt: false,
-                    deleted: false,
-                    activity: 0.0,
-                });
+                let idx = self.db.add(&lits, false, 0);
+                self.watches.push(
+                    lits[0].flip().index(),
+                    Watcher {
+                        clause: idx,
+                        blocker: lits[1],
+                    },
+                );
+                self.watches.push(
+                    lits[1].flip().index(),
+                    Watcher {
+                        clause: idx,
+                        blocker: lits[0],
+                    },
+                );
             }
         }
     }
@@ -225,64 +379,94 @@ impl SatSolver {
     }
 
     /// Unit propagation; returns a conflicting clause index if any.
+    ///
+    /// Scans each watch list in place with read/write cursors — no
+    /// `mem::take`, no temporary `kept` vector. Mid-scan pushes only ever
+    /// target *other* lists (a new watch is never false, while the scanned
+    /// literal's complement is), so the region under the cursors is stable.
     fn propagate(&mut self) -> Option<u32> {
+        self.watches.maybe_compact();
         while self.queue_head < self.trail.len() {
             let p = self.trail[self.queue_head];
             self.queue_head += 1;
             self.propagations += 1;
-            let watch_list = std::mem::take(&mut self.watches[p.index()]);
-            let mut kept = Vec::with_capacity(watch_list.len());
+            let false_lit = p.flip();
+            let list = self.watches.lists[p.index()];
+            let start = list.start as usize;
+            let n = list.len as usize;
+            let mut read = 0usize;
+            let mut write = 0usize;
             let mut conflict = None;
-            let mut i = 0;
-            while i < watch_list.len() {
-                let ci = watch_list[i];
-                i += 1;
-                if self.clauses[ci as usize].deleted {
+            while read < n {
+                let w = self.watches.data[start + read];
+                read += 1;
+                // Fast path: a true blocker means the clause is satisfied;
+                // keep the watcher without touching the clause at all.
+                if self.value(w.blocker) == Some(true) {
+                    self.blocker_skips += 1;
+                    self.watches.data[start + write] = w;
+                    write += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                let hdr = self.db.headers[ci];
+                if hdr.deleted {
                     continue; // lazily dropped from this watch list
                 }
-                let false_lit = p.flip();
+                let cs = hdr.start as usize;
                 // Normalize: watched lit 1 is the false one.
-                {
-                    let c = &mut self.clauses[ci as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
+                if self.db.lits[cs] == false_lit {
+                    self.db.lits.swap(cs, cs + 1);
                 }
-                let first = self.clauses[ci as usize].lits[0];
+                let first = self.db.lits[cs];
                 if self.value(first) == Some(true) {
-                    kept.push(ci);
+                    self.watches.data[start + write] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    write += 1;
                     continue;
                 }
                 // Look for a new watch.
                 let mut found = None;
-                {
-                    let c = &self.clauses[ci as usize];
-                    for (k, &l) in c.lits.iter().enumerate().skip(2) {
-                        if self.value(l) != Some(false) {
-                            found = Some(k);
-                            break;
-                        }
+                for k in 2..hdr.len as usize {
+                    if self.value(self.db.lits[cs + k]) != Some(false) {
+                        found = Some(k);
+                        break;
                     }
                 }
                 match found {
                     Some(k) => {
-                        let c = &mut self.clauses[ci as usize];
-                        c.lits.swap(1, k);
-                        let new_watch = c.lits[1];
-                        self.watches[new_watch.flip().index()].push(ci);
+                        self.db.lits.swap(cs + 1, cs + k);
+                        let new_watch = self.db.lits[cs + 1];
+                        self.watches.push(
+                            new_watch.flip().index(),
+                            Watcher {
+                                clause: w.clause,
+                                blocker: first,
+                            },
+                        );
                     }
                     None => {
-                        kept.push(ci);
-                        if !self.enqueue(first, Some(ci)) {
-                            // Conflict: keep remaining watches and bail.
-                            conflict = Some(ci);
-                            kept.extend_from_slice(&watch_list[i..]);
+                        self.watches.data[start + write] = Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        };
+                        write += 1;
+                        if !self.enqueue(first, Some(w.clause)) {
+                            // Conflict: keep remaining watchers and bail.
+                            conflict = Some(w.clause);
+                            while read < n {
+                                self.watches.data[start + write] = self.watches.data[start + read];
+                                read += 1;
+                                write += 1;
+                            }
                             break;
                         }
                     }
                 }
             }
-            self.watches[p.index()] = kept;
+            self.watches.lists[p.index()].len = write as u32;
             if conflict.is_some() {
                 self.queue_head = self.trail.len();
                 return conflict;
@@ -302,18 +486,20 @@ impl SatSolver {
     }
 
     fn bump_clause(&mut self, ci: u32) {
-        let c = &mut self.clauses[ci as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for c in &mut self.clauses {
-                c.activity *= 1e-20;
+        let h = &mut self.db.headers[ci as usize];
+        h.activity += self.cla_inc;
+        if h.activity > 1e20 {
+            for h in &mut self.db.headers {
+                h.activity *= 1e-20;
             }
             self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
-    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level,
+    /// LBD of the learnt clause). Iterates clause literals by arena index —
+    /// no per-resolution clone of the clause body.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32, u32) {
         let mut learnt = vec![Lit::pos(0)]; // slot 0 reserved for the UIP
         let mut seen = vec![false; self.assign.len()];
         let mut counter = 0u32;
@@ -324,9 +510,11 @@ impl SatSolver {
 
         loop {
             self.bump_clause(clause);
-            let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
+            let hdr = self.db.headers[clause as usize];
+            let start = hdr.start as usize;
             let skip = usize::from(p.is_some());
-            for &q in lits.iter().skip(skip) {
+            for j in skip..hdr.len as usize {
+                let q = self.db.lits[start + j];
                 let v = q.var() as usize;
                 if !seen[v] && self.level[v] > 0 {
                     seen[v] = true;
@@ -373,7 +561,14 @@ impl SatSolver {
                 .expect("non-empty tail");
             learnt.swap(1, mi);
         }
-        (learnt, bj)
+        // LBD: distinct decision levels across the learnt literals.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        (learnt, bj, levels.len() as u32)
     }
 
     fn cancel_until(&mut self, level: u32) {
@@ -463,7 +658,7 @@ impl SatSolver {
                     self.cancel_until(0);
                     return SatResult::Unknown;
                 }
-                let (learnt, bj) = self.analyze(conflict);
+                let (learnt, bj, lbd) = self.analyze(conflict);
                 self.cancel_until(bj);
                 if learnt.len() == 1 {
                     if !self.enqueue(learnt[0], None) {
@@ -472,16 +667,22 @@ impl SatSolver {
                         return SatResult::Unsat;
                     }
                 } else {
-                    let idx = self.clauses.len() as u32;
-                    self.watches[learnt[0].flip().index()].push(idx);
-                    self.watches[learnt[1].flip().index()].push(idx);
+                    let idx = self.db.add(&learnt, true, lbd);
+                    self.watches.push(
+                        learnt[0].flip().index(),
+                        Watcher {
+                            clause: idx,
+                            blocker: learnt[1],
+                        },
+                    );
+                    self.watches.push(
+                        learnt[1].flip().index(),
+                        Watcher {
+                            clause: idx,
+                            blocker: learnt[0],
+                        },
+                    );
                     let first = learnt[0];
-                    self.clauses.push(Clause {
-                        lits: learnt,
-                        learnt: true,
-                        deleted: false,
-                        activity: 0.0,
-                    });
                     self.bump_clause(idx);
                     self.learnt_since_reduce += 1;
                     if !self.enqueue(first, Some(idx)) {
@@ -544,34 +745,44 @@ impl SatSolver {
 
     /// Live (non-deleted) learnt clauses (diagnostics).
     pub fn learnt_clauses(&self) -> usize {
-        self.clauses
+        self.db
+            .headers
             .iter()
-            .filter(|c| c.learnt && !c.deleted)
+            .filter(|h| h.learnt && !h.deleted)
             .count()
     }
 
-    /// Deletes the lower-activity half of the learnt clauses. Must be
-    /// called at decision level 0; clauses that are reasons for current
-    /// (level-0) assignments and binary clauses are kept.
+    /// Evicts the worst half of the eligible learnt clauses, scored by LBD
+    /// (higher is worse) with activity as the tie-breaker. Must be called at
+    /// decision level 0. Kept unconditionally: binary clauses, "glue"
+    /// clauses (LBD ≤ 2), and clauses that are reasons for current
+    /// (level-0) assignments.
     fn reduce_db(&mut self) {
         debug_assert!(self.trail_lim.is_empty(), "reduce at the root only");
         self.learnt_since_reduce = 0;
         self.reduce_threshold = self.reduce_threshold.saturating_mul(2);
         let protected: std::collections::HashSet<u32> =
             self.reason.iter().flatten().copied().collect();
-        let mut candidates: Vec<(u32, f64)> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| {
-                c.learnt && !c.deleted && c.lits.len() > 2 && !protected.contains(&(*i as u32))
+        let mut candidates: Vec<u32> = (0..self.db.headers.len() as u32)
+            .filter(|&i| {
+                let h = self.db.headers[i as usize];
+                h.learnt && !h.deleted && h.len > 2 && h.lbd > 2 && !protected.contains(&i)
             })
-            .map(|(i, c)| (i as u32, c.activity))
             .collect();
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("activities are finite"));
-        for &(ci, _) in candidates.iter().take(candidates.len() / 2) {
-            self.clauses[ci as usize].deleted = true;
+        candidates.sort_by(|&a, &b| {
+            let ha = self.db.headers[a as usize];
+            let hb = self.db.headers[b as usize];
+            hb.lbd.cmp(&ha.lbd).then(
+                ha.activity
+                    .partial_cmp(&hb.activity)
+                    .expect("activities are finite"),
+            )
+        });
+        let evict = candidates.len() / 2;
+        for &ci in candidates.iter().take(evict) {
+            self.db.headers[ci as usize].deleted = true;
         }
+        self.lbd_evictions += evict as u64;
     }
 }
 
@@ -600,6 +811,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A full pigeonhole instance: `n` pigeons into `n - 1` holes.
+    fn pigeonhole(s: &mut SatSolver, n: usize) {
+        let mut p = vec![vec![0u32; n - 1]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        no_shared_holes(s, &p, &[]);
     }
 
     #[test]
@@ -727,19 +953,8 @@ mod tests {
 
     #[test]
     fn pigeonhole_5_into_4_is_unsat_with_learning() {
-        let n = 5usize;
         let mut s = SatSolver::new();
-        let mut p = vec![vec![0u32; n - 1]; n];
-        for row in p.iter_mut() {
-            for v in row.iter_mut() {
-                *v = s.new_var();
-            }
-        }
-        for row in &p {
-            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-            s.add_clause(&lits);
-        }
-        no_shared_holes(&mut s, &p, &[]);
+        pigeonhole(&mut s, 5);
         assert_eq!(s.solve(1_000_000), SatResult::Unsat);
         assert!(s.conflicts() > 0);
     }
@@ -747,19 +962,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_unknown() {
         // A hard-ish pigeonhole with a tiny budget.
-        let n = 8usize;
         let mut s = SatSolver::new();
-        let mut p = vec![vec![0u32; n - 1]; n];
-        for row in p.iter_mut() {
-            for v in row.iter_mut() {
-                *v = s.new_var();
-            }
-        }
-        for row in &p {
-            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-            s.add_clause(&lits);
-        }
-        no_shared_holes(&mut s, &p, &[]);
+        pigeonhole(&mut s, 8);
         assert_eq!(s.solve(10), SatResult::Unknown);
     }
 
@@ -768,20 +972,9 @@ mod tests {
         // A pigeonhole instance generates plenty of learnt clauses; an
         // aggressive reduction threshold forces several reductions, and
         // the verdict must still be UNSAT.
-        let n = 7usize;
         let mut s = SatSolver::new();
         s.set_reduce_threshold(64);
-        let mut p = vec![vec![0u32; n - 1]; n];
-        for row in p.iter_mut() {
-            for v in row.iter_mut() {
-                *v = s.new_var();
-            }
-        }
-        for row in &p {
-            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-            s.add_clause(&lits);
-        }
-        no_shared_holes(&mut s, &p, &[]);
+        pigeonhole(&mut s, 7);
         assert_eq!(s.solve(5_000_000), SatResult::Unsat);
         assert!(s.conflicts() > 64, "reductions must actually have fired");
     }
@@ -838,5 +1031,138 @@ mod tests {
                 SatResult::Unknown => panic!("budget should not be hit on tiny instances"),
             }
         }
+    }
+
+    #[test]
+    fn random_mixed_width_cnf_agrees_with_brute_force() {
+        // Propagation equivalence on wider clauses: widths 1..=4 exercise
+        // the blocker fast path, the new-watch scan, and in-place
+        // watch-list truncation together.
+        let mut state = 0x9e37_79b9u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let nvars = 7u32;
+            let nclauses = 22;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let width = 1 + (rnd() % 4) as usize;
+                let mut cl = Vec::new();
+                for _ in 0..width {
+                    let v = (rnd() % nvars as u64) as u32;
+                    cl.push(lit(v, rnd() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << nvars) {
+                for cl in &clauses {
+                    if !cl.iter().any(|l| ((m >> l.var()) & 1 == 1) != l.is_neg()) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut s = SatSolver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            match s.solve(100_000) {
+                SatResult::Sat(m) => {
+                    assert!(brute_sat, "solver found model for unsat instance");
+                    for cl in &clauses {
+                        assert!(cl.iter().any(|l| m[l.var() as usize] != l.is_neg()));
+                    }
+                }
+                SatResult::Unsat => assert!(!brute_sat, "solver claims unsat for sat instance"),
+                SatResult::Unknown => panic!("budget should not be hit on tiny instances"),
+            }
+        }
+    }
+
+    #[test]
+    fn blocker_literals_skip_satisfied_clauses() {
+        // Any non-trivial search revisits satisfied clauses; the blocker
+        // fast path must fire and the verdict must be unaffected.
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 6);
+        assert_eq!(s.solve(1_000_000), SatResult::Unsat);
+        assert!(
+            s.blocker_skips() > 0,
+            "blocker fast path never fired during a real search"
+        );
+    }
+
+    #[test]
+    fn watch_arena_relocation_keeps_lists_intact() {
+        // Many clauses watch the same two literals, forcing repeated list
+        // relocations (and holes, hence compaction) in the flat arena.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let others: Vec<u32> = (0..200).map(|_| s.new_var()).collect();
+        for &o in &others {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::pos(o)]);
+        }
+        // Force a and b false: every clause must propagate its third lit.
+        s.add_clause(&[Lit::neg(a)]);
+        s.add_clause(&[Lit::neg(b)]);
+        match s.solve(10_000) {
+            SatResult::Sat(m) => {
+                assert!(!m[a as usize] && !m[b as usize]);
+                for &o in &others {
+                    assert!(m[o as usize], "var {o} must be propagated true");
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // The same lists, now relocated and truncated in place, must still
+        // refute a direct contradiction.
+        s.add_clause(&[Lit::neg(others[0])]);
+        assert_eq!(s.solve(10_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn lbd_reduction_evicts_and_stays_sound() {
+        let mut s = SatSolver::new();
+        s.set_reduce_threshold(32);
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(5_000_000), SatResult::Unsat);
+        assert!(
+            s.lbd_evictions() > 0,
+            "aggressive threshold must actually evict learnt clauses"
+        );
+    }
+
+    #[test]
+    fn reduction_never_evicts_reason_clauses_of_the_trail() {
+        // After a reduce-heavy search, every assignment on the trail whose
+        // reason is a clause must still point at a live (non-deleted)
+        // clause — evicting a reason clause would corrupt later conflict
+        // analysis.
+        let mut s = SatSolver::new();
+        s.set_reduce_threshold(16);
+        pigeonhole(&mut s, 6);
+        // Stop mid-search (Unknown) so the root trail retains implied
+        // literals with clause reasons.
+        let _ = s.solve(200);
+        for &l in &s.trail {
+            if let Some(ci) = s.reason[l.var() as usize] {
+                assert!(
+                    !s.db.headers[ci as usize].deleted,
+                    "reason clause {ci} of {l:?} was evicted"
+                );
+            }
+        }
+        // And the instance still refutes correctly afterwards.
+        assert_eq!(s.solve(5_000_000), SatResult::Unsat);
     }
 }

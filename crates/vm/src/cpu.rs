@@ -93,6 +93,27 @@ pub struct StepOutcome {
 /// [`Effect::Trap`] with cause [`trap::BAD_INSN`] / [`trap::BAD_MEM`].
 pub fn step(regs: &mut Regs, mem: &mut Memory, pid: u32, tid: u32, tracing: bool) -> StepOutcome {
     let pc = regs.pc;
+    match fetch(mem, pc) {
+        Ok(insn) => exec(insn, regs, mem, pid, tid, tracing),
+        Err(fault) => StepOutcome {
+            effect: Effect::Trap(fault),
+            step: tracing.then(|| {
+                let mut s = TraceStep::new(pid, tid, pc, Insn::Nop);
+                s.trap = Some(fault.cause);
+                s
+            }),
+        },
+    }
+}
+
+/// Fetches and decodes the instruction at `pc` without executing it.
+///
+/// # Errors
+///
+/// Returns the hardware [`Fault`] a fetch would raise: [`trap::BAD_MEM`]
+/// when the first byte is unmapped, [`trap::BAD_INSN`] when the bytes do
+/// not decode.
+pub fn fetch(mem: &Memory, pc: u64) -> Result<Insn, Fault> {
     // Fetch up to the maximum instruction length (10 bytes).
     let mut buf = [0u8; 10];
     let mut n = 0;
@@ -106,39 +127,22 @@ pub fn step(regs: &mut Regs, mem: &mut Memory, pid: u32, tid: u32, tracing: bool
         }
     }
     if n == 0 {
-        return StepOutcome {
-            effect: Effect::Trap(Fault {
-                cause: trap::BAD_MEM,
-                addr: Some(pc),
-                insn_len: 1,
-            }),
-            step: tracing.then(|| {
-                let mut s = TraceStep::new(pid, tid, pc, Insn::Nop);
-                s.trap = Some(trap::BAD_MEM);
-                s
-            }),
-        };
+        return Err(Fault {
+            cause: trap::BAD_MEM,
+            addr: Some(pc),
+            insn_len: 1,
+        });
     }
-    let insn = match Insn::decode(&buf[..n]) {
-        Ok((insn, _)) => insn,
+    match Insn::decode(&buf[..n]) {
+        Ok((insn, _)) => Ok(insn),
         Err(DecodeError::BadOpcode(_))
         | Err(DecodeError::BadRegister(_))
-        | Err(DecodeError::Truncated) => {
-            return StepOutcome {
-                effect: Effect::Trap(Fault {
-                    cause: trap::BAD_INSN,
-                    addr: Some(pc),
-                    insn_len: 1,
-                }),
-                step: tracing.then(|| {
-                    let mut s = TraceStep::new(pid, tid, pc, Insn::Nop);
-                    s.trap = Some(trap::BAD_INSN);
-                    s
-                }),
-            };
-        }
-    };
-    exec(insn, regs, mem, pid, tid, tracing)
+        | Err(DecodeError::Truncated) => Err(Fault {
+            cause: trap::BAD_INSN,
+            addr: Some(pc),
+            insn_len: 1,
+        }),
+    }
 }
 
 /// Executes an already-decoded instruction (used by `step` and by tests).

@@ -46,12 +46,14 @@
 // stricter policy lives here; CI's `-D warnings` promotes it.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod bbcache;
 pub mod cpu;
 pub mod machine;
 pub mod mem;
 pub mod os;
 pub mod trace;
 
+pub use bbcache::{BbStats, BlockCache, MicroOp, StoreClass};
 pub use cpu::{Effect, Regs};
 pub use machine::{
     LoadError, Machine, MachineConfig, MachineError, RunResult, RunStatus, BOOM_EXIT_CODE, ROOT_PID,

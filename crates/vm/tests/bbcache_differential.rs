@@ -1,0 +1,155 @@
+//! Differential property test for the predecoded block cache: random
+//! programs — including stores that overwrite already-executed code and
+//! branches that re-enter the middle of a decoded run — must produce the
+//! exact same trace, final status, step count, and data memory whether
+//! dispatch goes through the block cache or byte-decodes every step.
+
+use bomblab_isa::asm::assemble;
+use bomblab_isa::link::Linker;
+use bomblab_vm::{Machine, MachineConfig, RunStatus, TraceStep, ROOT_PID};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// One filler instruction from a small trap-free, register-only menu
+/// (plus aligned loads/stores against the `scratch` data buffer in `s7`).
+fn filler_line(out: &mut String, choice: u8, imm: i16) {
+    let imm = i64::from(imm);
+    match choice % 8 {
+        0 => {
+            let _ = writeln!(out, "    li   t2, {imm}");
+        }
+        1 => {
+            let _ = writeln!(out, "    addi t2, t2, {}", imm % 128);
+        }
+        2 => {
+            let _ = writeln!(out, "    add  t3, t3, t2");
+        }
+        3 => {
+            let _ = writeln!(out, "    xor  t3, t3, t2");
+        }
+        4 => {
+            let _ = writeln!(out, "    mul  t3, t3, t2");
+        }
+        5 => {
+            let _ = writeln!(out, "    sb   [s7+{}], t3", imm.rem_euclid(56));
+        }
+        6 => {
+            let _ = writeln!(out, "    ld   t4, [s7+{}]", imm.rem_euclid(7) * 8);
+        }
+        _ => {
+            let _ = writeln!(out, "    nop");
+        }
+    }
+}
+
+/// Assembles the differential skeleton:
+///
+/// 1. `target` runs once (its block gets decoded and cached),
+/// 2. a store patches `target`'s first byte (self-modifying code),
+/// 3. `target` runs again — possibly decoding garbage, trapping, or
+///    wandering; whatever happens must happen identically without the
+///    cache,
+/// 4. a two-iteration loop whose back edge lands on `mid`, re-entering a
+///    straight-line run that was decoded from `loop_head`.
+fn build_program(
+    f1: &[(u8, i16)],
+    f2: &[(u8, i16)],
+    f3: &[(u8, i16)],
+    f4: &[(u8, i16)],
+    payload: u8,
+) -> String {
+    let mut src = String::from(
+        "
+.text
+.global _start
+_start:
+    li   s7, scratch
+",
+    );
+    for &(c, i) in f1 {
+        filler_line(&mut src, c, i);
+    }
+    let _ = write!(
+        src,
+        "    call target
+    li   t5, target
+    li   t6, {payload}
+    sb   [t5+0], t6
+    call target
+    li   t0, 0
+loop_head:
+"
+    );
+    for &(c, i) in f2 {
+        filler_line(&mut src, c, i);
+    }
+    src.push_str("mid:\n");
+    for &(c, i) in f3 {
+        filler_line(&mut src, c, i);
+    }
+    src.push_str(
+        "    addi t0, t0, 1
+    li   t1, 2
+    blt  t0, t1, mid
+    li   a0, 0
+    li   sv, 0
+    sys
+target:
+",
+    );
+    for &(c, i) in f4 {
+        filler_line(&mut src, c, i);
+    }
+    src.push_str(
+        "    ret
+.data
+scratch:
+    .quad 0, 0, 0, 0, 0, 0, 0, 0
+",
+    );
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_dispatch_matches_decode_per_step(
+        f1 in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..8),
+        f2 in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..6),
+        f3 in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..6),
+        f4 in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..6),
+        payload in any::<u8>(),
+    ) {
+        let src = build_program(&f1, &f2, &f3, &f4, payload);
+        let obj = assemble(&src).expect("generated program assembles");
+        let image = Linker::new().add_object(obj).link().expect("generated program links");
+
+        let run = |bbcache: bool| -> (RunStatus, u64, Vec<TraceStep>, Option<Vec<u8>>) {
+            let config = MachineConfig {
+                trace: true,
+                step_budget: 50_000,
+                bbcache,
+                ..MachineConfig::default()
+            };
+            let mut machine = Machine::load(&image, None, config).expect("image loads");
+            let result = machine.run();
+            let steps: Vec<TraceStep> = machine.take_trace().iter().cloned().collect();
+            let scratch = machine
+                .process_memory(ROOT_PID)
+                .and_then(|m| m.read_bytes(image.data_base, 64).ok());
+            (result.status, result.steps, steps, scratch)
+        };
+
+        let (status_on, steps_on, trace_on, mem_on) = run(true);
+        let (status_off, steps_off, trace_off, mem_off) = run(false);
+
+        prop_assert_eq!(status_on, status_off, "run status diverged");
+        prop_assert_eq!(steps_on, steps_off, "step count diverged");
+        prop_assert_eq!(mem_on, mem_off, "final data memory diverged");
+        prop_assert_eq!(trace_on.len(), trace_off.len(), "trace length diverged");
+        for (i, (a, b)) in trace_on.iter().zip(&trace_off).enumerate() {
+            prop_assert_eq!(a, b, "trace diverged at step {}", i);
+        }
+    }
+}
