@@ -58,6 +58,20 @@ pub struct StaticHints {
     /// A pinned jump whose static target set is a singleton loses no
     /// paths, so it is not evidence of a symbolic-jump modeling gap.
     pub jr_targets: BTreeMap<u64, BTreeSet<u64>>,
+    /// Whether the data-flow products below were armed. Gates the flip
+    /// scheduler, independence skips, and slice cross-checks — all off
+    /// for the paper-tool profiles.
+    pub dataflow_armed: bool,
+    /// Branch sites the static taint closure proved input-independent:
+    /// no tainted definition reaches their condition, so flipping them
+    /// cannot move input-dependent control flow.
+    pub independent_branches: BTreeSet<u64>,
+    /// Flip-priority score per branch site (taint distance, loop depth,
+    /// `bomb_boom` guard structure). Higher = flip earlier.
+    pub flip_priority: BTreeMap<u64, i64>,
+    /// Branch pc -> static input-source mask reaching its condition,
+    /// for cross-checking the dynamic cone of influence.
+    pub branch_sources: BTreeMap<u64, u8>,
 }
 
 impl StaticHints {
@@ -70,8 +84,53 @@ impl StaticHints {
         StaticHints {
             infeasible_edges: analysis.infeasible_edges(),
             jr_targets: analysis.jr_targets(),
+            ..StaticHints::default()
         }
     }
+
+    /// Additionally arms the interprocedural data-flow products
+    /// (independence proofs, flip priorities, slice masks). Separate from
+    /// [`StaticHints::from_analysis`] so the paper-tool profiles keep
+    /// their 2017-faithful flip behaviour; only profiles with
+    /// `use_dataflow_hints` call this. A no-op unless the analyzer
+    /// vouches for its own resolution (`resolve_sound`).
+    #[must_use]
+    pub fn with_dataflow(mut self, analysis: &bomblab_sa::Analysis) -> StaticHints {
+        if !analysis.resolve_sound {
+            return self;
+        }
+        let t = &analysis.dataflow.taint;
+        self.dataflow_armed = true;
+        self.independent_branches = t.independent.clone();
+        self.flip_priority = t.priority.clone();
+        self.branch_sources = t.tainted_branches.clone();
+        self
+    }
+}
+
+/// Classifies the variables of a dynamic branch condition into the
+/// static analyzer's input-source mask space: `arg1_*` bytes are argv,
+/// everything else (stdin, time, network, syscall and library returns)
+/// is environment-derived.
+fn dyn_source_mask(cond: &bomblab_symex::PathCond) -> u8 {
+    let mut mask = 0u8;
+    for name in cond.cond_var_names() {
+        if name.starts_with("arg1_") {
+            mask |= bomblab_sa::SRC_ARGV;
+        } else {
+            mask |= bomblab_sa::SRC_ENV;
+        }
+    }
+    mask
+}
+
+/// Collapses a source mask to two classes — argv vs everything else —
+/// so the static/dynamic slice comparison is not sensitive to how the
+/// analyzer subdivides environment sources (env vs file descriptors).
+fn source_class(mask: u8) -> u8 {
+    let argv = mask & bomblab_sa::SRC_ARGV;
+    let other = u8::from(mask & !bomblab_sa::SRC_ARGV != 0) << 1;
+    argv | other
 }
 
 /// What the engine observed while exploring (the raw material of the
@@ -107,6 +166,18 @@ pub struct Evidence {
     /// Flip queries skipped because static analysis proved the edge
     /// infeasible (no solver call issued).
     pub pruned_flips: u32,
+    /// Branch sites the static taint closure proved input-independent
+    /// (set size, recorded once when data-flow hints are armed).
+    pub branches_proven_independent: u64,
+    /// Flip candidates skipped because their branch site is statically
+    /// input-independent (no solver call issued).
+    pub independent_skips: u32,
+    /// Flip candidates whose dynamic condition variables were checked
+    /// against the static backward slice's source mask.
+    pub static_slice_checked: u64,
+    /// Checked candidates whose dynamic cone of influence stayed within
+    /// the static slice's sources (agreement).
+    pub static_slice_agreement: u64,
     /// Pinned jumps proven exact by static `jr` resolution (singleton
     /// target set — pinning lost no paths).
     pub exact_pins: u32,
@@ -380,6 +451,9 @@ impl Engine {
     pub fn explore(&self, subject: &Subject, ground: &GroundTruth) -> Attempt {
         let mut evidence = Evidence::default();
         let mut solved: Option<WorldInput> = None;
+        if self.hints.dataflow_armed {
+            evidence.branches_proven_independent = self.hints.independent_branches.len() as u64;
+        }
 
         let lib_ranges: Vec<(u64, u64)> = subject
             .lib
@@ -617,19 +691,61 @@ impl Engine {
                 !sym.events.sym_sys_args.is_empty() || !sym.events.sym_sys_nums.is_empty();
 
             // 7. Flip each unexplored branch and schedule the solutions.
+            //
+            // Candidates are collected in path order (the prefix hash
+            // that keys the visited set is inherently sequential), then
+            // processed by static flip priority. With data-flow hints
+            // unarmed every priority is 0 and the index tie-break keeps
+            // the exact historical path order — byte-identical traces
+            // for the paper-tool profiles.
             fault::set_stage("solve");
             use std::hash::{Hash, Hasher};
             let mut prefix = std::collections::hash_map::DefaultHasher::new();
+            let mut candidates: Vec<(i64, usize, (u64, u64, bool))> = Vec::new();
             for i in 0..sym.path.len() {
                 let pc = &sym.path[i];
                 let key = (prefix.finish(), pc.pc, !pc.taken);
                 (pc.pc, pc.taken).hash(&mut prefix);
+                let prio = if self.hints.dataflow_armed {
+                    self.hints.flip_priority.get(&pc.pc).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                candidates.push((prio, i, key));
+            }
+            candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for (_prio, i, key) in candidates {
+                let pc = &sym.path[i];
                 if !visited_flips.insert(key) {
                     continue;
                 }
                 if self.hints.infeasible_edges.contains(&(pc.pc, !pc.taken)) {
                     evidence.pruned_flips += 1;
                     continue;
+                }
+                if self.hints.dataflow_armed {
+                    // Cross-check the dynamic cone of influence against
+                    // the static backward slice's source classification.
+                    let static_mask = self.hints.branch_sources.get(&pc.pc).copied().or(
+                        if self.hints.independent_branches.contains(&pc.pc) {
+                            Some(0)
+                        } else {
+                            None
+                        },
+                    );
+                    if let Some(sm) = static_mask {
+                        evidence.static_slice_checked += 1;
+                        if source_class(dyn_source_mask(pc)) & !source_class(sm) == 0 {
+                            evidence.static_slice_agreement += 1;
+                        }
+                    }
+                    if self.hints.independent_branches.contains(&pc.pc) {
+                        // Statically proven input-independent: flipping
+                        // cannot move input-dependent control flow, so
+                        // the solver call is skipped outright.
+                        evidence.independent_skips += 1;
+                        continue;
+                    }
                 }
                 let mut query = sym.flip_query(i);
                 if self.profile.argv_model == ArgvModel::FixedNonZero {

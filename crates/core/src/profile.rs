@@ -108,6 +108,10 @@ pub struct ToolProfile {
     pub step_budget: u64,
     /// Maximum concrete rounds (test cases executed).
     pub max_rounds: u32,
+    /// Arm the static data-flow layer's flip hints (independence proofs,
+    /// flip priorities, slice cross-checks). Off for the paper-tool
+    /// presets so Table II stays a faithful 2017-era reproduction.
+    pub use_dataflow_hints: bool,
 }
 
 impl ToolProfile {
@@ -152,6 +156,7 @@ impl ToolProfile {
             incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
+            use_dataflow_hints: false,
         }
     }
 
@@ -189,6 +194,7 @@ impl ToolProfile {
             incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
+            use_dataflow_hints: false,
         }
     }
 
@@ -226,6 +232,7 @@ impl ToolProfile {
             incremental_solver: false,
             step_budget: 2_000_000,
             max_rounds: 24,
+            use_dataflow_hints: false,
         }
     }
 
@@ -283,6 +290,7 @@ impl ToolProfile {
             incremental_solver: true,
             step_budget: 4_000_000,
             max_rounds: 48,
+            use_dataflow_hints: true,
         }
     }
 

@@ -396,6 +396,20 @@ impl StudyReport {
                 if ev.lbd_evictions > 0 {
                     line = line.u64("lbd_evictions", ev.lbd_evictions);
                 }
+                if ev.branches_proven_independent > 0 {
+                    line = line.u64(
+                        "branches_proven_independent",
+                        ev.branches_proven_independent,
+                    );
+                }
+                if ev.independent_skips > 0 {
+                    line = line.u64("independent_skips", u64::from(ev.independent_skips));
+                }
+                if ev.static_slice_checked > 0 {
+                    line = line
+                        .u64("static_slice_checked", ev.static_slice_checked)
+                        .u64("static_slice_agreement", ev.static_slice_agreement);
+                }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
                 }
@@ -611,6 +625,35 @@ impl StudyReport {
                 out,
                 "SAT hot loop: {blockers} blocker skips, {evictions} LBD evictions."
             );
+        }
+
+        {
+            let mut proven = 0u64;
+            let mut skips = 0u64;
+            let mut checked = 0u64;
+            let mut agreed = 0u64;
+            for row in &self.rows {
+                for cell in &row.cells {
+                    let ev = &cell.attempt.evidence;
+                    proven += ev.branches_proven_independent;
+                    skips += u64::from(ev.independent_skips);
+                    checked += ev.static_slice_checked;
+                    agreed += ev.static_slice_agreement;
+                }
+            }
+            if proven + checked > 0 {
+                let _ = writeln!(out, "\n## Dataflow hints\n");
+                let _ = writeln!(
+                    out,
+                    "{proven} branch sites proven input-independent, \
+                     {skips} flip candidates skipped."
+                );
+                let _ = writeln!(
+                    out,
+                    "Slice cross-check: {agreed}/{checked} dynamic cones within \
+                     the static slice."
+                );
+            }
         }
 
         if let Some(hist) = metrics.hists.get("solver.query_ns") {
@@ -855,7 +898,14 @@ pub fn run_study_with(
             let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
             let hints = analysis
                 .as_ref()
-                .map(StaticHints::from_analysis)
+                .map(|a| {
+                    let h = StaticHints::from_analysis(a);
+                    if profile.use_dataflow_hints {
+                        h.with_dataflow(a)
+                    } else {
+                        h
+                    }
+                })
                 .unwrap_or_default();
             let t1 = std::time::Instant::now();
             // Observation window outside the containment boundary: a

@@ -158,6 +158,10 @@ const SCHEMA: &[TypeSchema] = &[
             ("steps_decoded", Kind::U64),
             ("blocker_skips", Kind::U64),
             ("lbd_evictions", Kind::U64),
+            ("branches_proven_independent", Kind::U64),
+            ("independent_skips", Kind::U64),
+            ("static_slice_checked", Kind::U64),
+            ("static_slice_agreement", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),

@@ -1,0 +1,124 @@
+//! Call-graph construction and interprocedural reachability.
+//!
+//! Nodes are function entry addresses from CFG recovery; edges come from
+//! the direct-call edges the recursive descent recorded. Indirect calls
+//! (`callr`) have no static callee here — the data-flow layer treats
+//! them conservatively instead of guessing edges.
+
+use crate::cfg::Cfg;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The program call graph over recovered function entries.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Caller entry -> callee entries (direct calls only).
+    pub callees: BTreeMap<u64, BTreeSet<u64>>,
+    /// Callee entry -> caller entries (the reverse edges).
+    pub callers: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the CFG's recorded call edges, keeping only
+    /// edges whose callee was actually recovered as a function.
+    #[must_use]
+    pub fn build(cfg: &Cfg) -> CallGraph {
+        let mut g = CallGraph::default();
+        for f in cfg.functions.keys() {
+            g.callees.entry(*f).or_default();
+            g.callers.entry(*f).or_default();
+        }
+        for &(caller, callee) in &cfg.call_edges {
+            if !cfg.functions.contains_key(&callee) {
+                continue;
+            }
+            g.callees.entry(caller).or_default().insert(callee);
+            g.callers.entry(callee).or_default().insert(caller);
+        }
+        g
+    }
+
+    /// Function entries transitively reachable from `roots` (inclusive)
+    /// along call edges.
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[u64]) -> BTreeSet<u64> {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut stack: Vec<u64> = roots.to_vec();
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            for &c in self.callees.get(&f).into_iter().flatten() {
+                if !seen.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Functions that can (transitively) call into any of `targets` —
+    /// the backward closure along caller edges, inclusive.
+    #[must_use]
+    pub fn can_reach(&self, targets: &[u64]) -> BTreeSet<u64> {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut stack: Vec<u64> = targets.to_vec();
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            for &c in self.callers.get(&f).into_iter().flatten() {
+                if !seen.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, Function};
+    use std::collections::BTreeMap;
+
+    fn cfg_with(edges: &[(u64, u64)]) -> Cfg {
+        let mut cfg = Cfg::default();
+        for &(a, b) in edges {
+            for e in [a, b] {
+                cfg.functions.entry(e).or_insert_with(|| Function {
+                    entry: e,
+                    name: format!("f{e}"),
+                    blocks: vec![e],
+                    idom: BTreeMap::new(),
+                    post_idom: BTreeMap::new(),
+                    loop_headers: Default::default(),
+                    loop_depth: BTreeMap::new(),
+                });
+            }
+            cfg.call_edges.insert((a, b));
+        }
+        cfg
+    }
+
+    #[test]
+    fn reachability_follows_call_chains_both_ways() {
+        // 1 -> 2 -> 3, 4 -> 3; 5 isolated.
+        let mut cfg = cfg_with(&[(1, 2), (2, 3), (4, 3)]);
+        cfg.functions.entry(5).or_insert_with(|| Function {
+            entry: 5,
+            name: "f5".into(),
+            blocks: vec![5],
+            idom: BTreeMap::new(),
+            post_idom: BTreeMap::new(),
+            loop_headers: Default::default(),
+            loop_depth: BTreeMap::new(),
+        });
+        let g = CallGraph::build(&cfg);
+        let fwd = g.reachable_from(&[1]);
+        assert_eq!(fwd, [1, 2, 3].into_iter().collect());
+        let back = g.can_reach(&[3]);
+        assert_eq!(back, [1, 2, 3, 4].into_iter().collect());
+        assert!(!g.reachable_from(&[5]).contains(&3));
+    }
+}

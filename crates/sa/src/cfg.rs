@@ -12,6 +12,7 @@
 //! first round they have none and are recorded as unresolved.
 
 use crate::code::CodeMap;
+use crate::dom;
 use bomblab_isa::{Insn, InsnClass};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -40,8 +41,13 @@ pub struct Function {
     pub blocks: Vec<u64>,
     /// Immediate dominator of each block (entry maps to itself).
     pub idom: BTreeMap<u64, u64>,
+    /// Immediate post-dominator of each block; [`dom::VIRTUAL_EXIT`]
+    /// is the tree root collecting every `ret`/`halt` block.
+    pub post_idom: BTreeMap<u64, u64>,
     /// Headers of natural loops (targets of back edges).
     pub loop_headers: BTreeSet<u64>,
+    /// Natural-loop nesting depth per block (absent = outside loops).
+    pub loop_depth: BTreeMap<u64, u32>,
 }
 
 /// Inputs that refine recovery across analysis rounds.
@@ -270,7 +276,9 @@ fn recover_function(
         name,
         blocks,
         idom: BTreeMap::new(),
+        post_idom: BTreeMap::new(),
         loop_headers: BTreeSet::new(),
+        loop_depth: BTreeMap::new(),
     };
     f.blocks.sort_unstable();
     compute_dominators(&mut f, &cfg.blocks);
@@ -283,100 +291,27 @@ fn finish_block(b: Block, blocks: &mut Vec<u64>, cfg: &mut Cfg) {
     cfg.blocks.entry(b.start).or_insert(b);
 }
 
-/// Iterative dominator computation (Cooper–Harvey–Kennedy) plus back-edge
-/// detection for loop headers.
+/// Dominator tree, post-dominator tree, and loop structure via [`dom`].
 fn compute_dominators(f: &mut Function, blocks: &BTreeMap<u64, Block>) {
     if !blocks.contains_key(&f.entry) {
         return; // the entry itself failed to decode
     }
-    // Reverse postorder from the entry.
-    let mut order = Vec::new();
-    let mut visited: BTreeSet<u64> = BTreeSet::new();
-    let mut stack = vec![(f.entry, false)];
-    while let Some((b, processed)) = stack.pop() {
-        if processed {
-            order.push(b);
-            continue;
-        }
-        if !visited.insert(b) {
-            continue;
-        }
-        stack.push((b, true));
-        for &s in blocks
+    let succs = |b: u64| -> Vec<u64> {
+        blocks
             .get(&b)
-            .map(|blk| blk.succs.as_slice())
+            .map(|blk| {
+                blk.succs
+                    .iter()
+                    .copied()
+                    .filter(|s| blocks.contains_key(s))
+                    .collect()
+            })
             .unwrap_or_default()
-        {
-            if !visited.contains(&s) && blocks.contains_key(&s) {
-                stack.push((s, false));
-            }
-        }
-    }
-    order.reverse();
-    let index: BTreeMap<u64, usize> = order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
-    let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-    for &b in &order {
-        for &s in &blocks[&b].succs {
-            preds.entry(s).or_default().push(b);
-        }
-    }
-    let mut idom: BTreeMap<u64, u64> = BTreeMap::new();
-    idom.insert(f.entry, f.entry);
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in order.iter().skip(1) {
-            let mut new = None;
-            for &p in preds.get(&b).into_iter().flatten() {
-                if !idom.contains_key(&p) {
-                    continue;
-                }
-                new = Some(match new {
-                    None => p,
-                    Some(n) => intersect(n, p, &idom, &index),
-                });
-            }
-            if let Some(n) = new {
-                if idom.get(&b) != Some(&n) {
-                    idom.insert(b, n);
-                    changed = true;
-                }
-            }
-        }
-    }
-    // Back edge u -> v where v dominates u.
-    for &u in &order {
-        for &v in &blocks[&u].succs {
-            let mut d = u;
-            loop {
-                if d == v {
-                    f.loop_headers.insert(v);
-                    break;
-                }
-                let Some(&up) = idom.get(&d) else { break };
-                if up == d {
-                    break;
-                }
-                d = up;
-            }
-        }
-    }
-    f.idom = idom;
-}
-
-fn intersect(
-    mut a: u64,
-    mut b: u64,
-    idom: &BTreeMap<u64, u64>,
-    index: &BTreeMap<u64, usize>,
-) -> u64 {
-    while a != b {
-        while index.get(&a) > index.get(&b) {
-            a = idom[&a];
-        }
-        while index.get(&b) > index.get(&a) {
-            b = idom[&b];
-        }
-    }
-    a
+    };
+    let tree = dom::dominators(f.entry, &succs);
+    let loops = dom::natural_loops(&tree, &succs);
+    f.loop_headers = loops.headers;
+    f.loop_depth = loops.depth;
+    f.idom = tree.idom;
+    f.post_idom = dom::post_dominators(f.entry, &succs).idom;
 }

@@ -1,0 +1,490 @@
+//! Reaching definitions and def-use chains over BVM registers and
+//! VSA-style resolved stack slots.
+//!
+//! Each recovered function gets its own flow graph. Definition sites are
+//! `(pc, location)` pairs; locations are the 32 integer registers, the
+//! 16 float registers, *resolved stack slots* (loads/stores through
+//! `sp`/`fp` plus a constant, where the frame offset is provable by a
+//! light intra-procedural stack-pointer analysis), and a single
+//! conservative `Mem` cell for everything else. Matching is sound, not
+//! precise: a `Mem` definition reaches every memory read, a slot read
+//! also consumes `Mem` definitions (a callee may have written the slot
+//! through a pointer), and calls/syscalls define `Mem`.
+//!
+//! The reaching-definitions fixpoint is the classic bitset worklist:
+//! `in[b] = ∪ out[pred]`, `out[b] = gen[b] ∪ (in[b] − kill[b])`. The
+//! converged `in` sets are retained so tests can assert idempotence
+//! (one more transfer round changes nothing).
+
+use crate::cfg::{Block, Function};
+use bomblab_isa::{Insn, Opcode, Reg};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// An abstract storage location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// Integer register by index.
+    Reg(u8),
+    /// Float register by index.
+    FReg(u8),
+    /// A stack slot at a provable frame offset (bytes relative to the
+    /// function-entry stack pointer; negative = below the entry sp).
+    Slot(i64),
+    /// Any other memory.
+    Mem,
+}
+
+/// How a definition came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefKind {
+    /// Synthesized at function entry (incoming argument / caller state).
+    Entry,
+    /// Written by the instruction at `pc`.
+    Insn,
+}
+
+/// One definition site.
+#[derive(Debug, Clone, Copy)]
+pub struct Def {
+    /// Address of the defining instruction (the entry pc for
+    /// [`DefKind::Entry`] definitions).
+    pub pc: u64,
+    /// The location written.
+    pub loc: Loc,
+    /// Entry-synthesized or real.
+    pub kind: DefKind,
+    /// The definition reads memory (a load/pop) — the taint pass
+    /// re-taints these when the global memory cell becomes tainted.
+    pub from_mem: bool,
+}
+
+/// Def-use facts for one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncFlow {
+    /// Function entry address.
+    pub entry: u64,
+    /// All definition sites, entry definitions first.
+    pub defs: Vec<Def>,
+    /// Definition index -> pcs of instructions using it.
+    pub def_uses: Vec<BTreeSet<u64>>,
+    /// pc -> definition indices reaching the uses at that instruction.
+    pub uses_at: BTreeMap<u64, Vec<usize>>,
+    /// pc -> definition indices the instruction generates.
+    pub insn_defs: BTreeMap<u64, Vec<usize>>,
+    /// Entry definition index per location.
+    pub entry_defs: BTreeMap<Loc, usize>,
+    /// Call sites: pc -> direct callee entry (`None` for `callr`).
+    pub calls: BTreeMap<u64, Option<u64>>,
+    /// `ret` instruction addresses (the return-value channel).
+    pub ret_pcs: BTreeSet<u64>,
+    /// Converged reaching-definitions bitset at each block entry.
+    pub block_in: BTreeMap<u64, Vec<u64>>,
+    gen: BTreeMap<u64, Vec<u64>>,
+    kill: BTreeMap<u64, Vec<u64>>,
+}
+
+/// Register uses and definitions of one instruction, with memory
+/// locations resolved against the current frame offsets.
+fn defs_uses(
+    insn: &Insn,
+    sp: Option<i64>,
+    fp: Option<i64>,
+    callee: impl Fn(&Insn) -> Option<u64>,
+) -> (Vec<Loc>, Vec<Loc>) {
+    use Insn::*;
+    let r = |reg: Reg| Loc::Reg(reg.index() as u8);
+    let f = |fr: bomblab_isa::FReg| Loc::FReg(fr.index() as u8);
+    let slot = |base: Reg, off: i32| -> Loc {
+        let frame = if base == Reg::SP {
+            sp
+        } else if base == Reg::FP {
+            fp
+        } else {
+            None
+        };
+        match frame {
+            Some(k) => Loc::Slot(k + i64::from(off)),
+            None => Loc::Mem,
+        }
+    };
+    // Call sites use every argument channel — the six integer argument
+    // registers plus all float registers (the float calling convention
+    // is not pinned down statically, so all of them may carry values).
+    let args: Vec<Loc> = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5]
+        .into_iter()
+        .map(r)
+        .chain((0..bomblab_isa::FReg::COUNT).map(|i| Loc::FReg(i as u8)))
+        .collect();
+    let _ = callee;
+    match *insn {
+        Alu3 { rd, rs, rt, .. } => (vec![r(rd)], vec![r(rs), r(rt)]),
+        AluI { rd, rs, .. } => (vec![r(rd)], vec![r(rs)]),
+        Mov { rd, rs } | Not { rd, rs } | Neg { rd, rs } => (vec![r(rd)], vec![r(rs)]),
+        Li { rd, .. } => (vec![r(rd)], vec![]),
+        Load { rd, base, off, .. } => (vec![r(rd)], vec![r(base), slot(base, off)]),
+        Store { src, base, off, .. } => (vec![slot(base, off)], vec![r(src), r(base)]),
+        Push { rs } => (vec![r(Reg::SP), slot(Reg::SP, -8)], vec![r(rs), r(Reg::SP)]),
+        Pop { rd } => (vec![r(rd), r(Reg::SP)], vec![r(Reg::SP), slot(Reg::SP, 0)]),
+        Branch { rs, rt, .. } => (vec![], vec![r(rs), r(rt)]),
+        Jmp { .. } | Nop => (vec![], vec![]),
+        Jr { rs } => (vec![], vec![r(rs)]),
+        Call { .. } => (vec![r(Reg::A0), Loc::FReg(0), r(Reg::RA), Loc::Mem], args),
+        Callr { rs } => {
+            let mut uses = vec![r(rs)];
+            uses.extend(args);
+            (vec![r(Reg::A0), Loc::FReg(0), r(Reg::RA), Loc::Mem], uses)
+        }
+        // `ret` uses `a0`/`f0` as the return-value channels so
+        // interprocedural taint can hop back to call sites.
+        Ret => (vec![], vec![r(Reg::RA), r(Reg::A0), Loc::FReg(0)]),
+        Sys => {
+            let mut uses = vec![r(Reg::SV)];
+            uses.extend(args);
+            (vec![r(Reg::A0), Loc::Mem], uses)
+        }
+        Halt => (vec![], vec![r(Reg::A0)]),
+        FAlu3 { fd, fs, ft, .. } => (vec![f(fd)], vec![f(fs), f(ft)]),
+        FAlu2 { fd, fs, .. } => (vec![f(fd)], vec![f(fs)]),
+        FLd { fd, base, off } => (vec![f(fd)], vec![r(base), slot(base, off)]),
+        FSt { fs, base, off } => (vec![slot(base, off)], vec![f(fs), r(base)]),
+        FLi { fd, .. } => (vec![f(fd)], vec![]),
+        FCvtSiToD { fd, rs } => (vec![f(fd)], vec![r(rs)]),
+        FCvtDToSi { rd, fs } => (vec![r(rd)], vec![f(fs)]),
+        FBranch { fs, ft, .. } => (vec![], vec![f(fs), f(ft)]),
+        FBits { rd, fs } => (vec![r(rd)], vec![f(fs)]),
+        FFromBits { fd, rs } => (vec![f(fd)], vec![r(rs)]),
+    }
+}
+
+/// Whether a definition of `def` can reach a use of `use_`. `Mem`
+/// definitions feed every memory read; slot reads also consume `Mem`.
+#[must_use]
+pub fn loc_matches(def: Loc, use_: Loc) -> bool {
+    match (def, use_) {
+        (a, b) if a == b => true,
+        (Loc::Mem, Loc::Slot(_)) | (Loc::Slot(_), Loc::Mem) => true,
+        _ => false,
+    }
+}
+
+/// Whether a definition of `def` *kills* earlier definitions of `prev`
+/// (strong update: same register or the exact same slot; `Mem` never
+/// kills anything).
+fn loc_kills(def: Loc, prev: Loc) -> bool {
+    def != Loc::Mem && def == prev
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1 << (i % 64)) != 0
+}
+
+/// Per-block stack-frame offsets (`sp` and `fp` relative to the entry
+/// stack pointer), or `None` when the offset is not provable.
+fn frame_offsets(
+    f: &Function,
+    blocks: &BTreeMap<u64, Block>,
+) -> BTreeMap<u64, (Option<i64>, Option<i64>)> {
+    let mut at_entry: BTreeMap<u64, (Option<i64>, Option<i64>)> = BTreeMap::new();
+    at_entry.insert(f.entry, (Some(0), None));
+    let mut work = vec![f.entry];
+    while let Some(b) = work.pop() {
+        let Some(block) = blocks.get(&b) else {
+            continue;
+        };
+        let (mut sp, mut fp) = at_entry.get(&b).copied().unwrap_or((None, None));
+        for &(_, insn) in &block.insns {
+            step_frame(&insn, &mut sp, &mut fp);
+        }
+        for &s in &block.succs {
+            if !f.blocks.contains(&s) {
+                continue;
+            }
+            let next = (sp, fp);
+            match at_entry.get(&s) {
+                None => {
+                    at_entry.insert(s, next);
+                    work.push(s);
+                }
+                Some(&prev) if prev == next => {}
+                Some(&prev) => {
+                    // Conflicting frame shapes at a join: degrade.
+                    let merged = (
+                        if prev.0 == next.0 { prev.0 } else { None },
+                        if prev.1 == next.1 { prev.1 } else { None },
+                    );
+                    if merged != prev {
+                        at_entry.insert(s, merged);
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+    at_entry
+}
+
+/// Advances the tracked `sp`/`fp` frame offsets over one instruction.
+fn step_frame(insn: &Insn, sp: &mut Option<i64>, fp: &mut Option<i64>) {
+    match *insn {
+        Insn::Push { .. } => *sp = sp.map(|k| k - 8),
+        Insn::Pop { rd } => {
+            *sp = sp.map(|k| k + 8);
+            if rd == Reg::FP {
+                *fp = None;
+            }
+            if rd == Reg::SP {
+                *sp = None;
+            }
+        }
+        Insn::AluI {
+            op: Opcode::AddI,
+            rd,
+            rs,
+            imm,
+        } if rd == Reg::SP && rs == Reg::SP => *sp = sp.map(|k| k + i64::from(imm)),
+        Insn::Mov { rd, rs } if rd == Reg::FP && rs == Reg::SP => *fp = *sp,
+        _ => {
+            let (defs, _) = defs_uses(insn, None, None, |_| None);
+            if defs.contains(&Loc::Reg(Reg::SP.index() as u8)) {
+                *sp = None;
+            }
+            if defs.contains(&Loc::Reg(Reg::FP.index() as u8)) {
+                *fp = None;
+            }
+        }
+    }
+}
+
+/// Builds def-use facts for one recovered function.
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn analyze_function(f: &Function, blocks: &BTreeMap<u64, Block>) -> FuncFlow {
+    let mut flow = FuncFlow {
+        entry: f.entry,
+        ..FuncFlow::default()
+    };
+    if !blocks.contains_key(&f.entry) {
+        return flow;
+    }
+    let frames = frame_offsets(f, blocks);
+    let member: BTreeSet<u64> = f.blocks.iter().copied().collect();
+
+    // Entry definitions: every integer and float register plus the
+    // memory cell (float registers carry cross-call float arguments,
+    // e.g. `sin` taking `x` in `f0`).
+    for i in 0..Reg::COUNT {
+        let idx = flow.defs.len();
+        flow.defs.push(Def {
+            pc: f.entry,
+            loc: Loc::Reg(i as u8),
+            kind: DefKind::Entry,
+            from_mem: false,
+        });
+        flow.entry_defs.insert(Loc::Reg(i as u8), idx);
+    }
+    for i in 0..bomblab_isa::FReg::COUNT {
+        let idx = flow.defs.len();
+        flow.defs.push(Def {
+            pc: f.entry,
+            loc: Loc::FReg(i as u8),
+            kind: DefKind::Entry,
+            from_mem: false,
+        });
+        flow.entry_defs.insert(Loc::FReg(i as u8), idx);
+    }
+    let mem_entry = flow.defs.len();
+    flow.defs.push(Def {
+        pc: f.entry,
+        loc: Loc::Mem,
+        kind: DefKind::Entry,
+        from_mem: false,
+    });
+    flow.entry_defs.insert(Loc::Mem, mem_entry);
+
+    // First pass: enumerate instruction definitions in address order,
+    // tracking frame offsets so slots resolve deterministically.
+    for &b in &f.blocks {
+        let Some(block) = blocks.get(&b) else {
+            continue;
+        };
+        let (mut sp, mut fp) = frames.get(&b).copied().unwrap_or((None, None));
+        for &(pc, insn) in &block.insns {
+            let from_mem = matches!(
+                insn,
+                Insn::Load { .. } | Insn::Pop { .. } | Insn::FLd { .. }
+            );
+            let (defs, _) = defs_uses(&insn, sp, fp, |_| None);
+            for loc in defs {
+                let idx = flow.defs.len();
+                flow.defs.push(Def {
+                    pc,
+                    loc,
+                    kind: DefKind::Insn,
+                    from_mem,
+                });
+                flow.insn_defs.entry(pc).or_default().push(idx);
+            }
+            match insn {
+                Insn::Call { rel } => {
+                    flow.calls
+                        .insert(pc, Some(pc.wrapping_add_signed(rel.into())));
+                }
+                Insn::Callr { .. } => {
+                    flow.calls.insert(pc, None);
+                }
+                Insn::Ret => {
+                    flow.ret_pcs.insert(pc);
+                }
+                _ => {}
+            }
+            step_frame(&insn, &mut sp, &mut fp);
+        }
+    }
+    flow.def_uses = vec![BTreeSet::new(); flow.defs.len()];
+    let words = flow.defs.len().div_ceil(64);
+
+    // gen/kill per block.
+    for &b in &f.blocks {
+        let Some(block) = blocks.get(&b) else {
+            continue;
+        };
+        let mut gen = vec![0u64; words];
+        let mut kill = vec![0u64; words];
+        for &(pc, _) in &block.insns {
+            for &d in flow.insn_defs.get(&pc).into_iter().flatten() {
+                let loc = flow.defs[d].loc;
+                for (j, other) in flow.defs.iter().enumerate() {
+                    if j != d && loc_kills(loc, other.loc) {
+                        bit_set(&mut kill, j);
+                        gen[j / 64] &= !(1 << (j % 64));
+                    }
+                }
+                bit_set(&mut gen, d);
+            }
+        }
+        flow.gen.insert(b, gen);
+        flow.kill.insert(b, kill);
+    }
+
+    // Worklist fixpoint.
+    let mut block_in: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut block_out: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut entry_in = vec![0u64; words];
+    for &d in flow.entry_defs.values() {
+        bit_set(&mut entry_in, d);
+    }
+    block_in.insert(f.entry, entry_in);
+    let mut work: Vec<u64> = vec![f.entry];
+    while let Some(b) = work.pop() {
+        let input = block_in.get(&b).cloned().unwrap_or_else(|| vec![0; words]);
+        let mut out = input.clone();
+        if let (Some(g), Some(k)) = (flow.gen.get(&b), flow.kill.get(&b)) {
+            for w in 0..words {
+                out[w] = g[w] | (input[w] & !k[w]);
+            }
+        }
+        if block_out.get(&b) == Some(&out) {
+            continue;
+        }
+        block_out.insert(b, out.clone());
+        for &s in blocks.get(&b).map_or(&[][..], |bl| bl.succs.as_slice()) {
+            if !member.contains(&s) {
+                continue;
+            }
+            let sin = block_in.entry(s).or_insert_with(|| vec![0; words]);
+            let mut changed = false;
+            for w in 0..words {
+                let merged = sin[w] | out[w];
+                if merged != sin[w] {
+                    sin[w] = merged;
+                    changed = true;
+                }
+            }
+            if changed || !block_out.contains_key(&s) {
+                work.push(s);
+            }
+        }
+    }
+
+    // Second pass: def-use edges, walking each block with the live set.
+    for &b in &f.blocks {
+        let Some(block) = blocks.get(&b) else {
+            continue;
+        };
+        let Some(input) = block_in.get(&b) else {
+            continue; // unreachable block: no live defs flow into it
+        };
+        let mut live = input.clone();
+        let (mut sp, mut fp) = frames.get(&b).copied().unwrap_or((None, None));
+        for &(pc, insn) in &block.insns {
+            let (_, uses) = defs_uses(&insn, sp, fp, |_| None);
+            for use_loc in &uses {
+                for (j, def) in flow.defs.iter().enumerate() {
+                    if bit_get(&live, j) && loc_matches(def.loc, *use_loc) {
+                        flow.def_uses[j].insert(pc);
+                        let slot = flow.uses_at.entry(pc).or_default();
+                        if !slot.contains(&j) {
+                            slot.push(j);
+                        }
+                    }
+                }
+            }
+            for &d in flow.insn_defs.get(&pc).into_iter().flatten() {
+                let loc = flow.defs[d].loc;
+                for (j, other) in flow.defs.iter().enumerate() {
+                    if j != d && loc_kills(loc, other.loc) {
+                        live[j / 64] &= !(1 << (j % 64));
+                    }
+                }
+                bit_set(&mut live, d);
+            }
+            step_frame(&insn, &mut sp, &mut fp);
+        }
+    }
+    flow.block_in = block_in;
+    flow
+}
+
+impl FuncFlow {
+    /// Re-applies one full transfer round to the converged `block_in`
+    /// sets and reports whether anything would still change — the
+    /// idempotence obligation of a correct fixpoint.
+    #[must_use]
+    pub fn fixpoint_stable(&self, f: &Function, blocks: &BTreeMap<u64, Block>) -> bool {
+        let words = self.defs.len().div_ceil(64);
+        let member: BTreeSet<u64> = f.blocks.iter().copied().collect();
+        for (&b, input) in &self.block_in {
+            let mut out = input.clone();
+            if let (Some(g), Some(k)) = (self.gen.get(&b), self.kill.get(&b)) {
+                for w in 0..words {
+                    out[w] = g[w] | (input[w] & !k[w]);
+                }
+            }
+            for &s in blocks.get(&b).map_or(&[][..], |bl| bl.succs.as_slice()) {
+                if !member.contains(&s) {
+                    continue;
+                }
+                let Some(sin) = self.block_in.get(&s) else {
+                    return false; // an edge into a block the fixpoint missed
+                };
+                for w in 0..words {
+                    if out[w] & !sin[w] != 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Total number of def-use edges (for summaries).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.def_uses.iter().map(BTreeSet::len).sum()
+    }
+}

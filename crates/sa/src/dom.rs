@@ -1,0 +1,332 @@
+//! Dominator and post-dominator trees plus natural-loop structure.
+//!
+//! The forward dominator computation is the iterative Cooper–Harvey–
+//! Kennedy algorithm over reverse postorder (the same scheme CFG
+//! recovery used inline before this module existed). Post-dominators
+//! run the identical algorithm on the reversed graph, rooted at a
+//! virtual exit node that collects every block with no successors.
+//! Natural loops come from back edges (`u -> v` where `v` dominates
+//! `u`); per-block nesting depth counts the distinct loop bodies a
+//! block belongs to.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sentinel for the virtual exit node of the post-dominator tree. No
+/// real block can live here: it is not a valid text address.
+pub const VIRTUAL_EXIT: u64 = u64::MAX;
+
+/// A dominator (or post-dominator) tree over block start addresses.
+#[derive(Debug, Clone, Default)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable node; the root maps to
+    /// itself. Nodes unreachable from the root are absent.
+    pub idom: BTreeMap<u64, u64>,
+    /// Reverse postorder from the root (the iteration order used).
+    pub order: Vec<u64>,
+}
+
+impl DomTree {
+    /// Whether `a` dominates `b` (reflexively) in this tree.
+    #[must_use]
+    pub fn dominates(&self, a: u64, b: u64) -> bool {
+        let mut d = b;
+        loop {
+            if d == a {
+                return true;
+            }
+            let Some(&up) = self.idom.get(&d) else {
+                return false;
+            };
+            if up == d {
+                return false;
+            }
+            d = up;
+        }
+    }
+}
+
+/// Computes the dominator tree of the graph reachable from `root`.
+/// `succs_of` returns the successor list of a node; successors it does
+/// not know must simply be absent from the returned list.
+#[must_use]
+pub fn dominators(root: u64, succs_of: &dyn Fn(u64) -> Vec<u64>) -> DomTree {
+    // Reverse postorder from the root (explicit stack, post-visit marks).
+    let mut order = Vec::new();
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    let mut stack = vec![(root, false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            order.push(b);
+            continue;
+        }
+        if !visited.insert(b) {
+            continue;
+        }
+        stack.push((b, true));
+        for s in succs_of(b) {
+            if !visited.contains(&s) {
+                stack.push((s, false));
+            }
+        }
+    }
+    order.reverse();
+    let index: BTreeMap<u64, usize> = order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &b in &order {
+        for s in succs_of(b) {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut idom: BTreeMap<u64, u64> = BTreeMap::new();
+    idom.insert(root, root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new = None;
+            for &p in preds.get(&b).into_iter().flatten() {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new = Some(match new {
+                    None => p,
+                    Some(n) => intersect(n, p, &idom, &index),
+                });
+            }
+            if let Some(n) = new {
+                if idom.get(&b) != Some(&n) {
+                    idom.insert(b, n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    DomTree { idom, order }
+}
+
+fn intersect(
+    mut a: u64,
+    mut b: u64,
+    idom: &BTreeMap<u64, u64>,
+    index: &BTreeMap<u64, usize>,
+) -> u64 {
+    while a != b {
+        while index.get(&a) > index.get(&b) {
+            a = idom[&a];
+        }
+        while index.get(&b) > index.get(&a) {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Computes the post-dominator tree of the graph reachable from `root`,
+/// rooted at [`VIRTUAL_EXIT`]. Every reachable node with no successors
+/// (a `ret` / `halt` block) gets an edge to the virtual exit; a function
+/// whose every path loops forever has no exits, and its post-dominator
+/// tree contains only the virtual root.
+#[must_use]
+pub fn post_dominators(root: u64, succs_of: &dyn Fn(u64) -> Vec<u64>) -> DomTree {
+    // Collect the reachable node set and the reversed edges.
+    let mut nodes: BTreeSet<u64> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(b) = stack.pop() {
+        if !nodes.insert(b) {
+            continue;
+        }
+        for s in succs_of(b) {
+            stack.push(s);
+        }
+    }
+    let mut rev: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut exits: Vec<u64> = Vec::new();
+    for &b in &nodes {
+        let succs = succs_of(b);
+        if succs.is_empty() {
+            exits.push(b);
+        }
+        for s in succs {
+            rev.entry(s).or_default().push(b);
+        }
+    }
+    rev.insert(VIRTUAL_EXIT, exits);
+    dominators(VIRTUAL_EXIT, &|b| rev.get(&b).cloned().unwrap_or_default())
+}
+
+/// Natural-loop structure: headers and per-block nesting depth.
+#[derive(Debug, Clone, Default)]
+pub struct Loops {
+    /// Targets of back edges.
+    pub headers: BTreeSet<u64>,
+    /// Number of distinct natural-loop bodies containing each block
+    /// (blocks outside every loop are absent).
+    pub depth: BTreeMap<u64, u32>,
+}
+
+/// Finds natural loops from the back edges of `dom`. Loops sharing a
+/// header are merged (their bodies union) before depth counting, so a
+/// `continue` edge does not double-count nesting.
+#[must_use]
+pub fn natural_loops(dom: &DomTree, succs_of: &dyn Fn(u64) -> Vec<u64>) -> Loops {
+    let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &b in &dom.order {
+        for s in succs_of(b) {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    // Header -> union of natural-loop bodies for its back edges.
+    let mut bodies: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for &u in &dom.order {
+        for v in succs_of(u) {
+            if !dom.dominates(v, u) {
+                continue;
+            }
+            let body = bodies.entry(v).or_default();
+            body.insert(v);
+            // Backward walk from the latch, stopping at the header.
+            let mut stack = vec![u];
+            while let Some(n) = stack.pop() {
+                if !body.insert(n) {
+                    continue;
+                }
+                for &p in preds.get(&n).into_iter().flatten() {
+                    if !body.contains(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    let mut loops = Loops::default();
+    for (&header, body) in &bodies {
+        loops.headers.insert(header);
+        for &b in body {
+            *loops.depth.entry(b).or_insert(0) += 1;
+        }
+    }
+    loops
+}
+
+/// Naive all-paths reference: `Dom(n) = {n} ∪ ⋂ Dom(pred(n))`, iterated
+/// to fixpoint over explicit dominator *sets*. Quadratic and only for
+/// validating [`dominators`] in property tests.
+#[must_use]
+pub fn naive_dominators(
+    root: u64,
+    succs_of: &dyn Fn(u64) -> Vec<u64>,
+) -> BTreeMap<u64, BTreeSet<u64>> {
+    let mut nodes: BTreeSet<u64> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(b) = stack.pop() {
+        if !nodes.insert(b) {
+            continue;
+        }
+        for s in succs_of(b) {
+            stack.push(s);
+        }
+    }
+    let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &b in &nodes {
+        for s in succs_of(b) {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut dom: BTreeMap<u64, BTreeSet<u64>> = nodes
+        .iter()
+        .map(|&n| {
+            if n == root {
+                (n, [n].into_iter().collect())
+            } else {
+                (n, nodes.clone())
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in &nodes {
+            if n == root {
+                continue;
+            }
+            let mut new: Option<BTreeSet<u64>> = None;
+            for &p in preds.get(&n).into_iter().flatten() {
+                let pd = &dom[&p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(n);
+            if dom[&n] != new {
+                dom.insert(n, new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(u64, u64)]) -> BTreeMap<u64, Vec<u64>> {
+        let mut g: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(a, b) in edges {
+            g.entry(a).or_default().push(b);
+            g.entry(b).or_default();
+        }
+        g
+    }
+
+    #[test]
+    fn diamond_dominators_and_postdominators() {
+        // 1 -> {2, 3} -> 4
+        let g = graph(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let succs = |b: u64| g.get(&b).cloned().unwrap_or_default();
+        let dom = dominators(1, &succs);
+        assert_eq!(dom.idom[&4], 1, "join dominated by the fork, not an arm");
+        assert!(dom.dominates(1, 4) && !dom.dominates(2, 4));
+        let pdom = post_dominators(1, &succs);
+        assert_eq!(pdom.idom[&1], 4, "the join post-dominates the fork");
+        assert!(pdom.dominates(4, 2));
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        // 1 -> 2 -> 3 -> 2 (inner), 3 -> 1 (outer via back edge to 1), 3 -> 4.
+        let g = graph(&[(1, 2), (2, 3), (3, 2), (3, 1), (3, 4)]);
+        let succs = |b: u64| g.get(&b).cloned().unwrap_or_default();
+        let dom = dominators(1, &succs);
+        let loops = natural_loops(&dom, &succs);
+        assert!(loops.headers.contains(&1) && loops.headers.contains(&2));
+        assert_eq!(loops.depth.get(&3), Some(&2), "inner block in both loops");
+        assert_eq!(loops.depth.get(&4), None, "exit outside every loop");
+    }
+
+    #[test]
+    fn chk_agrees_with_naive_reference_on_irreducible_graph() {
+        // Irreducible: two entries into the {3,4} cycle.
+        let g = graph(&[(1, 2), (1, 3), (2, 4), (3, 4), (4, 3), (4, 5)]);
+        let succs = |b: u64| g.get(&b).cloned().unwrap_or_default();
+        let fast = dominators(1, &succs);
+        let naive = naive_dominators(1, &succs);
+        for (&n, doms) in &naive {
+            for &d in doms {
+                assert!(fast.dominates(d, n), "naive says {d} dom {n}");
+            }
+            // And the idom chain is a subset of the naive set.
+            let mut c = n;
+            loop {
+                assert!(doms.contains(&c), "fast chain node {c} not in naive({n})");
+                let up = fast.idom[&c];
+                if up == c {
+                    break;
+                }
+                c = up;
+            }
+        }
+    }
+}

@@ -21,9 +21,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod code;
+pub mod dataflow;
+pub mod dom;
 pub mod lints;
+pub mod taint;
 pub mod vsa;
 
 pub use lints::{predict, Anchors, Capabilities, Facts, Lint, LintKind, Stage, Style, TrapModel};
@@ -59,7 +63,23 @@ pub struct Analysis {
     /// Whether the resolve pass was kept (its store cover stayed within
     /// the collect pass's cover) or discarded for the conservative one.
     pub resolve_sound: bool,
+    /// Interprocedural data-flow products (call graph, def-use chains,
+    /// static taint reachability).
+    pub dataflow: Dataflow,
     code: code::CodeMap,
+}
+
+/// The interprocedural data-flow layer built on top of the final CFG/VSA
+/// round: call graph, per-function def-use chains, and the static taint
+/// closure with its engine-facing products.
+#[derive(Debug, Clone, Default)]
+pub struct Dataflow {
+    /// The program call graph.
+    pub graph: callgraph::CallGraph,
+    /// Def-use facts per function entry.
+    pub flows: BTreeMap<u64, dataflow::FuncFlow>,
+    /// Static taint reachability and derived flip hints.
+    pub taint: taint::StaticTaint,
 }
 
 /// Analyzes `exe` (linked against optional `lib`) under the four paper
@@ -79,6 +99,14 @@ pub fn analyze_with(exe: &Image, lib: Option<&Image>, profiles: &[Capabilities])
         bomblab_obs::counter("sa.cfg_blocks", analysis.cfg.blocks.len() as u64);
         bomblab_obs::counter("sa.lints", analysis.lints.len() as u64);
         bomblab_obs::counter("sa.rounds", analysis.rounds as u64);
+        bomblab_obs::counter(
+            "sa.branches_independent",
+            analysis.dataflow.taint.independent.len() as u64,
+        );
+        bomblab_obs::counter(
+            "sa.branches_tainted",
+            analysis.dataflow.taint.tainted_branches.len() as u64,
+        );
     }
     analysis
 }
@@ -155,11 +183,28 @@ fn analyze_inner(exe: &Image, lib: Option<&Image>, profiles: &[Capabilities]) ->
     }
 
     let (facts, anchors) = distill(&code, &graph, &out);
-    let lint_list = lints::lints(&facts, &anchors, profiles);
+    let mut lint_list = lints::lints(&facts, &anchors, profiles);
     let predictions = profiles
         .iter()
         .map(|c| (c.name.clone(), predict(&facts, c)))
         .collect();
+    let flow = build_dataflow(&code, &graph, &out, profiles);
+    for race in &flow.taint.races {
+        lint_list.push(Lint {
+            kind: LintKind::SharedMemRace {
+                load_pc: race.load_pc,
+            },
+            pc: race.store_pc,
+            detail: format!(
+                "store races load at {:#x} on [{:#x}, {:#x}]",
+                race.load_pc, race.lo, race.hi
+            ),
+            stages: profiles
+                .iter()
+                .map(|c| (c.name.clone(), Stage::Solved))
+                .collect(),
+        });
+    }
     Analysis {
         entry: exe.entry,
         cfg: graph,
@@ -170,7 +215,88 @@ fn analyze_inner(exe: &Image, lib: Option<&Image>, profiles: &[Capabilities]) ->
         predictions,
         rounds,
         resolve_sound,
+        dataflow: flow,
         code,
+    }
+}
+
+/// Runs the data-flow layer (call graph, def-use, taint closure) on the
+/// final refinement round's CFG and VSA report.
+fn build_dataflow(
+    code: &code::CodeMap,
+    graph: &cfg::Cfg,
+    out: &vsa::VsaOut,
+    _profiles: &[Capabilities],
+) -> Dataflow {
+    let timer = bomblab_obs::start();
+    let cg = callgraph::CallGraph::build(graph);
+    if let Some(t0) = timer {
+        bomblab_obs::span_ns("sa.callgraph", t0.elapsed().as_nanos() as u64);
+    }
+
+    let timer = bomblab_obs::start();
+    let flows: BTreeMap<u64, dataflow::FuncFlow> = graph
+        .functions
+        .iter()
+        .map(|(&e, f)| (e, dataflow::analyze_function(f, &graph.blocks)))
+        .collect();
+    if let Some(t0) = timer {
+        bomblab_obs::span_ns("sa.dataflow", t0.elapsed().as_nanos() as u64);
+        bomblab_obs::counter(
+            "sa.du_edges",
+            flows
+                .values()
+                .map(dataflow::FuncFlow::edge_count)
+                .sum::<usize>() as u64,
+        );
+    }
+
+    let timer = bomblab_obs::start();
+    let bomb_entries: BTreeSet<u64> = graph
+        .functions
+        .keys()
+        .filter(|&&e| code.name_of(e) == "bomb_boom")
+        .copied()
+        .collect();
+    let parallel_roots: Vec<u64> = out
+        .extra_roots
+        .iter()
+        .filter(|(_, n)| n.starts_with("thread_entry"))
+        .map(|(&a, _)| a)
+        .collect();
+    let exit_sites: BTreeSet<u64> = out
+        .sys_sites
+        .iter()
+        .filter(|(_, s)| {
+            s.sv_point
+                && !s.sv_tainted
+                && !s.nums.is_empty()
+                && s.nums
+                    .iter()
+                    .all(|&n| n == bomblab_isa::sys::EXIT || n == bomblab_isa::sys::THREAD_EXIT)
+        })
+        .map(|(&pc, _)| pc)
+        .collect();
+    let taint_out = taint::analyze(&taint::TaintInput {
+        cfg: graph,
+        flows: &flows,
+        graph: &cg,
+        tainted_defs: &out.tainted_defs,
+        branch_taint: &out.branch_taint,
+        static_stores: &out.static_stores,
+        static_loads: &out.static_loads,
+        bomb_entries: &bomb_entries,
+        parallel_roots: &parallel_roots,
+        fork_sites: &out.fork_sites,
+        exit_sites: &exit_sites,
+    });
+    if let Some(t0) = timer {
+        bomblab_obs::span_ns("sa.taint", t0.elapsed().as_nanos() as u64);
+    }
+    Dataflow {
+        graph: cg,
+        flows,
+        taint: taint_out,
     }
 }
 
@@ -381,12 +507,56 @@ impl Analysis {
         )
     }
 
+    /// One-line deterministic data-flow summary, the unit of the
+    /// `--dataflow` golden snapshot tests.
+    #[must_use]
+    pub fn dataflow_summary(&self) -> String {
+        let t = &self.dataflow.taint;
+        let du_edges: usize = self
+            .dataflow
+            .flows
+            .values()
+            .map(dataflow::FuncFlow::edge_count)
+            .sum();
+        let call_edges: usize = self
+            .dataflow
+            .graph
+            .callees
+            .values()
+            .map(BTreeSet::len)
+            .sum();
+        let slice_pcs: usize = t.slices.values().map(BTreeSet::len).sum();
+        format!(
+            "branches={} tainted={} independent={} du_edges={} call_edges={} slice_pcs={} races={} sound={}",
+            t.branch_sites.len(),
+            t.tainted_branches.len(),
+            t.independent.len(),
+            du_edges,
+            call_edges,
+            slice_pcs,
+            t.races.len(),
+            u8::from(self.resolve_sound),
+        )
+    }
+
     /// Objdump-style annotated listing of the executable's text: every
     /// recovered function with block leaders, instructions, and lint
     /// annotations anchored at their addresses.
     #[must_use]
-    #[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
     pub fn listing(&self) -> String {
+        self.listing_inner(false)
+    }
+
+    /// [`Analysis::listing`] plus per-branch data-flow annotations:
+    /// taint source mask and seed distance, flip priority, and proven
+    /// input-independence.
+    #[must_use]
+    pub fn listing_dataflow(&self) -> String {
+        self.listing_inner(true)
+    }
+
+    #[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+    fn listing_inner(&self, with_dataflow: bool) -> String {
         let mut notes: BTreeMap<u64, Vec<String>> = BTreeMap::new();
         for lint in &self.lints {
             let stages: Vec<String> = lint
@@ -415,6 +585,29 @@ impl Analysis {
                 "branch: {} edge infeasible",
                 if taken { "taken" } else { "fall-through" }
             ));
+        }
+        if with_dataflow {
+            let t = &self.dataflow.taint;
+            for &pc in &t.branch_sites {
+                if pc >= layout::LIB_TEXT_BASE {
+                    continue;
+                }
+                let prio = t.priority.get(&pc).copied().unwrap_or(0);
+                let note = if let Some(mask) = t.tainted_branches.get(&pc) {
+                    let dist = t.distance.get(&pc).copied().unwrap_or(0);
+                    let slice = t.slices.get(&pc).map_or(0, BTreeSet::len);
+                    format!("taint: mask={mask:#04b} dist={dist} slice={slice} prio={prio}")
+                } else {
+                    format!("taint: input-independent prio={prio}")
+                };
+                notes.entry(pc).or_default().push(note);
+            }
+            for race in &t.races {
+                notes.entry(race.store_pc).or_default().push(format!(
+                    "race: store vs load at {:#x} on [{:#x}, {:#x}]",
+                    race.load_pc, race.lo, race.hi
+                ));
+            }
         }
 
         let mut s = String::new();

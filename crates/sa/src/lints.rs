@@ -292,6 +292,13 @@ pub enum LintKind {
     ArgvLength,
     /// A division whose divisor is input-derived may trap.
     TrapDivision,
+    /// A static store/load pair on overlapping addresses where one side
+    /// runs in thread-reachable code (informational — not a challenge
+    /// family, so it never moves a stage prediction).
+    SharedMemRace {
+        /// The racing load's address.
+        load_pc: u64,
+    },
 }
 
 impl LintKind {
@@ -314,6 +321,7 @@ impl LintKind {
             LintKind::MissingSource { .. } => "missing-source",
             LintKind::ArgvLength => "argv-length",
             LintKind::TrapDivision => "trap-division",
+            LintKind::SharedMemRace { .. } => "shared-mem-race",
         }
     }
 }

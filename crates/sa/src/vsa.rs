@@ -266,6 +266,21 @@ pub struct VsaOut {
     pub extra_roots: BTreeMap<u64, String>,
     /// The program loads argv bytes (has a symbolic input source).
     pub loads_argv: bool,
+    /// Conditional-branch sites (incl. float branches) whose condition
+    /// operands carry taint, with the union of their `SRC_*` bits.
+    pub branch_taint: BTreeMap<u64, u8>,
+    /// Instructions that *define* a tainted value from outside the
+    /// register file — loads of tainted cells, `sys` returns, tainted
+    /// pops. These seed the def-use taint closure.
+    pub tainted_defs: BTreeMap<u64, u8>,
+    /// Stores into static data, pc -> written `(lo, hi)` byte range
+    /// (bounded addresses only). Raw material for race detection.
+    pub static_stores: BTreeMap<u64, (u64, u64)>,
+    /// Loads from static data, pc -> read `(lo, hi)` byte range.
+    pub static_loads: BTreeMap<u64, (u64, u64)>,
+    /// `fork` syscall sites: code after one runs in both the parent and
+    /// the child, so mutually unreachable post-fork arms are concurrent.
+    pub fork_sites: BTreeSet<u64>,
 }
 
 impl VsaOut {
@@ -613,6 +628,23 @@ impl<'a> Vsa<'a> {
         self.out.tainted_lib_calls.extend(r.tainted_lib_calls);
         self.out.extra_roots.extend(r.extra_roots);
         self.out.loads_argv |= r.loads_argv;
+        for (pc, src) in r.branch_taint {
+            *self.out.branch_taint.entry(pc).or_insert(0) |= src;
+        }
+        for (pc, src) in r.tainted_defs {
+            *self.out.tainted_defs.entry(pc).or_insert(0) |= src;
+        }
+        for (pc, (lo, hi)) in r.static_stores {
+            let e = self.out.static_stores.entry(pc).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        for (pc, (lo, hi)) in r.static_loads {
+            let e = self.out.static_loads.entry(pc).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        self.out.fork_sites.extend(r.fork_sites);
     }
 
     /// Abstractly executes one block. When `report` is given, facts are
@@ -673,11 +705,16 @@ impl<'a> Vsa<'a> {
             Insn::Li { rd, imm } => st.set(rd, AVal::point(imm)),
             Insn::Load { op, rd, base, off } => {
                 let addr = offset(&st.get(base), off);
+                self.record_static_access(pc, &addr, store_width(op), false, report);
                 let v = self.load(pc, op, &addr, report);
+                if let (Some(m), Some(r)) = (v.taint, report.as_deref_mut()) {
+                    *r.tainted_defs.entry(pc).or_insert(0) |= m.src;
+                }
                 st.set(rd, v);
             }
             Insn::Store { op, src, base, off } => {
                 let addr = offset(&st.get(base), off);
+                self.record_static_access(pc, &addr, store_width(op), true, report);
                 self.store(&addr, store_width(op), st.get(src).taint);
             }
             Insn::Push { rs } => {
@@ -708,6 +745,9 @@ impl<'a> Vsa<'a> {
             Insn::Pop { rd } => {
                 let sp = st.get(Reg::SP);
                 let taint = self.region_taint.get(&Region::Stack).copied();
+                if let (Some(m), Some(r)) = (taint, report.as_deref_mut()) {
+                    *r.tainted_defs.entry(pc).or_insert(0) |= m.src;
+                }
                 st.set(
                     rd,
                     AVal {
@@ -737,6 +777,7 @@ impl<'a> Vsa<'a> {
                     }
                     if let Some(m) = taint_join(a.taint, b.taint) {
                         r.branch_src |= m.src;
+                        *r.branch_taint.entry(pc).or_insert(0) |= m.src;
                     }
                     let fd_vs_err = |v: &AVal, other: &AVal| {
                         v.taint.is_some_and(|m| m.src & SRC_FD != 0)
@@ -815,11 +856,16 @@ impl<'a> Vsa<'a> {
             Insn::FAlu2 { fd, fs, .. } => st.fregs[fd.index()] = st.fregs[fs.index()],
             Insn::FLd { fd, base, off } => {
                 let addr = offset(&st.get(base), off);
+                self.record_static_access(pc, &addr, 8, false, report);
                 let v = self.load(pc, Opcode::Ld, &addr, report);
+                if let (Some(m), Some(r)) = (v.taint, report.as_deref_mut()) {
+                    *r.tainted_defs.entry(pc).or_insert(0) |= m.src;
+                }
                 st.fregs[fd.index()] = v.taint;
             }
             Insn::FSt { fs, base, off } => {
                 let addr = offset(&st.get(base), off);
+                self.record_static_access(pc, &addr, 8, true, report);
                 self.store(&addr, 8, st.fregs[fs.index()]);
             }
             Insn::FLi { fd, .. } => st.fregs[fd.index()] = None,
@@ -845,6 +891,7 @@ impl<'a> Vsa<'a> {
                 if let Some(r) = report {
                     if let Some(m) = taint_join(st.fregs[fs.index()], st.fregs[ft.index()]) {
                         r.branch_src |= m.src;
+                        *r.branch_taint.entry(pc).or_insert(0) |= m.src;
                         r.fp_tainted = true;
                     }
                 }
@@ -1039,6 +1086,37 @@ impl<'a> Vsa<'a> {
         }
     }
 
+    /// Records a bounded memory access that touches static data: the raw
+    /// material for the data-flow layer's shared-memory race detection.
+    fn record_static_access(
+        &self,
+        pc: u64,
+        addr: &AVal,
+        width: u64,
+        is_store: bool,
+        report: &mut Option<&mut ReportSink>,
+    ) {
+        let Some(r) = report.as_deref_mut() else {
+            return;
+        };
+        if addr.si.is_top() {
+            return;
+        }
+        let lo = addr.si.lo;
+        let hi = addr.si.hi.saturating_add(width.saturating_sub(1));
+        if self.code.region_of(lo) != Region::Static && self.code.region_of(hi) != Region::Static {
+            return;
+        }
+        let map = if is_store {
+            &mut r.static_stores
+        } else {
+            &mut r.static_loads
+        };
+        let e = map.entry(pc).or_insert((lo, hi));
+        e.0 = e.0.min(lo);
+        e.1 = e.1.max(hi);
+    }
+
     fn store(&mut self, addr: &AVal, width: u64, taint: Taint) {
         if addr.si.is_top() || addr.si.count() > MAX_ENUM {
             self.cover.unknown = true;
@@ -1089,6 +1167,9 @@ impl<'a> Vsa<'a> {
         if nums.is_empty() {
             // Unknown syscall number: could be `read` into anywhere.
             self.cover.unknown = true;
+            if let Some(r) = report {
+                *r.tainted_defs.entry(pc).or_insert(0) |= SRC_ENV;
+            }
             st.set(
                 Reg::A0,
                 AVal {
@@ -1107,6 +1188,11 @@ impl<'a> Vsa<'a> {
                 | sys::WAITPID
                 | sys::THREAD_JOIN
                 | sys::LSEEK => {
+                    if num == sys::FORK {
+                        if let Some(r) = report.as_deref_mut() {
+                            r.fork_sites.insert(pc);
+                        }
+                    }
                     // Environment / kernel-state returns: input-dependent
                     // (epoch, uid, scheduling, file positions).
                     ret.taint = taint_join(ret.taint, mark(0, SRC_ENV));
@@ -1118,6 +1204,7 @@ impl<'a> Vsa<'a> {
                         si: a1.si,
                         taint: a1.taint,
                     };
+                    self.record_static_access(pc, &buf, len.max(1), true, report);
                     self.store(&buf, len.max(1), mark(0, SRC_ENV));
                 }
                 sys::OPEN => {
@@ -1149,6 +1236,9 @@ impl<'a> Vsa<'a> {
                 _ => {}
             }
         }
+        if let (Some(m), Some(r)) = (ret.taint, report.as_deref_mut()) {
+            *r.tainted_defs.entry(pc).or_insert(0) |= m.src;
+        }
         st.set(Reg::A0, ret);
     }
 }
@@ -1173,6 +1263,11 @@ struct ReportSink {
     extra_roots: BTreeMap<u64, String>,
     loads_argv: bool,
     ret_taint: Taint,
+    branch_taint: BTreeMap<u64, u8>,
+    tainted_defs: BTreeMap<u64, u8>,
+    static_stores: BTreeMap<u64, (u64, u64)>,
+    static_loads: BTreeMap<u64, (u64, u64)>,
+    fork_sites: BTreeSet<u64>,
 }
 
 /// `base + off` with a signed displacement.

@@ -117,6 +117,17 @@ pub struct PathCond {
     pub fallthrough: u64,
 }
 
+impl PathCond {
+    /// Names of the symbolic input variables the condition depends on —
+    /// the dynamic side of the static-slice source cross-check.
+    #[must_use]
+    pub fn cond_var_names(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        self.cond.collect_vars(&mut vars);
+        vars.into_iter().map(|v| v.name.to_string()).collect()
+    }
+}
+
 /// An always-asserted constraint introduced by concretization.
 #[derive(Debug, Clone)]
 pub struct Pin {

@@ -24,8 +24,8 @@
 //! `--flag=value` are both accepted.
 
 use bomblab::concolic::{
-    chaos_sweep, run_study_with, ChaosConfig, Engine, GroundTruth, Outcome, StudyOptions, Subject,
-    ToolProfile, WorldInput,
+    chaos_sweep, run_study_with, ChaosConfig, Engine, GroundTruth, Outcome, StaticHints,
+    StudyOptions, Subject, ToolProfile, WorldInput,
 };
 use bomblab::isa::image::Image;
 use bomblab::rt::link_program;
@@ -258,7 +258,12 @@ fn cmd_trace(args: &[String]) -> CmdResult {
 }
 
 fn cmd_solve(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_flags("solve", args, &[TRACE], 2)?;
+    const NO_DATAFLOW: FlagSpec = FlagSpec {
+        name: "--no-dataflow",
+        alias: None,
+        takes_value: false,
+    };
+    let (pos, flags) = parse_flags("solve", args, &[TRACE, NO_DATAFLOW], 2)?;
     let input = pos.first().ok_or("solve: missing input file")?;
     let image = load_image(input)?;
     let seed = pos.get(1).cloned().unwrap_or_else(|| "AAAAAAAA".into());
@@ -273,7 +278,18 @@ fn cmd_solve(args: &[String]) -> CmdResult {
         .get("--trace")
         .map(|_| bomblab::obs::arm(&subject.name, &profile.name));
     let started = std::time::Instant::now();
-    let attempt = Engine::new(profile.clone()).explore(&subject, &GroundTruth::default());
+    let analysis = bomblab::sa::analyze(&subject.image, subject.lib.as_ref());
+    let hints = {
+        let h = StaticHints::from_analysis(&analysis);
+        if profile.use_dataflow_hints && !flags.contains_key("--no-dataflow") {
+            h.with_dataflow(&analysis)
+        } else {
+            h
+        }
+    };
+    let attempt = Engine::new(profile.clone())
+        .with_static_hints(hints)
+        .explore(&subject, &GroundTruth::default());
     let wall_ns = started.elapsed().as_nanos() as u64;
     if let Some(token) = obs_token {
         let cell = bomblab::obs::disarm(token);
@@ -318,6 +334,20 @@ fn solve_trace_lines(
         .u64("wall_ns", wall_ns)
         .u64("rounds", u64::from(ev.rounds))
         .u64("queries", u64::from(ev.queries));
+    if ev.branches_proven_independent > 0 {
+        line = line.u64(
+            "branches_proven_independent",
+            ev.branches_proven_independent,
+        );
+    }
+    if ev.independent_skips > 0 {
+        line = line.u64("independent_skips", u64::from(ev.independent_skips));
+    }
+    if ev.static_slice_checked > 0 {
+        line = line
+            .u64("static_slice_checked", ev.static_slice_checked)
+            .u64("static_slice_agreement", ev.static_slice_agreement);
+    }
     if let Some(crash) = &ev.crash {
         line = line
             .str("crash_stage", &crash.stage)
@@ -381,7 +411,19 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
         alias: None,
         takes_value: false,
     };
-    let (pos, flags) = parse_flags("analyze", args, &[BOMBS], 1)?;
+    const DATAFLOW: FlagSpec = FlagSpec {
+        name: "--dataflow",
+        alias: None,
+        takes_value: false,
+    };
+    const JSON: FlagSpec = FlagSpec {
+        name: "--json",
+        alias: None,
+        takes_value: false,
+    };
+    let (pos, flags) = parse_flags("analyze", args, &[BOMBS, DATAFLOW, JSON], 1)?;
+    let dataflow = flags.contains_key("--dataflow");
+    let json = flags.contains_key("--json");
     if flags.contains_key("--bombs") {
         let prefix = pos.first().cloned().unwrap_or_default();
         let mut silent: Vec<String> = Vec::new();
@@ -391,18 +433,29 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
                 continue;
             }
             seen = true;
+            let token = json.then(|| bomblab::obs::arm(&case.subject.name, "analyze"));
             let a = bomblab::sa::analyze(&case.subject.image, case.subject.lib.as_ref());
-            let preds: Vec<String> = a
-                .predictions
-                .iter()
-                .map(|(name, stage)| format!("{name}={stage}"))
-                .collect();
-            println!(
-                "{:18} {}  {}",
-                case.subject.name,
-                a.summary(),
-                preds.join(" ")
-            );
+            let cell = token.map(bomblab::obs::disarm);
+            if json {
+                println!(
+                    "{}",
+                    analyze_json_line(&case.subject.name, &a, cell.as_ref())
+                );
+            } else if dataflow {
+                println!("{:18} {}", case.subject.name, a.dataflow_summary());
+            } else {
+                let preds: Vec<String> = a
+                    .predictions
+                    .iter()
+                    .map(|(name, stage)| format!("{name}={stage}"))
+                    .collect();
+                println!(
+                    "{:18} {}  {}",
+                    case.subject.name,
+                    a.summary(),
+                    preds.join(" ")
+                );
+            }
             if a.lints.is_empty() {
                 silent.push(case.subject.name.clone());
             }
@@ -410,7 +463,7 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
         if !seen {
             return Err(format!("no bombs match prefix {prefix:?}").into());
         }
-        if !silent.is_empty() {
+        if !silent.is_empty() && !json && !dataflow {
             eprintln!("analyze: no lints fired on: {}", silent.join(", "));
             return Ok(ExitCode::FAILURE);
         }
@@ -419,11 +472,85 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
     let input = pos
         .first()
         .ok_or("analyze: expected a file or `--bombs [prefix]`")?;
+    let token = json.then(|| bomblab::obs::arm(input, "analyze"));
     let image = load_image(input)?;
     let analysis = bomblab::sa::analyze(&image, None);
-    print!("{}", analysis.listing());
-    eprintln!("; {}", analysis.summary());
+    let cell = token.map(bomblab::obs::disarm);
+    if json {
+        println!("{}", analyze_json_line(input, &analysis, cell.as_ref()));
+    } else if dataflow {
+        print!("{}", analysis.listing_dataflow());
+        eprintln!("; {}", analysis.dataflow_summary());
+    } else {
+        print!("{}", analysis.listing());
+        eprintln!("; {}", analysis.summary());
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one analysis as a machine-readable JSON line: the summary
+/// counts, the data-flow products, every lint with its address and
+/// per-profile stage forecast, and (when observability was armed) the
+/// per-pass timing spans.
+fn analyze_json_line(
+    name: &str,
+    a: &bomblab::sa::Analysis,
+    cell: Option<&bomblab::obs::CellProfile>,
+) -> String {
+    use bomblab::obs::json::{escape, Obj};
+    let quoted = |s: &str| format!("\"{}\"", escape(s));
+    let t = &a.dataflow.taint;
+    let lints: Vec<String> = a
+        .lints
+        .iter()
+        .map(|l| {
+            let stages: Vec<String> = l
+                .stages
+                .iter()
+                .map(|(n, s)| quoted(&format!("{n}:{s}")))
+                .collect();
+            format!(
+                "{{\"code\":{},\"pc\":{},\"detail\":{},\"stages\":[{}]}}",
+                quoted(l.kind.code()),
+                l.pc,
+                quoted(&l.detail),
+                stages.join(",")
+            )
+        })
+        .collect();
+    let predictions: Vec<String> = a
+        .predictions
+        .iter()
+        .map(|(n, s)| {
+            format!(
+                "{{\"profile\":{},\"stage\":{}}}",
+                quoted(n),
+                quoted(&s.to_string())
+            )
+        })
+        .collect();
+    let mut line = Obj::new("analysis")
+        .str("bomb", name)
+        .u64("rounds", a.rounds as u64)
+        .bool("resolve_sound", a.resolve_sound)
+        .u64("blocks", a.cfg.blocks.len() as u64)
+        .u64("functions", a.cfg.functions.len() as u64)
+        .u64("gaps", a.cfg.gaps.len() as u64)
+        .u64("branch_sites", t.branch_sites.len() as u64)
+        .u64("tainted_branches", t.tainted_branches.len() as u64)
+        .u64("independent_branches", t.independent.len() as u64)
+        .u64("races", t.races.len() as u64)
+        .raw("lints", &format!("[{}]", lints.join(",")))
+        .raw("predictions", &format!("[{}]", predictions.join(",")));
+    if let Some(cell) = cell {
+        let spans: Vec<String> = cell
+            .spans
+            .iter()
+            .map(|s| format!("{{\"stage\":{},\"ns\":{}}}", quoted(s.stage), s.ns))
+            .collect();
+        line = line.raw("spans", &format!("[{}]", spans.join(",")));
+    }
+    line.finish()
 }
 
 fn cmd_bombs() -> CmdResult {

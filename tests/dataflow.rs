@@ -1,0 +1,284 @@
+//! Interprocedural data-flow layer over the bomb dataset: differential
+//! static-vs-dynamic taint soundness, independence coverage, golden
+//! `--dataflow` summaries, and property tests for the dominator and
+//! reaching-definitions algorithms.
+
+use bomblab_bombs::all_cases;
+use bomblab_sa::analyze;
+use std::collections::BTreeSet;
+
+/// Dynamic taint verdicts for one case: the pcs of branches the
+/// omniscient [`bomblab_taint::TaintEngine`] marks tainted on the
+/// trigger trace.
+fn dynamic_tainted_branch_pcs(case: &bomblab_concolic::StudyCase) -> BTreeSet<u64> {
+    use bomblab_taint::{TaintEngine, TaintPolicy};
+    use bomblab_vm::{Machine, ROOT_PID};
+
+    let config = case.trigger.to_config(true, 4_000_000);
+    let mut machine = Machine::load(&case.subject.image, case.subject.lib.as_ref(), config)
+        .expect("trigger input loads");
+    machine.run();
+    let trace = machine.take_trace();
+    let mut engine = TaintEngine::new(TaintPolicy::omniscient());
+    engine.taint_memory(
+        ROOT_PID,
+        &[(case.subject.argv1_addr(), case.trigger.argv1.len() as u64)],
+    );
+    let report = engine.run(&trace);
+    report
+        .tainted_branches
+        .iter()
+        .map(|&i| trace.steps[i].pc)
+        .collect()
+}
+
+/// Soundness of static taint reachability: every branch the dynamic
+/// taint engine marks tainted on the trigger trace must be in the
+/// static tainted set — equivalently, no statically "input-independent"
+/// branch is ever dynamically tainted. This is the safety argument for
+/// the engine skipping independent branches as flip targets.
+#[test]
+fn static_taint_covers_dynamic_taint_on_every_bomb() {
+    let mut failures = String::new();
+    for case in all_cases() {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        assert!(
+            a.resolve_sound,
+            "{}: resolve pass must be sound for the dataset",
+            case.subject.name
+        );
+        let static_tainted: BTreeSet<u64> =
+            a.dataflow.taint.tainted_branches.keys().copied().collect();
+        let dynamic = dynamic_tainted_branch_pcs(&case);
+        let missed: Vec<String> = dynamic
+            .difference(&static_tainted)
+            .map(|pc| format!("{pc:#x}"))
+            .collect();
+        if !missed.is_empty() {
+            failures.push_str(&format!(
+                "{}: dynamically tainted branches missing from the static set: {}\n",
+                case.subject.name,
+                missed.join(", ")
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "static taint unsound:\n{failures}");
+}
+
+/// The independence proofs must have teeth: a meaningful number of
+/// bombs get a non-empty proven-independent branch set (the acceptance
+/// bar is five; the dataset currently clears it on every image).
+#[test]
+fn independence_proofs_fire_on_enough_bombs() {
+    let mut with_proofs = 0usize;
+    for case in all_cases() {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        if a.resolve_sound && !a.dataflow.taint.independent.is_empty() {
+            with_proofs += 1;
+        }
+    }
+    assert!(
+        with_proofs >= 5,
+        "only {with_proofs} bombs have a non-empty independent set"
+    );
+}
+
+/// Every per-bomb data-flow summary line must match the committed golden
+/// file byte for byte. Set `UPDATE_GOLDEN=1` to regenerate after an
+/// intentional change.
+#[test]
+fn dataflow_summaries_match_the_committed_golden_file() {
+    let mut got = String::new();
+    for case in all_cases() {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        got.push_str(&format!(
+            "{:18} {}\n",
+            case.subject.name,
+            a.dataflow_summary()
+        ));
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/dataflow_summaries.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("golden file is writable");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file is committed");
+    assert_eq!(
+        got, want,
+        "data-flow summaries drifted from tests/golden/dataflow_summaries.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// A/B measurement of the data-flow hints on the omniscient profile,
+/// for BENCH_micro.md. Run with:
+/// `cargo test --release --test dataflow -- --ignored --nocapture`
+#[test]
+#[ignore = "bench printer; run manually with --ignored --nocapture"]
+fn bench_dataflow_hints_ab() {
+    use bomblab_concolic::{Engine, StaticHints, ToolProfile};
+
+    println!(
+        "{:18} {:>8} {:>8} {:>10} | {:>8} {:>8} {:>10} | {:>6} {:>6}",
+        "bomb", "q_off", "q_on", "ms_off", "r_off", "r_on", "ms_on", "indep", "skips"
+    );
+    for case in all_cases() {
+        let a = analyze(&case.subject.image, case.subject.lib.as_ref());
+        let ground = bomblab_concolic::ground_truth(&case.subject, &case.trigger);
+        let profile = ToolProfile::omniscient();
+        let base = StaticHints::from_analysis(&a);
+        let run = |hints: StaticHints| {
+            Engine::new(profile.clone())
+                .with_static_hints(hints)
+                .explore(&case.subject, &ground)
+        };
+        let off = run(base.clone());
+        let on = run(base.with_dataflow(&a));
+        assert_eq!(
+            off.outcome.to_string(),
+            on.outcome.to_string(),
+            "{}: hints changed the outcome",
+            case.subject.name
+        );
+        println!(
+            "{:18} {:>8} {:>8} {:>10.1} | {:>8} {:>8} {:>10.1} | {:>6} {:>6}",
+            case.subject.name,
+            off.evidence.queries,
+            on.evidence.queries,
+            off.evidence.solver_ns as f64 / 1e6,
+            off.evidence.rounds,
+            on.evidence.rounds,
+            on.evidence.solver_ns as f64 / 1e6,
+            on.evidence.branches_proven_independent,
+            on.evidence.independent_skips,
+        );
+    }
+}
+
+mod props {
+    use bomblab_isa::{Insn, Opcode, Reg};
+    use bomblab_sa::cfg::{Block, Function};
+    use bomblab_sa::{dataflow, dom};
+    use proptest::prelude::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Materializes `n` of the pre-generated adjacency rows as a graph
+    /// over nodes `0..n`, reducing raw edge targets modulo `n`.
+    fn clamp_graph(n: u64, raw: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        raw.iter()
+            .take(n as usize)
+            .map(|row| row.iter().map(|t| t % n).collect())
+            .collect()
+    }
+
+    proptest! {
+        /// The CHK dominator tree must agree with the naive all-paths
+        /// reference on arbitrary (including irreducible) graphs:
+        /// `a dom b` in the tree iff `a` is in `b`'s naive dominator set.
+        #[test]
+        fn chk_dominators_match_naive_reference(
+            n in 2u64..10,
+            raw in proptest::collection::vec(
+                proptest::collection::vec(any::<u64>(), 0..3), 10),
+        ) {
+            let adj = clamp_graph(n, &raw);
+            let succs = |b: u64| adj[b as usize].clone();
+            let tree = dom::dominators(0, &succs);
+            let naive = dom::naive_dominators(0, &succs);
+            for (&b, doms) in &naive {
+                for a in 0..adj.len() as u64 {
+                    prop_assert_eq!(
+                        tree.dominates(a, b),
+                        doms.contains(&a),
+                        "node {} dominating {} disagrees", a, b
+                    );
+                }
+            }
+            // Every reachable node appears in the tree order.
+            prop_assert_eq!(tree.order.len(), naive.len());
+        }
+
+        /// The reaching-definitions worklist must converge to a true
+        /// fixpoint: one more transfer round changes nothing.
+        #[test]
+        fn reaching_defs_fixpoint_is_idempotent(
+            n in 2u64..10,
+            raw in proptest::collection::vec(
+                proptest::collection::vec(any::<u64>(), 0..3), 10),
+            seed in any::<u64>(),
+        ) {
+            let adj = clamp_graph(n, &raw);
+            let (f, blocks) = synth_function(&adj, seed);
+            let flow = dataflow::analyze_function(&f, &blocks);
+            prop_assert!(flow.fixpoint_stable(&f, &blocks));
+        }
+    }
+
+    /// Materializes a random digraph as a synthetic [`Function`]: each
+    /// node becomes a block of a few deterministic-from-`seed` register
+    /// instructions at addresses `node * 0x100`.
+    fn synth_function(adj: &[Vec<u64>], seed: u64) -> (Function, BTreeMap<u64, Block>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let reg = |v: u64| Reg::new((v % 8) as u8 + 1).expect("in range");
+        let mut blocks = BTreeMap::new();
+        for (i, succs) in adj.iter().enumerate() {
+            let start = i as u64 * 0x100;
+            let mut insns = Vec::new();
+            for k in 0..=(next() % 3) {
+                let pc = start + k * 4;
+                let insn = match next() % 4 {
+                    0 => Insn::Li {
+                        rd: reg(next()),
+                        imm: next(),
+                    },
+                    1 => Insn::Mov {
+                        rd: reg(next()),
+                        rs: reg(next()),
+                    },
+                    2 => Insn::Alu3 {
+                        op: Opcode::Add,
+                        rd: reg(next()),
+                        rs: reg(next()),
+                        rt: reg(next()),
+                    },
+                    _ => Insn::AluI {
+                        op: Opcode::XorI,
+                        rd: reg(next()),
+                        rs: reg(next()),
+                        imm: (next() % 128) as i32,
+                    },
+                };
+                insns.push((pc, insn));
+            }
+            let end = start + insns.len() as u64 * 4;
+            blocks.insert(
+                start,
+                Block {
+                    start,
+                    end,
+                    insns,
+                    succs: succs.iter().map(|&s| s * 0x100).collect(),
+                },
+            );
+        }
+        let f = Function {
+            entry: 0,
+            name: "synth".to_string(),
+            blocks: blocks.keys().copied().collect(),
+            idom: BTreeMap::new(),
+            post_idom: BTreeMap::new(),
+            loop_headers: BTreeSet::new(),
+            loop_depth: BTreeMap::new(),
+        };
+        (f, blocks)
+    }
+}
