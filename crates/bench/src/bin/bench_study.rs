@@ -84,6 +84,8 @@ fn render(
     let (mut vm_steps, mut bb_hits, mut bb_misses, mut decoded) = (0u64, 0u64, 0u64, 0u64);
     let mut bb_invalidations = 0u64;
     let (mut blockers, mut evictions) = (0u64, 0u64);
+    let (mut retries, mut quarantined, mut backoff_ns) = (0u64, 0u64, 0u64);
+    let (mut disk_hits, mut seg_rejected) = (0u64, 0u64);
     for row in &report.rows {
         for cell in &row.cells {
             let ev = &cell.attempt.evidence;
@@ -105,6 +107,11 @@ fn render(
             decoded += ev.steps_decoded;
             blockers += ev.blocker_skips;
             evictions += ev.lbd_evictions;
+            retries += u64::from(ev.retries);
+            quarantined += u64::from(ev.quarantined);
+            backoff_ns += ev.retry_backoff_ns;
+            disk_hits += ev.disk_cache_hits;
+            seg_rejected += ev.cache_segments_rejected;
             if !cells.is_empty() {
                 cells.push_str(",\n");
             }
@@ -125,7 +132,9 @@ fn render(
                  \"witness_hits\": {}, \
                  \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \"slice_ms\": {:.3}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \
-                 \"roots_blasted\": {}, \"roots_reused\": {}}}",
+                 \"roots_blasted\": {}, \"roots_reused\": {}, \
+                 \"retries\": {}, \"quarantined\": {}, \
+                 \"disk_cache_hits\": {}, \"cache_segments_rejected\": {}}}",
                 row.name,
                 cell.profile,
                 cell.outcome,
@@ -148,6 +157,10 @@ fn render(
                 ev.cache_misses,
                 ev.roots_blasted,
                 ev.roots_reused,
+                ev.retries,
+                ev.quarantined,
+                ev.disk_cache_hits,
+                ev.cache_segments_rejected,
             );
         }
     }
@@ -173,11 +186,18 @@ fn render(
          \"bb_misses\": {bb_misses}, \"bb_invalidations\": {bb_invalidations}, \
          \"steps_decoded\": {decoded}}},\n  \
          \"sat\": {{\"blocker_skips\": {blockers}, \"lbd_evictions\": {evictions}}},\n  \
+         \"durability\": {{\"retries\": {retries}, \"quarantined\": {quarantined}, \
+         \"retry_backoff_ms\": {:.3}, \"disk_cache_hits\": {disk_hits}, \
+         \"cache_segments_rejected\": {seg_rejected}, \"cells_replayed\": {}, \
+         \"checkpoint_io_errors\": {}}},\n  \
          \"cells\": [\n{cells}\n  ]\n}}\n",
         report.rows.len(),
         report.profiles.len(),
         simp_ns as f64 / 1e6,
         intv_ns as f64 / 1e6,
         slice_ns as f64 / 1e6,
+        backoff_ns as f64 / 1e6,
+        report.stats.cells_replayed,
+        report.stats.checkpoint_io_errors,
     )
 }

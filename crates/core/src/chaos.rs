@@ -13,6 +13,7 @@ use crate::outcome::Outcome;
 use crate::profile::ToolProfile;
 use crate::study::{run_study_with, StudyCase, StudyOptions, StudyReport};
 use bomblab_fault as fault;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Parameters for a chaos sweep.
@@ -24,12 +25,24 @@ pub struct ChaosConfig {
     pub sweeps: u32,
     /// Faults drawn per plan.
     pub faults: u32,
+    /// Extra faults drawn against the durability I/O sites (checkpoint
+    /// writes/renames, cache segment loads) from an independent stream,
+    /// so enabling them never perturbs the engine-site draw.
+    pub io_faults: u32,
+    /// Retry budget handed to the study runner (transient failures only).
+    pub retries: u32,
     /// Worker threads handed to the study runner.
     pub jobs: usize,
     /// Per-cell wall-clock deadline (stalled cells become `E`).
     pub cell_deadline: Option<Duration>,
     /// Collect per-cell observation profiles (for `chaos --trace`).
     pub observe: bool,
+    /// Checkpoint journal directory (gives checkpoint fault sites a
+    /// surface to fire on).
+    pub checkpoint: Option<PathBuf>,
+    /// Persistent solver-cache directory (gives cache-load fault sites a
+    /// surface to fire on).
+    pub solver_cache_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -38,9 +51,13 @@ impl Default for ChaosConfig {
             seed: 1,
             sweeps: 1,
             faults: 3,
+            io_faults: 0,
+            retries: 0,
             jobs: 1,
             cell_deadline: Some(Duration::from_secs(300)),
             observe: false,
+            checkpoint: None,
+            solver_cache_dir: None,
         }
     }
 }
@@ -72,7 +89,11 @@ pub fn chaos_sweep(
     (0..u64::from(config.sweeps.max(1)))
         .map(|s| {
             let seed = config.seed.wrapping_add(s);
-            let plan = fault::FaultPlan::random(seed, config.faults as usize);
+            let mut plan = fault::FaultPlan::random(seed, config.faults as usize);
+            if config.io_faults > 0 {
+                let io = fault::FaultPlan::random_io(seed, config.io_faults as usize);
+                plan.faults.extend(io.faults);
+            }
             let report = run_study_with(
                 cases,
                 profiles,
@@ -81,6 +102,10 @@ pub fn chaos_sweep(
                     fault_plan: Some(plan.clone()),
                     cell_deadline: config.cell_deadline,
                     observe: config.observe,
+                    retries: config.retries,
+                    checkpoint: config.checkpoint.clone(),
+                    resume: false,
+                    solver_cache_dir: config.solver_cache_dir.clone(),
                 },
             );
             let violations = check_containment(cases, profiles, &report);

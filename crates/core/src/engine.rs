@@ -10,7 +10,7 @@ use bomblab_ir::lift;
 use bomblab_isa::image::{layout, Image};
 use bomblab_obs as obs;
 use bomblab_solver::expr::{CmpOp, Term};
-use bomblab_solver::{SolveOutcome, Solver, UnknownReason};
+use bomblab_solver::{DiskCache, SolveOutcome, Solver, UnknownReason};
 use bomblab_symex::{SymExec, SymbolizeEnv};
 use bomblab_taint::{TaintEngine, TaintPolicy};
 use bomblab_vm::{Machine, RunStatus, Trace, BOOM_EXIT_CODE, ROOT_PID};
@@ -254,6 +254,26 @@ pub struct Evidence {
     /// Structured diagnostic when the attempt was ended by a contained
     /// crash (machine failure, panic, or deadline).
     pub crash: Option<CrashDiag>,
+    /// Extra attempts the study's retry loop spent on this cell before
+    /// this (final) attempt. Set by the study runner, not the engine.
+    pub retries: u32,
+    /// The study quarantined this cell: two attempts died with the same
+    /// deterministic panic, so further retries were pointless. Set by the
+    /// study runner.
+    pub quarantined: bool,
+    /// Total scheduled retry backoff in nanoseconds (deterministic values
+    /// from the escalation schedule, not measured sleep). Set by the study
+    /// runner.
+    pub retry_backoff_ns: u64,
+    /// Crash messages of the failed attempts that preceded this one, in
+    /// order. Trace/bench material only — never rendered into reports.
+    pub retry_log: Vec<String>,
+    /// Cache-missed slices answered from the persistent solver cache
+    /// (verified read-through hits), when a cache directory is armed.
+    pub disk_cache_hits: u64,
+    /// Persistent-cache segments rejected at load for corruption,
+    /// truncation, or version mismatch (then rebuilt on flush).
+    pub cache_segments_rejected: u64,
 }
 
 /// Structured diagnostic for a contained per-cell failure: what the cell
@@ -423,6 +443,7 @@ pub fn ground_truth(subject: &Subject, trigger: &WorldInput) -> GroundTruth {
 pub struct Engine {
     profile: ToolProfile,
     hints: StaticHints,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Engine {
@@ -431,6 +452,7 @@ impl Engine {
         Engine {
             profile,
             hints: StaticHints::default(),
+            cache_dir: None,
         }
     }
 
@@ -438,6 +460,18 @@ impl Engine {
     #[must_use]
     pub fn with_static_hints(mut self, hints: StaticHints) -> Engine {
         self.hints = hints;
+        self
+    }
+
+    /// Arms the persistent solver cache rooted at `dir`. Profiles with
+    /// `incremental_solver` read through it (every loaded model is
+    /// re-verified by concrete evaluation); stateless paper-tool profiles
+    /// attach write-only, warming the cache for later runs without any
+    /// observable effect on their own verdicts — Table II is byte-identical
+    /// with the cache armed or not.
+    #[must_use]
+    pub fn with_solver_cache_dir(mut self, dir: Option<std::path::PathBuf>) -> Engine {
+        self.cache_dir = dir;
         self
     }
 
@@ -478,12 +512,26 @@ impl Engine {
         // multi-digit atoi) is a fresh key and gets its own query.
         let mut visited_flips: HashSet<(u64, u64, bool)> = HashSet::new();
 
+        // Persistent solver cache, shared by every solver of this attempt.
+        // Opening tolerates (and counts) corrupt segments; an unopenable
+        // directory simply runs the attempt cold — durability features are
+        // best-effort, never a new way for a cell to die.
+        let disk = self.cache_dir.as_ref().and_then(|dir| {
+            DiskCache::open(dir)
+                .ok()
+                .map(|c| std::rc::Rc::new(std::cell::RefCell::new(c)))
+        });
+
         // One solver for the whole attempt: its incremental blasting
         // session, query cache and learnt clauses persist across rounds,
         // so later rounds extend earlier CNF instead of re-emitting it.
-        let solver = Solver::new()
+        let mut solver = Solver::new()
             .with_budget(self.profile.solver_budget)
             .with_float_mode(self.profile.float_mode);
+        if let Some(d) = &disk {
+            solver = solver.with_disk_cache(d.clone(), self.profile.incremental_solver);
+        }
+        let solver = solver;
 
         'rounds: while let Some(input) = queue.pop_front() {
             // Containment watchdog plus the engine-round fault point: one
@@ -766,9 +814,16 @@ impl Engine {
                 let active = if self.profile.incremental_solver {
                     &solver
                 } else {
-                    throwaway = Solver::new()
+                    let mut t = Solver::new()
                         .with_budget(self.profile.solver_budget)
                         .with_float_mode(self.profile.float_mode);
+                    if let Some(d) = &disk {
+                        // Write-only: the throwaway warms the persistent
+                        // cache but never reads it, preserving the
+                        // stateless profile's per-query cost model.
+                        t = t.with_disk_cache(d.clone(), false);
+                    }
+                    throwaway = t;
                     &throwaway
                 };
                 let result = active.try_check(&query);
@@ -840,6 +895,15 @@ impl Engine {
                 // has been exhausted the tool's run is over.
                 break 'rounds;
             }
+        }
+
+        if let Some(d) = &disk {
+            // Best-effort publish: a failed flush costs warmth, not the
+            // cell — the in-memory outcome is already decided.
+            let _ = d.borrow_mut().flush();
+            let dc = d.borrow();
+            evidence.disk_cache_hits = dc.hits();
+            evidence.cache_segments_rejected = dc.segments_rejected();
         }
 
         let cache = solver.cache_stats();

@@ -56,6 +56,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod engine;
 pub mod outcome;
 pub mod profile;

@@ -36,6 +36,21 @@ impl Outcome {
             Outcome::Partial => "P",
         }
     }
+
+    /// Parses a [`glyph`](Outcome::glyph) back into the label — the
+    /// inverse the checkpoint journal needs to replay recorded cells.
+    pub fn from_glyph(glyph: &str) -> Option<Outcome> {
+        match glyph {
+            "OK" => Some(Outcome::Solved),
+            "Es0" => Some(Outcome::Es0),
+            "Es1" => Some(Outcome::Es1),
+            "Es2" => Some(Outcome::Es2),
+            "Es3" => Some(Outcome::Es3),
+            "E" => Some(Outcome::Abnormal),
+            "P" => Some(Outcome::Partial),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Outcome {
@@ -71,5 +86,21 @@ mod tests {
         assert_eq!(Outcome::Es3.to_string(), "Es3");
         assert_eq!(Outcome::Abnormal.to_string(), "E");
         assert_eq!(Outcome::Partial.to_string(), "P");
+    }
+
+    #[test]
+    fn glyphs_round_trip() {
+        for o in [
+            Outcome::Solved,
+            Outcome::Es0,
+            Outcome::Es1,
+            Outcome::Es2,
+            Outcome::Es3,
+            Outcome::Abnormal,
+            Outcome::Partial,
+        ] {
+            assert_eq!(Outcome::from_glyph(o.glyph()), Some(o));
+        }
+        assert_eq!(Outcome::from_glyph("??"), None);
     }
 }

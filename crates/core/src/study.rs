@@ -6,6 +6,7 @@
 //! panic — injected, organic, or deadline — lands as a well-formed
 //! `Abnormal` cell with a [`CrashDiag`] instead of killing the study.
 
+use crate::checkpoint::{self, CellRecord, Journal};
 use crate::engine::GroundTruth;
 use crate::engine::{ground_truth, Attempt, CrashDiag, Engine, Evidence, StaticHints, Subject};
 use crate::outcome::Outcome;
@@ -15,9 +16,11 @@ use bomblab_fault as fault;
 use bomblab_obs as obs;
 use bomblab_obs::json::{str_array, Obj};
 use bomblab_obs::trace::{render_cell, SCHEMA_VERSION};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
@@ -96,6 +99,27 @@ pub struct StudyOptions {
     /// default, leaving every instrumentation site a single relaxed
     /// atomic load.
     pub observe: bool,
+    /// Extra attempts granted to a cell whose failure is classified as
+    /// transient (injected fault, deadline trip). Retries run *unfaulted*
+    /// with an escalating deadline (1x/2x/4x) after a deterministic
+    /// backoff; two identical organic panics quarantine the cell instead.
+    /// `0` (the default) keeps the historical single-attempt semantics —
+    /// chaos sweeps rely on that to observe raw containment.
+    pub retries: u32,
+    /// Directory for the checkpoint journal. When set, every completed
+    /// cell is appended to `journal.jsonl` (atomic rewrite + rename) so a
+    /// killed study can resume.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay cells recorded in the checkpoint journal instead of
+    /// re-executing them. Only meaningful with [`StudyOptions::checkpoint`];
+    /// a missing, torn, or configuration-mismatched journal replays
+    /// nothing and the study simply runs in full.
+    pub resume: bool,
+    /// Directory for the persistent solver cache. Stateless paper-tool
+    /// profiles warm it write-only (their verdicts cannot change);
+    /// `incremental_solver` profiles read through it with every loaded
+    /// model re-verified by concrete evaluation.
+    pub solver_cache_dir: Option<PathBuf>,
 }
 
 impl Default for StudyOptions {
@@ -109,8 +133,25 @@ impl Default for StudyOptions {
             // byte-identical across schedulers).
             cell_deadline: Some(Duration::from_secs(300)),
             observe: false,
+            retries: 0,
+            checkpoint: None,
+            resume: false,
+            solver_cache_dir: None,
         }
     }
+}
+
+/// Study-level durability counters. Never rendered into the Table-II
+/// report (replay and checkpoint health must not perturb the snapshot);
+/// they flow into the trace summary and the study bench instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StudyStats {
+    /// Cells replayed from the checkpoint journal instead of executed.
+    pub cells_replayed: u64,
+    /// Journal appends that failed (I/O error or injected fault). Each is
+    /// self-healing — the record lives in memory and the next successful
+    /// append re-publishes it — so the count is diagnostic, not fatal.
+    pub checkpoint_io_errors: u64,
 }
 
 /// The full study outcome.
@@ -120,6 +161,8 @@ pub struct StudyReport {
     pub profiles: Vec<String>,
     /// Per-bomb rows.
     pub rows: Vec<RowResult>,
+    /// Durability counters (checkpoint replay/append health).
+    pub stats: StudyStats,
 }
 
 impl StudyReport {
@@ -410,6 +453,21 @@ impl StudyReport {
                         .u64("static_slice_checked", ev.static_slice_checked)
                         .u64("static_slice_agreement", ev.static_slice_agreement);
                 }
+                if ev.retries > 0 {
+                    line = line.u64("retries", u64::from(ev.retries));
+                }
+                if ev.quarantined {
+                    line = line.bool("quarantined", true);
+                }
+                if ev.retry_backoff_ns > 0 {
+                    line = line.u64("retry_backoff_ns", ev.retry_backoff_ns);
+                }
+                if ev.disk_cache_hits > 0 {
+                    line = line.u64("disk_cache_hits", ev.disk_cache_hits);
+                }
+                if ev.cache_segments_rejected > 0 {
+                    line = line.u64("cache_segments_rejected", ev.cache_segments_rejected);
+                }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
                 }
@@ -461,14 +519,18 @@ impl StudyReport {
                     .finish(),
             );
         }
-        out.push(
-            Obj::new("summary")
-                .u64("cells", cell_count)
-                .u64("spans", spans)
-                .u64("events", events)
-                .u64("counters", counters)
-                .finish(),
-        );
+        let mut summary = Obj::new("summary")
+            .u64("cells", cell_count)
+            .u64("spans", spans)
+            .u64("events", events)
+            .u64("counters", counters);
+        if self.stats.cells_replayed > 0 {
+            summary = summary.u64("cells_replayed", self.stats.cells_replayed);
+        }
+        if self.stats.checkpoint_io_errors > 0 {
+            summary = summary.u64("checkpoint_io_errors", self.stats.checkpoint_io_errors);
+        }
+        out.push(summary.finish());
         out
     }
 
@@ -802,6 +864,105 @@ fn abnormal_cell(
     }
 }
 
+/// The two containment-deadline crash messages. A deadline trip is always
+/// a *transient* failure — the retry's escalated deadline exists exactly
+/// to give a slow-but-healthy cell room — so it never quarantines.
+fn is_deadline_crash(message: &str) -> bool {
+    message == "cell wall-clock deadline exceeded"
+        || message == "injected stall exceeded the cell deadline"
+}
+
+/// Classifies a failed attempt against the previous one: a failure is
+/// deterministic (quarantine, stop retrying) iff the same non-deadline
+/// crash message appeared twice in a row. Everything else — injected
+/// faults (retries run unfaulted, so they cannot repeat), deadline trips,
+/// first-time panics — is transient and worth another attempt.
+pub(crate) fn failure_is_deterministic(previous: Option<&str>, current: &str) -> bool {
+    !is_deadline_crash(current) && previous == Some(current)
+}
+
+/// The journal digest of one finished cell.
+fn cell_record(index: u64, bomb: &str, cell: &CellResult) -> CellRecord {
+    let ev = &cell.attempt.evidence;
+    CellRecord {
+        index,
+        bomb: bomb.to_string(),
+        profile: cell.profile.clone(),
+        outcome: cell.outcome,
+        expected: cell.expected,
+        wall_ns: cell.wall_ns,
+        rounds: ev.rounds,
+        queries: ev.queries,
+        injected_faults: ev.injected_faults,
+        fault_log: ev.fault_log.clone(),
+        crash: ev.crash.clone(),
+        retries: ev.retries,
+        quarantined: ev.quarantined,
+        retry_backoff_ns: ev.retry_backoff_ns,
+    }
+}
+
+/// Reconstructs a cell from its journal record. The record carries every
+/// field the Table-II report and the contained-crashes section read, so a
+/// replayed cell renders byte-identically; trace-only counters keep their
+/// defaults and the observation profile is absent (the work never re-ran).
+fn replay_cell(
+    case: &StudyCase,
+    profile: &ToolProfile,
+    col: usize,
+    rec: &CellRecord,
+) -> CellResult {
+    let evidence = Evidence {
+        abnormal: rec.crash.is_some() || rec.injected_faults > 0,
+        rounds: rec.rounds,
+        queries: rec.queries,
+        injected_faults: rec.injected_faults,
+        fault_log: rec.fault_log.clone(),
+        crash: rec.crash.clone(),
+        retries: rec.retries,
+        quarantined: rec.quarantined,
+        retry_backoff_ns: rec.retry_backoff_ns,
+        ..Evidence::default()
+    };
+    CellResult {
+        profile: profile.name.clone(),
+        outcome: rec.outcome,
+        expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+        wall_ns: rec.wall_ns,
+        attempt: Attempt {
+            outcome: rec.outcome,
+            solved_input: None,
+            evidence,
+        },
+        obs: None,
+    }
+}
+
+/// Fingerprint of everything that determines cell outcomes, stamped into
+/// the journal header: resuming under a different matrix, fault plan,
+/// retry budget, or deadline must ignore the journal rather than splice
+/// foreign cells into the report. (The solver cache directory is excluded
+/// on purpose — the persistent cache is verdict-neutral by construction.)
+fn study_fingerprint(cases: &[StudyCase], profiles: &[ToolProfile], options: &StudyOptions) -> u64 {
+    let mut parts: Vec<String> = Vec::new();
+    for case in cases {
+        parts.push(format!("case:{}", case.subject.name));
+    }
+    for profile in profiles {
+        parts.push(format!("profile:{}", profile.name));
+    }
+    parts.push(match &options.fault_plan {
+        Some(plan) => format!("plan:{}", plan.to_text()),
+        None => "plan:none".to_string(),
+    });
+    parts.push(format!("retries:{}", options.retries));
+    parts.push(match options.cell_deadline {
+        Some(d) => format!("deadline:{}", d.as_nanos()),
+        None => "deadline:none".to_string(),
+    });
+    checkpoint::fingerprint(parts.iter().map(String::as_str))
+}
+
 /// Runs the study under explicit [`StudyOptions`]. Two fan-out phases:
 /// ground truths + static analysis (one unit per case), then the
 /// (case, profile) cell matrix (one unit per cell). Rows and cells land
@@ -888,7 +1049,37 @@ pub fn run_study_with(
         },
     );
 
-    // Phase 2: the cell matrix, one containment boundary per cell.
+    // Checkpoint journal: opened (and truncated or replayed) before the
+    // matrix fans out. An unopenable journal degrades to a plain run —
+    // durability is best-effort, never a new way for a study to die.
+    let journal_state: Option<(Mutex<Journal>, HashMap<u64, CellRecord>)> =
+        options.checkpoint.as_ref().and_then(|dir| {
+            let fp = study_fingerprint(cases, profiles, options);
+            match Journal::open(dir, fp, options.resume) {
+                Ok((journal, completed)) => {
+                    if !completed.is_empty() {
+                        eprintln!(
+                            "[study] resuming: {} of {} cells replay from the journal",
+                            completed.len(),
+                            cases.len() * profiles.len()
+                        );
+                    }
+                    Some((Mutex::new(journal), completed))
+                }
+                Err(e) => {
+                    eprintln!("[study] checkpoint journal unavailable ({e}); running without");
+                    None
+                }
+            }
+        });
+    let (journal, completed) = match &journal_state {
+        Some((j, c)) => (Some(j), Some(c)),
+        None => (None, None),
+    };
+    let cells_replayed = AtomicU64::new(0);
+    let checkpoint_io_errors = AtomicU64::new(0);
+
+    // Phase 2: the cell matrix, one containment boundary per attempt.
     let cells = parallel_map(
         jobs,
         cases.len() * profiles.len(),
@@ -896,6 +1087,19 @@ pub fn run_study_with(
             let (case, (ground, analysis, _)) =
                 (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
             let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
+            if let Some(rec) = completed.and_then(|c| c.get(&(k as u64))) {
+                // The fingerprint already pins the matrix; the name
+                // cross-check guards against an index-mapping bug ever
+                // splicing a record into the wrong cell.
+                if rec.bomb == case.subject.name && rec.profile == profile.name {
+                    cells_replayed.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[study]   {} x {}: {} (replayed from checkpoint)",
+                        case.subject.name, profile.name, rec.outcome
+                    );
+                    return replay_cell(case, profile, col, rec);
+                }
+            }
             let hints = analysis
                 .as_ref()
                 .map(|a| {
@@ -908,45 +1112,90 @@ pub fn run_study_with(
                 })
                 .unwrap_or_default();
             let t1 = std::time::Instant::now();
-            // Observation window outside the containment boundary: a
-            // contained panic still yields the spans recorded up to it.
-            let obs_token = options
-                .observe
-                .then(|| obs::arm(&case.subject.name, &profile.name));
-            let token = fault::arm(plan, deadline);
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                Engine::new(profile.clone())
-                    .with_static_hints(hints)
-                    .explore(&case.subject, ground)
-            }));
-            let containment = fault::disarm(token);
-            let obs_profile = obs_token.map(obs::disarm);
-            let mut cell = match result {
-                Ok(mut attempt) => {
-                    attempt.evidence.injected_faults = containment.injected;
-                    CellResult {
-                        profile: profile.name.clone(),
-                        outcome: attempt.outcome,
-                        expected: case.paper_expected.and_then(|row| row.get(col).copied()),
-                        wall_ns: t1.elapsed().as_nanos() as u64,
-                        attempt,
-                        obs: None,
+            // The attempt loop: attempt 0 runs with the study's fault plan
+            // armed; retries run *unfaulted* (the transient cause is gone
+            // by definition) under an escalating 1x/2x/4x deadline, after
+            // a deterministic exponential backoff. Two identical organic
+            // panics quarantine the cell instead of burning the budget.
+            let mut previous_crash: Option<String> = None;
+            let mut retry_log: Vec<String> = Vec::new();
+            let mut backoff_total_ns = 0u64;
+            let mut attempt_no = 0u32;
+            let mut cell = loop {
+                let armed_plan = if attempt_no == 0 { plan } else { None };
+                let attempt_deadline = deadline.map(|d| d * (1u32 << attempt_no.min(2)));
+                // Observation window outside the containment boundary: a
+                // contained panic still yields the spans recorded up to
+                // it. Only the final attempt's window survives.
+                let obs_token = options
+                    .observe
+                    .then(|| obs::arm(&case.subject.name, &profile.name));
+                let token = fault::arm(armed_plan, attempt_deadline);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    Engine::new(profile.clone())
+                        .with_static_hints(hints.clone())
+                        .with_solver_cache_dir(options.solver_cache_dir.clone())
+                        .explore(&case.subject, ground)
+                }));
+                let containment = fault::disarm(token);
+                let obs_profile = obs_token.map(obs::disarm);
+                let mut cell = match result {
+                    Ok(mut attempt) => {
+                        attempt.evidence.injected_faults = containment.injected;
+                        CellResult {
+                            profile: profile.name.clone(),
+                            outcome: attempt.outcome,
+                            expected: case.paper_expected.and_then(|row| row.get(col).copied()),
+                            wall_ns: t1.elapsed().as_nanos() as u64,
+                            attempt,
+                            obs: None,
+                        }
                     }
+                    Err(payload) => abnormal_cell(
+                        case,
+                        profile,
+                        col,
+                        CrashDiag {
+                            message: fault::panic_message(&*payload),
+                            stage: containment.stage.to_string(),
+                            elapsed_ns: containment.elapsed.as_nanos() as u64,
+                        },
+                        Some(&containment),
+                    ),
+                };
+                cell.obs = obs_profile;
+                cell.attempt.evidence.fault_log = containment.fired;
+                let failed = cell.attempt.evidence.crash.is_some()
+                    || cell.attempt.evidence.injected_faults > 0;
+                if !failed || attempt_no >= options.retries {
+                    break cell;
                 }
-                Err(payload) => abnormal_cell(
-                    case,
-                    profile,
-                    col,
-                    CrashDiag {
-                        message: fault::panic_message(&*payload),
-                        stage: containment.stage.to_string(),
-                        elapsed_ns: containment.elapsed.as_nanos() as u64,
-                    },
-                    Some(&containment),
-                ),
+                let message = cell.attempt.evidence.crash.as_ref().map_or_else(
+                    || "injected fault (no crash)".to_string(),
+                    |c| c.message.clone(),
+                );
+                if failure_is_deterministic(previous_crash.as_deref(), &message) {
+                    cell.attempt.evidence.quarantined = true;
+                    eprintln!(
+                        "[study]   {} x {}: quarantined after repeated failure `{message}`",
+                        case.subject.name, profile.name
+                    );
+                    break cell;
+                }
+                retry_log.push(message.clone());
+                previous_crash = Some(message);
+                attempt_no += 1;
+                let backoff = Duration::from_millis(10) * (1u32 << (attempt_no - 1).min(8));
+                backoff_total_ns += backoff.as_nanos() as u64;
+                eprintln!(
+                    "[study]   {} x {}: transient failure; retry {attempt_no}/{} after {backoff:?}",
+                    case.subject.name, profile.name, options.retries
+                );
+                std::thread::sleep(backoff);
             };
-            cell.obs = obs_profile;
-            cell.attempt.evidence.fault_log = containment.fired;
+            cell.attempt.evidence.retries = attempt_no;
+            cell.attempt.evidence.retry_backoff_ns = backoff_total_ns;
+            cell.attempt.evidence.retry_log = retry_log;
             eprintln!(
                 "[study]   {} x {}: {} in {:.1?} ({} rounds, {} queries{})",
                 case.subject.name,
@@ -964,6 +1213,37 @@ pub fn run_study_with(
                     String::new()
                 }
             );
+            // Append the finished cell to the journal. The append runs in
+            // its own armed window (chaos plans carry checkpoint fault
+            // points) and its failure is a *study-level* counter, never
+            // cell evidence: the cell's verdict is already decided, and a
+            // failed append self-heals on the next successful rewrite.
+            if let Some(j) = journal {
+                let rec = cell_record(k as u64, &case.subject.name, &cell);
+                let armed = plan.is_some().then(|| fault::arm(plan, None));
+                let appended = catch_unwind(AssertUnwindSafe(|| {
+                    j.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .append(&rec)
+                }));
+                if let Some(t) = armed {
+                    let _ = fault::disarm(t);
+                }
+                match appended {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        checkpoint_io_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("[study] checkpoint append failed (self-healing): {e}");
+                    }
+                    Err(payload) => {
+                        checkpoint_io_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "[study] checkpoint append panicked (contained): {}",
+                            fault::panic_message(&*payload)
+                        );
+                    }
+                }
+            }
             cell
         },
         |k, message| {
@@ -1013,12 +1293,40 @@ pub fn run_study_with(
     StudyReport {
         profiles: profiles.iter().map(|p| p.name.clone()).collect(),
         rows,
+        stats: StudyStats {
+            cells_replayed: cells_replayed.into_inner(),
+            checkpoint_io_errors: checkpoint_io_errors.into_inner(),
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parallel_map;
+    use super::{failure_is_deterministic, parallel_map};
+
+    #[test]
+    fn deadline_trips_are_always_transient() {
+        // The two deadline messages are never deterministic, even when the
+        // same message repeats: a slow cell deserves its escalated budget.
+        for msg in [
+            "cell wall-clock deadline exceeded",
+            "injected stall exceeded the cell deadline",
+        ] {
+            assert!(!failure_is_deterministic(None, msg));
+            assert!(!failure_is_deterministic(Some(msg), msg));
+        }
+    }
+
+    #[test]
+    fn a_repeated_organic_panic_is_deterministic() {
+        let msg = "index out of bounds: the len is 3 but the index is 7";
+        // First sighting: transient by presumption.
+        assert!(!failure_is_deterministic(None, msg));
+        // Same message twice: deterministic, quarantine.
+        assert!(failure_is_deterministic(Some(msg), msg));
+        // A different message resets the presumption.
+        assert!(!failure_is_deterministic(Some("other panic"), msg));
+    }
 
     #[test]
     fn parallel_map_preserves_order_at_any_job_count() {

@@ -49,15 +49,31 @@ pub enum FaultSite {
     CfgBuild,
     /// The concolic engine's round loop (one hit per concrete round).
     EngineRound,
+    /// Writing a checkpoint-journal record (one hit per append).
+    CheckpointWrite,
+    /// The atomic rename that publishes a checkpoint or cache file.
+    CheckpointRename,
+    /// Loading one persistent solver-cache segment from disk.
+    CacheSegmentLoad,
 }
 
 impl FaultSite {
     /// All sites, in counter-index order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::VmStep,
         FaultSite::SolverQuery,
         FaultSite::CfgBuild,
         FaultSite::EngineRound,
+        FaultSite::CheckpointWrite,
+        FaultSite::CheckpointRename,
+        FaultSite::CacheSegmentLoad,
+    ];
+
+    /// The durability-layer sites, drawn from by [`FaultPlan::random_io`].
+    pub const IO_SITES: [FaultSite; 3] = [
+        FaultSite::CheckpointWrite,
+        FaultSite::CheckpointRename,
+        FaultSite::CacheSegmentLoad,
     ];
 
     fn index(self) -> usize {
@@ -66,6 +82,9 @@ impl FaultSite {
             FaultSite::SolverQuery => 1,
             FaultSite::CfgBuild => 2,
             FaultSite::EngineRound => 3,
+            FaultSite::CheckpointWrite => 4,
+            FaultSite::CheckpointRename => 5,
+            FaultSite::CacheSegmentLoad => 6,
         }
     }
 
@@ -75,6 +94,9 @@ impl FaultSite {
             FaultSite::SolverQuery => "solver_query",
             FaultSite::CfgBuild => "cfg_build",
             FaultSite::EngineRound => "engine_round",
+            FaultSite::CheckpointWrite => "checkpoint_write",
+            FaultSite::CheckpointRename => "checkpoint_rename",
+            FaultSite::CacheSegmentLoad => "cache_segment_load",
         }
     }
 
@@ -91,6 +113,9 @@ impl FaultSite {
             FaultSite::SolverQuery => &[FaultAction::Unknown, FaultAction::Panic],
             FaultSite::CfgBuild => &[FaultAction::Panic],
             FaultSite::EngineRound => &[FaultAction::Panic, FaultAction::Stall],
+            FaultSite::CheckpointWrite => &[FaultAction::TornWrite, FaultAction::Panic],
+            FaultSite::CheckpointRename => &[FaultAction::RenameFail, FaultAction::Panic],
+            FaultSite::CacheSegmentLoad => &[FaultAction::ShortRead, FaultAction::BitFlip],
         }
     }
 }
@@ -109,6 +134,9 @@ impl std::str::FromStr for FaultSite {
             "solver_query" => Ok(FaultSite::SolverQuery),
             "cfg_build" => Ok(FaultSite::CfgBuild),
             "engine_round" => Ok(FaultSite::EngineRound),
+            "checkpoint_write" => Ok(FaultSite::CheckpointWrite),
+            "checkpoint_rename" => Ok(FaultSite::CheckpointRename),
+            "cache_segment_load" => Ok(FaultSite::CacheSegmentLoad),
             other => Err(format!("unknown fault site `{other}`")),
         }
     }
@@ -128,6 +156,18 @@ pub enum FaultAction {
     MemFault,
     /// The solver gives up on the query (resource exhaustion).
     Unknown,
+    /// A checkpoint append writes only a prefix of the record (power loss
+    /// mid-write; the journal loader must drop the torn tail).
+    TornWrite,
+    /// A persistent-cache segment read returns fewer bytes than the file
+    /// holds (truncated segment; the checksum must reject it).
+    ShortRead,
+    /// The tmp-file → final-name rename fails (the published file keeps
+    /// its previous contents).
+    RenameFail,
+    /// One bit of a loaded cache segment is flipped (silent media
+    /// corruption; the checksum must reject it).
+    BitFlip,
 }
 
 impl FaultAction {
@@ -138,6 +178,10 @@ impl FaultAction {
             FaultAction::DecodeError => "decode_error",
             FaultAction::MemFault => "mem_fault",
             FaultAction::Unknown => "unknown",
+            FaultAction::TornWrite => "torn_write",
+            FaultAction::ShortRead => "short_read",
+            FaultAction::RenameFail => "rename_fail",
+            FaultAction::BitFlip => "bit_flip",
         }
     }
 }
@@ -157,6 +201,10 @@ impl std::str::FromStr for FaultAction {
             "decode_error" => Ok(FaultAction::DecodeError),
             "mem_fault" => Ok(FaultAction::MemFault),
             "unknown" => Ok(FaultAction::Unknown),
+            "torn_write" => Ok(FaultAction::TornWrite),
+            "short_read" => Ok(FaultAction::ShortRead),
+            "rename_fail" => Ok(FaultAction::RenameFail),
+            "bit_flip" => Ok(FaultAction::BitFlip),
             other => Err(format!("unknown fault action `{other}`")),
         }
     }
@@ -252,7 +300,32 @@ impl FaultPlan {
                     FaultSite::SolverQuery => splitmix(&mut state) % 6,
                     FaultSite::CfgBuild => splitmix(&mut state) % 3,
                     FaultSite::EngineRound => splitmix(&mut state) % 4,
+                    // Never drawn above: the durability sites belong to
+                    // `random_io`, keeping this generator byte-stable.
+                    FaultSite::CheckpointWrite
+                    | FaultSite::CheckpointRename
+                    | FaultSite::CacheSegmentLoad => splitmix(&mut state) % 2,
                 };
+                Fault { site, nth, action }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
+    /// Derives `k` faults targeting the durability layer (checkpoint
+    /// journal appends, atomic renames, cache-segment loads). Kept as a
+    /// separate generator so [`FaultPlan::random`]'s byte-stable site
+    /// distribution — pinned by the fixed CI chaos seeds — is untouched.
+    /// Hit counts are small because a cell performs at most a handful of
+    /// journal/cache operations per armed window.
+    pub fn random_io(seed: u64, k: usize) -> FaultPlan {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let faults = (0..k)
+            .map(|_| {
+                let site = FaultSite::IO_SITES[(splitmix(&mut state) % 3) as usize];
+                let actions = site.valid_actions();
+                let action = actions[(splitmix(&mut state) % actions.len() as u64) as usize];
+                let nth = 1 + splitmix(&mut state) % 2;
                 Fault { site, nth, action }
             })
             .collect();
@@ -315,7 +388,7 @@ struct PlannedFault {
 
 struct ArmedState {
     faults: Vec<PlannedFault>,
-    site_hits: [u64; 4],
+    site_hits: [u64; 7],
     injected: u32,
     fired: Vec<String>,
     stalled: bool,
@@ -374,7 +447,7 @@ pub fn arm(plan: Option<&FaultPlan>, deadline: Option<Duration>) -> Armed {
                         .collect()
                 })
                 .unwrap_or_default(),
-            site_hits: [0; 4],
+            site_hits: [0; 7],
             injected: 0,
             fired: Vec::new(),
             stalled: false,
@@ -627,6 +700,61 @@ mod tests {
             }
         }
         assert_ne!(FaultPlan::random(1, 4), FaultPlan::random(2, 4));
+    }
+
+    #[test]
+    fn io_plans_are_deterministic_and_stick_to_io_sites() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::random_io(seed, 3);
+            assert_eq!(a, FaultPlan::random_io(seed, 3), "seed {seed}");
+            assert_eq!(a.faults.len(), 3);
+            for f in &a.faults {
+                assert!(
+                    FaultSite::IO_SITES.contains(&f.site),
+                    "{f} targets a non-IO site"
+                );
+                assert!(f.site.valid_actions().contains(&f.action));
+                assert!((1..=2).contains(&f.nth));
+            }
+        }
+        // The compute-site generator is untouched by the IO extension:
+        // its plans never draw the durability sites.
+        for seed in 0..50u64 {
+            for f in &FaultPlan::random(seed, 6).faults {
+                assert!(!FaultSite::IO_SITES.contains(&f.site), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_fault_text_round_trips() {
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![
+                Fault {
+                    site: FaultSite::CheckpointWrite,
+                    nth: 1,
+                    action: FaultAction::TornWrite,
+                },
+                Fault {
+                    site: FaultSite::CheckpointRename,
+                    nth: 1,
+                    action: FaultAction::RenameFail,
+                },
+                Fault {
+                    site: FaultSite::CacheSegmentLoad,
+                    nth: 2,
+                    action: FaultAction::BitFlip,
+                },
+            ],
+        };
+        let text = plan.to_text();
+        assert_eq!(
+            text,
+            "seed=9 checkpoint_write@1=torn_write checkpoint_rename@1=rename_fail \
+             cache_segment_load@2=bit_flip"
+        );
+        assert_eq!(FaultPlan::from_text(&text).unwrap(), plan);
     }
 
     #[test]

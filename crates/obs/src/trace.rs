@@ -30,15 +30,20 @@ use crate::{CellProfile, Field};
 ///
 /// History: v1 — initial format; v2 — optional VM-dispatch and SAT
 /// hot-loop counters on `cell` lines (`vm_steps`, `bb_*`, `steps_decoded`,
-/// `blocker_skips`, `lbd_evictions`). All v2 additions are optional fields,
-/// so v1 traces still validate.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `blocker_skips`, `lbd_evictions`); v3 — durability fields: optional
+/// retry/quarantine counters and persistent-cache counters on `cell`
+/// lines (`retries`, `quarantined`, `retry_backoff_ns`, `disk_cache_hits`,
+/// `cache_segments_rejected`) and checkpoint counters on the `summary`
+/// trailer (`cells_replayed`, `checkpoint_io_errors`). All additions are
+/// optional fields, so v1 and v2 traces still validate.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Field kinds the validator distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Str,
     U64,
+    Bool,
     Arr,
     Obj,
 }
@@ -48,6 +53,7 @@ impl Kind {
         match self {
             Kind::Str => matches!(v, Json::Str(_)),
             Kind::U64 => matches!(v, Json::U64(_)),
+            Kind::Bool => matches!(v, Json::Bool(_)),
             Kind::Arr => matches!(v, Json::Arr(_)),
             Kind::Obj => matches!(v, Json::Obj(_)),
         }
@@ -57,6 +63,7 @@ impl Kind {
         match self {
             Kind::Str => "string",
             Kind::U64 => "unsigned integer",
+            Kind::Bool => "boolean",
             Kind::Arr => "array",
             Kind::Obj => "object",
         }
@@ -162,6 +169,11 @@ const SCHEMA: &[TypeSchema] = &[
             ("independent_skips", Kind::U64),
             ("static_slice_checked", Kind::U64),
             ("static_slice_agreement", Kind::U64),
+            ("retries", Kind::U64),
+            ("quarantined", Kind::Bool),
+            ("retry_backoff_ns", Kind::U64),
+            ("disk_cache_hits", Kind::U64),
+            ("cache_segments_rejected", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),
@@ -205,7 +217,10 @@ const SCHEMA: &[TypeSchema] = &[
             ("events", Kind::U64),
             ("counters", Kind::U64),
         ],
-        &[],
+        &[
+            ("cells_replayed", Kind::U64),
+            ("checkpoint_io_errors", Kind::U64),
+        ],
     ),
 ];
 
@@ -253,6 +268,14 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                 return Err(format!("{type_}: field `{key}` must be a {}", kind.name()))
             }
             Some(_) => {}
+        }
+    }
+    // Semantic (v3): a quarantined cell was by definition retried at least
+    // once — the verdict needs two identical failures to form.
+    if type_ == "cell" && obj.get("quarantined") == Some(&Json::Bool(true)) {
+        let retries = obj.get("retries").and_then(Json::as_u64).unwrap_or(0);
+        if retries < 1 {
+            return Err("cell: quarantined without at least one retry".to_string());
         }
     }
     Ok(())
@@ -420,6 +443,31 @@ mod tests {
         // The golden positive case.
         assert!(validate_line(
             "{\"type\":\"counter\",\"bomb\":\"b\",\"profile\":\"p\",\"name\":\"n\",\"value\":9}"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn v3_durability_fields_validate() {
+        let base = "\"type\":\"cell\",\"bomb\":\"b\",\"profile\":\"p\",\"outcome\":\"Y\",\
+                    \"wall_ns\":1,\"rounds\":1,\"queries\":1";
+        // All durability fields present and well typed.
+        assert!(validate_line(&format!(
+            "{{{base},\"retries\":2,\"quarantined\":true,\"retry_backoff_ns\":30000000,\
+             \"disk_cache_hits\":4,\"cache_segments_rejected\":1}}"
+        ))
+        .is_ok());
+        // A boolean where an integer belongs is drift.
+        assert!(validate_line(&format!("{{{base},\"retries\":true}}")).is_err());
+        // Quarantine without a retry is semantically impossible.
+        assert!(validate_line(&format!("{{{base},\"quarantined\":true}}")).is_err());
+        assert!(validate_line(&format!("{{{base},\"quarantined\":true,\"retries\":0}}")).is_err());
+        // Quarantined=false needs no retries.
+        assert!(validate_line(&format!("{{{base},\"quarantined\":false}}")).is_ok());
+        // Summary trailer accepts the checkpoint counters.
+        assert!(validate_line(
+            "{\"type\":\"summary\",\"cells\":1,\"spans\":0,\"events\":0,\"counters\":0,\
+             \"cells_replayed\":1,\"checkpoint_io_errors\":0}"
         )
         .is_ok());
     }

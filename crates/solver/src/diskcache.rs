@@ -1,0 +1,408 @@
+//! Persistent, corruption-tolerant disk layer for the solver query cache.
+//!
+//! The in-memory cache of [`crate::Solver`] dies with the process, so every
+//! study starts cold (ROADMAP item 3 names warm starts as a prerequisite
+//! for the sharded service mode). This module persists *satisfying models*
+//! keyed by a process-stable fingerprint of the slice's SMT-LIB rendering
+//! — the hash-consed term ids used by the in-memory layers are `Rc`
+//! addresses and mean nothing across runs.
+//!
+//! ## Durability model
+//!
+//! * One segment file per shard (`seg-<i>.bomblab`), written whole via
+//!   tmp-file + rename, never appended in place.
+//! * Every segment opens with a version-stamped header binding it to the
+//!   cache [`FORMAT_VERSION`] and the solver [`PIPELINE_REV`]; every entry
+//!   line carries a CRC-32 of its payload.
+//! * A corrupt, truncated, or version-mismatched segment is *rejected
+//!   whole*: its entries are dropped, [`DiskCache::segments_rejected`] is
+//!   bumped, and the next [`flush`](DiskCache::flush) rebuilds the file.
+//!   Loading never panics and never errors the caller.
+//! * The disk is untrusted even when checksums pass: the solver re-verifies
+//!   every loaded model by concrete evaluation before using it, so a stale
+//!   or adversarial segment can cost time but never a wrong answer.
+
+use crate::expr::Term;
+use crate::{smtlib, Model};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// On-disk layout revision of the segment files themselves.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Revision of the solving pipeline the cached models were produced by.
+/// Bump whenever the SMT-LIB rendering, the term language, or bit-blasting
+/// semantics change meaning: old segments are then version-mismatched and
+/// rebuilt instead of silently reinterpreted.
+pub const PIPELINE_REV: u32 = 1;
+
+/// Number of segment files the key space is sharded over.
+pub const NUM_SHARDS: usize = 4;
+
+/// CRC-32 (IEEE, reflected polynomial `0xEDB8_8320`), bit at a time — the
+/// cache loads once per study, so table-free simplicity wins.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Process-stable cache key: FNV-1a over the SMT-LIB rendering of the
+/// slice. Unlike [`Term::id`] (an interner address, unique only within one
+/// thread of one process), the rendering survives restarts.
+pub fn disk_key(terms: &[Term]) -> u64 {
+    let text = smtlib::to_smtlib(terms);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One shard's entries plus its rewrite flag.
+#[derive(Debug, Default)]
+struct Shard {
+    /// key → sorted `(variable, value)` bindings of a satisfying model.
+    entries: BTreeMap<u64, Vec<(String, u64)>>,
+    /// The in-memory state diverged from the segment file.
+    dirty: bool,
+}
+
+/// A read-through persistent model store shared by every solver of one
+/// exploration (the engine hands each [`crate::Solver`] an `Rc<RefCell<_>>`
+/// handle).
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    shards: Vec<Shard>,
+    segments_rejected: u64,
+    hits: u64,
+    stores: u64,
+}
+
+impl DiskCache {
+    /// Opens (or creates) the cache directory and loads every segment that
+    /// passes validation. Segments that fail — bad header, wrong version,
+    /// torn line, checksum mismatch, unreadable file — are counted in
+    /// [`segments_rejected`](DiskCache::segments_rejected) and dropped;
+    /// only an uncreatable *directory* is an error.
+    pub fn open(dir: &Path) -> io::Result<DiskCache> {
+        fs::create_dir_all(dir)?;
+        let mut cache = DiskCache {
+            dir: dir.to_path_buf(),
+            shards: (0..NUM_SHARDS).map(|_| Shard::default()).collect(),
+            segments_rejected: 0,
+            hits: 0,
+            stores: 0,
+        };
+        for i in 0..NUM_SHARDS {
+            let path = cache.segment_path(i);
+            let mut bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(_) => {
+                    cache.segments_rejected += 1;
+                    continue;
+                }
+            };
+            // Fault-injection point: one hit per segment read. Inert (one
+            // relaxed atomic load) unless a chaos plan is armed.
+            if let Some(action) =
+                bomblab_fault::fault_point(bomblab_fault::FaultSite::CacheSegmentLoad)
+            {
+                match action {
+                    bomblab_fault::FaultAction::ShortRead => {
+                        let keep = bytes.len() / 2;
+                        bytes.truncate(keep);
+                    }
+                    bomblab_fault::FaultAction::BitFlip => {
+                        let mid = bytes.len() / 2;
+                        if let Some(b) = bytes.get_mut(mid) {
+                            *b ^= 0x10;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match parse_segment(&bytes, i) {
+                Some(entries) => cache.shards[i].entries = entries,
+                None => cache.segments_rejected += 1,
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The satisfying model stored under `key`, if any. Callers must
+    /// re-verify the model by concrete evaluation before trusting it.
+    pub fn lookup(&self, key: u64) -> Option<Model> {
+        let shard = &self.shards[(key % NUM_SHARDS as u64) as usize];
+        let bindings = shard.entries.get(&key)?;
+        let mut model = Model::default();
+        for (name, value) in bindings {
+            model.insert(name.as_str(), *value);
+        }
+        Some(model)
+    }
+
+    /// Stores (or refreshes) the model for `key`. Changes live in memory
+    /// until [`flush`](DiskCache::flush).
+    pub fn record(&mut self, key: u64, model: &Model) {
+        let bindings: Vec<(String, u64)> = model
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect();
+        let shard = &mut self.shards[(key % NUM_SHARDS as u64) as usize];
+        if shard.entries.get(&key) == Some(&bindings) {
+            return;
+        }
+        shard.entries.insert(key, bindings);
+        shard.dirty = true;
+        self.stores += 1;
+    }
+
+    /// Counts one verified read-through hit (called by the solver *after*
+    /// concrete evaluation confirmed the loaded model).
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Verified read-through hits across every solver sharing this handle.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Models recorded (new or changed) since open.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Segments dropped at load time for corruption, truncation, version
+    /// mismatch, or read errors.
+    pub fn segments_rejected(&self) -> u64 {
+        self.segments_rejected
+    }
+
+    /// Total entries currently held across all shards.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Rewrites every dirty shard's segment file atomically (full render
+    /// to a tmp file, then rename). Entries are written in key order, so
+    /// equal caches produce byte-identical segments.
+    pub fn flush(&mut self) -> io::Result<()> {
+        for i in 0..NUM_SHARDS {
+            if !self.shards[i].dirty {
+                continue;
+            }
+            let mut text = format!("{}\n", segment_header(i));
+            for (key, bindings) in &self.shards[i].entries {
+                let payload = render_entry(*key, bindings);
+                text.push_str(&format!("{:08x} {payload}\n", crc32(payload.as_bytes())));
+            }
+            let path = self.segment_path(i);
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            fs::write(&tmp, text.as_bytes())?;
+            fs::rename(&tmp, &path)?;
+            self.shards[i].dirty = false;
+        }
+        Ok(())
+    }
+
+    /// The segment file backing shard `i`.
+    pub fn segment_path(&self, i: usize) -> PathBuf {
+        self.dir.join(format!("seg-{i}.bomblab"))
+    }
+}
+
+/// The version-stamped first line of shard `i`'s segment.
+fn segment_header(i: usize) -> String {
+    format!("bomblab-cache v{FORMAT_VERSION} rev{PIPELINE_REV} shard{i}")
+}
+
+/// `key binding binding ...` with hex-encoded variable names (names are
+/// opaque bytes; hex keeps the line format whitespace-safe).
+fn render_entry(key: u64, bindings: &[(String, u64)]) -> String {
+    let mut s = format!("{key:016x}");
+    for (name, value) in bindings {
+        s.push(' ');
+        for b in name.as_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s.push(':');
+        s.push_str(&format!("{value:016x}"));
+    }
+    s
+}
+
+/// Parses one segment; `None` rejects the whole segment (any bad header,
+/// checksum, or malformed line poisons it — partial trust is not worth the
+/// bookkeeping when a rebuild is one warm study away).
+fn parse_segment(bytes: &[u8], shard: usize) -> Option<BTreeMap<u64, Vec<(String, u64)>>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != segment_header(shard) {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for line in lines {
+        let crc_hex = line.get(..8)?;
+        let payload = line.get(8..)?.strip_prefix(' ')?;
+        let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+        if crc != crc32(payload.as_bytes()) {
+            return None;
+        }
+        let mut tokens = payload.split(' ');
+        let key = u64::from_str_radix(tokens.next()?, 16).ok()?;
+        let mut bindings = Vec::new();
+        for tok in tokens {
+            let (name_hex, value_hex) = tok.split_once(':')?;
+            let name = hex_decode(name_hex)?;
+            let value = u64::from_str_radix(value_hex, 16).ok()?;
+            bindings.push((name, value));
+        }
+        entries.insert(key, bindings);
+    }
+    Some(entries)
+}
+
+/// Decodes a hex-encoded UTF-8 variable name.
+fn hex_decode(s: &str) -> Option<String> {
+    if s.is_empty() || !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(s.len() / 2);
+    for i in (0..s.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(s.get(i..i + 2)?, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BvOp, CmpOp};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bomblab-diskcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_model() -> Model {
+        let mut m = Model::default();
+        m.insert("x", 0x35);
+        m.insert("arg1_b0", 0x30);
+        m
+    }
+
+    #[test]
+    fn round_trips_models_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let mut c = DiskCache::open(&dir).expect("open");
+        c.record(7, &sample_model());
+        c.record(8, &Model::default()); // empty models are legal entries
+        c.flush().expect("flush");
+
+        let c2 = DiskCache::open(&dir).expect("reopen");
+        assert_eq!(c2.segments_rejected(), 0);
+        assert_eq!(c2.entries(), 2);
+        let m = c2.lookup(7).expect("entry survives");
+        assert_eq!(m.get("x"), Some(0x35));
+        assert_eq!(m.get("arg1_b0"), Some(0x30));
+        assert!(c2.lookup(8).is_some());
+        assert!(c2.lookup(9).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_truncated_and_mismatched_segments_are_rejected_not_fatal() {
+        let dir = tmpdir("corrupt");
+        let mut c = DiskCache::open(&dir).expect("open");
+        for key in 0..8u64 {
+            c.record(key, &sample_model());
+        }
+        c.flush().expect("flush");
+
+        // Bit-flip one segment, truncate another mid-line, version-bump a
+        // third's header. Each is rejected whole; the rest load fine.
+        let p0 = c.segment_path(0);
+        let mut bytes = fs::read(&p0).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&p0, &bytes).expect("write");
+
+        let p1 = c.segment_path(1);
+        let bytes = fs::read(&p1).expect("read");
+        fs::write(&p1, &bytes[..bytes.len() - 5]).expect("write");
+
+        let p2 = c.segment_path(2);
+        let text = fs::read_to_string(&p2).expect("read");
+        let bumped = text.replace(
+            &format!("v{FORMAT_VERSION} rev{PIPELINE_REV}"),
+            &format!("v{FORMAT_VERSION} rev{}", PIPELINE_REV + 1),
+        );
+        fs::write(&p2, bumped).expect("write");
+
+        let c2 = DiskCache::open(&dir).expect("reopen never fails on corruption");
+        assert_eq!(c2.segments_rejected(), 3);
+        assert_eq!(c2.entries(), 2, "only the intact shard's entries load");
+
+        // A flush after fresh records rebuilds the poisoned segments.
+        let mut c2 = c2;
+        for key in 0..8u64 {
+            c2.record(key, &sample_model());
+        }
+        c2.flush().expect("rebuild flush");
+        let c3 = DiskCache::open(&dir).expect("reopen");
+        assert_eq!(c3.segments_rejected(), 0);
+        assert_eq!(c3.entries(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_keys_are_stable_and_content_based() {
+        let x = Term::var("x", 32);
+        let c1 = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Add, &x, &Term::bv(1, 32)),
+            &Term::bv(5, 32),
+        );
+        let c2 = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Add, &x, &Term::bv(2, 32)),
+            &Term::bv(5, 32),
+        );
+        assert_eq!(
+            disk_key(std::slice::from_ref(&c1)),
+            disk_key(std::slice::from_ref(&c1))
+        );
+        assert_ne!(disk_key(&[c1]), disk_key(&[c2]));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_of_identical_bindings_stays_clean() {
+        let dir = tmpdir("clean");
+        let mut c = DiskCache::open(&dir).expect("open");
+        c.record(3, &sample_model());
+        assert_eq!(c.stores(), 1);
+        c.record(3, &sample_model());
+        assert_eq!(c.stores(), 1, "identical re-record is a no-op");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

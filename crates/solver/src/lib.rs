@@ -36,6 +36,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bitblast;
+pub mod diskcache;
 pub mod expr;
 pub mod idhash;
 pub mod interval;
@@ -44,9 +45,13 @@ pub mod simplify;
 pub mod slice;
 pub mod smtlib;
 
+pub use diskcache::DiskCache;
+
 use expr::{eval, Term, Value, Var};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Resource limits for a single `check` call.
@@ -284,6 +289,13 @@ pub struct Solver {
     no_query_cache: bool,
     no_simplify: bool,
     no_slice: bool,
+    /// Shared persistent model store ([`DiskCache`]), when attached.
+    disk: Option<Rc<RefCell<DiskCache>>>,
+    /// Whether cache-missed slices may be *answered* from the disk store
+    /// (hits are always re-verified by concrete evaluation). With this off
+    /// the solver only records models — the write-only mode stateless
+    /// paper-tool profiles use to warm the cache without changing answers.
+    disk_read: bool,
     stats: std::cell::Cell<SolveStats>,
     cache_stats: std::cell::Cell<CacheStats>,
     state: std::cell::RefCell<SolverState>,
@@ -325,6 +337,19 @@ impl Solver {
     /// Ablation hook for the optimizer bench.
     pub fn with_slicing(mut self, enabled: bool) -> Solver {
         self.no_slice = !enabled;
+        self
+    }
+
+    /// Attaches a shared persistent model store. Satisfying slice models
+    /// are recorded into it; with `read_through` they also *answer*
+    /// cache-missed slices — after mandatory re-verification by concrete
+    /// evaluation, so a stale or corrupt store can never produce a wrong
+    /// model. Stateless paper-tool profiles attach write-only
+    /// (`read_through = false`): their per-query throwaway solvers warm the
+    /// store without observable effect on any verdict.
+    pub fn with_disk_cache(mut self, cache: Rc<RefCell<DiskCache>>, read_through: bool) -> Solver {
+        self.disk = Some(cache);
+        self.disk_read = read_through;
         self
     }
 
@@ -633,8 +658,27 @@ impl Solver {
                     }
                 }
                 None => {
-                    self.bump_cache(|cs| cs.misses += 1);
-                    missed.push(slice_terms);
+                    if let Some(m) = self.disk_lookup(slice_terms) {
+                        // Warm start: answered from the persistent store
+                        // (verified inside `disk_lookup`). Feed the
+                        // in-memory layers so later rounds hit without
+                        // touching the disk again.
+                        if !self.no_query_cache {
+                            let mut st = self.state.borrow_mut();
+                            st.pinned.extend(slice_terms.iter().cloned());
+                            Self::cache_store(
+                                &mut st,
+                                query_key(slice_terms),
+                                &SolveOutcome::Sat(m.clone()),
+                            );
+                        }
+                        for (name, value) in m.iter() {
+                            merged.values.insert(name.clone(), *value);
+                        }
+                    } else {
+                        self.bump_cache(|cs| cs.misses += 1);
+                        missed.push(slice_terms);
+                    }
                 }
             }
         }
@@ -659,6 +703,7 @@ impl Solver {
                                 &SolveOutcome::Sat(m.clone()),
                             );
                         }
+                        self.disk_record(slice_terms, &m);
                         for (name, value) in m.iter() {
                             merged.values.insert(name.clone(), *value);
                         }
@@ -731,6 +776,7 @@ impl Solver {
                                     sub.values.insert(var.name.clone(), *v);
                                 }
                             }
+                            self.disk_record(slice_terms, &sub);
                             let key = query_key(slice_terms);
                             Self::cache_store(&mut st, key, &SolveOutcome::Sat(sub));
                         }
@@ -823,6 +869,48 @@ impl Solver {
             sat::SatResult::Unsat => SolveOutcome::Unsat,
             sat::SatResult::Unknown => SolveOutcome::Unknown(UnknownReason::ConflictBudget),
         })
+    }
+
+    /// Read-through lookup of one slice in the persistent store. Returns a
+    /// model only after concrete evaluation confirms it satisfies every
+    /// slice constraint — the disk is untrusted input, so verification is
+    /// the soundness authority, exactly as for the interval witnesses.
+    fn disk_lookup(&self, slice_terms: &[Term]) -> Option<Model> {
+        if !self.disk_read {
+            return None;
+        }
+        let handle = self.disk.as_ref()?;
+        let stored = handle.borrow().lookup(diskcache::disk_key(slice_terms))?;
+        let mut vars = Vec::new();
+        for c in slice_terms {
+            c.collect_vars(&mut vars);
+        }
+        vars.sort();
+        vars.dedup();
+        let mut model = Model::default();
+        for var in &vars {
+            model.insert(var.name.clone(), stored.get(&var.name).unwrap_or(0));
+        }
+        let env = model.as_env();
+        if slice_terms
+            .iter()
+            .all(|c| eval(c, &env).is_ok_and(|v| v.truth()))
+        {
+            handle.borrow_mut().note_hit();
+            Some(model)
+        } else {
+            None
+        }
+    }
+
+    /// Records a satisfying slice model into the persistent store (no-op
+    /// without an attached store).
+    fn disk_record(&self, slice_terms: &[Term], model: &Model) {
+        if let Some(handle) = &self.disk {
+            handle
+                .borrow_mut()
+                .record(diskcache::disk_key(slice_terms), model);
+        }
     }
 
     fn bump_cache(&self, f: impl FnOnce(&mut CacheStats)) {
@@ -1328,6 +1416,70 @@ mod tests {
             SolveOutcome::Unknown(UnknownReason::ConflictBudget) | SolveOutcome::Sat(_) => {}
             other => panic!("expected budget exhaustion or lucky sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn persistent_cache_warms_across_solver_instances() {
+        let dir = std::env::temp_dir().join(format!("bomblab-solver-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let x = Term::var("x", 8);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, 8)),
+            &Term::bv(0x6F, 8),
+        );
+        let disk = Rc::new(RefCell::new(DiskCache::open(&dir).expect("open")));
+        let s1 = Solver::new().with_disk_cache(disk.clone(), false);
+        let SolveOutcome::Sat(m1) = s1.check(std::slice::from_ref(&c)) else {
+            panic!("expected sat");
+        };
+        disk.borrow_mut().flush().expect("flush");
+        assert_eq!(disk.borrow().hits(), 0, "write-only mode never reads");
+        assert!(disk.borrow().stores() > 0, "write-only mode records models");
+
+        let disk2 = Rc::new(RefCell::new(DiskCache::open(&dir).expect("reopen")));
+        let s2 = Solver::new().with_disk_cache(disk2.clone(), true);
+        let SolveOutcome::Sat(m2) = s2.check(&[c]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m1.get("x"), m2.get("x"));
+        assert_eq!(disk2.borrow().hits(), 1, "answered from the warm store");
+        assert_eq!(s2.stats().sat_vars, 0, "no bit-blasting on the warm path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_disk_models_are_rejected_by_verification() {
+        let dir =
+            std::env::temp_dir().join(format!("bomblab-solver-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let x = Term::var("x", 8);
+        let c = Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, 8)),
+            &Term::bv(0x6F, 8),
+        );
+        let disk = Rc::new(RefCell::new(DiskCache::open(&dir).expect("open")));
+        let mut wrong = Model::default();
+        wrong.insert("x", 0u64);
+        disk.borrow_mut()
+            .record(diskcache::disk_key(std::slice::from_ref(&c)), &wrong);
+        // Simplify and slicing off so the queried slice is the original
+        // term and the poisoned key is the one the solver looks up.
+        let s = Solver::new()
+            .with_simplify(false)
+            .with_slicing(false)
+            .with_disk_cache(disk.clone(), true);
+        let SolveOutcome::Sat(m) = s.check(&[c]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m.get("x"), Some(0x35), "solved correctly despite poison");
+        assert_eq!(
+            disk.borrow().hits(),
+            0,
+            "unverified model never counts as a hit"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

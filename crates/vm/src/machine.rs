@@ -944,7 +944,11 @@ impl Machine {
                 FaultAction::MemFault => return Err(MachineError::InjectedMemFault { pc }),
                 FaultAction::Panic => panic!("injected panic in the vm step loop"),
                 FaultAction::Stall => trip_stall(),
-                FaultAction::Unknown => {}
+                // `Unknown` plus the durability-layer actions (torn write,
+                // short read, rename failure, bit flip) — none apply to an
+                // instruction step and `valid_actions` never plans them
+                // here.
+                _ => {}
             }
         }
         let outcome = self.dispatch(pid, tid, pc)?;

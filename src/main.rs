@@ -12,8 +12,10 @@
 //! bomblab analyze --bombs [prefix]      analyze the dataset, print summaries
 //! bomblab bombs                         list the dataset
 //! bomblab study [prefix] [--jobs N] [--trace out.jsonl]
-//!                                       run the Table-II study
-//! bomblab chaos [prefix] [--seed N] [--faults K] [--sweeps M] [--jobs N]
+//!               [--checkpoint dir] [--resume] [--retries N] [--cache-dir dir]
+//!                                       run the Table-II study (durably)
+//! bomblab chaos [prefix] [--seed N] [--faults K] [--io-faults K] [--sweeps M]
+//!               [--jobs N] [--retries N] [--checkpoint dir] [--cache-dir dir]
 //!               [--trace out.jsonl]     fault-injection sweeps + containment check
 //! bomblab tracecheck <file.jsonl>       validate a trace against the schema
 //! ```
@@ -22,6 +24,12 @@
 //! `bomblab study decl --jobs 4` are the same invocation — and unknown
 //! flags are rejected with the accepted set. `--flag value` and
 //! `--flag=value` are both accepted.
+//!
+//! Exit codes: 0 success, 1 runtime failure (I/O, bad image, failed
+//! containment/validation), 2 usage error (unknown flag, bad value,
+//! missing argument).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use bomblab::concolic::{
     chaos_sweep, run_study_with, ChaosConfig, Engine, GroundTruth, Outcome, StaticHints,
@@ -58,12 +66,89 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
 
-type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
+/// A typed CLI failure that carries its process exit code, so every
+/// error path maps deliberately onto the shell contract instead of
+/// collapsing to a generic `1`.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown flag, bad value, missing argument (exit 2).
+    Usage(String),
+    /// The OS said no: reading inputs, writing traces or images (exit 1).
+    Io(std::io::Error),
+    /// Malformed data: bad image bytes, assembly errors, VM load
+    /// failures (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Io(_) | CliError::Other(_) => ExitCode::FAILURE,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Other(m) => f.write_str(m),
+            CliError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+// Bare strings in command bodies are invocation complaints ("missing
+// input file", "unknown flag"): usage errors, exit 2. Library failures
+// arrive through the dedicated `From`s below and exit 1.
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+impl From<bomblab::isa::image::ImageError> for CliError {
+    fn from(e: bomblab::isa::image::ImageError) -> CliError {
+        CliError::Other(e.to_string())
+    }
+}
+
+impl From<bomblab::rt::BuildError> for CliError {
+    fn from(e: bomblab::rt::BuildError) -> CliError {
+        CliError::Other(e.to_string())
+    }
+}
+
+impl From<bomblab::vm::LoadError> for CliError {
+    fn from(e: bomblab::vm::LoadError) -> CliError {
+        CliError::Other(e.to_string())
+    }
+}
+
+impl From<std::string::FromUtf8Error> for CliError {
+    fn from(e: std::string::FromUtf8Error) -> CliError {
+        CliError::Other(format!("input is neither BVM nor UTF-8 assembly: {e}"))
+    }
+}
+
+type CmdResult = Result<ExitCode, CliError>;
 
 /// One flag a subcommand accepts: canonical `--name`, optional short
 /// alias, and whether it consumes a value (`--flag value` or
@@ -165,7 +250,7 @@ fn write_trace(
     path: &str,
     lines: &[String],
     profile_summary: Option<&str>,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<(), CliError> {
     let mut doc = lines.join("\n");
     doc.push('\n');
     std::fs::write(path, doc)?;
@@ -181,7 +266,7 @@ fn write_trace(
 
 /// Loads an image from a `.s` source file (assembled against the runtime)
 /// or a serialized `.bvm` image.
-fn load_image(path: &str) -> Result<Image, Box<dyn std::error::Error>> {
+fn load_image(path: &str) -> Result<Image, CliError> {
     let bytes = std::fs::read(path)?;
     if bytes.starts_with(b"BVM1") {
         Ok(Image::from_bytes(&bytes)?)
@@ -223,7 +308,7 @@ fn cmd_dis(args: &[String]) -> CmdResult {
     Ok(ExitCode::SUCCESS)
 }
 
-fn machine_for(args: &[String], trace: bool) -> Result<Machine, Box<dyn std::error::Error>> {
+fn machine_for(args: &[String], trace: bool) -> Result<Machine, CliError> {
     let input = args.first().ok_or("missing input file")?;
     let image = load_image(input)?;
     let arg = args.get(1).cloned().unwrap_or_default();
@@ -565,14 +650,47 @@ fn cmd_bombs() -> CmdResult {
     Ok(ExitCode::SUCCESS)
 }
 
+const CHECKPOINT: FlagSpec = FlagSpec {
+    name: "--checkpoint",
+    alias: None,
+    takes_value: true,
+};
+const RETRIES: FlagSpec = FlagSpec {
+    name: "--retries",
+    alias: None,
+    takes_value: true,
+};
+const CACHE_DIR: FlagSpec = FlagSpec {
+    name: "--cache-dir",
+    alias: None,
+    takes_value: true,
+};
+
 fn cmd_study(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_flags("study", args, &[JOBS, TRACE], 1)?;
+    const RESUME: FlagSpec = FlagSpec {
+        name: "--resume",
+        alias: None,
+        takes_value: false,
+    };
+    let (pos, flags) = parse_flags(
+        "study",
+        args,
+        &[JOBS, TRACE, CHECKPOINT, RESUME, RETRIES, CACHE_DIR],
+        1,
+    )?;
     let prefix = pos.first().cloned().unwrap_or_default();
     let jobs = match flags.get("--jobs") {
         Some(n) => parse_num("study", "--jobs", n)?,
         None => default_jobs(),
     };
     let trace_path = flags.get("--trace");
+    if flags.contains_key("--resume") && !flags.contains_key("--checkpoint") {
+        return Err("study: --resume needs --checkpoint <dir>".into());
+    }
+    let retries = match flags.get("--retries") {
+        Some(n) => parse_num("study", "--retries", n)?,
+        None => 0,
+    };
     let cases: Vec<_> = bomblab::bombs::all_cases()
         .into_iter()
         .filter(|c| c.subject.name.starts_with(&prefix))
@@ -583,6 +701,10 @@ fn cmd_study(args: &[String]) -> CmdResult {
     let options = StudyOptions {
         jobs,
         observe: trace_path.is_some(),
+        retries,
+        checkpoint: flags.get("--checkpoint").map(std::path::PathBuf::from),
+        resume: flags.contains_key("--resume"),
+        solver_cache_dir: flags.get("--cache-dir").map(std::path::PathBuf::from),
         ..StudyOptions::default()
     };
     let report = run_study_with(&cases, &ToolProfile::paper_lineup(), &options);
@@ -609,7 +731,19 @@ fn cmd_chaos(args: &[String]) -> CmdResult {
         alias: None,
         takes_value: true,
     };
-    let (pos, flags) = parse_flags("chaos", args, &[SEED, FAULTS, SWEEPS, JOBS, TRACE], 1)?;
+    const IO_FAULTS: FlagSpec = FlagSpec {
+        name: "--io-faults",
+        alias: None,
+        takes_value: true,
+    };
+    let (pos, flags) = parse_flags(
+        "chaos",
+        args,
+        &[
+            SEED, FAULTS, IO_FAULTS, SWEEPS, JOBS, TRACE, RETRIES, CHECKPOINT, CACHE_DIR,
+        ],
+        1,
+    )?;
     let prefix = pos.first().cloned().unwrap_or_default();
     let mut config = ChaosConfig {
         jobs: default_jobs(),
@@ -621,12 +755,20 @@ fn cmd_chaos(args: &[String]) -> CmdResult {
     if let Some(v) = flags.get("--faults") {
         config.faults = parse_num("chaos", "--faults", v)?;
     }
+    if let Some(v) = flags.get("--io-faults") {
+        config.io_faults = parse_num("chaos", "--io-faults", v)?;
+    }
     if let Some(v) = flags.get("--sweeps") {
         config.sweeps = parse_num("chaos", "--sweeps", v)?;
     }
     if let Some(v) = flags.get("--jobs") {
         config.jobs = parse_num("chaos", "--jobs", v)?;
     }
+    if let Some(v) = flags.get("--retries") {
+        config.retries = parse_num("chaos", "--retries", v)?;
+    }
+    config.checkpoint = flags.get("--checkpoint").map(std::path::PathBuf::from);
+    config.solver_cache_dir = flags.get("--cache-dir").map(std::path::PathBuf::from);
     let trace_path = flags.get("--trace");
     config.observe = trace_path.is_some();
     if config.jobs == 0 {
