@@ -359,6 +359,39 @@ fn load_valid(text: &str, fingerprint: u64) -> (Vec<String>, HashMap<u64, CellRe
     (kept, completed)
 }
 
+/// Historical per-cell wall-clock costs from the journal in `dir`, keyed
+/// by `(bomb, profile)` name — scheduler fuel for the study runner's
+/// longest-processing-time-first cell ordering.
+///
+/// Deliberately *fingerprint-agnostic*, unlike [`Journal::open`]: a cell's
+/// cost is a fine scheduling hint even when the journal was written by a
+/// study with a different plan, retry policy, or deadline — the worst a
+/// stale cost can do is order cells suboptimally, never change a result.
+/// Each line still has to pass its CRC (a torn record is noise, not a
+/// cost), and unknown `(bomb, profile)` pairs are simply ignored by the
+/// scheduler. Duplicated pairs keep the *latest* record, matching the
+/// journal's replay semantics. Any read failure yields an empty map.
+///
+/// Call this *before* [`Journal::open`] when the study is not resuming:
+/// a non-resume open truncates the journal, costs and all.
+#[must_use]
+pub fn load_costs(dir: &Path) -> HashMap<(String, String), u64> {
+    let mut costs = HashMap::new();
+    let Ok(text) = fs::read_to_string(dir.join(JOURNAL_FILE)) else {
+        return costs;
+    };
+    for line in text.lines().skip(1) {
+        let Some(payload) = checked_payload(line) else {
+            break;
+        };
+        let Ok(record) = CellRecord::from_json(payload) else {
+            break;
+        };
+        costs.insert((record.bomb, record.profile), record.wall_ns);
+    }
+    costs
+}
+
 /// Splits a `crc32hex json` line and returns the payload iff the
 /// checksum verifies.
 fn checked_payload(line: &str) -> Option<&str> {
@@ -494,6 +527,48 @@ mod tests {
             "the non-resume open wiped the records"
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_costs_is_fingerprint_agnostic_and_crc_guarded() {
+        let dir = tmp_dir("costs");
+        let (mut journal, _) = Journal::open(&dir, fingerprint(["study-a"]), false).unwrap();
+        for i in 0..3 {
+            journal
+                .append(&CellRecord {
+                    wall_ns: 1_000 * (i + 1),
+                    ..record(i)
+                })
+                .unwrap();
+        }
+        // A later record for the same (bomb, profile) supersedes.
+        journal
+            .append(&CellRecord {
+                wall_ns: 9_999,
+                ..record(1)
+            })
+            .unwrap();
+        let costs = load_costs(&dir);
+        assert_eq!(costs.len(), 3);
+        assert_eq!(
+            costs[&("bomb_1".to_string(), "triton".to_string())],
+            9_999,
+            "latest record wins"
+        );
+        // Costs load even though the asking study has a different
+        // fingerprint — stale costs are hints, not results.
+        assert_eq!(costs[&("bomb_0".to_string(), "triton".to_string())], 1_000);
+        // Corrupt a middle record: it and everything after are dropped.
+        let path = dir.join(JOURNAL_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[2] = lines[2].replace("bomb_1", "bomb_X");
+        fs::write(&path, lines.join("\n")).unwrap();
+        let costs = load_costs(&dir);
+        assert_eq!(costs.len(), 1);
+        // A missing journal yields an empty map, never an error.
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_costs(&dir).is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use bomblab_ir::lift;
 use bomblab_isa::image::{layout, Image};
 use bomblab_obs as obs;
 use bomblab_solver::expr::{CmpOp, Term};
-use bomblab_solver::{DiskCache, SolveOutcome, Solver, UnknownReason};
+use bomblab_solver::{DiskCache, ShardCache, SolveOutcome, Solver, UnknownReason};
 use bomblab_symex::{SymExec, SymbolizeEnv};
 use bomblab_taint::{TaintEngine, TaintPolicy};
 use bomblab_vm::{Machine, RunStatus, Trace, BOOM_EXIT_CODE, ROOT_PID};
@@ -274,6 +274,18 @@ pub struct Evidence {
     /// Persistent-cache segments rejected at load for corruption,
     /// truncation, or version mismatch (then rebuilt on flush).
     pub cache_segments_rejected: u64,
+    /// Total CDCL propagations across all queries (denominator for the
+    /// `blocker_skips` sanity bound — skips happen inside watch-list
+    /// walks, which propagations drive).
+    pub propagations: u64,
+    /// Cache-missed slices answered from the study-wide shared in-process
+    /// solver cache (verified read-through hits), when one is armed.
+    pub shared_cache_hits: u64,
+    /// Slice models this cell stored into the shared in-process cache.
+    pub shared_cache_stores: u64,
+    /// Shared-cache models rejected by read-through verification (stale or
+    /// corrupt entries; counted, never answered from).
+    pub shared_cache_rejected: u64,
 }
 
 /// Structured diagnostic for a contained per-cell failure: what the cell
@@ -444,6 +456,7 @@ pub struct Engine {
     profile: ToolProfile,
     hints: StaticHints,
     cache_dir: Option<std::path::PathBuf>,
+    shared_cache: Option<std::sync::Arc<ShardCache>>,
 }
 
 impl Engine {
@@ -453,6 +466,7 @@ impl Engine {
             profile,
             hints: StaticHints::default(),
             cache_dir: None,
+            shared_cache: None,
         }
     }
 
@@ -472,6 +486,18 @@ impl Engine {
     #[must_use]
     pub fn with_solver_cache_dir(mut self, dir: Option<std::path::PathBuf>) -> Engine {
         self.cache_dir = dir;
+        self
+    }
+
+    /// Arms the study-wide shared in-process solver cache. The gating
+    /// discipline mirrors [`with_solver_cache_dir`](Engine::with_solver_cache_dir):
+    /// profiles with `incremental_solver` read through it (every loaded
+    /// model re-verified by concrete evaluation), stateless paper-tool
+    /// profiles attach write-only — warming the cache for sibling cells
+    /// without any observable effect on their own verdicts.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Option<std::sync::Arc<ShardCache>>) -> Engine {
+        self.shared_cache = cache;
         self
     }
 
@@ -530,6 +556,9 @@ impl Engine {
             .with_float_mode(self.profile.float_mode);
         if let Some(d) = &disk {
             solver = solver.with_disk_cache(d.clone(), self.profile.incremental_solver);
+        }
+        if let Some(shared) = &self.shared_cache {
+            solver = solver.with_shared_cache(shared.clone(), self.profile.incremental_solver);
         }
         let solver = solver;
 
@@ -823,6 +852,11 @@ impl Engine {
                         // stateless profile's per-query cost model.
                         t = t.with_disk_cache(d.clone(), false);
                     }
+                    if let Some(shared) = &self.shared_cache {
+                        // Same write-only discipline for the shared
+                        // in-process cache.
+                        t = t.with_shared_cache(shared.clone(), false);
+                    }
                     throwaway = t;
                     &throwaway
                 };
@@ -838,6 +872,10 @@ impl Engine {
                 evidence.slice_ns += qstats.slice_ns;
                 evidence.blocker_skips += qstats.blocker_skips;
                 evidence.lbd_evictions += qstats.lbd_evictions;
+                evidence.propagations += qstats.propagations;
+                evidence.shared_cache_hits += qstats.shared_cache_hits;
+                evidence.shared_cache_stores += qstats.shared_cache_stores;
+                evidence.shared_cache_rejected += qstats.shared_cache_rejected;
                 let outcome = match result {
                     Ok(out) => out,
                     Err(e) => {

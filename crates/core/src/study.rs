@@ -120,6 +120,14 @@ pub struct StudyOptions {
     /// `incremental_solver` profiles read through it with every loaded
     /// model re-verified by concrete evaluation.
     pub solver_cache_dir: Option<PathBuf>,
+    /// Arm the study-wide shared in-process solver cache: one sharded
+    /// model store every cell's solvers attach to, so slices repeated
+    /// across (bomb, profile) cells are solved once per *study* instead of
+    /// once per cell. Same gating discipline as the disk cache — stateless
+    /// paper-tool profiles attach write-only, `incremental_solver`
+    /// profiles read through with concrete-eval re-verification — so
+    /// Table II stays byte-identical with this on or off. On by default.
+    pub shared_cache: bool,
 }
 
 impl Default for StudyOptions {
@@ -137,6 +145,7 @@ impl Default for StudyOptions {
             checkpoint: None,
             resume: false,
             solver_cache_dir: None,
+            shared_cache: true,
         }
     }
 }
@@ -152,6 +161,12 @@ pub struct StudyStats {
     /// self-healing — the record lives in memory and the next successful
     /// append re-publishes it — so the count is diagnostic, not fatal.
     pub checkpoint_io_errors: u64,
+    /// Cells whose scheduling cost came from a checkpoint journal's
+    /// historical wall clock (cost-aware LPT ordering).
+    pub sched_costed: u64,
+    /// Cells scheduled on the static-analysis fallback estimate (no
+    /// usable history).
+    pub sched_estimated: u64,
 }
 
 /// The full study outcome.
@@ -436,6 +451,9 @@ impl StudyReport {
                 if ev.blocker_skips > 0 {
                     line = line.u64("blocker_skips", ev.blocker_skips);
                 }
+                if ev.propagations > 0 {
+                    line = line.u64("propagations", ev.propagations);
+                }
                 if ev.lbd_evictions > 0 {
                     line = line.u64("lbd_evictions", ev.lbd_evictions);
                 }
@@ -467,6 +485,15 @@ impl StudyReport {
                 }
                 if ev.cache_segments_rejected > 0 {
                     line = line.u64("cache_segments_rejected", ev.cache_segments_rejected);
+                }
+                if ev.shared_cache_hits > 0 {
+                    line = line.u64("shared_cache_hits", ev.shared_cache_hits);
+                }
+                if ev.shared_cache_stores > 0 {
+                    line = line.u64("shared_cache_stores", ev.shared_cache_stores);
+                }
+                if ev.shared_cache_rejected > 0 {
+                    line = line.u64("shared_cache_rejected", ev.shared_cache_rejected);
                 }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
@@ -529,6 +556,12 @@ impl StudyReport {
         }
         if self.stats.checkpoint_io_errors > 0 {
             summary = summary.u64("checkpoint_io_errors", self.stats.checkpoint_io_errors);
+        }
+        if self.stats.sched_costed > 0 {
+            summary = summary.u64("sched_costed", self.stats.sched_costed);
+        }
+        if self.stats.sched_estimated > 0 {
+            summary = summary.u64("sched_estimated", self.stats.sched_estimated);
         }
         out.push(summary.finish());
         out
@@ -665,6 +698,10 @@ impl StudyReport {
             let mut decoded = 0u64;
             let mut blockers = 0u64;
             let mut evictions = 0u64;
+            let mut propagations = 0u64;
+            let mut shared_hits = 0u64;
+            let mut shared_stores = 0u64;
+            let mut shared_rejected = 0u64;
             for row in &self.rows {
                 for cell in &row.cells {
                     let ev = &cell.attempt.evidence;
@@ -675,6 +712,10 @@ impl StudyReport {
                     decoded += ev.steps_decoded;
                     blockers += ev.blocker_skips;
                     evictions += ev.lbd_evictions;
+                    propagations += ev.propagations;
+                    shared_hits += ev.shared_cache_hits;
+                    shared_stores += ev.shared_cache_stores;
+                    shared_rejected += ev.shared_cache_rejected;
                 }
             }
             let _ = writeln!(out, "\n## VM dispatch\n");
@@ -685,7 +726,25 @@ impl StudyReport {
             );
             let _ = writeln!(
                 out,
-                "SAT hot loop: {blockers} blocker skips, {evictions} LBD evictions."
+                "SAT hot loop: {propagations} propagations, {blockers} blocker skips, \
+                 {evictions} LBD evictions."
+            );
+            let _ = writeln!(
+                out,
+                "Shared solver cache: {shared_stores} models stored, {shared_hits} verified \
+                 read-through hits, {shared_rejected} rejected by verification."
+            );
+        }
+
+        if self.stats.sched_costed + self.stats.sched_estimated > 0 {
+            let _ = writeln!(out, "\n## Scheduling\n");
+            let _ = writeln!(
+                out,
+                "Longest-processing-time-first over {} cells: {} costed from journal \
+                 history, {} on the static estimate.",
+                self.stats.sched_costed + self.stats.sched_estimated,
+                self.stats.sched_costed,
+                self.stats.sched_estimated
             );
         }
 
@@ -754,24 +813,57 @@ fn format_ns(ns: u64) -> String {
 }
 
 /// Maps `f` over `0..n`, fanning the indices across `jobs` scoped worker
-/// threads, with two layers of panic containment:
-///
-/// * every `f(i)` runs under `catch_unwind`, so a panicking item becomes
-///   `recover(i, panic_message)` and its worker keeps draining indices;
-/// * results land in per-index slots as they finish, so even if a worker
-///   somehow dies anyway (e.g. `recover` itself panicked), every finished
-///   item survives and the dead worker's unfinished slots are backfilled
-///   with `recover` after the scope joins.
-///
-/// The output order is `f(0), f(1), ..` regardless of scheduling.
-/// `jobs <= 1` (or a single item) runs inline on this thread with the
-/// same containment.
+/// threads. Equivalent to [`parallel_map_ordered`] with the identity
+/// claim order.
 fn parallel_map<T, F, R>(jobs: usize, n: usize, f: F, recover: R) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
     R: Fn(usize, String) -> T + Sync,
 {
+    parallel_map_ordered(jobs, n, None, f, recover)
+}
+
+/// Maps `f` over `0..n`, fanning the indices across `jobs` scoped worker
+/// threads, claiming them in the order given by the `order` permutation
+/// (workers pop `order[0], order[1], ..`; `None` means `0, 1, ..`). The
+/// claim order only shapes the *schedule* — results always land in the
+/// slot of their original index, so the output is `f(0), f(1), ..`
+/// regardless of ordering or interleaving. An `order` that is not a
+/// permutation of `0..n` is a scheduler bug; it is discarded (identity
+/// fallback) rather than allowed to drop or duplicate work.
+///
+/// Panic containment comes in two layers:
+///
+/// * every `f(i)` runs under `catch_unwind`, so a panicking item becomes
+///   `recover(i, panic_message)` and its worker keeps draining indices;
+/// * the fan-out itself runs under `catch_unwind` — a worker can still die
+///   (e.g. `recover` itself panicked), and `std::thread::scope` re-raises
+///   a spawned thread's panic at join. Containing the scope keeps every
+///   finished item's slot, and the dead worker's unfinished slots are
+///   backfilled with `recover` afterwards.
+///
+/// `jobs <= 1` (or a single item) runs inline on this thread with the
+/// same containment.
+fn parallel_map_ordered<T, F, R>(
+    jobs: usize,
+    n: usize,
+    order: Option<Vec<usize>>,
+    f: F,
+    recover: R,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(usize, String) -> T + Sync,
+{
+    let order = order.filter(|o| {
+        let mut seen = vec![false; n];
+        o.len() == n
+            && o.iter()
+                .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+    });
+    let claim = |k: usize| order.as_ref().map_or(k, |o| o[k]);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let run_one = |i: usize| {
         let value = match catch_unwind(AssertUnwindSafe(|| f(i))) {
@@ -782,23 +874,29 @@ where
         // writing; the data is a plain Option we are about to overwrite.
         *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
     };
-    if jobs <= 1 || n <= 1 {
-        (0..n).for_each(&run_one);
-    } else {
-        let next = AtomicUsize::new(0);
-        let (next, run_one) = (&next, &run_one);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(n) {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    run_one(i);
-                });
-            }
-        });
-    }
+    let fan_out = || {
+        if jobs <= 1 || n <= 1 {
+            (0..n).for_each(|k| run_one(claim(k)));
+        } else {
+            let next = AtomicUsize::new(0);
+            let (next, run_one, claim) = (&next, &run_one, &claim);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(n) {
+                    scope.spawn(move || loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            return;
+                        }
+                        run_one(claim(k));
+                    });
+                }
+            });
+        }
+    };
+    // Contain the fan-out itself: if a worker dies past `run_one`'s
+    // containment, the scope re-raises that panic here — swallowing it is
+    // what makes the slot backfill below reachable.
+    let _ = catch_unwind(AssertUnwindSafe(fan_out));
     slots
         .into_iter()
         .enumerate()
@@ -1049,6 +1147,61 @@ pub fn run_study_with(
         },
     );
 
+    // Scheduling costs must be read *before* `Journal::open`: a
+    // non-resume open truncates the journal, history and all — and even a
+    // foreign journal's wall clocks are fine scheduling hints (the reason
+    // `load_costs` skips the fingerprint check a resume requires).
+    let historical = options
+        .checkpoint
+        .as_ref()
+        .map(|dir| checkpoint::load_costs(dir))
+        .unwrap_or_default();
+
+    // Cost-aware scheduling: claim cells longest-processing-time-first,
+    // so the multi-millisecond tail (covert_syscall, crypto_*) starts
+    // early instead of landing last on one worker while its siblings
+    // idle. Cost is the journal's historical wall clock when available,
+    // else a static-analysis estimate. The order shapes only the
+    // *schedule* — results land by original index, so report bytes are
+    // identical to the unscheduled fan-out at every `jobs` value.
+    let n_cells = cases.len() * profiles.len();
+    let mut sched_costed = 0u64;
+    let mut sched_estimated = 0u64;
+    let claim_order = if jobs > 1 && n_cells > 1 {
+        let mut cost = Vec::with_capacity(n_cells);
+        for k in 0..n_cells {
+            let case = &cases[k / profiles.len()];
+            let (col, profile) = (k % profiles.len(), &profiles[k % profiles.len()]);
+            let key = (case.subject.name.clone(), profile.name.clone());
+            match historical.get(&key) {
+                Some(&wall_ns) => {
+                    sched_costed += 1;
+                    cost.push(wall_ns);
+                }
+                None => {
+                    sched_estimated += 1;
+                    cost.push(estimate_cell_cost(
+                        &grounds[k / profiles.len()].1,
+                        &capabilities[col],
+                    ));
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n_cells).collect();
+        // Descending cost, dataset order on ties — deterministic for a
+        // given journal + dataset, whatever the historical timings were.
+        order.sort_by(|&a, &b| cost[b].cmp(&cost[a]).then(a.cmp(&b)));
+        Some(order)
+    } else {
+        None
+    };
+
+    // One shared in-process solver cache for the whole study (all cells,
+    // all workers). Read-through is gated per profile inside the engine.
+    let shared_cache = options
+        .shared_cache
+        .then(bomblab_solver::ShardCache::shared);
+
     // Checkpoint journal: opened (and truncated or replayed) before the
     // matrix fans out. An unopenable journal degrades to a plain run —
     // durability is best-effort, never a new way for a study to die.
@@ -1080,9 +1233,10 @@ pub fn run_study_with(
     let checkpoint_io_errors = AtomicU64::new(0);
 
     // Phase 2: the cell matrix, one containment boundary per attempt.
-    let cells = parallel_map(
+    let cells = parallel_map_ordered(
         jobs,
-        cases.len() * profiles.len(),
+        n_cells,
+        claim_order,
         |k| {
             let (case, (ground, analysis, _)) =
                 (&cases[k / profiles.len()], &grounds[k / profiles.len()]);
@@ -1135,6 +1289,7 @@ pub fn run_study_with(
                     Engine::new(profile.clone())
                         .with_static_hints(hints.clone())
                         .with_solver_cache_dir(options.solver_cache_dir.clone())
+                        .with_shared_cache(shared_cache.clone())
                         .explore(&case.subject, ground)
                 }));
                 let containment = fault::disarm(token);
@@ -1296,13 +1451,43 @@ pub fn run_study_with(
         stats: StudyStats {
             cells_replayed: cells_replayed.into_inner(),
             checkpoint_io_errors: checkpoint_io_errors.into_inner(),
+            sched_costed,
+            sched_estimated,
         },
+    }
+}
+
+/// Static scheduling estimate for one cell, when the journal has no
+/// history for it. The unit is fictional — only the *relative* order
+/// matters (ties fall back to dataset order), so the weights just rank
+/// how much solver work the predicted outcome implies: `Es2` cells grind
+/// the conflict budget down (crypto functions, covert propagation — the
+/// study's measured tail), predicted solves run the full concolic loop
+/// to detonation, the other failure stages die progressively earlier.
+fn estimate_cell_cost(
+    analysis: &Result<bomblab_sa::Analysis, CrashDiag>,
+    caps: &bomblab_sa::Capabilities,
+) -> u64 {
+    let Ok(a) = analysis else {
+        // The analyzer itself died on this binary: the engine cells will
+        // degrade quickly too.
+        return 1;
+    };
+    let predicted: Outcome = bomblab_sa::predict(&a.facts, caps).into();
+    match predicted {
+        Outcome::Es2 => 6,
+        Outcome::Solved | Outcome::Partial => 5,
+        Outcome::Es3 => 4,
+        Outcome::Es1 => 3,
+        Outcome::Es0 => 2,
+        Outcome::Abnormal => 1,
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{failure_is_deterministic, parallel_map};
+    use super::{failure_is_deterministic, parallel_map, parallel_map_ordered};
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn deadline_trips_are_always_transient() {
@@ -1360,5 +1545,73 @@ mod tests {
     fn every_item_panicking_still_yields_a_full_result_vector() {
         let out: Vec<usize> = parallel_map(4, 8, |_| panic!("all dead"), |i, _| i + 100);
         assert_eq!(out, (100..108).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn the_claim_order_shapes_the_schedule_but_never_the_output() {
+        let expected: Vec<usize> = (0..10).map(|i| i * i).collect();
+        let orders: Vec<Vec<usize>> = vec![
+            (0..10).rev().collect(),            // worst-first
+            (0..10).collect(),                  // identity
+            vec![5, 1, 9, 0, 7, 3, 8, 2, 6, 4], // arbitrary permutation
+        ];
+        for order in orders {
+            for jobs in [1, 2, 7] {
+                let out = parallel_map_ordered(jobs, 10, Some(order.clone()), |i| i * i, |i, _| i);
+                assert_eq!(out, expected, "jobs={jobs} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_bogus_claim_order_falls_back_to_identity() {
+        let expected: Vec<usize> = (0..5).map(|i| i + 1).collect();
+        for bogus in [
+            vec![0, 1, 2],          // too short: would drop items
+            vec![0, 1, 2, 3, 3],    // duplicate: would run one twice
+            vec![0, 1, 2, 3, 9],    // out of range: would index past n
+            vec![0, 0, 1, 2, 3, 4], // too long
+        ] {
+            let out = parallel_map_ordered(2, 5, Some(bogus.clone()), |i| i + 1, |i, _| i);
+            assert_eq!(out, expected, "bogus order {bogus:?} must not lose work");
+        }
+    }
+
+    #[test]
+    fn a_dead_worker_has_every_slot_backfilled() {
+        // Kill a worker outright: item 2's `f` panics AND its first
+        // `recover` panics too, which blows past the per-item containment
+        // and takes the whole worker thread down. The scope join must not
+        // re-raise that panic, and the post-join backfill must fill the
+        // dead worker's slot (second `recover` call) plus any items the
+        // worker never reached.
+        for jobs in [1, 4] {
+            let first_recover_panics = AtomicBool::new(true);
+            let out: Vec<String> = parallel_map(
+                jobs,
+                6,
+                |i| {
+                    assert!(i != 2, "boom at {i}");
+                    format!("ok {i}")
+                },
+                |i, message| {
+                    if i == 2 && first_recover_panics.swap(false, Ordering::SeqCst) {
+                        panic!("recover died too");
+                    }
+                    format!("recovered {i}: {message}")
+                },
+            );
+            assert_eq!(out.len(), 6, "jobs={jobs}: no slot may be lost");
+            for (i, v) in out.iter().enumerate() {
+                if i == 2 {
+                    assert!(v.starts_with("recovered 2"), "jobs={jobs}: got {v}");
+                } else {
+                    assert!(
+                        *v == format!("ok {i}") || v.starts_with(&format!("recovered {i}")),
+                        "jobs={jobs}: slot {i} holds {v}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -34,9 +34,15 @@ use crate::{CellProfile, Field};
 /// retry/quarantine counters and persistent-cache counters on `cell`
 /// lines (`retries`, `quarantined`, `retry_backoff_ns`, `disk_cache_hits`,
 /// `cache_segments_rejected`) and checkpoint counters on the `summary`
-/// trailer (`cells_replayed`, `checkpoint_io_errors`). All additions are
-/// optional fields, so v1 and v2 traces still validate.
-pub const SCHEMA_VERSION: u64 = 3;
+/// trailer (`cells_replayed`, `checkpoint_io_errors`); v4 — scaling
+/// fields: optional SAT `propagations` and shared in-process cache
+/// counters (`shared_cache_hits`, `shared_cache_stores`,
+/// `shared_cache_rejected`) on `cell` lines, plus cost-aware scheduler
+/// counters (`sched_costed`, `sched_estimated`) on the `summary` trailer,
+/// and a sanity bound tying `blocker_skips` to `propagations`. All
+/// additions are optional fields, so v1–v3 traces still validate (the
+/// blocker bound applies only when both counters are present).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Field kinds the validator distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +180,10 @@ const SCHEMA: &[TypeSchema] = &[
             ("retry_backoff_ns", Kind::U64),
             ("disk_cache_hits", Kind::U64),
             ("cache_segments_rejected", Kind::U64),
+            ("propagations", Kind::U64),
+            ("shared_cache_hits", Kind::U64),
+            ("shared_cache_stores", Kind::U64),
+            ("shared_cache_rejected", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),
@@ -220,6 +230,8 @@ const SCHEMA: &[TypeSchema] = &[
         &[
             ("cells_replayed", Kind::U64),
             ("checkpoint_io_errors", Kind::U64),
+            ("sched_costed", Kind::U64),
+            ("sched_estimated", Kind::U64),
         ],
     ),
 ];
@@ -276,6 +288,28 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         let retries = obj.get("retries").and_then(Json::as_u64).unwrap_or(0);
         if retries < 1 {
             return Err("cell: quarantined without at least one retry".to_string());
+        }
+    }
+    // Semantic (v4): blocker skips happen inside watch-list walks, which
+    // only propagations drive — a cell reporting skips without a single
+    // propagation is instrumentation drift, and a skip count orders of
+    // magnitude beyond the walked-entries ceiling (conservatively 4096
+    // watchers per propagated literal) is the tombstoned-watcher
+    // re-walking pathology this bound was added to catch.
+    if type_ == "cell" {
+        let skips = obj.get("blocker_skips").and_then(Json::as_u64);
+        let props = obj.get("propagations").and_then(Json::as_u64);
+        if let (Some(skips), Some(props)) = (skips, props) {
+            if skips > 0 && props == 0 {
+                return Err("cell: blocker_skips without any propagations".to_string());
+            }
+            if skips > props.saturating_mul(4096) {
+                return Err(format!(
+                    "cell: blocker_skips ({skips}) exceeds {} (propagations x 4096) — \
+                     watch lists are re-walking dead entries",
+                    props.saturating_mul(4096)
+                ));
+            }
         }
     }
     Ok(())
@@ -468,6 +502,43 @@ mod tests {
         assert!(validate_line(
             "{\"type\":\"summary\",\"cells\":1,\"spans\":0,\"events\":0,\"counters\":0,\
              \"cells_replayed\":1,\"checkpoint_io_errors\":0}"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn v4_scaling_fields_validate() {
+        let base = "\"type\":\"cell\",\"bomb\":\"b\",\"profile\":\"p\",\"outcome\":\"Y\",\
+                    \"wall_ns\":1,\"rounds\":1,\"queries\":1";
+        // All scaling fields present and well typed.
+        assert!(validate_line(&format!(
+            "{{{base},\"propagations\":500,\"blocker_skips\":900,\"shared_cache_hits\":3,\
+             \"shared_cache_stores\":2,\"shared_cache_rejected\":1}}"
+        ))
+        .is_ok());
+        // A string where an integer belongs is drift.
+        assert!(validate_line(&format!("{{{base},\"shared_cache_hits\":\"3\"}}")).is_err());
+        // Blocker skips without a single propagation is impossible.
+        assert!(validate_line(&format!(
+            "{{{base},\"blocker_skips\":7,\"propagations\":0}}"
+        ))
+        .is_err());
+        // A skip count beyond the watched-entries ceiling is the
+        // dead-watcher re-walk pathology.
+        assert!(validate_line(&format!(
+            "{{{base},\"blocker_skips\":355219364,\"propagations\":10}}"
+        ))
+        .is_err());
+        assert!(validate_line(&format!(
+            "{{{base},\"blocker_skips\":40960,\"propagations\":10}}"
+        ))
+        .is_ok());
+        // Old traces without `propagations` are not judged by the bound.
+        assert!(validate_line(&format!("{{{base},\"blocker_skips\":355219364}}")).is_ok());
+        // Summary trailer accepts the scheduler counters.
+        assert!(validate_line(
+            "{\"type\":\"summary\",\"cells\":1,\"spans\":0,\"events\":0,\"counters\":0,\
+             \"sched_costed\":80,\"sched_estimated\":8}"
         )
         .is_ok());
     }

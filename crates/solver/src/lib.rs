@@ -41,11 +41,13 @@ pub mod expr;
 pub mod idhash;
 pub mod interval;
 pub mod sat;
+pub mod shardcache;
 pub mod simplify;
 pub mod slice;
 pub mod smtlib;
 
 pub use diskcache::DiskCache;
+pub use shardcache::ShardCache;
 
 use expr::{eval, Term, Value, Var};
 use std::cell::RefCell;
@@ -221,6 +223,14 @@ pub struct SolveStats {
     pub interval_ns: u64,
     /// Nanoseconds spent partitioning into slices (stage 3).
     pub slice_ns: u64,
+    /// Cache-missed slices answered by the shared in-process store
+    /// ([`ShardCache`]) on this query, each verified by concrete evaluation.
+    pub shared_cache_hits: u64,
+    /// Slice models this query stored into the shared in-process store.
+    pub shared_cache_stores: u64,
+    /// Shared-store models rejected by read-through verification on this
+    /// query (stale or corrupt entries; never answered from).
+    pub shared_cache_rejected: u64,
 }
 
 /// Cumulative cross-round cache counters for one [`Solver`].
@@ -296,6 +306,12 @@ pub struct Solver {
     /// the solver only records models — the write-only mode stateless
     /// paper-tool profiles use to warm the cache without changing answers.
     disk_read: bool,
+    /// Shared in-process model store ([`ShardCache`]), when attached:
+    /// cross-cell reuse between the study's worker threads.
+    shared: Option<Arc<shardcache::ShardCache>>,
+    /// Read-through gate for the shared store, same discipline as
+    /// `disk_read`: stateless paper-tool profiles attach write-only.
+    shared_read: bool,
     stats: std::cell::Cell<SolveStats>,
     cache_stats: std::cell::Cell<CacheStats>,
     state: std::cell::RefCell<SolverState>,
@@ -350,6 +366,20 @@ impl Solver {
     pub fn with_disk_cache(mut self, cache: Rc<RefCell<DiskCache>>, read_through: bool) -> Solver {
         self.disk = Some(cache);
         self.disk_read = read_through;
+        self
+    }
+
+    /// Attaches a shared in-process model store ([`ShardCache`]) — the
+    /// study-wide cross-cell cache. Gating mirrors
+    /// [`with_disk_cache`](Solver::with_disk_cache): satisfying slice
+    /// models are always recorded; with `read_through` they may also
+    /// *answer* cache-missed slices, after mandatory re-verification by
+    /// concrete evaluation. Stateless paper-tool profiles attach
+    /// write-only (`read_through = false`), so Table II stays
+    /// byte-identical with the cache armed or not.
+    pub fn with_shared_cache(mut self, cache: Arc<ShardCache>, read_through: bool) -> Solver {
+        self.shared = Some(cache);
+        self.shared_read = read_through;
         self
     }
 
@@ -658,11 +688,14 @@ impl Solver {
                     }
                 }
                 None => {
-                    if let Some(m) = self.disk_lookup(slice_terms) {
-                        // Warm start: answered from the persistent store
-                        // (verified inside `disk_lookup`). Feed the
-                        // in-memory layers so later rounds hit without
-                        // touching the disk again.
+                    if let Some(m) = self
+                        .shared_lookup(slice_terms, &mut stats)
+                        .or_else(|| self.disk_lookup(slice_terms))
+                    {
+                        // Warm start: answered from the shared in-process
+                        // store or the persistent store (verified inside
+                        // the lookup). Feed the in-memory layers so later
+                        // rounds hit without touching either again.
                         if !self.no_query_cache {
                             let mut st = self.state.borrow_mut();
                             st.pinned.extend(slice_terms.iter().cloned());
@@ -704,6 +737,7 @@ impl Solver {
                             );
                         }
                         self.disk_record(slice_terms, &m);
+                        self.shared_record(slice_terms, &m, &mut stats);
                         for (name, value) in m.iter() {
                             merged.values.insert(name.clone(), *value);
                         }
@@ -777,6 +811,7 @@ impl Solver {
                                 }
                             }
                             self.disk_record(slice_terms, &sub);
+                            self.shared_record(slice_terms, &sub, &mut stats);
                             let key = query_key(slice_terms);
                             Self::cache_store(&mut st, key, &SolveOutcome::Sat(sub));
                         }
@@ -910,6 +945,59 @@ impl Solver {
             handle
                 .borrow_mut()
                 .record(diskcache::disk_key(slice_terms), model);
+        }
+    }
+
+    /// Read-through lookup of one slice in the shared in-process store,
+    /// under the same verification discipline as [`disk_lookup`]: the
+    /// store is untrusted input, so a model answers the slice only after
+    /// concrete evaluation confirms it satisfies every constraint.
+    /// Rejected models are counted and treated as misses.
+    ///
+    /// [`disk_lookup`]: Solver::disk_lookup
+    fn shared_lookup(&self, slice_terms: &[Term], stats: &mut SolveStats) -> Option<Model> {
+        if !self.shared_read {
+            return None;
+        }
+        let cache = self.shared.as_ref()?;
+        let stored = cache.lookup(diskcache::disk_key(slice_terms))?;
+        let mut vars = Vec::new();
+        for c in slice_terms {
+            c.collect_vars(&mut vars);
+        }
+        vars.sort();
+        vars.dedup();
+        let mut model = Model::default();
+        for var in &vars {
+            let value = stored
+                .iter()
+                .find(|(name, _)| *name == var.name)
+                .map_or(0, |(_, v)| *v);
+            model.insert(var.name.clone(), value);
+        }
+        let env = model.as_env();
+        if slice_terms
+            .iter()
+            .all(|c| eval(c, &env).is_ok_and(|v| v.truth()))
+        {
+            cache.note_hit();
+            stats.shared_cache_hits += 1;
+            Some(model)
+        } else {
+            cache.note_rejected();
+            stats.shared_cache_rejected += 1;
+            None
+        }
+    }
+
+    /// Records a satisfying slice model into the shared in-process store
+    /// (no-op without one attached). First writer wins across threads;
+    /// only a genuine insert counts as a store.
+    fn shared_record(&self, slice_terms: &[Term], model: &Model, stats: &mut SolveStats) {
+        if let Some(cache) = &self.shared {
+            if cache.record(diskcache::disk_key(slice_terms), model) {
+                stats.shared_cache_stores += 1;
+            }
         }
     }
 
@@ -1492,5 +1580,101 @@ mod tests {
         };
         let (xv, yv) = (m.get("x").unwrap(), m.get("y").unwrap());
         assert_eq!((xv + yv) & 0xff, 10);
+    }
+
+    /// A constraint the interval-witness stage cannot answer, so a cold
+    /// solver must run CDCL on it: (x ^ 0x5A) == 0x6F  =>  x = 0x35.
+    fn xor_crackme() -> Term {
+        let x = Term::var("x", 8);
+        Term::cmp(
+            CmpOp::Eq,
+            &Term::bin(BvOp::Xor, &x, &Term::bv(0x5A, 8)),
+            &Term::bv(0x6F, 8),
+        )
+    }
+
+    /// Optimizer off so the queried slice is the original term and the
+    /// witness stage cannot pre-empt the CDCL run (same shape as the
+    /// disk-cache poison test).
+    fn bare_solver() -> Solver {
+        Solver::new().with_simplify(false).with_slicing(false)
+    }
+
+    #[test]
+    fn shared_cache_answers_a_fresh_solver_without_blasting() {
+        let shared = Arc::new(ShardCache::default());
+        let c = xor_crackme();
+
+        // Warm: a write-only solver (the stateless-profile shape) solves
+        // the query with CDCL and records the slice model.
+        let warm = bare_solver().with_shared_cache(Arc::clone(&shared), false);
+        assert!(matches!(
+            warm.check(std::slice::from_ref(&c)),
+            SolveOutcome::Sat(_)
+        ));
+        assert!(warm.stats().sat_vars > 0, "cold query must blast");
+        assert_eq!(warm.stats().shared_cache_stores, 1);
+        assert_eq!(
+            warm.stats().shared_cache_hits,
+            0,
+            "write-only attach never reads"
+        );
+
+        // A fresh read-through solver answers the same slice from the
+        // shared store — verified, and without allocating a SAT variable.
+        let cold = bare_solver().with_shared_cache(Arc::clone(&shared), true);
+        let SolveOutcome::Sat(m) = cold.check(&[c]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m.get("x"), Some(0x35));
+        assert_eq!(cold.stats().shared_cache_hits, 1);
+        assert_eq!(cold.stats().sat_vars, 0, "answered without blasting");
+        assert_eq!(shared.hits(), 1);
+        assert_eq!(shared.stores(), 1);
+    }
+
+    #[test]
+    fn write_only_solver_never_reads_the_shared_cache() {
+        let shared = Arc::new(ShardCache::default());
+        let c = xor_crackme();
+        let warm = bare_solver().with_shared_cache(Arc::clone(&shared), false);
+        assert!(matches!(
+            warm.check(std::slice::from_ref(&c)),
+            SolveOutcome::Sat(_)
+        ));
+
+        let stateless = bare_solver().with_shared_cache(Arc::clone(&shared), false);
+        assert!(matches!(stateless.check(&[c]), SolveOutcome::Sat(_)));
+        assert_eq!(stateless.stats().shared_cache_hits, 0);
+        assert!(
+            stateless.stats().sat_vars > 0,
+            "write-only solver must solve for itself"
+        );
+        assert_eq!(shared.hits(), 0);
+    }
+
+    #[test]
+    fn poisoned_shared_models_are_rejected_by_verification() {
+        let shared = Arc::new(ShardCache::poisoned());
+        let c = xor_crackme();
+        let warm = bare_solver().with_shared_cache(Arc::clone(&shared), false);
+        assert!(matches!(
+            warm.check(std::slice::from_ref(&c)),
+            SolveOutcome::Sat(_)
+        ));
+        assert_eq!(shared.stores(), 1, "poisoned entry was stored");
+
+        let cold = bare_solver().with_shared_cache(Arc::clone(&shared), true);
+        let SolveOutcome::Sat(m) = cold.check(&[c]) else {
+            panic!("expected sat");
+        };
+        assert_eq!(m.get("x"), Some(0x35), "solved correctly despite poison");
+        assert_eq!(cold.stats().shared_cache_hits, 0);
+        assert!(
+            cold.stats().shared_cache_rejected >= 1,
+            "corrupt model must be rejected by concrete evaluation"
+        );
+        assert_eq!(shared.hits(), 0);
+        assert!(shared.rejected() >= 1);
     }
 }

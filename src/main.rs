@@ -11,11 +11,12 @@
 //! bomblab analyze <file.s|file.bvm>     static analysis: annotated listing
 //! bomblab analyze --bombs [prefix]      analyze the dataset, print summaries
 //! bomblab bombs                         list the dataset
-//! bomblab study [prefix] [--jobs N] [--trace out.jsonl]
+//! bomblab study [prefix] [--jobs N|auto] [--trace out.jsonl]
 //!               [--checkpoint dir] [--resume] [--retries N] [--cache-dir dir]
+//!               [--tools paper|omniscient] [--no-shared-cache]
 //!                                       run the Table-II study (durably)
 //! bomblab chaos [prefix] [--seed N] [--faults K] [--io-faults K] [--sweeps M]
-//!               [--jobs N] [--retries N] [--checkpoint dir] [--cache-dir dir]
+//!               [--jobs N|auto] [--retries N] [--checkpoint dir] [--cache-dir dir]
 //!               [--trace out.jsonl]     fault-injection sweeps + containment check
 //! bomblab tracecheck <file.jsonl>       validate a trace against the schema
 //! ```
@@ -241,6 +242,18 @@ fn parse_num<T: std::str::FromStr>(cmd: &str, flag: &str, value: &str) -> Result
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Parses a `--jobs` value: the literal `auto` resolves to the machine's
+/// available parallelism, anything else must be a positive worker count.
+fn parse_jobs(cmd: &str, value: &str) -> Result<usize, String> {
+    if value == "auto" {
+        return Ok(default_jobs());
+    }
+    match parse_num(cmd, "--jobs", value)? {
+        0 => Err(format!("{cmd}: --jobs must be at least 1 (or `auto`)")),
+        n => Ok(n),
+    }
 }
 
 /// Writes JSONL trace lines to `path` and the profile-summary sidecar
@@ -672,15 +685,34 @@ fn cmd_study(args: &[String]) -> CmdResult {
         alias: None,
         takes_value: false,
     };
+    const NO_SHARED_CACHE: FlagSpec = FlagSpec {
+        name: "--no-shared-cache",
+        alias: None,
+        takes_value: false,
+    };
+    const TOOLS: FlagSpec = FlagSpec {
+        name: "--tools",
+        alias: None,
+        takes_value: true,
+    };
     let (pos, flags) = parse_flags(
         "study",
         args,
-        &[JOBS, TRACE, CHECKPOINT, RESUME, RETRIES, CACHE_DIR],
+        &[
+            JOBS,
+            TRACE,
+            CHECKPOINT,
+            RESUME,
+            RETRIES,
+            CACHE_DIR,
+            NO_SHARED_CACHE,
+            TOOLS,
+        ],
         1,
     )?;
     let prefix = pos.first().cloned().unwrap_or_default();
     let jobs = match flags.get("--jobs") {
-        Some(n) => parse_num("study", "--jobs", n)?,
+        Some(n) => parse_jobs("study", n)?,
         None => default_jobs(),
     };
     let trace_path = flags.get("--trace");
@@ -698,6 +730,15 @@ fn cmd_study(args: &[String]) -> CmdResult {
     if cases.is_empty() {
         return Err(format!("no bombs match prefix {prefix:?}").into());
     }
+    let profiles = match flags.get("--tools").map(String::as_str) {
+        None | Some("paper") => ToolProfile::paper_lineup(),
+        Some("omniscient") => vec![ToolProfile::omniscient()],
+        Some(other) => {
+            return Err(
+                format!("study: bad --tools value {other:?} (accepted: paper, omniscient)").into(),
+            )
+        }
+    };
     let options = StudyOptions {
         jobs,
         observe: trace_path.is_some(),
@@ -705,9 +746,10 @@ fn cmd_study(args: &[String]) -> CmdResult {
         checkpoint: flags.get("--checkpoint").map(std::path::PathBuf::from),
         resume: flags.contains_key("--resume"),
         solver_cache_dir: flags.get("--cache-dir").map(std::path::PathBuf::from),
+        shared_cache: !flags.contains_key("--no-shared-cache"),
         ..StudyOptions::default()
     };
-    let report = run_study_with(&cases, &ToolProfile::paper_lineup(), &options);
+    let report = run_study_with(&cases, &profiles, &options);
     println!("{}", report.to_markdown());
     if let Some(path) = trace_path {
         write_trace(path, &report.trace_lines(), Some(&report.profile_summary()))?;
@@ -762,7 +804,7 @@ fn cmd_chaos(args: &[String]) -> CmdResult {
         config.sweeps = parse_num("chaos", "--sweeps", v)?;
     }
     if let Some(v) = flags.get("--jobs") {
-        config.jobs = parse_num("chaos", "--jobs", v)?;
+        config.jobs = parse_jobs("chaos", v)?;
     }
     if let Some(v) = flags.get("--retries") {
         config.retries = parse_num("chaos", "--retries", v)?;

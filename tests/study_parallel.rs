@@ -5,8 +5,10 @@
 //! cache has to actually fire on multi-round explorations.
 
 use bomblab::bombs::dataset;
-use bomblab::concolic::ground_truth;
+use bomblab::concolic::checkpoint::{fingerprint, CellRecord, Journal};
+use bomblab::concolic::{ground_truth, run_study_with, StudyOptions};
 use bomblab::prelude::*;
+use proptest::prelude::*;
 
 /// A representative slice: multi-round bombs (`parallel_thread`,
 /// `jump_direct`), single-round failures, and a solved case.
@@ -73,6 +75,92 @@ fn multi_round_bombs_hit_the_query_cache() {
         ev.cache_exact_hits + ev.cache_model_hits + ev.cache_unsat_hits,
         "hit breakdown must sum to the total"
     );
+}
+
+/// Baseline report bytes for the fast three-bomb slice, computed once.
+fn fast_baseline() -> &'static str {
+    static BASELINE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| {
+        run_study_jobs(&fast_slice(), &ToolProfile::paper_lineup(), 1).to_markdown()
+    })
+}
+
+fn fast_slice() -> Vec<StudyCase> {
+    vec![
+        dataset::decl_time(),
+        dataset::covert_stack(),
+        dataset::array_l1(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The cost-aware scheduler reads historical `wall_ns` from the
+    /// checkpoint journal to pick its claim order. Whatever costs that
+    /// journal carries — and therefore whatever permutation
+    /// longest-processing-time-first produces — the report bytes must
+    /// not move.
+    #[test]
+    fn report_bytes_are_invariant_under_random_journal_costs(
+        costs in proptest::collection::vec(any::<u64>(), 12),
+    ) {
+        let cases = fast_slice();
+        let profiles = ToolProfile::paper_lineup();
+        let dir = std::env::temp_dir().join(format!(
+            "bomblab-sched-costs-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Seed a journal whose wall_ns history is arbitrary. The cost
+        // loader is fingerprint-agnostic, so any fingerprint works.
+        let fp = fingerprint(["synthetic"]);
+        let (mut journal, _) = Journal::open(&dir, fp, false).expect("open journal");
+        let mut k = 0;
+        for case in &cases {
+            for profile in &profiles {
+                journal
+                    .append(&CellRecord {
+                        index: k as u64,
+                        bomb: case.subject.name.clone(),
+                        profile: profile.name.clone(),
+                        outcome: Outcome::Solved,
+                        expected: None,
+                        wall_ns: costs[k % costs.len()],
+                        rounds: 1,
+                        queries: 1,
+                        injected_faults: 0,
+                        fault_log: Vec::new(),
+                        crash: None,
+                        retries: 0,
+                        quarantined: false,
+                        retry_backoff_ns: 0,
+                    })
+                    .expect("append record");
+                k += 1;
+            }
+        }
+        drop(journal);
+
+        let report = run_study_with(
+            &cases,
+            &profiles,
+            &StudyOptions {
+                jobs: 2,
+                checkpoint: Some(dir.clone()),
+                ..StudyOptions::default()
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(
+            report.to_markdown(),
+            fast_baseline(),
+            "journal costs {:?} leaked into the report through the scheduler",
+            costs
+        );
+    }
 }
 
 #[test]
