@@ -91,27 +91,38 @@ fn bench(c: &mut Criterion) {
     // long implication chains, so it times the watch-arena walk itself.
     // The pigeonhole legs add conflict/learning/reduction churn on top.
     let mut group = c.benchmark_group("propagation");
-    group.bench_function("chain_64x1000", |b| {
-        b.iter(|| {
-            let mut s = SatSolver::new();
-            for _ in 0..64 {
-                let vars: Vec<u32> = (0..1000).map(|_| s.new_var()).collect();
-                for w in vars.windows(2) {
-                    s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
-                }
-                s.add_clause(&[Lit::pos(vars[0])]);
+    let chain = || {
+        let mut s = SatSolver::new();
+        for _ in 0..64 {
+            let vars: Vec<u32> = (0..1000).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
             }
-            matches!(s.solve(1000), SatResult::Sat(_))
-        });
+            s.add_clause(&[Lit::pos(vars[0])]);
+        }
+        let sat = matches!(s.solve(1000), SatResult::Sat(_));
+        (sat, s.conflicts())
+    };
+    group.bench_function("chain_64x1000", |b| {
+        b.iter(|| chain().0);
     });
+    // Work diagnostic alongside the timing: the same leg's conflict count.
+    // Two runs that differ in conflicts are solving different search
+    // problems (heuristic drift), not running the same problem at
+    // different speeds — this is what separated a pigeonhole "slowdown"
+    // (5194 vs 3300 conflicts) from a real hot-loop regression.
+    println!("  propagation/chain_64x1000: conflicts {}", chain().1);
     for holes in [6usize, 7] {
+        let run = move || {
+            let mut s = SatSolver::new();
+            pigeonhole(&mut s, holes);
+            let unsat = matches!(s.solve(5_000_000), SatResult::Unsat);
+            (unsat, s.conflicts())
+        };
         group.bench_function(format!("pigeonhole_{holes}"), |b| {
-            b.iter(|| {
-                let mut s = SatSolver::new();
-                pigeonhole(&mut s, holes);
-                matches!(s.solve(5_000_000), SatResult::Unsat)
-            });
+            b.iter(|| run().0);
         });
+        println!("  propagation/pigeonhole_{holes}: conflicts {}", run().1);
     }
     group.finish();
 }

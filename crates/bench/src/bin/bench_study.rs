@@ -162,6 +162,9 @@ struct Totals {
     shared_hits: u64,
     shared_stores: u64,
     shared_rejected: u64,
+    trace_full: u64,
+    trace_elided: u64,
+    trace_bytes: u64,
 }
 
 fn cache_totals(report: &StudyReport) -> Totals {
@@ -175,6 +178,9 @@ fn cache_totals(report: &StudyReport) -> Totals {
         t.shared_hits += ev.shared_cache_hits;
         t.shared_stores += ev.shared_cache_stores;
         t.shared_rejected += ev.shared_cache_rejected;
+        t.trace_full += ev.trace_steps_full;
+        t.trace_elided += ev.trace_steps_elided;
+        t.trace_bytes += ev.trace_arena_bytes;
     }
     t
 }
@@ -299,7 +305,10 @@ fn render(
     };
     // The stateless paper lineup never reads a cache; the incremental
     // Omniscient leg is where the query-cache and shared-cache counters
-    // carry signal.
+    // carry signal. Same split for the trace path: the paper lineup
+    // records full arena capture (Table II must not depend on elision),
+    // while Omniscient arms the taint gate and records sparse — its
+    // `trace_steps_elided` total is the elision counter.
     let paper = cache_totals(report);
     let inc = cache_totals(incremental);
     format!(
@@ -318,7 +327,9 @@ fn render(
          \"cache_hits\": {}, \"cache_misses\": {}, \
          \"roots_blasted\": {}, \"roots_reused\": {}, \
          \"shared_cache_hits\": {}, \"shared_cache_stores\": {}, \
-         \"shared_cache_rejected\": {}}},\n  \
+         \"shared_cache_rejected\": {}, \
+         \"trace_steps_full\": {}, \"trace_steps_elided\": {}, \
+         \"trace_arena_bytes\": {}}},\n  \
          \"optimizer\": {{\"simplify_hits\": {simp_hits}, \"terms_pruned\": {pruned}, \
          \"slices\": {slices}, \"witness_hits\": {witnessed}, \
          \"simplify_ms\": {:.3}, \"interval_ms\": {:.3}, \
@@ -326,6 +337,9 @@ fn render(
          \"vm\": {{\"vm_steps\": {vm_steps}, \"bb_hits\": {bb_hits}, \
          \"bb_misses\": {bb_misses}, \"bb_invalidations\": {bb_invalidations}, \
          \"steps_decoded\": {decoded}}},\n  \
+         \"trace\": {{\"path\": \"arena\", \"paper_capture\": \"full\", \
+         \"incremental_capture\": \"sparse\", \"steps_full\": {}, \
+         \"steps_elided\": {}, \"arena_bytes\": {}}},\n  \
          \"sat\": {{\"propagations\": {propagations}, \"blocker_skips\": {blockers}, \
          \"lbd_evictions\": {evictions}}},\n  \
          \"durability\": {{\"retries\": {retries}, \"quarantined\": {quarantined}, \
@@ -352,9 +366,15 @@ fn render(
         inc.shared_hits,
         inc.shared_stores,
         inc.shared_rejected,
+        inc.trace_full,
+        inc.trace_elided,
+        inc.trace_bytes,
         simp_ns as f64 / 1e6,
         intv_ns as f64 / 1e6,
         slice_ns as f64 / 1e6,
+        paper.trace_full,
+        paper.trace_elided,
+        paper.trace_bytes,
         backoff_ns as f64 / 1e6,
         report.stats.cells_replayed,
         report.stats.checkpoint_io_errors,

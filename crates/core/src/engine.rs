@@ -286,6 +286,14 @@ pub struct Evidence {
     /// Shared-cache models rejected by read-through verification (stale or
     /// corrupt entries; counted, never answered from).
     pub shared_cache_rejected: u64,
+    /// Trace steps recorded with full operand capture, summed over rounds.
+    pub trace_steps_full: u64,
+    /// Trace steps recorded as elided skeletons by the VM's taint gate
+    /// (zero unless the profile arms `sparse_trace`).
+    pub trace_steps_elided: u64,
+    /// Bytes held by the trace arenas, summed over rounds (capacity, not
+    /// length — the allocation footprint recording actually paid).
+    pub trace_arena_bytes: u64,
 }
 
 /// Structured diagnostic for a contained per-cell failure: what the cell
@@ -392,7 +400,7 @@ pub fn ground_truth(subject: &Subject, trigger: &WorldInput) -> GroundTruth {
     let full = run_taint(omni);
     gt.ctx = !full.tainted_sys_args.is_empty() || !full.tainted_sys_nums.is_empty();
     gt.through_lib = full.tainted_steps.iter().any(|&i| {
-        let pc = trace.steps[i].pc;
+        let pc = trace.pc_at(i);
         lib_ranges
             .iter()
             .any(|&(base, len)| pc >= base && pc < base + len)
@@ -584,7 +592,22 @@ impl Engine {
 
             // 1. Concrete execution with tracing.
             fault::set_stage("vm");
-            let config = input.to_config(true, self.profile.step_budget);
+            let mut config = input.to_config(true, self.profile.step_budget);
+            // Taint-gated sparse recording: seed the VM's online gate
+            // with the same symbolic ranges the taint engine uses. The
+            // environment override forces elision for every compatible
+            // profile (CI uses it to prove the reports don't depend on
+            // operand capture). A profile that treats library code as
+            // opaque is *not* compatible: its symbolic executor mines
+            // concrete call-argument values out of clean steps to feed
+            // function summaries, and an elided step hides exactly that
+            // data — so elision stays off whenever opaque ranges exist.
+            let opaque_libs = !self.profile.loads_dyn_libs && !lib_ranges.is_empty();
+            if (self.profile.sparse_trace || std::env::var_os("BOMBLAB_SPARSE_TRACE").is_some())
+                && !opaque_libs
+            {
+                config.sparse_taint = Some(vec![(subject.argv1_addr(), input.argv1.len() as u64)]);
+            }
             let Ok(mut machine) = Machine::load(&subject.image, subject.lib.as_ref(), config)
             else {
                 evidence.abnormal = true;
@@ -627,6 +650,9 @@ impl Engine {
                 evidence.vm_budget = true;
             }
             let full_trace = machine.take_trace();
+            evidence.trace_steps_full += full_trace.full_steps();
+            evidence.trace_steps_elided += full_trace.elided_steps();
+            evidence.trace_arena_bytes += full_trace.arena_bytes();
 
             // 2. Tool-level aborts: unsupported syscalls, traps.
             if full_trace.iter().any(|s| {
@@ -657,14 +683,7 @@ impl Engine {
             let taint_view = if self.profile.loads_dyn_libs {
                 visible.clone()
             } else {
-                Trace {
-                    steps: visible
-                        .steps
-                        .iter()
-                        .filter(|s| !lib_ranges.iter().any(|&(b, l)| s.pc >= b && s.pc < b + l))
-                        .cloned()
-                        .collect(),
-                }
+                visible.filter(|s| !lib_ranges.iter().any(|&(b, l)| s.pc >= b && s.pc < b + l))
             };
 
             // 4. Taint analysis.
@@ -690,7 +709,7 @@ impl Engine {
             let lift_timer = obs::start();
             let mut lift_failed = false;
             for &idx in &report.tainted_steps {
-                let step = &taint_view.steps[idx];
+                let step = taint_view.view(idx);
                 if step.sys.is_some() {
                     continue;
                 }
@@ -747,7 +766,7 @@ impl Engine {
             evidence.concretization |=
                 !sym.events.concretized_loads.is_empty() || !sym.events.over_indirection.is_empty();
             for &(idx, lvl) in &sym.events.pinned_jumps {
-                let site_pc = visible.steps[idx].pc;
+                let site_pc = visible.pc_at(idx);
                 let exact = self
                     .hints
                     .jr_targets
@@ -968,6 +987,9 @@ impl Engine {
             obs::counter("solver.roots_blasted", evidence.roots_blasted);
             obs::counter("solver.roots_reused", evidence.roots_reused);
             obs::counter("engine.vm_steps", evidence.vm_steps);
+            obs::counter("vm.trace_steps_full", evidence.trace_steps_full);
+            obs::counter("vm.trace_steps_elided", evidence.trace_steps_elided);
+            obs::counter("vm.trace_arena_bytes", evidence.trace_arena_bytes);
         }
 
         // Injected faults corrupt the attempt wholesale: even a run that
@@ -998,22 +1020,16 @@ impl Engine {
     /// Filters the trace down to what the tool can observe.
     fn filter_trace(&self, trace: &Trace) -> Trace {
         let mut first_tid: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        let steps = trace
-            .steps
-            .iter()
-            .filter(|s| {
-                if !self.profile.follows_forks && s.pid != ROOT_PID {
-                    return false;
-                }
-                let first = *first_tid.entry(s.pid).or_insert(s.tid);
-                if !self.profile.follows_threads && s.tid != first {
-                    return false;
-                }
-                true
-            })
-            .cloned()
-            .collect();
-        Trace { steps }
+        trace.filter(|s| {
+            if !self.profile.follows_forks && s.pid != ROOT_PID {
+                return false;
+            }
+            let first = *first_tid.entry(s.pid).or_insert(s.tid);
+            if !self.profile.follows_threads && s.tid != first {
+                return false;
+            }
+            true
+        })
     }
 
     /// Maps evidence + ground truth to the paper's outcome label. Mirrors

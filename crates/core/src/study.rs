@@ -495,6 +495,15 @@ impl StudyReport {
                 if ev.shared_cache_rejected > 0 {
                     line = line.u64("shared_cache_rejected", ev.shared_cache_rejected);
                 }
+                if ev.trace_steps_full > 0 {
+                    line = line.u64("trace_steps_full", ev.trace_steps_full);
+                }
+                if ev.trace_steps_elided > 0 {
+                    line = line.u64("trace_steps_elided", ev.trace_steps_elided);
+                }
+                if ev.trace_arena_bytes > 0 {
+                    line = line.u64("trace_arena_bytes", ev.trace_arena_bytes);
+                }
                 if let Some(expected) = cell.expected {
                     line = line.str("expected", &expected.to_string());
                 }

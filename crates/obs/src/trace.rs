@@ -39,10 +39,13 @@ use crate::{CellProfile, Field};
 /// counters (`shared_cache_hits`, `shared_cache_stores`,
 /// `shared_cache_rejected`) on `cell` lines, plus cost-aware scheduler
 /// counters (`sched_costed`, `sched_estimated`) on the `summary` trailer,
-/// and a sanity bound tying `blocker_skips` to `propagations`. All
-/// additions are optional fields, so v1–v3 traces still validate (the
-/// blocker bound applies only when both counters are present).
-pub const SCHEMA_VERSION: u64 = 4;
+/// and a sanity bound tying `blocker_skips` to `propagations`; v5 —
+/// trace-arena fields: optional recording counters on `cell` lines
+/// (`trace_steps_full`, `trace_steps_elided`, `trace_arena_bytes`) with a
+/// sanity bound requiring a non-empty arena whenever any step was
+/// recorded. All additions are optional fields, so v1–v4 traces still
+/// validate (each bound applies only when its counters are present).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Field kinds the validator distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +187,9 @@ const SCHEMA: &[TypeSchema] = &[
             ("shared_cache_hits", Kind::U64),
             ("shared_cache_stores", Kind::U64),
             ("shared_cache_rejected", Kind::U64),
+            ("trace_steps_full", Kind::U64),
+            ("trace_steps_elided", Kind::U64),
+            ("trace_arena_bytes", Kind::U64),
             ("expected", Kind::Str),
             ("crash_stage", Kind::Str),
             ("crash_message", Kind::Str),
@@ -308,6 +314,23 @@ pub fn validate_line(line: &str) -> Result<(), String> {
                     "cell: blocker_skips ({skips}) exceeds {} (propagations x 4096) — \
                      watch lists are re-walking dead entries",
                     props.saturating_mul(4096)
+                ));
+            }
+        }
+    }
+    // Semantic (v5): every recorded step occupies a fixed-size table row,
+    // so a cell reporting steps with a zero-byte arena is instrumentation
+    // drift (the counters and the arena are maintained by the same
+    // recorder).
+    if type_ == "cell" {
+        let full = obj.get("trace_steps_full").and_then(Json::as_u64);
+        let elided = obj.get("trace_steps_elided").and_then(Json::as_u64);
+        let bytes = obj.get("trace_arena_bytes").and_then(Json::as_u64);
+        let steps = full.unwrap_or(0) + elided.unwrap_or(0);
+        if let Some(bytes) = bytes {
+            if steps > 0 && bytes == 0 {
+                return Err(format!(
+                    "cell: {steps} recorded trace steps with an empty arena"
                 ));
             }
         }
@@ -541,6 +564,37 @@ mod tests {
              \"sched_costed\":80,\"sched_estimated\":8}"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn v5_trace_arena_fields_validate() {
+        let base = "\"type\":\"cell\",\"bomb\":\"b\",\"profile\":\"p\",\"outcome\":\"Y\",\
+                    \"wall_ns\":1,\"rounds\":1,\"queries\":1";
+        // All trace-arena fields present and well typed.
+        assert!(validate_line(&format!(
+            "{{{base},\"trace_steps_full\":120,\"trace_steps_elided\":80,\
+             \"trace_arena_bytes\":8192}}"
+        ))
+        .is_ok());
+        // A string where an integer belongs is drift.
+        assert!(validate_line(&format!("{{{base},\"trace_steps_elided\":\"80\"}}")).is_err());
+        // Recorded steps with an empty arena are impossible: every step
+        // occupies a table row.
+        assert!(validate_line(&format!(
+            "{{{base},\"trace_steps_full\":1,\"trace_arena_bytes\":0}}"
+        ))
+        .is_err());
+        assert!(validate_line(&format!(
+            "{{{base},\"trace_steps_elided\":5,\"trace_arena_bytes\":0}}"
+        ))
+        .is_err());
+        // Zero steps and zero bytes is a fine (untraced) cell.
+        assert!(validate_line(&format!(
+            "{{{base},\"trace_steps_full\":0,\"trace_steps_elided\":0,\"trace_arena_bytes\":0}}"
+        ))
+        .is_ok());
+        // Old traces without the byte counter are not judged by the bound.
+        assert!(validate_line(&format!("{{{base},\"trace_steps_full\":7}}")).is_ok());
     }
 
     #[test]

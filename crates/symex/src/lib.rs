@@ -28,7 +28,7 @@
 use bomblab_ir::{lift, Atom, BinOp, CmpK, Place, Stmt, SupportMatrix, UnOp};
 use bomblab_isa::{sys, Reg};
 use bomblab_solver::expr::{BvOp, CmpOp, FCmpOp, FOp, Term};
-use bomblab_vm::{InputSource, Memory, OutputSink, SysEffect, Trace, TraceStep};
+use bomblab_vm::{InputSource, Memory, OutputSink, StepView, SysEffect, Trace};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -431,6 +431,14 @@ impl SymExec {
                     self.sfpr.insert((step.pid, step.tid), fpr);
                 }
             }
+            // Sparse traces elide operand capture for steps the VM's taint
+            // gate proved clean: no symbolic value can flow through them
+            // (the gate's shadow over-approximates ours), they never write
+            // memory, and their branch conditions are concrete — so the
+            // replay state is unaffected. Skip them wholesale.
+            if step.elided {
+                continue;
+            }
             // Opaque (unloaded-library) code: mirror concrete effects only.
             let key = (step.pid, step.tid);
             let opaque_now = self.in_opaque_range(step.pc);
@@ -529,7 +537,7 @@ impl SymExec {
             }
             // Track concrete argument registers for opaque summaries.
             let args = self.concrete_args.entry(key).or_insert([0; 6]);
-            for (r, v) in &step.reg_writes {
+            for (r, v) in step.reg_writes {
                 let i = r.index();
                 if (1..=6).contains(&i) {
                     args[i - 1] = *v;
@@ -613,7 +621,7 @@ impl SymExec {
 
     // ---- state access ----
 
-    fn reg_concrete(&self, step: &TraceStep, r: Reg) -> u64 {
+    fn reg_concrete(&self, step: StepView<'_>, r: Reg) -> u64 {
         step.reg_reads
             .iter()
             .find(|(reg, _)| *reg == r)
@@ -623,7 +631,7 @@ impl SymExec {
             )
     }
 
-    fn freg_concrete(&self, step: &TraceStep, r: bomblab_isa::FReg) -> f64 {
+    fn freg_concrete(&self, step: StepView<'_>, r: bomblab_isa::FReg) -> f64 {
         step.freg_reads
             .iter()
             .find(|(reg, _)| *reg == r)
@@ -692,7 +700,7 @@ impl SymExec {
     /// Concrete value of an atom for this step.
     fn atom_concrete(
         &self,
-        step: &TraceStep,
+        step: StepView<'_>,
         atom: &Atom,
         tmp_concrete: &HashMap<u32, u64>,
     ) -> u64 {
@@ -710,7 +718,7 @@ impl SymExec {
     /// Symbolic (or constant) integer term of an atom.
     fn atom_term(
         &self,
-        step: &TraceStep,
+        step: StepView<'_>,
         atom: &Atom,
         tmp_concrete: &HashMap<u32, u64>,
         tmp_sym: &HashMap<u32, SVal>,
@@ -750,7 +758,7 @@ impl SymExec {
     fn apply_stmt(
         &mut self,
         idx: usize,
-        step: &TraceStep,
+        step: StepView<'_>,
         stmt: &Stmt,
         tmp_concrete: &mut HashMap<u32, u64>,
         tmp_sym: &mut HashMap<u32, SVal>,
@@ -851,8 +859,12 @@ impl SymExec {
                 } else {
                     self.concrete_address_load(step.pid, acc.addr, *width, acc.value)
                 };
+                // A fully concrete result is NOT tracked symbolically: the
+                // trace's recorded operands already carry the value, and a
+                // constant register entry would go stale across steps the
+                // taint gate elides (their writes are invisible here).
                 let value = match loaded {
-                    Some(sv) => {
+                    Some(sv) if sv.term.as_const().is_none() => {
                         let term = extend(&sv.term, *width, *sext);
                         let term = if *float {
                             Term::f_from_bits(&term)
@@ -861,7 +873,7 @@ impl SymExec {
                         };
                         Some(SVal { term, lvl: sv.lvl })
                     }
-                    None => None,
+                    _ => None,
                 };
                 if let Place::Tmp(i) = dst {
                     tmp_concrete.insert(*i, acc.value);
@@ -985,7 +997,7 @@ impl SymExec {
     fn symbolic_address_load(
         &mut self,
         idx: usize,
-        step: &TraceStep,
+        step: StepView<'_>,
         addr_sval: &SVal,
         acc: bomblab_vm::MemAccess,
         width: u8,
@@ -1076,9 +1088,9 @@ impl SymExec {
 
     // ---- syscalls ----
 
-    fn apply_syscall(&mut self, idx: usize, step: &TraceStep, result: &mut SymResult) {
+    fn apply_syscall(&mut self, idx: usize, step: StepView<'_>, result: &mut SymResult) {
         let key = (step.pid, step.tid);
-        let record = step.sys.as_ref().expect("caller checked");
+        let record = step.sys.expect("caller checked");
         // Symbolic syscall number / arguments are diagnostic events.
         if self
             .sregs

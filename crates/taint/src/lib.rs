@@ -246,10 +246,16 @@ impl TaintEngine {
                     self.threads.insert((step.pid, step.tid), seed);
                 }
             }
+            // Sparse traces elide operand capture for steps the VM's taint
+            // gate proved clean; the gate's shadow is a superset of ours,
+            // so such steps can never touch taint here.
+            if step.elided {
+                continue;
+            }
             let mut step_touches_taint = false;
 
             // Syscalls are handled from their records.
-            if let Some(record) = &step.sys {
+            if let Some(record) = step.sys {
                 let sv_tainted = self.thread(step.pid, step.tid).gpr[Reg::SV.index()];
                 if sv_tainted {
                     report.tainted_sys_nums.push(idx);
@@ -354,7 +360,7 @@ impl TaintEngine {
     /// Applies one IR statement; returns whether it touched taint.
     fn apply_stmt(
         &mut self,
-        step: &bomblab_vm::TraceStep,
+        step: bomblab_vm::StepView<'_>,
         idx: usize,
         stmt: &Stmt,
         report: &mut TaintReport,

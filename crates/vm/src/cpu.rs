@@ -1,11 +1,12 @@
 //! The BVM CPU: single-instruction semantics.
 //!
 //! [`step`] executes exactly one instruction against a register file and a
-//! memory, optionally recording a [`TraceStep`]. Syscalls and traps are
-//! *reported*, not handled — the [`crate::machine::Machine`] owns those.
+//! memory, optionally recording into an arena [`Trace`]. Syscalls and
+//! traps are *reported*, not handled — the [`crate::machine::Machine`]
+//! owns those.
 
 use crate::mem::Memory;
-use crate::trace::{MemAccess, TraceStep};
+use crate::trace::{Capture, MemAccess, Trace};
 use bomblab_isa::{trap, DecodeError, Insn, Opcode, Reg};
 
 /// Architectural register state of one thread.
@@ -75,14 +76,19 @@ pub enum Effect {
     Trap(Fault),
 }
 
-/// Result of stepping one instruction: the effect plus an optional trace
-/// record (present when tracing was requested, even for traps).
-#[derive(Debug, Clone, PartialEq)]
+/// The recording target of one step: the trace arena plus the capture
+/// level the machine's taint gate selected for this instruction.
+pub type Recorder<'a> = Option<(&'a mut Trace, Capture)>;
+
+/// Result of stepping one instruction: the effect plus the arena index of
+/// the recorded step (present when a recorder was supplied, even for
+/// traps).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepOutcome {
     /// Control effect.
     pub effect: Effect,
-    /// Trace record, when tracing.
-    pub step: Option<TraceStep>,
+    /// Index of the recorded step in the trace, when tracing.
+    pub step: Option<u32>,
 }
 
 /// Executes one instruction at `regs.pc`.
@@ -91,16 +97,22 @@ pub struct StepOutcome {
 ///
 /// Undecodable instruction bytes and unmapped fetches are reported as
 /// [`Effect::Trap`] with cause [`trap::BAD_INSN`] / [`trap::BAD_MEM`].
-pub fn step(regs: &mut Regs, mem: &mut Memory, pid: u32, tid: u32, tracing: bool) -> StepOutcome {
+pub fn step(
+    regs: &mut Regs,
+    mem: &mut Memory,
+    pid: u32,
+    tid: u32,
+    rec: Recorder<'_>,
+) -> StepOutcome {
     let pc = regs.pc;
     match fetch(mem, pc) {
-        Ok(insn) => exec(insn, regs, mem, pid, tid, tracing),
+        Ok(insn) => exec(insn, regs, mem, pid, tid, rec),
         Err(fault) => StepOutcome {
             effect: Effect::Trap(fault),
-            step: tracing.then(|| {
-                let mut s = TraceStep::new(pid, tid, pc, Insn::Nop);
-                s.trap = Some(fault.cause);
-                s
+            step: rec.map(|(t, capture)| {
+                let idx = t.begin_step(pid, tid, pc, Insn::Nop, capture);
+                t.set_trap(fault.cause);
+                idx
             }),
         },
     }
@@ -152,18 +164,29 @@ pub fn exec(
     mem: &mut Memory,
     pid: u32,
     tid: u32,
-    tracing: bool,
+    rec: Recorder<'_>,
 ) -> StepOutcome {
     let pc = regs.pc;
     let len = insn.len() as u64;
     let next = pc.wrapping_add(len);
-    let mut tr = tracing.then(|| TraceStep::new(pid, tid, pc, insn));
+    // `full` gates operand recording; branch direction and traps are
+    // recorded even for skeleton steps.
+    let mut full = false;
+    let mut tr: Option<&mut Trace> = None;
+    let step = rec.map(|(t, capture)| {
+        full = capture == Capture::Full;
+        let idx = t.begin_step(pid, tid, pc, insn, capture);
+        tr = Some(t);
+        idx
+    });
 
     macro_rules! rr {
         ($r:expr) => {{
             let v = regs.get($r);
-            if let Some(t) = tr.as_mut() {
-                t.reg_reads.push(($r, v));
+            if full {
+                if let Some(t) = tr.as_mut() {
+                    t.push_reg_read($r, v);
+                }
             }
             v
         }};
@@ -172,17 +195,21 @@ pub fn exec(
         ($r:expr, $v:expr) => {{
             let v: u64 = $v;
             regs.set($r, v);
-            if let Some(t) = tr.as_mut() {
-                // Record the architecturally visible value (r0 stays 0).
-                t.reg_writes.push(($r, regs.get($r)));
+            if full {
+                if let Some(t) = tr.as_mut() {
+                    // Record the architecturally visible value (r0 stays 0).
+                    t.push_reg_write($r, regs.get($r));
+                }
             }
         }};
     }
     macro_rules! fr {
         ($r:expr) => {{
             let v = regs.fpr[$r.index()];
-            if let Some(t) = tr.as_mut() {
-                t.freg_reads.push(($r, v));
+            if full {
+                if let Some(t) = tr.as_mut() {
+                    t.push_freg_read($r, v);
+                }
             }
             v
         }};
@@ -191,15 +218,17 @@ pub fn exec(
         ($r:expr, $v:expr) => {{
             let v: f64 = $v;
             regs.fpr[$r.index()] = v;
-            if let Some(t) = tr.as_mut() {
-                t.freg_writes.push(($r, v));
+            if full {
+                if let Some(t) = tr.as_mut() {
+                    t.push_freg_write($r, v);
+                }
             }
         }};
     }
     macro_rules! trap {
         ($cause:expr, $addr:expr) => {{
             if let Some(t) = tr.as_mut() {
-                t.trap = Some($cause);
+                t.set_trap($cause);
             }
             return StepOutcome {
                 effect: Effect::Trap(Fault {
@@ -207,7 +236,7 @@ pub fn exec(
                     addr: $addr,
                     insn_len: len,
                 }),
-                step: tr,
+                step,
             };
         }};
     }
@@ -216,12 +245,14 @@ pub fn exec(
             let addr: u64 = $addr;
             match mem.read_uint(addr, $w) {
                 Ok(v) => {
-                    if let Some(t) = tr.as_mut() {
-                        t.mem_read = Some(MemAccess {
-                            addr,
-                            value: v,
-                            width: $w,
-                        });
+                    if full {
+                        if let Some(t) = tr.as_mut() {
+                            t.set_mem_read(MemAccess {
+                                addr,
+                                value: v,
+                                width: $w,
+                            });
+                        }
                     }
                     v
                 }
@@ -235,12 +266,14 @@ pub fn exec(
             let v: u64 = $v;
             match mem.write_uint(addr, v, $w) {
                 Ok(()) => {
-                    if let Some(t) = tr.as_mut() {
-                        t.mem_write = Some(MemAccess {
-                            addr,
-                            value: v,
-                            width: $w,
-                        });
+                    if full {
+                        if let Some(t) = tr.as_mut() {
+                            t.set_mem_write(MemAccess {
+                                addr,
+                                value: v,
+                                width: $w,
+                            });
+                        }
                     }
                 }
                 Err(f) => trap!(trap::BAD_MEM, Some(f.addr)),
@@ -386,7 +419,7 @@ pub fn exec(
                 _ => unreachable!("non-branch opcode in Branch"),
             };
             if let Some(t) = tr.as_mut() {
-                t.taken = Some(taken);
+                t.set_taken(taken);
             }
             if taken {
                 new_pc = pc.wrapping_add(rel as i64 as u64);
@@ -475,7 +508,7 @@ pub fn exec(
                 _ => unreachable!("non-FBranch opcode"),
             };
             if let Some(t) = tr.as_mut() {
-                t.taken = Some(taken);
+                t.set_taken(taken);
             }
             if taken {
                 new_pc = pc.wrapping_add(rel as i64 as u64);
@@ -492,12 +525,13 @@ pub fn exec(
     }
 
     regs.pc = new_pc;
-    StepOutcome { effect, step: tr }
+    StepOutcome { effect, step }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceStep;
     use bomblab_isa::FReg;
 
     fn setup() -> (Regs, Memory) {
@@ -510,8 +544,12 @@ mod tests {
         (regs, mem)
     }
 
-    fn run(insn: Insn, regs: &mut Regs, mem: &mut Memory) -> StepOutcome {
-        exec(insn, regs, mem, 0, 0, true)
+    /// Executes with full tracing and returns the recorded step.
+    fn run(insn: Insn, regs: &mut Regs, mem: &mut Memory) -> (StepOutcome, TraceStep) {
+        let mut trace = Trace::new();
+        let out = exec(insn, regs, mem, 0, 0, Some((&mut trace, Capture::Full)));
+        let idx = out.step.expect("tracing was on");
+        (out, trace.step(idx as usize))
     }
 
     #[test]
@@ -580,7 +618,7 @@ mod tests {
     fn division_by_zero_traps() {
         let (mut regs, mut mem) = setup();
         regs.set(Reg::A1, 0);
-        let out = run(
+        let (out, t) = run(
             Insn::Alu3 {
                 op: Opcode::Divs,
                 rd: Reg::A2,
@@ -598,7 +636,7 @@ mod tests {
             other => panic!("expected trap, got {other:?}"),
         }
         assert_eq!(regs.pc, 0x1000, "pc unchanged on trap");
-        assert_eq!(out.step.unwrap().trap, Some(trap::DIV_ZERO));
+        assert_eq!(t.trap, Some(trap::DIV_ZERO));
     }
 
     #[test]
@@ -606,7 +644,7 @@ mod tests {
         let (mut regs, mut mem) = setup();
         regs.set(Reg::A0, i64::MIN as u64);
         regs.set(Reg::A1, u64::MAX);
-        let out = run(
+        let (out, _) = run(
             Insn::Alu3 {
                 op: Opcode::Divs,
                 rd: Reg::A2,
@@ -672,7 +710,7 @@ mod tests {
     fn unmapped_store_traps_with_address() {
         let (mut regs, mut mem) = setup();
         regs.set(Reg::A0, 0xdead_0000);
-        let out = run(
+        let (out, _) = run(
             Insn::Store {
                 op: Opcode::Sd,
                 src: Reg::A1,
@@ -708,7 +746,7 @@ mod tests {
         let (mut regs, mut mem) = setup();
         regs.set(Reg::A0, 5);
         regs.set(Reg::A1, 5);
-        let out = run(
+        let (_, t) = run(
             Insn::Branch {
                 op: Opcode::Beq,
                 rs: Reg::A0,
@@ -719,11 +757,11 @@ mod tests {
             &mut mem,
         );
         assert_eq!(regs.pc, 0x1000 + 100);
-        assert_eq!(out.step.unwrap().taken, Some(true));
+        assert_eq!(t.taken, Some(true));
 
         regs.pc = 0x1000;
         regs.set(Reg::A1, 6);
-        let out = run(
+        let (_, t) = run(
             Insn::Branch {
                 op: Opcode::Beq,
                 rs: Reg::A0,
@@ -734,7 +772,7 @@ mod tests {
             &mut mem,
         );
         assert_eq!(regs.pc, 0x1007, "fallthrough past 7-byte branch");
-        assert_eq!(out.step.unwrap().taken, Some(false));
+        assert_eq!(t.taken, Some(false));
     }
 
     #[test]
@@ -803,10 +841,10 @@ mod tests {
     #[test]
     fn sys_and_halt_do_not_advance_pc() {
         let (mut regs, mut mem) = setup();
-        let out = run(Insn::Sys, &mut regs, &mut mem);
+        let (out, _) = run(Insn::Sys, &mut regs, &mut mem);
         assert_eq!(out.effect, Effect::Sys);
         assert_eq!(regs.pc, 0x1000);
-        let out = run(Insn::Halt, &mut regs, &mut mem);
+        let (out, _) = run(Insn::Halt, &mut regs, &mut mem);
         assert_eq!(out.effect, Effect::Halt);
     }
 
@@ -820,7 +858,7 @@ mod tests {
         }
         .encode(&mut bytes);
         mem.write_bytes(0x1000, &bytes).unwrap();
-        let out = step(&mut regs, &mut mem, 0, 0, false);
+        let out = step(&mut regs, &mut mem, 0, 0, None);
         assert_eq!(out.effect, Effect::Continue);
         assert_eq!(regs.get(Reg::A0), 7);
         assert_eq!(regs.pc, 0x100a);
@@ -830,7 +868,7 @@ mod tests {
     fn step_traps_on_unmapped_pc_and_bad_opcode() {
         let (mut regs, mut mem) = setup();
         regs.pc = 0x5000_0000;
-        let out = step(&mut regs, &mut mem, 0, 0, false);
+        let out = step(&mut regs, &mut mem, 0, 0, None);
         assert!(matches!(
             out.effect,
             Effect::Trap(Fault {
@@ -840,7 +878,7 @@ mod tests {
         ));
         regs.pc = 0x1000;
         mem.write_u8(0x1000, 0xEE).unwrap();
-        let out = step(&mut regs, &mut mem, 0, 0, false);
+        let out = step(&mut regs, &mut mem, 0, 0, None);
         assert!(matches!(
             out.effect,
             Effect::Trap(Fault {
@@ -855,7 +893,7 @@ mod tests {
         let (mut regs, mut mem) = setup();
         regs.set(Reg::A0, 3);
         regs.set(Reg::A1, 4);
-        let out = run(
+        let (_, t) = run(
             Insn::Alu3 {
                 op: Opcode::Add,
                 rd: Reg::A2,
@@ -865,8 +903,34 @@ mod tests {
             &mut regs,
             &mut mem,
         );
-        let t = out.step.unwrap();
         assert_eq!(t.reg_reads, vec![(Reg::A0, 3), (Reg::A1, 4)]);
         assert_eq!(t.reg_writes, vec![(Reg::A2, 7)]);
+    }
+
+    #[test]
+    fn skeleton_capture_keeps_branch_direction_only() {
+        let (mut regs, mut mem) = setup();
+        regs.set(Reg::A0, 5);
+        regs.set(Reg::A1, 5);
+        let mut trace = Trace::new();
+        let out = exec(
+            Insn::Branch {
+                op: Opcode::Beq,
+                rs: Reg::A0,
+                rt: Reg::A1,
+                rel: 100,
+            },
+            &mut regs,
+            &mut mem,
+            0,
+            0,
+            Some((&mut trace, Capture::Skeleton)),
+        );
+        assert_eq!(regs.pc, 0x1000 + 100, "semantics identical to full");
+        let v = trace.view(out.step.unwrap() as usize);
+        assert!(v.elided);
+        assert_eq!(v.taken, Some(true));
+        assert!(v.reg_reads.is_empty(), "operands elided");
+        assert_eq!(trace.elided_steps(), 1);
     }
 }

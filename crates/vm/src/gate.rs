@@ -1,0 +1,330 @@
+//! The taint gate: online, over-approximate shadow state the VM consults
+//! to decide how much of each step to record.
+//!
+//! The offline taint filter (`crates/taint`) and the symbolic replayer
+//! (`crates/symex`) both skip steps that touch no symbolic data; the gate
+//! reproduces a *superset* of their taint so the VM can elide operand
+//! capture for such steps up front ([`Capture::Skeleton`]). Soundness
+//! invariants (each keeps the gate's taint ⊇ any downstream engine's):
+//!
+//! * Memory-writing steps and `sys` steps are never elided — the symbolic
+//!   replayer mirrors their concrete effects even when untainted.
+//! * Register taint propagates per-instruction as `every write := OR of
+//!   all inputs`, which subsumes every per-statement transfer function.
+//! * A step is demoted after the fact only when all of its inputs *and*
+//!   all of its written targets were untainted, so no taint kill is lost.
+//! * Syscall returns (`a0`) are always tainted — a superset of the
+//!   symbolic `lseek`/`time`/unconstrained-return environments.
+//! * Fork duplicates the parent's shadow for the child pid; the child's
+//!   register seed is applied at the child's first step, mirroring the
+//!   offline engines (the child tid is unknown at fork time).
+
+use crate::trace::{Capture, StepView, SysEffect, SyscallRecord};
+use bomblab_isa::{Insn, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Per-thread register taint with a popcount for the O(1) all-clear test.
+#[derive(Debug, Clone, Default)]
+struct ThreadTaint {
+    gpr: [bool; 32],
+    fpr: [bool; 16],
+    set: u32,
+}
+
+impl ThreadTaint {
+    fn set_gpr(&mut self, i: usize, v: bool) {
+        if i == 0 {
+            return; // r0 is hardwired zero
+        }
+        if self.gpr[i] != v {
+            self.gpr[i] = v;
+            if v {
+                self.set += 1;
+            } else {
+                self.set -= 1;
+            }
+        }
+    }
+
+    fn set_fpr(&mut self, i: usize, v: bool) {
+        if self.fpr[i] != v {
+            self.fpr[i] = v;
+            if v {
+                self.set += 1;
+            } else {
+                self.set -= 1;
+            }
+        }
+    }
+}
+
+/// Online taint shadow consulted by the tracing fast path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TaintGate {
+    threads: HashMap<(u32, u32), ThreadTaint>,
+    /// Tainted byte addresses per process.
+    mem: HashMap<u32, HashSet<u64>>,
+    /// Register shadows forked children inherit at their first step.
+    fork_seeds: HashMap<u32, ThreadTaint>,
+}
+
+fn writes_mem(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Store { .. } | Insn::Push { .. } | Insn::FSt { .. }
+    )
+}
+
+fn reads_mem(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Load { .. } | Insn::Pop { .. } | Insn::FLd { .. }
+    )
+}
+
+impl TaintGate {
+    /// Creates a gate with the given byte ranges pre-tainted in `root_pid`.
+    pub(crate) fn new(root_pid: u32, ranges: &[(u64, u64)]) -> TaintGate {
+        let mut mem = HashSet::new();
+        for &(base, len) in ranges {
+            for a in base..base.saturating_add(len) {
+                mem.insert(a);
+            }
+        }
+        TaintGate {
+            threads: HashMap::new(),
+            mem: HashMap::from([(root_pid, mem)]),
+            fork_seeds: HashMap::new(),
+        }
+    }
+
+    /// Pre-execution decision: can this step be recorded as a skeleton?
+    ///
+    /// Skeleton is safe only when the thread's registers are *entirely*
+    /// clean (so no input can be tainted and no kill can be missed), the
+    /// instruction performs no memory write and no syscall, and any memory
+    /// read can only see clean bytes.
+    pub(crate) fn capture(&mut self, pid: u32, tid: u32, insn: &Insn) -> Capture {
+        if !self.threads.contains_key(&(pid, tid)) {
+            if let Some(seed) = self.fork_seeds.remove(&pid) {
+                self.threads.insert((pid, tid), seed);
+            }
+        }
+        if matches!(insn, Insn::Sys) || writes_mem(insn) {
+            return Capture::Full;
+        }
+        let clean_regs = self.threads.get(&(pid, tid)).is_none_or(|t| t.set == 0);
+        if !clean_regs {
+            return Capture::Full;
+        }
+        if reads_mem(insn) && !self.mem.get(&pid).is_none_or(HashSet::is_empty) {
+            return Capture::Full;
+        }
+        Capture::Skeleton
+    }
+
+    /// Post-execution update for a fully captured non-`sys` step: advances
+    /// the shadow and returns `true` when the step may still be demoted to
+    /// a skeleton (nothing tainted flowed in, and nothing tainted was
+    /// overwritten).
+    pub(crate) fn observe(&mut self, step: StepView<'_>) -> bool {
+        let key = (step.pid, step.tid);
+        let mem = self.mem.entry(step.pid).or_default();
+        let shadow = self.threads.entry(key).or_default();
+        let mut input_tainted = step.reg_reads.iter().any(|&(r, _)| shadow.gpr[r.index()])
+            || step.freg_reads.iter().any(|&(r, _)| shadow.fpr[r.index()]);
+        if let Some(acc) = step.mem_read {
+            input_tainted |= (0..acc.width as u64).any(|i| mem.contains(&(acc.addr + i)));
+        }
+        let mut clobbered_taint = false;
+        for &(r, _) in step.reg_writes {
+            clobbered_taint |= shadow.gpr[r.index()];
+            shadow.set_gpr(r.index(), input_tainted);
+        }
+        for &(r, _) in step.freg_writes {
+            clobbered_taint |= shadow.fpr[r.index()];
+            shadow.set_fpr(r.index(), input_tainted);
+        }
+        if let Some(acc) = step.mem_write {
+            for i in 0..acc.width as u64 {
+                if input_tainted {
+                    mem.insert(acc.addr + i);
+                } else {
+                    mem.remove(&(acc.addr + i));
+                }
+            }
+        }
+        !input_tainted && !clobbered_taint && step.mem_write.is_none() && step.trap.is_none()
+    }
+
+    /// Applies a completed syscall's data-flow effects, over-approximating
+    /// every downstream propagation policy.
+    pub(crate) fn observe_syscall(&mut self, pid: u32, tid: u32, record: &SyscallRecord) {
+        match &record.effect {
+            SysEffect::InputBytes { addr, bytes, .. } => {
+                let mem = self.mem.entry(pid).or_default();
+                for i in 0..bytes.len() as u64 {
+                    mem.insert(addr + i);
+                }
+            }
+            SysEffect::Forked { child } => {
+                let parent_mem = self.mem.get(&pid).cloned().unwrap_or_default();
+                self.mem.insert(*child, parent_mem);
+                let mut seed = self.threads.get(&(pid, tid)).cloned().unwrap_or_default();
+                seed.set_gpr(Reg::A0.index(), false); // a0 is concrete 0 in the child
+                self.fork_seeds.insert(*child, seed);
+            }
+            SysEffect::SpawnedThread { tid: new_tid, .. } => {
+                let arg_tainted = self
+                    .threads
+                    .get(&(pid, tid))
+                    .is_some_and(|t| t.gpr[Reg::A1.index()]);
+                if arg_tainted {
+                    let mut seed = ThreadTaint::default();
+                    seed.set_gpr(Reg::A0.index(), true);
+                    self.threads.insert((pid, *new_tid), seed);
+                }
+            }
+            // PipeCreated writes concrete fds; leaving stale taint on those
+            // bytes is over-approximate and therefore safe.
+            SysEffect::OutputBytes { .. }
+            | SysEffect::OpenedFile { .. }
+            | SysEffect::PipeCreated { .. }
+            | SysEffect::None => {}
+        }
+        // The return value may be symbolized downstream (time, lseek,
+        // unconstrained environment returns) — taint it unconditionally.
+        self.threads
+            .entry((pid, tid))
+            .or_default()
+            .set_gpr(Reg::A0.index(), true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MemAccess, Trace, TraceStep};
+
+    fn view_of(t: &Trace) -> StepView<'_> {
+        t.view(t.len() - 1)
+    }
+
+    #[test]
+    fn clean_thread_gets_skeleton_until_taint_flows_in() {
+        let mut gate = TaintGate::new(1, &[(0x100, 4)]);
+        let alu = Insn::Mov {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        };
+        // Register-only step in a clean thread: skeleton.
+        assert_eq!(gate.capture(1, 0, &alu), Capture::Skeleton);
+        // A load might see the tainted range: full.
+        let ld = Insn::Load {
+            op: bomblab_isa::Opcode::Ld,
+            rd: Reg::A0,
+            base: Reg::A2,
+            off: 0,
+        };
+        assert_eq!(gate.capture(1, 0, &ld), Capture::Full);
+        // Observe the load pulling in a tainted byte.
+        let mut trace = Trace::new();
+        let mut s = TraceStep::new(1, 0, 0x10, ld);
+        s.reg_reads = vec![(Reg::A2, 0x100)];
+        s.reg_writes = vec![(Reg::A0, 7)];
+        s.mem_read = Some(MemAccess {
+            addr: 0x100,
+            value: 7,
+            width: 8,
+        });
+        trace.push_step(&s);
+        assert!(
+            !gate.observe(view_of(&trace)),
+            "tainted load must stay full"
+        );
+        // Now the thread is dirty: even register moves record fully.
+        assert_eq!(gate.capture(1, 0, &alu), Capture::Full);
+        // An untainted overwrite of a0 kills the taint but is NOT
+        // demotable (it clobbers a tainted register).
+        let mut kill = TraceStep::new(1, 0, 0x14, alu);
+        kill.reg_reads = vec![(Reg::A0, 7)];
+        kill.reg_writes = vec![(Reg::A1, 7)];
+        let mut trace2 = Trace::new();
+        trace2.push_step(&kill);
+        assert!(!gate.observe(view_of(&trace2)), "reads tainted a0");
+    }
+
+    #[test]
+    fn stores_and_syscalls_never_elide() {
+        let mut gate = TaintGate::new(1, &[]);
+        let st = Insn::Store {
+            op: bomblab_isa::Opcode::Sd,
+            src: Reg::A0,
+            base: Reg::SP,
+            off: 0,
+        };
+        assert_eq!(gate.capture(1, 0, &st), Capture::Full);
+        assert_eq!(gate.capture(1, 0, &Insn::Sys), Capture::Full);
+    }
+
+    #[test]
+    fn syscall_return_taints_a0_and_inputs_taint_memory() {
+        let mut gate = TaintGate::new(1, &[]);
+        gate.observe_syscall(
+            1,
+            0,
+            &SyscallRecord {
+                num: 8, // time
+                args: [0; 6],
+                ret: 42,
+                effect: SysEffect::None,
+            },
+        );
+        let mov = Insn::Mov {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        };
+        assert_eq!(gate.capture(1, 0, &mov), Capture::Full, "a0 is tainted");
+        gate.observe_syscall(
+            1,
+            0,
+            &SyscallRecord {
+                num: 2,
+                args: [0; 6],
+                ret: 4,
+                effect: SysEffect::InputBytes {
+                    addr: 0x900,
+                    bytes: vec![1, 2, 3, 4],
+                    source: crate::trace::InputSource::Stdin,
+                    offset: 0,
+                },
+            },
+        );
+        assert!(gate.mem[&1].contains(&0x903));
+    }
+
+    #[test]
+    fn fork_seeds_the_child_at_first_sight() {
+        let mut gate = TaintGate::new(1, &[]);
+        // Taint a register in the parent thread via a syscall return.
+        gate.observe_syscall(
+            1,
+            0,
+            &SyscallRecord {
+                num: 8,
+                args: [0; 6],
+                ret: 1,
+                effect: SysEffect::Forked { child: 2 },
+            },
+        );
+        // Child's first step: inherits the parent's shadow minus a0 —
+        // which was the only set bit pre-fork, so the child starts clean.
+        let mov = Insn::Mov {
+            rd: Reg::A1,
+            rs: Reg::A0,
+        };
+        assert_eq!(gate.capture(2, 5, &mov), Capture::Skeleton);
+        // The parent keeps its tainted a0.
+        assert_eq!(gate.capture(1, 0, &mov), Capture::Full);
+    }
+}

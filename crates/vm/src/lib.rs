@@ -48,6 +48,7 @@
 
 pub mod bbcache;
 pub mod cpu;
+mod gate;
 pub mod machine;
 pub mod mem;
 pub mod os;
@@ -60,4 +61,7 @@ pub use machine::{
 };
 pub use mem::{MemFault, Memory};
 pub use os::{Fd, Os};
-pub use trace::{InputSource, MemAccess, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep};
+pub use trace::{
+    Capture, InputSource, MemAccess, OutputSink, StepView, Steps, SysEffect, SyscallRecord, Trace,
+    TraceStep,
+};

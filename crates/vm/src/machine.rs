@@ -6,10 +6,11 @@
 //! instruction — the concolic engine's raw material.
 
 use crate::bbcache::{self, BbStats, BlockCache, MicroOp};
-use crate::cpu::{self, Effect, Regs, StepOutcome};
+use crate::cpu::{self, Effect, Recorder, Regs, StepOutcome};
+use crate::gate::TaintGate;
 use crate::mem::{MemFault, Memory};
 use crate::os::{Fd, Os, O_RDONLY, O_RDWR, O_WRONLY};
-use crate::trace::{InputSource, OutputSink, SysEffect, SyscallRecord, Trace, TraceStep};
+use crate::trace::{Capture, InputSource, OutputSink, SysEffect, SyscallRecord, Trace};
 use bomblab_fault::{check_deadline, fault_point, trip_stall, FaultAction, FaultSite};
 use bomblab_isa::image::{layout, Image, ImageError};
 use bomblab_isa::{sys, Insn, Reg};
@@ -44,6 +45,12 @@ pub struct MachineConfig {
     pub quantum: u32,
     /// Record a full instruction trace.
     pub trace: bool,
+    /// Pre-tainted guest byte ranges `(base, len)` for the online taint
+    /// gate. `Some` arms taint-gated sparse recording: steps provably
+    /// untouched by tainted data are recorded as pc/branch skeletons with
+    /// operand capture elided. `None` (the default) keeps full capture —
+    /// paper-faithful profiles rely on this. Only meaningful with `trace`.
+    pub sparse_taint: Option<Vec<(u64, u64)>>,
     /// Dispatch through the shared predecoded basic-block cache
     /// ([`crate::bbcache`]). Disable for A/B runs against the
     /// decode-per-step path; the `BOMBLAB_NO_BBCACHE` environment
@@ -63,6 +70,7 @@ impl Default for MachineConfig {
             step_budget: 5_000_000,
             quantum: 64,
             trace: false,
+            sparse_taint: None,
             bbcache: true,
         }
     }
@@ -269,6 +277,8 @@ pub struct Machine {
     quantum: u32,
     tracing: bool,
     trace: Trace,
+    /// Online taint shadow for sparse recording (`None` = full capture).
+    gate: Option<TaintGate>,
     stdin: Vec<u8>,
     next_pid: u32,
     next_tid: u32,
@@ -412,6 +422,11 @@ impl Machine {
             BlockCache::for_regions(&regions)
         });
 
+        let gate = match (&config.sparse_taint, config.trace) {
+            (Some(ranges), true) => Some(TaintGate::new(ROOT_PID, ranges)),
+            _ => None,
+        };
+
         Ok(Machine {
             os,
             procs: [(ROOT_PID, root)].into_iter().collect(),
@@ -422,6 +437,7 @@ impl Machine {
             quantum: config.quantum.max(1),
             tracing: config.trace,
             trace: Trace::new(),
+            gate,
             stdin: config.stdin,
             next_pid: ROOT_PID + 1,
             next_tid: 2,
@@ -709,6 +725,10 @@ impl Machine {
             self.note_code_write(addr, sc.width as u64);
         }
         self.bb_stats.bb_hits += 1;
+        let capture = match self.gate.as_mut() {
+            Some(g) => g.capture(pid, tid, &op.insn),
+            None => Capture::Full,
+        };
         let proc = self
             .procs
             .get_mut(&pid)
@@ -717,13 +737,18 @@ impl Machine {
             .threads
             .get_mut(&tid)
             .ok_or(MachineError::DeadThread { pid, tid })?;
+        let rec: Recorder<'_> = if self.tracing {
+            Some((&mut self.trace, capture))
+        } else {
+            None
+        };
         Ok(cpu::exec(
             op.insn,
             &mut thread.regs,
             &mut proc.mem,
             pid,
             tid,
-            self.tracing,
+            rec,
         ))
     }
 
@@ -756,6 +781,10 @@ impl Machine {
                 if let Some((addr, len)) = write {
                     self.note_code_write(addr, len);
                 }
+                let capture = match self.gate.as_mut() {
+                    Some(g) => g.capture(pid, tid, &insn),
+                    None => Capture::Full,
+                };
                 let proc = self
                     .procs
                     .get_mut(&pid)
@@ -764,13 +793,18 @@ impl Machine {
                     .threads
                     .get_mut(&tid)
                     .ok_or(MachineError::DeadThread { pid, tid })?;
+                let rec: Recorder<'_> = if self.tracing {
+                    Some((&mut self.trace, capture))
+                } else {
+                    None
+                };
                 return Ok(cpu::exec(
                     insn,
                     &mut thread.regs,
                     &mut proc.mem,
                     pid,
                     tid,
-                    self.tracing,
+                    rec,
                 ));
             }
         }
@@ -782,13 +816,14 @@ impl Machine {
             .threads
             .get_mut(&tid)
             .ok_or(MachineError::DeadThread { pid, tid })?;
-        Ok(cpu::step(
-            &mut thread.regs,
-            &mut proc.mem,
-            pid,
-            tid,
-            self.tracing,
-        ))
+        // The instruction is unknown before the fetch, so the gate cannot
+        // pre-approve a skeleton — record fully (always sound).
+        let rec: Recorder<'_> = if self.tracing {
+            Some((&mut self.trace, Capture::Full))
+        } else {
+            None
+        };
+        Ok(cpu::step(&mut thread.regs, &mut proc.mem, pid, tid, rec))
     }
 
     /// Executes up to `limit` consecutive cached micro-ops of `(pid, tid)`
@@ -875,19 +910,24 @@ impl Machine {
                 cur.next = next;
                 cur.next_pc = op.pc.wrapping_add(u64::from(op.len));
                 self.bb_stats.bb_hits += 1;
-                let outcome = cpu::exec(
-                    op.insn,
-                    &mut thread.regs,
-                    &mut proc.mem,
-                    pid,
-                    tid,
-                    self.tracing,
-                );
+                let capture = match self.gate.as_mut() {
+                    Some(g) => g.capture(pid, tid, &op.insn),
+                    None => Capture::Full,
+                };
+                let rec: Recorder<'_> = if self.tracing {
+                    Some((&mut self.trace, capture))
+                } else {
+                    None
+                };
+                let outcome = cpu::exec(op.insn, &mut thread.regs, &mut proc.mem, pid, tid, rec);
                 match outcome.effect {
                     Effect::Continue => {
                         ran += 1;
-                        if let Some(s) = outcome.step {
-                            self.trace.steps.push(s);
+                        if let (Some(g), Some(idx)) = (self.gate.as_mut(), outcome.step) {
+                            let view = self.trace.view(idx as usize);
+                            if !view.elided && g.observe(view) {
+                                self.trace.demote_last();
+                            }
                         }
                     }
                     _ => {
@@ -966,15 +1006,11 @@ impl Machine {
     ) -> Result<ThreadStep, MachineError> {
         match outcome.effect {
             Effect::Continue => {
-                if let Some(s) = outcome.step {
-                    self.trace.steps.push(s);
-                }
+                self.gate_observe(outcome.step);
                 Ok(ThreadStep::Ran)
             }
             Effect::Halt => {
-                if let Some(s) = outcome.step {
-                    self.trace.steps.push(s);
-                }
+                self.gate_observe(outcome.step);
                 let code = self
                     .procs
                     .get(&pid)
@@ -986,9 +1022,7 @@ impl Machine {
                 Ok(ThreadStep::Died)
             }
             Effect::Trap(fault) => {
-                if let Some(s) = outcome.step {
-                    self.trace.steps.push(s);
-                }
+                self.gate_observe(outcome.step);
                 let proc = self
                     .procs
                     .get_mut(&pid)
@@ -1027,6 +1061,20 @@ impl Machine {
         }
     }
 
+    /// Advances the taint gate past a recorded non-`sys` step and demotes
+    /// the step to a skeleton when nothing tainted flowed through it. The
+    /// step is always the most recently recorded one (nothing records
+    /// between execution and settling).
+    fn gate_observe(&mut self, step: Option<u32>) {
+        let (Some(gate), Some(idx)) = (self.gate.as_mut(), step) else {
+            return;
+        };
+        let view = self.trace.view(idx as usize);
+        if !view.elided && gate.observe(view) {
+            self.trace.demote_last();
+        }
+    }
+
     fn exit_process(&mut self, pid: u32, status: i64) {
         let Some(proc) = self.procs.remove(&pid) else {
             return;
@@ -1052,7 +1100,7 @@ impl Machine {
         &mut self,
         pid: u32,
         tid: u32,
-        step: Option<TraceStep>,
+        step: Option<u32>,
     ) -> Result<ThreadStep, MachineError> {
         let proc = self
             .procs
@@ -1096,14 +1144,17 @@ impl Machine {
                         t.blocked = false;
                     }
                 }
-                if let Some(mut s) = step {
-                    s.sys = Some(SyscallRecord {
+                if let Some(idx) = step {
+                    let record = SyscallRecord {
                         num,
                         args,
                         ret,
                         effect,
-                    });
-                    self.trace.steps.push(s);
+                    };
+                    if let Some(g) = self.gate.as_mut() {
+                        g.observe_syscall(pid, tid, &record);
+                    }
+                    self.trace.attach_sys(idx, record);
                 }
                 let died = !self
                     .procs
@@ -1120,6 +1171,11 @@ impl Machine {
                     if let Some(t) = p.threads.get_mut(&tid) {
                         t.blocked = true;
                     }
+                }
+                // A blocked syscall re-executes later; the legacy stream
+                // never contained the blocked attempt, so unwind it.
+                if let Some(idx) = step {
+                    self.trace.pop_last(idx);
                 }
                 Ok(ThreadStep::Blocked)
             }

@@ -134,7 +134,7 @@ proptest! {
             };
             let mut machine = Machine::load(&image, None, config).expect("image loads");
             let result = machine.run();
-            let steps: Vec<TraceStep> = machine.take_trace().iter().cloned().collect();
+            let steps: Vec<TraceStep> = machine.take_trace().to_steps();
             let scratch = machine
                 .process_memory(ROOT_PID)
                 .and_then(|m| m.read_bytes(image.data_base, 64).ok());

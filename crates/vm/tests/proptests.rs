@@ -73,7 +73,7 @@ proptest! {
         regs.set(Reg::A0, a);
         regs.set(Reg::A1, b);
         let insn = Insn::Alu3 { op, rd: Reg::A2, rs: Reg::A0, rt: Reg::A1 };
-        let out = bomblab_vm::cpu::exec(insn, &mut regs, &mut mem, 0, 0, false);
+        let out = bomblab_vm::cpu::exec(insn, &mut regs, &mut mem, 0, 0, None);
         prop_assert_eq!(out.effect, bomblab_vm::Effect::Continue);
         prop_assert_eq!(regs.get(Reg::A2), expected);
     }
@@ -88,8 +88,8 @@ proptest! {
         mem.map(sp0 - 64, 4096);
         regs.set(Reg::SP, sp0);
         regs.set(Reg::A0, value);
-        bomblab_vm::cpu::exec(Insn::Push { rs: Reg::A0 }, &mut regs, &mut mem, 0, 0, false);
-        bomblab_vm::cpu::exec(Insn::Pop { rd: Reg::A1 }, &mut regs, &mut mem, 0, 0, false);
+        bomblab_vm::cpu::exec(Insn::Push { rs: Reg::A0 }, &mut regs, &mut mem, 0, 0, None);
+        bomblab_vm::cpu::exec(Insn::Pop { rd: Reg::A1 }, &mut regs, &mut mem, 0, 0, None);
         prop_assert_eq!(regs.get(Reg::A1), value);
         prop_assert_eq!(regs.get(Reg::SP), sp0);
     }

@@ -28,7 +28,7 @@ fn dynamic_tainted_branch_pcs(case: &bomblab_concolic::StudyCase) -> BTreeSet<u6
     report
         .tainted_branches
         .iter()
-        .map(|&i| trace.steps[i].pc)
+        .map(|&i| trace.pc_at(i))
         .collect()
 }
 

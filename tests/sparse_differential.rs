@@ -1,0 +1,95 @@
+//! Elision on/off differential for the Omniscient engine: taint-gated
+//! sparse tracing is a pure recording optimisation, so arming it must
+//! not change a single flip decision — same outcome, same solved input,
+//! same query/round counts — and the solved input must drive the machine
+//! to the same final state either way. The three slowest bombs (PRNG +
+//! crypto) are excluded to keep the suite's wall clock sane; the ignored
+//! data-flow A/B covers them.
+
+use bomblab::bombs::all_cases;
+use bomblab::prelude::*;
+
+const SLOW: [&str; 3] = ["ext_srand", "crypto_sha1", "crypto_aes"];
+
+#[test]
+fn omniscient_flip_decisions_identical_with_and_without_elision() {
+    let sparse = ToolProfile::omniscient();
+    assert!(sparse.sparse_trace, "omniscient arms sparse tracing");
+    let dense = ToolProfile {
+        sparse_trace: false,
+        ..ToolProfile::omniscient()
+    };
+
+    let mut bombs_with_elision = 0usize;
+    let mut total = 0usize;
+    for case in all_cases() {
+        if SLOW.contains(&case.subject.name.as_str()) {
+            continue;
+        }
+        total += 1;
+        let ground = bomblab::concolic::ground_truth(&case.subject, &case.trigger);
+        let on = Engine::new(sparse.clone()).explore(&case.subject, &ground);
+        let off = Engine::new(dense.clone()).explore(&case.subject, &ground);
+
+        let name = &case.subject.name;
+        assert_eq!(on.outcome, off.outcome, "{name}: outcome diverged");
+        assert_eq!(
+            on.solved_input, off.solved_input,
+            "{name}: solved input diverged"
+        );
+        assert_eq!(
+            (
+                on.evidence.queries,
+                on.evidence.sat_queries,
+                on.evidence.rounds
+            ),
+            (
+                off.evidence.queries,
+                off.evidence.sat_queries,
+                off.evidence.rounds
+            ),
+            "{name}: flip decisions diverged"
+        );
+
+        // Only the sparse leg elides; full capture must never.
+        assert_eq!(
+            off.evidence.trace_steps_elided, 0,
+            "{name}: dense leg elided"
+        );
+        assert!(
+            off.evidence.trace_steps_full > 0,
+            "{name}: dense leg traced nothing"
+        );
+        if on.evidence.trace_steps_elided > 0 {
+            bombs_with_elision += 1;
+        }
+
+        // Final machine state: the detonating input (when found) lands the
+        // machine on the same exit path with the same output, elision on
+        // or off at the VM level.
+        if let Some(input) = &on.solved_input {
+            let run = |sparse_taint: Option<Vec<(u64, u64)>>| {
+                let mut config = input.to_config(true, 4_000_000);
+                config.sparse_taint = sparse_taint;
+                let mut m = Machine::load(&case.subject.image, case.subject.lib.as_ref(), config)
+                    .expect("subject loads");
+                let result = m.run();
+                let stdout = m.stdout().to_vec();
+                (result.status, result.steps, stdout)
+            };
+            let arm = vec![(case.subject.argv1_addr(), input.argv1.len() as u64)];
+            assert_eq!(
+                run(None),
+                run(Some(arm)),
+                "{name}: final machine state diverged"
+            );
+        }
+    }
+
+    // The acceptance bar for the sparse path: elision actually fires on
+    // most of the dataset, not just on toy programs.
+    assert!(
+        bombs_with_elision >= 15,
+        "elision fired on only {bombs_with_elision}/{total} bombs"
+    );
+}

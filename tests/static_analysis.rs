@@ -125,7 +125,8 @@ fn resolved_jr_targets_cover_the_dynamic_trace() {
             .expect("trigger input loads");
         machine.run();
         let trace = machine.take_trace();
-        for w in trace.steps.windows(2) {
+        let steps: Vec<_> = trace.iter().collect();
+        for w in steps.windows(2) {
             let (cur, next) = (&w[0], &w[1]);
             if cur.pid != next.pid || cur.tid != next.tid {
                 continue;
